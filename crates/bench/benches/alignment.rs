@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of the sequence-alignment stage, with and
+//! without register demotion — the asymmetry behind Figures 22 and 23.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fm_align::{align, linearize};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ssa_passes::reg2mem;
+use workloads::{generate_function, make_clone, Divergence, FunctionSpec};
+
+fn alignment_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alignment");
+    for &size in &[40usize, 120, 240] {
+        let mut rng = SmallRng::seed_from_u64(size as u64);
+        let spec = FunctionSpec {
+            name: "base".into(),
+            size,
+            ..FunctionSpec::default()
+        };
+        let f1 = generate_function(&spec, &mut rng);
+        let f2 = make_clone(&f1, "clone", Divergence::medium(), &mut rng, &[]);
+
+        group.bench_with_input(BenchmarkId::new("ssa (SalSSA input)", size), &size, |b, _| {
+            let s1 = linearize(&f1);
+            let s2 = linearize(&f2);
+            b.iter(|| align(&f1, &s1, &f2, &s2).stats.matches)
+        });
+
+        let mut d1 = f1.clone();
+        let mut d2 = f2.clone();
+        reg2mem::demote_function(&mut d1);
+        reg2mem::demote_function(&mut d2);
+        group.bench_with_input(BenchmarkId::new("demoted (FMSA input)", size), &size, |b, _| {
+            let s1 = linearize(&d1);
+            let s2 = linearize(&d2);
+            b.iter(|| align(&d1, &s1, &d2, &s2).stats.matches)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, alignment_benches);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of whole-module merging for both techniques and of a
+//! single SalSSA pair merge (ablation of phi-node coalescing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmsa::FmsaMerger;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use salssa::{merge_module, merge_pair, DriverConfig, MergeOptions, SalSsaMerger};
+use workloads::{generate_function, make_clone, BenchmarkSpec, Divergence, FunctionSpec};
+
+fn pair_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_merge");
+    let mut rng = SmallRng::seed_from_u64(7);
+    let f1 = generate_function(
+        &FunctionSpec { name: "base".into(), size: 120, ..FunctionSpec::default() },
+        &mut rng,
+    );
+    let f2 = make_clone(&f1, "clone", Divergence::medium(), &mut rng, &[]);
+    group.bench_function("salssa", |b| {
+        b.iter(|| merge_pair(&f1, &f2, &MergeOptions::default(), "m").map(|m| m.merged_size()))
+    });
+    group.bench_function("salssa_no_phi_coalescing", |b| {
+        b.iter(|| {
+            merge_pair(&f1, &f2, &MergeOptions::without_phi_coalescing(), "m")
+                .map(|m| m.merged_size())
+        })
+    });
+    group.finish();
+}
+
+fn module_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("module_merge");
+    group.sample_size(10);
+    let spec = BenchmarkSpec {
+        name: "bench.module".into(),
+        num_functions: 12,
+        size_range: (20, 80),
+        clone_fraction: 0.5,
+        family_size: 3,
+        divergence: Divergence::low(),
+        seed: 99,
+    };
+    for t in [1usize, 5] {
+        group.bench_with_input(BenchmarkId::new("salssa", t), &t, |b, &t| {
+            b.iter(|| {
+                let mut m = spec.generate();
+                merge_module(&mut m, &SalSsaMerger::default(), &DriverConfig::with_threshold(t))
+                    .num_merges()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fmsa", t), &t, |b, &t| {
+            b.iter(|| {
+                let mut m = spec.generate();
+                merge_module(&mut m, &FmsaMerger::default(), &DriverConfig::with_threshold(t))
+                    .num_merges()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pair_merge, module_merge);
+criterion_main!(benches);

@@ -1,0 +1,491 @@
+//! Experiment harness: regenerates every table and figure of
+//! *Effective Function Merging in the SSA Form* (PLDI 2020) on the synthetic
+//! benchmark suites.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fm_bench --bin experiments -- <experiment> [--scale F] [--threshold T]
+//! ```
+//!
+//! where `<experiment>` is one of `fig5`, `fig17a`, `fig17b`, `fig18`,
+//! `table1`, `fig19`, `fig20`, `fig21`, `fig22`, `fig23`, `fig24`, `fig25`,
+//! or `all`. `--scale` shrinks the synthetic suites (default 0.5) and
+//! `--threshold` restricts the exploration thresholds that are run.
+
+use fmsa::FmsaMerger;
+use salssa::{merge_module, DriverConfig, FunctionMerger, MergeOptions, SalSsaMerger};
+use ssa_interp::run_function;
+use ssa_passes::codesize::{module_size_bytes, reduction_percent, Target};
+use ssa_passes::{cleanup_module, reg2mem};
+use std::env;
+use std::time::Instant;
+use workloads::BenchmarkSpec;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let experiment = args.first().cloned().unwrap_or_else(|| "all".to_string());
+    let scale = flag_value(&args, "--scale").unwrap_or(0.5);
+    let threshold_filter = flag_value(&args, "--threshold").map(|t| t as usize);
+
+    let thresholds: Vec<usize> = match threshold_filter {
+        Some(t) => vec![t],
+        None => vec![1, 5, 10],
+    };
+
+    match experiment.as_str() {
+        "fig5" => fig5(scale),
+        "fig17a" => fig17(scale, &thresholds, workloads::spec2006(), "SPEC CPU2006", Target::X86Like),
+        "fig17b" => fig17(scale, &thresholds, workloads::spec2017(), "SPEC CPU2017", Target::X86Like),
+        "fig18" => fig18(scale, &thresholds),
+        "table1" => table1(scale),
+        "fig19" => fig19(scale),
+        "fig20" => fig20(scale),
+        "fig21" => fig21(scale),
+        "fig22" => fig22(scale),
+        "fig23" => fig23(scale),
+        "fig24" => fig24(scale, &thresholds),
+        "fig25" => fig25(scale),
+        "all" => {
+            fig5(scale);
+            fig17(scale, &[1], workloads::spec2006(), "SPEC CPU2006", Target::X86Like);
+            fig17(scale, &[1], workloads::spec2017(), "SPEC CPU2017", Target::X86Like);
+            fig18(scale, &[1]);
+            table1(scale);
+            fig19(scale);
+            fig20(scale);
+            fig21(scale);
+            fig22(scale);
+            fig23(scale);
+            fig24(scale, &[1]);
+            fig25(scale);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn suite(specs: Vec<BenchmarkSpec>, scale: f64) -> Vec<BenchmarkSpec> {
+    workloads::scale(specs, scale)
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let shifted: Vec<f64> = values.iter().map(|v| (v + 100.0).max(1e-9)).collect();
+    let log_sum: f64 = shifted.iter().map(|v| v.ln()).sum();
+    (log_sum / shifted.len() as f64).exp() - 100.0
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: normalized function size before/after register demotion.
+// ---------------------------------------------------------------------------
+fn fig5(scale: f64) {
+    println!("\n== Figure 5: normalized function size after register demotion (SPEC CPU2006) ==");
+    println!("{:<18} {:>10} {:>10} {:>8}", "benchmark", "before", "after", "ratio");
+    let mut ratios = Vec::new();
+    for spec in suite(workloads::spec2006(), scale) {
+        let module = spec.generate();
+        let before: usize = module.total_insts();
+        let after: usize = module
+            .functions()
+            .iter()
+            .map(|f| {
+                let mut clone = f.clone();
+                reg2mem::demote_function(&mut clone);
+                clone.num_insts()
+            })
+            .sum();
+        let ratio = after as f64 / before as f64;
+        ratios.push(ratio);
+        println!("{:<18} {:>10} {:>10} {:>8.2}", spec.name, before, after, ratio);
+    }
+    let gmean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    println!("{:<18} {:>10} {:>10} {:>8.2}   (paper: 1.73)", "GMean", "", "", gmean);
+}
+
+// ---------------------------------------------------------------------------
+// Figures 17a/17b and 18: object-size reduction over the no-merging baseline.
+// ---------------------------------------------------------------------------
+fn size_reduction_row(
+    spec: &BenchmarkSpec,
+    threshold: usize,
+    target: Target,
+) -> (f64, f64, usize, usize) {
+    let baseline = {
+        let mut m = spec.generate();
+        cleanup_module(&mut m);
+        module_size_bytes(&m, target)
+    };
+    let mut fmsa_module = spec.generate();
+    let fmsa_report = merge_module(
+        &mut fmsa_module,
+        &FmsaMerger::new(target),
+        &DriverConfig::with_threshold(threshold),
+    );
+    cleanup_module(&mut fmsa_module);
+    let mut salssa_module = spec.generate();
+    let salssa_report = merge_module(
+        &mut salssa_module,
+        &SalSsaMerger::new(MergeOptions { target, ..MergeOptions::default() }),
+        &DriverConfig::with_threshold(threshold),
+    );
+    cleanup_module(&mut salssa_module);
+    (
+        reduction_percent(baseline, module_size_bytes(&fmsa_module, target)),
+        reduction_percent(baseline, module_size_bytes(&salssa_module, target)),
+        fmsa_report.num_merges(),
+        salssa_report.num_merges(),
+    )
+}
+
+fn fig17(scale: f64, thresholds: &[usize], specs: Vec<BenchmarkSpec>, label: &str, target: Target) {
+    println!("\n== Figure 17: linked-object size reduction over LTO, {label} ==");
+    for &t in thresholds {
+        println!("-- exploration threshold t = {t}");
+        println!("{:<20} {:>12} {:>12}", "benchmark", "FMSA (%)", "SalSSA (%)");
+        let mut fmsa_all = Vec::new();
+        let mut salssa_all = Vec::new();
+        for spec in suite(specs.clone(), scale) {
+            let (fmsa_red, salssa_red, _, _) = size_reduction_row(&spec, t, target);
+            fmsa_all.push(fmsa_red);
+            salssa_all.push(salssa_red);
+            println!("{:<20} {:>12.1} {:>12.1}", spec.name, fmsa_red, salssa_red);
+        }
+        println!(
+            "{:<20} {:>12.1} {:>12.1}   (paper gmeans: FMSA ~3.8-4.4%, SalSSA ~7.9-9.7%)",
+            "GMean",
+            geomean(&fmsa_all),
+            geomean(&salssa_all)
+        );
+    }
+}
+
+fn fig18(scale: f64, thresholds: &[usize]) {
+    println!("\n== Figure 18: size reduction on MiBench (Thumb-like target), incl. FMSA residue ==");
+    for &t in thresholds {
+        println!("-- exploration threshold t = {t}");
+        println!(
+            "{:<16} {:>10} {:>10} {:>10}",
+            "benchmark", "residue%", "FMSA %", "SalSSA %"
+        );
+        let mut fmsa_all = Vec::new();
+        let mut salssa_all = Vec::new();
+        let mut residue_all = Vec::new();
+        for spec in suite(workloads::mibench(), scale.max(0.8)) {
+            let target = Target::ThumbLike;
+            let baseline = {
+                let mut m = spec.generate();
+                cleanup_module(&mut m);
+                module_size_bytes(&m, target)
+            };
+            // FMSA residue: preprocessing applied, no merge committed.
+            let mut residue_module = spec.generate();
+            let residue_merger = FmsaMerger::new(target);
+            residue_merger.preprocess_module(&mut residue_module);
+            residue_merger.postprocess_module(&mut residue_module);
+            cleanup_module(&mut residue_module);
+            let residue = reduction_percent(baseline, module_size_bytes(&residue_module, target));
+            let (fmsa_red, salssa_red, _, _) = size_reduction_row(&spec, t, target);
+            residue_all.push(residue);
+            fmsa_all.push(fmsa_red);
+            salssa_all.push(salssa_red);
+            println!(
+                "{:<16} {:>10.2} {:>10.2} {:>10.2}",
+                spec.name, residue, fmsa_red, salssa_red
+            );
+        }
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>10.2}   (paper gmeans: FMSA ~0.8%, SalSSA 1.4-1.6%)",
+            "GMean",
+            geomean(&residue_all),
+            geomean(&fmsa_all),
+            geomean(&salssa_all)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: MiBench function statistics and merge counts at t = 1.
+// ---------------------------------------------------------------------------
+fn table1(scale: f64) {
+    println!("\n== Table 1: MiBench function statistics and merge operations (t = 1) ==");
+    println!(
+        "{:<16} {:>6} {:>18} {:>10} {:>10}",
+        "benchmark", "#fns", "min/avg/max size", "FMSA", "SalSSA"
+    );
+    for spec in suite(workloads::mibench(), scale.max(0.8)) {
+        let module = spec.generate();
+        let sizes: Vec<usize> = module.functions().iter().map(|f| f.num_insts()).collect();
+        let min = sizes.iter().min().copied().unwrap_or(0);
+        let max = sizes.iter().max().copied().unwrap_or(0);
+        let avg = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
+        let (_, _, fmsa_merges, salssa_merges) =
+            size_reduction_row(&spec, 1, Target::ThumbLike);
+        println!(
+            "{:<16} {:>6} {:>18} {:>10} {:>10}",
+            spec.name,
+            module.num_functions(),
+            format!("{min}/{avg:.1}/{max}"),
+            fmsa_merges,
+            salssa_merges
+        );
+    }
+    println!("(paper: SalSSA commits more merges than FMSA on every program with clones)");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 19: per-merge contribution breakdown on djpeg (t = 1).
+// ---------------------------------------------------------------------------
+fn fig19(scale: f64) {
+    println!("\n== Figure 19: per-merge code-size contribution on djpeg-like program (t = 1) ==");
+    let spec = suite(workloads::mibench(), scale.max(0.8))
+        .into_iter()
+        .find(|s| s.name == "djpeg")
+        .expect("djpeg spec");
+    let target = Target::ThumbLike;
+    let mut module = spec.generate();
+    let report = merge_module(
+        &mut module,
+        &SalSsaMerger::new(MergeOptions { target, ..MergeOptions::default() }),
+        &DriverConfig::with_threshold(1),
+    );
+    println!("{:<40} {:>14}", "merge (f1+f2)", "profit (bytes)");
+    for record in &report.committed {
+        println!(
+            "{:<40} {:>14}",
+            format!("{}+{}", record.f1, record.f2),
+            record.profit_bytes
+        );
+    }
+    println!(
+        "total committed merges: {} (paper: individual contributions are small, a few are negative)",
+        report.num_merges()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Figure 20: phi-node coalescing ablation.
+// ---------------------------------------------------------------------------
+fn fig20(scale: f64) {
+    println!("\n== Figure 20: impact of phi-node coalescing (SPEC CPU2006, t = 1) ==");
+    println!(
+        "{:<18} {:>10} {:>14} {:>10}",
+        "benchmark", "FMSA %", "SalSSA-NoPC %", "SalSSA %"
+    );
+    let target = Target::X86Like;
+    let mut rows = (Vec::new(), Vec::new(), Vec::new());
+    for spec in suite(workloads::spec2006(), scale) {
+        let baseline = {
+            let mut m = spec.generate();
+            cleanup_module(&mut m);
+            module_size_bytes(&m, target)
+        };
+        let run = |merger: &dyn FunctionMerger| {
+            let mut m = spec.generate();
+            merge_module(&mut m, merger, &DriverConfig::with_threshold(1));
+            cleanup_module(&mut m);
+            reduction_percent(baseline, module_size_bytes(&m, target))
+        };
+        let fmsa = run(&FmsaMerger::new(target));
+        let nopc = run(&SalSsaMerger::new(MergeOptions {
+            target,
+            ..MergeOptions::without_phi_coalescing()
+        }));
+        let full = run(&SalSsaMerger::new(MergeOptions { target, ..MergeOptions::default() }));
+        rows.0.push(fmsa);
+        rows.1.push(nopc);
+        rows.2.push(full);
+        println!("{:<18} {:>10.1} {:>14.1} {:>10.1}", spec.name, fmsa, nopc, full);
+    }
+    println!(
+        "{:<18} {:>10.1} {:>14.1} {:>10.1}   (paper gmeans: 3.8 / 8.1 / 9.3)",
+        "GMean",
+        geomean(&rows.0),
+        geomean(&rows.1),
+        geomean(&rows.2)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Figure 21: number of profitable merge operations.
+// ---------------------------------------------------------------------------
+fn fig21(scale: f64) {
+    println!("\n== Figure 21: profitable merge operations, SPEC CPU2006, t = 1 ==");
+    println!("{:<18} {:>8} {:>8}", "benchmark", "FMSA", "SalSSA");
+    let mut totals = (0usize, 0usize);
+    for spec in suite(workloads::spec2006(), scale) {
+        let (_, _, fmsa_merges, salssa_merges) = size_reduction_row(&spec, 1, Target::X86Like);
+        totals.0 += fmsa_merges;
+        totals.1 += salssa_merges;
+        println!("{:<18} {:>8} {:>8}", spec.name, fmsa_merges, salssa_merges);
+    }
+    println!(
+        "{:<18} {:>8} {:>8}   (paper: SalSSA commits ~31% more merges than FMSA)",
+        "Total", totals.0, totals.1
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Figure 22: peak memory of the merging pass.
+// ---------------------------------------------------------------------------
+fn fig22(scale: f64) {
+    println!("\n== Figure 22: peak alignment-matrix footprint during merging (SPEC CPU2006, t = 1) ==");
+    println!("{:<18} {:>14} {:>14} {:>8}", "benchmark", "FMSA (KiB)", "SalSSA (KiB)", "ratio");
+    let mut ratios = Vec::new();
+    for spec in suite(workloads::spec2006(), scale) {
+        let mut fmsa_module = spec.generate();
+        let fmsa_report = merge_module(
+            &mut fmsa_module,
+            &FmsaMerger::default(),
+            &DriverConfig::with_threshold(1),
+        );
+        let mut salssa_module = spec.generate();
+        let salssa_report = merge_module(
+            &mut salssa_module,
+            &SalSsaMerger::default(),
+            &DriverConfig::with_threshold(1),
+        );
+        let f = fmsa_report.peak_matrix_bytes as f64 / 1024.0;
+        let s = salssa_report.peak_matrix_bytes as f64 / 1024.0;
+        let ratio = if s > 0.0 { f / s } else { 0.0 };
+        if ratio.is_finite() && ratio > 0.0 {
+            ratios.push(ratio);
+        }
+        println!("{:<18} {:>14.1} {:>14.1} {:>8.2}", spec.name, f, s, ratio);
+    }
+    let gmean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len().max(1) as f64).exp();
+    println!("GMean ratio FMSA/SalSSA: {gmean:.2}x   (paper: SalSSA uses less than half the memory)");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 23: speedup of the alignment + code-generation stages.
+// ---------------------------------------------------------------------------
+fn fig23(scale: f64) {
+    println!("\n== Figure 23: SalSSA speedup over FMSA on alignment + code generation (t = 1) ==");
+    println!("{:<18} {:>12} {:>12} {:>9} {:>9}", "benchmark", "FMSA cells", "SalSSA cells", "align x", "time x");
+    let mut speedups = Vec::new();
+    for spec in suite(workloads::spec2006(), scale) {
+        let mut fmsa_module = spec.generate();
+        let t0 = Instant::now();
+        let fmsa_report = merge_module(
+            &mut fmsa_module,
+            &FmsaMerger::default(),
+            &DriverConfig::with_threshold(1),
+        );
+        let fmsa_time = t0.elapsed();
+        let mut salssa_module = spec.generate();
+        let t1 = Instant::now();
+        let salssa_report = merge_module(
+            &mut salssa_module,
+            &SalSsaMerger::default(),
+            &DriverConfig::with_threshold(1),
+        );
+        let salssa_time = t1.elapsed();
+        let cell_speedup =
+            fmsa_report.total_cells as f64 / salssa_report.total_cells.max(1) as f64;
+        let time_speedup = fmsa_time.as_secs_f64() / salssa_time.as_secs_f64().max(1e-9);
+        speedups.push(cell_speedup);
+        println!(
+            "{:<18} {:>12} {:>12} {:>9.2} {:>9.2}",
+            spec.name, fmsa_report.total_cells, salssa_report.total_cells, cell_speedup, time_speedup
+        );
+    }
+    let gmean = (speedups.iter().map(|r| r.ln()).sum::<f64>() / speedups.len().max(1) as f64).exp();
+    println!("GMean alignment speedup: {gmean:.2}x   (paper: 3.16x alignment, 1.68x codegen)");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 24: end-to-end compile-time overhead.
+// ---------------------------------------------------------------------------
+fn fig24(scale: f64, thresholds: &[usize]) {
+    println!("\n== Figure 24: end-to-end compile time normalized to no function merging ==");
+    for &t in thresholds {
+        println!("-- exploration threshold t = {t}");
+        println!("{:<18} {:>10} {:>10}", "benchmark", "FMSA", "SalSSA");
+        let mut fmsa_all = Vec::new();
+        let mut salssa_all = Vec::new();
+        for spec in suite(workloads::spec2006(), scale) {
+            // Baseline "compilation": clean-up pipeline only.
+            let mut baseline_module = spec.generate();
+            let t0 = Instant::now();
+            cleanup_module(&mut baseline_module);
+            let base_time = t0.elapsed().as_secs_f64().max(1e-6);
+
+            let run = |merger: &dyn FunctionMerger| {
+                let mut m = spec.generate();
+                let t0 = Instant::now();
+                merge_module(&mut m, merger, &DriverConfig::with_threshold(t));
+                cleanup_module(&mut m);
+                t0.elapsed().as_secs_f64() / base_time
+            };
+            let fmsa = run(&FmsaMerger::default());
+            let salssa = run(&SalSsaMerger::default());
+            fmsa_all.push(fmsa);
+            salssa_all.push(salssa);
+            println!("{:<18} {:>10.2} {:>10.2}", spec.name, fmsa, salssa);
+        }
+        let g = |v: &[f64]| (v.iter().map(|r| r.ln()).sum::<f64>() / v.len() as f64).exp();
+        println!(
+            "{:<18} {:>10.2} {:>10.2}   (paper: FMSA ~1.14-1.66, SalSSA ~1.05-1.18)",
+            "GMean",
+            g(&fmsa_all),
+            g(&salssa_all)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 25: runtime overhead (dynamic instruction counts).
+// ---------------------------------------------------------------------------
+fn fig25(scale: f64) {
+    println!("\n== Figure 25: normalized runtime (dynamic instructions) after merging, t = 1 ==");
+    println!("{:<18} {:>10} {:>10}", "benchmark", "FMSA", "SalSSA");
+    let inputs: Vec<i64> = vec![3, 17, 64];
+    let mut fmsa_all = Vec::new();
+    let mut salssa_all = Vec::new();
+    for spec in suite(workloads::spec2006(), (scale * 0.5).max(0.1)) {
+        let baseline_module = spec.generate();
+        let run_suite = |module: &ssa_ir::Module| -> f64 {
+            let mut steps = 0u64;
+            for f in baseline_module.functions() {
+                for &x in &inputs {
+                    if let Ok(out) = run_function(module, &f.name, &[x, x + 1, x + 2]) {
+                        steps += out.steps;
+                    }
+                }
+            }
+            steps as f64
+        };
+        let base_steps = run_suite(&baseline_module).max(1.0);
+
+        let normalized = |merger: &dyn FunctionMerger| {
+            let mut m = spec.generate();
+            merge_module(&mut m, merger, &DriverConfig::with_threshold(1));
+            cleanup_module(&mut m);
+            run_suite(&m) / base_steps
+        };
+        let fmsa = normalized(&FmsaMerger::default());
+        let salssa = normalized(&SalSsaMerger::default());
+        fmsa_all.push(fmsa);
+        salssa_all.push(salssa);
+        println!("{:<18} {:>10.3} {:>10.3}", spec.name, fmsa, salssa);
+    }
+    let g = |v: &[f64]| (v.iter().map(|r| r.ln()).sum::<f64>() / v.len().max(1) as f64).exp();
+    println!(
+        "{:<18} {:>10.3} {:>10.3}   (paper: FMSA ~1.02, SalSSA ~1.04)",
+        "GMean",
+        g(&fmsa_all),
+        g(&salssa_all)
+    );
+}

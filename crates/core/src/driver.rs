@@ -1,0 +1,457 @@
+//! Whole-module function merging: candidate ranking, profitability evaluation,
+//! thunk creation and reporting.
+//!
+//! This is the driver both techniques share in the paper's evaluation: for
+//! every function (largest first) the `t` most similar candidates — the
+//! exploration threshold of Section 5.1 — are aligned and merged tentatively;
+//! the most profitable merge according to the code-size cost model is
+//! committed, replacing the two originals with the merged function plus two
+//! thin thunks that preserve the external interface.
+
+use crate::merge::{self, PairMerge};
+use crate::options::MergeOptions;
+use fm_align::Ranking;
+use ssa_ir::{Function, InstKind, Module, Type, Value};
+use ssa_passes::codesize::{function_size_bytes, Target};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// A technique that can merge two functions (SalSSA, or the FMSA baseline in
+/// the `fmsa` crate).
+pub trait FunctionMerger {
+    /// Short name used in reports ("salssa", "fmsa", ...).
+    fn name(&self) -> &'static str;
+
+    /// Module-wide preprocessing applied before any merging (FMSA demotes all
+    /// functions here; SalSSA does nothing).
+    fn preprocess_module(&self, _module: &mut Module) {}
+
+    /// Module-wide post-processing applied after merging (FMSA re-promotes and
+    /// cleans up the functions left demoted by its preprocessing).
+    fn postprocess_module(&self, _module: &mut Module) {}
+
+    /// Attempts to merge one pair of functions.
+    fn merge_pair(&self, f1: &Function, f2: &Function, merged_name: &str) -> Option<PairMerge>;
+
+    /// The code-size target used by the profitability model.
+    fn target(&self) -> Target;
+}
+
+/// The SalSSA merger (the paper's contribution).
+#[derive(Debug, Clone, Default)]
+pub struct SalSsaMerger {
+    /// Code-generator options.
+    pub options: MergeOptions,
+}
+
+impl SalSsaMerger {
+    /// Creates a SalSSA merger with the given options.
+    pub fn new(options: MergeOptions) -> SalSsaMerger {
+        SalSsaMerger { options }
+    }
+}
+
+impl FunctionMerger for SalSsaMerger {
+    fn name(&self) -> &'static str {
+        "salssa"
+    }
+
+    fn merge_pair(&self, f1: &Function, f2: &Function, merged_name: &str) -> Option<PairMerge> {
+        merge::merge_pair(f1, f2, &self.options, merged_name)
+    }
+
+    fn target(&self) -> Target {
+        self.options.target
+    }
+}
+
+/// Configuration of the module driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverConfig {
+    /// Exploration threshold `t`: how many ranked candidates to try per
+    /// function before giving up (the paper evaluates t ∈ {1, 5, 10}).
+    pub threshold: usize,
+    /// Functions smaller than this many IR instructions are not considered.
+    pub min_function_size: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            threshold: 1,
+            min_function_size: 3,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// Convenience constructor for a given exploration threshold.
+    pub fn with_threshold(threshold: usize) -> DriverConfig {
+        DriverConfig {
+            threshold,
+            ..DriverConfig::default()
+        }
+    }
+}
+
+/// One committed merge operation.
+#[derive(Debug, Clone)]
+pub struct MergeRecord {
+    /// Name of the first input function.
+    pub f1: String,
+    /// Name of the second input function.
+    pub f2: String,
+    /// Name of the merged function added to the module.
+    pub merged_name: String,
+    /// Modelled byte savings of this merge (inputs − merged − thunks);
+    /// positive means the cost model judged it profitable.
+    pub profit_bytes: i64,
+    /// IR-instruction sizes (f1, f2, merged).
+    pub sizes: (usize, usize, usize),
+    /// Number of coalesced phi pairs in this merge.
+    pub coalesced_pairs: usize,
+}
+
+/// Aggregate report of one whole-module merging run.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleMergeReport {
+    /// Technique name.
+    pub technique: String,
+    /// Exploration threshold used.
+    pub threshold: usize,
+    /// Pairs for which a merge was attempted (aligned + generated).
+    pub attempts: usize,
+    /// Merges committed because the cost model judged them profitable.
+    pub committed: Vec<MergeRecord>,
+    /// Total time spent in sequence alignment.
+    pub align_time: Duration,
+    /// Total time spent in code generation (including SSA repair and local
+    /// clean-up of candidate merges).
+    pub codegen_time: Duration,
+    /// Peak dynamic-programming matrix footprint over all attempted
+    /// alignments, in bytes (the Figure 22 metric).
+    pub peak_matrix_bytes: u64,
+    /// Total dynamic-programming cells computed (time proxy for Figure 23).
+    pub total_cells: u64,
+}
+
+impl ModuleMergeReport {
+    /// Number of committed (profitable) merge operations.
+    pub fn num_merges(&self) -> usize {
+        self.committed.len()
+    }
+}
+
+/// Runs whole-module function merging with the given technique.
+pub fn merge_module(
+    module: &mut Module,
+    merger: &dyn FunctionMerger,
+    config: &DriverConfig,
+) -> ModuleMergeReport {
+    let mut report = ModuleMergeReport {
+        technique: merger.name().to_string(),
+        threshold: config.threshold,
+        ..ModuleMergeReport::default()
+    };
+    merger.preprocess_module(module);
+
+    let ranking = Ranking::build(module);
+    let order = ranking.names_by_size_desc();
+    let mut unavailable: HashSet<String> = HashSet::new();
+
+    for name in order {
+        if unavailable.contains(&name) {
+            continue;
+        }
+        let Some(size) = module.function(&name).map(Function::num_insts) else {
+            continue;
+        };
+        if size < config.min_function_size {
+            continue;
+        }
+        let exclude: Vec<String> = unavailable.iter().cloned().collect();
+        let candidates = ranking.candidates(&name, config.threshold, &exclude);
+        let mut best: Option<(i64, String, PairMerge)> = None;
+        for candidate in candidates {
+            if unavailable.contains(&candidate) || candidate == name {
+                continue;
+            }
+            let (Some(f1), Some(f2)) = (module.function(&name), module.function(&candidate)) else {
+                continue;
+            };
+            if f2.num_insts() < config.min_function_size {
+                continue;
+            }
+            let merged_name = format!("merged.{}.{}", f1.name, f2.name);
+            let Some(pair) = merger.merge_pair(f1, f2, &merged_name) else {
+                continue;
+            };
+            report.attempts += 1;
+            report.align_time += pair.align_time;
+            report.codegen_time += pair.codegen_time;
+            report.peak_matrix_bytes = report.peak_matrix_bytes.max(pair.alignment.matrix_bytes);
+            report.total_cells += pair.alignment.cells;
+
+            let profit = estimate_profit(module, &name, &candidate, &pair, merger.target());
+            if profit > 0 && best.as_ref().map(|(p, _, _)| profit > *p).unwrap_or(true) {
+                best = Some((profit, candidate.clone(), pair));
+            }
+        }
+
+        if let Some((profit, candidate, pair)) = best {
+            let record = commit_merge(module, &name, &candidate, pair, profit, merger.target());
+            unavailable.insert(name.clone());
+            unavailable.insert(candidate);
+            unavailable.insert(record.merged_name.clone());
+            report.committed.push(record);
+        }
+    }
+
+    merger.postprocess_module(module);
+    report
+}
+
+/// Modelled byte profit of replacing `f1` and `f2` by the merged function plus
+/// two thunks.
+fn estimate_profit(
+    module: &Module,
+    f1: &str,
+    f2: &str,
+    pair: &PairMerge,
+    target: Target,
+) -> i64 {
+    let size_f1 = function_size_bytes(module.function(f1).unwrap(), target) as i64;
+    let size_f2 = function_size_bytes(module.function(f2).unwrap(), target) as i64;
+    let merged = function_size_bytes(&pair.merged, target) as i64;
+    let thunk1 = function_size_bytes(
+        &build_thunk(module.function(f1).unwrap(), &pair.merged, &pair.param_f1, false),
+        target,
+    ) as i64;
+    let thunk2 = function_size_bytes(
+        &build_thunk(module.function(f2).unwrap(), &pair.merged, &pair.param_f2, true),
+        target,
+    ) as i64;
+    size_f1 + size_f2 - merged - thunk1 - thunk2
+}
+
+/// Replaces `f1` and `f2` in the module by the merged function and two thunks.
+fn commit_merge(
+    module: &mut Module,
+    f1: &str,
+    f2: &str,
+    pair: PairMerge,
+    profit: i64,
+    _target: Target,
+) -> MergeRecord {
+    let original_f1 = module.remove_function(f1).expect("f1 must exist");
+    let original_f2 = module.remove_function(f2).expect("f2 must exist");
+    let merged_name = pair.merged.name.clone();
+    let sizes = (
+        original_f1.num_insts(),
+        original_f2.num_insts(),
+        pair.merged.num_insts(),
+    );
+    let thunk1 = build_thunk(&original_f1, &pair.merged, &pair.param_f1, false);
+    let thunk2 = build_thunk(&original_f2, &pair.merged, &pair.param_f2, true);
+    let coalesced_pairs = pair.repair.coalesced_pairs;
+    module.add_function(pair.merged);
+    module.add_function(thunk1);
+    module.add_function(thunk2);
+    MergeRecord {
+        f1: f1.to_string(),
+        f2: f2.to_string(),
+        merged_name,
+        profit_bytes: profit,
+        sizes,
+        coalesced_pairs,
+    }
+}
+
+/// Builds a thunk with the signature of `original` that tail-calls the merged
+/// function with the appropriate function identifier and argument mapping.
+pub fn build_thunk(
+    original: &Function,
+    merged: &Function,
+    param_map: &[u32],
+    fid: bool,
+) -> Function {
+    let mut thunk = Function::new(original.name.clone(), original.params.clone(), original.ret_ty);
+    thunk.param_names = original.param_names.clone();
+    let entry = thunk.add_block("entry");
+    // Build the merged call's argument list: fid, then each merged parameter
+    // filled from the original arguments (or undef when the slot belongs only
+    // to the other function).
+    let mut args: Vec<Value> = Vec::with_capacity(merged.params.len());
+    args.push(Value::bool(fid));
+    for (slot, ty) in merged.params.iter().enumerate().skip(1) {
+        let from_original = param_map
+            .iter()
+            .position(|m| *m as usize == slot)
+            .map(|orig_index| Value::Arg(orig_index as u32));
+        args.push(from_original.unwrap_or(Value::undef(*ty)));
+    }
+    let call = thunk.append_inst(
+        entry,
+        InstKind::Call { callee: merged.name.clone(), args },
+        merged.ret_ty,
+    );
+    thunk.set_inst_name(call, "result");
+    let ret_value = if original.ret_ty == Type::Void {
+        None
+    } else {
+        Some(Value::Inst(call))
+    };
+    thunk.append_inst(entry, InstKind::Ret { value: ret_value }, Type::Void);
+    thunk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_ir::parse_module;
+    use ssa_ir::verifier::verify_module;
+
+    /// A module with two near-clone functions (the dominant source of savings
+    /// in the paper's SPEC results, e.g. C++ template instantiations) plus an
+    /// unrelated function.
+    fn clone_heavy_module() -> Module {
+        let template = |name: &str, k1: i32, k2: i32| {
+            format!(
+                r#"
+define i32 @{name}(i32 %n) {{
+L1:
+  %x0 = call i32 @setup(i32 %n)
+  %x0b = add i32 %x0, %n
+  %x1 = call i32 @start(i32 %x0b)
+  %x1b = xor i32 %x1, %n
+  %x2 = icmp slt i32 %x1b, {k1}
+  br i1 %x2, label %L2, label %L3
+L2:
+  %x3 = call i32 @body(i32 %x1)
+  %x3b = add i32 %x3, {k2}
+  br label %L4
+L3:
+  %x4 = call i32 @other(i32 %x1)
+  %x4b = mul i32 %x4, {k2}
+  br label %L4
+L4:
+  %x5 = phi i32 [ %x3b, %L2 ], [ %x4b, %L3 ]
+  %x6 = call i32 @end(i32 %x5)
+  ret i32 %x6
+}}
+"#
+            )
+        };
+        let text = format!(
+            "{}\n{}\ndefine double @noise(double %x) {{\nentry:\n  %a = fmul double %x, 2.0\n  %b = fadd double %a, 1.0\n  ret double %b\n}}",
+            template("alpha", 0, 3),
+            template("beta", 1, 7)
+        );
+        parse_module(&text).unwrap()
+    }
+
+    #[test]
+    fn driver_merges_the_similar_pair_and_keeps_module_valid() {
+        let mut module = clone_heavy_module();
+        let merger = SalSsaMerger::default();
+        let report = merge_module(&mut module, &merger, &DriverConfig::with_threshold(2));
+        assert_eq!(report.num_merges(), 1);
+        assert!(report.attempts >= 1);
+        let record = &report.committed[0];
+        assert!(record.profit_bytes > 0);
+        // alpha and beta still exist (as thunks), plus the merged function.
+        assert!(module.function("alpha").is_some());
+        assert!(module.function("beta").is_some());
+        assert!(module.function(&record.merged_name).is_some());
+        assert!(verify_module(&module).is_empty());
+    }
+
+    #[test]
+    fn thunks_are_tiny() {
+        let mut module = clone_heavy_module();
+        let merger = SalSsaMerger::default();
+        merge_module(&mut module, &merger, &DriverConfig::with_threshold(2));
+        let thunk = module.function("alpha").unwrap();
+        assert!(thunk.num_insts() <= 2);
+        assert!(matches!(
+            thunk.inst(thunk.block(thunk.entry()).insts[0]).kind,
+            InstKind::Call { .. }
+        ));
+    }
+
+    #[test]
+    fn unrelated_functions_are_not_merged() {
+        let mut module = parse_module(
+            r#"
+define i32 @ints(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = mul i32 %a, 3
+  %c = call i32 @sink(i32 %b)
+  ret i32 %c
+}
+
+define double @floats(double %x) {
+entry:
+  %a = fadd double %x, 1.0
+  %b = fmul double %a, 3.0
+  %c = call double @fsink(double %b)
+  ret double %c
+}
+"#,
+        )
+        .unwrap();
+        let merger = SalSsaMerger::default();
+        let report = merge_module(&mut module, &merger, &DriverConfig::with_threshold(5));
+        assert_eq!(report.num_merges(), 0);
+        assert_eq!(module.num_functions(), 2);
+    }
+
+    #[test]
+    fn threshold_zero_disables_merging() {
+        let mut module = clone_heavy_module();
+        let merger = SalSsaMerger::default();
+        let report = merge_module(&mut module, &merger, &DriverConfig::with_threshold(0));
+        assert_eq!(report.attempts, 0);
+        assert_eq!(report.num_merges(), 0);
+    }
+
+    #[test]
+    fn report_accumulates_alignment_instrumentation() {
+        let mut module = clone_heavy_module();
+        let merger = SalSsaMerger::default();
+        let report = merge_module(&mut module, &merger, &DriverConfig::with_threshold(2));
+        assert!(report.total_cells > 0);
+        assert!(report.peak_matrix_bytes > 0);
+        assert_eq!(report.technique, "salssa");
+    }
+
+    #[test]
+    fn merging_shrinks_the_modelled_object_size() {
+        let mut module = clone_heavy_module();
+        let before = ssa_passes::module_size_bytes(&module, Target::X86Like);
+        let merger = SalSsaMerger::default();
+        merge_module(&mut module, &merger, &DriverConfig::with_threshold(2));
+        let after = ssa_passes::module_size_bytes(&module, Target::X86Like);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn build_thunk_fills_unmapped_slots_with_undef() {
+        let original =
+            ssa_ir::parse_function("define i32 @orig(i32 %a) {\nentry:\n  ret i32 %a\n}").unwrap();
+        let merged = ssa_ir::parse_function(
+            "define i32 @m(i1 %fid, i32 %a, i64 %extra) {\nentry:\n  ret i32 %a\n}",
+        )
+        .unwrap();
+        let thunk = build_thunk(&original, &merged, &[1], false);
+        let call = thunk.block(thunk.entry()).insts[0];
+        let InstKind::Call { args, .. } = &thunk.inst(call).kind else {
+            panic!("expected call");
+        };
+        assert_eq!(args.len(), 3);
+        assert_eq!(args[0], Value::bool(false));
+        assert_eq!(args[1], Value::Arg(0));
+        assert!(args[2].is_undef());
+    }
+}

@@ -1,0 +1,289 @@
+//! Needleman–Wunsch global sequence alignment over linearized functions.
+//!
+//! This is the "Alignment" stage shared by FMSA and SalSSA (Figure 1 of the
+//! paper). The algorithm is quadratic in time and space over the sequence
+//! lengths, which is exactly why register demotion (which roughly doubles the
+//! sequences) quadruples both the running time and the peak memory of the
+//! baseline — the effect measured in Figures 22 and 23. The
+//! [`AlignmentStats`] returned here feed those experiments.
+
+use crate::linearize::{mergeable, SeqEntry};
+use ssa_ir::Function;
+
+/// One element of an alignment result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignedPair {
+    /// A pair of entries that matched and will be merged into one entity.
+    Match(SeqEntry, SeqEntry),
+    /// An entry that exists only in the first function.
+    OnlyLeft(SeqEntry),
+    /// An entry that exists only in the second function.
+    OnlyRight(SeqEntry),
+}
+
+/// Instrumentation of one alignment run (drives Figures 22 and 23).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlignmentStats {
+    /// Length of the first sequence.
+    pub len_left: usize,
+    /// Length of the second sequence.
+    pub len_right: usize,
+    /// Number of matched pairs.
+    pub matches: usize,
+    /// Number of dynamic-programming cells computed (time proxy).
+    pub cells: u64,
+    /// Bytes of dynamic-programming state allocated (peak-memory proxy).
+    pub matrix_bytes: u64,
+}
+
+impl AlignmentStats {
+    /// Fraction of the shorter sequence that was matched, in `[0, 1]`.
+    pub fn match_ratio(&self) -> f64 {
+        let denom = self.len_left.min(self.len_right);
+        if denom == 0 {
+            0.0
+        } else {
+            self.matches as f64 / denom as f64
+        }
+    }
+}
+
+/// The result of aligning two linearized functions.
+#[derive(Debug, Clone)]
+pub struct Alignment {
+    /// Aligned entries in sequence order.
+    pub pairs: Vec<AlignedPair>,
+    /// Instrumentation counters.
+    pub stats: AlignmentStats,
+}
+
+/// Aligns two linearized functions with Needleman–Wunsch, maximizing the
+/// number of [`mergeable`] pairs. Gaps carry no penalty and non-mergeable
+/// entries are never paired, matching the scoring used by FMSA.
+pub fn align(
+    f1: &Function,
+    seq1: &[SeqEntry],
+    f2: &Function,
+    seq2: &[SeqEntry],
+) -> Alignment {
+    let n = seq1.len();
+    let m = seq2.len();
+    // Score matrix, (n+1) x (m+1). u32 scores; usize would double memory for
+    // no benefit, and function sizes beyond 4G entries are not realistic.
+    let width = m + 1;
+    let mut score = vec![0u32; (n + 1) * width];
+    let mut cells = 0u64;
+    for i in 1..=n {
+        for j in 1..=m {
+            cells += 1;
+            let up = score[(i - 1) * width + j];
+            let left = score[i * width + (j - 1)];
+            let mut best = up.max(left);
+            if mergeable(f1, seq1[i - 1], f2, seq2[j - 1]) {
+                let diag = score[(i - 1) * width + (j - 1)] + 1;
+                best = best.max(diag);
+            }
+            score[i * width + j] = best;
+        }
+    }
+
+    // Traceback from the bottom-right corner.
+    let mut pairs_rev = Vec::with_capacity(n + m);
+    let mut matches = 0usize;
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let cur = score[i * width + j];
+        if i > 0
+            && j > 0
+            && mergeable(f1, seq1[i - 1], f2, seq2[j - 1])
+            && cur == score[(i - 1) * width + (j - 1)] + 1
+        {
+            pairs_rev.push(AlignedPair::Match(seq1[i - 1], seq2[j - 1]));
+            matches += 1;
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && cur == score[(i - 1) * width + j] {
+            pairs_rev.push(AlignedPair::OnlyLeft(seq1[i - 1]));
+            i -= 1;
+        } else {
+            pairs_rev.push(AlignedPair::OnlyRight(seq2[j - 1]));
+            j -= 1;
+        }
+    }
+    pairs_rev.reverse();
+
+    Alignment {
+        pairs: pairs_rev,
+        stats: AlignmentStats {
+            len_left: n,
+            len_right: m,
+            matches,
+            cells,
+            matrix_bytes: (score.len() * std::mem::size_of::<u32>()) as u64,
+        },
+    }
+}
+
+/// Exhaustive (exponential) alignment used only by tests to check optimality
+/// of [`align`] on tiny sequences.
+pub fn brute_force_best_score(
+    f1: &Function,
+    seq1: &[SeqEntry],
+    f2: &Function,
+    seq2: &[SeqEntry],
+) -> usize {
+    fn go(f1: &Function, s1: &[SeqEntry], f2: &Function, s2: &[SeqEntry]) -> usize {
+        if s1.is_empty() || s2.is_empty() {
+            return 0;
+        }
+        let mut best = go(f1, &s1[1..], f2, s2).max(go(f1, s1, f2, &s2[1..]));
+        if mergeable(f1, s1[0], f2, s2[0]) {
+            best = best.max(1 + go(f1, &s1[1..], f2, &s2[1..]));
+        }
+        best
+    }
+    go(f1, seq1, f2, seq2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linearize::linearize;
+    use ssa_ir::parse_function;
+
+    const F1: &str = r#"
+define i32 @f1(i32 %n) {
+L1:
+  %x1 = call i32 @start(i32 %n)
+  %x2 = icmp slt i32 %x1, 0
+  br i1 %x2, label %L2, label %L3
+L2:
+  %x3 = call i32 @body(i32 %x1)
+  br label %L4
+L3:
+  %x4 = call i32 @other(i32 %x1)
+  br label %L4
+L4:
+  %x5 = phi i32 [ %x3, %L2 ], [ %x4, %L3 ]
+  %x6 = call i32 @end(i32 %x5)
+  ret i32 %x6
+}
+"#;
+
+    const F2: &str = r#"
+define i32 @f2(i32 %n) {
+L1:
+  %v1 = call i32 @start(i32 %n)
+  br label %L2
+L2:
+  %v2 = phi i32 [ %v1, %L1 ], [ %v4, %L3 ]
+  %v3 = icmp ne i32 %v2, 0
+  br i1 %v3, label %L3, label %L4
+L3:
+  %v4 = call i32 @body(i32 %v2)
+  br label %L2
+L4:
+  %v5 = call i32 @end(i32 %v2)
+  ret i32 %v5
+}
+"#;
+
+    #[test]
+    fn identical_functions_align_perfectly() {
+        let f = parse_function(F1).unwrap();
+        let seq = linearize(&f);
+        let a = align(&f, &seq, &f, &seq);
+        assert_eq!(a.stats.matches, seq.len());
+        assert!(a
+            .pairs
+            .iter()
+            .all(|p| matches!(p, AlignedPair::Match(..))));
+        assert_eq!(a.stats.match_ratio(), 1.0);
+    }
+
+    #[test]
+    fn paper_example_aligns_the_shared_skeleton() {
+        let f1 = parse_function(F1).unwrap();
+        let f2 = parse_function(F2).unwrap();
+        let s1 = linearize(&f1);
+        let s2 = linearize(&f2);
+        let a = align(&f1, &s1, &f2, &s2);
+        // start/end calls, icmp-free matches, labels and branches: substantial
+        // overlap but not total.
+        assert!(a.stats.matches >= 8, "only {} matches", a.stats.matches);
+        assert!(a.stats.matches < s1.len().min(s2.len()));
+        // The output must contain every entry of both sequences exactly once.
+        let left: usize = a
+            .pairs
+            .iter()
+            .filter(|p| matches!(p, AlignedPair::Match(..) | AlignedPair::OnlyLeft(_)))
+            .count();
+        let right: usize = a
+            .pairs
+            .iter()
+            .filter(|p| matches!(p, AlignedPair::Match(..) | AlignedPair::OnlyRight(_)))
+            .count();
+        assert_eq!(left, s1.len());
+        assert_eq!(right, s2.len());
+    }
+
+    #[test]
+    fn alignment_preserves_relative_order() {
+        let f1 = parse_function(F1).unwrap();
+        let f2 = parse_function(F2).unwrap();
+        let s1 = linearize(&f1);
+        let s2 = linearize(&f2);
+        let a = align(&f1, &s1, &f2, &s2);
+        // Matched left entries must appear in the same order as in s1.
+        let mut last = None;
+        for p in &a.pairs {
+            if let AlignedPair::Match(l, _) | AlignedPair::OnlyLeft(l) = p {
+                let idx = s1.iter().position(|e| e == l).unwrap();
+                if let Some(prev) = last {
+                    assert!(idx > prev);
+                }
+                last = Some(idx);
+            }
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_small_functions() {
+        let a = parse_function(
+            "define i32 @a(i32 %x) {\nentry:\n  %p = add i32 %x, 1\n  %q = mul i32 %p, 2\n  ret i32 %q\n}",
+        )
+        .unwrap();
+        let b = parse_function(
+            "define i32 @b(i32 %x) {\nentry:\n  %p = mul i32 %x, 2\n  %q = add i32 %p, 3\n  %r = mul i32 %q, 5\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        let sa = linearize(&a);
+        let sb = linearize(&b);
+        let dp = align(&a, &sa, &b, &sb);
+        let brute = brute_force_best_score(&a, &sa, &b, &sb);
+        assert_eq!(dp.stats.matches, brute);
+    }
+
+    #[test]
+    fn stats_report_quadratic_work() {
+        let f1 = parse_function(F1).unwrap();
+        let f2 = parse_function(F2).unwrap();
+        let s1 = linearize(&f1);
+        let s2 = linearize(&f2);
+        let a = align(&f1, &s1, &f2, &s2);
+        assert_eq!(a.stats.cells, (s1.len() * s2.len()) as u64);
+        assert_eq!(
+            a.stats.matrix_bytes,
+            ((s1.len() + 1) * (s2.len() + 1) * 4) as u64
+        );
+    }
+
+    #[test]
+    fn empty_sequences_align_trivially() {
+        let f = parse_function("define void @e() {\nentry:\n  ret void\n}").unwrap();
+        let a = align(&f, &[], &f, &[]);
+        assert!(a.pairs.is_empty());
+        assert_eq!(a.stats.matches, 0);
+        assert_eq!(a.stats.match_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Opcode-frequency fingerprints and the candidate-ranking mechanism.
+//!
+//! Both FMSA and SalSSA use the same fingerprint-based ranking to decide which
+//! pairs of functions to *attempt* to merge (Section 5.1 of the paper): for
+//! every function a cheap fingerprint is computed, and for each function only
+//! the `t` most similar candidates (the exploration threshold) are actually
+//! aligned and evaluated with the cost model.
+
+use crate::linearize::linearize;
+use ssa_ir::{Function, InstKind, Module};
+
+/// A cheap summary of one function used for similarity ranking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Name of the fingerprinted function.
+    pub name: String,
+    /// Number of opcodes per opcode class.
+    pub opcode_counts: Vec<u32>,
+    /// Number of linearized entries (labels + instructions).
+    pub seq_len: usize,
+    /// Number of IR instructions.
+    pub num_insts: usize,
+}
+
+impl Fingerprint {
+    /// Computes the fingerprint of a function.
+    pub fn of(function: &Function) -> Fingerprint {
+        let mut counts = vec![0u32; InstKind::NUM_OPCODE_CLASSES];
+        for block in function.block_ids() {
+            for inst in function.block(block).all_insts() {
+                counts[function.inst(inst).kind.opcode_class()] += 1;
+            }
+        }
+        Fingerprint {
+            name: function.name.clone(),
+            opcode_counts: counts,
+            seq_len: linearize(function).len(),
+            num_insts: function.num_insts(),
+        }
+    }
+
+    /// Manhattan distance between two fingerprints; smaller means more
+    /// similar and therefore more likely to merge profitably.
+    pub fn distance(&self, other: &Fingerprint) -> u64 {
+        self.opcode_counts
+            .iter()
+            .zip(&other.opcode_counts)
+            .map(|(a, b)| u64::from(a.abs_diff(*b)))
+            .sum()
+    }
+
+    /// An upper bound on the number of instruction matches two functions can
+    /// share, used to discard hopeless candidates early.
+    pub fn max_possible_matches(&self, other: &Fingerprint) -> u64 {
+        self.opcode_counts
+            .iter()
+            .zip(&other.opcode_counts)
+            .map(|(a, b)| u64::from(*a.min(b)))
+            .sum()
+    }
+}
+
+/// Fingerprints for all functions of a module, with ranking queries.
+#[derive(Debug, Clone)]
+pub struct Ranking {
+    fingerprints: Vec<Fingerprint>,
+}
+
+impl Ranking {
+    /// Fingerprints every function in the module.
+    pub fn build(module: &Module) -> Ranking {
+        Ranking {
+            fingerprints: module.functions().iter().map(Fingerprint::of).collect(),
+        }
+    }
+
+    /// All fingerprints, in module order.
+    pub fn fingerprints(&self) -> &[Fingerprint] {
+        &self.fingerprints
+    }
+
+    /// Function names ordered from largest to smallest, the order in which the
+    /// paper's drivers consider merge candidates (Section 5.5).
+    pub fn names_by_size_desc(&self) -> Vec<String> {
+        let mut v: Vec<&Fingerprint> = self.fingerprints.iter().collect();
+        v.sort_by(|a, b| b.num_insts.cmp(&a.num_insts).then(a.name.cmp(&b.name)));
+        v.into_iter().map(|f| f.name.clone()).collect()
+    }
+
+    /// The `t` candidate functions most similar to `name` (excluding itself
+    /// and any name in `exclude`), most similar first.
+    pub fn candidates(&self, name: &str, t: usize, exclude: &[String]) -> Vec<String> {
+        let Some(target) = self.fingerprints.iter().find(|f| f.name == name) else {
+            return Vec::new();
+        };
+        let mut scored: Vec<(u64, &Fingerprint)> = self
+            .fingerprints
+            .iter()
+            .filter(|f| f.name != name && !exclude.contains(&f.name))
+            .map(|f| (target.distance(f), f))
+            .collect();
+        scored.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.name.cmp(&b.1.name)));
+        scored.into_iter().take(t).map(|(_, f)| f.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_ir::parse_module;
+
+    fn module() -> Module {
+        parse_module(
+            r#"
+define i32 @small(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+
+define i32 @clone_a(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = mul i32 %a, 2
+  %c = call i32 @helper(i32 %b)
+  ret i32 %c
+}
+
+define i32 @clone_b(i32 %x) {
+entry:
+  %a = add i32 %x, 5
+  %b = mul i32 %a, 3
+  %c = call i32 @helper(i32 %b)
+  ret i32 %c
+}
+
+define double @unrelated(double %x) {
+entry:
+  %a = fmul double %x, 2.5
+  %b = fadd double %a, 1.0
+  %c = fdiv double %b, 3.0
+  ret double %c
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_shapes_have_zero_distance() {
+        let m = module();
+        let a = Fingerprint::of(m.function("clone_a").unwrap());
+        let b = Fingerprint::of(m.function("clone_b").unwrap());
+        assert_eq!(a.distance(&b), 0);
+        assert_eq!(a.distance(&a), 0);
+    }
+
+    #[test]
+    fn unrelated_functions_are_far() {
+        let m = module();
+        let a = Fingerprint::of(m.function("clone_a").unwrap());
+        let u = Fingerprint::of(m.function("unrelated").unwrap());
+        assert!(a.distance(&u) > 0);
+        assert!(a.distance(&u) > a.distance(&Fingerprint::of(m.function("small").unwrap())));
+    }
+
+    #[test]
+    fn ranking_prefers_the_clone() {
+        let m = module();
+        let ranking = Ranking::build(&m);
+        let cands = ranking.candidates("clone_a", 2, &[]);
+        assert_eq!(cands[0], "clone_b");
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn ranking_respects_threshold_and_exclusions() {
+        let m = module();
+        let ranking = Ranking::build(&m);
+        assert_eq!(ranking.candidates("clone_a", 1, &[]).len(), 1);
+        let cands = ranking.candidates("clone_a", 3, &["clone_b".to_string()]);
+        assert!(!cands.contains(&"clone_b".to_string()));
+        assert!(ranking.candidates("missing", 3, &[]).is_empty());
+    }
+
+    #[test]
+    fn names_by_size_orders_largest_first() {
+        let m = module();
+        let ranking = Ranking::build(&m);
+        let order = ranking.names_by_size_desc();
+        assert_eq!(order.first().map(String::as_str), Some("clone_a"));
+        assert_eq!(order.last().map(String::as_str), Some("small"));
+    }
+
+    #[test]
+    fn max_possible_matches_is_symmetric_min_overlap() {
+        let m = module();
+        let a = Fingerprint::of(m.function("clone_a").unwrap());
+        let s = Fingerprint::of(m.function("small").unwrap());
+        assert_eq!(a.max_possible_matches(&s), s.max_possible_matches(&a));
+        assert!(a.max_possible_matches(&s) <= s.num_insts as u64);
+    }
+}

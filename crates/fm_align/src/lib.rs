@@ -1,0 +1,39 @@
+//! # `fm_align` — linearization, sequence alignment and candidate ranking
+//!
+//! The components shared by the FMSA baseline and SalSSA in the reproduction
+//! of *Effective Function Merging in the SSA Form* (PLDI 2020):
+//!
+//! * [`linearize`] — turn a function's CFG into the sequence of labels and
+//!   instructions that alignment operates on (phi-nodes and landing pads are
+//!   excluded, as in the paper),
+//! * [`align`] — Needleman–Wunsch global alignment maximizing the number of
+//!   mergeable pairs, with the instrumentation (cells, matrix bytes) used by
+//!   the compile-time and memory experiments,
+//! * [`Fingerprint`] / [`Ranking`] — the opcode-frequency ranking that selects
+//!   which pairs of functions to attempt to merge under a given exploration
+//!   threshold `t`.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use fm_align::{align, linearize};
+//! use ssa_ir::parse_function;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let f = parse_function(
+//!     "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}",
+//! )?;
+//! let seq = linearize(&f);
+//! let alignment = align(&f, &seq, &f, &seq);
+//! assert_eq!(alignment.stats.matches, seq.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod align;
+pub mod fingerprint;
+pub mod linearize;
+
+pub use align::{align, AlignedPair, Alignment, AlignmentStats};
+pub use fingerprint::{Fingerprint, Ranking};
+pub use linearize::{linearize, mergeable, mergeable_insts, SeqEntry};

@@ -1,0 +1,390 @@
+//! Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy algorithm).
+//!
+//! Dominance information drives three parts of the reproduction: the verifier
+//! (SSA dominance property), the standard SSA construction used by `mem2reg`
+//! and by SalSSA's SSA-repair stage, and the phi-node placement of the merged
+//! code generator.
+
+use crate::function::Function;
+use crate::ids::{BlockId, InstId};
+use std::collections::{HashMap, HashSet};
+
+/// The dominator tree of a function, including dominance frontiers.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each reachable block (the entry maps to itself).
+    idom: HashMap<BlockId, BlockId>,
+    /// Children in the dominator tree.
+    children: HashMap<BlockId, Vec<BlockId>>,
+    /// Dominance frontier of each reachable block.
+    frontier: HashMap<BlockId, Vec<BlockId>>,
+    /// Reverse post-order of reachable blocks.
+    rpo: Vec<BlockId>,
+    /// Position of each block in `rpo`.
+    rpo_index: HashMap<BlockId, usize>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `function`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no entry block.
+    pub fn compute(function: &Function) -> DomTree {
+        let entry = function.entry();
+        let rpo = function.reverse_post_order();
+        let rpo_index: HashMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        let preds_all = function.predecessors();
+        // Only consider predecessors that are themselves reachable.
+        let preds: HashMap<BlockId, Vec<BlockId>> = rpo
+            .iter()
+            .map(|b| {
+                let ps = preds_all
+                    .get(b)
+                    .map(|v| {
+                        v.iter()
+                            .copied()
+                            .filter(|p| rpo_index.contains_key(p))
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default();
+                (*b, ps)
+            })
+            .collect();
+
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(entry, entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[&b] {
+                    if !idom.contains_key(&p) {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut children: HashMap<BlockId, Vec<BlockId>> =
+            rpo.iter().map(|b| (*b, Vec::new())).collect();
+        for (&b, &d) in &idom {
+            if b != entry {
+                children.entry(d).or_default().push(b);
+            }
+        }
+        for kids in children.values_mut() {
+            kids.sort_by_key(|b| rpo_index[b]);
+        }
+
+        // Dominance frontiers (Cytron et al. via the CHK formulation).
+        let mut frontier: HashMap<BlockId, Vec<BlockId>> =
+            rpo.iter().map(|b| (*b, Vec::new())).collect();
+        for &b in &rpo {
+            let ps = &preds[&b];
+            if ps.len() < 2 {
+                continue;
+            }
+            for &p in ps {
+                let mut runner = p;
+                while runner != idom[&b] {
+                    let entry_vec = frontier.entry(runner).or_default();
+                    if !entry_vec.contains(&b) {
+                        entry_vec.push(b);
+                    }
+                    runner = idom[&runner];
+                }
+            }
+        }
+
+        DomTree {
+            idom,
+            children,
+            frontier,
+            rpo,
+            rpo_index,
+            entry,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// The reverse post-order used internally.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Returns `true` when `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        self.rpo_index.contains_key(&block)
+    }
+
+    /// Immediate dominator of a reachable block (`None` for the entry or for
+    /// unreachable blocks).
+    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
+        let d = *self.idom.get(&block)?;
+        if d == block {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Children of `block` in the dominator tree.
+    pub fn children(&self, block: BlockId) -> &[BlockId] {
+        self.children.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Dominance frontier of `block`.
+    pub fn frontier(&self, block: BlockId) -> &[BlockId] {
+        self.frontier.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns `true` when `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// Returns `true` when `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Blocks in dominator-tree pre-order (useful for SSA renaming).
+    pub fn preorder(&self) -> Vec<BlockId> {
+        let mut out = Vec::with_capacity(self.rpo.len());
+        let mut stack = vec![self.entry];
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            for &c in self.children(b).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Returns `true` when the definition `def` dominates the use of its value
+    /// at instruction `user`. Phi uses are considered to occur at the end of
+    /// the corresponding predecessor block, which the caller models by passing
+    /// `user_block` explicitly.
+    pub fn def_dominates_use(
+        &self,
+        function: &Function,
+        def: InstId,
+        user: InstId,
+        user_block: BlockId,
+    ) -> bool {
+        let def_block = function.inst(def).block;
+        if def_block != user_block {
+            return self.strictly_dominates(def_block, user_block)
+                || self.dominates(def_block, user_block);
+        }
+        // Same block: rely on intra-block ordering. Phis implicitly precede
+        // every ordinary instruction.
+        let block = function.block(def_block);
+        let order: Vec<InstId> = block.all_insts().collect();
+        let def_pos = order.iter().position(|i| *i == def);
+        let use_pos = order.iter().position(|i| *i == user);
+        match (def_pos, use_pos) {
+            (Some(d), Some(u)) => d < u,
+            // If the user is not in this block (e.g. a phi use routed through a
+            // predecessor), the definition reaches the block end and therefore
+            // the use.
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+}
+
+fn intersect(
+    idom: &HashMap<BlockId, BlockId>,
+    rpo_index: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// Computes the set of blocks where phi-nodes are required for a variable
+/// defined in `def_blocks`, using iterated dominance frontiers.
+pub fn iterated_dominance_frontier(
+    domtree: &DomTree,
+    def_blocks: &HashSet<BlockId>,
+) -> HashSet<BlockId> {
+    let mut result = HashSet::new();
+    let mut worklist: Vec<BlockId> = def_blocks
+        .iter()
+        .copied()
+        .filter(|b| domtree.is_reachable(*b))
+        .collect();
+    let mut enqueued: HashSet<BlockId> = worklist.iter().copied().collect();
+    while let Some(b) = worklist.pop() {
+        for &f in domtree.frontier(b) {
+            if result.insert(f) && enqueued.insert(f) {
+                worklist.push(f);
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instruction::ICmpPred;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    /// Builds the classic diamond CFG: entry -> {a, b} -> join.
+    fn diamond() -> (Function, BlockId, BlockId, BlockId, BlockId) {
+        let mut b = FunctionBuilder::new("d", vec![Type::I32], Type::I32);
+        let entry = b.create_block("entry");
+        let t = b.create_block("a");
+        let e = b.create_block("b");
+        let j = b.create_block("join");
+        b.switch_to(entry);
+        let c = b.icmp(ICmpPred::Sgt, Value::Arg(0), Value::i32(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(Some(Value::Arg(0)));
+        (b.finish(), entry, t, e, j)
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let (f, entry, a, b, join) = diamond();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(entry), None);
+        assert_eq!(dt.idom(a), Some(entry));
+        assert_eq!(dt.idom(b), Some(entry));
+        assert_eq!(dt.idom(join), Some(entry));
+        assert!(dt.dominates(entry, join));
+        assert!(!dt.dominates(a, join));
+        assert!(dt.strictly_dominates(entry, a));
+        assert!(!dt.strictly_dominates(a, a));
+        assert!(dt.dominates(a, a));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let (f, _entry, a, b, join) = diamond();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.frontier(a), &[join]);
+        assert_eq!(dt.frontier(b), &[join]);
+        assert!(dt.frontier(join).is_empty());
+    }
+
+    #[test]
+    fn loop_frontier_includes_header() {
+        // entry -> header -> body -> header (back edge); header -> exit
+        let mut b = FunctionBuilder::new("loop", vec![Type::I32], Type::Void);
+        let entry = b.create_block("entry");
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let c = b.icmp(ICmpPred::Slt, Value::Arg(0), Value::i32(10));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(body), Some(header));
+        assert_eq!(dt.idom(exit), Some(header));
+        // The back edge puts the header in the body's (and its own) frontier.
+        assert!(dt.frontier(body).contains(&header));
+        assert!(dt.frontier(header).contains(&header));
+    }
+
+    #[test]
+    fn idf_of_two_branch_defs_is_join() {
+        let (f, _entry, a, b, join) = diamond();
+        let dt = DomTree::compute(&f);
+        let defs: HashSet<BlockId> = [a, b].into_iter().collect();
+        let idf = iterated_dominance_frontier(&dt, &defs);
+        assert_eq!(idf, [join].into_iter().collect());
+    }
+
+    #[test]
+    fn preorder_visits_all_reachable_blocks_once() {
+        let (f, ..) = diamond();
+        let dt = DomTree::compute(&f);
+        let pre = dt.preorder();
+        assert_eq!(pre.len(), 4);
+        let unique: HashSet<_> = pre.iter().collect();
+        assert_eq!(unique.len(), 4);
+        assert_eq!(pre[0], f.entry());
+    }
+
+    #[test]
+    fn unreachable_blocks_are_not_in_tree() {
+        let (mut f, ..) = diamond();
+        let dead = f.add_block("dead");
+        f.append_inst(dead, crate::instruction::InstKind::Unreachable, Type::Void);
+        let dt = DomTree::compute(&f);
+        assert!(!dt.is_reachable(dead));
+        assert_eq!(dt.idom(dead), None);
+        assert!(!dt.dominates(f.entry(), dead));
+    }
+
+    #[test]
+    fn intra_block_def_use_ordering() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let entry = b.create_block("entry");
+        b.switch_to(entry);
+        let x = b.binary(crate::instruction::BinOp::Add, Value::Arg(0), Value::i32(1));
+        let y = b.binary(crate::instruction::BinOp::Mul, x, Value::i32(2));
+        b.ret(Some(y));
+        let f = b.finish();
+        let dt = DomTree::compute(&f);
+        let xid = x.as_inst().unwrap();
+        let yid = y.as_inst().unwrap();
+        assert!(dt.def_dominates_use(&f, xid, yid, entry));
+        assert!(!dt.def_dominates_use(&f, yid, xid, entry));
+    }
+}

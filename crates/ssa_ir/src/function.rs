@@ -1,0 +1,522 @@
+//! Functions, basic blocks and the mutation API used by all passes.
+
+use crate::ids::{Arena, BlockId, InstId};
+use crate::instruction::{InstData, InstKind};
+use crate::types::Type;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A basic block: a label, leading phi-nodes, ordinary instructions and an
+/// optional terminator.
+///
+/// Phi-nodes are kept in a dedicated list (instead of being the leading
+/// instructions of `insts`) because SalSSA treats them as attached to the
+/// block's label during alignment and code generation (Section 4.1.1).
+#[derive(Clone, Debug, Default)]
+pub struct BlockData {
+    /// The label of the block.
+    pub name: String,
+    /// Phi-nodes of the block, in order.
+    pub phis: Vec<InstId>,
+    /// Ordinary (non-phi, non-terminator) instructions, in order.
+    pub insts: Vec<InstId>,
+    /// The terminator, if the block has been terminated.
+    pub term: Option<InstId>,
+}
+
+impl BlockData {
+    /// Iterates over all instruction ids of the block: phis, then ordinary
+    /// instructions, then the terminator.
+    pub fn all_insts(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.phis
+            .iter()
+            .copied()
+            .chain(self.insts.iter().copied())
+            .chain(self.term.iter().copied())
+    }
+
+    /// Number of instructions in the block (phis + body + terminator).
+    pub fn len(&self) -> usize {
+        self.phis.len() + self.insts.len() + usize::from(self.term.is_some())
+    }
+
+    /// Returns `true` when the block holds no instructions at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A function in SSA (or, transiently, non-SSA) form.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// The symbol name of the function.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Optional parameter names used by the printer.
+    pub param_names: Vec<String>,
+    /// Return type.
+    pub ret_ty: Type,
+    blocks: Arena<BlockId, BlockData>,
+    insts: Arena<InstId, InstData>,
+    block_order: Vec<BlockId>,
+    entry: Option<BlockId>,
+}
+
+impl Function {
+    /// Creates an empty function with the given signature.
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret_ty: Type) -> Function {
+        let params_len = params.len();
+        Function {
+            name: name.into(),
+            params,
+            param_names: (0..params_len).map(|i| format!("arg{i}")).collect(),
+            ret_ty,
+            blocks: Arena::new(),
+            insts: Arena::new(),
+            block_order: Vec::new(),
+            entry: None,
+        }
+    }
+
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block has been created yet.
+    pub fn entry(&self) -> BlockId {
+        self.entry.expect("function has no entry block")
+    }
+
+    /// Returns the entry block if one exists.
+    pub fn try_entry(&self) -> Option<BlockId> {
+        self.entry
+    }
+
+    /// Overrides the entry block.
+    pub fn set_entry(&mut self, block: BlockId) {
+        assert!(self.blocks.contains(block), "unknown block {block}");
+        self.entry = Some(block);
+    }
+
+    /// Creates a new, empty basic block appended to the layout order. The
+    /// first block created becomes the entry block.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = self.blocks.alloc(BlockData {
+            name: name.into(),
+            ..BlockData::default()
+        });
+        self.block_order.push(id);
+        if self.entry.is_none() {
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Removes a block and all of its instructions. The caller is responsible
+    /// for ensuring no other block still branches to it.
+    pub fn remove_block(&mut self, block: BlockId) {
+        if let Some(data) = self.blocks.remove(block) {
+            for inst in data.all_insts() {
+                self.insts.remove(inst);
+            }
+            self.block_order.retain(|b| *b != block);
+            if self.entry == Some(block) {
+                self.entry = self.block_order.first().copied();
+            }
+        }
+    }
+
+    /// Returns a reference to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has been removed.
+    pub fn block(&self, id: BlockId) -> &BlockData {
+        self.blocks.get(id).unwrap_or_else(|| panic!("dangling block {id}"))
+    }
+
+    /// Returns a mutable reference to a block.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BlockData {
+        self.blocks
+            .get_mut(id)
+            .unwrap_or_else(|| panic!("dangling block {id}"))
+    }
+
+    /// Returns `true` when the block id refers to a live block.
+    pub fn contains_block(&self, id: BlockId) -> bool {
+        self.blocks.contains(id)
+    }
+
+    /// Block ids in layout order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.block_order.iter().copied()
+    }
+
+    /// Number of live blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns a reference to an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction has been removed.
+    pub fn inst(&self, id: InstId) -> &InstData {
+        self.insts.get(id).unwrap_or_else(|| panic!("dangling inst {id}"))
+    }
+
+    /// Returns a mutable reference to an instruction.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut InstData {
+        self.insts
+            .get_mut(id)
+            .unwrap_or_else(|| panic!("dangling inst {id}"))
+    }
+
+    /// Returns `true` when the instruction id refers to a live instruction.
+    pub fn contains_inst(&self, id: InstId) -> bool {
+        self.insts.contains(id)
+    }
+
+    /// All live instruction ids, in arena order (not program order).
+    pub fn inst_ids(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.insts.ids()
+    }
+
+    /// Appends an instruction of the given kind to `block` and returns its id.
+    ///
+    /// Phi-nodes are appended to the block's phi list, terminators set the
+    /// block's terminator (panicking if one is already present), and everything
+    /// else is appended to the ordinary instruction list.
+    pub fn append_inst(&mut self, block: BlockId, kind: InstKind, ty: Type) -> InstId {
+        let is_phi = kind.is_phi();
+        let is_term = kind.is_terminator();
+        let id = self.insts.alloc(InstData {
+            kind,
+            ty,
+            block,
+            name: None,
+        });
+        let data = self.block_mut(block);
+        if is_phi {
+            data.phis.push(id);
+        } else if is_term {
+            assert!(
+                data.term.is_none(),
+                "block {block} already has a terminator"
+            );
+            data.term = Some(id);
+        } else {
+            data.insts.push(id);
+        }
+        id
+    }
+
+    /// Inserts an ordinary instruction at position `index` of `block`'s body.
+    pub fn insert_inst(&mut self, block: BlockId, index: usize, kind: InstKind, ty: Type) -> InstId {
+        assert!(!kind.is_phi() && !kind.is_terminator());
+        let id = self.insts.alloc(InstData {
+            kind,
+            ty,
+            block,
+            name: None,
+        });
+        self.block_mut(block).insts.insert(index, id);
+        id
+    }
+
+    /// Removes an instruction from its block and from the arena.
+    pub fn remove_inst(&mut self, id: InstId) {
+        let block = self.inst(id).block;
+        if self.blocks.contains(block) {
+            let data = self.block_mut(block);
+            data.phis.retain(|i| *i != id);
+            data.insts.retain(|i| *i != id);
+            if data.term == Some(id) {
+                data.term = None;
+            }
+        }
+        self.insts.remove(id);
+    }
+
+    /// Detaches the terminator of `block` (if any) and removes it.
+    pub fn clear_terminator(&mut self, block: BlockId) {
+        if let Some(term) = self.block(block).term {
+            self.remove_inst(term);
+        }
+    }
+
+    /// Sets the printer name of an instruction's result and returns the id,
+    /// for fluent use in builders and tests.
+    pub fn set_inst_name(&mut self, id: InstId, name: impl Into<String>) -> InstId {
+        self.inst_mut(id).name = Some(name.into());
+        id
+    }
+
+    /// The values of the formal parameters.
+    pub fn arg_values(&self) -> Vec<Value> {
+        (0..self.params.len() as u32).map(Value::Arg).collect()
+    }
+
+    /// The type of a value in the context of this function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an argument index out of range or a removed
+    /// instruction.
+    pub fn value_type(&self, value: Value) -> Type {
+        match value {
+            Value::Inst(id) => self.inst(id).ty,
+            Value::Arg(i) => self.params[i as usize],
+            Value::Const(c) => c.ty(),
+        }
+    }
+
+    /// Successor blocks of `block`, in terminator order. Blocks without a
+    /// terminator have no successors.
+    pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
+        match self.block(block).term {
+            Some(term) => self.inst(term).kind.successors(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Computes the predecessor map of the whole CFG. A block appears once per
+    /// incoming edge (duplicates possible when a terminator lists the same
+    /// successor twice).
+    pub fn predecessors(&self) -> HashMap<BlockId, Vec<BlockId>> {
+        let mut preds: HashMap<BlockId, Vec<BlockId>> =
+            self.block_ids().map(|b| (b, Vec::new())).collect();
+        for b in self.block_ids() {
+            for s in self.successors(b) {
+                preds.entry(s).or_default().push(b);
+            }
+        }
+        preds
+    }
+
+    /// Total number of instructions (phis + body + terminators) across all
+    /// blocks. This is the "function size" metric used throughout the paper.
+    pub fn num_insts(&self) -> usize {
+        self.block_ids().map(|b| self.block(b).len()).sum()
+    }
+
+    /// Replaces every use of `from` with `to` in all instructions.
+    /// Returns the number of operand slots rewritten.
+    pub fn replace_all_uses(&mut self, from: Value, to: Value) -> usize {
+        let ids: Vec<InstId> = self.insts.ids().collect();
+        let mut count = 0;
+        for id in ids {
+            count += self.inst_mut(id).kind.replace_value(from, to);
+        }
+        count
+    }
+
+    /// Returns the users (instructions that reference `value` as an operand).
+    pub fn users_of(&self, value: Value) -> Vec<InstId> {
+        let mut users = Vec::new();
+        for (id, data) in self.insts.iter() {
+            let mut found = false;
+            data.kind.for_each_operand(|v| {
+                if v == value {
+                    found = true;
+                }
+            });
+            if found {
+                users.push(id);
+            }
+        }
+        users
+    }
+
+    /// Rewrites every reference to block `from` (in terminators and phi
+    /// incoming lists) to refer to `to`.
+    pub fn replace_block_refs(&mut self, from: BlockId, to: BlockId) {
+        let ids: Vec<InstId> = self.insts.ids().collect();
+        for id in ids {
+            self.inst_mut(id).kind.for_each_block_ref_mut(|b| {
+                if *b == from {
+                    *b = to;
+                }
+            });
+        }
+    }
+
+    /// Blocks in reverse post-order from the entry block. Unreachable blocks
+    /// are not included.
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let Some(entry) = self.entry else {
+            return Vec::new();
+        };
+        let mut visited = std::collections::HashSet::new();
+        let mut post = Vec::new();
+        // Iterative DFS with an explicit stack to survive deep CFGs.
+        enum Frame {
+            Enter(BlockId),
+            Exit(BlockId),
+        }
+        let mut stack = vec![Frame::Enter(entry)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(b) => {
+                    if !visited.insert(b) {
+                        continue;
+                    }
+                    stack.push(Frame::Exit(b));
+                    let succs = self.successors(b);
+                    for s in succs.into_iter().rev() {
+                        if !visited.contains(&s) {
+                            stack.push(Frame::Enter(s));
+                        }
+                    }
+                }
+                Frame::Exit(b) => post.push(b),
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable_blocks(&self) -> std::collections::HashSet<BlockId> {
+        self.reverse_post_order().into_iter().collect()
+    }
+
+    /// Looks up a block by label name.
+    pub fn block_by_name(&self, name: &str) -> Option<BlockId> {
+        self.block_ids().find(|b| self.block(*b).name == name)
+    }
+
+    /// Finds the instruction whose printer name is `name`.
+    pub fn inst_by_name(&self, name: &str) -> Option<InstId> {
+        self.insts
+            .iter()
+            .find(|(_, d)| d.name.as_deref() == Some(name))
+            .map(|(id, _)| id)
+    }
+
+    /// Moves `block` to the end of the layout order (used by code generators
+    /// that want related blocks printed together).
+    pub fn move_block_to_end(&mut self, block: BlockId) {
+        self.block_order.retain(|b| *b != block);
+        self.block_order.push(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::BinOp;
+
+    fn sample() -> Function {
+        // define i32 @f(i32 %a, i32 %b) {
+        // entry:
+        //   %s = add i32 %a, %b
+        //   br label %exit
+        // exit:
+        //   ret i32 %s
+        // }
+        let mut f = Function::new("f", vec![Type::I32, Type::I32], Type::I32);
+        let entry = f.add_block("entry");
+        let exit = f.add_block("exit");
+        let s = f.append_inst(
+            entry,
+            InstKind::Binary {
+                op: BinOp::Add,
+                lhs: Value::Arg(0),
+                rhs: Value::Arg(1),
+            },
+            Type::I32,
+        );
+        f.set_inst_name(s, "s");
+        f.append_inst(entry, InstKind::Br { dest: exit }, Type::Void);
+        f.append_inst(exit, InstKind::Ret { value: Some(Value::Inst(s)) }, Type::Void);
+        f
+    }
+
+    #[test]
+    fn block_and_inst_accounting() {
+        let f = sample();
+        assert_eq!(f.num_blocks(), 2);
+        assert_eq!(f.num_insts(), 3);
+        let entry = f.entry();
+        assert_eq!(f.block(entry).name, "entry");
+        assert_eq!(f.successors(entry), vec![f.block_by_name("exit").unwrap()]);
+    }
+
+    #[test]
+    fn predecessors_map() {
+        let f = sample();
+        let preds = f.predecessors();
+        let exit = f.block_by_name("exit").unwrap();
+        assert_eq!(preds[&exit], vec![f.entry()]);
+        assert!(preds[&f.entry()].is_empty());
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_operands() {
+        let mut f = sample();
+        let n = f.replace_all_uses(Value::Arg(0), Value::i32(7));
+        assert_eq!(n, 1);
+        let add = f.inst_by_name("s").unwrap();
+        assert_eq!(f.inst(add).kind.operands()[0], Value::i32(7));
+    }
+
+    #[test]
+    fn remove_inst_detaches_from_block() {
+        let mut f = sample();
+        let add = f.inst_by_name("s").unwrap();
+        f.remove_inst(add);
+        assert_eq!(f.num_insts(), 2);
+        assert!(!f.contains_inst(add));
+        assert!(f.block(f.entry()).insts.is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_skips_unreachable() {
+        let mut f = sample();
+        let dead = f.add_block("dead");
+        f.append_inst(dead, InstKind::Unreachable, Type::Void);
+        let rpo = f.reverse_post_order();
+        assert_eq!(rpo[0], f.entry());
+        assert_eq!(rpo.len(), 2);
+        assert!(!rpo.contains(&dead));
+    }
+
+    #[test]
+    fn value_types() {
+        let f = sample();
+        assert_eq!(f.value_type(Value::Arg(1)), Type::I32);
+        assert_eq!(f.value_type(Value::bool(true)), Type::I1);
+        let add = f.inst_by_name("s").unwrap();
+        assert_eq!(f.value_type(Value::Inst(add)), Type::I32);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a terminator")]
+    fn double_terminator_panics() {
+        let mut f = sample();
+        let entry = f.entry();
+        f.append_inst(entry, InstKind::Ret { value: None }, Type::Void);
+    }
+
+    #[test]
+    fn users_of_finds_all_users() {
+        let f = sample();
+        let add = f.inst_by_name("s").unwrap();
+        let users = f.users_of(Value::Inst(add));
+        assert_eq!(users.len(), 1);
+        assert!(f.inst(users[0]).kind.is_terminator());
+    }
+
+    #[test]
+    fn remove_block_removes_instructions() {
+        let mut f = sample();
+        let exit = f.block_by_name("exit").unwrap();
+        let count_before = f.num_insts();
+        f.remove_block(exit);
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.num_insts(), count_before - 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Block-level liveness analysis.
+//!
+//! Used by the phi-node coalescing heuristic (to reason about live-range
+//! overlap of disjoint definitions) and by the register-pressure statistics
+//! reported alongside the code-size results.
+
+use crate::function::Function;
+use crate::ids::{BlockId, InstId};
+use crate::instruction::InstKind;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Live-in/live-out sets of every block, over instruction-result values.
+#[derive(Debug, Clone, Default)]
+pub struct Liveness {
+    /// Values live at the entry of each block.
+    pub live_in: HashMap<BlockId, HashSet<InstId>>,
+    /// Values live at the exit of each block.
+    pub live_out: HashMap<BlockId, HashSet<InstId>>,
+}
+
+impl Liveness {
+    /// Computes liveness with a standard backward fixed-point iteration.
+    ///
+    /// Phi-node operands are treated as live-out of the corresponding
+    /// predecessor (not live-in of the phi's block), matching the usual SSA
+    /// convention.
+    pub fn compute(function: &Function) -> Liveness {
+        // Per-block use/def sets.
+        let blocks: Vec<BlockId> = function.block_ids().collect();
+        let mut defs: HashMap<BlockId, HashSet<InstId>> = HashMap::new();
+        let mut uses: HashMap<BlockId, HashSet<InstId>> = HashMap::new();
+        // Uses injected into a *predecessor's* live-out by phi-nodes.
+        let mut phi_uses: HashMap<BlockId, HashSet<InstId>> = HashMap::new();
+
+        for &b in &blocks {
+            let mut def_set = HashSet::new();
+            let mut use_set = HashSet::new();
+            let data = function.block(b);
+            for inst in data.all_insts() {
+                let inst_data = function.inst(inst);
+                match &inst_data.kind {
+                    InstKind::Phi { incomings } => {
+                        for (v, pred) in incomings {
+                            if let Value::Inst(d) = v {
+                                phi_uses.entry(*pred).or_default().insert(*d);
+                            }
+                        }
+                    }
+                    kind => {
+                        kind.for_each_operand(|v| {
+                            if let Value::Inst(d) = v {
+                                if !def_set.contains(&d) {
+                                    use_set.insert(d);
+                                }
+                            }
+                        });
+                    }
+                }
+                if inst_data.ty.is_first_class() {
+                    def_set.insert(inst);
+                }
+            }
+            defs.insert(b, def_set);
+            uses.insert(b, use_set);
+        }
+
+        let mut live_in: HashMap<BlockId, HashSet<InstId>> =
+            blocks.iter().map(|b| (*b, HashSet::new())).collect();
+        let mut live_out: HashMap<BlockId, HashSet<InstId>> =
+            blocks.iter().map(|b| (*b, HashSet::new())).collect();
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in blocks.iter().rev() {
+                let mut out: HashSet<InstId> = phi_uses.get(&b).cloned().unwrap_or_default();
+                for succ in function.successors(b) {
+                    if let Some(s_in) = live_in.get(&succ) {
+                        out.extend(s_in.iter().copied());
+                    }
+                }
+                let mut inp: HashSet<InstId> = uses[&b].clone();
+                for &v in &out {
+                    if !defs[&b].contains(&v) {
+                        inp.insert(v);
+                    }
+                }
+                if out != live_out[&b] {
+                    live_out.insert(b, out);
+                    changed = true;
+                }
+                if inp != live_in[&b] {
+                    live_in.insert(b, inp);
+                    changed = true;
+                }
+            }
+        }
+
+        Liveness { live_in, live_out }
+    }
+
+    /// Maximum number of simultaneously live values at any block boundary — a
+    /// cheap proxy for register pressure.
+    pub fn max_pressure(&self) -> usize {
+        self.live_in
+            .values()
+            .chain(self.live_out.values())
+            .map(HashSet::len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The set of blocks through which `value` is live (live-in or live-out).
+    pub fn live_blocks(&self, value: InstId) -> HashSet<BlockId> {
+        let mut out = HashSet::new();
+        for (b, s) in &self.live_in {
+            if s.contains(&value) {
+                out.insert(*b);
+            }
+        }
+        for (b, s) in &self.live_out {
+            if s.contains(&value) {
+                out.insert(*b);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instruction::{BinOp, ICmpPred};
+    use crate::types::Type;
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let entry = b.create_block("entry");
+        let exit = b.create_block("exit");
+        b.switch_to(entry);
+        let x = b.binary(BinOp::Add, Value::Arg(0), Value::i32(1));
+        b.br(exit);
+        b.switch_to(exit);
+        let y = b.binary(BinOp::Mul, x, Value::i32(2));
+        b.ret(Some(y));
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        let xid = x.as_inst().unwrap();
+        assert!(lv.live_out[&entry].contains(&xid));
+        assert!(lv.live_in[&exit].contains(&xid));
+        assert!(!lv.live_in[&entry].contains(&xid));
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_around_the_loop() {
+        // entry -> header; header -> body -> header; header -> exit
+        let mut b = FunctionBuilder::new("loop", vec![Type::I32], Type::I32);
+        let entry = b.create_block("entry");
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.switch_to(entry);
+        let init = b.binary(BinOp::Add, Value::Arg(0), Value::i32(0));
+        b.br(header);
+        b.switch_to(header);
+        let phi = b.phi(Type::I32, vec![(init, entry), (Value::i32(0), body)]);
+        let c = b.icmp(ICmpPred::Slt, phi, Value::i32(10));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let next = b.binary(BinOp::Add, phi, Value::i32(1));
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(next));
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        let next_id = next.as_inst().unwrap();
+        // `next` is used in `exit`, so it must be live out of `header` and `body`.
+        assert!(lv.live_in[&exit].contains(&next_id));
+        assert!(lv.live_out[&header].contains(&next_id));
+        let phi_id = phi.as_inst().unwrap();
+        assert!(lv.live_in[&body].contains(&phi_id));
+        assert!(lv.max_pressure() >= 1);
+    }
+
+    #[test]
+    fn phi_operand_counts_as_pred_live_out() {
+        let mut b = FunctionBuilder::new("phi", vec![Type::I1, Type::I32], Type::I32);
+        let entry = b.create_block("entry");
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let j = b.create_block("j");
+        b.switch_to(entry);
+        b.cond_br(Value::Arg(0), t, e);
+        b.switch_to(t);
+        let a = b.binary(BinOp::Add, Value::Arg(1), Value::i32(1));
+        b.br(j);
+        b.switch_to(e);
+        let s = b.binary(BinOp::Sub, Value::Arg(1), Value::i32(1));
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::I32, vec![(a, t), (s, e)]);
+        b.ret(Some(p));
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        assert!(lv.live_out[&t].contains(&a.as_inst().unwrap()));
+        assert!(lv.live_out[&e].contains(&s.as_inst().unwrap()));
+        // But phi operands are NOT live-in of the join block.
+        assert!(!lv.live_in[&j].contains(&a.as_inst().unwrap()));
+        assert_eq!(lv.live_blocks(a.as_inst().unwrap()).len(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Modules: collections of function definitions and external declarations.
+
+use crate::function::Function;
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// Signature of an external (declared but not defined) function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Symbol name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret_ty: Type,
+}
+
+/// A translation unit: function definitions plus external declarations.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// The name of the module (e.g. the benchmark program it models).
+    pub name: String,
+    functions: Vec<Function>,
+    declarations: Vec<FuncDecl>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            declarations: Vec::new(),
+        }
+    }
+
+    /// Adds a function definition. Returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a definition with the same name already exists.
+    pub fn add_function(&mut self, function: Function) -> usize {
+        assert!(
+            self.function(&function.name).is_none(),
+            "duplicate function definition {}",
+            function.name
+        );
+        self.functions.push(function);
+        self.functions.len() - 1
+    }
+
+    /// Adds (or overwrites) an external declaration.
+    pub fn declare(&mut self, decl: FuncDecl) {
+        if let Some(existing) = self.declarations.iter_mut().find(|d| d.name == decl.name) {
+            *existing = decl;
+        } else {
+            self.declarations.push(decl);
+        }
+    }
+
+    /// All function definitions.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Mutable access to all function definitions.
+    pub fn functions_mut(&mut self) -> &mut Vec<Function> {
+        &mut self.functions
+    }
+
+    /// All external declarations.
+    pub fn declarations(&self) -> &[FuncDecl] {
+        &self.declarations
+    }
+
+    /// Finds a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a function definition by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Removes the definition with the given name and returns it.
+    pub fn remove_function(&mut self, name: &str) -> Option<Function> {
+        let idx = self.functions.iter().position(|f| f.name == name)?;
+        Some(self.functions.remove(idx))
+    }
+
+    /// The signature (parameter types, return type) of a defined or declared
+    /// function, if known.
+    pub fn signature(&self, name: &str) -> Option<(Vec<Type>, Type)> {
+        if let Some(f) = self.function(name) {
+            return Some((f.params.clone(), f.ret_ty));
+        }
+        self.declarations
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| (d.params.clone(), d.ret_ty))
+    }
+
+    /// Number of function definitions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Total number of IR instructions across all definitions. This is the
+    /// module "size" used by Figure 5 and by the size-reduction figures before
+    /// lowering to the byte-level code-size model.
+    pub fn total_insts(&self) -> usize {
+        self.functions.iter().map(Function::num_insts).sum()
+    }
+
+    /// Per-function instruction counts keyed by name.
+    pub fn size_by_function(&self) -> HashMap<String, usize> {
+        self.functions
+            .iter()
+            .map(|f| (f.name.clone(), f.num_insts()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::InstKind;
+
+    fn tiny(name: &str) -> Function {
+        let mut f = Function::new(name, vec![Type::I32], Type::I32);
+        let entry = f.add_block("entry");
+        f.append_inst(entry, InstKind::Ret { value: Some(crate::Value::Arg(0)) }, Type::Void);
+        f
+    }
+
+    #[test]
+    fn add_lookup_remove() {
+        let mut m = Module::new("m");
+        m.add_function(tiny("a"));
+        m.add_function(tiny("b"));
+        assert_eq!(m.num_functions(), 2);
+        assert!(m.function("a").is_some());
+        assert!(m.function("c").is_none());
+        assert!(m.remove_function("a").is_some());
+        assert_eq!(m.num_functions(), 1);
+        assert!(m.function("a").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function definition")]
+    fn duplicate_definition_panics() {
+        let mut m = Module::new("m");
+        m.add_function(tiny("a"));
+        m.add_function(tiny("a"));
+    }
+
+    #[test]
+    fn signatures_cover_definitions_and_declarations() {
+        let mut m = Module::new("m");
+        m.add_function(tiny("a"));
+        m.declare(FuncDecl {
+            name: "ext".into(),
+            params: vec![Type::Ptr],
+            ret_ty: Type::Void,
+        });
+        assert_eq!(m.signature("a"), Some((vec![Type::I32], Type::I32)));
+        assert_eq!(m.signature("ext"), Some((vec![Type::Ptr], Type::Void)));
+        assert_eq!(m.signature("missing"), None);
+    }
+
+    #[test]
+    fn sizes() {
+        let mut m = Module::new("m");
+        m.add_function(tiny("a"));
+        m.add_function(tiny("b"));
+        assert_eq!(m.total_insts(), 2);
+        assert_eq!(m.size_by_function()["a"], 1);
+    }
+}

@@ -1,0 +1,946 @@
+//! Parser for the textual IR produced by [`crate::printer`].
+//!
+//! The grammar is a compact LLVM-like syntax; see the crate-level docs for an
+//! example. Parsing is two-phase: the text is first turned into a small AST,
+//! then lowered to [`Function`]s with full forward-reference resolution (phi
+//! nodes and branches may refer to values and labels defined later).
+
+use crate::function::Function;
+use crate::ids::{BlockId, InstId};
+use crate::instruction::{BinOp, CastKind, ICmpPred, InstKind};
+use crate::module::{FuncDecl, Module};
+use crate::types::Type;
+use crate::value::{Constant, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced when parsing fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// 1-based line where the problem was detected.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// Parses a whole module (declarations and definitions).
+pub fn parse_module(text: &str) -> Result<Module> {
+    let mut tokens = Lexer::new(text).tokenize()?;
+    tokens.reverse(); // use as a stack: pop() yields the next token
+    let mut parser = Parser { tokens };
+    parser.module()
+}
+
+/// Parses a single function definition.
+pub fn parse_function(text: &str) -> Result<Function> {
+    let module = parse_module(text)?;
+    module
+        .functions()
+        .first()
+        .cloned()
+        .ok_or_else(|| ParseError {
+            message: "input contains no function definition".into(),
+            line: 1,
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),       // identifiers, keywords, type names
+    Local(String),      // %name
+    Global(String),     // @name
+    Int(i64),
+    Float(f64),
+    Punct(char),        // ( ) { } [ ] , = :
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer {
+            chars: text.chars().peekable(),
+            line: 1,
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.chars.next();
+                }
+                c if c.is_whitespace() => {
+                    self.chars.next();
+                }
+                ';' => {
+                    // Comment until end of line.
+                    while let Some(&c) = self.chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.chars.next();
+                    }
+                }
+                '%' | '@' => {
+                    let sigil = c;
+                    self.chars.next();
+                    let name = self.ident();
+                    let tok = if sigil == '%' { Tok::Local(name) } else { Tok::Global(name) };
+                    out.push(Token { tok, line: self.line });
+                }
+                '(' | ')' | '{' | '}' | '[' | ']' | ',' | '=' | ':' => {
+                    self.chars.next();
+                    out.push(Token { tok: Tok::Punct(c), line: self.line });
+                }
+                c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                    out.push(self.number()?);
+                }
+                c if c.is_alphabetic() || c == '_' || c == '.' => {
+                    let word = self.ident();
+                    out.push(Token { tok: Tok::Word(word), line: self.line });
+                }
+                other => {
+                    return Err(ParseError {
+                        message: format!("unexpected character '{other}'"),
+                        line: self.line,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '.' || c == '-' {
+                s.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn number(&mut self) -> Result<Token> {
+        let mut s = String::new();
+        if matches!(self.chars.peek(), Some('-') | Some('+')) {
+            s.push(self.chars.next().unwrap());
+        }
+        let mut is_float = false;
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.chars.next();
+            } else if c == '.' || c == 'e' || c == 'E' {
+                is_float = true;
+                s.push(c);
+                self.chars.next();
+                if (c == 'e' || c == 'E')
+                    && matches!(self.chars.peek(), Some('-') | Some('+'))
+                {
+                    s.push(self.chars.next().unwrap());
+                }
+            } else {
+                break;
+            }
+        }
+        let line = self.line;
+        if is_float {
+            s.parse::<f64>()
+                .map(|v| Token { tok: Tok::Float(v), line })
+                .map_err(|_| ParseError { message: format!("bad float literal '{s}'"), line })
+        } else {
+            s.parse::<i64>()
+                .map(|v| Token { tok: Tok::Int(v), line })
+                .map_err(|_| ParseError { message: format!("bad integer literal '{s}'"), line })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Operand {
+    Local(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Undef,
+    Null,
+}
+
+#[derive(Debug, Clone)]
+struct TypedOperand {
+    ty: Type,
+    op: Operand,
+}
+
+#[derive(Debug, Clone)]
+enum AstInst {
+    Binary { op: BinOp, ty: Type, lhs: Operand, rhs: Operand },
+    ICmp { pred: ICmpPred, ty: Type, lhs: Operand, rhs: Operand },
+    Select { cond: TypedOperand, if_true: TypedOperand, if_false: TypedOperand },
+    Call { ret: Type, callee: String, args: Vec<TypedOperand> },
+    Invoke { ret: Type, callee: String, args: Vec<TypedOperand>, normal: String, unwind: String },
+    LandingPad,
+    Resume { value: TypedOperand },
+    Phi { ty: Type, incomings: Vec<(Operand, String)> },
+    Alloca { ty: Type },
+    Load { ty: Type, ptr: TypedOperand },
+    Store { value: TypedOperand, ptr: TypedOperand },
+    Gep { base: TypedOperand, index: TypedOperand, stride: u32 },
+    Cast { kind: CastKind, value: TypedOperand, to: Type },
+    Br { dest: String },
+    CondBr { cond: TypedOperand, if_true: String, if_false: String },
+    Switch { value: TypedOperand, default: String, cases: Vec<(i64, String)> },
+    Ret { value: Option<TypedOperand> },
+    Unreachable,
+}
+
+#[derive(Debug, Clone)]
+struct AstStmt {
+    result: Option<String>,
+    inst: AstInst,
+    line: usize,
+}
+
+#[derive(Debug, Clone)]
+struct AstBlock {
+    label: String,
+    stmts: Vec<AstStmt>,
+}
+
+#[derive(Debug, Clone)]
+struct AstFunction {
+    name: String,
+    ret: Type,
+    params: Vec<(Type, String)>,
+    blocks: Vec<AstBlock>,
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>, // reversed; next token is the last element
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.last().map(|t| &t.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens.last().map(|t| t.line).unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        self.tokens.pop().ok_or(ParseError {
+            message: "unexpected end of input".into(),
+            line: 0,
+        })
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(ParseError { message: message.into(), line: self.line() })
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<()> {
+        let t = self.next()?;
+        if t.tok == Tok::Punct(c) {
+            Ok(())
+        } else {
+            Err(ParseError { message: format!("expected '{c}', found {:?}", t.tok), line: t.line })
+        }
+    }
+
+    fn expect_word(&mut self, w: &str) -> Result<()> {
+        let t = self.next()?;
+        if t.tok == Tok::Word(w.to_string()) {
+            Ok(())
+        } else {
+            Err(ParseError { message: format!("expected '{w}', found {:?}", t.tok), line: t.line })
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.tokens.pop();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn word(&mut self) -> Result<String> {
+        let t = self.next()?;
+        match t.tok {
+            Tok::Word(w) => Ok(w),
+            other => Err(ParseError { message: format!("expected identifier, found {other:?}"), line: t.line }),
+        }
+    }
+
+    fn global(&mut self) -> Result<String> {
+        let t = self.next()?;
+        match t.tok {
+            Tok::Global(name) => Ok(name),
+            other => Err(ParseError { message: format!("expected @name, found {other:?}"), line: t.line }),
+        }
+    }
+
+    fn local(&mut self) -> Result<String> {
+        let t = self.next()?;
+        match t.tok {
+            Tok::Local(name) => Ok(name),
+            other => Err(ParseError { message: format!("expected %name, found {other:?}"), line: t.line }),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type> {
+        let w = self.word()?;
+        parse_type(&w).ok_or_else(|| ParseError { message: format!("unknown type '{w}'"), line: self.line() })
+    }
+
+    fn label(&mut self) -> Result<String> {
+        self.expect_word("label")?;
+        self.local()
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        let t = self.next()?;
+        match t.tok {
+            Tok::Local(name) => Ok(Operand::Local(name)),
+            Tok::Int(v) => Ok(Operand::Int(v)),
+            Tok::Float(v) => Ok(Operand::Float(v)),
+            Tok::Word(w) => match w.as_str() {
+                "true" => Ok(Operand::Bool(true)),
+                "false" => Ok(Operand::Bool(false)),
+                "undef" => Ok(Operand::Undef),
+                "null" => Ok(Operand::Null),
+                other => Err(ParseError { message: format!("expected operand, found '{other}'"), line: t.line }),
+            },
+            other => Err(ParseError { message: format!("expected operand, found {other:?}"), line: t.line }),
+        }
+    }
+
+    fn typed_operand(&mut self) -> Result<TypedOperand> {
+        let ty = self.ty()?;
+        let op = self.operand()?;
+        Ok(TypedOperand { ty, op })
+    }
+
+    fn module(&mut self) -> Result<Module> {
+        let mut module = Module::new("parsed");
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Word(w) if w == "declare" => {
+                    self.tokens.pop();
+                    let ret = self.ty()?;
+                    let name = self.global()?;
+                    self.expect_punct('(')?;
+                    let mut params = Vec::new();
+                    if !self.eat_punct(')') {
+                        loop {
+                            params.push(self.ty()?);
+                            // Optional parameter name in declarations.
+                            if matches!(self.peek(), Some(Tok::Local(_))) {
+                                self.tokens.pop();
+                            }
+                            if self.eat_punct(')') {
+                                break;
+                            }
+                            self.expect_punct(',')?;
+                        }
+                    }
+                    module.declare(FuncDecl { name, params, ret_ty: ret });
+                }
+                Tok::Word(w) if w == "define" => {
+                    let ast = self.function()?;
+                    module.add_function(lower_function(&ast)?);
+                }
+                other => {
+                    let other = other.clone();
+                    return self.err(format!("expected 'define' or 'declare', found {other:?}"));
+                }
+            }
+        }
+        Ok(module)
+    }
+
+    fn function(&mut self) -> Result<AstFunction> {
+        self.expect_word("define")?;
+        let ret = self.ty()?;
+        let name = self.global()?;
+        self.expect_punct('(')?;
+        let mut params = Vec::new();
+        if !self.eat_punct(')') {
+            loop {
+                let ty = self.ty()?;
+                let pname = self.local()?;
+                params.push((ty, pname));
+                if self.eat_punct(')') {
+                    break;
+                }
+                self.expect_punct(',')?;
+            }
+        }
+        self.expect_punct('{')?;
+
+        let mut blocks: Vec<AstBlock> = Vec::new();
+        loop {
+            if self.eat_punct('}') {
+                break;
+            }
+            // A block label: `name:`
+            let label = self.word()?;
+            self.expect_punct(':')?;
+            let mut stmts = Vec::new();
+            loop {
+                match self.peek() {
+                    Some(Tok::Punct('}')) => break,
+                    // Next block label: Word followed by ':'
+                    Some(Tok::Word(_)) if self.peek_is_label() => break,
+                    None => return self.err("unterminated function body"),
+                    _ => {
+                        let stmt = self.statement()?;
+                        stmts.push(stmt);
+                    }
+                }
+            }
+            blocks.push(AstBlock { label, stmts });
+        }
+        Ok(AstFunction { name, ret, params, blocks })
+    }
+
+    /// Returns true when the next two tokens form a block label (`word ':'`).
+    fn peek_is_label(&self) -> bool {
+        let n = self.tokens.len();
+        if n < 2 {
+            return false;
+        }
+        matches!(self.tokens[n - 1].tok, Tok::Word(_)) && self.tokens[n - 2].tok == Tok::Punct(':')
+    }
+
+    fn statement(&mut self) -> Result<AstStmt> {
+        let line = self.line();
+        let mut result = None;
+        if let Some(Tok::Local(_)) = self.peek() {
+            result = Some(self.local()?);
+            self.expect_punct('=')?;
+        }
+        let inst = self.instruction()?;
+        Ok(AstStmt { result, inst, line })
+    }
+
+    fn call_args(&mut self) -> Result<Vec<TypedOperand>> {
+        self.expect_punct('(')?;
+        let mut args = Vec::new();
+        if !self.eat_punct(')') {
+            loop {
+                args.push(self.typed_operand()?);
+                if self.eat_punct(')') {
+                    break;
+                }
+                self.expect_punct(',')?;
+            }
+        }
+        Ok(args)
+    }
+
+    fn instruction(&mut self) -> Result<AstInst> {
+        let word = self.word()?;
+        if let Some(op) = parse_binop(&word) {
+            let ty = self.ty()?;
+            let lhs = self.operand()?;
+            self.expect_punct(',')?;
+            let rhs = self.operand()?;
+            return Ok(AstInst::Binary { op, ty, lhs, rhs });
+        }
+        if let Some(kind) = parse_cast(&word) {
+            let value = self.typed_operand()?;
+            self.expect_word("to")?;
+            let to = self.ty()?;
+            return Ok(AstInst::Cast { kind, value, to });
+        }
+        match word.as_str() {
+            "icmp" => {
+                let predw = self.word()?;
+                let pred = parse_icmp(&predw)
+                    .ok_or_else(|| ParseError { message: format!("unknown icmp predicate '{predw}'"), line: self.line() })?;
+                let ty = self.ty()?;
+                let lhs = self.operand()?;
+                self.expect_punct(',')?;
+                let rhs = self.operand()?;
+                Ok(AstInst::ICmp { pred, ty, lhs, rhs })
+            }
+            "select" => {
+                let cond = self.typed_operand()?;
+                self.expect_punct(',')?;
+                let if_true = self.typed_operand()?;
+                self.expect_punct(',')?;
+                let if_false = self.typed_operand()?;
+                Ok(AstInst::Select { cond, if_true, if_false })
+            }
+            "call" => {
+                let ret = self.ty()?;
+                let callee = self.global()?;
+                let args = self.call_args()?;
+                Ok(AstInst::Call { ret, callee, args })
+            }
+            "invoke" => {
+                let ret = self.ty()?;
+                let callee = self.global()?;
+                let args = self.call_args()?;
+                self.expect_word("to")?;
+                let normal = self.label()?;
+                self.expect_word("unwind")?;
+                let unwind = self.label()?;
+                Ok(AstInst::Invoke { ret, callee, args, normal, unwind })
+            }
+            "landingpad" => Ok(AstInst::LandingPad),
+            "resume" => Ok(AstInst::Resume { value: self.typed_operand()? }),
+            "phi" => {
+                let ty = self.ty()?;
+                let mut incomings = Vec::new();
+                loop {
+                    self.expect_punct('[')?;
+                    let value = self.operand()?;
+                    self.expect_punct(',')?;
+                    let block = self.local()?;
+                    self.expect_punct(']')?;
+                    incomings.push((value, block));
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+                Ok(AstInst::Phi { ty, incomings })
+            }
+            "alloca" => Ok(AstInst::Alloca { ty: self.ty()? }),
+            "load" => {
+                let ty = self.ty()?;
+                self.expect_punct(',')?;
+                let ptr = self.typed_operand()?;
+                Ok(AstInst::Load { ty, ptr })
+            }
+            "store" => {
+                let value = self.typed_operand()?;
+                self.expect_punct(',')?;
+                let ptr = self.typed_operand()?;
+                Ok(AstInst::Store { value, ptr })
+            }
+            "getelementptr" => {
+                let base = self.typed_operand()?;
+                self.expect_punct(',')?;
+                let index = self.typed_operand()?;
+                self.expect_punct(',')?;
+                self.expect_word("stride")?;
+                let stride = match self.next()?.tok {
+                    Tok::Int(v) if v >= 0 => v as u32,
+                    other => return self.err(format!("expected stride integer, found {other:?}")),
+                };
+                Ok(AstInst::Gep { base, index, stride })
+            }
+            "br" => {
+                if let Some(Tok::Word(w)) = self.peek() {
+                    if w == "label" {
+                        let dest = self.label()?;
+                        return Ok(AstInst::Br { dest });
+                    }
+                }
+                let cond = self.typed_operand()?;
+                self.expect_punct(',')?;
+                let if_true = self.label()?;
+                self.expect_punct(',')?;
+                let if_false = self.label()?;
+                Ok(AstInst::CondBr { cond, if_true, if_false })
+            }
+            "switch" => {
+                let value = self.typed_operand()?;
+                self.expect_punct(',')?;
+                let default = self.label()?;
+                self.expect_punct('[')?;
+                let mut cases = Vec::new();
+                if !self.eat_punct(']') {
+                    loop {
+                        let c = match self.next()?.tok {
+                            Tok::Int(v) => v,
+                            other => return self.err(format!("expected case value, found {other:?}")),
+                        };
+                        self.expect_punct(':')?;
+                        let dest = self.label()?;
+                        cases.push((c, dest));
+                        if self.eat_punct(']') {
+                            break;
+                        }
+                        self.expect_punct(',')?;
+                    }
+                }
+                Ok(AstInst::Switch { value, default, cases })
+            }
+            "ret" => {
+                if let Some(Tok::Word(w)) = self.peek() {
+                    if w == "void" {
+                        self.tokens.pop();
+                        return Ok(AstInst::Ret { value: None });
+                    }
+                }
+                Ok(AstInst::Ret { value: Some(self.typed_operand()?) })
+            }
+            "unreachable" => Ok(AstInst::Unreachable),
+            other => self.err(format!("unknown instruction '{other}'")),
+        }
+    }
+}
+
+fn parse_type(word: &str) -> Option<Type> {
+    match word {
+        "void" => Some(Type::Void),
+        "double" => Some(Type::Float),
+        "ptr" => Some(Type::Ptr),
+        w if w.starts_with('i') => w[1..].parse::<u16>().ok().map(Type::Int),
+        _ => None,
+    }
+}
+
+fn parse_binop(word: &str) -> Option<BinOp> {
+    BinOp::all().iter().copied().find(|op| op.mnemonic() == word)
+}
+
+fn parse_icmp(word: &str) -> Option<ICmpPred> {
+    ICmpPred::all().iter().copied().find(|p| p.mnemonic() == word)
+}
+
+fn parse_cast(word: &str) -> Option<CastKind> {
+    [
+        CastKind::Trunc,
+        CastKind::ZExt,
+        CastKind::SExt,
+        CastKind::Bitcast,
+        CastKind::PtrToInt,
+        CastKind::IntToPtr,
+        CastKind::SIToFP,
+        CastKind::FPToSI,
+    ]
+    .into_iter()
+    .find(|k| k.mnemonic() == word)
+}
+
+// ---------------------------------------------------------------------------
+// Lowering (AST -> Function)
+// ---------------------------------------------------------------------------
+
+struct Env {
+    values: HashMap<String, Value>,
+    blocks: HashMap<String, BlockId>,
+}
+
+impl Env {
+    fn resolve(&self, op: &Operand, ty: Type, strict: bool, line: usize) -> Result<Value> {
+        match op {
+            Operand::Local(name) => match self.values.get(name) {
+                Some(v) => Ok(*v),
+                None if !strict => Ok(Value::undef(ty)),
+                None => Err(ParseError { message: format!("use of undefined value %{name}"), line }),
+            },
+            Operand::Int(v) => {
+                let bits = if ty.is_int() { ty.bits() } else { 64 };
+                Ok(Value::Const(Constant::Int { bits, value: *v }))
+            }
+            Operand::Float(v) => Ok(Value::float(*v)),
+            Operand::Bool(b) => Ok(Value::bool(*b)),
+            Operand::Undef => Ok(Value::undef(ty)),
+            Operand::Null => Ok(Value::Const(Constant::Null)),
+        }
+    }
+
+    fn block(&self, name: &str, line: usize) -> Result<BlockId> {
+        self.blocks.get(name).copied().ok_or_else(|| ParseError {
+            message: format!("reference to unknown label %{name}"),
+            line,
+        })
+    }
+}
+
+fn lower_function(ast: &AstFunction) -> Result<Function> {
+    let mut function = Function::new(
+        ast.name.clone(),
+        ast.params.iter().map(|(t, _)| *t).collect(),
+        ast.ret,
+    );
+    function.param_names = ast.params.iter().map(|(_, n)| n.clone()).collect();
+
+    let mut env = Env { values: HashMap::new(), blocks: HashMap::new() };
+    for (i, (_, name)) in ast.params.iter().enumerate() {
+        env.values.insert(name.clone(), Value::Arg(i as u32));
+    }
+    for block in &ast.blocks {
+        let id = function.add_block(block.label.clone());
+        if env.blocks.insert(block.label.clone(), id).is_some() {
+            return Err(ParseError {
+                message: format!("duplicate block label {}", block.label),
+                line: 0,
+            });
+        }
+    }
+
+    // Phase 1: create instructions with lenient operand resolution, recording
+    // result names as they become available.
+    let mut created: Vec<(InstId, &AstStmt)> = Vec::new();
+    for block in &ast.blocks {
+        let block_id = env.blocks[&block.label];
+        for stmt in &block.stmts {
+            let (kind, ty) = build_kind(&stmt.inst, &env, false, stmt.line)?;
+            let id = function.append_inst(block_id, kind, ty);
+            if let Some(name) = &stmt.result {
+                if !ty.is_first_class() {
+                    return Err(ParseError {
+                        message: format!("instruction producing void cannot be named %{name}"),
+                        line: stmt.line,
+                    });
+                }
+                function.set_inst_name(id, name.clone());
+                env.values.insert(name.clone(), Value::Inst(id));
+            }
+            created.push((id, stmt));
+        }
+    }
+
+    // Phase 2: rebuild operands with strict resolution (forward references are
+    // now known).
+    for (id, stmt) in created {
+        let (kind, _) = build_kind(&stmt.inst, &env, true, stmt.line)?;
+        function.inst_mut(id).kind = kind;
+    }
+    Ok(function)
+}
+
+fn build_kind(inst: &AstInst, env: &Env, strict: bool, line: usize) -> Result<(InstKind, Type)> {
+    let r = |op: &Operand, ty: Type| env.resolve(op, ty, strict, line);
+    let rt = |t: &TypedOperand| env.resolve(&t.op, t.ty, strict, line);
+    Ok(match inst {
+        AstInst::Binary { op, ty, lhs, rhs } => (
+            InstKind::Binary { op: *op, lhs: r(lhs, *ty)?, rhs: r(rhs, *ty)? },
+            *ty,
+        ),
+        AstInst::ICmp { pred, ty, lhs, rhs } => (
+            InstKind::ICmp { pred: *pred, lhs: r(lhs, *ty)?, rhs: r(rhs, *ty)? },
+            Type::I1,
+        ),
+        AstInst::Select { cond, if_true, if_false } => (
+            InstKind::Select { cond: rt(cond)?, if_true: rt(if_true)?, if_false: rt(if_false)? },
+            if_true.ty,
+        ),
+        AstInst::Call { ret, callee, args } => (
+            InstKind::Call {
+                callee: callee.clone(),
+                args: args.iter().map(rt).collect::<Result<_>>()?,
+            },
+            *ret,
+        ),
+        AstInst::Invoke { ret, callee, args, normal, unwind } => (
+            InstKind::Invoke {
+                callee: callee.clone(),
+                args: args.iter().map(rt).collect::<Result<_>>()?,
+                normal: env.block(normal, line)?,
+                unwind: env.block(unwind, line)?,
+            },
+            *ret,
+        ),
+        AstInst::LandingPad => (InstKind::LandingPad, Type::Ptr),
+        AstInst::Resume { value } => (InstKind::Resume { value: rt(value)? }, Type::Void),
+        AstInst::Phi { ty, incomings } => (
+            InstKind::Phi {
+                incomings: incomings
+                    .iter()
+                    .map(|(v, b)| Ok((r(v, *ty)?, env.block(b, line)?)))
+                    .collect::<Result<_>>()?,
+            },
+            *ty,
+        ),
+        AstInst::Alloca { ty } => (InstKind::Alloca { ty: *ty }, Type::Ptr),
+        AstInst::Load { ty, ptr } => (InstKind::Load { ptr: rt(ptr)? }, *ty),
+        AstInst::Store { value, ptr } => (
+            InstKind::Store { value: rt(value)?, ptr: rt(ptr)? },
+            Type::Void,
+        ),
+        AstInst::Gep { base, index, stride } => (
+            InstKind::Gep { base: rt(base)?, index: rt(index)?, stride: *stride },
+            Type::Ptr,
+        ),
+        AstInst::Cast { kind, value, to } => (
+            InstKind::Cast { kind: *kind, value: rt(value)? },
+            *to,
+        ),
+        AstInst::Br { dest } => (InstKind::Br { dest: env.block(dest, line)? }, Type::Void),
+        AstInst::CondBr { cond, if_true, if_false } => (
+            InstKind::CondBr {
+                cond: rt(cond)?,
+                if_true: env.block(if_true, line)?,
+                if_false: env.block(if_false, line)?,
+            },
+            Type::Void,
+        ),
+        AstInst::Switch { value, default, cases } => (
+            InstKind::Switch {
+                value: rt(value)?,
+                default: env.block(default, line)?,
+                cases: cases
+                    .iter()
+                    .map(|(c, b)| Ok((*c, env.block(b, line)?)))
+                    .collect::<Result<_>>()?,
+            },
+            Type::Void,
+        ),
+        AstInst::Ret { value } => (
+            InstKind::Ret { value: value.as_ref().map(rt).transpose()? },
+            Type::Void,
+        ),
+        AstInst::Unreachable => (InstKind::Unreachable, Type::Void),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::{print_function, print_module};
+
+    const EXAMPLE_F1: &str = r#"
+define i32 @f1(i32 %n) {
+L1:
+  %x1 = call i32 @start(i32 %n)
+  %x2 = icmp slt i32 %x1, 0
+  br i1 %x2, label %L2, label %L3
+L2:
+  %x3 = call i32 @body(i32 %x1)
+  br label %L4
+L3:
+  %x4 = call i32 @other(i32 %x1)
+  br label %L4
+L4:
+  %x5 = phi i32 [ %x3, %L2 ], [ %x4, %L3 ]
+  %x6 = call i32 @end(i32 %x5)
+  ret i32 %x6
+}
+"#;
+
+    #[test]
+    fn parses_paper_motivating_function() {
+        let f = parse_function(EXAMPLE_F1).unwrap();
+        assert_eq!(f.name, "f1");
+        assert_eq!(f.num_blocks(), 4);
+        assert_eq!(f.num_insts(), 10);
+        let l4 = f.block_by_name("L4").unwrap();
+        assert_eq!(f.block(l4).phis.len(), 1);
+    }
+
+    #[test]
+    fn roundtrips_through_printer() {
+        let f = parse_function(EXAMPLE_F1).unwrap();
+        let printed = print_function(&f);
+        let reparsed = parse_function(&printed).unwrap();
+        assert_eq!(print_function(&reparsed), printed);
+        assert_eq!(reparsed.num_insts(), f.num_insts());
+        assert_eq!(reparsed.num_blocks(), f.num_blocks());
+    }
+
+    #[test]
+    fn parses_module_with_declarations() {
+        let text = format!("declare i32 @start(i32)\ndeclare i32 @end(i32)\n{EXAMPLE_F1}");
+        let m = parse_module(&text).unwrap();
+        assert_eq!(m.declarations().len(), 2);
+        assert_eq!(m.num_functions(), 1);
+        let printed = print_module(&m);
+        let reparsed = parse_module(&printed).unwrap();
+        assert_eq!(reparsed.declarations().len(), 2);
+    }
+
+    #[test]
+    fn parses_all_instruction_forms() {
+        let text = r#"
+define i64 @all(i64 %a, ptr %p, double %d) {
+entry:
+  %m = alloca i64
+  store i64 %a, ptr %m
+  %l = load i64, ptr %m
+  %g = getelementptr ptr %p, i64 %l, stride 8
+  %add = add i64 %l, 3
+  %shifted = shl i64 %add, 1
+  %f = fadd double %d, 1.5
+  %fi = fptosi double %f to i64
+  %c = icmp eq i64 %add, %fi
+  %sel = select i1 %c, i64 %add, i64 %fi
+  %tr = trunc i64 %sel to i32
+  %w = zext i32 %tr to i64
+  switch i64 %w, label %other [ 1: label %one, 2: label %two ]
+one:
+  br label %done
+two:
+  br label %done
+other:
+  %u = invoke i64 @may_throw(i64 %a) to label %done unwind label %pad
+pad:
+  %lp = landingpad
+  resume ptr %lp
+done:
+  %r = phi i64 [ 1, %one ], [ 2, %two ], [ %u, %other ]
+  ret i64 %r
+}
+"#;
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.num_blocks(), 6);
+        let printed = print_function(&f);
+        let again = parse_function(&printed).unwrap();
+        assert_eq!(print_function(&again), printed);
+    }
+
+    #[test]
+    fn rejects_unknown_value() {
+        let text = "define i32 @f(i32 %n) {\nentry:\n  ret i32 %missing\n}";
+        let err = parse_function(text).unwrap_err();
+        assert!(err.message.contains("undefined value"));
+    }
+
+    #[test]
+    fn rejects_unknown_label() {
+        let text = "define void @f() {\nentry:\n  br label %nowhere\n}";
+        let err = parse_function(text).unwrap_err();
+        assert!(err.message.contains("unknown label"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_module("definitely not ir").is_err());
+        assert!(parse_module("define i32 @f(").is_err());
+    }
+}

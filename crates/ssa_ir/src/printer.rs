@@ -1,0 +1,322 @@
+//! Textual printer producing an LLVM-like syntax.
+//!
+//! The format is accepted back by [`crate::parser`], which the test suite uses
+//! for round-trip property testing.
+
+use crate::function::Function;
+use crate::ids::{BlockId, InstId};
+use crate::instruction::InstKind;
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::{Constant, Value};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Pretty-prints a whole module.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", module.name);
+    for decl in module.declarations() {
+        let params = decl
+            .params
+            .iter()
+            .map(Type::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "declare {} @{}({})", decl.ret_ty, decl.name, params);
+    }
+    if !module.declarations().is_empty() {
+        out.push('\n');
+    }
+    for (i, f) in module.functions().iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+/// Pretty-prints a single function.
+pub fn print_function(function: &Function) -> String {
+    let namer = Namer::new(function);
+    let mut out = String::new();
+    let params = function
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| format!("{} %{}", ty, namer.arg_name(i)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "define {} @{}({}) {{", function.ret_ty, function.name, params);
+    for (idx, block) in function.block_ids().enumerate() {
+        if idx > 0 {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "{}:", namer.block_name(block));
+        let data = function.block(block);
+        for inst in data.all_insts() {
+            let _ = writeln!(out, "  {}", print_inst(function, &namer, inst));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Formats a single instruction (without trailing newline). Public because
+/// merge reports and examples print individual instructions.
+pub fn print_inst(function: &Function, namer: &Namer, inst: InstId) -> String {
+    let data = function.inst(inst);
+    let val = |v: Value| namer.value(function, v);
+    let tval = |v: Value| format!("{} {}", function.value_type(v), namer.value(function, v));
+    let label = |b: BlockId| format!("label %{}", namer.block_name(b));
+    let lhs = if data.ty.is_first_class() {
+        format!("%{} = ", namer.inst_name(inst))
+    } else {
+        String::new()
+    };
+    let body = match &data.kind {
+        InstKind::Binary { op, lhs, rhs } => {
+            format!("{} {} {}, {}", op, function.value_type(*lhs), val(*lhs), val(*rhs))
+        }
+        InstKind::ICmp { pred, lhs, rhs } => format!(
+            "icmp {} {} {}, {}",
+            pred,
+            function.value_type(*lhs),
+            val(*lhs),
+            val(*rhs)
+        ),
+        InstKind::Select { cond, if_true, if_false } => format!(
+            "select {}, {}, {}",
+            tval(*cond),
+            tval(*if_true),
+            tval(*if_false)
+        ),
+        InstKind::Call { callee, args } => format!(
+            "call {} @{}({})",
+            data.ty,
+            callee,
+            args.iter().map(|a| tval(*a)).collect::<Vec<_>>().join(", ")
+        ),
+        InstKind::Invoke { callee, args, normal, unwind } => format!(
+            "invoke {} @{}({}) to {} unwind {}",
+            data.ty,
+            callee,
+            args.iter().map(|a| tval(*a)).collect::<Vec<_>>().join(", "),
+            label(*normal),
+            label(*unwind)
+        ),
+        InstKind::LandingPad => "landingpad".to_string(),
+        InstKind::Resume { value } => format!("resume {}", tval(*value)),
+        InstKind::Phi { incomings } => format!(
+            "phi {} {}",
+            data.ty,
+            incomings
+                .iter()
+                .map(|(v, b)| format!("[ {}, %{} ]", val(*v), namer.block_name(*b)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        InstKind::Alloca { ty } => format!("alloca {ty}"),
+        InstKind::Load { ptr } => format!("load {}, {}", data.ty, tval(*ptr)),
+        InstKind::Store { value, ptr } => format!("store {}, {}", tval(*value), tval(*ptr)),
+        InstKind::Gep { base, index, stride } => {
+            format!("getelementptr {}, {}, stride {}", tval(*base), tval(*index), stride)
+        }
+        InstKind::Cast { kind, value } => format!("{} {} to {}", kind, tval(*value), data.ty),
+        InstKind::Br { dest } => format!("br {}", label(*dest)),
+        InstKind::CondBr { cond, if_true, if_false } => {
+            format!("br {}, {}, {}", tval(*cond), label(*if_true), label(*if_false))
+        }
+        InstKind::Switch { value, default, cases } => format!(
+            "switch {}, {} [ {} ]",
+            tval(*value),
+            label(*default),
+            cases
+                .iter()
+                .map(|(c, b)| format!("{}: {}", c, label(*b)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        InstKind::Ret { value } => match value {
+            Some(v) => format!("ret {}", tval(*v)),
+            None => "ret void".to_string(),
+        },
+        InstKind::Unreachable => "unreachable".to_string(),
+    };
+    format!("{lhs}{body}")
+}
+
+/// Assigns stable, unique textual names to blocks, instruction results and
+/// arguments for printing.
+#[derive(Debug)]
+pub struct Namer {
+    block_names: HashMap<BlockId, String>,
+    inst_names: HashMap<InstId, String>,
+    arg_names: Vec<String>,
+}
+
+impl Namer {
+    /// Builds a namer for one function.
+    pub fn new(function: &Function) -> Namer {
+        let mut used: HashMap<String, usize> = HashMap::new();
+        let mut uniquify = |base: &str| -> String {
+            let base = if base.is_empty() { "tmp" } else { base };
+            let count = used.entry(base.to_string()).or_insert(0);
+            let name = if *count == 0 {
+                base.to_string()
+            } else {
+                format!("{base}.{count}")
+            };
+            *count += 1;
+            name
+        };
+
+        let mut arg_names = Vec::new();
+        for name in &function.param_names {
+            arg_names.push(uniquify(name));
+        }
+
+        let mut block_names = HashMap::new();
+        for block in function.block_ids() {
+            block_names.insert(block, uniquify(&function.block(block).name));
+        }
+
+        let mut inst_names = HashMap::new();
+        let mut counter = 0usize;
+        for block in function.block_ids() {
+            for inst in function.block(block).all_insts().collect::<Vec<_>>() {
+                let data = function.inst(inst);
+                if !data.ty.is_first_class() {
+                    continue;
+                }
+                let base = match &data.name {
+                    Some(n) => n.clone(),
+                    None => {
+                        counter += 1;
+                        format!("t{counter}")
+                    }
+                };
+                inst_names.insert(inst, uniquify(&base));
+            }
+        }
+        Namer {
+            block_names,
+            inst_names,
+            arg_names,
+        }
+    }
+
+    /// Printable name of a block.
+    pub fn block_name(&self, block: BlockId) -> &str {
+        self.block_names
+            .get(&block)
+            .map(String::as_str)
+            .unwrap_or("<dangling-block>")
+    }
+
+    /// Printable name of an instruction result.
+    pub fn inst_name(&self, inst: InstId) -> &str {
+        self.inst_names
+            .get(&inst)
+            .map(String::as_str)
+            .unwrap_or("<unnamed>")
+    }
+
+    /// Printable name of an argument.
+    pub fn arg_name(&self, index: usize) -> &str {
+        self.arg_names
+            .get(index)
+            .map(String::as_str)
+            .unwrap_or("<bad-arg>")
+    }
+
+    /// Textual form of a value operand (without its type).
+    pub fn value(&self, _function: &Function, value: Value) -> String {
+        match value {
+            Value::Inst(id) => format!("%{}", self.inst_name(id)),
+            Value::Arg(i) => format!("%{}", self.arg_name(i as usize)),
+            Value::Const(Constant::Int { bits: 1, value }) => {
+                if value != 0 { "true".into() } else { "false".into() }
+            }
+            Value::Const(c) => c.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instruction::{BinOp, ICmpPred};
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("diamond", vec![Type::I32], Type::I32);
+        let entry = b.create_block("entry");
+        let t = b.create_block("then");
+        let e = b.create_block("else");
+        let j = b.create_block("join");
+        b.switch_to(entry);
+        let c = b.icmp(ICmpPred::Sgt, Value::Arg(0), Value::i32(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let a = b.binary(BinOp::Add, Value::Arg(0), Value::i32(1));
+        b.br(j);
+        b.switch_to(e);
+        let s = b.binary(BinOp::Sub, Value::Arg(0), Value::i32(1));
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::I32, vec![(a, t), (s, e)]);
+        b.ret(Some(p));
+        b.finish()
+    }
+
+    #[test]
+    fn prints_function_shape() {
+        let text = print_function(&diamond());
+        assert!(text.starts_with("define i32 @diamond(i32 %arg0) {"));
+        assert!(text.contains("entry:"));
+        assert!(text.contains("icmp sgt i32 %arg0, 0"));
+        assert!(text.contains("br i1 %"));
+        assert!(text.contains("phi i32 [ %"));
+        assert!(text.contains("ret i32 %"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn duplicate_names_are_uniquified() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let a = f.add_block("L");
+        let b = f.add_block("L");
+        f.append_inst(a, InstKind::Br { dest: b }, Type::Void);
+        f.append_inst(b, InstKind::Ret { value: None }, Type::Void);
+        let namer = Namer::new(&f);
+        assert_ne!(namer.block_name(a), namer.block_name(b));
+    }
+
+    #[test]
+    fn prints_module_with_declarations() {
+        let mut m = Module::new("test");
+        m.declare(crate::module::FuncDecl {
+            name: "ext".into(),
+            params: vec![Type::I32],
+            ret_ty: Type::Void,
+        });
+        m.add_function(diamond());
+        let text = print_module(&m);
+        assert!(text.contains("; module test"));
+        assert!(text.contains("declare void @ext(i32)"));
+        assert!(text.contains("define i32 @diamond"));
+    }
+
+    #[test]
+    fn bool_constants_print_as_keywords() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::I32);
+        let entry = b.create_block("entry");
+        b.switch_to(entry);
+        let v = b.select(Value::bool(true), Value::i32(1), Value::i32(2));
+        b.ret(Some(v));
+        let text = print_function(&b.finish());
+        assert!(text.contains("select i1 true, i32 1, i32 2"));
+    }
+}

@@ -1,0 +1,138 @@
+//! The (deliberately small) type system of the IR.
+//!
+//! The merging algorithms from the paper only require structural type
+//! equality — two instructions are mergeable only if their result types and
+//! operand types match — so a compact first-order type system is sufficient.
+
+use std::fmt;
+
+/// A first-order IR type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Type {
+    /// No value (function return type of procedures, result of stores, ...).
+    Void,
+    /// An integer with the given bit width (1, 8, 16, 32 or 64).
+    Int(u16),
+    /// A 64-bit IEEE-754 floating point number.
+    Float,
+    /// An opaque pointer (all pointers share one type, as in modern LLVM).
+    Ptr,
+}
+
+impl Type {
+    /// The 1-bit boolean type.
+    pub const I1: Type = Type::Int(1);
+    /// The 8-bit integer type.
+    pub const I8: Type = Type::Int(8);
+    /// The 16-bit integer type.
+    pub const I16: Type = Type::Int(16);
+    /// The 32-bit integer type.
+    pub const I32: Type = Type::Int(32);
+    /// The 64-bit integer type.
+    pub const I64: Type = Type::Int(64);
+
+    /// Returns `true` for integer types of any width.
+    pub fn is_int(self) -> bool {
+        matches!(self, Type::Int(_))
+    }
+
+    /// Returns `true` for the boolean (`i1`) type.
+    pub fn is_bool(self) -> bool {
+        self == Type::I1
+    }
+
+    /// Returns `true` for the float type.
+    pub fn is_float(self) -> bool {
+        self == Type::Float
+    }
+
+    /// Returns `true` for the pointer type.
+    pub fn is_ptr(self) -> bool {
+        self == Type::Ptr
+    }
+
+    /// Returns `true` for the void type.
+    pub fn is_void(self) -> bool {
+        self == Type::Void
+    }
+
+    /// Returns `true` if values of this type can be produced by an instruction.
+    pub fn is_first_class(self) -> bool {
+        !self.is_void()
+    }
+
+    /// Bit width of an integer type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not an integer type.
+    pub fn bits(self) -> u16 {
+        match self {
+            Type::Int(b) => b,
+            other => panic!("Type::bits called on non-integer type {other:?}"),
+        }
+    }
+
+    /// The size of a value of this type in bytes, as used by `alloca` and the
+    /// code-size model. Void has size zero.
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::Int(b) => u32::from(b.max(8)).div_ceil(8),
+            Type::Float => 8,
+            Type::Ptr => 8,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int(b) => write!(f, "i{b}"),
+            Type::Float => write!(f, "double"),
+            Type::Ptr => write!(f, "ptr"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_llvm_spelling() {
+        assert_eq!(Type::I1.to_string(), "i1");
+        assert_eq!(Type::I32.to_string(), "i32");
+        assert_eq!(Type::Float.to_string(), "double");
+        assert_eq!(Type::Ptr.to_string(), "ptr");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Type::I1.is_bool());
+        assert!(Type::I1.is_int());
+        assert!(!Type::Ptr.is_int());
+        assert!(Type::Float.is_float());
+        assert!(Type::Void.is_void());
+        assert!(!Type::Void.is_first_class());
+        assert!(Type::Ptr.is_first_class());
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::I1.size_bytes(), 1);
+        assert_eq!(Type::I8.size_bytes(), 1);
+        assert_eq!(Type::I32.size_bytes(), 4);
+        assert_eq!(Type::I64.size_bytes(), 8);
+        assert_eq!(Type::Ptr.size_bytes(), 8);
+        assert_eq!(Type::Void.size_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-integer")]
+    fn bits_panics_on_ptr() {
+        let _ = Type::Ptr.bits();
+    }
+}

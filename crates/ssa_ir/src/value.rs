@@ -1,0 +1,221 @@
+//! SSA values: constants, function arguments and instruction results.
+
+use crate::ids::InstId;
+use crate::types::Type;
+use std::fmt;
+
+/// A compile-time constant.
+///
+/// Floats are stored as raw bits so the type can implement `Eq` and `Hash`,
+/// which the merging pass relies on when comparing operands.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Constant {
+    /// An integer constant of the given bit width.
+    Int { bits: u16, value: i64 },
+    /// A 64-bit float constant (stored as its IEEE-754 bit pattern).
+    Float(u64),
+    /// The undefined value of a given type. Reading it is allowed but yields
+    /// an unspecified value; SalSSA uses it for phi inputs that can never be
+    /// taken when executing a given function identifier.
+    Undef(Type),
+    /// The null pointer.
+    Null,
+}
+
+impl Constant {
+    /// Boolean constant (`i1`).
+    pub fn bool(value: bool) -> Constant {
+        Constant::Int {
+            bits: 1,
+            value: i64::from(value),
+        }
+    }
+
+    /// 32-bit integer constant.
+    pub fn i32(value: i32) -> Constant {
+        Constant::Int {
+            bits: 32,
+            value: i64::from(value),
+        }
+    }
+
+    /// 64-bit integer constant.
+    pub fn i64(value: i64) -> Constant {
+        Constant::Int { bits: 64, value }
+    }
+
+    /// Float constant from an `f64`.
+    pub fn float(value: f64) -> Constant {
+        Constant::Float(value.to_bits())
+    }
+
+    /// The type of the constant.
+    pub fn ty(self) -> Type {
+        match self {
+            Constant::Int { bits, .. } => Type::Int(bits),
+            Constant::Float(_) => Type::Float,
+            Constant::Undef(ty) => ty,
+            Constant::Null => Type::Ptr,
+        }
+    }
+
+    /// Returns the integer payload if this is an integer constant.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Constant::Int { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload if this is a float constant.
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            Constant::Float(bits) => Some(f64::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `undef` of any type.
+    pub fn is_undef(self) -> bool {
+        matches!(self, Constant::Undef(_))
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int { value, .. } => write!(f, "{value}"),
+            Constant::Float(bits) => write!(f, "{:e}", f64::from_bits(*bits)),
+            Constant::Undef(_) => write!(f, "undef"),
+            Constant::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// An SSA value: the result of an instruction, a function argument, or a
+/// constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// The result of the instruction with the given id.
+    Inst(InstId),
+    /// The `index`-th formal parameter of the enclosing function.
+    Arg(u32),
+    /// A constant.
+    Const(Constant),
+}
+
+impl Value {
+    /// Boolean constant value.
+    pub fn bool(value: bool) -> Value {
+        Value::Const(Constant::bool(value))
+    }
+
+    /// 32-bit integer constant value.
+    pub fn i32(value: i32) -> Value {
+        Value::Const(Constant::i32(value))
+    }
+
+    /// 64-bit integer constant value.
+    pub fn i64(value: i64) -> Value {
+        Value::Const(Constant::i64(value))
+    }
+
+    /// Float constant value.
+    pub fn float(value: f64) -> Value {
+        Value::Const(Constant::float(value))
+    }
+
+    /// The undefined value of the given type.
+    pub fn undef(ty: Type) -> Value {
+        Value::Const(Constant::Undef(ty))
+    }
+
+    /// Returns the instruction id when the value is an instruction result.
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Returns the argument index when the value is a formal parameter.
+    pub fn as_arg(self) -> Option<u32> {
+        match self {
+            Value::Arg(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant when the value is a constant.
+    pub fn as_const(self) -> Option<Constant> {
+        match self {
+            Value::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when the value is a constant.
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Returns `true` when the value is `undef`.
+    pub fn is_undef(self) -> bool {
+        matches!(self, Value::Const(Constant::Undef(_)))
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Value {
+        Value::Const(c)
+    }
+}
+
+impl From<InstId> for Value {
+    fn from(id: InstId) -> Value {
+        Value::Inst(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EntityId;
+
+    #[test]
+    fn constant_types() {
+        assert_eq!(Constant::bool(true).ty(), Type::I1);
+        assert_eq!(Constant::i32(7).ty(), Type::I32);
+        assert_eq!(Constant::i64(7).ty(), Type::I64);
+        assert_eq!(Constant::float(1.5).ty(), Type::Float);
+        assert_eq!(Constant::Null.ty(), Type::Ptr);
+        assert_eq!(Constant::Undef(Type::I32).ty(), Type::I32);
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::i32(3);
+        assert!(v.is_const());
+        assert_eq!(v.as_const().unwrap().as_int(), Some(3));
+        assert_eq!(v.as_inst(), None);
+        let a = Value::Arg(2);
+        assert_eq!(a.as_arg(), Some(2));
+        let i = Value::Inst(InstId::from_index(5));
+        assert_eq!(i.as_inst(), Some(InstId::from_index(5)));
+        assert!(Value::undef(Type::Ptr).is_undef());
+    }
+
+    #[test]
+    fn float_constants_are_hashable_and_eq() {
+        assert_eq!(Constant::float(2.5), Constant::float(2.5));
+        assert_ne!(Constant::float(2.5), Constant::float(-2.5));
+        assert_eq!(Constant::float(2.5).as_float(), Some(2.5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Constant::i32(-4).to_string(), "-4");
+        assert_eq!(Constant::Undef(Type::I8).to_string(), "undef");
+        assert_eq!(Constant::Null.to_string(), "null");
+    }
+}

@@ -1,0 +1,142 @@
+//! Dead-code elimination: removes side-effect-free instructions whose results
+//! are never used, iterating to a fixed point.
+
+use ssa_ir::{Function, InstId, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Removes dead instructions. Returns the number of instructions removed.
+pub fn eliminate_dead_code(function: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        // Count uses of every instruction result.
+        let mut use_counts: HashMap<InstId, usize> = HashMap::new();
+        let mut all: Vec<InstId> = Vec::new();
+        for block in function.block_ids() {
+            for inst in function.block(block).all_insts() {
+                all.push(inst);
+                function.inst(inst).kind.for_each_operand(|v| {
+                    if let Value::Inst(d) = v {
+                        *use_counts.entry(d).or_insert(0) += 1;
+                    }
+                });
+            }
+        }
+        let dead: Vec<InstId> = all
+            .into_iter()
+            .filter(|&inst| {
+                let data = function.inst(inst);
+                data.ty.is_first_class()
+                    && !data.kind.has_side_effects()
+                    && use_counts.get(&inst).copied().unwrap_or(0) == 0
+            })
+            .collect();
+        if dead.is_empty() {
+            return removed_total;
+        }
+        for inst in dead {
+            function.remove_inst(inst);
+            removed_total += 1;
+        }
+    }
+}
+
+/// Removes blocks that are unreachable from the entry, fixing up phi-nodes in
+/// the surviving blocks. Returns the number of blocks removed.
+pub fn remove_unreachable_blocks(function: &mut Function) -> usize {
+    let reachable: HashSet<_> = function.reachable_blocks();
+    let dead: Vec<_> = function
+        .block_ids()
+        .filter(|b| !reachable.contains(b))
+        .collect();
+    if dead.is_empty() {
+        return 0;
+    }
+    let dead_set: HashSet<_> = dead.iter().copied().collect();
+    // Remove phi incomings that reference dead predecessors.
+    for block in function.block_ids().collect::<Vec<_>>() {
+        if dead_set.contains(&block) {
+            continue;
+        }
+        for phi in function.block(block).phis.clone() {
+            if let ssa_ir::InstKind::Phi { incomings } = &mut function.inst_mut(phi).kind {
+                incomings.retain(|(_, b)| !dead_set.contains(b));
+            }
+        }
+    }
+    let count = dead.len();
+    for block in dead {
+        function.remove_block(block);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_ir::verifier::assert_valid;
+    use ssa_ir::parse_function;
+
+    #[test]
+    fn removes_unused_pure_instructions() {
+        let text = r#"
+define i32 @f(i32 %x) {
+entry:
+  %dead1 = add i32 %x, 1
+  %dead2 = mul i32 %dead1, 2
+  %live = add i32 %x, 5
+  ret i32 %live
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        let removed = eliminate_dead_code(&mut f);
+        assert_eq!(removed, 2);
+        assert_eq!(f.num_insts(), 2);
+        assert_valid(&f);
+    }
+
+    #[test]
+    fn keeps_side_effecting_instructions() {
+        let text = r#"
+define void @f(i32 %x, ptr %p) {
+entry:
+  %unused = call i32 @rand()
+  store i32 %x, ptr %p
+  ret void
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+        assert_eq!(f.num_insts(), 3);
+    }
+
+    #[test]
+    fn removes_unreachable_blocks_and_fixes_phis() {
+        let text = r#"
+define i32 @f(i32 %x) {
+entry:
+  br label %live
+dead:
+  %d = add i32 %x, 1
+  br label %live
+live:
+  %p = phi i32 [ %x, %entry ], [ %d, %dead ]
+  ret i32 %p
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        let removed = remove_unreachable_blocks(&mut f);
+        assert_eq!(removed, 1);
+        // The phi now has a single incoming; trivial-phi cleanup makes it valid SSA.
+        crate::phi_dedup::simplify_trivial_phis(&mut f);
+        assert_valid(&f);
+        assert_eq!(f.num_blocks(), 2);
+    }
+
+    #[test]
+    fn dce_is_idempotent() {
+        let text = "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 1\n  ret i32 %a\n}";
+        let mut f = parse_function(text).unwrap();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Phi-node simplification: removal of trivial phis and deduplication of
+//! identical phis.
+//!
+//! The paper relies on "existing optimizations from LLVM" to merge identical
+//! phi-nodes copied from the two input functions during SalSSA's
+//! simplification stage (Section 4.1.1); this module provides that
+//! functionality for the reproduction.
+
+use ssa_ir::{Function, InstId, InstKind, Value};
+use std::collections::HashMap;
+
+/// Replaces phis that have a single distinct incoming value (ignoring `undef`
+/// and self-references) with that value. Runs to a fixed point. Returns the
+/// number of phis removed.
+pub fn simplify_trivial_phis(function: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let mut changed = false;
+        let domtree = ssa_ir::DomTree::compute(function);
+        for block in function.block_ids().collect::<Vec<_>>() {
+            for phi in function.block(block).phis.clone() {
+                if !function.contains_inst(phi) {
+                    continue;
+                }
+                let InstKind::Phi { incomings } = function.inst(phi).kind.clone() else {
+                    continue;
+                };
+                let mut unique: Option<Value> = None;
+                let mut saw_skipped = false;
+                let mut trivial = true;
+                for (value, _) in &incomings {
+                    if *value == Value::Inst(phi) || value.is_undef() {
+                        saw_skipped = true;
+                        continue;
+                    }
+                    match unique {
+                        None => unique = Some(*value),
+                        Some(u) if u == *value => {}
+                        Some(_) => {
+                            trivial = false;
+                            break;
+                        }
+                    }
+                }
+                if !trivial {
+                    continue;
+                }
+                // Replacing the phi with an instruction result is only legal if
+                // that definition dominates the phi's block; otherwise the
+                // "trivial" phi (fed by undef on the other paths) is in fact
+                // the SSA repair point and must stay.
+                if saw_skipped {
+                    if let Some(Value::Inst(def)) = unique {
+                        let def_block = function.inst(def).block;
+                        if !domtree.strictly_dominates(def_block, block) {
+                            continue;
+                        }
+                    }
+                }
+                let ty = function.inst(phi).ty;
+                let replacement = unique.unwrap_or(Value::undef(ty));
+                function.replace_all_uses(Value::Inst(phi), replacement);
+                function.remove_inst(phi);
+                removed += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    removed
+}
+
+/// Merges phis within the same block that have identical incoming lists.
+/// Returns the number of phis removed.
+pub fn dedupe_identical_phis(function: &mut Function) -> usize {
+    let mut removed = 0;
+    for block in function.block_ids().collect::<Vec<_>>() {
+        let mut seen: HashMap<String, InstId> = HashMap::new();
+        for phi in function.block(block).phis.clone() {
+            if !function.contains_inst(phi) {
+                continue;
+            }
+            let InstKind::Phi { mut incomings } = function.inst(phi).kind.clone() else {
+                continue;
+            };
+            incomings.sort_by_key(|(_, b)| *b);
+            let key = format!("{:?}:{:?}", function.inst(phi).ty, incomings);
+            match seen.get(&key) {
+                Some(&canonical) => {
+                    function.replace_all_uses(Value::Inst(phi), Value::Inst(canonical));
+                    function.remove_inst(phi);
+                    removed += 1;
+                }
+                None => {
+                    seen.insert(key, phi);
+                }
+            }
+        }
+    }
+    removed
+}
+
+/// Absorbs phis that agree on every predecessor *up to `undef`* into a single
+/// phi. `undef` may take any value, so two phis of the same type whose
+/// incoming values never conflict (equal, or at least one side `undef`) can be
+/// represented by one phi carrying the more-defined value on every edge.
+/// Merged code is full of such pairs because each input function contributes
+/// its own phi with `undef` on the other function's paths. Returns the number
+/// of phis removed.
+pub fn absorb_undef_compatible_phis(function: &mut Function) -> usize {
+    let mut removed = 0;
+    for block in function.block_ids().collect::<Vec<_>>() {
+        loop {
+            let phis = function.block(block).phis.clone();
+            let mut merged_any = false;
+            'outer: for i in 0..phis.len() {
+                for j in (i + 1)..phis.len() {
+                    let (a, b) = (phis[i], phis[j]);
+                    if !function.contains_inst(a) || !function.contains_inst(b) {
+                        continue;
+                    }
+                    if function.inst(a).ty != function.inst(b).ty {
+                        continue;
+                    }
+                    let InstKind::Phi { incomings: ia } = function.inst(a).kind.clone() else {
+                        continue;
+                    };
+                    let InstKind::Phi { incomings: ib } = function.inst(b).kind.clone() else {
+                        continue;
+                    };
+                    let Some(joined) = join_incomings(&ia, &ib) else {
+                        continue;
+                    };
+                    if let InstKind::Phi { incomings } = &mut function.inst_mut(a).kind {
+                        *incomings = joined;
+                    }
+                    function.replace_all_uses(Value::Inst(b), Value::Inst(a));
+                    function.remove_inst(b);
+                    removed += 1;
+                    merged_any = true;
+                    break 'outer;
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+    }
+    removed
+}
+
+/// Joins two incoming lists when they never disagree on a predecessor
+/// (treating `undef` as a wildcard). Returns `None` on conflict.
+fn join_incomings(
+    a: &[(Value, ssa_ir::BlockId)],
+    b: &[(Value, ssa_ir::BlockId)],
+) -> Option<Vec<(Value, ssa_ir::BlockId)>> {
+    let mut out: Vec<(Value, ssa_ir::BlockId)> = a.to_vec();
+    for (vb, pred) in b {
+        match out.iter_mut().find(|(_, p)| p == pred) {
+            Some((va, _)) => {
+                if va == vb || vb.is_undef() {
+                    // keep va
+                } else if va.is_undef() {
+                    *va = *vb;
+                } else {
+                    return None;
+                }
+            }
+            None => out.push((*vb, *pred)),
+        }
+    }
+    Some(out)
+}
+
+/// Runs the default phi simplifications until nothing changes. Returns the
+/// total number of phis removed.
+///
+/// [`absorb_undef_compatible_phis`] is intentionally *not* part of the default
+/// pipeline: it implements the phi-coalescing flavour of clean-up that the
+/// SalSSA merger applies explicitly, and keeping it separate preserves the
+/// SalSSA-NoPC ablation of the paper's Figure 20.
+pub fn simplify_phis(function: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let n = simplify_trivial_phis(function) + dedupe_identical_phis(function);
+        total += n;
+        if n == 0 {
+            return total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_ir::verifier::assert_valid;
+    use ssa_ir::parse_function;
+
+    #[test]
+    fn removes_single_value_phi() {
+        let text = r#"
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i32 [ %x, %a ], [ %x, %b ]
+  ret i32 %p
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        let removed = simplify_trivial_phis(&mut f);
+        assert_eq!(removed, 1);
+        assert_valid(&f);
+        let join = f.block_by_name("join").unwrap();
+        assert!(f.block(join).phis.is_empty());
+    }
+
+    #[test]
+    fn keeps_meaningful_phi() {
+        let text = r#"
+define i32 @f(i1 %c, i32 %x, i32 %y) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i32 [ %x, %a ], [ %y, %b ]
+  ret i32 %p
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        assert_eq!(simplify_trivial_phis(&mut f), 0);
+        let join = f.block_by_name("join").unwrap();
+        assert_eq!(f.block(join).phis.len(), 1);
+    }
+
+    #[test]
+    fn undef_incomings_are_ignored() {
+        let text = r#"
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i32 [ %x, %a ], [ undef, %b ]
+  ret i32 %p
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        assert_eq!(simplify_trivial_phis(&mut f), 1);
+        assert_valid(&f);
+    }
+
+    #[test]
+    fn dedupes_identical_phis() {
+        let text = r#"
+define i32 @f(i1 %c, i32 %x, i32 %y) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i32 [ %x, %a ], [ %y, %b ]
+  %q = phi i32 [ %x, %a ], [ %y, %b ]
+  %s = add i32 %p, %q
+  ret i32 %s
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        assert_eq!(dedupe_identical_phis(&mut f), 1);
+        assert_valid(&f);
+        let join = f.block_by_name("join").unwrap();
+        assert_eq!(f.block(join).phis.len(), 1);
+    }
+
+    #[test]
+    fn chains_of_trivial_phis_collapse() {
+        let text = r#"
+define i32 @f(i32 %x) {
+entry:
+  br label %a
+a:
+  %p = phi i32 [ %x, %entry ]
+  br label %b
+b:
+  %q = phi i32 [ %p, %a ]
+  ret i32 %q
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        let removed = simplify_phis(&mut f);
+        assert_eq!(removed, 2);
+        assert_valid(&f);
+    }
+}

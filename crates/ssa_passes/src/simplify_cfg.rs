@@ -1,0 +1,381 @@
+//! CFG simplification.
+//!
+//! SalSSA's code generator deliberately produces many tiny blocks chained by
+//! unconditional branches (one block per matching instruction/label, Section
+//! 4.1); this pass is the "Simplification" stage from Figure 1 that collapses
+//! those chains again, folds constant branches and deletes unreachable code.
+
+use crate::dce;
+use ssa_ir::{Constant, Function, InstKind, Type, Value};
+
+/// Aggregate statistics of one [`simplify`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Conditional branches folded to unconditional ones.
+    pub branches_folded: usize,
+    /// Blocks merged into their unique predecessor.
+    pub blocks_merged: usize,
+    /// Empty forwarding blocks removed.
+    pub forwarders_removed: usize,
+    /// Unreachable blocks removed.
+    pub unreachable_removed: usize,
+}
+
+impl SimplifyStats {
+    fn total(&self) -> usize {
+        self.branches_folded + self.blocks_merged + self.forwarders_removed + self.unreachable_removed
+    }
+}
+
+/// Simplifies the CFG to a fixed point.
+pub fn simplify(function: &mut Function) -> SimplifyStats {
+    let mut stats = SimplifyStats::default();
+    loop {
+        let mut round = SimplifyStats::default();
+        round.branches_folded += fold_constant_branches(function);
+        round.unreachable_removed += dce::remove_unreachable_blocks(function);
+        crate::phi_dedup::simplify_trivial_phis(function);
+        round.forwarders_removed += remove_forwarding_blocks(function);
+        round.blocks_merged += merge_single_pred_blocks(function);
+        stats.branches_folded += round.branches_folded;
+        stats.blocks_merged += round.blocks_merged;
+        stats.forwarders_removed += round.forwarders_removed;
+        stats.unreachable_removed += round.unreachable_removed;
+        if round.total() == 0 {
+            return stats;
+        }
+    }
+}
+
+/// Folds `br i1 true/false` and conditional branches whose two targets are the
+/// same block into unconditional branches. Returns the number folded.
+pub fn fold_constant_branches(function: &mut Function) -> usize {
+    let mut folded = 0;
+    for block in function.block_ids().collect::<Vec<_>>() {
+        let Some(term) = function.block(block).term else {
+            continue;
+        };
+        let InstKind::CondBr { cond, if_true, if_false } = function.inst(term).kind.clone() else {
+            continue;
+        };
+        let target = if if_true == if_false {
+            Some((if_true, None))
+        } else if let Value::Const(Constant::Int { value, .. }) = cond {
+            let (taken, skipped) = if value != 0 { (if_true, if_false) } else { (if_false, if_true) };
+            Some((taken, Some(skipped)))
+        } else {
+            None
+        };
+        let Some((dest, skipped)) = target else {
+            continue;
+        };
+        // If an edge disappears, remove the corresponding phi incomings.
+        if let Some(skipped) = skipped {
+            for phi in function.block(skipped).phis.clone() {
+                if let InstKind::Phi { incomings } = &mut function.inst_mut(phi).kind {
+                    incomings.retain(|(_, b)| *b != block);
+                }
+            }
+        }
+        function.remove_inst(term);
+        function.append_inst(block, InstKind::Br { dest }, Type::Void);
+        folded += 1;
+    }
+    folded
+}
+
+/// Removes blocks that contain nothing but an unconditional branch, rewiring
+/// their predecessors straight to the destination and updating the
+/// destination's phi-nodes. The forwarder is kept when rewiring would create a
+/// conflicting phi entry (a predecessor that already reaches the destination
+/// with a different value) and when it is the entry block.
+pub fn remove_forwarding_blocks(function: &mut Function) -> usize {
+    let mut removed = 0;
+    for block in function.block_ids().collect::<Vec<_>>() {
+        if !function.contains_block(block) || block == function.entry() {
+            continue;
+        }
+        let data = function.block(block);
+        if !data.phis.is_empty() || !data.insts.is_empty() {
+            continue;
+        }
+        let Some(term) = data.term else { continue };
+        let InstKind::Br { dest } = function.inst(term).kind else {
+            continue;
+        };
+        if dest == block {
+            continue; // self-loop, leave it alone
+        }
+        let preds: Vec<_> = function
+            .predecessors()
+            .get(&block)
+            .cloned()
+            .unwrap_or_default();
+        // Check that rewiring does not create conflicting phi incomings in the
+        // destination: for every phi and every predecessor of the forwarder,
+        // the value flowing through the forwarder must be compatible with any
+        // value already flowing from that predecessor directly.
+        let dest_phis = function.block(dest).phis.clone();
+        let mut ok = true;
+        for &phi in &dest_phis {
+            let InstKind::Phi { incomings } = &function.inst(phi).kind else {
+                continue;
+            };
+            let via_fwd = incomings
+                .iter()
+                .find(|(_, b)| *b == block)
+                .map(|(v, _)| *v);
+            for &p in &preds {
+                if let (Some(direct), Some(via)) = (
+                    incomings.iter().find(|(_, b)| *b == p).map(|(v, _)| *v),
+                    via_fwd,
+                ) {
+                    if direct != via {
+                        ok = false;
+                    }
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Rewire destination phis: the value that flowed through the forwarder
+        // now flows directly from each of the forwarder's predecessors.
+        for &phi in &dest_phis {
+            let InstKind::Phi { incomings } = function.inst(phi).kind.clone() else {
+                continue;
+            };
+            let via_fwd = incomings
+                .iter()
+                .find(|(_, b)| *b == block)
+                .map(|(v, _)| *v);
+            let mut rewired: Vec<_> = incomings
+                .into_iter()
+                .filter(|(_, b)| *b != block)
+                .collect();
+            if let Some(value) = via_fwd {
+                for &p in &preds {
+                    if !rewired.iter().any(|(_, b)| *b == p) {
+                        rewired.push((value, p));
+                    }
+                }
+            }
+            if let InstKind::Phi { incomings } = &mut function.inst_mut(phi).kind {
+                *incomings = rewired;
+            }
+        }
+        // Retarget every predecessor terminator and then delete the block.
+        function.replace_block_refs(block, dest);
+        function.remove_block(block);
+        removed += 1;
+    }
+    removed
+}
+
+/// Merges a block into its unique predecessor when that predecessor has the
+/// block as its unique successor. Returns the number of merges performed.
+pub fn merge_single_pred_blocks(function: &mut Function) -> usize {
+    let mut merged = 0;
+    loop {
+        let preds = function.predecessors();
+        let mut candidate = None;
+        for block in function.block_ids() {
+            if block == function.entry() {
+                continue;
+            }
+            let Some(ps) = preds.get(&block) else { continue };
+            if ps.len() != 1 {
+                continue;
+            }
+            let pred = ps[0];
+            if pred == block {
+                continue;
+            }
+            let succs = function.successors(pred);
+            if succs.len() != 1 || succs[0] != block {
+                continue;
+            }
+            // The predecessor must end in a plain branch (not an invoke).
+            let term = function.block(pred).term.unwrap();
+            if !matches!(function.inst(term).kind, InstKind::Br { .. }) {
+                continue;
+            }
+            candidate = Some((pred, block));
+            break;
+        }
+        let Some((pred, block)) = candidate else {
+            return merged;
+        };
+        // Phis in `block` have a single incoming value; replace them by it.
+        for phi in function.block(block).phis.clone() {
+            if let InstKind::Phi { incomings } = function.inst(phi).kind.clone() {
+                let replacement = incomings
+                    .first()
+                    .map(|(v, _)| *v)
+                    .unwrap_or(Value::undef(function.inst(phi).ty));
+                function.replace_all_uses(Value::Inst(phi), replacement);
+            }
+            function.remove_inst(phi);
+        }
+        // Drop the predecessor's branch, move the block's body and terminator.
+        function.clear_terminator(pred);
+        let body = function.block(block).insts.clone();
+        let term = function.block(block).term;
+        for inst in body {
+            function.block_mut(block).insts.retain(|i| *i != inst);
+            function.inst_mut(inst).block = pred;
+            function.block_mut(pred).insts.push(inst);
+        }
+        if let Some(term) = term {
+            function.block_mut(block).term = None;
+            function.inst_mut(term).block = pred;
+            function.block_mut(pred).term = Some(term);
+        }
+        // Successor phis that referenced `block` now flow from `pred`.
+        function.replace_block_refs(block, pred);
+        function.remove_block(block);
+        merged += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_ir::verifier::assert_valid;
+    use ssa_ir::parse_function;
+
+    #[test]
+    fn folds_constant_condition_and_removes_dead_branch() {
+        let text = r#"
+define i32 @f(i32 %x) {
+entry:
+  br i1 true, label %a, label %b
+a:
+  %va = add i32 %x, 1
+  br label %join
+b:
+  %vb = add i32 %x, 2
+  br label %join
+join:
+  %p = phi i32 [ %va, %a ], [ %vb, %b ]
+  ret i32 %p
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        let stats = simplify(&mut f);
+        assert!(stats.branches_folded >= 1);
+        assert!(stats.unreachable_removed >= 1);
+        assert_valid(&f);
+        // Everything collapses into a single block.
+        assert_eq!(f.num_blocks(), 1);
+    }
+
+    #[test]
+    fn merges_straight_line_chain() {
+        let text = r#"
+define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  br label %b1
+b1:
+  %b = add i32 %a, 2
+  br label %b2
+b2:
+  %c = add i32 %b, 3
+  ret i32 %c
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        let stats = simplify(&mut f);
+        assert_eq!(stats.blocks_merged, 2);
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.num_insts(), 4);
+        assert_valid(&f);
+    }
+
+    #[test]
+    fn removes_empty_forwarding_block() {
+        let text = r#"
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %fwd, label %direct
+fwd:
+  br label %target
+direct:
+  br label %target
+target:
+  ret i32 %x
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        let stats = simplify(&mut f);
+        assert!(stats.forwarders_removed >= 1);
+        assert_valid(&f);
+        assert!(f.block_by_name("fwd").is_none());
+    }
+
+    #[test]
+    fn same_target_condbr_becomes_br() {
+        let text = r#"
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %next, label %next
+next:
+  ret i32 %x
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        let stats = simplify(&mut f);
+        assert_eq!(stats.branches_folded, 1);
+        assert_valid(&f);
+        assert_eq!(f.num_blocks(), 1);
+    }
+
+    #[test]
+    fn preserves_meaningful_diamonds() {
+        let text = r#"
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %va = add i32 %x, 1
+  br label %join
+b:
+  %vb = add i32 %x, 2
+  br label %join
+join:
+  %p = phi i32 [ %va, %a ], [ %vb, %b ]
+  ret i32 %p
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        simplify(&mut f);
+        assert_valid(&f);
+        assert_eq!(f.num_blocks(), 4);
+        assert_eq!(f.num_insts(), 7);
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let text = r#"
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %fwd, label %b
+fwd:
+  br label %join
+b:
+  br label %join
+join:
+  ret i32 %x
+}
+"#;
+        let mut f = parse_function(text).unwrap();
+        simplify(&mut f);
+        let size = f.num_insts();
+        let blocks = f.num_blocks();
+        let stats = simplify(&mut f);
+        assert_eq!(stats.total(), 0);
+        assert_eq!(f.num_insts(), size);
+        assert_eq!(f.num_blocks(), blocks);
+    }
+}

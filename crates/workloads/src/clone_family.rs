@@ -1,0 +1,185 @@
+//! Clone families: groups of near-identical functions derived from a common
+//! ancestor, modelling the C++-template and copy-paste duplication that gives
+//! function merging its opportunities in SPEC and MiBench.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use ssa_ir::{Constant, Function, InstKind, Value};
+
+/// How aggressively a clone diverges from its ancestor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Divergence {
+    /// Probability of replacing an integer constant operand.
+    pub constant_mutation: f64,
+    /// Probability of swapping the operands of a commutative instruction.
+    pub operand_swap: f64,
+    /// Probability of changing a binary opcode to a different one.
+    pub opcode_mutation: f64,
+    /// Probability of redirecting a call to a sibling helper.
+    pub callee_mutation: f64,
+}
+
+impl Divergence {
+    /// Almost identical clones (template instantiations over similar types).
+    pub fn low() -> Divergence {
+        Divergence {
+            constant_mutation: 0.10,
+            operand_swap: 0.05,
+            opcode_mutation: 0.02,
+            callee_mutation: 0.02,
+        }
+    }
+
+    /// Moderately diverged clones (copy-pasted-and-edited code).
+    pub fn medium() -> Divergence {
+        Divergence {
+            constant_mutation: 0.25,
+            operand_swap: 0.15,
+            opcode_mutation: 0.10,
+            callee_mutation: 0.10,
+        }
+    }
+
+    /// Heavily diverged clones, at the edge of profitability.
+    pub fn high() -> Divergence {
+        Divergence {
+            constant_mutation: 0.40,
+            operand_swap: 0.25,
+            opcode_mutation: 0.25,
+            callee_mutation: 0.25,
+        }
+    }
+}
+
+/// Creates a clone of `ancestor` named `name`, mutated according to
+/// `divergence`. The clone is always a well-formed SSA function.
+pub fn make_clone(
+    ancestor: &Function,
+    name: &str,
+    divergence: Divergence,
+    rng: &mut SmallRng,
+    callee_pool: &[String],
+) -> Function {
+    let mut clone = ancestor.clone();
+    clone.name = name.to_string();
+    let insts: Vec<_> = clone.inst_ids().collect();
+    for inst in insts {
+        let kind = clone.inst(inst).kind.clone();
+        match kind {
+            InstKind::Binary { op, lhs, rhs } => {
+                let mut op = op;
+                let mut lhs = lhs;
+                let mut rhs = rhs;
+                if rng.gen_bool(divergence.opcode_mutation) {
+                    op = match op {
+                        ssa_ir::BinOp::Add => ssa_ir::BinOp::Sub,
+                        ssa_ir::BinOp::Sub => ssa_ir::BinOp::Add,
+                        ssa_ir::BinOp::Mul => ssa_ir::BinOp::Add,
+                        ssa_ir::BinOp::And => ssa_ir::BinOp::Or,
+                        ssa_ir::BinOp::Or => ssa_ir::BinOp::Xor,
+                        other => other,
+                    };
+                }
+                if op.is_commutative() && rng.gen_bool(divergence.operand_swap) {
+                    std::mem::swap(&mut lhs, &mut rhs);
+                }
+                lhs = mutate_constant(lhs, divergence, rng);
+                rhs = mutate_constant(rhs, divergence, rng);
+                clone.inst_mut(inst).kind = InstKind::Binary { op, lhs, rhs };
+            }
+            InstKind::ICmp { pred, lhs, rhs } => {
+                let rhs = mutate_constant(rhs, divergence, rng);
+                clone.inst_mut(inst).kind = InstKind::ICmp { pred, lhs, rhs };
+            }
+            InstKind::Call { callee, args } => {
+                let mut callee = callee;
+                if !callee_pool.is_empty() && rng.gen_bool(divergence.callee_mutation) {
+                    callee = callee_pool[rng.gen_range(0..callee_pool.len())].clone();
+                }
+                clone.inst_mut(inst).kind = InstKind::Call { callee, args };
+            }
+            _ => {}
+        }
+    }
+    debug_assert!(ssa_ir::verifier::verify_function(&clone).is_empty());
+    clone
+}
+
+fn mutate_constant(value: Value, divergence: Divergence, rng: &mut SmallRng) -> Value {
+    match value {
+        Value::Const(Constant::Int { bits, value }) if bits > 1 => {
+            if rng.gen_bool(divergence.constant_mutation) {
+                Value::Const(Constant::Int {
+                    bits,
+                    value: value.wrapping_add(rng.gen_range(1..8)),
+                })
+            } else {
+                Value::Const(Constant::Int { bits, value })
+            }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genfn::{generate_function, FunctionSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn clones_are_valid_and_similar_but_not_identical() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let base = generate_function(
+            &FunctionSpec {
+                name: "base".into(),
+                size: 60,
+                ..FunctionSpec::default()
+            },
+            &mut rng,
+        );
+        let clone = make_clone(&base, "clone", Divergence::medium(), &mut rng, &[]);
+        assert!(ssa_ir::verifier::verify_function(&clone).is_empty());
+        assert_eq!(clone.num_insts(), base.num_insts());
+        assert_eq!(clone.name, "clone");
+        assert_ne!(
+            ssa_ir::print_function(&clone).replace("clone", "base"),
+            ssa_ir::print_function(&base)
+        );
+    }
+
+    #[test]
+    fn low_divergence_changes_less_than_high() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let base = generate_function(
+            &FunctionSpec {
+                name: "base".into(),
+                size: 80,
+                ..FunctionSpec::default()
+            },
+            &mut rng,
+        );
+        let count_diffs = |clone: &Function| {
+            let a = ssa_ir::print_function(&base);
+            let b = ssa_ir::print_function(clone);
+            a.lines()
+                .zip(b.lines())
+                .filter(|(x, y)| x.trim_start() != y.trim_start())
+                .count()
+        };
+        let mut rng_low = SmallRng::seed_from_u64(2);
+        let mut rng_high = SmallRng::seed_from_u64(2);
+        let low = make_clone(&base, "base", Divergence::low(), &mut rng_low, &[]);
+        let high = make_clone(&base, "base", Divergence::high(), &mut rng_high, &[]);
+        assert!(count_diffs(&low) <= count_diffs(&high));
+    }
+
+    #[test]
+    fn clone_of_clone_keeps_validity() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let base = generate_function(&FunctionSpec::default(), &mut rng);
+        let c1 = make_clone(&base, "c1", Divergence::high(), &mut rng, &["alt".into()]);
+        let c2 = make_clone(&c1, "c2", Divergence::high(), &mut rng, &["alt".into()]);
+        assert!(ssa_ir::verifier::verify_function(&c2).is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Random-but-deterministic function generation.
+//!
+//! The generator produces well-formed SSA functions with the structural
+//! features that matter to function merging: straight-line arithmetic, calls
+//! to a shared pool of external helpers, two-way branches with join phis, and
+//! counted loops. Every function is verified after generation.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use ssa_ir::{BinOp, FunctionBuilder, Function, ICmpPred, Type, Value};
+
+/// Parameters of one generated function.
+#[derive(Debug, Clone)]
+pub struct FunctionSpec {
+    /// Symbol name.
+    pub name: String,
+    /// Target number of IR instructions (approximate).
+    pub size: usize,
+    /// Number of `i32` parameters (at least 1).
+    pub num_params: usize,
+    /// Names of external helper functions the body may call.
+    pub callees: Vec<String>,
+    /// Probability of emitting a diamond (branch + join phi) region.
+    pub branch_density: f64,
+    /// Probability of emitting a counted loop region.
+    pub loop_density: f64,
+}
+
+impl Default for FunctionSpec {
+    fn default() -> Self {
+        FunctionSpec {
+            name: "generated".to_string(),
+            size: 40,
+            num_params: 2,
+            callees: vec!["helper_a".into(), "helper_b".into(), "helper_c".into()],
+            branch_density: 0.3,
+            loop_density: 0.15,
+        }
+    }
+}
+
+/// Generates a function according to `spec`, using `rng` for all choices.
+pub fn generate_function(spec: &FunctionSpec, rng: &mut SmallRng) -> Function {
+    let params = vec![Type::I32; spec.num_params.max(1)];
+    let mut b = FunctionBuilder::new(spec.name.clone(), params, Type::I32);
+    let entry = b.create_block("entry");
+    b.switch_to(entry);
+
+    // The pool of available i32 values grows as instructions are emitted.
+    let mut pool: Vec<Value> = b.args();
+    pool.push(Value::i32(1));
+    let mut emitted = 0usize;
+    let mut region = 0usize;
+
+    while emitted + 4 < spec.size {
+        let roll: f64 = rng.gen();
+        region += 1;
+        if roll < spec.loop_density && spec.size > 20 {
+            emitted += emit_loop(&mut b, &mut pool, rng, region);
+        } else if roll < spec.loop_density + spec.branch_density {
+            emitted += emit_diamond(&mut b, &mut pool, spec, rng, region);
+        } else {
+            let count = 3 + rng.gen_range(0..4);
+            emitted += emit_straight_line(&mut b, &mut pool, spec, rng, count);
+        }
+    }
+
+    let result = *pool.last().expect("pool is never empty");
+    b.ret(Some(result));
+    let f = b.finish();
+    debug_assert!(ssa_ir::verifier::verify_function(&f).is_empty());
+    f
+}
+
+fn pick(pool: &[Value], rng: &mut SmallRng) -> Value {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+fn pick_binop(rng: &mut SmallRng) -> BinOp {
+    const OPS: &[BinOp] = &[
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+    ];
+    OPS[rng.gen_range(0..OPS.len())]
+}
+
+fn emit_straight_line(
+    b: &mut FunctionBuilder,
+    pool: &mut Vec<Value>,
+    spec: &FunctionSpec,
+    rng: &mut SmallRng,
+    count: usize,
+) -> usize {
+    let mut emitted = 0;
+    for _ in 0..count {
+        if rng.gen_bool(0.3) && !spec.callees.is_empty() {
+            let callee = &spec.callees[rng.gen_range(0..spec.callees.len())];
+            let arg = *pool.last().expect("pool is never empty");
+            let v = b.call(callee.clone(), vec![arg], Type::I32);
+            pool.push(v);
+        } else {
+            let op = pick_binop(rng);
+            // Chain on the most recent value so nearly every instruction is
+            // live; real pre-LTO code has little trivially dead arithmetic.
+            let lhs = *pool.last().expect("pool is never empty");
+            let rhs = if rng.gen_bool(0.4) {
+                Value::i32(rng.gen_range(1..16))
+            } else {
+                pick(pool, rng)
+            };
+            let v = b.binary(op, lhs, rhs);
+            pool.push(v);
+        }
+        emitted += 1;
+    }
+    emitted
+}
+
+fn emit_diamond(
+    b: &mut FunctionBuilder,
+    pool: &mut Vec<Value>,
+    spec: &FunctionSpec,
+    rng: &mut SmallRng,
+    region: usize,
+) -> usize {
+    let then_bb = b.create_block(format!("then{region}"));
+    let else_bb = b.create_block(format!("else{region}"));
+    let join = b.create_block(format!("join{region}"));
+    let cond = b.icmp(
+        ICmpPred::Sgt,
+        pick(pool, rng),
+        Value::i32(rng.gen_range(0..8)),
+    );
+    b.cond_br(cond, then_bb, else_bb);
+
+    b.switch_to(then_bb);
+    let mut then_pool = pool.clone();
+    let then_count = 2 + rng.gen_range(0..3);
+    let then_emitted = emit_straight_line(b, &mut then_pool, spec, rng, then_count);
+    let then_val = *then_pool.last().unwrap();
+    b.br(join);
+
+    b.switch_to(else_bb);
+    let mut else_pool = pool.clone();
+    let else_count = 2 + rng.gen_range(0..3);
+    let else_emitted = emit_straight_line(b, &mut else_pool, spec, rng, else_count);
+    let else_val = *else_pool.last().unwrap();
+    b.br(join);
+
+    b.switch_to(join);
+    let phi = b.phi(Type::I32, vec![(then_val, then_bb), (else_val, else_bb)]);
+    pool.push(phi);
+    then_emitted + else_emitted + 4 // icmp + 2 br + phi (+ the cond_br counted in 4)
+}
+
+fn emit_loop(
+    b: &mut FunctionBuilder,
+    pool: &mut Vec<Value>,
+    rng: &mut SmallRng,
+    region: usize,
+) -> usize {
+    let preheader_val = pick(pool, rng);
+    let trip = rng.gen_range(2..10);
+    let header = b.create_block(format!("loop{region}"));
+    let body = b.create_block(format!("body{region}"));
+    let exit = b.create_block(format!("exit{region}"));
+    let entry_block = b.current_block();
+    b.br(header);
+
+    b.switch_to(body);
+    // Placeholder values fixed up below once the phis exist.
+    b.switch_to(header);
+    let iv = b.phi(Type::I32, vec![(Value::i32(0), entry_block)]);
+    let acc = b.phi(Type::I32, vec![(preheader_val, entry_block)]);
+    let cond = b.icmp(ICmpPred::Slt, iv, Value::i32(trip));
+    b.cond_br(cond, body, exit);
+
+    b.switch_to(body);
+    let op = pick_binop(rng);
+    let next_acc = b.binary(op, acc, iv);
+    let next_iv = b.binary(BinOp::Add, iv, Value::i32(1));
+    b.br(header);
+
+    // Add the back-edge incomings now that the body values exist.
+    {
+        let f = b.function_mut();
+        let iv_id = iv.as_inst().unwrap();
+        if let ssa_ir::InstKind::Phi { incomings } = &mut f.inst_mut(iv_id).kind {
+            incomings.push((next_iv, body));
+        }
+        let acc_id = acc.as_inst().unwrap();
+        if let ssa_ir::InstKind::Phi { incomings } = &mut f.inst_mut(acc_id).kind {
+            incomings.push((next_acc, body));
+        }
+    }
+
+    b.switch_to(exit);
+    pool.push(acc);
+    9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn generated_functions_verify_and_hit_target_size() {
+        for seed in 0..20 {
+            let spec = FunctionSpec {
+                name: format!("f{seed}"),
+                size: 60,
+                ..FunctionSpec::default()
+            };
+            let f = generate_function(&spec, &mut rng(seed));
+            assert!(ssa_ir::verifier::verify_function(&f).is_empty());
+            assert!(f.num_insts() >= 30, "too small: {}", f.num_insts());
+            assert!(f.num_insts() <= 160, "too large: {}", f.num_insts());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let spec = FunctionSpec::default();
+        let a = generate_function(&spec, &mut rng(7));
+        let b = generate_function(&spec, &mut rng(7));
+        assert_eq!(ssa_ir::print_function(&a), ssa_ir::print_function(&b));
+        let c = generate_function(&spec, &mut rng(8));
+        assert_ne!(ssa_ir::print_function(&a), ssa_ir::print_function(&c));
+    }
+
+    #[test]
+    fn generated_functions_are_executable() {
+        let spec = FunctionSpec {
+            name: "runme".into(),
+            size: 50,
+            ..FunctionSpec::default()
+        };
+        let f = generate_function(&spec, &mut rng(3));
+        let mut module = ssa_ir::Module::new("m");
+        module.add_function(f);
+        let out = ssa_interp_stub(&module, "runme", &[5, 9]);
+        assert!(out.is_some());
+    }
+
+    // The workloads crate does not depend on the interpreter; integration
+    // tests exercise real execution. Here we only check the function can be
+    // traversed without dangling references by walking all operands.
+    fn ssa_interp_stub(module: &ssa_ir::Module, name: &str, _args: &[i64]) -> Option<()> {
+        let f = module.function(name)?;
+        for b in f.block_ids() {
+            for i in f.block(b).all_insts() {
+                f.inst(i).kind.for_each_operand(|v| {
+                    if let ssa_ir::Value::Inst(d) = v {
+                        assert!(f.contains_inst(d));
+                    }
+                });
+            }
+        }
+        Some(())
+    }
+
+    #[test]
+    fn loops_appear_when_requested() {
+        let spec = FunctionSpec {
+            name: "loopy".into(),
+            size: 80,
+            loop_density: 0.9,
+            branch_density: 0.0,
+            ..FunctionSpec::default()
+        };
+        let f = generate_function(&spec, &mut rng(11));
+        let has_phi = f.block_ids().any(|b| !f.block(b).phis.is_empty());
+        assert!(has_phi, "expected loop phis");
+    }
+}

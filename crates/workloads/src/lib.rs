@@ -1,0 +1,25 @@
+//! # `workloads` — synthetic benchmark suites for the SalSSA reproduction
+//!
+//! The paper evaluates on SPEC CPU2006, SPEC CPU2017 and MiBench. Those suites
+//! cannot ship with this repository, so this crate generates deterministic
+//! synthetic modules whose merging-relevant statistics (function counts, size
+//! distributions, and the amount and divergence of near-duplicate code) are
+//! chosen per named benchmark to mirror the role each program plays in the
+//! paper's evaluation. See DESIGN.md for the substitution rationale.
+//!
+//! ## Example
+//!
+//! ```rust
+//! let spec = &workloads::spec2006()[3]; // 429.mcf — a small C program
+//! let module = spec.generate();
+//! assert!(module.num_functions() > 0);
+//! assert!(ssa_ir::verifier::verify_module(&module).is_empty());
+//! ```
+
+pub mod clone_family;
+pub mod genfn;
+pub mod suite;
+
+pub use clone_family::{make_clone, Divergence};
+pub use genfn::{generate_function, FunctionSpec};
+pub use suite::{mibench, scale, spec2006, spec2017, BenchmarkSpec};

@@ -1,0 +1,270 @@
+//! Synthetic benchmark suites with the statistical shape of SPEC CPU2006,
+//! SPEC CPU2017 and MiBench.
+//!
+//! The paper evaluates on the real suites; this reproduction generates, for
+//! every named benchmark, a module whose *merging-relevant* characteristics
+//! match the role that benchmark plays in the paper's results: number of
+//! functions, size range, and — most importantly — how much near-duplicate
+//! code it contains (`clone_fraction`, `divergence`). C++-template-heavy
+//! programs such as `447.dealII` or `510.parest_r` get large clone families
+//! with low divergence; small C utilities such as MiBench's `qsort` get none.
+
+use crate::clone_family::{make_clone, Divergence};
+use crate::genfn::{generate_function, FunctionSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ssa_ir::Module;
+
+/// Description of one synthetic benchmark program.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// Program name (mirrors the paper's benchmark names).
+    pub name: String,
+    /// Number of functions in the module.
+    pub num_functions: usize,
+    /// Approximate size range of a function, in IR instructions.
+    pub size_range: (usize, usize),
+    /// Fraction of functions that belong to a clone family.
+    pub clone_fraction: f64,
+    /// Typical clone-family size.
+    pub family_size: usize,
+    /// How much clones diverge from their ancestor.
+    pub divergence: Divergence,
+    /// Seed that makes the module reproducible.
+    pub seed: u64,
+}
+
+impl BenchmarkSpec {
+    fn new(
+        name: &str,
+        num_functions: usize,
+        size_range: (usize, usize),
+        clone_fraction: f64,
+        family_size: usize,
+        divergence: Divergence,
+        seed: u64,
+    ) -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: name.to_string(),
+            num_functions,
+            size_range,
+            clone_fraction,
+            family_size,
+            divergence,
+            seed,
+        }
+    }
+
+    /// Generates the module for this benchmark.
+    pub fn generate(&self) -> Module {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut module = Module::new(self.name.clone());
+        let callees: Vec<String> = (0..6).map(|i| format!("lib_{}_{i}", sanitize(&self.name))).collect();
+
+        let clone_functions = ((self.num_functions as f64) * self.clone_fraction) as usize;
+        let mut created = 0usize;
+        let mut family = 0usize;
+        // Clone families first.
+        while created < clone_functions {
+            family += 1;
+            let members = self.family_size.min(clone_functions - created).max(1);
+            let size = rng.gen_range(self.size_range.0..=self.size_range.1);
+            let base_spec = FunctionSpec {
+                name: format!("{}_fam{}_m0", sanitize(&self.name), family),
+                size,
+                num_params: rng.gen_range(1..4),
+                callees: callees.clone(),
+                ..FunctionSpec::default()
+            };
+            let base = generate_function(&base_spec, &mut rng);
+            created += 1;
+            let mut members_left = members.saturating_sub(1);
+            let mut index = 1;
+            while members_left > 0 {
+                let clone = make_clone(
+                    &base,
+                    &format!("{}_fam{}_m{}", sanitize(&self.name), family, index),
+                    self.divergence,
+                    &mut rng,
+                    &callees,
+                );
+                module.add_function(clone);
+                created += 1;
+                members_left -= 1;
+                index += 1;
+            }
+            module.add_function(base);
+        }
+        // Unrelated functions fill the rest.
+        while created < self.num_functions {
+            let size = rng.gen_range(self.size_range.0..=self.size_range.1);
+            let spec = FunctionSpec {
+                name: format!("{}_fn{}", sanitize(&self.name), created),
+                size,
+                num_params: rng.gen_range(1..4),
+                callees: callees.clone(),
+                branch_density: rng.gen_range(0.1..0.5),
+                loop_density: rng.gen_range(0.0..0.3),
+            };
+            module.add_function(generate_function(&spec, &mut rng));
+            created += 1;
+        }
+        module
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.replace(['.', '-'], "_")
+}
+
+/// The 19 C/C++ SPEC CPU2006 benchmarks evaluated in the paper (Figure 17a).
+/// Sizes are scaled down so a full suite run stays laptop-friendly while the
+/// relative differences between benchmarks are preserved.
+pub fn spec2006() -> Vec<BenchmarkSpec> {
+    let lo = Divergence::low();
+    let md = Divergence::medium();
+    vec![
+        BenchmarkSpec::new("400.perlbench", 60, (20, 120), 0.30, 3, md, 1),
+        BenchmarkSpec::new("401.bzip2", 24, (20, 100), 0.20, 2, md, 2),
+        BenchmarkSpec::new("403.gcc", 90, (20, 160), 0.30, 3, md, 3),
+        BenchmarkSpec::new("429.mcf", 12, (20, 80), 0.15, 2, md, 4),
+        BenchmarkSpec::new("433.milc", 24, (20, 90), 0.20, 2, md, 5),
+        BenchmarkSpec::new("444.namd", 28, (40, 160), 0.45, 4, lo, 6),
+        BenchmarkSpec::new("445.gobmk", 60, (20, 100), 0.25, 2, md, 7),
+        BenchmarkSpec::new("447.dealII", 70, (30, 160), 0.60, 5, lo, 8),
+        BenchmarkSpec::new("450.soplex", 40, (20, 120), 0.40, 3, lo, 9),
+        BenchmarkSpec::new("453.povray", 50, (20, 120), 0.35, 3, md, 10),
+        BenchmarkSpec::new("456.hmmer", 30, (30, 140), 0.45, 3, lo, 11),
+        BenchmarkSpec::new("458.sjeng", 20, (20, 100), 0.20, 2, md, 12),
+        BenchmarkSpec::new("462.libquantum", 16, (20, 90), 0.40, 3, lo, 13),
+        BenchmarkSpec::new("464.h264ref", 40, (30, 140), 0.30, 3, md, 14),
+        BenchmarkSpec::new("470.lbm", 10, (20, 90), 0.20, 2, md, 15),
+        BenchmarkSpec::new("471.omnetpp", 50, (20, 110), 0.40, 3, lo, 16),
+        BenchmarkSpec::new("473.astar", 14, (20, 90), 0.25, 2, md, 17),
+        BenchmarkSpec::new("482.sphinx3", 26, (30, 120), 0.45, 3, lo, 18),
+        BenchmarkSpec::new("483.xalancbmk", 80, (20, 120), 0.45, 4, lo, 19),
+    ]
+}
+
+/// The 16 C/C++ SPEC CPU2017 benchmarks evaluated in the paper (Figure 17b).
+pub fn spec2017() -> Vec<BenchmarkSpec> {
+    let lo = Divergence::low();
+    let md = Divergence::medium();
+    vec![
+        BenchmarkSpec::new("508.namd_r", 30, (40, 160), 0.45, 4, lo, 101),
+        BenchmarkSpec::new("510.parest_r", 80, (30, 160), 0.60, 5, lo, 102),
+        BenchmarkSpec::new("511.povray_r", 50, (20, 120), 0.35, 3, md, 103),
+        BenchmarkSpec::new("526.blender_r", 90, (20, 130), 0.30, 3, md, 104),
+        BenchmarkSpec::new("600.perlbench_s", 60, (20, 120), 0.30, 3, md, 105),
+        BenchmarkSpec::new("602.gcc_s", 90, (20, 160), 0.30, 3, md, 106),
+        BenchmarkSpec::new("605.mcf_s", 12, (20, 80), 0.15, 2, md, 107),
+        BenchmarkSpec::new("619.lbm_s", 10, (20, 90), 0.25, 2, Divergence::high(), 108),
+        BenchmarkSpec::new("620.omnetpp_s", 50, (20, 110), 0.40, 3, lo, 109),
+        BenchmarkSpec::new("623.xalancbmk_s", 80, (20, 120), 0.45, 4, lo, 110),
+        BenchmarkSpec::new("625.x264_s", 36, (30, 130), 0.25, 2, Divergence::high(), 111),
+        BenchmarkSpec::new("631.deepsjeng_s", 20, (20, 100), 0.20, 2, md, 112),
+        BenchmarkSpec::new("638.imagick_s", 60, (20, 130), 0.30, 3, md, 113),
+        BenchmarkSpec::new("641.leela_s", 24, (20, 110), 0.40, 3, lo, 114),
+        BenchmarkSpec::new("644.nab_s", 18, (20, 100), 0.25, 2, md, 115),
+        BenchmarkSpec::new("657.xz_s", 20, (20, 110), 0.40, 3, lo, 116),
+    ]
+}
+
+/// The MiBench programs of Table 1 / Figure 18, with function counts taken
+/// from the paper's Table 1 (scaled where the original exceeds a few hundred
+/// functions) and clone content chosen so programs the paper reports as having
+/// zero merges indeed have nothing to merge.
+pub fn mibench() -> Vec<BenchmarkSpec> {
+    let lo = Divergence::low();
+    let md = Divergence::medium();
+    let none = 0.0;
+    vec![
+        BenchmarkSpec::new("CRC32", 4, (8, 37), none, 1, md, 201),
+        BenchmarkSpec::new("FFT", 7, (6, 60), none, 1, md, 202),
+        BenchmarkSpec::new("adpcm_c", 3, (35, 93), none, 1, md, 203),
+        BenchmarkSpec::new("adpcm_d", 3, (35, 93), none, 1, md, 204),
+        BenchmarkSpec::new("basicmath", 5, (8, 80), none, 1, md, 205),
+        BenchmarkSpec::new("bitcount", 19, (8, 56), 0.30, 3, lo, 206),
+        BenchmarkSpec::new("blowfish_d", 8, (20, 120), 0.25, 2, lo, 207),
+        BenchmarkSpec::new("blowfish_e", 8, (20, 120), 0.25, 2, lo, 208),
+        BenchmarkSpec::new("cjpeg", 60, (10, 120), 0.40, 3, md, 209),
+        BenchmarkSpec::new("dijkstra", 6, (8, 83), none, 1, md, 210),
+        BenchmarkSpec::new("djpeg", 58, (10, 120), 0.40, 3, md, 211),
+        BenchmarkSpec::new("ghostscript", 120, (10, 140), 0.40, 3, md, 212),
+        BenchmarkSpec::new("gsm", 40, (10, 120), 0.30, 2, md, 213),
+        BenchmarkSpec::new("ispell", 40, (10, 120), 0.25, 2, md, 214),
+        BenchmarkSpec::new("patricia", 5, (8, 80), none, 1, md, 215),
+        BenchmarkSpec::new("pgp", 60, (10, 120), 0.30, 2, md, 216),
+        BenchmarkSpec::new("qsort", 2, (11, 80), none, 1, md, 217),
+        BenchmarkSpec::new("rijndael", 7, (45, 160), 0.25, 2, lo, 218),
+        BenchmarkSpec::new("rsynth", 30, (10, 120), 0.20, 2, md, 219),
+        BenchmarkSpec::new("sha", 7, (12, 100), 0.25, 2, lo, 220),
+        BenchmarkSpec::new("stringsearch", 10, (8, 81), 0.20, 2, lo, 221),
+        BenchmarkSpec::new("susan", 19, (15, 150), 0.20, 2, md, 222),
+        BenchmarkSpec::new("typeset", 80, (10, 160), 0.35, 3, md, 223),
+    ]
+}
+
+/// Scales every benchmark's function count by `factor` (used to keep CI and
+/// bench runs fast while preserving relative shapes).
+pub fn scale(specs: Vec<BenchmarkSpec>, factor: f64) -> Vec<BenchmarkSpec> {
+    specs
+        .into_iter()
+        .map(|mut s| {
+            s.num_functions = ((s.num_functions as f64 * factor).round() as usize).max(2);
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_the_papers_benchmark_counts() {
+        assert_eq!(spec2006().len(), 19);
+        assert_eq!(spec2017().len(), 16);
+        assert_eq!(mibench().len(), 23);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = &spec2006()[3]; // 429.mcf, small
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.num_functions(), b.num_functions());
+        assert_eq!(a.total_insts(), b.total_insts());
+    }
+
+    #[test]
+    fn generated_modules_verify() {
+        let spec = BenchmarkSpec::new("mini", 8, (20, 60), 0.5, 3, Divergence::low(), 7);
+        let module = spec.generate();
+        assert_eq!(module.num_functions(), 8);
+        assert!(ssa_ir::verifier::verify_module(&module).is_empty());
+    }
+
+    #[test]
+    fn clone_fraction_zero_means_unrelated_functions_only() {
+        let spec = BenchmarkSpec::new("qsort_like", 2, (11, 40), 0.0, 1, Divergence::low(), 9);
+        let module = spec.generate();
+        assert_eq!(module.num_functions(), 2);
+        assert!(module.functions().iter().all(|f| f.name.contains("_fn")));
+    }
+
+    #[test]
+    fn scaling_preserves_minimums() {
+        let scaled = scale(mibench(), 0.1);
+        assert!(scaled.iter().all(|s| s.num_functions >= 2));
+        assert_eq!(scaled.len(), 23);
+    }
+
+    #[test]
+    fn template_heavy_benchmarks_have_more_clone_content() {
+        let suite = spec2006();
+        let dealii = suite.iter().find(|s| s.name == "447.dealII").unwrap();
+        let bzip = suite.iter().find(|s| s.name == "401.bzip2").unwrap();
+        assert!(dealii.clone_fraction > bzip.clone_fraction);
+    }
+}

@@ -1,0 +1,46 @@
+//! Embedded scenario: merge a MiBench-like program for a Thumb-like target and
+//! report per-merge decisions — the scenario behind Figure 18 and Table 1.
+//!
+//! Run with: `cargo run --release --example embedded_thumb`
+
+use salssa::{merge_module, DriverConfig, MergeOptions, SalSsaMerger};
+use ssa_passes::codesize::{module_size_bytes, reduction_percent, Target};
+use ssa_passes::cleanup_module;
+
+fn main() {
+    let spec = workloads::mibench()
+        .into_iter()
+        .find(|s| s.name == "bitcount")
+        .expect("benchmark spec");
+    let mut module = spec.generate();
+    let baseline = {
+        let mut m = spec.generate();
+        cleanup_module(&mut m);
+        module_size_bytes(&m, Target::ThumbLike)
+    };
+
+    let merger = SalSsaMerger::new(MergeOptions::for_thumb());
+    let report = merge_module(&mut module, &merger, &DriverConfig::with_threshold(5));
+    cleanup_module(&mut module);
+    let after = module_size_bytes(&module, Target::ThumbLike);
+
+    println!(
+        "{}: {} functions, {} merge attempts, {} committed merges",
+        spec.name,
+        module.num_functions(),
+        report.attempts,
+        report.num_merges()
+    );
+    for record in &report.committed {
+        println!(
+            "  merged {} + {} -> {} (model profit {} bytes, coalesced {} phi pairs)",
+            record.f1, record.f2, record.merged_name, record.profit_bytes, record.coalesced_pairs
+        );
+    }
+    println!(
+        "Thumb-like object size: {} -> {} bytes ({:.1}% reduction)",
+        baseline,
+        after,
+        reduction_percent(baseline, after)
+    );
+}

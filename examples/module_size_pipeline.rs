@@ -1,0 +1,47 @@
+//! Whole-module code-size pipeline: generate a synthetic SPEC-like program,
+//! run FMSA and SalSSA at a given exploration threshold and compare the
+//! modelled object size — a single row of the paper's Figure 17.
+//!
+//! Run with: `cargo run --release --example module_size_pipeline [threshold]`
+
+use fmsa::FmsaMerger;
+use salssa::{merge_module, DriverConfig, FunctionMerger, SalSsaMerger};
+use ssa_passes::cleanup_module;
+use ssa_passes::codesize::{module_size_bytes, reduction_percent, Target};
+use workloads::BenchmarkSpec;
+
+fn merged_size(spec: &BenchmarkSpec, merger: &dyn FunctionMerger, threshold: usize) -> usize {
+    let mut module = spec.generate();
+    merge_module(&mut module, merger, &DriverConfig::with_threshold(threshold));
+    cleanup_module(&mut module);
+    module_size_bytes(&module, Target::X86Like)
+}
+
+fn main() {
+    let threshold: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let spec = workloads::spec2006()
+        .into_iter()
+        .find(|s| s.name == "462.libquantum")
+        .expect("benchmark spec");
+
+    let baseline = {
+        let mut m = spec.generate();
+        cleanup_module(&mut m);
+        module_size_bytes(&m, Target::X86Like)
+    };
+    println!("benchmark: {} (baseline {} modelled bytes)", spec.name, baseline);
+
+    let fmsa = merged_size(&spec, &FmsaMerger::default(), threshold);
+    println!(
+        "    FMSA [t={threshold}]: {fmsa} bytes ({:.1}% reduction)",
+        reduction_percent(baseline, fmsa)
+    );
+    let salssa = merged_size(&spec, &SalSsaMerger::default(), threshold);
+    println!(
+        "  SalSSA [t={threshold}]: {salssa} bytes ({:.1}% reduction)",
+        reduction_percent(baseline, salssa)
+    );
+}

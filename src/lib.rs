@@ -1,0 +1,5 @@
+//! Examples and integration tests for the SalSSA reproduction live in this
+//! root package; the implementation is in the `crates/` workspace members.
+
+pub use salssa;
+pub use ssa_ir;

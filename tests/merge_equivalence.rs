@@ -1,0 +1,153 @@
+//! Integration tests: semantic equivalence of merged functions.
+//!
+//! A merged function must behave exactly like the first input when called
+//! with `fid = false` and like the second when called with `fid = true`;
+//! after the whole-module driver runs, every original entry point (now a
+//! thunk) must be indistinguishable from the original function. Equivalence
+//! is checked with the reference interpreter over both return values and
+//! external-call traces.
+
+use salssa::{build_thunk, merge_module, merge_pair, DriverConfig, MergeOptions, SalSsaMerger};
+use ssa_interp::check_equivalent;
+use ssa_ir::{parse_module, Module};
+
+const PAIR_MODULE: &str = r#"
+define i32 @f1(i32 %n) {
+L1:
+  %x1 = call i32 @start(i32 %n)
+  %x2 = icmp slt i32 %x1, 0
+  br i1 %x2, label %L2, label %L3
+L2:
+  %x3 = call i32 @body(i32 %x1)
+  br label %L4
+L3:
+  %x4 = call i32 @other(i32 %x1)
+  br label %L4
+L4:
+  %x5 = phi i32 [ %x3, %L2 ], [ %x4, %L3 ]
+  %x6 = call i32 @end(i32 %x5)
+  ret i32 %x6
+}
+
+define i32 @f2(i32 %n) {
+L1:
+  %v1 = call i32 @start(i32 %n)
+  br label %L2
+L2:
+  %v2 = phi i32 [ %v1, %L1 ], [ %v4, %L3 ]
+  %v3 = icmp ne i32 %v2, 0
+  br i1 %v3, label %L3, label %L4
+L3:
+  %v4 = call i32 @body(i32 %v2)
+  br label %L2
+L4:
+  %v5 = call i32 @end(i32 %v2)
+  ret i32 %v5
+}
+"#;
+
+/// Merges @f1/@f2 from `PAIR_MODULE` and returns (original, module with the
+/// merged function and thunks installed under the original names).
+fn merged_pair_module(options: &MergeOptions) -> (Module, Module) {
+    let original = parse_module(PAIR_MODULE).unwrap();
+    let f1 = original.function("f1").unwrap();
+    let f2 = original.function("f2").unwrap();
+    let pair = merge_pair(f1, f2, options, "merged").expect("pair must merge");
+    let mut merged_module = Module::new("merged");
+    let thunk1 = build_thunk(f1, &pair.merged, &pair.param_f1, false);
+    let thunk2 = build_thunk(f2, &pair.merged, &pair.param_f2, true);
+    merged_module.add_function(pair.merged);
+    merged_module.add_function(thunk1);
+    merged_module.add_function(thunk2);
+    (original, merged_module)
+}
+
+#[test]
+fn motivating_example_is_semantically_preserved() {
+    let (original, merged) = merged_pair_module(&MergeOptions::default());
+    for x in [-9i64, -1, 0, 1, 2, 3, 17, 1000] {
+        for name in ["f1", "f2"] {
+            check_equivalent(&original, name, &[x], &merged, name, &[x])
+                .unwrap_or_else(|e| panic!("@{name}({x}) diverged: {e}"));
+        }
+    }
+}
+
+#[test]
+fn motivating_example_is_preserved_without_phi_coalescing() {
+    let (original, merged) = merged_pair_module(&MergeOptions::without_phi_coalescing());
+    for x in [-3i64, 0, 5, 42] {
+        for name in ["f1", "f2"] {
+            check_equivalent(&original, name, &[x], &merged, name, &[x])
+                .unwrap_or_else(|e| panic!("@{name}({x}) diverged: {e}"));
+        }
+    }
+}
+
+#[test]
+fn whole_module_salssa_merging_preserves_every_function() {
+    // A deterministic synthetic program with plenty of near-clones.
+    let spec = workloads::BenchmarkSpec {
+        name: "integration.salssa".into(),
+        num_functions: 10,
+        size_range: (20, 70),
+        clone_fraction: 0.6,
+        family_size: 3,
+        divergence: workloads::Divergence::low(),
+        seed: 1234,
+    };
+    let original = spec.generate();
+    let mut merged = spec.generate();
+    let report = merge_module(&mut merged, &SalSsaMerger::default(), &DriverConfig::with_threshold(5));
+    assert!(report.num_merges() >= 1, "expected at least one committed merge");
+    assert!(ssa_ir::verifier::verify_module(&merged).is_empty());
+    for function in original.functions() {
+        for args in [[-7i64, 2, 5], [0, 0, 0], [13, 21, 34], [91, -4, 7]] {
+            check_equivalent(&original, &function.name, &args, &merged, &function.name, &args)
+                .unwrap_or_else(|e| panic!("@{}({args:?}) diverged: {e}", function.name));
+        }
+    }
+}
+
+#[test]
+fn whole_module_fmsa_merging_preserves_every_function() {
+    let spec = workloads::BenchmarkSpec {
+        name: "integration.fmsa".into(),
+        num_functions: 8,
+        size_range: (20, 60),
+        clone_fraction: 0.5,
+        family_size: 2,
+        divergence: workloads::Divergence::low(),
+        seed: 4321,
+    };
+    let original = spec.generate();
+    let mut merged = spec.generate();
+    merge_module(&mut merged, &fmsa::FmsaMerger::default(), &DriverConfig::with_threshold(5));
+    assert!(ssa_ir::verifier::verify_module(&merged).is_empty());
+    for function in original.functions() {
+        for args in [[1i64, 2, 3], [-10, 5, 0], [64, 64, 64]] {
+            check_equivalent(&original, &function.name, &args, &merged, &function.name, &args)
+                .unwrap_or_else(|e| panic!("@{}({args:?}) diverged: {e}", function.name));
+        }
+    }
+}
+
+#[test]
+fn merging_identical_clone_pairs_is_profitable_and_committed() {
+    let spec = workloads::BenchmarkSpec {
+        name: "integration.clones".into(),
+        num_functions: 6,
+        size_range: (40, 80),
+        clone_fraction: 1.0,
+        family_size: 2,
+        divergence: workloads::Divergence::low(),
+        seed: 777,
+    };
+    let mut module = spec.generate();
+    let before = ssa_passes::module_size_bytes(&module, ssa_passes::Target::X86Like);
+    let report = merge_module(&mut module, &SalSsaMerger::default(), &DriverConfig::with_threshold(3));
+    ssa_passes::cleanup_module(&mut module);
+    let after = ssa_passes::module_size_bytes(&module, ssa_passes::Target::X86Like);
+    assert!(report.num_merges() >= 2, "only {} merges", report.num_merges());
+    assert!(after < before, "module did not shrink: {before} -> {after}");
+}

@@ -1,0 +1,134 @@
+//! Property-based tests over the substrates and the merger, driven by the
+//! synthetic function generator (which produces arbitrary well-formed SSA
+//! functions from a seed).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use salssa::{build_thunk, merge_pair, MergeOptions};
+use ssa_interp::check_equivalent;
+use ssa_ir::verifier::verify_function;
+use ssa_ir::{parse_function, print_function, Module};
+use ssa_passes::{mem2reg, reg2mem};
+use workloads::{generate_function, make_clone, Divergence, FunctionSpec};
+
+fn generated(seed: u64, size: usize) -> ssa_ir::Function {
+    let spec = FunctionSpec {
+        name: format!("gen{seed}"),
+        size,
+        ..FunctionSpec::default()
+    };
+    generate_function(&spec, &mut SmallRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The printer and parser round-trip every generated function.
+    #[test]
+    fn printer_parser_roundtrip(seed in 0u64..500, size in 15usize..80) {
+        let f = generated(seed, size);
+        let text = print_function(&f);
+        let reparsed = parse_function(&text).unwrap();
+        prop_assert_eq!(print_function(&reparsed), text);
+        prop_assert_eq!(reparsed.num_insts(), f.num_insts());
+        prop_assert!(verify_function(&reparsed).is_empty());
+    }
+
+    /// reg2mem never produces invalid IR and never shrinks a function;
+    /// mem2reg afterwards restores a valid SSA function that behaves the same.
+    #[test]
+    fn demote_promote_preserves_semantics(seed in 0u64..300, size in 15usize..60) {
+        let f = generated(seed, size);
+        let mut transformed = f.clone();
+        let stats = reg2mem::demote_function(&mut transformed);
+        prop_assert!(stats.insts_after >= stats.insts_before);
+        prop_assert!(verify_function(&transformed).is_empty());
+        mem2reg::promote_function(&mut transformed);
+        ssa_passes::cleanup_function(&mut transformed);
+        prop_assert!(verify_function(&transformed).is_empty());
+
+        let mut original_module = Module::new("orig");
+        original_module.add_function(f);
+        let mut new_module = Module::new("new");
+        new_module.add_function(transformed);
+        let name = format!("gen{seed}");
+        for args in [[1i64, 2, 3], [-9, 4, 0], [37, -2, 11]] {
+            prop_assert!(check_equivalent(&original_module, &name, &args, &new_module, &name, &args).is_ok());
+        }
+    }
+
+    /// Merging a generated function with a mutated clone always produces a
+    /// verified function that is semantically equivalent to both inputs.
+    #[test]
+    fn merge_clone_pairs_is_sound(seed in 0u64..200, size in 20usize..60) {
+        let base = generated(seed, size);
+        let clone = make_clone(
+            &base,
+            "clone",
+            Divergence::medium(),
+            &mut SmallRng::seed_from_u64(seed.wrapping_mul(31)),
+            &["alt_helper".to_string()],
+        );
+        let Some(pair) = merge_pair(&base, &clone, &MergeOptions::default(), "merged") else {
+            // Signature mismatch cannot happen here; merge_pair only refuses
+            // when verification fails, which would be a bug.
+            return Err(TestCaseError::fail("merge_pair refused a clone pair"));
+        };
+        prop_assert!(verify_function(&pair.merged).is_empty());
+        // The merged function never exceeds the two inputs by more than the
+        // dispatch/select glue.
+        prop_assert!(pair.merged_size() <= base.num_insts() + clone.num_insts() + 8);
+
+        let mut original_module = Module::new("orig");
+        let base_name = base.name.clone();
+        original_module.add_function(base.clone());
+        original_module.add_function(clone.clone());
+        let mut merged_module = Module::new("merged");
+        let thunk1 = build_thunk(&base, &pair.merged, &pair.param_f1, false);
+        let thunk2 = build_thunk(&clone, &pair.merged, &pair.param_f2, true);
+        merged_module.add_function(pair.merged);
+        merged_module.add_function(thunk1);
+        merged_module.add_function(thunk2);
+        for args in [[5i64, 1, 9], [-3, 0, 2]] {
+            prop_assert!(check_equivalent(&original_module, &base_name, &args, &merged_module, &base_name, &args).is_ok());
+            prop_assert!(check_equivalent(&original_module, "clone", &args, &merged_module, "clone", &args).is_ok());
+        }
+    }
+
+    /// Phi-node coalescing never makes the merged function meaningfully
+    /// larger (interaction with the CFG clean-up may shift a couple of
+    /// instructions either way, as discussed in DESIGN.md).
+    #[test]
+    fn phi_coalescing_never_hurts(seed in 0u64..150, size in 20usize..50) {
+        let base = generated(seed, size);
+        let clone = make_clone(
+            &base,
+            "clone",
+            Divergence::high(),
+            &mut SmallRng::seed_from_u64(seed ^ 0xdead),
+            &[],
+        );
+        let with = merge_pair(&base, &clone, &MergeOptions::default(), "m1");
+        let without = merge_pair(&base, &clone, &MergeOptions::without_phi_coalescing(), "m2");
+        if let (Some(with), Some(without)) = (with, without) {
+            prop_assert!(with.merged_size() <= without.merged_size() + 3);
+        }
+    }
+
+    /// The alignment produced on generated functions is consistent: every
+    /// entry of both inputs appears exactly once.
+    #[test]
+    fn alignment_covers_both_sequences(seed in 0u64..200, size in 15usize..50) {
+        let a = generated(seed, size);
+        let b = generated(seed.wrapping_add(1000), size);
+        let sa = fm_align::linearize(&a);
+        let sb = fm_align::linearize(&b);
+        let alignment = fm_align::align(&a, &sa, &b, &sb);
+        let left: usize = alignment.pairs.iter().filter(|p| !matches!(p, fm_align::AlignedPair::OnlyRight(_))).count();
+        let right: usize = alignment.pairs.iter().filter(|p| !matches!(p, fm_align::AlignedPair::OnlyLeft(_))).count();
+        prop_assert_eq!(left, sa.len());
+        prop_assert_eq!(right, sb.len());
+        prop_assert!(alignment.stats.matches <= sa.len().min(sb.len()));
+    }
+}
