@@ -1,0 +1,193 @@
+//! `salssa` — whole-module function merging from the command line.
+//!
+//! Runs the full pipeline over an `.ll`-style module file:
+//! parse → merge-module (SalSSA, parallel candidate scoring by default) →
+//! verify → report.
+//!
+//! ```text
+//! cargo run --release --bin salssa -- examples/clone_heavy.ll
+//! cargo run --release --bin salssa -- --threshold 5 --sequential input.ll
+//! ```
+
+use salssa::{merge_module, DriverConfig, DriverMode, MergeOptions, SalSsaMerger};
+use ssa_ir::verifier::verify_module;
+use ssa_ir::{parse_module, print_module};
+use ssa_passes::codesize::Target;
+use ssa_passes::module_size_bytes;
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: salssa [options] <input.ll>
+
+Merges similar functions in an SSA module by sequence alignment (SalSSA,
+Rocha et al., PLDI 2020) and prints the resulting ModuleMergeReport.
+
+options:
+  -t, --threshold <N>    exploration threshold: ranked candidates tried per
+                         function (default 1)
+      --min-size <N>     skip functions smaller than N instructions (default 3)
+      --sequential       score candidate pairs inline on one thread
+      --parallel         score candidate pairs on all cores (default)
+      --batch-size <N>   candidate pairs per parallel scoring batch (default 128)
+      --no-phi-coalescing  disable phi-node coalescing (SalSSA-NoPC ablation)
+      --target <x86|thumb> code-size model for profitability (default x86)
+      --print-module     print the merged module IR after the report
+  -h, --help             show this help
+";
+
+struct Cli {
+    input: String,
+    config: DriverConfig,
+    options: MergeOptions,
+    print_module: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut input: Option<String> = None;
+    let mut config = DriverConfig::default().with_mode(DriverMode::Parallel);
+    let mut options = MergeOptions::default();
+    let mut print_module = false;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "-t" | "--threshold" => {
+                config.threshold = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad {arg}: {e}"))?;
+            }
+            "--min-size" => {
+                config.min_function_size = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad {arg}: {e}"))?;
+            }
+            "--batch-size" => {
+                let n: usize = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad {arg}: {e}"))?;
+                config = config.with_batch_size(n);
+            }
+            "--sequential" => config.mode = DriverMode::Sequential,
+            "--parallel" => config.mode = DriverMode::Parallel,
+            "--no-phi-coalescing" => options.phi_coalescing = false,
+            "--target" => {
+                options.target = match value_for(arg)?.as_str() {
+                    "x86" => Target::X86Like,
+                    "thumb" => Target::ThumbLike,
+                    other => return Err(format!("unknown target '{other}' (x86|thumb)")),
+                };
+            }
+            "--print-module" => print_module = true,
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
+            other => {
+                if input.replace(other.to_string()).is_some() {
+                    return Err("more than one input file given".to_string());
+                }
+            }
+        }
+    }
+
+    let input = input.ok_or_else(|| "no input file given".to_string())?;
+    Ok(Cli {
+        input,
+        config,
+        options,
+        print_module,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let text = match std::fs::read_to_string(&cli.input) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", cli.input);
+            return ExitCode::from(2);
+        }
+    };
+    let mut module = match parse_module(&text) {
+        Ok(module) => module,
+        Err(e) => {
+            eprintln!("error: {}: parse error: {e}", cli.input);
+            return ExitCode::from(2);
+        }
+    };
+
+    let preexisting = verify_module(&module);
+    if !preexisting.is_empty() {
+        eprintln!("error: {} is not a valid module before merging:", cli.input);
+        for err in preexisting.iter().take(10) {
+            eprintln!("  {err:?}");
+        }
+        return ExitCode::from(2);
+    }
+
+    let size_before = module_size_bytes(&module, cli.options.target);
+    let functions_before = module.num_functions();
+    let merger = SalSsaMerger::new(cli.options);
+    let report = merge_module(&mut module, &merger, &cli.config);
+
+    let errors = verify_module(&module);
+    if !errors.is_empty() {
+        eprintln!("error: merged module FAILED verification:");
+        for err in errors.iter().take(10) {
+            eprintln!("  {err:?}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let size_after = module_size_bytes(&module, cli.options.target);
+    // Write through a checked handle: a downstream `head` closing the pipe
+    // must end the program quietly, not panic with a broken-pipe abort.
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let saved = size_before.saturating_sub(size_after);
+    let emit = |out: &mut dyn Write| -> std::io::Result<()> {
+        writeln!(
+            out,
+            "{}: {} functions, {} bytes modelled ({:?} scoring, threshold {})",
+            cli.input, functions_before, size_before, cli.config.mode, cli.config.threshold
+        )?;
+        writeln!(out, "{report}")?;
+        writeln!(
+            out,
+            "module: {} -> {} functions, {} -> {} bytes ({:.1}% reduction), verification clean",
+            functions_before,
+            module.num_functions(),
+            size_before,
+            size_after,
+            100.0 * saved as f64 / size_before.max(1) as f64
+        )?;
+        if cli.print_module {
+            writeln!(out, "\n{}", print_module(&module))?;
+        }
+        Ok(())
+    };
+    match emit(&mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: writing report failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -919,8 +919,10 @@ L4:
         let s1 = linearize(&a);
         let s2 = linearize(&b);
         let alignment = align(&a, &s1, &b, &s2);
-        let mut opts = MergeOptions::default();
-        opts.operand_reordering = false;
+        let opts = MergeOptions {
+            operand_reordering: false,
+            ..MergeOptions::default()
+        };
         let (_, maps2) = generate(&a, &b, &alignment, &opts, "m").unwrap();
         assert!(maps2.selects_inserted >= 1);
     }

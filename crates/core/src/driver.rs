@@ -7,18 +7,33 @@
 //! the most profitable merge according to the code-size cost model is
 //! committed, replacing the two originals with the merged function plus two
 //! thin thunks that preserve the external interface.
+//!
+//! Two execution modes produce identical results ([`DriverMode`]):
+//!
+//! - [`DriverMode::Sequential`] scores each candidate pair inline, exactly as
+//!   the paper describes;
+//! - [`DriverMode::Parallel`] speculatively scores the fingerprint-ranked
+//!   candidate pairs concurrently in batches (alignment and code generation
+//!   are read-only on the module, so they parallelize freely) and then
+//!   replays the sequential commit schedule against the score cache, falling
+//!   back to inline scoring for the rare pair the speculation missed. Commits
+//!   stay sequential and profit-ordered, so the committed
+//!   [`MergeRecord`]s are bit-identical to the sequential mode's.
 
 use crate::merge::{self, PairMerge};
 use crate::options::MergeOptions;
 use fm_align::Ranking;
+use rayon::prelude::*;
 use ssa_ir::{Function, InstKind, Module, Type, Value};
 use ssa_passes::codesize::{function_size_bytes, Target};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::time::Duration;
 
 /// A technique that can merge two functions (SalSSA, or the FMSA baseline in
-/// the `fmsa` crate).
-pub trait FunctionMerger {
+/// the `fmsa` crate). `Sync` is required so the parallel driver can score
+/// candidate pairs from worker threads; mergers are plain configuration data.
+pub trait FunctionMerger: Sync {
     /// Short name used in reports ("salssa", "fmsa", ...).
     fn name(&self) -> &'static str;
 
@@ -65,6 +80,18 @@ impl FunctionMerger for SalSsaMerger {
     }
 }
 
+/// How the driver schedules candidate-pair scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriverMode {
+    /// Score each pair inline while walking the size-ordered function list.
+    #[default]
+    Sequential,
+    /// Speculatively score ranked pairs on all cores, then replay the
+    /// sequential commit schedule against the cache. Produces the same
+    /// committed merges as [`DriverMode::Sequential`].
+    Parallel,
+}
+
 /// Configuration of the module driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DriverConfig {
@@ -73,6 +100,14 @@ pub struct DriverConfig {
     pub threshold: usize,
     /// Functions smaller than this many IR instructions are not considered.
     pub min_function_size: usize,
+    /// Sequential or parallel candidate scoring.
+    pub mode: DriverMode,
+    /// Granularity of speculative scoring in parallel mode: candidate pairs
+    /// are scored in batches of this size, each batch a parallel map that is
+    /// joined before the next starts. Only lightweight scores (profit and
+    /// instrumentation, no merged bodies) accumulate in the score cache until
+    /// the commit replay consumes them. Irrelevant in sequential mode.
+    pub batch_size: usize,
 }
 
 impl Default for DriverConfig {
@@ -80,6 +115,8 @@ impl Default for DriverConfig {
         DriverConfig {
             threshold: 1,
             min_function_size: 3,
+            mode: DriverMode::Sequential,
+            batch_size: 128,
         }
     }
 }
@@ -92,10 +129,31 @@ impl DriverConfig {
             ..DriverConfig::default()
         }
     }
+
+    /// Switches the driver to [`DriverMode::Parallel`].
+    pub fn parallel(self) -> DriverConfig {
+        DriverConfig {
+            mode: DriverMode::Parallel,
+            ..self
+        }
+    }
+
+    /// Sets the execution mode.
+    pub fn with_mode(self, mode: DriverMode) -> DriverConfig {
+        DriverConfig { mode, ..self }
+    }
+
+    /// Sets the parallel scoring batch size (clamped to at least 1).
+    pub fn with_batch_size(self, batch_size: usize) -> DriverConfig {
+        DriverConfig {
+            batch_size: batch_size.max(1),
+            ..self
+        }
+    }
 }
 
 /// One committed merge operation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MergeRecord {
     /// Name of the first input function.
     pub f1: String,
@@ -140,9 +198,145 @@ impl ModuleMergeReport {
     pub fn num_merges(&self) -> usize {
         self.committed.len()
     }
+
+    /// Total modelled byte savings over all committed merges.
+    pub fn total_profit_bytes(&self) -> i64 {
+        self.committed.iter().map(|r| r.profit_bytes).sum()
+    }
+}
+
+impl fmt::Display for ModuleMergeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ModuleMergeReport {{ technique: {}, threshold: {}, attempts: {}, committed: {} }}",
+            self.technique,
+            self.threshold,
+            self.attempts,
+            self.committed.len()
+        )?;
+        for record in &self.committed {
+            writeln!(
+                f,
+                "  merged {} ({} insts) + {} ({} insts) -> {} ({} insts), profit {} bytes, {} coalesced phi pairs",
+                record.f1,
+                record.sizes.0,
+                record.f2,
+                record.sizes.1,
+                record.merged_name,
+                record.sizes.2,
+                record.profit_bytes,
+                record.coalesced_pairs
+            )?;
+        }
+        write!(
+            f,
+            "  align: {:?}, codegen: {:?}, peak DP matrix: {} bytes, DP cells: {}, total profit: {} bytes",
+            self.align_time,
+            self.codegen_time,
+            self.peak_matrix_bytes,
+            self.total_cells,
+            self.total_profit_bytes()
+        )
+    }
+}
+
+/// The outcome of scoring one candidate pair, independent of module mutations
+/// until one of the two functions is removed (inputs are immutable while they
+/// live in the module, so speculative scores stay valid during the commit
+/// replay).
+struct ScoredCandidate {
+    profit: i64,
+    align_time: Duration,
+    codegen_time: Duration,
+    matrix_bytes: u64,
+    cells: u64,
+    /// The merged function. Inline scoring keeps it when profitable (it is
+    /// committed straight away); speculative scoring drops it — retaining a
+    /// body per profitable pair module-wide would dominate memory, so the
+    /// replay recomputes the one winning merge per commit instead
+    /// (`merge_pair` is deterministic, so the recomputed result is identical).
+    pair: Option<PairMerge>,
+}
+
+/// `None` means the merger refused the pair (incompatible signatures or
+/// failed verification) — cached so the replay does not retry it.
+type ScoreCache = HashMap<(String, String), Option<ScoredCandidate>>;
+
+fn score_pair(
+    module: &Module,
+    merger: &dyn FunctionMerger,
+    name: &str,
+    candidate: &str,
+    keep_pair: bool,
+) -> Option<ScoredCandidate> {
+    let (f1, f2) = (module.function(name)?, module.function(candidate)?);
+    let merged_name = format!("merged.{}.{}", f1.name, f2.name);
+    let pair = merger.merge_pair(f1, f2, &merged_name)?;
+    let profit = estimate_profit(module, name, candidate, &pair, merger.target());
+    Some(ScoredCandidate {
+        profit,
+        align_time: pair.align_time,
+        codegen_time: pair.codegen_time,
+        matrix_bytes: pair.alignment.matrix_bytes,
+        cells: pair.alignment.cells,
+        pair: (keep_pair && profit > 0).then_some(pair),
+    })
+}
+
+/// Speculatively scores the ranked candidate pairs of every mergeable
+/// function on all cores, in batches of `config.batch_size`.
+///
+/// The speculation looks somewhat past the exploration threshold
+/// (`threshold + slack` candidates per function, ranked with an empty
+/// exclusion set) because committed merges remove functions from the ranking
+/// and pull deeper candidates into the top `t`; pairs the speculation still
+/// misses are scored inline during the replay.
+fn speculative_scores(
+    module: &Module,
+    merger: &dyn FunctionMerger,
+    ranking: &Ranking,
+    order: &[String],
+    config: &DriverConfig,
+) -> ScoreCache {
+    let slack = config.threshold.max(1);
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for name in order {
+        let Some(f1) = module.function(name) else {
+            continue;
+        };
+        if f1.num_insts() < config.min_function_size {
+            continue;
+        }
+        for candidate in ranking.candidates(name, config.threshold + slack, &[]) {
+            let viable = module
+                .function(&candidate)
+                .is_some_and(|f2| f2.num_insts() >= config.min_function_size);
+            if viable {
+                pairs.push((name.clone(), candidate));
+            }
+        }
+    }
+
+    let mut cache = ScoreCache::with_capacity(pairs.len());
+    for batch in pairs.chunks(config.batch_size.max(1)) {
+        let scored: Vec<((String, String), Option<ScoredCandidate>)> = batch
+            .par_iter()
+            .map(|(name, candidate)| {
+                let score = score_pair(module, merger, name, candidate, false);
+                ((name.clone(), candidate.clone()), score)
+            })
+            .collect();
+        cache.extend(scored);
+    }
+    cache
 }
 
 /// Runs whole-module function merging with the given technique.
+///
+/// With [`DriverMode::Parallel`] the candidate pairs are scored concurrently
+/// up front; the commit schedule itself is always sequential and both modes
+/// commit identical [`MergeRecord`]s.
 pub fn merge_module(
     module: &mut Module,
     merger: &dyn FunctionMerger,
@@ -157,6 +351,10 @@ pub fn merge_module(
 
     let ranking = Ranking::build(module);
     let order = ranking.names_by_size_desc();
+    let mut cache = match config.mode {
+        DriverMode::Sequential => ScoreCache::new(),
+        DriverMode::Parallel => speculative_scores(module, merger, &ranking, &order, config),
+    };
     let mut unavailable: HashSet<String> = HashSet::new();
 
     for name in order {
@@ -171,34 +369,52 @@ pub fn merge_module(
         }
         let exclude: Vec<String> = unavailable.iter().cloned().collect();
         let candidates = ranking.candidates(&name, config.threshold, &exclude);
-        let mut best: Option<(i64, String, PairMerge)> = None;
+        let mut best: Option<(i64, String, Option<PairMerge>)> = None;
         for candidate in candidates {
             if unavailable.contains(&candidate) || candidate == name {
                 continue;
             }
-            let (Some(f1), Some(f2)) = (module.function(&name), module.function(&candidate)) else {
-                continue;
-            };
-            if f2.num_insts() < config.min_function_size {
+            if module
+                .function(&candidate)
+                .is_none_or(|f2| f2.num_insts() < config.min_function_size)
+            {
                 continue;
             }
-            let merged_name = format!("merged.{}.{}", f1.name, f2.name);
-            let Some(pair) = merger.merge_pair(f1, f2, &merged_name) else {
-                continue;
+            let key = (name.clone(), candidate.clone());
+            let Some(scored) = cache
+                .remove(&key)
+                .unwrap_or_else(|| score_pair(module, merger, &name, &candidate, true))
+            else {
+                continue; // The merger refused this pair.
             };
             report.attempts += 1;
-            report.align_time += pair.align_time;
-            report.codegen_time += pair.codegen_time;
-            report.peak_matrix_bytes = report.peak_matrix_bytes.max(pair.alignment.matrix_bytes);
-            report.total_cells += pair.alignment.cells;
+            report.align_time += scored.align_time;
+            report.codegen_time += scored.codegen_time;
+            report.peak_matrix_bytes = report.peak_matrix_bytes.max(scored.matrix_bytes);
+            report.total_cells += scored.cells;
 
-            let profit = estimate_profit(module, &name, &candidate, &pair, merger.target());
-            if profit > 0 && best.as_ref().map(|(p, _, _)| profit > *p).unwrap_or(true) {
-                best = Some((profit, candidate.clone(), pair));
+            let improves = best
+                .as_ref()
+                .map(|(p, _, _)| scored.profit > *p)
+                .unwrap_or(true);
+            if improves && scored.profit > 0 {
+                best = Some((scored.profit, candidate.clone(), scored.pair));
             }
         }
 
         if let Some((profit, candidate, pair)) = best {
+            // Speculatively scored winners dropped their merged body to keep
+            // memory bounded; regenerate it (merge_pair is deterministic).
+            let pair = pair.unwrap_or_else(|| {
+                let (f1, f2) = (
+                    module.function(&name).expect("winner's f1 must be live"),
+                    module.function(&candidate).expect("winner's f2 must be live"),
+                );
+                let merged_name = format!("merged.{}.{}", f1.name, f2.name);
+                merger
+                    .merge_pair(f1, f2, &merged_name)
+                    .expect("a scored profitable pair must merge deterministically")
+            });
             let record = commit_merge(module, &name, &candidate, pair, profit, merger.target());
             unavailable.insert(name.clone());
             unavailable.insert(candidate);
@@ -434,6 +650,78 @@ entry:
         merge_module(&mut module, &merger, &DriverConfig::with_threshold(2));
         let after = ssa_passes::module_size_bytes(&module, Target::X86Like);
         assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn driver_mode_toggle_is_respected_and_defaults_to_sequential() {
+        let config = DriverConfig::default();
+        assert_eq!(config.mode, DriverMode::Sequential);
+        assert_eq!(config.parallel().mode, DriverMode::Parallel);
+        assert_eq!(
+            config.with_mode(DriverMode::Parallel).mode,
+            DriverMode::Parallel
+        );
+        // Only the mode differs; thresholds and sizes carry over.
+        let tuned = DriverConfig::with_threshold(7).parallel().with_batch_size(0);
+        assert_eq!(tuned.threshold, 7);
+        assert_eq!(tuned.batch_size, 1, "batch size is clamped to at least 1");
+    }
+
+    #[test]
+    fn parallel_mode_commits_identical_records_to_sequential() {
+        let merger = SalSsaMerger::default();
+        for threshold in [1, 2, 5] {
+            let mut seq_module = clone_heavy_module();
+            let seq = merge_module(
+                &mut seq_module,
+                &merger,
+                &DriverConfig::with_threshold(threshold),
+            );
+            let mut par_module = clone_heavy_module();
+            let par = merge_module(
+                &mut par_module,
+                &merger,
+                &DriverConfig::with_threshold(threshold).parallel(),
+            );
+            assert_eq!(seq.committed, par.committed, "threshold {threshold}");
+            assert_eq!(seq.attempts, par.attempts, "threshold {threshold}");
+            assert_eq!(seq.total_cells, par.total_cells, "threshold {threshold}");
+            assert_eq!(
+                ssa_ir::print_module(&seq_module),
+                ssa_ir::print_module(&par_module),
+                "threshold {threshold}: merged modules must be identical"
+            );
+            assert!(verify_module(&par_module).is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_mode_survives_tiny_batches() {
+        // batch_size 1 forces one scoring batch per pair — the degenerate
+        // schedule must still agree with the sequential result.
+        let mut seq_module = clone_heavy_module();
+        let merger = SalSsaMerger::default();
+        let seq = merge_module(&mut seq_module, &merger, &DriverConfig::with_threshold(2));
+        let mut par_module = clone_heavy_module();
+        let par = merge_module(
+            &mut par_module,
+            &merger,
+            &DriverConfig::with_threshold(2).parallel().with_batch_size(1),
+        );
+        assert_eq!(seq.committed, par.committed);
+    }
+
+    #[test]
+    fn report_display_names_every_commit() {
+        let mut module = clone_heavy_module();
+        let merger = SalSsaMerger::default();
+        let report = merge_module(&mut module, &merger, &DriverConfig::with_threshold(2));
+        let rendered = report.to_string();
+        assert!(rendered.contains("ModuleMergeReport"));
+        assert!(rendered.contains("technique: salssa"));
+        for record in &report.committed {
+            assert!(rendered.contains(&record.merged_name));
+        }
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!
 //! Whole-module merging with fingerprint-based candidate ranking, the
 //! profitability cost model, exploration thresholds and thunk creation lives
-//! in [`driver`].
+//! in [`driver`]. The driver can score candidate pairs sequentially or on all
+//! cores ([`DriverMode`]); both modes commit identical merges. The `salssa`
+//! binary (`cargo run --bin salssa -- <file.ll>`) runs the whole
+//! parse → merge → verify → report pipeline over a module on disk.
 //!
 //! ## Example
 //!
@@ -45,8 +48,8 @@ pub mod ssa_repair;
 
 pub use codegen::{CodegenMaps, Side, FID};
 pub use driver::{
-    build_thunk, merge_module, DriverConfig, FunctionMerger, MergeRecord, ModuleMergeReport,
-    SalSsaMerger,
+    build_thunk, merge_module, DriverConfig, DriverMode, FunctionMerger, MergeRecord,
+    ModuleMergeReport, SalSsaMerger,
 };
 pub use merge::{merge_pair, merged_param_maps, PairMerge};
 pub use options::MergeOptions;

@@ -286,20 +286,18 @@ impl<'a> Verifier<'a> {
                     problems.push("gep index must be an integer".into());
                 }
             }
-            InstKind::Alloca { .. } => {
-                if data.ty != Type::Ptr {
-                    problems.push("alloca must produce a pointer".into());
-                }
+            InstKind::Alloca { .. } if data.ty != Type::Ptr => {
+                problems.push("alloca must produce a pointer".into());
             }
-            InstKind::CondBr { cond, .. } => {
-                if self.value_exists(*cond) && ty_of(*cond) != Type::I1 {
-                    problems.push("conditional branch condition must be i1".into());
-                }
+            InstKind::CondBr { cond, .. }
+                if self.value_exists(*cond) && ty_of(*cond) != Type::I1 =>
+            {
+                problems.push("conditional branch condition must be i1".into());
             }
-            InstKind::Switch { value, .. } => {
-                if self.value_exists(*value) && !ty_of(*value).is_int() {
-                    problems.push("switch value must be an integer".into());
-                }
+            InstKind::Switch { value, .. }
+                if self.value_exists(*value) && !ty_of(*value).is_int() =>
+            {
+                problems.push("switch value must be an integer".into());
             }
             InstKind::Ret { value } => {
                 match value {
@@ -332,6 +330,9 @@ impl<'a> Verifier<'a> {
                     }
                 }
             }
+            // Also reached by the guarded Alloca/CondBr/Switch arms above
+            // when their type rule holds — this arm must stay empty; add new
+            // checks for those kinds inside their guards, not here.
             _ => {}
         }
         // `xor` on booleans is used by the xor-branch optimization; every other

@@ -1,0 +1,49 @@
+//! `gen-module` — print a deterministic synthetic SSA module to stdout.
+//!
+//! Used to (re)generate the `.ll` inputs shipped under `examples/`, e.g.:
+//!
+//! ```text
+//! cargo run -p workloads --bin gen-module -- --seed 7 --functions 24 \
+//!     --clone-fraction 0.6 --name clone_heavy > examples/clone_heavy.ll
+//! ```
+
+use ssa_ir::print_module;
+use workloads::{BenchmarkSpec, Divergence};
+
+fn main() {
+    let mut spec = BenchmarkSpec {
+        name: "clone_heavy".to_string(),
+        num_functions: 24,
+        size_range: (12, 40),
+        clone_fraction: 0.6,
+        family_size: 3,
+        divergence: Divergence::medium(),
+        seed: 7,
+    };
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--seed" => spec.seed = value(arg).parse().expect("bad --seed"),
+            "--functions" => spec.num_functions = value(arg).parse().expect("bad --functions"),
+            "--clone-fraction" => {
+                spec.clone_fraction = value(arg).parse().expect("bad --clone-fraction")
+            }
+            "--family-size" => spec.family_size = value(arg).parse().expect("bad --family-size"),
+            "--name" => spec.name = value(arg).clone(),
+            "--min-size" => spec.size_range.0 = value(arg).parse().expect("bad --min-size"),
+            "--max-size" => spec.size_range.1 = value(arg).parse().expect("bad --max-size"),
+            other => panic!("unknown option '{other}'"),
+        }
+    }
+
+    let module = spec.generate();
+    let errors = ssa_ir::verifier::verify_module(&module);
+    assert!(errors.is_empty(), "generated module is invalid: {errors:?}");
+    print!("{}", print_module(&module));
+}

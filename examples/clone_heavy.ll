@@ -1,0 +1,1107 @@
+; module clone_heavy
+define i32 @clone_heavy_fam1_m1(i32 %arg0, i32 %arg1) {
+entry:
+  %v1 = icmp sgt i32 %arg0, 1
+  br i1 %v1, label %then1, label %else1
+
+then1:
+  %v2 = sub i32 4, %arg1
+  %v3 = call i32 @lib_clone_heavy_1(i32 %v2)
+  %v4 = mul i32 %arg0, %v3
+  %v5 = call i32 @lib_clone_heavy_0(i32 %v4)
+  br label %join1
+
+else1:
+  %v6 = or i32 1, 5
+  %v7 = xor i32 1, %v6
+  br label %join1
+
+join1:
+  %v8 = phi i32 [ %v5, %then1 ], [ %v7, %else1 ]
+  %v9 = and i32 10, %v8
+  %v10 = call i32 @lib_clone_heavy_0(i32 %v9)
+  %v11 = call i32 @lib_clone_heavy_5(i32 %v10)
+  %v12 = mul i32 %v11, %v10
+  %v13 = call i32 @lib_clone_heavy_5(i32 %v12)
+  %v14 = shl i32 %v13, %arg1
+  %v15 = add i32 %v14, 1
+  %v16 = call i32 @lib_clone_heavy_0(i32 %v15)
+  %v17 = call i32 @lib_clone_heavy_1(i32 %v16)
+  %v18 = icmp sgt i32 %arg0, 2
+  br i1 %v18, label %then4, label %else4
+
+then4:
+  %v19 = mul i32 %v17, %v12
+  %v20 = add i32 %v19, %v19
+  %v21 = and i32 15, %v20
+  br label %join4
+
+else4:
+  %v22 = or i32 %v17, 2
+  %v23 = xor i32 %v22, %v13
+  %v24 = xor i32 %v23, %v17
+  br label %join4
+
+join4:
+  %v25 = phi i32 [ %v21, %then4 ], [ %v24, %else4 ]
+  ret i32 %v25
+}
+
+define i32 @clone_heavy_fam1_m2(i32 %arg0, i32 %arg1) {
+entry:
+  %v1 = icmp sgt i32 %arg0, 1
+  br i1 %v1, label %then1, label %else1
+
+then1:
+  %v2 = sub i32 1, %arg1
+  %v3 = call i32 @lib_clone_heavy_1(i32 %v2)
+  %v4 = mul i32 %v3, %arg0
+  %v5 = call i32 @lib_clone_heavy_0(i32 %v4)
+  br label %join1
+
+else1:
+  %v6 = or i32 1, 5
+  %v7 = xor i32 %v6, 2
+  br label %join1
+
+join1:
+  %v8 = phi i32 [ %v5, %then1 ], [ %v7, %else1 ]
+  %v9 = or i32 %v8, 10
+  %v10 = call i32 @lib_clone_heavy_0(i32 %v9)
+  %v11 = call i32 @lib_clone_heavy_5(i32 %v10)
+  %v12 = mul i32 %v11, %v10
+  %v13 = call i32 @lib_clone_heavy_5(i32 %v12)
+  %v14 = shl i32 %v13, %arg1
+  %v15 = sub i32 %v14, 1
+  %v16 = call i32 @lib_clone_heavy_0(i32 %v15)
+  %v17 = call i32 @lib_clone_heavy_1(i32 %v16)
+  %v18 = icmp sgt i32 %arg0, 2
+  br i1 %v18, label %then4, label %else4
+
+then4:
+  %v19 = mul i32 %v17, %v12
+  %v20 = sub i32 %v19, %v19
+  %v21 = and i32 18, %v20
+  br label %join4
+
+else4:
+  %v22 = or i32 %v17, 9
+  %v23 = or i32 %v22, %v13
+  %v24 = xor i32 %v23, %v17
+  br label %join4
+
+join4:
+  %v25 = phi i32 [ %v21, %then4 ], [ %v24, %else4 ]
+  ret i32 %v25
+}
+
+define i32 @clone_heavy_fam1_m0(i32 %arg0, i32 %arg1) {
+entry:
+  %v1 = icmp sgt i32 %arg0, 1
+  br i1 %v1, label %then1, label %else1
+
+then1:
+  %v2 = sub i32 1, %arg1
+  %v3 = call i32 @lib_clone_heavy_1(i32 %v2)
+  %v4 = mul i32 %v3, %arg0
+  %v5 = call i32 @lib_clone_heavy_0(i32 %v4)
+  br label %join1
+
+else1:
+  %v6 = or i32 1, 5
+  %v7 = xor i32 %v6, 1
+  br label %join1
+
+join1:
+  %v8 = phi i32 [ %v5, %then1 ], [ %v7, %else1 ]
+  %v9 = and i32 %v8, 10
+  %v10 = call i32 @lib_clone_heavy_0(i32 %v9)
+  %v11 = call i32 @lib_clone_heavy_5(i32 %v10)
+  %v12 = mul i32 %v11, %v10
+  %v13 = call i32 @lib_clone_heavy_5(i32 %v12)
+  %v14 = shl i32 %v13, %arg1
+  %v15 = sub i32 %v14, 1
+  %v16 = call i32 @lib_clone_heavy_0(i32 %v15)
+  %v17 = call i32 @lib_clone_heavy_1(i32 %v16)
+  %v18 = icmp sgt i32 %arg0, 2
+  br i1 %v18, label %then4, label %else4
+
+then4:
+  %v19 = mul i32 %v17, %v12
+  %v20 = sub i32 %v19, %v19
+  %v21 = and i32 %v20, 15
+  br label %join4
+
+else4:
+  %v22 = or i32 %v17, 2
+  %v23 = or i32 %v22, %v13
+  %v24 = xor i32 %v23, %v17
+  br label %join4
+
+join4:
+  %v25 = phi i32 [ %v21, %then4 ], [ %v24, %else4 ]
+  ret i32 %v25
+}
+
+define i32 @clone_heavy_fam2_m1(i32 %arg0, i32 %arg1, i32 %arg2) {
+entry:
+  %v1 = or i32 1, 12
+  %v2 = mul i32 %v1, %arg2
+  %v3 = and i32 %v2, %arg1
+  %v4 = icmp sgt i32 %v2, 2
+  br i1 %v4, label %then2, label %else2
+
+then2:
+  %v5 = call i32 @lib_clone_heavy_5(i32 %v3)
+  %v6 = call i32 @lib_clone_heavy_1(i32 %v5)
+  %v7 = call i32 @lib_clone_heavy_2(i32 %v6)
+  %v8 = add i32 %v7, 2
+  br label %join2
+
+else2:
+  %v9 = sub i32 %v3, 16
+  %v10 = call i32 @lib_clone_heavy_2(i32 %v9)
+  br label %join2
+
+join2:
+  %v11 = phi i32 [ %v8, %then2 ], [ %v10, %else2 ]
+  %v12 = icmp sgt i32 %v1, 1
+  br i1 %v12, label %then3, label %else3
+
+then3:
+  %v13 = shl i32 %v11, %v1
+  %v14 = add i32 %v13, %v11
+  %v15 = mul i32 %v14, 11
+  br label %join3
+
+else3:
+  %v16 = shl i32 %v11, %arg0
+  %v17 = add i32 %v16, 7
+  %v18 = mul i32 %v17, %v3
+  %v19 = add i32 %v18, %v17
+  br label %join3
+
+join3:
+  %v20 = phi i32 [ %v15, %then3 ], [ %v19, %else3 ]
+  ret i32 %v20
+}
+
+define i32 @clone_heavy_fam2_m2(i32 %arg0, i32 %arg1, i32 %arg2) {
+entry:
+  %v1 = or i32 7, 12
+  %v2 = mul i32 %v1, %arg2
+  %v3 = and i32 %v2, %arg1
+  %v4 = icmp sgt i32 %v2, 6
+  br i1 %v4, label %then2, label %else2
+
+then2:
+  %v5 = call i32 @lib_clone_heavy_5(i32 %v3)
+  %v6 = call i32 @lib_clone_heavy_1(i32 %v5)
+  %v7 = call i32 @lib_clone_heavy_2(i32 %v6)
+  %v8 = add i32 %v7, 6
+  br label %join2
+
+else2:
+  %v9 = sub i32 %v3, 15
+  %v10 = call i32 @lib_clone_heavy_2(i32 %v9)
+  br label %join2
+
+join2:
+  %v11 = phi i32 [ %v8, %then2 ], [ %v10, %else2 ]
+  %v12 = icmp sgt i32 %v1, 1
+  br i1 %v12, label %then3, label %else3
+
+then3:
+  %v13 = shl i32 %v11, %v1
+  %v14 = add i32 %v13, %v11
+  %v15 = mul i32 %v14, 11
+  br label %join3
+
+else3:
+  %v16 = shl i32 %v11, %arg0
+  %v17 = add i32 %v16, 7
+  %v18 = mul i32 %v17, %v3
+  %v19 = add i32 %v18, %v17
+  br label %join3
+
+join3:
+  %v20 = phi i32 [ %v15, %then3 ], [ %v19, %else3 ]
+  ret i32 %v20
+}
+
+define i32 @clone_heavy_fam2_m0(i32 %arg0, i32 %arg1, i32 %arg2) {
+entry:
+  %v1 = or i32 1, 12
+  %v2 = mul i32 %v1, %arg2
+  %v3 = and i32 %v2, %arg1
+  %v4 = icmp sgt i32 %v2, 2
+  br i1 %v4, label %then2, label %else2
+
+then2:
+  %v5 = call i32 @lib_clone_heavy_5(i32 %v3)
+  %v6 = call i32 @lib_clone_heavy_1(i32 %v5)
+  %v7 = call i32 @lib_clone_heavy_2(i32 %v6)
+  %v8 = add i32 %v7, 2
+  br label %join2
+
+else2:
+  %v9 = sub i32 %v3, 14
+  %v10 = call i32 @lib_clone_heavy_2(i32 %v9)
+  br label %join2
+
+join2:
+  %v11 = phi i32 [ %v8, %then2 ], [ %v10, %else2 ]
+  %v12 = icmp sgt i32 %v1, 1
+  br i1 %v12, label %then3, label %else3
+
+then3:
+  %v13 = shl i32 %v11, %v1
+  %v14 = add i32 %v13, %v11
+  %v15 = mul i32 %v14, 11
+  br label %join3
+
+else3:
+  %v16 = shl i32 %v11, %arg0
+  %v17 = add i32 %v16, 7
+  %v18 = mul i32 %v17, %v3
+  %v19 = add i32 %v18, %v17
+  br label %join3
+
+join3:
+  %v20 = phi i32 [ %v15, %then3 ], [ %v19, %else3 ]
+  ret i32 %v20
+}
+
+define i32 @clone_heavy_fam3_m1(i32 %arg0) {
+entry:
+  br label %loop1
+
+loop1:
+  %v1 = phi i32 [ 0, %entry ], [ %v5, %body1 ]
+  %v2 = phi i32 [ %arg0, %entry ], [ %v4, %body1 ]
+  %v3 = icmp slt i32 %v1, 5
+  br i1 %v3, label %body1, label %exit1
+
+body1:
+  %v4 = mul i32 %v2, %v1
+  %v5 = add i32 %v1, 1
+  br label %loop1
+
+exit1:
+  %v6 = shl i32 %v2, %arg0
+  %v7 = add i32 %v6, %v2
+  %v8 = call i32 @lib_clone_heavy_2(i32 %v7)
+  %v9 = sub i32 %v8, %v8
+  %v10 = icmp sgt i32 %arg0, 2
+  br i1 %v10, label %then3, label %else3
+
+then3:
+  %v11 = sub i32 %v9, 1
+  %v12 = xor i32 %v11, 12
+  br label %join3
+
+else3:
+  %v13 = sub i32 %v9, %v7
+  %v14 = or i32 %v13, %v7
+  %v15 = sub i32 %v14, %v13
+  br label %join3
+
+join3:
+  %v16 = phi i32 [ %v12, %then3 ], [ %v15, %else3 ]
+  %v17 = icmp sgt i32 %v9, 4
+  br i1 %v17, label %then4, label %else4
+
+then4:
+  %v18 = and i32 %v16, %v16
+  %v19 = sub i32 %v18, 1
+  br label %join4
+
+else4:
+  %v20 = call i32 @lib_clone_heavy_4(i32 %v16)
+  %v21 = call i32 @lib_clone_heavy_0(i32 %v20)
+  %v22 = add i32 %v21, %v16
+  br label %join4
+
+join4:
+  %v23 = phi i32 [ %v19, %then4 ], [ %v22, %else4 ]
+  %v24 = add i32 %v23, %v2
+  %v25 = call i32 @lib_clone_heavy_1(i32 %v24)
+  %v26 = and i32 %v25, %v25
+  %v27 = add i32 %v26, %v25
+  %v28 = icmp sgt i32 %v9, 5
+  br i1 %v28, label %then6, label %else6
+
+then6:
+  %v29 = mul i32 %v27, %v7
+  %v30 = sub i32 %v29, %v24
+  br label %join6
+
+else6:
+  %v31 = and i32 %v27, %v16
+  %v32 = sub i32 %v31, 10
+  %v33 = shl i32 %v32, 4
+  br label %join6
+
+join6:
+  %v34 = phi i32 [ %v30, %then6 ], [ %v33, %else6 ]
+  ret i32 %v34
+}
+
+define i32 @clone_heavy_fam3_m2(i32 %arg0) {
+entry:
+  br label %loop1
+
+loop1:
+  %v1 = phi i32 [ 0, %entry ], [ %v5, %body1 ]
+  %v2 = phi i32 [ %arg0, %entry ], [ %v4, %body1 ]
+  %v3 = icmp slt i32 %v1, 5
+  br i1 %v3, label %body1, label %exit1
+
+body1:
+  %v4 = mul i32 %v2, %v1
+  %v5 = add i32 %v1, 1
+  br label %loop1
+
+exit1:
+  %v6 = shl i32 %v2, %arg0
+  %v7 = add i32 %v6, %v2
+  %v8 = call i32 @lib_clone_heavy_4(i32 %v7)
+  %v9 = sub i32 %v8, %v8
+  %v10 = icmp sgt i32 %arg0, 2
+  br i1 %v10, label %then3, label %else3
+
+then3:
+  %v11 = sub i32 %v9, 1
+  %v12 = xor i32 %v11, 12
+  br label %join3
+
+else3:
+  %v13 = sub i32 %v9, %v7
+  %v14 = or i32 %v7, %v13
+  %v15 = sub i32 %v14, %v13
+  br label %join3
+
+join3:
+  %v16 = phi i32 [ %v12, %then3 ], [ %v15, %else3 ]
+  %v17 = icmp sgt i32 %v9, 4
+  br i1 %v17, label %then4, label %else4
+
+then4:
+  %v18 = and i32 %v16, %v16
+  %v19 = sub i32 %v18, 1
+  br label %join4
+
+else4:
+  %v20 = call i32 @lib_clone_heavy_1(i32 %v16)
+  %v21 = call i32 @lib_clone_heavy_0(i32 %v20)
+  %v22 = add i32 %v21, %v16
+  br label %join4
+
+join4:
+  %v23 = phi i32 [ %v19, %then4 ], [ %v22, %else4 ]
+  %v24 = mul i32 %v23, %v2
+  %v25 = call i32 @lib_clone_heavy_1(i32 %v24)
+  %v26 = and i32 %v25, %v25
+  %v27 = add i32 %v26, %v25
+  %v28 = icmp sgt i32 %v9, 5
+  br i1 %v28, label %then6, label %else6
+
+then6:
+  %v29 = mul i32 %v27, %v7
+  %v30 = sub i32 %v29, %v24
+  br label %join6
+
+else6:
+  %v31 = and i32 %v27, %v16
+  %v32 = sub i32 %v31, 10
+  %v33 = shl i32 %v32, 4
+  br label %join6
+
+join6:
+  %v34 = phi i32 [ %v30, %then6 ], [ %v33, %else6 ]
+  ret i32 %v34
+}
+
+define i32 @clone_heavy_fam3_m0(i32 %arg0) {
+entry:
+  br label %loop1
+
+loop1:
+  %v1 = phi i32 [ 0, %entry ], [ %v5, %body1 ]
+  %v2 = phi i32 [ %arg0, %entry ], [ %v4, %body1 ]
+  %v3 = icmp slt i32 %v1, 5
+  br i1 %v3, label %body1, label %exit1
+
+body1:
+  %v4 = mul i32 %v2, %v1
+  %v5 = add i32 %v1, 1
+  br label %loop1
+
+exit1:
+  %v6 = shl i32 %v2, %arg0
+  %v7 = add i32 %v6, %v2
+  %v8 = call i32 @lib_clone_heavy_4(i32 %v7)
+  %v9 = sub i32 %v8, %v8
+  %v10 = icmp sgt i32 %arg0, 2
+  br i1 %v10, label %then3, label %else3
+
+then3:
+  %v11 = sub i32 %v9, 1
+  %v12 = xor i32 %v11, 12
+  br label %join3
+
+else3:
+  %v13 = sub i32 %v9, %v7
+  %v14 = or i32 %v13, %v7
+  %v15 = sub i32 %v14, %v13
+  br label %join3
+
+join3:
+  %v16 = phi i32 [ %v12, %then3 ], [ %v15, %else3 ]
+  %v17 = icmp sgt i32 %v9, 4
+  br i1 %v17, label %then4, label %else4
+
+then4:
+  %v18 = and i32 %v16, %v16
+  %v19 = sub i32 %v18, 1
+  br label %join4
+
+else4:
+  %v20 = call i32 @lib_clone_heavy_4(i32 %v16)
+  %v21 = call i32 @lib_clone_heavy_0(i32 %v20)
+  %v22 = add i32 %v21, %v16
+  br label %join4
+
+join4:
+  %v23 = phi i32 [ %v19, %then4 ], [ %v22, %else4 ]
+  %v24 = mul i32 %v23, %v2
+  %v25 = call i32 @lib_clone_heavy_1(i32 %v24)
+  %v26 = and i32 %v25, %v25
+  %v27 = add i32 %v26, %v25
+  %v28 = icmp sgt i32 %v9, 5
+  br i1 %v28, label %then6, label %else6
+
+then6:
+  %v29 = mul i32 %v27, %v7
+  %v30 = sub i32 %v29, %v24
+  br label %join6
+
+else6:
+  %v31 = and i32 %v27, %v16
+  %v32 = sub i32 %v31, 10
+  %v33 = shl i32 %v32, 4
+  br label %join6
+
+join6:
+  %v34 = phi i32 [ %v30, %then6 ], [ %v33, %else6 ]
+  ret i32 %v34
+}
+
+define i32 @clone_heavy_fam4_m1(i32 %arg0, i32 %arg1, i32 %arg2) {
+entry:
+  %v1 = call i32 @lib_clone_heavy_3(i32 1)
+  %v2 = or i32 %v1, %arg0
+  %v3 = sub i32 %v2, 10
+  %v4 = and i32 %v3, 5
+  %v5 = call i32 @lib_clone_heavy_1(i32 %v4)
+  %v6 = call i32 @lib_clone_heavy_1(i32 %v5)
+  %v7 = shl i32 %v6, %arg1
+  %v8 = call i32 @lib_clone_heavy_2(i32 %v7)
+  %v9 = call i32 @lib_clone_heavy_5(i32 %v8)
+  %v10 = call i32 @lib_clone_heavy_1(i32 %v9)
+  %v11 = call i32 @lib_clone_heavy_4(i32 %v10)
+  %v12 = shl i32 %v11, 1
+  %v13 = icmp sgt i32 %v1, 3
+  br i1 %v13, label %then3, label %else3
+
+then3:
+  %v14 = mul i32 %v12, 6
+  %v15 = mul i32 %v14, %v7
+  %v16 = call i32 @lib_clone_heavy_0(i32 %v15)
+  br label %join3
+
+else3:
+  %v17 = shl i32 %v12, %v6
+  %v18 = or i32 %v17, %v3
+  br label %join3
+
+join3:
+  %v19 = phi i32 [ %v16, %then3 ], [ %v18, %else3 ]
+  ret i32 %v19
+}
+
+define i32 @clone_heavy_fam4_m2(i32 %arg0, i32 %arg1, i32 %arg2) {
+entry:
+  %v1 = call i32 @lib_clone_heavy_3(i32 1)
+  %v2 = or i32 %v1, %arg0
+  %v3 = sub i32 %v2, 6
+  %v4 = and i32 %v3, 5
+  %v5 = call i32 @lib_clone_heavy_1(i32 %v4)
+  %v6 = call i32 @lib_clone_heavy_1(i32 %v5)
+  %v7 = shl i32 %v6, %arg1
+  %v8 = call i32 @lib_clone_heavy_2(i32 %v7)
+  %v9 = call i32 @lib_clone_heavy_5(i32 %v8)
+  %v10 = call i32 @lib_clone_heavy_1(i32 %v9)
+  %v11 = call i32 @lib_clone_heavy_4(i32 %v10)
+  %v12 = shl i32 %v11, 4
+  %v13 = icmp sgt i32 %v1, 3
+  br i1 %v13, label %then3, label %else3
+
+then3:
+  %v14 = mul i32 %v12, 7
+  %v15 = mul i32 %v14, %v7
+  %v16 = call i32 @lib_clone_heavy_0(i32 %v15)
+  br label %join3
+
+else3:
+  %v17 = shl i32 %v12, %v6
+  %v18 = or i32 %v17, %v3
+  br label %join3
+
+join3:
+  %v19 = phi i32 [ %v16, %then3 ], [ %v18, %else3 ]
+  ret i32 %v19
+}
+
+define i32 @clone_heavy_fam4_m0(i32 %arg0, i32 %arg1, i32 %arg2) {
+entry:
+  %v1 = call i32 @lib_clone_heavy_3(i32 1)
+  %v2 = or i32 %v1, %arg0
+  %v3 = sub i32 %v2, 6
+  %v4 = and i32 %v3, 5
+  %v5 = call i32 @lib_clone_heavy_1(i32 %v4)
+  %v6 = call i32 @lib_clone_heavy_1(i32 %v5)
+  %v7 = shl i32 %v6, %arg1
+  %v8 = call i32 @lib_clone_heavy_2(i32 %v7)
+  %v9 = call i32 @lib_clone_heavy_5(i32 %v8)
+  %v10 = call i32 @lib_clone_heavy_1(i32 %v9)
+  %v11 = call i32 @lib_clone_heavy_4(i32 %v10)
+  %v12 = shl i32 %v11, 1
+  %v13 = icmp sgt i32 %v1, 3
+  br i1 %v13, label %then3, label %else3
+
+then3:
+  %v14 = mul i32 %v12, 1
+  %v15 = mul i32 %v14, %v7
+  %v16 = call i32 @lib_clone_heavy_0(i32 %v15)
+  br label %join3
+
+else3:
+  %v17 = shl i32 %v12, %v6
+  %v18 = or i32 %v17, %v3
+  br label %join3
+
+join3:
+  %v19 = phi i32 [ %v16, %then3 ], [ %v18, %else3 ]
+  ret i32 %v19
+}
+
+define i32 @clone_heavy_fam5_m1(i32 %arg0, i32 %arg1, i32 %arg2) {
+entry:
+  %v1 = sub i32 1, 15
+  %v2 = xor i32 %v1, 6
+  %v3 = mul i32 %v2, 1
+  %v4 = shl i32 %v3, 16
+  %v5 = and i32 %v4, %v4
+  br label %loop2
+
+loop2:
+  %v6 = phi i32 [ 0, %entry ], [ %v10, %body2 ]
+  %v7 = phi i32 [ %v1, %entry ], [ %v9, %body2 ]
+  %v8 = icmp slt i32 %v6, 13
+  br i1 %v8, label %body2, label %exit2
+
+body2:
+  %v9 = sub i32 %v7, %v6
+  %v10 = add i32 %v6, 1
+  br label %loop2
+
+exit2:
+  %v11 = icmp sgt i32 %v4, 13
+  br i1 %v11, label %then3, label %else3
+
+then3:
+  %v12 = call i32 @lib_clone_heavy_3(i32 %v7)
+  %v13 = mul i32 %v12, %arg2
+  %v14 = call i32 @lib_clone_heavy_5(i32 %v13)
+  br label %join3
+
+else3:
+  %v15 = add i32 %v7, 10
+  %v16 = call i32 @lib_clone_heavy_5(i32 %v15)
+  br label %join3
+
+join3:
+  %v17 = phi i32 [ %v14, %then3 ], [ %v16, %else3 ]
+  ret i32 %v17
+}
+
+define i32 @clone_heavy_fam5_m0(i32 %arg0, i32 %arg1, i32 %arg2) {
+entry:
+  %v1 = sub i32 1, 15
+  %v2 = xor i32 %v1, 6
+  %v3 = mul i32 %v2, 1
+  %v4 = shl i32 %v3, 14
+  %v5 = and i32 %v4, %v4
+  br label %loop2
+
+loop2:
+  %v6 = phi i32 [ 0, %entry ], [ %v10, %body2 ]
+  %v7 = phi i32 [ %v1, %entry ], [ %v9, %body2 ]
+  %v8 = icmp slt i32 %v6, 9
+  br i1 %v8, label %body2, label %exit2
+
+body2:
+  %v9 = sub i32 %v7, %v6
+  %v10 = add i32 %v6, 1
+  br label %loop2
+
+exit2:
+  %v11 = icmp sgt i32 %v4, 7
+  br i1 %v11, label %then3, label %else3
+
+then3:
+  %v12 = call i32 @lib_clone_heavy_3(i32 %v7)
+  %v13 = mul i32 %v12, %arg2
+  %v14 = call i32 @lib_clone_heavy_5(i32 %v13)
+  br label %join3
+
+else3:
+  %v15 = add i32 %v7, 10
+  %v16 = call i32 @lib_clone_heavy_5(i32 %v15)
+  br label %join3
+
+join3:
+  %v17 = phi i32 [ %v14, %then3 ], [ %v16, %else3 ]
+  ret i32 %v17
+}
+
+define i32 @clone_heavy_fn14(i32 %arg0, i32 %arg1, i32 %arg2) {
+entry:
+  %v1 = icmp sgt i32 %arg0, 7
+  br i1 %v1, label %then1, label %else1
+
+then1:
+  %v2 = mul i32 1, 1
+  %v3 = shl i32 %v2, 11
+  %v4 = shl i32 %v3, 3
+  %v5 = call i32 @lib_clone_heavy_3(i32 %v4)
+  br label %join1
+
+else1:
+  %v6 = and i32 1, 1
+  %v7 = add i32 %v6, 6
+  %v8 = call i32 @lib_clone_heavy_2(i32 %v7)
+  %v9 = shl i32 %v8, %arg2
+  br label %join1
+
+join1:
+  %v10 = phi i32 [ %v5, %then1 ], [ %v9, %else1 ]
+  %v11 = icmp sgt i32 1, 6
+  br i1 %v11, label %then2, label %else2
+
+then2:
+  %v12 = call i32 @lib_clone_heavy_2(i32 %v10)
+  %v13 = add i32 %v12, %v10
+  %v14 = shl i32 %v13, %arg0
+  br label %join2
+
+else2:
+  %v15 = mul i32 %v10, %v10
+  %v16 = call i32 @lib_clone_heavy_1(i32 %v15)
+  %v17 = sub i32 %v16, 12
+  %v18 = and i32 %v17, %v17
+  br label %join2
+
+join2:
+  %v19 = phi i32 [ %v14, %then2 ], [ %v18, %else2 ]
+  ret i32 %v19
+}
+
+define i32 @clone_heavy_fn15(i32 %arg0) {
+entry:
+  %v1 = sub i32 1, 4
+  %v2 = add i32 %v1, %v1
+  %v3 = xor i32 %v2, 8
+  %v4 = shl i32 %v3, %arg0
+  %v5 = call i32 @lib_clone_heavy_0(i32 %v4)
+  %v6 = call i32 @lib_clone_heavy_0(i32 %v5)
+  %v7 = call i32 @lib_clone_heavy_0(i32 %v6)
+  %v8 = call i32 @lib_clone_heavy_2(i32 %v7)
+  %v9 = icmp sgt i32 %v1, 4
+  br i1 %v9, label %then3, label %else3
+
+then3:
+  %v10 = xor i32 %v8, %v3
+  %v11 = xor i32 %v10, 9
+  %v12 = call i32 @lib_clone_heavy_0(i32 %v11)
+  br label %join3
+
+else3:
+  %v13 = add i32 %v8, 1
+  %v14 = or i32 %v13, 6
+  %v15 = add i32 %v14, %v3
+  %v16 = add i32 %v15, %v4
+  br label %join3
+
+join3:
+  %v17 = phi i32 [ %v12, %then3 ], [ %v16, %else3 ]
+  ret i32 %v17
+}
+
+define i32 @clone_heavy_fn16(i32 %arg0, i32 %arg1) {
+entry:
+  br label %loop1
+
+loop1:
+  %v1 = phi i32 [ 0, %entry ], [ %v5, %body1 ]
+  %v2 = phi i32 [ %arg0, %entry ], [ %v4, %body1 ]
+  %v3 = icmp slt i32 %v1, 5
+  br i1 %v3, label %body1, label %exit1
+
+body1:
+  %v4 = and i32 %v2, %v1
+  %v5 = add i32 %v1, 1
+  br label %loop1
+
+exit1:
+  %v6 = icmp sgt i32 %v2, 3
+  br i1 %v6, label %then2, label %else2
+
+then2:
+  %v7 = and i32 %v2, %arg1
+  %v8 = shl i32 %v7, %arg1
+  %v9 = and i32 %v8, 6
+  %v10 = add i32 %v9, %v7
+  br label %join2
+
+else2:
+  %v11 = xor i32 %v2, 1
+  %v12 = sub i32 %v11, %arg0
+  br label %join2
+
+join2:
+  %v13 = phi i32 [ %v10, %then2 ], [ %v12, %else2 ]
+  %v14 = icmp sgt i32 %v13, 0
+  br i1 %v14, label %then3, label %else3
+
+then3:
+  %v15 = mul i32 %v13, 1
+  %v16 = sub i32 %v15, %v2
+  br label %join3
+
+else3:
+  %v17 = call i32 @lib_clone_heavy_5(i32 %v13)
+  %v18 = or i32 %v17, 10
+  br label %join3
+
+join3:
+  %v19 = phi i32 [ %v16, %then3 ], [ %v18, %else3 ]
+  %v20 = shl i32 %v19, 1
+  %v21 = xor i32 %v20, 4
+  %v22 = and i32 %v21, 13
+  %v23 = xor i32 %v22, %v21
+  br label %loop5
+
+loop5:
+  %v24 = phi i32 [ 0, %join3 ], [ %v28, %body5 ]
+  %v25 = phi i32 [ %v20, %join3 ], [ %v27, %body5 ]
+  %v26 = icmp slt i32 %v24, 7
+  br i1 %v26, label %body5, label %exit5
+
+body5:
+  %v27 = shl i32 %v25, %v24
+  %v28 = add i32 %v24, 1
+  br label %loop5
+
+exit5:
+  ret i32 %v25
+}
+
+define i32 @clone_heavy_fn17(i32 %arg0, i32 %arg1, i32 %arg2) {
+entry:
+  %v1 = shl i32 1, 12
+  %v2 = or i32 %v1, 8
+  %v3 = sub i32 %v2, 4
+  %v4 = or i32 %v3, 10
+  %v5 = call i32 @lib_clone_heavy_4(i32 %v4)
+  %v6 = or i32 %v5, 4
+  %v7 = mul i32 %v6, 15
+  %v8 = call i32 @lib_clone_heavy_5(i32 %v7)
+  %v9 = xor i32 %v8, %v1
+  %v10 = call i32 @lib_clone_heavy_2(i32 %v9)
+  %v11 = add i32 %v10, %arg0
+  %v12 = mul i32 %v11, %v9
+  %v13 = shl i32 %v12, %v4
+  %v14 = call i32 @lib_clone_heavy_4(i32 %v13)
+  %v15 = shl i32 %v14, %v13
+  %v16 = xor i32 %v15, %arg1
+  %v17 = shl i32 %v16, 15
+  %v18 = call i32 @lib_clone_heavy_2(i32 %v17)
+  %v19 = icmp sgt i32 %v1, 6
+  br i1 %v19, label %then4, label %else4
+
+then4:
+  %v20 = call i32 @lib_clone_heavy_3(i32 %v18)
+  %v21 = shl i32 %v20, 4
+  br label %join4
+
+else4:
+  %v22 = xor i32 %v18, 1
+  %v23 = xor i32 %v22, %arg0
+  br label %join4
+
+join4:
+  %v24 = phi i32 [ %v21, %then4 ], [ %v23, %else4 ]
+  ret i32 %v24
+}
+
+define i32 @clone_heavy_fn18(i32 %arg0) {
+entry:
+  %v1 = icmp sgt i32 %arg0, 6
+  br i1 %v1, label %then1, label %else1
+
+then1:
+  %v2 = mul i32 1, 12
+  %v3 = call i32 @lib_clone_heavy_2(i32 %v2)
+  %v4 = or i32 %v3, 7
+  %v5 = shl i32 %v4, %v2
+  br label %join1
+
+else1:
+  %v6 = or i32 1, 1
+  %v7 = or i32 %v6, %arg0
+  %v8 = mul i32 %v7, %v6
+  br label %join1
+
+join1:
+  %v9 = phi i32 [ %v5, %then1 ], [ %v8, %else1 ]
+  %v10 = xor i32 %v9, 3
+  %v11 = or i32 %v10, 13
+  %v12 = mul i32 %v11, 9
+  %v13 = call i32 @lib_clone_heavy_4(i32 %v12)
+  %v14 = xor i32 %v13, 1
+  %v15 = or i32 %v14, %arg0
+  %v16 = and i32 %v15, 13
+  %v17 = add i32 %v16, %v12
+  %v18 = add i32 %v17, %arg0
+  ret i32 %v18
+}
+
+define i32 @clone_heavy_fn19(i32 %arg0) {
+entry:
+  %v1 = and i32 1, 3
+  %v2 = call i32 @lib_clone_heavy_1(i32 %v1)
+  %v3 = add i32 %v2, %v2
+  %v4 = or i32 %v3, 1
+  %v5 = or i32 %v4, %arg0
+  br label %loop2
+
+loop2:
+  %v6 = phi i32 [ 0, %entry ], [ %v10, %body2 ]
+  %v7 = phi i32 [ %v1, %entry ], [ %v9, %body2 ]
+  %v8 = icmp slt i32 %v6, 4
+  br i1 %v8, label %body2, label %exit2
+
+body2:
+  %v9 = shl i32 %v7, %v6
+  %v10 = add i32 %v6, 1
+  br label %loop2
+
+exit2:
+  %v11 = mul i32 %v7, %v1
+  %v12 = call i32 @lib_clone_heavy_5(i32 %v11)
+  %v13 = xor i32 %v12, 8
+  %v14 = xor i32 %v13, 7
+  %v15 = call i32 @lib_clone_heavy_1(i32 %v14)
+  %v16 = call i32 @lib_clone_heavy_2(i32 %v15)
+  %v17 = call i32 @lib_clone_heavy_0(i32 %v16)
+  %v18 = sub i32 %v17, 1
+  %v19 = add i32 %v18, %v16
+  %v20 = xor i32 %v19, %v11
+  %v21 = xor i32 %v20, %v5
+  %v22 = mul i32 %v21, %v13
+  %v23 = or i32 %v22, %v20
+  %v24 = call i32 @lib_clone_heavy_4(i32 %v23)
+  ret i32 %v24
+}
+
+define i32 @clone_heavy_fn20(i32 %arg0, i32 %arg1, i32 %arg2) {
+entry:
+  %v1 = call i32 @lib_clone_heavy_2(i32 1)
+  %v2 = shl i32 %v1, 1
+  %v3 = add i32 %v2, %v1
+  %v4 = sub i32 %v3, 2
+  %v5 = sub i32 %v4, %v3
+  %v6 = sub i32 %v5, %v5
+  %v7 = call i32 @lib_clone_heavy_1(i32 %v6)
+  %v8 = sub i32 %v7, %v3
+  %v9 = call i32 @lib_clone_heavy_0(i32 %v8)
+  %v10 = icmp sgt i32 %v7, 7
+  br i1 %v10, label %then3, label %else3
+
+then3:
+  %v11 = call i32 @lib_clone_heavy_5(i32 %v9)
+  %v12 = xor i32 %v11, %v8
+  %v13 = sub i32 %v12, 2
+  %v14 = add i32 %v13, %v9
+  br label %join3
+
+else3:
+  %v15 = or i32 %v9, 11
+  %v16 = sub i32 %v15, %arg2
+  %v17 = call i32 @lib_clone_heavy_3(i32 %v16)
+  %v18 = xor i32 %v17, %v8
+  br label %join3
+
+join3:
+  %v19 = phi i32 [ %v14, %then3 ], [ %v18, %else3 ]
+  br label %loop4
+
+loop4:
+  %v20 = phi i32 [ 0, %join3 ], [ %v24, %body4 ]
+  %v21 = phi i32 [ %v7, %join3 ], [ %v23, %body4 ]
+  %v22 = icmp slt i32 %v20, 8
+  br i1 %v22, label %body4, label %exit4
+
+body4:
+  %v23 = or i32 %v21, %v20
+  %v24 = add i32 %v20, 1
+  br label %loop4
+
+exit4:
+  %v25 = icmp sgt i32 %v2, 5
+  br i1 %v25, label %then5, label %else5
+
+then5:
+  %v26 = shl i32 %v21, %v6
+  %v27 = call i32 @lib_clone_heavy_1(i32 %v26)
+  %v28 = and i32 %v27, 2
+  br label %join5
+
+else5:
+  %v29 = and i32 %v21, %v1
+  %v30 = add i32 %v29, %v29
+  %v31 = shl i32 %v30, 15
+  br label %join5
+
+join5:
+  %v32 = phi i32 [ %v28, %then5 ], [ %v31, %else5 ]
+  ret i32 %v32
+}
+
+define i32 @clone_heavy_fn21(i32 %arg0) {
+entry:
+  %v1 = mul i32 1, 1
+  %v2 = or i32 %v1, %arg0
+  %v3 = call i32 @lib_clone_heavy_4(i32 %v2)
+  %v4 = sub i32 %v3, %v2
+  %v5 = add i32 %v4, %v1
+  %v6 = call i32 @lib_clone_heavy_2(i32 %v5)
+  %v7 = and i32 %v6, 9
+  %v8 = call i32 @lib_clone_heavy_5(i32 %v7)
+  %v9 = shl i32 %v8, %v5
+  %v10 = shl i32 %v9, %v8
+  %v11 = xor i32 %v10, 11
+  ret i32 %v11
+}
+
+define i32 @clone_heavy_fn22(i32 %arg0, i32 %arg1) {
+entry:
+  %v1 = sub i32 1, 1
+  %v2 = add i32 %v1, 14
+  %v3 = call i32 @lib_clone_heavy_1(i32 %v2)
+  %v4 = xor i32 %v3, %v1
+  %v5 = call i32 @lib_clone_heavy_5(i32 %v4)
+  %v6 = and i32 %v5, %v5
+  %v7 = call i32 @lib_clone_heavy_5(i32 %v6)
+  %v8 = mul i32 %v7, %v7
+  %v9 = call i32 @lib_clone_heavy_4(i32 %v8)
+  %v10 = sub i32 %v9, 10
+  %v11 = shl i32 %v10, %v5
+  %v12 = shl i32 %v11, %v5
+  %v13 = shl i32 %v12, 9
+  %v14 = and i32 %v13, %arg1
+  %v15 = icmp sgt i32 %v5, 7
+  br i1 %v15, label %then5, label %else5
+
+then5:
+  %v16 = call i32 @lib_clone_heavy_5(i32 %v14)
+  %v17 = sub i32 %v16, 1
+  br label %join5
+
+else5:
+  %v18 = sub i32 %v14, %arg0
+  %v19 = and i32 %v18, %arg0
+  %v20 = xor i32 %v19, %v1
+  %v21 = sub i32 %v20, %v7
+  br label %join5
+
+join5:
+  %v22 = phi i32 [ %v17, %then5 ], [ %v21, %else5 ]
+  ret i32 %v22
+}
+
+define i32 @clone_heavy_fn23(i32 %arg0, i32 %arg1) {
+entry:
+  br label %loop1
+
+loop1:
+  %v1 = phi i32 [ 0, %entry ], [ %v5, %body1 ]
+  %v2 = phi i32 [ 1, %entry ], [ %v4, %body1 ]
+  %v3 = icmp slt i32 %v1, 2
+  br i1 %v3, label %body1, label %exit1
+
+body1:
+  %v4 = mul i32 %v2, %v1
+  %v5 = add i32 %v1, 1
+  br label %loop1
+
+exit1:
+  %v6 = icmp sgt i32 %arg1, 1
+  br i1 %v6, label %then2, label %else2
+
+then2:
+  %v7 = call i32 @lib_clone_heavy_1(i32 %v2)
+  %v8 = call i32 @lib_clone_heavy_2(i32 %v7)
+  br label %join2
+
+else2:
+  %v9 = add i32 %v2, 15
+  %v10 = and i32 %v9, 7
+  br label %join2
+
+join2:
+  %v11 = phi i32 [ %v8, %then2 ], [ %v10, %else2 ]
+  %v12 = sub i32 %v11, 3
+  %v13 = mul i32 %v12, %v11
+  %v14 = call i32 @lib_clone_heavy_5(i32 %v13)
+  %v15 = add i32 %v14, 1
+  %v16 = call i32 @lib_clone_heavy_1(i32 %v15)
+  %v17 = call i32 @lib_clone_heavy_1(i32 %v16)
+  %v18 = sub i32 %v17, 8
+  %v19 = or i32 %v18, 1
+  %v20 = shl i32 %v19, %v17
+  %v21 = call i32 @lib_clone_heavy_4(i32 %v20)
+  %v22 = and i32 %v21, %v14
+  %v23 = mul i32 %v22, 14
+  %v24 = mul i32 %v23, %arg1
+  %v25 = call i32 @lib_clone_heavy_2(i32 %v24)
+  %v26 = and i32 %v25, 13
+  %v27 = icmp sgt i32 %arg0, 6
+  br i1 %v27, label %then6, label %else6
+
+then6:
+  %v28 = shl i32 %v26, 2
+  %v29 = sub i32 %v28, %v2
+  br label %join6
+
+else6:
+  %v30 = call i32 @lib_clone_heavy_0(i32 %v26)
+  %v31 = or i32 %v30, %v15
+  br label %join6
+
+join6:
+  %v32 = phi i32 [ %v29, %then6 ], [ %v31, %else6 ]
+  ret i32 %v32
+}

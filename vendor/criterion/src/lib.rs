@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of the criterion API its benches use: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! time-boxed loop reporting mean/min wall-clock time per iteration — no
+//! statistics, plots or baselines, but the same source compiles and `cargo
+//! bench` produces comparable numbers.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-exported so `criterion::black_box` keeps working.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+pub struct Bencher {
+    /// (iterations, total elapsed) recorded by the last `iter` call.
+    measurement: Option<(u64, Duration)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: a few unmeasured runs so lazy initialisation and cache
+        // effects do not dominate the (short) measurement window.
+        for _ in 0..3 {
+            hint::black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.budget && iters >= 10 {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.measurement = Some((iters, start.elapsed()));
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `--test` (passed by `cargo test --benches`) asks for a smoke run:
+        // execute every benchmark once, skip real measurement.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            measurement_budget: if test_mode {
+                Duration::ZERO
+            } else {
+                Duration::from_millis(120)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let budget = self.measurement_budget;
+        run_one(id, budget, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        // Measurement here is time-boxed, not sample-counted; accepted for
+        // source compatibility.
+        self
+    }
+
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.measurement_budget = budget;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.measurement_budget, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(&label, self.criterion.measurement_budget, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, budget: Duration, mut f: F) {
+    let mut bencher = Bencher {
+        measurement: None,
+        budget,
+    };
+    f(&mut bencher);
+    match bencher.measurement {
+        Some((iters, elapsed)) if iters > 0 => {
+            let per_iter = elapsed.as_nanos() / iters as u128;
+            println!("  {label:<48} {per_iter:>12} ns/iter ({iters} iters)");
+        }
+        _ => println!("  {label:<48} (no measurement: routine never ran)"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            measurement_budget: Duration::ZERO,
+        };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion {
+            measurement_budget: Duration::ZERO,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut total = 0u64;
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 4), &4u64, |b, &n| {
+            b.iter(|| total += n)
+        });
+        group.finish();
+        assert!(total >= 4);
+    }
+}

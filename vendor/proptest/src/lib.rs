@@ -1,0 +1,220 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of proptest it uses: the [`proptest!`] macro over `arg in range`
+//! strategies, `prop_assert!` / `prop_assert_eq!`, [`ProptestConfig`] and
+//! [`TestCaseError`]. Instead of shrinking and adaptive generation, cases are
+//! enumerated deterministically: each `(test name, case index)` pair derives a
+//! fixed RNG seed, so failures reproduce exactly on re-run.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A genuine assertion failure — aborts the whole test.
+    Fail(String),
+    /// The inputs were unsuitable — the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// A source of generated values. Ranges of integers implement it through the
+/// vendored `rand::SampleRange`.
+pub trait Strategy {
+    type Value;
+    fn new_value(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<R: rand::SampleRange + Clone> Strategy for R {
+    type Value = R::Output;
+    fn new_value(&self, rng: &mut SmallRng) -> Self::Value {
+        self.clone().sample_from(rng)
+    }
+}
+
+fn seed_for(name: &str, case: u64) -> u64 {
+    // FNV-1a over the test name keeps seeds stable across runs and distinct
+    // across tests; the golden-ratio stride separates consecutive cases.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Driver invoked by the [`proptest!`] expansion. Not part of the public
+/// proptest API, but must be `pub` for the macro to reach it.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut run_one: F)
+where
+    F: FnMut(&mut SmallRng) -> (String, Result<(), TestCaseError>),
+{
+    for case in 0..config.cases as u64 {
+        let mut rng = SmallRng::seed_from_u64(seed_for(name, case));
+        let (inputs, outcome) = run_one(&mut rng);
+        match outcome {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {case} [{inputs}]: {msg}")
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(config, stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::new_value(&($strat), rng);)+
+                let inputs = [$(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+].join(", ");
+                let outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                (inputs, outcome)
+            });
+        }
+    )*};
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_are_honoured(x in 3u64..10, y in 0usize..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(super::seed_for("a_test", 0), super::seed_for("a_test", 0));
+        assert_ne!(super::seed_for("a_test", 0), super::seed_for("a_test", 1));
+        assert_ne!(super::seed_for("a_test", 0), super::seed_for("b_test", 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest 'doomed' failed")]
+    fn failures_panic_with_context() {
+        super::run_cases(ProptestConfig::with_cases(1), "doomed", |_| {
+            ("x = 1".to_string(), Err(TestCaseError::fail("boom")))
+        });
+    }
+
+    #[test]
+    fn rejects_are_skipped() {
+        super::run_cases(ProptestConfig::with_cases(4), "rejecting", |_| {
+            ("".to_string(), Err(TestCaseError::reject("unsuitable")))
+        });
+    }
+}

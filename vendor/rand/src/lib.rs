@@ -1,0 +1,254 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! tiny slice of the `rand` API it actually uses: a deterministic
+//! [`rngs::SmallRng`] seeded from a `u64`, and the [`Rng`] / [`SeedableRng`]
+//! traits with `gen`, `gen_bool` and `gen_range`. The generator is
+//! xorshift64* over a SplitMix64-expanded seed — statistically fine for
+//! synthetic-workload generation and, crucially, stable across runs so every
+//! seed in the test-suite reproduces the same function.
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an RNG (the `Standard`
+/// distribution in real `rand`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for i32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange {
+    type Output;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Integer primitives usable as `gen_range` bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // Modulo bias is ~span / 2^64, irrelevant for the tiny spans the
+    // workload generator uses; keep it branch-free and deterministic.
+    if span <= u64::MAX as u128 {
+        (rng.next_u64() as u128) % span
+    } else {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        wide % span
+    }
+}
+
+impl<T: UniformInt> SampleRange for core::ops::Range<T> {
+    type Output = T;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start.to_i128();
+        let hi = self.end.to_i128();
+        assert!(lo < hi, "gen_range called with an empty range");
+        let span = (hi - lo) as u128;
+        T::from_i128(lo + uniform_below(rng, span) as i128)
+    }
+}
+
+impl<T: UniformInt> SampleRange for core::ops::RangeInclusive<T> {
+    type Output = T;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start().to_i128();
+        let hi = self.end().to_i128();
+        assert!(lo <= hi, "gen_range called with an empty range");
+        let span = (hi - lo) as u128 + 1;
+        T::from_i128(lo + uniform_below(rng, span) as i128)
+    }
+}
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range called with an empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for core::ops::Range<f32> {
+    type Output = f32;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range called with an empty range");
+        self.start + f32::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing sampling trait, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        f64::sample(self) < p
+    }
+
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic small-state RNG (xorshift64*), seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 scrambles low-entropy seeds (0, 1, 2, ...) into
+            // well-mixed initial states; xorshift must never start at 0.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            SmallRng {
+                state: if z == 0 { 0x9e37_79b9_7f4a_7c15 } else { z },
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5usize..9);
+            assert!((5..9).contains(&v));
+            let w = rng.gen_range(2i64..=4);
+            assert!((2..=4).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(0);
+        let mut b = SmallRng::seed_from_u64(1);
+        let same = (0..32).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+}

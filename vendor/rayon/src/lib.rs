@@ -1,0 +1,162 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of the rayon API the merge driver uses: `slice.par_iter().map(f)
+//! .collect::<Vec<_>>()` plus [`current_num_threads`]. Under the hood this is
+//! `std::thread::scope` with a shared atomic work counter — genuinely
+//! parallel, dynamically load-balanced, and order-preserving (results come
+//! back in input order regardless of which thread computed them).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+pub mod iter {
+    use super::*;
+
+    /// Entry point mirroring rayon's `IntoParallelRefIterator`: adds
+    /// `.par_iter()` to slices and `Vec`s.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: Sync + 'data;
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        pub fn map<U, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            U: Send,
+            F: Fn(&'data T) -> U + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'data T) + Sync,
+        {
+            self.map(f).collect::<Vec<()>>();
+        }
+    }
+
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync, U: Send, F: Fn(&'data T) -> U + Sync> ParMap<'data, T, F> {
+        pub fn collect<C: FromIterator<U>>(self) -> C {
+            parallel_map(self.items, &self.f).into_iter().collect()
+        }
+    }
+
+    /// Order-preserving, dynamically balanced parallel map: workers pull the
+    /// next index off a shared counter, stash `(index, result)` locally, and
+    /// the results are stitched back into input order at the end.
+    fn parallel_map<'data, T, U, F>(items: &'data [T], f: &F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&'data T) -> U + Sync,
+    {
+        let n = items.len();
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        local.push((idx, f(&items[idx])));
+                    }
+                    if !local.is_empty() {
+                        collected.lock().unwrap().extend(local);
+                    }
+                });
+            }
+        });
+
+        let mut indexed = collected.into_inner().unwrap();
+        debug_assert_eq!(indexed.len(), n);
+        indexed.sort_unstable_by_key(|&(idx, _)| idx);
+        indexed.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, input.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..4096).collect();
+        let _: Vec<()> = input
+            .par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        if super::current_num_threads() > 1 {
+            assert!(seen.lock().unwrap().len() > 1, "expected multi-thread execution");
+        }
+    }
+}
