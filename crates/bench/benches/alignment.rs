@@ -20,21 +20,29 @@ fn alignment_benches(c: &mut Criterion) {
         let f1 = generate_function(&spec, &mut rng);
         let f2 = make_clone(&f1, "clone", Divergence::medium(), &mut rng, &[]);
 
-        group.bench_with_input(BenchmarkId::new("ssa (SalSSA input)", size), &size, |b, _| {
-            let s1 = linearize(&f1);
-            let s2 = linearize(&f2);
-            b.iter(|| align(&f1, &s1, &f2, &s2).stats.matches)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ssa (SalSSA input)", size),
+            &size,
+            |b, _| {
+                let s1 = linearize(&f1);
+                let s2 = linearize(&f2);
+                b.iter(|| align(&f1, &s1, &f2, &s2).stats.matches)
+            },
+        );
 
         let mut d1 = f1.clone();
         let mut d2 = f2.clone();
         reg2mem::demote_function(&mut d1);
         reg2mem::demote_function(&mut d2);
-        group.bench_with_input(BenchmarkId::new("demoted (FMSA input)", size), &size, |b, _| {
-            let s1 = linearize(&d1);
-            let s2 = linearize(&d2);
-            b.iter(|| align(&d1, &s1, &d2, &s2).stats.matches)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("demoted (FMSA input)", size),
+            &size,
+            |b, _| {
+                let s1 = linearize(&d1);
+                let s2 = linearize(&d2);
+                b.iter(|| align(&d1, &s1, &d2, &s2).stats.matches)
+            },
+        );
     }
     group.finish();
 }

@@ -12,7 +12,11 @@ fn pair_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("pair_merge");
     let mut rng = SmallRng::seed_from_u64(7);
     let f1 = generate_function(
-        &FunctionSpec { name: "base".into(), size: 120, ..FunctionSpec::default() },
+        &FunctionSpec {
+            name: "base".into(),
+            size: 120,
+            ..FunctionSpec::default()
+        },
         &mut rng,
     );
     let f2 = make_clone(&f1, "clone", Divergence::medium(), &mut rng, &[]);
@@ -44,15 +48,23 @@ fn module_merge(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("salssa", t), &t, |b, &t| {
             b.iter(|| {
                 let mut m = spec.generate();
-                merge_module(&mut m, &SalSsaMerger::default(), &DriverConfig::with_threshold(t))
-                    .num_merges()
+                merge_module(
+                    &mut m,
+                    &SalSsaMerger::default(),
+                    &DriverConfig::with_threshold(t),
+                )
+                .num_merges()
             })
         });
         group.bench_with_input(BenchmarkId::new("fmsa", t), &t, |b, &t| {
             b.iter(|| {
                 let mut m = spec.generate();
-                merge_module(&mut m, &FmsaMerger::default(), &DriverConfig::with_threshold(t))
-                    .num_merges()
+                merge_module(
+                    &mut m,
+                    &FmsaMerger::default(),
+                    &DriverConfig::with_threshold(t),
+                )
+                .num_merges()
             })
         });
     }

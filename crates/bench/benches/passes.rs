@@ -12,7 +12,11 @@ fn pass_benches(c: &mut Criterion) {
     for &size in &[60usize, 200] {
         let mut rng = SmallRng::seed_from_u64(size as u64);
         let f = generate_function(
-            &FunctionSpec { name: "f".into(), size, ..FunctionSpec::default() },
+            &FunctionSpec {
+                name: "f".into(),
+                size,
+                ..FunctionSpec::default()
+            },
             &mut rng,
         );
         group.bench_with_input(BenchmarkId::new("reg2mem", size), &size, |b, _| {

@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the cross-module pipeline over generated
+//! multi-module corpora: index construction, sharded candidate discovery, and
+//! the end-to-end xmerge run (with and without the semantic oracle).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fm_align::MinHash;
+use workloads::CorpusSpec;
+use xmerge::{discover, xmerge_corpus, CorpusIndex, DiscoveryConfig, XMergeConfig};
+
+fn corpus(num_modules: usize) -> Vec<ssa_ir::Module> {
+    CorpusSpec {
+        num_modules,
+        seed: 7,
+        ..CorpusSpec::default()
+    }
+    .generate()
+}
+
+fn index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xmerge_index");
+    for n in [4usize, 8] {
+        let modules = corpus(n);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| CorpusIndex::build(&modules, MinHash::DEFAULT_HASHES).num_functions())
+        });
+    }
+    group.finish();
+}
+
+fn candidate_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xmerge_discover");
+    let modules = corpus(8);
+    let index = CorpusIndex::build(&modules, MinHash::DEFAULT_HASHES);
+    group.bench_function("eight_modules", |b| {
+        b.iter(|| discover(&index, &DiscoveryConfig::default()).len())
+    });
+    group.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xmerge_pipeline");
+    group.sample_size(10);
+    for n in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut modules = corpus(n);
+                xmerge_corpus(&mut modules, &XMergeConfig::new()).num_commits()
+            })
+        });
+    }
+    group.bench_function("eight_modules_with_oracle", |b| {
+        b.iter(|| {
+            let mut modules = corpus(8);
+            let config = XMergeConfig::new().with_check_semantics(true);
+            xmerge_corpus(&mut modules, &config).num_commits()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, index_build, candidate_discovery, end_to_end);
+criterion_main!(benches);

@@ -35,8 +35,20 @@ fn main() {
 
     match experiment.as_str() {
         "fig5" => fig5(scale),
-        "fig17a" => fig17(scale, &thresholds, workloads::spec2006(), "SPEC CPU2006", Target::X86Like),
-        "fig17b" => fig17(scale, &thresholds, workloads::spec2017(), "SPEC CPU2017", Target::X86Like),
+        "fig17a" => fig17(
+            scale,
+            &thresholds,
+            workloads::spec2006(),
+            "SPEC CPU2006",
+            Target::X86Like,
+        ),
+        "fig17b" => fig17(
+            scale,
+            &thresholds,
+            workloads::spec2017(),
+            "SPEC CPU2017",
+            Target::X86Like,
+        ),
         "fig18" => fig18(scale, &thresholds),
         "table1" => table1(scale),
         "fig19" => fig19(scale),
@@ -48,8 +60,20 @@ fn main() {
         "fig25" => fig25(scale),
         "all" => {
             fig5(scale);
-            fig17(scale, &[1], workloads::spec2006(), "SPEC CPU2006", Target::X86Like);
-            fig17(scale, &[1], workloads::spec2017(), "SPEC CPU2017", Target::X86Like);
+            fig17(
+                scale,
+                &[1],
+                workloads::spec2006(),
+                "SPEC CPU2006",
+                Target::X86Like,
+            );
+            fig17(
+                scale,
+                &[1],
+                workloads::spec2017(),
+                "SPEC CPU2017",
+                Target::X86Like,
+            );
             fig18(scale, &[1]);
             table1(scale);
             fig19(scale);
@@ -92,7 +116,10 @@ fn geomean(values: &[f64]) -> f64 {
 // ---------------------------------------------------------------------------
 fn fig5(scale: f64) {
     println!("\n== Figure 5: normalized function size after register demotion (SPEC CPU2006) ==");
-    println!("{:<18} {:>10} {:>10} {:>8}", "benchmark", "before", "after", "ratio");
+    println!(
+        "{:<18} {:>10} {:>10} {:>8}",
+        "benchmark", "before", "after", "ratio"
+    );
     let mut ratios = Vec::new();
     for spec in suite(workloads::spec2006(), scale) {
         let module = spec.generate();
@@ -108,10 +135,16 @@ fn fig5(scale: f64) {
             .sum();
         let ratio = after as f64 / before as f64;
         ratios.push(ratio);
-        println!("{:<18} {:>10} {:>10} {:>8.2}", spec.name, before, after, ratio);
+        println!(
+            "{:<18} {:>10} {:>10} {:>8.2}",
+            spec.name, before, after, ratio
+        );
     }
     let gmean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
-    println!("{:<18} {:>10} {:>10} {:>8.2}   (paper: 1.73)", "GMean", "", "", gmean);
+    println!(
+        "{:<18} {:>10} {:>10} {:>8.2}   (paper: 1.73)",
+        "GMean", "", "", gmean
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -137,7 +170,10 @@ fn size_reduction_row(
     let mut salssa_module = spec.generate();
     let salssa_report = merge_module(
         &mut salssa_module,
-        &SalSsaMerger::new(MergeOptions { target, ..MergeOptions::default() }),
+        &SalSsaMerger::new(MergeOptions {
+            target,
+            ..MergeOptions::default()
+        }),
         &DriverConfig::with_threshold(threshold),
     );
     cleanup_module(&mut salssa_module);
@@ -153,7 +189,10 @@ fn fig17(scale: f64, thresholds: &[usize], specs: Vec<BenchmarkSpec>, label: &st
     println!("\n== Figure 17: linked-object size reduction over LTO, {label} ==");
     for &t in thresholds {
         println!("-- exploration threshold t = {t}");
-        println!("{:<20} {:>12} {:>12}", "benchmark", "FMSA (%)", "SalSSA (%)");
+        println!(
+            "{:<20} {:>12} {:>12}",
+            "benchmark", "FMSA (%)", "SalSSA (%)"
+        );
         let mut fmsa_all = Vec::new();
         let mut salssa_all = Vec::new();
         for spec in suite(specs.clone(), scale) {
@@ -172,7 +211,9 @@ fn fig17(scale: f64, thresholds: &[usize], specs: Vec<BenchmarkSpec>, label: &st
 }
 
 fn fig18(scale: f64, thresholds: &[usize]) {
-    println!("\n== Figure 18: size reduction on MiBench (Thumb-like target), incl. FMSA residue ==");
+    println!(
+        "\n== Figure 18: size reduction on MiBench (Thumb-like target), incl. FMSA residue =="
+    );
     for &t in thresholds {
         println!("-- exploration threshold t = {t}");
         println!(
@@ -230,8 +271,7 @@ fn table1(scale: f64) {
         let min = sizes.iter().min().copied().unwrap_or(0);
         let max = sizes.iter().max().copied().unwrap_or(0);
         let avg = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
-        let (_, _, fmsa_merges, salssa_merges) =
-            size_reduction_row(&spec, 1, Target::ThumbLike);
+        let (_, _, fmsa_merges, salssa_merges) = size_reduction_row(&spec, 1, Target::ThumbLike);
         println!(
             "{:<16} {:>6} {:>18} {:>10} {:>10}",
             spec.name,
@@ -257,7 +297,10 @@ fn fig19(scale: f64) {
     let mut module = spec.generate();
     let report = merge_module(
         &mut module,
-        &SalSsaMerger::new(MergeOptions { target, ..MergeOptions::default() }),
+        &SalSsaMerger::new(MergeOptions {
+            target,
+            ..MergeOptions::default()
+        }),
         &DriverConfig::with_threshold(1),
     );
     println!("{:<40} {:>14}", "merge (f1+f2)", "profit (bytes)");
@@ -302,11 +345,17 @@ fn fig20(scale: f64) {
             target,
             ..MergeOptions::without_phi_coalescing()
         }));
-        let full = run(&SalSsaMerger::new(MergeOptions { target, ..MergeOptions::default() }));
+        let full = run(&SalSsaMerger::new(MergeOptions {
+            target,
+            ..MergeOptions::default()
+        }));
         rows.0.push(fmsa);
         rows.1.push(nopc);
         rows.2.push(full);
-        println!("{:<18} {:>10.1} {:>14.1} {:>10.1}", spec.name, fmsa, nopc, full);
+        println!(
+            "{:<18} {:>10.1} {:>14.1} {:>10.1}",
+            spec.name, fmsa, nopc, full
+        );
     }
     println!(
         "{:<18} {:>10.1} {:>14.1} {:>10.1}   (paper gmeans: 3.8 / 8.1 / 9.3)",
@@ -340,8 +389,13 @@ fn fig21(scale: f64) {
 // Figure 22: peak memory of the merging pass.
 // ---------------------------------------------------------------------------
 fn fig22(scale: f64) {
-    println!("\n== Figure 22: peak alignment-matrix footprint during merging (SPEC CPU2006, t = 1) ==");
-    println!("{:<18} {:>14} {:>14} {:>8}", "benchmark", "FMSA (KiB)", "SalSSA (KiB)", "ratio");
+    println!(
+        "\n== Figure 22: peak alignment-matrix footprint during merging (SPEC CPU2006, t = 1) =="
+    );
+    println!(
+        "{:<18} {:>14} {:>14} {:>8}",
+        "benchmark", "FMSA (KiB)", "SalSSA (KiB)", "ratio"
+    );
     let mut ratios = Vec::new();
     for spec in suite(workloads::spec2006(), scale) {
         let mut fmsa_module = spec.generate();
@@ -365,7 +419,9 @@ fn fig22(scale: f64) {
         println!("{:<18} {:>14.1} {:>14.1} {:>8.2}", spec.name, f, s, ratio);
     }
     let gmean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len().max(1) as f64).exp();
-    println!("GMean ratio FMSA/SalSSA: {gmean:.2}x   (paper: SalSSA uses less than half the memory)");
+    println!(
+        "GMean ratio FMSA/SalSSA: {gmean:.2}x   (paper: SalSSA uses less than half the memory)"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -373,7 +429,10 @@ fn fig22(scale: f64) {
 // ---------------------------------------------------------------------------
 fn fig23(scale: f64) {
     println!("\n== Figure 23: SalSSA speedup over FMSA on alignment + code generation (t = 1) ==");
-    println!("{:<18} {:>12} {:>12} {:>9} {:>9}", "benchmark", "FMSA cells", "SalSSA cells", "align x", "time x");
+    println!(
+        "{:<18} {:>12} {:>12} {:>9} {:>9}",
+        "benchmark", "FMSA cells", "SalSSA cells", "align x", "time x"
+    );
     let mut speedups = Vec::new();
     for spec in suite(workloads::spec2006(), scale) {
         let mut fmsa_module = spec.generate();
@@ -392,13 +451,16 @@ fn fig23(scale: f64) {
             &DriverConfig::with_threshold(1),
         );
         let salssa_time = t1.elapsed();
-        let cell_speedup =
-            fmsa_report.total_cells as f64 / salssa_report.total_cells.max(1) as f64;
+        let cell_speedup = fmsa_report.total_cells as f64 / salssa_report.total_cells.max(1) as f64;
         let time_speedup = fmsa_time.as_secs_f64() / salssa_time.as_secs_f64().max(1e-9);
         speedups.push(cell_speedup);
         println!(
             "{:<18} {:>12} {:>12} {:>9.2} {:>9.2}",
-            spec.name, fmsa_report.total_cells, salssa_report.total_cells, cell_speedup, time_speedup
+            spec.name,
+            fmsa_report.total_cells,
+            salssa_report.total_cells,
+            cell_speedup,
+            time_speedup
         );
     }
     let gmean = (speedups.iter().map(|r| r.ln()).sum::<f64>() / speedups.len().max(1) as f64).exp();

@@ -1,53 +1,95 @@
-//! `salssa` — whole-module function merging from the command line.
+//! `salssa` — function merging from the command line.
 //!
-//! Runs the full pipeline over an `.ll`-style module file:
-//! parse → merge-module (SalSSA, parallel candidate scoring by default) →
-//! verify → report.
+//! Subcommands:
+//!
+//! - `merge <input.ll>` — whole-module merging of one module (the default
+//!   when the first argument is a file): parse → merge-module (SalSSA,
+//!   parallel candidate scoring by default) → verify → report.
+//! - `index <dir>` — build the cross-module summary index of a corpus of
+//!   `.ll` files (MinHash + opcode fingerprints; `--out` serializes it).
+//! - `xmerge <dir>` — cross-module merging over a corpus: sharded candidate
+//!   discovery over the index, speculative parallel scoring, profit-ordered
+//!   commits with donor-side thunks (`--out-dir` writes merged modules).
+//! - `report <dir|files...>` — per-module merge statistics, `--json` for the
+//!   machine-readable schema.
 //!
 //! ```text
 //! cargo run --release --bin salssa -- examples/clone_heavy.ll
-//! cargo run --release --bin salssa -- --threshold 5 --sequential input.ll
+//! cargo run --release --bin salssa -- xmerge corpus/ --check-semantics
+//! cargo run --release --bin salssa -- report --json corpus/
 //! ```
 
 use salssa::{merge_module, DriverConfig, DriverMode, MergeOptions, SalSsaMerger};
 use ssa_ir::verifier::verify_module;
-use ssa_ir::{parse_module, print_module};
+use ssa_ir::{parse_module, print_module, Module};
 use ssa_passes::codesize::Target;
 use ssa_passes::module_size_bytes;
 use std::io::Write;
+use std::path::Path;
 use std::process::ExitCode;
+use xmerge::{corpus_report_json, merge_report_json, CorpusIndex, XMergeConfig};
 
 const USAGE: &str = "\
-usage: salssa [options] <input.ll>
+usage: salssa [command] [options] <inputs>
 
-Merges similar functions in an SSA module by sequence alignment (SalSSA,
-Rocha et al., PLDI 2020) and prints the resulting ModuleMergeReport.
+Function merging by sequence alignment on SSA form (SalSSA, Rocha et al.,
+PLDI 2020), intra-module and across a multi-module corpus.
+
+commands:
+  merge <input.ll>       merge similar functions within one module (default
+                         when the first argument is a file)
+  index <dir>            build the cross-module summary index of a corpus
+  xmerge <dir>           cross-module merging over all .ll files in <dir>
+  report <dir|files...>  run per-module merging and report statistics
 
 options:
   -t, --threshold <N>    exploration threshold: ranked candidates tried per
-                         function (default 1)
+                         function (default 1; xmerge default 3)
       --min-size <N>     skip functions smaller than N instructions (default 3)
       --sequential       score candidate pairs inline on one thread
       --parallel         score candidate pairs on all cores (default)
       --batch-size <N>   candidate pairs per parallel scoring batch (default 128)
+      --check-semantics  differentially test every commit with the reference
+                         interpreter and reject mismatches
       --no-phi-coalescing  disable phi-node coalescing (SalSSA-NoPC ablation)
       --target <x86|thumb> code-size model for profitability (default x86)
+      --json             emit machine-readable JSON instead of the report
+      --out <file>       index: write the serialized index here ('-' = stdout)
+      --out-dir <dir>    xmerge: write the merged modules here
       --print-module     print the merged module IR after the report
   -h, --help             show this help
 ";
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Merge,
+    Index,
+    XMerge,
+    Report,
+}
+
 struct Cli {
-    input: String,
+    command: Command,
+    inputs: Vec<String>,
     config: DriverConfig,
     options: MergeOptions,
+    threshold_set: bool,
     print_module: bool,
+    json: bool,
+    out: Option<String>,
+    out_dir: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
-    let mut input: Option<String> = None;
+    let mut command: Option<Command> = None;
+    let mut inputs: Vec<String> = Vec::new();
     let mut config = DriverConfig::default().with_mode(DriverMode::Parallel);
     let mut options = MergeOptions::default();
+    let mut threshold_set = false;
     let mut print_module = false;
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut out_dir: Option<String> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -61,6 +103,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 config.threshold = value_for(arg)?
                     .parse()
                     .map_err(|e| format!("bad {arg}: {e}"))?;
+                threshold_set = true;
             }
             "--min-size" => {
                 config.min_function_size = value_for(arg)?
@@ -75,6 +118,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--sequential" => config.mode = DriverMode::Sequential,
             "--parallel" => config.mode = DriverMode::Parallel,
+            "--check-semantics" => config.check_semantics = true,
             "--no-phi-coalescing" => options.phi_coalescing = false,
             "--target" => {
                 options.target = match value_for(arg)?.as_str() {
@@ -83,24 +127,100 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("unknown target '{other}' (x86|thumb)")),
                 };
             }
+            "--json" => json = true,
+            "--out" => out = Some(value_for(arg)?),
+            "--out-dir" => out_dir = Some(value_for(arg)?),
             "--print-module" => print_module = true,
             "-h" | "--help" => return Err(String::new()),
-            other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
-            other => {
-                if input.replace(other.to_string()).is_some() {
-                    return Err("more than one input file given".to_string());
-                }
+            "merge" | "index" | "xmerge" | "report" if command.is_none() && inputs.is_empty() => {
+                command = Some(match arg.as_str() {
+                    "merge" => Command::Merge,
+                    "index" => Command::Index,
+                    "xmerge" => Command::XMerge,
+                    _ => Command::Report,
+                });
             }
+            other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
+            other => inputs.push(other.to_string()),
         }
     }
 
-    let input = input.ok_or_else(|| "no input file given".to_string())?;
+    let command = command.unwrap_or(Command::Merge);
+    if inputs.is_empty() {
+        return Err("no input given".to_string());
+    }
+    if command != Command::Report && inputs.len() > 1 {
+        return Err("more than one input given".to_string());
+    }
     Ok(Cli {
-        input,
+        command,
+        inputs,
         config,
         options,
+        threshold_set,
         print_module,
+        json,
+        out,
+        out_dir,
     })
+}
+
+/// Loads every parseable `.ll` module of a directory (sorted by file name for
+/// determinism; module names are the file stems) or the single file at
+/// `path`. Unparseable files are reported to stderr and skipped — a corpus
+/// with zero parseable modules is an empty result, not an error.
+fn load_corpus(path: &str) -> Result<Vec<Module>, String> {
+    let p = Path::new(path);
+    if p.is_file() {
+        let module = load_module(path)?;
+        return Ok(vec![module]);
+    }
+    if !p.is_dir() {
+        return Err(format!("{path}: no such file or directory"));
+    }
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(p)
+        .map_err(|e| format!("{path}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|f| f.extension().is_some_and(|ext| ext == "ll"))
+        .collect();
+    files.sort();
+    let mut modules = Vec::new();
+    for file in files {
+        match load_module(&file.to_string_lossy()) {
+            Ok(module) => modules.push(module),
+            Err(e) => eprintln!("warning: skipping {e}"),
+        }
+    }
+    Ok(modules)
+}
+
+fn load_module(path: &str) -> Result<Module, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut module = parse_module(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+    let errors = verify_module(&module);
+    if !errors.is_empty() {
+        return Err(format!("{path}: invalid module: {:?}", errors[0]));
+    }
+    module.name = Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    Ok(module)
+}
+
+/// Writes to stdout, treating a broken pipe (e.g. piping into `head`) as a
+/// quiet success.
+fn emit(body: impl FnOnce(&mut dyn Write) -> std::io::Result<()>) -> ExitCode {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match body(&mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: writing output failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -116,30 +236,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    match cli.command {
+        Command::Merge => run_merge(&cli),
+        Command::Index => run_index(&cli),
+        Command::XMerge => run_xmerge(&cli),
+        Command::Report => run_report(&cli),
+    }
+}
 
-    let text = match std::fs::read_to_string(&cli.input) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", cli.input);
-            return ExitCode::from(2);
-        }
-    };
-    let mut module = match parse_module(&text) {
+fn run_merge(cli: &Cli) -> ExitCode {
+    let input = &cli.inputs[0];
+    let mut module = match load_module(input) {
         Ok(module) => module,
         Err(e) => {
-            eprintln!("error: {}: parse error: {e}", cli.input);
+            eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
-
-    let preexisting = verify_module(&module);
-    if !preexisting.is_empty() {
-        eprintln!("error: {} is not a valid module before merging:", cli.input);
-        for err in preexisting.iter().take(10) {
-            eprintln!("  {err:?}");
-        }
-        return ExitCode::from(2);
-    }
 
     let size_before = module_size_bytes(&module, cli.options.target);
     let functions_before = module.num_functions();
@@ -156,38 +269,213 @@ fn main() -> ExitCode {
     }
 
     let size_after = module_size_bytes(&module, cli.options.target);
-    // Write through a checked handle: a downstream `head` closing the pipe
-    // must end the program quietly, not panic with a broken-pipe abort.
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
     let saved = size_before.saturating_sub(size_after);
-    let emit = |out: &mut dyn Write| -> std::io::Result<()> {
-        writeln!(
-            out,
-            "{}: {} functions, {} bytes modelled ({:?} scoring, threshold {})",
-            cli.input, functions_before, size_before, cli.config.mode, cli.config.threshold
-        )?;
-        writeln!(out, "{report}")?;
-        writeln!(
-            out,
-            "module: {} -> {} functions, {} -> {} bytes ({:.1}% reduction), verification clean",
-            functions_before,
-            module.num_functions(),
-            size_before,
-            size_after,
-            100.0 * saved as f64 / size_before.max(1) as f64
-        )?;
+    emit(|out| {
+        if cli.json {
+            writeln!(
+                out,
+                "{}",
+                merge_report_json(
+                    input,
+                    &report,
+                    (functions_before, module.num_functions()),
+                    (size_before, size_after),
+                )
+            )?;
+        } else {
+            writeln!(
+                out,
+                "{}: {} functions, {} bytes modelled ({:?} scoring, threshold {})",
+                input, functions_before, size_before, cli.config.mode, cli.config.threshold
+            )?;
+            writeln!(out, "{report}")?;
+            writeln!(
+                out,
+                "module: {} -> {} functions, {} -> {} bytes ({:.1}% reduction), verification clean",
+                functions_before,
+                module.num_functions(),
+                size_before,
+                size_after,
+                100.0 * saved as f64 / size_before.max(1) as f64
+            )?;
+        }
         if cli.print_module {
             writeln!(out, "\n{}", print_module(&module))?;
         }
         Ok(())
-    };
-    match emit(&mut out) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+    })
+}
+
+fn run_index(cli: &Cli) -> ExitCode {
+    let input = &cli.inputs[0];
+    let modules = match load_corpus(input) {
+        Ok(modules) => modules,
         Err(e) => {
-            eprintln!("error: writing report failed: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if modules.is_empty() {
+        return emit(|out| writeln!(out, "{input}: 0 modules (0 functions); nothing to index"));
+    }
+    let index = CorpusIndex::build(&modules, fm_align_default_hashes());
+    if let Some(out_path) = &cli.out {
+        let serialized = index.serialize();
+        if out_path == "-" {
+            return emit(|out| out.write_all(serialized.as_bytes()));
+        }
+        if let Err(e) = std::fs::write(out_path, serialized) {
+            eprintln!("error: cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
         }
     }
+    emit(|out| {
+        writeln!(
+            out,
+            "{input}: indexed {} modules, {} functions ({} signature components each)",
+            index.num_modules(),
+            index.num_functions(),
+            index.num_hashes
+        )?;
+        if let Some(out_path) = &cli.out {
+            if out_path != "-" {
+                writeln!(out, "index written to {out_path}")?;
+            }
+        }
+        Ok(())
+    })
+}
+
+fn fm_align_default_hashes() -> usize {
+    fm_align::MinHash::DEFAULT_HASHES
+}
+
+fn run_xmerge(cli: &Cli) -> ExitCode {
+    let input = &cli.inputs[0];
+    let mut modules = match load_corpus(input) {
+        Ok(modules) => modules,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if modules.is_empty() {
+        return emit(|out| writeln!(out, "{input}: 0 modules (0 functions); nothing to merge"));
+    }
+    let mut config = XMergeConfig::new().with_check_semantics(cli.config.check_semantics);
+    config.options = cli.options;
+    config.batch_size = cli.config.batch_size;
+    config.discovery.min_function_size = cli.config.min_function_size;
+    if cli.threshold_set {
+        config.discovery.max_candidates_per_fn = cli.config.threshold;
+    }
+    let report = xmerge::xmerge_corpus(&mut modules, &config);
+
+    for module in &modules {
+        let errors = verify_module(module);
+        if !errors.is_empty() {
+            eprintln!(
+                "error: module {} FAILED verification after merging:",
+                module.name
+            );
+            for err in errors.iter().take(10) {
+                eprintln!("  {err:?}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(dir) = &cli.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for module in &modules {
+            let path = format!("{}/{}.ll", dir.trim_end_matches('/'), module.name);
+            if let Err(e) = std::fs::write(&path, print_module(module)) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    emit(|out| {
+        if cli.json {
+            writeln!(out, "{}", corpus_report_json(&report))?;
+        } else {
+            writeln!(
+                out,
+                "{input}: {} modules, {} functions",
+                report.modules, report.functions
+            )?;
+            writeln!(out, "{report}")?;
+            writeln!(out, "all {} modules pass verification", report.modules)?;
+        }
+        if cli.print_module {
+            for module in &modules {
+                writeln!(out, "\n{}", print_module(module))?;
+            }
+        }
+        Ok(())
+    })
+}
+
+fn run_report(cli: &Cli) -> ExitCode {
+    let mut modules: Vec<Module> = Vec::new();
+    for input in &cli.inputs {
+        match load_corpus(input) {
+            Ok(found) => modules.extend(found),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if modules.is_empty() {
+        return emit(|out| writeln!(out, "0 modules (0 functions); nothing to report"));
+    }
+    let merger = SalSsaMerger::new(cli.options);
+    let mut entries: Vec<String> = Vec::new();
+    let mut failed = false;
+    for module in &mut modules {
+        let name = module.name.clone();
+        let functions_before = module.num_functions();
+        let size_before = module_size_bytes(module, cli.options.target);
+        let report = merge_module(module, &merger, &cli.config);
+        if !verify_module(module).is_empty() {
+            eprintln!("error: module {name} FAILED verification after merging");
+            failed = true;
+            continue;
+        }
+        let size_after = module_size_bytes(module, cli.options.target);
+        if cli.json {
+            entries.push(merge_report_json(
+                &name,
+                &report,
+                (functions_before, module.num_functions()),
+                (size_before, size_after),
+            ));
+        } else {
+            entries.push(format!(
+                "{name}: {} merges, {} -> {} bytes ({:.1}% reduction), {} semantic rejections",
+                report.num_merges(),
+                size_before,
+                size_after,
+                100.0 * size_before.saturating_sub(size_after) as f64 / size_before.max(1) as f64,
+                report.semantic_rejections
+            ));
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    emit(|out| {
+        if cli.json {
+            writeln!(out, "[{}]", entries.join(","))?;
+        } else {
+            for line in &entries {
+                writeln!(out, "{line}")?;
+            }
+            writeln!(out, "{} modules reported", entries.len())?;
+        }
+        Ok(())
+    })
 }

@@ -158,7 +158,13 @@ pub fn generate(
         .collect();
     let mut merged = Function::new(merged_name, params, f1.ret_ty);
     merged.param_names = (0..merged.params.len())
-        .map(|i| if i == 0 { "fid".to_string() } else { format!("p{i}") })
+        .map(|i| {
+            if i == 0 {
+                "fid".to_string()
+            } else {
+                format!("p{i}")
+            }
+        })
         .collect();
 
     // ----- CFG generation ---------------------------------------------------
@@ -168,11 +174,8 @@ pub fn generate(
     for pair in &alignment.pairs {
         match pair {
             AlignedPair::Match(SeqEntry::Label(l1), SeqEntry::Label(l2)) => {
-                let block = merged.add_block(format!(
-                    "m.{}.{}",
-                    f1.block(*l1).name,
-                    f2.block(*l2).name
-                ));
+                let block =
+                    merged.add_block(format!("m.{}.{}", f1.block(*l1).name, f2.block(*l2).name));
                 maps.label_f1.insert(*l1, block);
                 maps.label_f2.insert(*l2, block);
                 maps.block_origin.insert(block, (Some(*l1), Some(*l2)));
@@ -251,7 +254,13 @@ fn copy_phis(
 ) {
     for &phi in &source.block(label).phis {
         let ty = source.inst(phi).ty;
-        let new_phi = merged.append_inst(block, InstKind::Phi { incomings: Vec::new() }, ty);
+        let new_phi = merged.append_inst(
+            block,
+            InstKind::Phi {
+                incomings: Vec::new(),
+            },
+            ty,
+        );
         if let Some(name) = &source.inst(phi).name {
             merged.set_inst_name(new_phi, name.clone());
         }
@@ -394,7 +403,11 @@ fn append_dispatch(
         (Some(a), Some(b)) => {
             merged.append_inst(
                 block,
-                InstKind::CondBr { cond: FID, if_true: b, if_false: a },
+                InstKind::CondBr {
+                    cond: FID,
+                    if_true: b,
+                    if_false: a,
+                },
                 Type::Void,
             );
         }
@@ -516,7 +529,11 @@ fn resolve_operand_pairs(
             let select = merged.insert_inst(
                 block,
                 pos,
-                InstKind::Select { cond: FID, if_true: b, if_false: a },
+                InstKind::Select {
+                    cond: FID,
+                    if_true: b,
+                    if_false: a,
+                },
                 ty,
             );
             merged.set_inst_name(select, "opsel");
@@ -595,13 +612,20 @@ fn assign_labels(
                     let xorred = merged.insert_inst(
                         block,
                         pos,
-                        InstKind::Binary { op: BinOp::Xor, lhs: cond, rhs: FID },
+                        InstKind::Binary {
+                            op: BinOp::Xor,
+                            lhs: cond,
+                            rhs: FID,
+                        },
                         Type::I1,
                     );
                     merged.set_inst_name(xorred, "xorcond");
                     maps.xor_branches += 1;
-                    if let InstKind::CondBr { cond, if_true, if_false } =
-                        &mut merged.inst_mut(inst).kind
+                    if let InstKind::CondBr {
+                        cond,
+                        if_true,
+                        if_false,
+                    } = &mut merged.inst_mut(inst).kind
                     {
                         *cond = Value::Inst(xorred);
                         *if_true = l1[0];
@@ -644,7 +668,11 @@ fn select_label(
     let sel = merged.add_block("lsel");
     merged.append_inst(
         sel,
-        InstKind::CondBr { cond: FID, if_true: b, if_false: a },
+        InstKind::CondBr {
+            cond: FID,
+            if_true: b,
+            if_false: a,
+        },
         Type::Void,
     );
     maps.block_origin.insert(sel, origin);
@@ -727,7 +755,10 @@ fn assign_phi_incomings(
             Side::F1 => (f1, 0),
             Side::F2 => (f2, 1),
         };
-        let InstKind::Phi { incomings: orig_incomings } = &source.inst(orig_phi).kind else {
+        let InstKind::Phi {
+            incomings: orig_incomings,
+        } = &source.inst(orig_phi).kind
+        else {
             continue;
         };
         let ty = merged.inst(phi).ty;
@@ -737,8 +768,16 @@ fn assign_phi_incomings(
             if incomings.iter().any(|(_, b)| *b == pred) {
                 continue;
             }
-            let origin = maps.block_origin.get(&pred).copied().unwrap_or((None, None));
-            let orig_pred = if origin_index == 0 { origin.0 } else { origin.1 };
+            let origin = maps
+                .block_origin
+                .get(&pred)
+                .copied()
+                .unwrap_or((None, None));
+            let orig_pred = if origin_index == 0 {
+                origin.0
+            } else {
+                origin.1
+            };
             let value = orig_pred
                 .and_then(|op| {
                     orig_incomings
@@ -845,10 +884,7 @@ L4:
         let f2 = parse_function(F2).unwrap();
         let (merged, maps) = merge_raw(&f1, &f2);
         assert_eq!(maps.phi_origin.len(), 2);
-        let phi_count: usize = merged
-            .block_ids()
-            .map(|b| merged.block(b).phis.len())
-            .sum();
+        let phi_count: usize = merged.block_ids().map(|b| merged.block(b).phis.len()).sum();
         assert_eq!(phi_count, 2);
     }
 
@@ -914,7 +950,10 @@ L4:
         )
         .unwrap();
         let (_, maps) = merge_raw(&a, &b);
-        assert_eq!(maps.selects_inserted, 0, "reordering should avoid the select");
+        assert_eq!(
+            maps.selects_inserted, 0,
+            "reordering should avoid the select"
+        );
         // With reordering disabled the selects appear.
         let s1 = linearize(&a);
         let s2 = linearize(&b);

@@ -108,7 +108,20 @@ pub struct DriverConfig {
     /// instrumentation, no merged bodies) accumulate in the score cache until
     /// the commit replay consumes them. Irrelevant in sequential mode.
     pub batch_size: usize,
+    /// Opt-in semantic oracle: differentially test every would-be commit with
+    /// the reference interpreter ([`ssa_interp::differential_check`]) on
+    /// deterministic random inputs, and reject (skip) merges whose thunked
+    /// module diverges from the original. Rejections are counted in
+    /// [`ModuleMergeReport::semantic_rejections`].
+    pub check_semantics: bool,
 }
+
+/// Random input vectors sampled per function by the semantic oracle (on top
+/// of the fixed all-zeros/all-ones edge vectors).
+pub const SEMANTIC_SAMPLES: usize = 6;
+
+/// Seed of the oracle's deterministic input sampling.
+pub const SEMANTIC_SEED: u64 = 0x5a15_5a00;
 
 impl Default for DriverConfig {
     fn default() -> Self {
@@ -117,6 +130,7 @@ impl Default for DriverConfig {
             min_function_size: 3,
             mode: DriverMode::Sequential,
             batch_size: 128,
+            check_semantics: false,
         }
     }
 }
@@ -147,6 +161,14 @@ impl DriverConfig {
     pub fn with_batch_size(self, batch_size: usize) -> DriverConfig {
         DriverConfig {
             batch_size: batch_size.max(1),
+            ..self
+        }
+    }
+
+    /// Enables or disables the differential semantic oracle.
+    pub fn with_check_semantics(self, check_semantics: bool) -> DriverConfig {
+        DriverConfig {
+            check_semantics,
             ..self
         }
     }
@@ -191,6 +213,10 @@ pub struct ModuleMergeReport {
     pub peak_matrix_bytes: u64,
     /// Total dynamic-programming cells computed (time proxy for Figure 23).
     pub total_cells: u64,
+    /// Profitable merges rejected by the semantic oracle (always 0 unless
+    /// [`DriverConfig::check_semantics`] is on; nonzero means the merger
+    /// produced observably wrong code and the driver refused to commit it).
+    pub semantic_rejections: usize,
 }
 
 impl ModuleMergeReport {
@@ -237,7 +263,15 @@ impl fmt::Display for ModuleMergeReport {
             self.peak_matrix_bytes,
             self.total_cells,
             self.total_profit_bytes()
-        )
+        )?;
+        if self.semantic_rejections > 0 {
+            write!(
+                f,
+                "\n  semantic oracle rejected {} merges",
+                self.semantic_rejections
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -408,14 +442,42 @@ pub fn merge_module(
             let pair = pair.unwrap_or_else(|| {
                 let (f1, f2) = (
                     module.function(&name).expect("winner's f1 must be live"),
-                    module.function(&candidate).expect("winner's f2 must be live"),
+                    module
+                        .function(&candidate)
+                        .expect("winner's f2 must be live"),
                 );
                 let merged_name = format!("merged.{}.{}", f1.name, f2.name);
                 merger
                     .merge_pair(f1, f2, &merged_name)
                     .expect("a scored profitable pair must merge deterministically")
             });
-            let record = commit_merge(module, &name, &candidate, pair, profit, merger.target());
+            let record = if config.check_semantics {
+                // Trial-commit on a copy and interrogate it with the
+                // interpreter; only adopt the copy when both original entry
+                // points still behave identically.
+                let mut trial = module.clone();
+                let record =
+                    commit_merge(&mut trial, &name, &candidate, pair, profit, merger.target());
+                let verdict = [name.as_str(), candidate.as_str()]
+                    .iter()
+                    .try_for_each(|f| {
+                        ssa_interp::differential_check(
+                            module,
+                            &trial,
+                            f,
+                            SEMANTIC_SAMPLES,
+                            SEMANTIC_SEED,
+                        )
+                    });
+                if verdict.is_err() {
+                    report.semantic_rejections += 1;
+                    continue;
+                }
+                *module = trial;
+                record
+            } else {
+                commit_merge(module, &name, &candidate, pair, profit, merger.target())
+            };
             unavailable.insert(name.clone());
             unavailable.insert(candidate);
             unavailable.insert(record.merged_name.clone());
@@ -429,22 +491,26 @@ pub fn merge_module(
 
 /// Modelled byte profit of replacing `f1` and `f2` by the merged function plus
 /// two thunks.
-fn estimate_profit(
-    module: &Module,
-    f1: &str,
-    f2: &str,
-    pair: &PairMerge,
-    target: Target,
-) -> i64 {
+fn estimate_profit(module: &Module, f1: &str, f2: &str, pair: &PairMerge, target: Target) -> i64 {
     let size_f1 = function_size_bytes(module.function(f1).unwrap(), target) as i64;
     let size_f2 = function_size_bytes(module.function(f2).unwrap(), target) as i64;
     let merged = function_size_bytes(&pair.merged, target) as i64;
     let thunk1 = function_size_bytes(
-        &build_thunk(module.function(f1).unwrap(), &pair.merged, &pair.param_f1, false),
+        &build_thunk(
+            module.function(f1).unwrap(),
+            &pair.merged,
+            &pair.param_f1,
+            false,
+        ),
         target,
     ) as i64;
     let thunk2 = function_size_bytes(
-        &build_thunk(module.function(f2).unwrap(), &pair.merged, &pair.param_f2, true),
+        &build_thunk(
+            module.function(f2).unwrap(),
+            &pair.merged,
+            &pair.param_f2,
+            true,
+        ),
         target,
     ) as i64;
     size_f1 + size_f2 - merged - thunk1 - thunk2
@@ -491,7 +557,11 @@ pub fn build_thunk(
     param_map: &[u32],
     fid: bool,
 ) -> Function {
-    let mut thunk = Function::new(original.name.clone(), original.params.clone(), original.ret_ty);
+    let mut thunk = Function::new(
+        original.name.clone(),
+        original.params.clone(),
+        original.ret_ty,
+    );
     thunk.param_names = original.param_names.clone();
     let entry = thunk.add_block("entry");
     // Build the merged call's argument list: fid, then each merged parameter
@@ -508,7 +578,10 @@ pub fn build_thunk(
     }
     let call = thunk.append_inst(
         entry,
-        InstKind::Call { callee: merged.name.clone(), args },
+        InstKind::Call {
+            callee: merged.name.clone(),
+            args,
+        },
         merged.ret_ty,
     );
     thunk.set_inst_name(call, "result");
@@ -662,7 +735,9 @@ entry:
             DriverMode::Parallel
         );
         // Only the mode differs; thresholds and sizes carry over.
-        let tuned = DriverConfig::with_threshold(7).parallel().with_batch_size(0);
+        let tuned = DriverConfig::with_threshold(7)
+            .parallel()
+            .with_batch_size(0);
         assert_eq!(tuned.threshold, 7);
         assert_eq!(tuned.batch_size, 1, "batch size is clamped to at least 1");
     }
@@ -706,9 +781,87 @@ entry:
         let par = merge_module(
             &mut par_module,
             &merger,
-            &DriverConfig::with_threshold(2).parallel().with_batch_size(1),
+            &DriverConfig::with_threshold(2)
+                .parallel()
+                .with_batch_size(1),
         );
         assert_eq!(seq.committed, par.committed);
+    }
+
+    #[test]
+    fn semantic_oracle_keeps_sound_merges_and_counts_nothing() {
+        let mut checked = clone_heavy_module();
+        let merger = SalSsaMerger::default();
+        let config = DriverConfig::with_threshold(2).with_check_semantics(true);
+        let report = merge_module(&mut checked, &merger, &config);
+        // SalSSA merges are sound, so the oracle must not reject anything and
+        // the committed schedule must match an unchecked run exactly.
+        assert_eq!(report.semantic_rejections, 0);
+        let mut unchecked = clone_heavy_module();
+        let baseline = merge_module(&mut unchecked, &merger, &DriverConfig::with_threshold(2));
+        assert_eq!(report.committed, baseline.committed);
+        assert_eq!(
+            ssa_ir::print_module(&checked),
+            ssa_ir::print_module(&unchecked)
+        );
+    }
+
+    #[test]
+    fn semantic_oracle_rejects_a_broken_merger() {
+        /// A merger that produces verifier-clean but semantically wrong code:
+        /// it "merges" two functions into a copy of the first, so the second
+        /// entry point silently changes behavior.
+        struct BrokenMerger;
+        impl FunctionMerger for BrokenMerger {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn merge_pair(
+                &self,
+                f1: &Function,
+                f2: &Function,
+                merged_name: &str,
+            ) -> Option<PairMerge> {
+                let good = merge::merge_pair(f1, f2, &MergeOptions::default(), merged_name)?;
+                // Wreck the merged body: ignore f2 entirely by reusing f1 with
+                // a compatible (fid-extended) signature.
+                let mut wrong = f1.clone();
+                wrong.name = merged_name.to_string();
+                wrong.params.insert(0, Type::I1);
+                wrong.param_names.insert(0, "fid".to_string());
+                for inst in wrong.inst_ids().collect::<Vec<_>>() {
+                    wrong.inst_mut(inst).kind.for_each_operand_mut(|v| {
+                        if let Value::Arg(i) = v {
+                            *v = Value::Arg(*i + 1);
+                        }
+                    });
+                }
+                Some(PairMerge {
+                    merged: wrong,
+                    ..good
+                })
+            }
+            fn target(&self) -> Target {
+                Target::X86Like
+            }
+        }
+
+        let merger = BrokenMerger;
+        let mut unchecked = clone_heavy_module();
+        let free = merge_module(&mut unchecked, &merger, &DriverConfig::with_threshold(2));
+        assert!(free.num_merges() > 0, "broken merges must look profitable");
+
+        let mut checked = clone_heavy_module();
+        let config = DriverConfig::with_threshold(2).with_check_semantics(true);
+        let report = merge_module(&mut checked, &merger, &config);
+        assert_eq!(report.num_merges(), 0);
+        assert!(report.semantic_rejections > 0);
+        // The rejected module is untouched.
+        assert_eq!(
+            ssa_ir::print_module(&checked),
+            ssa_ir::print_module(&clone_heavy_module())
+        );
+        assert!(report.to_string().contains("semantic oracle rejected"));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod ssa_repair;
 pub use codegen::{CodegenMaps, Side, FID};
 pub use driver::{
     build_thunk, merge_module, DriverConfig, DriverMode, FunctionMerger, MergeRecord,
-    ModuleMergeReport, SalSsaMerger,
+    ModuleMergeReport, SalSsaMerger, SEMANTIC_SAMPLES, SEMANTIC_SEED,
 };
 pub use merge::{merge_pair, merged_param_maps, PairMerge};
 pub use options::MergeOptions;

@@ -219,8 +219,7 @@ L4:
         let f1 = parse_function(F1).unwrap();
         let f2 = parse_function(F2).unwrap();
         let with = merge_pair(&f1, &f2, &MergeOptions::default(), "m1").unwrap();
-        let without =
-            merge_pair(&f1, &f2, &MergeOptions::without_phi_coalescing(), "m2").unwrap();
+        let without = merge_pair(&f1, &f2, &MergeOptions::without_phi_coalescing(), "m2").unwrap();
         assert!(with.merged_size() <= without.merged_size());
     }
 

@@ -202,7 +202,10 @@ fn demote_def_to_slot(function: &mut Function, def: InstId, slot: InstId) {
         function.insert_inst(
             normal,
             0,
-            InstKind::Store { value: Value::Inst(def), ptr: slot_val },
+            InstKind::Store {
+                value: Value::Inst(def),
+                ptr: slot_val,
+            },
             Type::Void,
         );
     } else {
@@ -217,7 +220,10 @@ fn demote_def_to_slot(function: &mut Function, def: InstId, slot: InstId) {
         function.insert_inst(
             def_block,
             pos,
-            InstKind::Store { value: Value::Inst(def), ptr: slot_val },
+            InstKind::Store {
+                value: Value::Inst(def),
+                ptr: slot_val,
+            },
             Type::Void,
         );
     }
@@ -231,7 +237,8 @@ fn demote_def_to_slot(function: &mut Function, def: InstId, slot: InstId) {
             for (value, pred) in rewritten.iter_mut() {
                 if *value == Value::Inst(def) {
                     let at = function.block(*pred).insts.len();
-                    let load = function.insert_inst(*pred, at, InstKind::Load { ptr: slot_val }, ty);
+                    let load =
+                        function.insert_inst(*pred, at, InstKind::Load { ptr: slot_val }, ty);
                     *value = Value::Inst(load);
                 }
             }
@@ -354,7 +361,11 @@ mod tests {
         assert_eq!(stats.slots, 1);
         assert_valid(&f);
         let lm = f.block_by_name("Lmerged").unwrap();
-        assert_eq!(f.block(lm).phis.len(), 1, "coalesced pair must yield one phi");
+        assert_eq!(
+            f.block(lm).phis.len(),
+            1,
+            "coalesced pair must yield one phi"
+        );
         // After constant-folding the select-of-identical-values, the select
         // disappears entirely (Figure 14b).
         ssa_passes::cleanup_function(&mut f);
@@ -416,11 +427,16 @@ mod tests {
         b.ret(Some(r));
         let f0 = b.finish();
         let mut maps = CodegenMaps::default();
-        maps.provenance.insert(v64.as_inst().unwrap(), (Some(v64.as_inst().unwrap()), None));
-        maps.provenance.insert(v32.as_inst().unwrap(), (None, Some(v32.as_inst().unwrap())));
+        maps.provenance
+            .insert(v64.as_inst().unwrap(), (Some(v64.as_inst().unwrap()), None));
+        maps.provenance
+            .insert(v32.as_inst().unwrap(), (None, Some(v32.as_inst().unwrap())));
         let mut f = f0;
         let stats = repair(&mut f, &maps, true);
-        assert_eq!(stats.coalesced_pairs, 0, "i64 and i32 defs must not be coalesced");
+        assert_eq!(
+            stats.coalesced_pairs, 0,
+            "i64 and i32 defs must not be coalesced"
+        );
         assert_valid(&f);
     }
 }

@@ -60,12 +60,7 @@ pub struct Alignment {
 /// Aligns two linearized functions with Needleman–Wunsch, maximizing the
 /// number of [`mergeable`] pairs. Gaps carry no penalty and non-mergeable
 /// entries are never paired, matching the scoring used by FMSA.
-pub fn align(
-    f1: &Function,
-    seq1: &[SeqEntry],
-    f2: &Function,
-    seq2: &[SeqEntry],
-) -> Alignment {
+pub fn align(f1: &Function, seq1: &[SeqEntry], f2: &Function, seq2: &[SeqEntry]) -> Alignment {
     let n = seq1.len();
     let m = seq2.len();
     // Score matrix, (n+1) x (m+1). u32 scores; usize would double memory for
@@ -194,10 +189,7 @@ L4:
         let seq = linearize(&f);
         let a = align(&f, &seq, &f, &seq);
         assert_eq!(a.stats.matches, seq.len());
-        assert!(a
-            .pairs
-            .iter()
-            .all(|p| matches!(p, AlignedPair::Match(..))));
+        assert!(a.pairs.iter().all(|p| matches!(p, AlignedPair::Match(..))));
         assert_eq!(a.stats.match_ratio(), 1.0);
     }
 

@@ -60,6 +60,101 @@ impl Fingerprint {
     }
 }
 
+/// A MinHash signature over the function's opcode-shingle set, used by the
+/// cross-module index for locality-sensitive bucketing: two functions with
+/// similar instruction sequences agree on most signature components, so
+/// banding the signature puts likely merge candidates into shared shards
+/// without comparing every pair of functions in a corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHash {
+    /// One minimum per hash function.
+    pub sig: Vec<u64>,
+}
+
+/// Window length of the opcode shingles hashed into [`MinHash`] signatures.
+pub const SHINGLE_LEN: usize = 3;
+
+impl MinHash {
+    /// Number of hash functions (signature components) used by default. 16
+    /// components in 8 bands of 2 rows keeps band collisions likely down to
+    /// roughly 50% sequence similarity.
+    pub const DEFAULT_HASHES: usize = 16;
+
+    /// Computes the signature of a function with `num_hashes` components.
+    pub fn of(function: &Function, num_hashes: usize) -> MinHash {
+        let classes: Vec<u64> = function
+            .block_ids()
+            .flat_map(|b| function.block(b).all_insts().collect::<Vec<_>>())
+            .map(|inst| function.inst(inst).kind.opcode_class() as u64)
+            .collect();
+        let mut shingles: Vec<u64> = Vec::new();
+        if classes.len() < SHINGLE_LEN {
+            // Degenerate tiny function: hash the whole sequence as one shingle.
+            shingles.push(hash_shingle(&classes));
+        } else {
+            for window in classes.windows(SHINGLE_LEN) {
+                shingles.push(hash_shingle(window));
+            }
+        }
+        let sig = (0..num_hashes as u64)
+            .map(|i| {
+                let salt = splitmix64(i);
+                shingles
+                    .iter()
+                    .map(|s| splitmix64(s ^ salt))
+                    .min()
+                    .unwrap_or(u64::MAX)
+            })
+            .collect();
+        MinHash { sig }
+    }
+
+    /// Estimated Jaccard similarity of the two shingle sets: the fraction of
+    /// signature components on which the functions agree.
+    pub fn similarity(&self, other: &MinHash) -> f64 {
+        if self.sig.is_empty() || self.sig.len() != other.sig.len() {
+            return 0.0;
+        }
+        let agree = self
+            .sig
+            .iter()
+            .zip(&other.sig)
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.sig.len() as f64
+    }
+
+    /// One stable hash per band of `rows` consecutive signature components.
+    /// Two functions share a shard exactly when some band hash is equal.
+    pub fn band_hashes(&self, rows: usize) -> Vec<u64> {
+        self.sig
+            .chunks(rows.max(1))
+            .map(|band| {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for v in band {
+                    h = splitmix64(h ^ v);
+                }
+                h
+            })
+            .collect()
+    }
+}
+
+fn hash_shingle(window: &[u64]) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15u64;
+    for v in window {
+        h = splitmix64(h ^ v.wrapping_mul(0x100_0000_01b3));
+    }
+    h
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Fingerprints for all functions of a module, with ranking queries.
 #[derive(Debug, Clone)]
 pub struct Ranking {
@@ -100,7 +195,11 @@ impl Ranking {
             .map(|f| (target.distance(f), f))
             .collect();
         scored.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.name.cmp(&b.1.name)));
-        scored.into_iter().take(t).map(|(_, f)| f.name.clone()).collect()
+        scored
+            .into_iter()
+            .take(t)
+            .map(|(_, f)| f.name.clone())
+            .collect()
     }
 }
 
@@ -190,6 +289,29 @@ entry:
         let order = ranking.names_by_size_desc();
         assert_eq!(order.first().map(String::as_str), Some("clone_a"));
         assert_eq!(order.last().map(String::as_str), Some("small"));
+    }
+
+    #[test]
+    fn minhash_ranks_clones_above_unrelated_functions() {
+        let m = module();
+        let a = MinHash::of(m.function("clone_a").unwrap(), MinHash::DEFAULT_HASHES);
+        let b = MinHash::of(m.function("clone_b").unwrap(), MinHash::DEFAULT_HASHES);
+        let u = MinHash::of(m.function("unrelated").unwrap(), MinHash::DEFAULT_HASHES);
+        assert_eq!(a.sig.len(), MinHash::DEFAULT_HASHES);
+        assert_eq!(a.similarity(&a), 1.0);
+        assert!(a.similarity(&b) > a.similarity(&u));
+        // Same opcode sequence -> identical shingle set -> identical signature.
+        assert_eq!(a.similarity(&b), 1.0);
+    }
+
+    #[test]
+    fn minhash_banding_is_deterministic_and_sized() {
+        let m = module();
+        let a = MinHash::of(m.function("clone_a").unwrap(), 16);
+        assert_eq!(a.band_hashes(2).len(), 8);
+        assert_eq!(a.band_hashes(2), a.band_hashes(2));
+        let tiny = MinHash::of(m.function("small").unwrap(), 16);
+        assert_eq!(tiny.sig.len(), 16);
     }
 
     #[test]

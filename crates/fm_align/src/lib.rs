@@ -35,5 +35,5 @@ pub mod fingerprint;
 pub mod linearize;
 
 pub use align::{align, AlignedPair, Alignment, AlignmentStats};
-pub use fingerprint::{Fingerprint, Ranking};
+pub use fingerprint::{Fingerprint, MinHash, Ranking, SHINGLE_LEN};
 pub use linearize::{linearize, mergeable, mergeable_insts, SeqEntry};

@@ -80,12 +80,27 @@ pub fn mergeable_insts(f1: &Function, a: InstId, f2: &Function, b: InstId) -> bo
         (Binary { op: o1, .. }, Binary { op: o2, .. }) => o1 == o2,
         (ICmp { pred: p1, .. }, ICmp { pred: p2, .. }) => p1 == p2,
         (Select { .. }, Select { .. }) => operand_types_match(f1, a, f2, b),
-        (Call { callee: c1, args: a1 }, Call { callee: c2, args: a2 }) => {
-            c1 == c2 && a1.len() == a2.len() && operand_types_match(f1, a, f2, b)
-        }
         (
-            Invoke { callee: c1, args: a1, .. },
-            Invoke { callee: c2, args: a2, .. },
+            Call {
+                callee: c1,
+                args: a1,
+            },
+            Call {
+                callee: c2,
+                args: a2,
+            },
+        ) => c1 == c2 && a1.len() == a2.len() && operand_types_match(f1, a, f2, b),
+        (
+            Invoke {
+                callee: c1,
+                args: a1,
+                ..
+            },
+            Invoke {
+                callee: c2,
+                args: a2,
+                ..
+            },
         ) => c1 == c2 && a1.len() == a2.len() && operand_types_match(f1, a, f2, b),
         (Alloca { ty: t1 }, Alloca { ty: t2 }) => t1 == t2,
         (Load { .. }, Load { .. }) => true,
@@ -99,8 +114,7 @@ pub fn mergeable_insts(f1: &Function, a: InstId, f2: &Function, b: InstId) -> bo
         (Br { .. }, Br { .. }) => true,
         (CondBr { .. }, CondBr { .. }) => true,
         (Switch { cases: c1, .. }, Switch { cases: c2, .. }) => {
-            c1.len() == c2.len()
-                && c1.iter().zip(c2.iter()).all(|((v1, _), (v2, _))| v1 == v2)
+            c1.len() == c2.len() && c1.iter().zip(c2.iter()).all(|((v1, _), (v2, _))| v1 == v2)
         }
         (Ret { value: v1 }, Ret { value: v2 }) => v1.is_some() == v2.is_some(),
         (Unreachable, Unreachable) => true,
@@ -110,8 +124,20 @@ pub fn mergeable_insts(f1: &Function, a: InstId, f2: &Function, b: InstId) -> bo
 }
 
 fn operand_types_match(f1: &Function, a: InstId, f2: &Function, b: InstId) -> bool {
-    let ta: Vec<_> = f1.inst(a).kind.operands().iter().map(|v| f1.value_type(*v)).collect();
-    let tb: Vec<_> = f2.inst(b).kind.operands().iter().map(|v| f2.value_type(*v)).collect();
+    let ta: Vec<_> = f1
+        .inst(a)
+        .kind
+        .operands()
+        .iter()
+        .map(|v| f1.value_type(*v))
+        .collect();
+    let tb: Vec<_> = f2
+        .inst(b)
+        .kind
+        .operands()
+        .iter()
+        .map(|v| f2.value_type(*v))
+        .collect();
     ta == tb
 }
 
@@ -175,8 +201,14 @@ L4:
 
     #[test]
     fn type_mismatch_blocks_merging() {
-        let a = parse_function("define i32 @a(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}").unwrap();
-        let b = parse_function("define i64 @b(i64 %x) {\nentry:\n  %r = add i64 %x, 1\n  ret i64 %r\n}").unwrap();
+        let a = parse_function(
+            "define i32 @a(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        let b = parse_function(
+            "define i64 @b(i64 %x) {\nentry:\n  %r = add i64 %x, 1\n  ret i64 %r\n}",
+        )
+        .unwrap();
         let ra = a.inst_by_name("r").unwrap();
         let rb = b.inst_by_name("r").unwrap();
         assert!(!mergeable_insts(&a, ra, &b, rb));

@@ -231,7 +231,10 @@ L4:
         );
         let fmsa_size = module_size_bytes(&fmsa_module, Target::X86Like);
         let salssa_size = module_size_bytes(&salssa_module, Target::X86Like);
-        assert!(salssa_size <= fmsa_size, "salssa {salssa_size} vs fmsa {fmsa_size}");
+        assert!(
+            salssa_size <= fmsa_size,
+            "salssa {salssa_size} vs fmsa {fmsa_size}"
+        );
         assert!(salssa_size < baseline);
     }
 
@@ -242,7 +245,10 @@ L4:
         assert!(stats.growth() > 1.0);
         assert_eq!(clone.num_insts(), stats.insts_after);
         // The original is untouched.
-        assert_eq!(module.function("alpha").unwrap().num_insts(), stats.insts_before);
+        assert_eq!(
+            module.function("alpha").unwrap().num_insts(),
+            stats.insts_before
+        );
     }
 
     #[test]
@@ -274,6 +280,9 @@ j:
         // After post-processing the residue is small (within a couple of
         // instructions of the original).
         let after = module.total_insts();
-        assert!(after <= before + 2, "residue too large: {before} -> {after}");
+        assert!(
+            after <= before + 2,
+            "residue too large: {before} -> {after}"
+        );
     }
 }

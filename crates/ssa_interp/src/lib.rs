@@ -16,7 +16,9 @@
 //! functions of their name and arguments, so any two executions that perform
 //! the same external call sequence observe the same values.
 
-use ssa_ir::{BinOp, CastKind, Constant, Function, ICmpPred, InstId, InstKind, Module, Type, Value};
+use ssa_ir::{
+    BinOp, CastKind, Constant, Function, ICmpPred, InstId, InstKind, Module, Type, Value,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -37,12 +39,18 @@ pub enum IValue {
 impl IValue {
     /// Boolean runtime value.
     pub fn bool(v: bool) -> IValue {
-        IValue::Int { bits: 1, value: i64::from(v) }
+        IValue::Int {
+            bits: 1,
+            value: i64::from(v),
+        }
     }
 
     /// 32-bit integer runtime value.
     pub fn i32(v: i32) -> IValue {
-        IValue::Int { bits: 32, value: i64::from(v) }
+        IValue::Int {
+            bits: 32,
+            value: i64::from(v),
+        }
     }
 
     /// 64-bit integer runtime value.
@@ -181,7 +189,10 @@ impl<'m> Interpreter<'m> {
             .map(|(ty, v)| match ty {
                 Type::Float => IValue::Float(v as f64),
                 Type::Ptr => IValue::Ptr(self.alloc_external(v)),
-                Type::Int(bits) => IValue::Int { bits: *bits, value: truncate(*bits, v) },
+                Type::Int(bits) => IValue::Int {
+                    bits: *bits,
+                    value: truncate(*bits, v),
+                },
                 Type::Void => IValue::Undef,
             })
             .collect();
@@ -254,12 +265,20 @@ impl<'m> Interpreter<'m> {
                     prev_block = Some(block);
                     block = dest;
                 }
-                InstKind::CondBr { cond, if_true, if_false } => {
+                InstKind::CondBr {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
                     let c = self.value(&regs, args, cond).as_bool();
                     prev_block = Some(block);
                     block = if c { if_true } else { if_false };
                 }
-                InstKind::Switch { value, default, cases } => {
+                InstKind::Switch {
+                    value,
+                    default,
+                    cases,
+                } => {
                     let v = self.value(&regs, args, value).as_int();
                     prev_block = Some(block);
                     block = cases
@@ -271,7 +290,12 @@ impl<'m> Interpreter<'m> {
                 InstKind::Ret { value } => {
                     return Ok(value.map(|v| self.value(&regs, args, v)));
                 }
-                InstKind::Invoke { callee, args: call_args, normal, .. } => {
+                InstKind::Invoke {
+                    callee,
+                    args: call_args,
+                    normal,
+                    ..
+                } => {
                     let argv: Vec<IValue> = call_args
                         .iter()
                         .map(|a| self.value(&regs, args, *a))
@@ -334,7 +358,11 @@ impl<'m> Interpreter<'m> {
                 let r = self.value(regs, args, rhs).as_int();
                 Some(IValue::bool(icmp(pred, l, r)))
             }
-            InstKind::Select { cond, if_true, if_false } => {
+            InstKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 let c = self.value(regs, args, cond).as_bool();
                 Some(if c {
                     self.value(regs, args, if_true)
@@ -342,7 +370,10 @@ impl<'m> Interpreter<'m> {
                     self.value(regs, args, if_false)
                 })
             }
-            InstKind::Call { callee, args: call_args } => {
+            InstKind::Call {
+                callee,
+                args: call_args,
+            } => {
                 let argv: Vec<IValue> = call_args
                     .iter()
                     .map(|a| self.value(regs, args, *a))
@@ -370,7 +401,11 @@ impl<'m> Interpreter<'m> {
                 *self.memory.get_mut(p).ok_or(InterpError::BadPointer)? = val;
                 None
             }
-            InstKind::Gep { base, index, stride } => {
+            InstKind::Gep {
+                base,
+                index,
+                stride,
+            } => {
                 let b = match self.value(regs, args, base) {
                     IValue::Ptr(p) => p,
                     other => other.as_int() as usize,
@@ -416,7 +451,10 @@ impl<'m> Interpreter<'m> {
             args: arg_ints,
             result,
         });
-        Ok(Some(IValue::Int { bits: 64, value: result }))
+        Ok(Some(IValue::Int {
+            bits: 64,
+            value: result,
+        }))
     }
 
     fn binary(&self, op: BinOp, lhs: IValue, rhs: IValue, ty: Type) -> Result<IValue, InterpError> {
@@ -477,7 +515,10 @@ impl<'m> Interpreter<'m> {
             BinOp::AShr => l.wrapping_shr(r as u32 & 63),
             _ => unreachable!(),
         };
-        Ok(IValue::Int { bits, value: truncate(bits, value) })
+        Ok(IValue::Int {
+            bits,
+            value: truncate(bits, value),
+        })
     }
 
     fn cast(&self, kind: CastKind, value: IValue, to_ty: Type) -> IValue {
@@ -488,10 +529,16 @@ impl<'m> Interpreter<'m> {
                 other => other.as_int(),
             }),
             CastKind::IntToPtr => IValue::Ptr(value.as_int() as usize),
-            CastKind::Trunc | CastKind::ZExt | CastKind::SExt | CastKind::Bitcast
+            CastKind::Trunc
+            | CastKind::ZExt
+            | CastKind::SExt
+            | CastKind::Bitcast
             | CastKind::PtrToInt => {
                 let bits = if to_ty.is_int() { to_ty.bits() } else { 64 };
-                IValue::Int { bits, value: truncate(bits, value.as_int()) }
+                IValue::Int {
+                    bits,
+                    value: truncate(bits, value.as_int()),
+                }
             }
         }
     }
@@ -591,6 +638,54 @@ pub fn check_equivalent(
     Ok(())
 }
 
+/// Differentially tests that `name` behaves identically in `before` and
+/// `after` on deterministically sampled random inputs (plus the all-zeros and
+/// all-ones edge vectors). This is the semantic oracle the merge drivers run,
+/// opt-in, on every committed merge: the merged-and-thunked module must be
+/// observationally equivalent to the original.
+///
+/// Sampling is a pure function of `(name, seed, sample index)`, so a reported
+/// mismatch reproduces exactly.
+///
+/// # Errors
+///
+/// Returns the first divergence found, prefixed with the offending argument
+/// vector; or an error when `name` is not defined in `before`.
+pub fn differential_check(
+    before: &Module,
+    after: &Module,
+    name: &str,
+    samples: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let function = before
+        .function(name)
+        .ok_or_else(|| format!("@{name} is not defined in the original module"))?;
+    let num_args = function.params.len();
+    let mut state = seed;
+    for b in name.bytes() {
+        state = state.wrapping_mul(0x100_0000_01b3) ^ u64::from(b);
+    }
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut vectors: Vec<Vec<i64>> = vec![vec![0; num_args], vec![1; num_args]];
+    for _ in 0..samples {
+        // Small magnitudes keep comparisons and loop bounds on interesting
+        // paths instead of saturating everything.
+        vectors.push((0..num_args).map(|_| (next() % 257) as i64 - 128).collect());
+    }
+    for args in &vectors {
+        check_equivalent(before, name, args, after, name, args)
+            .map_err(|e| format!("args {args:?}: {e}"))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,8 +722,18 @@ join:
 }
 "#,
         );
-        assert_eq!(run_function(&m, "abs", &[-7]).unwrap().ret.unwrap().as_int(), 7);
-        assert_eq!(run_function(&m, "abs", &[9]).unwrap().ret.unwrap().as_int(), 9);
+        assert_eq!(
+            run_function(&m, "abs", &[-7])
+                .unwrap()
+                .ret
+                .unwrap()
+                .as_int(),
+            7
+        );
+        assert_eq!(
+            run_function(&m, "abs", &[9]).unwrap().ret.unwrap().as_int(),
+            9
+        );
     }
 
     #[test]
@@ -672,7 +777,14 @@ entry:
 }
 "#,
         );
-        assert_eq!(run_function(&m, "mem", &[41]).unwrap().ret.unwrap().as_int(), 42);
+        assert_eq!(
+            run_function(&m, "mem", &[41])
+                .unwrap()
+                .ret
+                .unwrap()
+                .as_int(),
+            42
+        );
     }
 
     #[test]
@@ -708,12 +820,21 @@ entry:
 }
 "#,
         );
-        assert_eq!(run_function(&m, "caller", &[5]).unwrap().ret.unwrap().as_int(), 16);
+        assert_eq!(
+            run_function(&m, "caller", &[5])
+                .unwrap()
+                .ret
+                .unwrap()
+                .as_int(),
+            16
+        );
     }
 
     #[test]
     fn infinite_loop_hits_step_limit() {
-        let m = module("define void @spin() {\nentry:\n  br label %again\nagain:\n  br label %again\n}");
+        let m = module(
+            "define void @spin() {\nentry:\n  br label %again\nagain:\n  br label %again\n}",
+        );
         let mut interp = Interpreter::new(&m);
         interp.step_limit = 1000;
         assert_eq!(interp.run("spin", &[]).unwrap_err(), InterpError::StepLimit);
@@ -722,7 +843,10 @@ entry:
     #[test]
     fn division_by_zero_is_an_error() {
         let m = module("define i32 @d(i32 %x) {\nentry:\n  %r = sdiv i32 %x, 0\n  ret i32 %r\n}");
-        assert_eq!(run_function(&m, "d", &[5]).unwrap_err(), InterpError::DivisionByZero);
+        assert_eq!(
+            run_function(&m, "d", &[5]).unwrap_err(),
+            InterpError::DivisionByZero
+        );
     }
 
     #[test]
@@ -741,9 +865,18 @@ other:
 }
 "#,
         );
-        assert_eq!(run_function(&m, "sw", &[1]).unwrap().ret.unwrap().as_int(), 100);
-        assert_eq!(run_function(&m, "sw", &[2]).unwrap().ret.unwrap().as_int(), 200);
-        assert_eq!(run_function(&m, "sw", &[7]).unwrap().ret.unwrap().as_int(), 0);
+        assert_eq!(
+            run_function(&m, "sw", &[1]).unwrap().ret.unwrap().as_int(),
+            100
+        );
+        assert_eq!(
+            run_function(&m, "sw", &[2]).unwrap().ret.unwrap().as_int(),
+            200
+        );
+        assert_eq!(
+            run_function(&m, "sw", &[7]).unwrap().ret.unwrap().as_int(),
+            0
+        );
     }
 
     #[test]
@@ -777,8 +910,11 @@ ok:
 
     #[test]
     fn equivalence_compares_external_traces() {
-        let a = module("define void @f(i64 %x) {\nentry:\n  %r = call i64 @sink(i64 %x)\n  ret void\n}");
-        let b = module("define void @f(i64 %x) {\nentry:\n  %r = call i64 @sink(i64 0)\n  ret void\n}");
+        let a = module(
+            "define void @f(i64 %x) {\nentry:\n  %r = call i64 @sink(i64 %x)\n  ret void\n}",
+        );
+        let b =
+            module("define void @f(i64 %x) {\nentry:\n  %r = call i64 @sink(i64 0)\n  ret void\n}");
         assert!(check_equivalent(&a, "f", &[5], &b, "f", &[5]).is_err());
         assert!(check_equivalent(&a, "f", &[0], &b, "f", &[0]).is_ok());
     }
@@ -792,6 +928,22 @@ ok:
     #[test]
     fn narrow_integers_wrap() {
         let m = module("define i8 @w(i8 %x) {\nentry:\n  %r = add i8 %x, 100\n  ret i8 %r\n}");
-        assert_eq!(run_function(&m, "w", &[100]).unwrap().ret.unwrap().as_int(), -56);
+        assert_eq!(
+            run_function(&m, "w", &[100]).unwrap().ret.unwrap().as_int(),
+            -56
+        );
+    }
+
+    #[test]
+    fn differential_check_accepts_identical_and_flags_divergence() {
+        let a = module("define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}");
+        assert!(differential_check(&a, &a, "f", 4, 7).is_ok());
+        // Diverges only away from zero/one; the random samples must find it.
+        let b = module(
+            "define i32 @f(i32 %x) {\nentry:\n  %c = icmp sgt i32 %x, 1\n  %d = select i1 %c, i32 2, i32 1\n  %r = add i32 %x, %d\n  ret i32 %r\n}",
+        );
+        let err = differential_check(&a, &b, "f", 8, 7).unwrap_err();
+        assert!(err.contains("args"), "{err}");
+        assert!(differential_check(&a, &b, "missing", 2, 0).is_err());
     }
 }

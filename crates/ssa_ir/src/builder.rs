@@ -83,7 +83,8 @@ impl FunctionBuilder {
         let id = self.function.append_inst(block, kind, ty);
         if ty.is_first_class() {
             self.name_counter += 1;
-            self.function.set_inst_name(id, format!("v{}", self.name_counter));
+            self.function
+                .set_inst_name(id, format!("v{}", self.name_counter));
         }
         id
     }
@@ -102,12 +103,25 @@ impl FunctionBuilder {
     /// Emits a select.
     pub fn select(&mut self, cond: Value, if_true: Value, if_false: Value) -> Value {
         let ty = self.function.value_type(if_true);
-        Value::Inst(self.emit(InstKind::Select { cond, if_true, if_false }, ty))
+        Value::Inst(self.emit(
+            InstKind::Select {
+                cond,
+                if_true,
+                if_false,
+            },
+            ty,
+        ))
     }
 
     /// Emits a call to `callee` returning a value of type `ret_ty`.
     pub fn call(&mut self, callee: impl Into<String>, args: Vec<Value>, ret_ty: Type) -> Value {
-        let id = self.emit(InstKind::Call { callee: callee.into(), args }, ret_ty);
+        let id = self.emit(
+            InstKind::Call {
+                callee: callee.into(),
+                args,
+            },
+            ret_ty,
+        );
         Value::Inst(id)
     }
 
@@ -165,7 +179,14 @@ impl FunctionBuilder {
 
     /// Emits pointer arithmetic (`base + index * stride`).
     pub fn gep(&mut self, base: Value, index: Value, stride: u32) -> Value {
-        Value::Inst(self.emit(InstKind::Gep { base, index, stride }, Type::Ptr))
+        Value::Inst(self.emit(
+            InstKind::Gep {
+                base,
+                index,
+                stride,
+            },
+            Type::Ptr,
+        ))
     }
 
     /// Emits a cast to `to_ty`.
@@ -180,12 +201,26 @@ impl FunctionBuilder {
 
     /// Emits a conditional branch.
     pub fn cond_br(&mut self, cond: Value, if_true: BlockId, if_false: BlockId) {
-        self.emit(InstKind::CondBr { cond, if_true, if_false }, Type::Void);
+        self.emit(
+            InstKind::CondBr {
+                cond,
+                if_true,
+                if_false,
+            },
+            Type::Void,
+        );
     }
 
     /// Emits a switch.
     pub fn switch(&mut self, value: Value, default: BlockId, cases: Vec<(i64, BlockId)>) {
-        self.emit(InstKind::Switch { value, default, cases }, Type::Void);
+        self.emit(
+            InstKind::Switch {
+                value,
+                default,
+                cases,
+            },
+            Type::Void,
+        );
     }
 
     /// Emits a return of `value`.

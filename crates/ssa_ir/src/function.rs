@@ -133,7 +133,9 @@ impl Function {
     ///
     /// Panics if the block has been removed.
     pub fn block(&self, id: BlockId) -> &BlockData {
-        self.blocks.get(id).unwrap_or_else(|| panic!("dangling block {id}"))
+        self.blocks
+            .get(id)
+            .unwrap_or_else(|| panic!("dangling block {id}"))
     }
 
     /// Returns a mutable reference to a block.
@@ -164,7 +166,9 @@ impl Function {
     ///
     /// Panics if the instruction has been removed.
     pub fn inst(&self, id: InstId) -> &InstData {
-        self.insts.get(id).unwrap_or_else(|| panic!("dangling inst {id}"))
+        self.insts
+            .get(id)
+            .unwrap_or_else(|| panic!("dangling inst {id}"))
     }
 
     /// Returns a mutable reference to an instruction.
@@ -214,7 +218,13 @@ impl Function {
     }
 
     /// Inserts an ordinary instruction at position `index` of `block`'s body.
-    pub fn insert_inst(&mut self, block: BlockId, index: usize, kind: InstKind, ty: Type) -> InstId {
+    pub fn insert_inst(
+        &mut self,
+        block: BlockId,
+        index: usize,
+        kind: InstKind,
+        ty: Type,
+    ) -> InstId {
         assert!(!kind.is_phi() && !kind.is_terminator());
         let id = self.insts.alloc(InstData {
             kind,
@@ -431,7 +441,13 @@ mod tests {
         );
         f.set_inst_name(s, "s");
         f.append_inst(entry, InstKind::Br { dest: exit }, Type::Void);
-        f.append_inst(exit, InstKind::Ret { value: Some(Value::Inst(s)) }, Type::Void);
+        f.append_inst(
+            exit,
+            InstKind::Ret {
+                value: Some(Value::Inst(s)),
+            },
+            Type::Void,
+        );
         f
     }
 

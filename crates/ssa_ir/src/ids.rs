@@ -100,7 +100,9 @@ impl<I: EntityId, T> Arena<I, T> {
 
     /// Returns a mutable reference to the value, if it is still live.
     pub fn get_mut(&mut self, id: I) -> Option<&mut T> {
-        self.slots.get_mut(id.index()).and_then(|slot| slot.as_mut())
+        self.slots
+            .get_mut(id.index())
+            .and_then(|slot| slot.as_mut())
     }
 
     /// Removes and returns the value stored under `id`.

@@ -38,7 +38,13 @@ impl BinOp {
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::FAdd | BinOp::FMul
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::FAdd
+                | BinOp::FMul
         )
     }
 
@@ -212,9 +218,17 @@ pub enum InstKind {
     /// Binary arithmetic/bitwise operation.
     Binary { op: BinOp, lhs: Value, rhs: Value },
     /// Integer (or pointer) comparison producing an `i1`.
-    ICmp { pred: ICmpPred, lhs: Value, rhs: Value },
+    ICmp {
+        pred: ICmpPred,
+        lhs: Value,
+        rhs: Value,
+    },
     /// `select cond, if_true, if_false`.
-    Select { cond: Value, if_true: Value, if_false: Value },
+    Select {
+        cond: Value,
+        if_true: Value,
+        if_false: Value,
+    },
     /// Direct call to a named function.
     Call { callee: String, args: Vec<Value> },
     /// Call with exceptional control flow (terminator).
@@ -237,13 +251,21 @@ pub enum InstKind {
     /// Memory store through a pointer.
     Store { value: Value, ptr: Value },
     /// Pointer arithmetic: `base + index * stride` (a simplified GEP).
-    Gep { base: Value, index: Value, stride: u32 },
+    Gep {
+        base: Value,
+        index: Value,
+        stride: u32,
+    },
     /// Type cast.
     Cast { kind: CastKind, value: Value },
     /// Unconditional branch (terminator).
     Br { dest: BlockId },
     /// Conditional branch (terminator).
-    CondBr { cond: Value, if_true: BlockId, if_false: BlockId },
+    CondBr {
+        cond: Value,
+        if_true: BlockId,
+        if_false: BlockId,
+    },
     /// Multi-way switch (terminator).
     Switch {
         value: Value,
@@ -356,7 +378,11 @@ impl InstKind {
                 f(*lhs);
                 f(*rhs);
             }
-            InstKind::Select { cond, if_true, if_false } => {
+            InstKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 f(*cond);
                 f(*if_true);
                 f(*if_false);
@@ -401,7 +427,11 @@ impl InstKind {
                 f(lhs);
                 f(rhs);
             }
-            InstKind::Select { cond, if_true, if_false } => {
+            InstKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 f(cond);
                 f(if_true);
                 f(if_false);
@@ -444,7 +474,9 @@ impl InstKind {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             InstKind::Br { dest } => vec![*dest],
-            InstKind::CondBr { if_true, if_false, .. } => vec![*if_true, *if_false],
+            InstKind::CondBr {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
             InstKind::Switch { default, cases, .. } => {
                 let mut out = vec![*default];
                 out.extend(cases.iter().map(|(_, b)| *b));
@@ -460,7 +492,9 @@ impl InstKind {
     pub fn for_each_block_ref_mut(&mut self, mut f: impl FnMut(&mut BlockId)) {
         match self {
             InstKind::Br { dest } => f(dest),
-            InstKind::CondBr { if_true, if_false, .. } => {
+            InstKind::CondBr {
+                if_true, if_false, ..
+            } => {
                 f(if_true);
                 f(if_false);
             }
@@ -609,12 +643,18 @@ mod tests {
                 if_true: Value::Arg(1),
                 if_false: Value::Arg(2),
             },
-            InstKind::Call { callee: "f".into(), args: vec![] },
+            InstKind::Call {
+                callee: "f".into(),
+                args: vec![],
+            },
             InstKind::LandingPad,
             InstKind::Phi { incomings: vec![] },
             InstKind::Alloca { ty: Type::I32 },
             InstKind::Load { ptr: Value::Arg(0) },
-            InstKind::Store { value: Value::Arg(0), ptr: Value::Arg(1) },
+            InstKind::Store {
+                value: Value::Arg(0),
+                ptr: Value::Arg(1),
+            },
             InstKind::Unreachable,
         ];
         let mut seen = std::collections::HashSet::new();
@@ -626,10 +666,22 @@ mod tests {
 
     #[test]
     fn side_effects() {
-        assert!(InstKind::Store { value: Value::Arg(0), ptr: Value::Arg(1) }.has_side_effects());
-        assert!(InstKind::Call { callee: "f".into(), args: vec![] }.has_side_effects());
-        assert!(!InstKind::Binary { op: BinOp::Add, lhs: Value::Arg(0), rhs: Value::Arg(1) }
-            .has_side_effects());
+        assert!(InstKind::Store {
+            value: Value::Arg(0),
+            ptr: Value::Arg(1)
+        }
+        .has_side_effects());
+        assert!(InstKind::Call {
+            callee: "f".into(),
+            args: vec![]
+        }
+        .has_side_effects());
+        assert!(!InstKind::Binary {
+            op: BinOp::Add,
+            lhs: Value::Arg(0),
+            rhs: Value::Arg(1)
+        }
+        .has_side_effects());
         assert!(!InstKind::Load { ptr: Value::Arg(0) }.has_side_effects());
     }
 }

@@ -11,7 +11,9 @@
 //! * mutable [`Function`]s made of basic blocks, plus [`Module`]s,
 //! * a [`builder::FunctionBuilder`], a textual [`printer`] and [`parser`],
 //! * analyses: [`dominators::DomTree`], [`liveness::Liveness`],
-//! * and a [`verifier`] that checks structural, type and SSA dominance rules.
+//! * a [`verifier`] that checks structural, type and SSA dominance rules,
+//! * and a [`linker`] for symbol renaming, cross-module function import with
+//!   ODR-style deduplication, and whole-program linking.
 //!
 //! ## Example
 //!
@@ -33,6 +35,7 @@ pub mod dominators;
 pub mod function;
 pub mod ids;
 pub mod instruction;
+pub mod linker;
 pub mod liveness;
 pub mod module;
 pub mod parser;
@@ -46,6 +49,10 @@ pub use dominators::DomTree;
 pub use function::{BlockData, Function};
 pub use ids::{Arena, BlockId, EntityId, InstId};
 pub use instruction::{BinOp, CastKind, ICmpPred, InstData, InstKind};
+pub use linker::{
+    callees_of, import_function, link_modules, rename_symbol, sanitize_symbol, structurally_equal,
+    ImportOutcome, LinkError,
+};
 pub use module::{FuncDecl, Module};
 pub use parser::{parse_function, parse_module, ParseError};
 pub use printer::{print_function, print_module, Namer};

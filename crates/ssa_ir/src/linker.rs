@@ -1,0 +1,457 @@
+//! Module linking: symbol renaming, cross-module function import with
+//! ODR-style deduplication, and whole-program linking.
+//!
+//! The cross-module merging subsystem (the `xmerge` crate) discovers similar
+//! functions across translation units and merges them with the existing
+//! pairwise machinery — which operates within one module. This module provides
+//! the glue: importing a donor function into a host module (renaming on
+//! collision, deduplicating ODR-identical definitions), rewriting call sites
+//! when a symbol is renamed, and producing a linked whole-program view of a
+//! corpus for differential semantic checking.
+
+use crate::function::Function;
+use crate::instruction::InstKind;
+use crate::module::{FuncDecl, Module};
+use crate::printer::print_function;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors produced by linking operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// The requested symbol does not exist in the source module.
+    UnknownSymbol(String),
+    /// The target name of a rename is already taken.
+    Collision(String),
+    /// Two modules define the same symbol with different bodies (an ODR
+    /// violation — the program has no well-defined link result).
+    DuplicateSymbol(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::UnknownSymbol(s) => write!(f, "unknown symbol @{s}"),
+            LinkError::Collision(s) => write!(f, "symbol @{s} already exists"),
+            LinkError::DuplicateSymbol(s) => {
+                write!(f, "duplicate symbol @{s} with differing definitions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Returns `true` when two functions have identical bodies modulo their own
+/// symbol name (the ODR criterion used for deduplication): same signature and
+/// the same printed body after normalizing the function name. Self-recursive
+/// calls are compared through the normalized name, so two mutually-independent
+/// recursive clones compare equal.
+pub fn structurally_equal(a: &Function, b: &Function) -> bool {
+    if a.params != b.params || a.ret_ty != b.ret_ty {
+        return false;
+    }
+    normalized_print(a) == normalized_print(b)
+}
+
+/// Prints a function with its own name (and self-calls) replaced by a fixed
+/// placeholder, producing a name-independent structural key.
+fn normalized_print(f: &Function) -> String {
+    let mut clone = f.clone();
+    let original = clone.name.clone();
+    clone.name = "__odr_key__".to_string();
+    for inst in clone.inst_ids().collect::<Vec<_>>() {
+        match &mut clone.inst_mut(inst).kind {
+            InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. }
+                if *callee == original =>
+            {
+                *callee = "__odr_key__".to_string();
+            }
+            _ => {}
+        }
+    }
+    print_function(&clone)
+}
+
+/// The set of function symbols a function references through calls or invokes.
+pub fn callees_of(f: &Function) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for inst in f.inst_ids() {
+        match &f.inst(inst).kind {
+            InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. } => {
+                out.insert(callee.clone());
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Renames the symbol `from` to `to` across the whole module: the definition
+/// (or declaration) itself and every call site referencing it. Returns the
+/// number of call sites rewritten.
+///
+/// # Errors
+///
+/// [`LinkError::UnknownSymbol`] when nothing named `from` exists, and
+/// [`LinkError::Collision`] when `to` is already defined or declared.
+pub fn rename_symbol(module: &mut Module, from: &str, to: &str) -> Result<usize, LinkError> {
+    if from == to {
+        return Ok(0);
+    }
+    if module.function(to).is_some() || module.declarations().iter().any(|d| d.name == to) {
+        return Err(LinkError::Collision(to.to_string()));
+    }
+    let mut found = false;
+    if let Some(f) = module.function_mut(from) {
+        f.name = to.to_string();
+        found = true;
+    }
+    while let Some(mut decl) = module.remove_declaration(from) {
+        decl.name = to.to_string();
+        module.declare(decl);
+        found = true;
+    }
+    if !found {
+        return Err(LinkError::UnknownSymbol(from.to_string()));
+    }
+    let mut sites = 0usize;
+    for f in module.functions_mut() {
+        for inst in f.inst_ids().collect::<Vec<_>>() {
+            match &mut f.inst_mut(inst).kind {
+                InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. }
+                    if callee == from =>
+                {
+                    *callee = to.to_string();
+                    sites += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(sites)
+}
+
+/// The result of importing a function into a host module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportOutcome {
+    /// The name the function has in the host module after the import (differs
+    /// from the donor name when a collision forced a rename).
+    pub name: String,
+    /// `true` when the host already held a structurally identical definition
+    /// and nothing was copied (ODR deduplication).
+    pub deduped: bool,
+}
+
+/// Copies the definition of `name` from `donor` into `host`.
+///
+/// - If the host already defines a structurally identical function of the same
+///   name, nothing is copied (`deduped = true`) — the ThinLTO/ODR folding case.
+/// - If the host defines a *different* function of the same name, the imported
+///   copy is renamed to `<name>.xm.<donor-module>` (with a numeric suffix if
+///   even that collides); self-recursive calls follow the rename.
+/// - Callees of the imported function that are unknown to the host but have a
+///   known signature in the donor are added as external declarations, so the
+///   host module keeps resolving signatures after the import.
+///
+/// # Errors
+///
+/// [`LinkError::UnknownSymbol`] when the donor has no definition of `name`.
+pub fn import_function(
+    host: &mut Module,
+    donor: &Module,
+    name: &str,
+) -> Result<ImportOutcome, LinkError> {
+    let function = donor
+        .function(name)
+        .ok_or_else(|| LinkError::UnknownSymbol(name.to_string()))?;
+    if let Some(existing) = host.function(name) {
+        if structurally_equal(existing, function) {
+            return Ok(ImportOutcome {
+                name: name.to_string(),
+                deduped: true,
+            });
+        }
+    }
+    let mut copy = function.clone();
+    let import_name = if host.function(name).is_none() {
+        name.to_string()
+    } else {
+        let base = format!("{}.xm.{}", name, sanitize_symbol(&donor.name));
+        let mut candidate = base.clone();
+        let mut n = 1usize;
+        while host.function(&candidate).is_some() {
+            candidate = format!("{base}.{n}");
+            n += 1;
+        }
+        candidate
+    };
+    if import_name != copy.name {
+        // Keep self-recursion pointing at the imported copy, not at the
+        // host's unrelated function of the original name.
+        let original = copy.name.clone();
+        for inst in copy.inst_ids().collect::<Vec<_>>() {
+            match &mut copy.inst_mut(inst).kind {
+                InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. }
+                    if *callee == original =>
+                {
+                    *callee = import_name.clone();
+                }
+                _ => {}
+            }
+        }
+        copy.name = import_name.clone();
+    }
+    // Carry over signatures for callees the host has never heard of.
+    for callee in callees_of(&copy) {
+        if host.signature(&callee).is_none() {
+            if let Some((params, ret_ty)) = donor.signature(&callee) {
+                host.declare(FuncDecl {
+                    name: callee,
+                    params,
+                    ret_ty,
+                });
+            }
+        }
+    }
+    host.add_function(copy);
+    Ok(ImportOutcome {
+        name: import_name,
+        deduped: false,
+    })
+}
+
+/// Links a corpus of modules into one whole-program module named `name`:
+/// the union of all definitions (ODR-identical duplicates collapse to one
+/// copy) plus the declarations that remain unresolved after linking.
+///
+/// This is the "what the linker would see" view the cross-module semantic
+/// oracle runs the interpreter against.
+///
+/// # Errors
+///
+/// [`LinkError::DuplicateSymbol`] when two modules define the same symbol
+/// with different bodies.
+pub fn link_modules<'a>(
+    modules: impl IntoIterator<Item = &'a Module>,
+    name: &str,
+) -> Result<Module, LinkError> {
+    let modules: Vec<&Module> = modules.into_iter().collect();
+    let mut linked = Module::new(name);
+    for module in &modules {
+        for f in module.functions() {
+            match linked.function(&f.name) {
+                None => {
+                    linked.add_function(f.clone());
+                }
+                Some(existing) if structurally_equal(existing, f) => {}
+                Some(_) => return Err(LinkError::DuplicateSymbol(f.name.clone())),
+            }
+        }
+    }
+    // Declarations that no module ended up defining.
+    for module in &modules {
+        for decl in module.declarations() {
+            if linked.function(&decl.name).is_none() {
+                linked.declare(decl.clone());
+            }
+        }
+    }
+    Ok(linked)
+}
+
+/// Maps an arbitrary string (e.g. a module name derived from a file path) to
+/// a symbol-safe identifier the printer/parser round-trip: every character
+/// outside `[A-Za-z0-9_.-]` becomes `_`, and an empty input becomes `anon`.
+pub fn sanitize_symbol(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '.' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "anon".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+    use crate::verifier::verify_module;
+
+    fn two_modules() -> (Module, Module) {
+        let mut host = parse_module(
+            r#"
+define i32 @shared(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+
+define i32 @caller(i32 %x) {
+entry:
+  %r = call i32 @shared(i32 %x)
+  ret i32 %r
+}
+"#,
+        )
+        .unwrap();
+        host.name = "host".to_string();
+        let mut donor = parse_module(
+            r#"
+define i32 @shared(i32 %x) {
+entry:
+  %r = mul i32 %x, 2
+  ret i32 %r
+}
+
+define i32 @donor_only(i32 %x) {
+entry:
+  %a = call i32 @ext(i32 %x)
+  %r = sub i32 %a, 3
+  ret i32 %r
+}
+"#,
+        )
+        .unwrap();
+        donor.name = "donor".to_string();
+        (host, donor)
+    }
+
+    #[test]
+    fn rename_rewrites_definition_and_call_sites() {
+        let (mut host, _) = two_modules();
+        let sites = rename_symbol(&mut host, "shared", "shared.v2").unwrap();
+        assert_eq!(sites, 1);
+        assert!(host.function("shared").is_none());
+        assert!(host.function("shared.v2").is_some());
+        let caller = host.function("caller").unwrap();
+        assert!(callees_of(caller).contains("shared.v2"));
+        assert!(verify_module(&host).is_empty());
+    }
+
+    #[test]
+    fn rename_moves_declarations_without_leaving_the_old_name() {
+        let (mut host, _) = two_modules();
+        host.declare(FuncDecl {
+            name: "ext".into(),
+            params: vec![crate::Type::I32],
+            ret_ty: crate::Type::I32,
+        });
+        let sites = rename_symbol(&mut host, "ext", "ext.v2").unwrap();
+        assert_eq!(sites, 0);
+        assert!(
+            !host.declarations().iter().any(|d| d.name == "ext"),
+            "old declaration must be removed"
+        );
+        assert!(host.declarations().iter().any(|d| d.name == "ext.v2"));
+        // The old name is free again.
+        assert!(rename_symbol(&mut host, "shared", "ext").is_ok());
+    }
+
+    #[test]
+    fn rename_refuses_collisions_and_unknowns() {
+        let (mut host, _) = two_modules();
+        assert_eq!(
+            rename_symbol(&mut host, "shared", "caller"),
+            Err(LinkError::Collision("caller".to_string()))
+        );
+        assert_eq!(
+            rename_symbol(&mut host, "missing", "other"),
+            Err(LinkError::UnknownSymbol("missing".to_string()))
+        );
+        assert_eq!(rename_symbol(&mut host, "shared", "shared"), Ok(0));
+    }
+
+    #[test]
+    fn import_renames_on_body_collision() {
+        let (mut host, donor) = two_modules();
+        let outcome = import_function(&mut host, &donor, "shared").unwrap();
+        assert!(!outcome.deduped);
+        assert_eq!(outcome.name, "shared.xm.donor");
+        assert_eq!(host.num_functions(), 3);
+        assert!(verify_module(&host).is_empty());
+    }
+
+    #[test]
+    fn import_dedups_identical_definitions() {
+        let (mut host, _) = two_modules();
+        let mut donor = Module::new("donor2");
+        donor.add_function(host.function("shared").unwrap().clone());
+        let outcome = import_function(&mut host, &donor, "shared").unwrap();
+        assert!(outcome.deduped);
+        assert_eq!(outcome.name, "shared");
+        assert_eq!(host.num_functions(), 2);
+    }
+
+    #[test]
+    fn import_carries_callee_signatures() {
+        let (mut host, mut donor) = two_modules();
+        donor.declare(FuncDecl {
+            name: "ext".into(),
+            params: vec![crate::Type::I32],
+            ret_ty: crate::Type::I32,
+        });
+        import_function(&mut host, &donor, "donor_only").unwrap();
+        assert_eq!(
+            host.signature("ext"),
+            Some((vec![crate::Type::I32], crate::Type::I32))
+        );
+    }
+
+    #[test]
+    fn import_rename_follows_self_recursion() {
+        let mut host = parse_module(
+            "define i32 @rec(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        let mut donor = parse_module(
+            "define i32 @rec(i32 %x) {\nentry:\n  %r = call i32 @rec(i32 %x)\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        donor.name = "d".to_string();
+        let outcome = import_function(&mut host, &donor, "rec").unwrap();
+        let imported = host.function(&outcome.name).unwrap();
+        assert!(callees_of(imported).contains(&outcome.name));
+    }
+
+    #[test]
+    fn link_modules_collapses_odr_duplicates_and_rejects_violations() {
+        let (host, donor) = two_modules();
+        // host and donor define different @shared bodies: ODR violation.
+        assert_eq!(
+            link_modules(&[host.clone(), donor.clone()], "prog").err(),
+            Some(LinkError::DuplicateSymbol("shared".to_string()))
+        );
+        // A corpus with an identical duplicate links fine.
+        let mut dup = Module::new("dup");
+        dup.add_function(host.function("shared").unwrap().clone());
+        let linked = link_modules(&[host, dup], "prog").unwrap();
+        assert_eq!(linked.num_functions(), 2);
+        assert!(verify_module(&linked).is_empty());
+    }
+
+    #[test]
+    fn structural_equality_ignores_only_the_name() {
+        let a = crate::parse_function(
+            "define i32 @a(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        let mut b = a.clone();
+        b.name = "b".to_string();
+        assert!(structurally_equal(&a, &b));
+        let c = crate::parse_function(
+            "define i32 @c(i32 %x) {\nentry:\n  %r = add i32 %x, 2\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        assert!(!structurally_equal(&a, &c));
+    }
+}

@@ -73,6 +73,12 @@ impl Module {
         &self.declarations
     }
 
+    /// Removes the external declaration with the given name and returns it.
+    pub fn remove_declaration(&mut self, name: &str) -> Option<FuncDecl> {
+        let idx = self.declarations.iter().position(|d| d.name == name)?;
+        Some(self.declarations.remove(idx))
+    }
+
     /// Finds a function definition by name.
     pub fn function(&self, name: &str) -> Option<&Function> {
         self.functions.iter().find(|f| f.name == name)
@@ -130,7 +136,13 @@ mod tests {
     fn tiny(name: &str) -> Function {
         let mut f = Function::new(name, vec![Type::I32], Type::I32);
         let entry = f.add_block("entry");
-        f.append_inst(entry, InstKind::Ret { value: Some(crate::Value::Arg(0)) }, Type::Void);
+        f.append_inst(
+            entry,
+            InstKind::Ret {
+                value: Some(crate::Value::Arg(0)),
+            },
+            Type::Void,
+        );
         f
     }
 

@@ -60,12 +60,12 @@ pub fn parse_function(text: &str) -> Result<Function> {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
-    Word(String),       // identifiers, keywords, type names
-    Local(String),      // %name
-    Global(String),     // @name
+    Word(String),   // identifiers, keywords, type names
+    Local(String),  // %name
+    Global(String), // @name
     Int(i64),
     Float(f64),
-    Punct(char),        // ( ) { } [ ] , = :
+    Punct(char), // ( ) { } [ ] , = :
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -111,19 +111,32 @@ impl<'a> Lexer<'a> {
                     let sigil = c;
                     self.chars.next();
                     let name = self.ident();
-                    let tok = if sigil == '%' { Tok::Local(name) } else { Tok::Global(name) };
-                    out.push(Token { tok, line: self.line });
+                    let tok = if sigil == '%' {
+                        Tok::Local(name)
+                    } else {
+                        Tok::Global(name)
+                    };
+                    out.push(Token {
+                        tok,
+                        line: self.line,
+                    });
                 }
                 '(' | ')' | '{' | '}' | '[' | ']' | ',' | '=' | ':' => {
                     self.chars.next();
-                    out.push(Token { tok: Tok::Punct(c), line: self.line });
+                    out.push(Token {
+                        tok: Tok::Punct(c),
+                        line: self.line,
+                    });
                 }
                 c if c.is_ascii_digit() || c == '-' || c == '+' => {
                     out.push(self.number()?);
                 }
                 c if c.is_alphabetic() || c == '_' || c == '.' => {
                     let word = self.ident();
-                    out.push(Token { tok: Tok::Word(word), line: self.line });
+                    out.push(Token {
+                        tok: Tok::Word(word),
+                        line: self.line,
+                    });
                 }
                 other => {
                     return Err(ParseError {
@@ -163,9 +176,7 @@ impl<'a> Lexer<'a> {
                 is_float = true;
                 s.push(c);
                 self.chars.next();
-                if (c == 'e' || c == 'E')
-                    && matches!(self.chars.peek(), Some('-') | Some('+'))
-                {
+                if (c == 'e' || c == 'E') && matches!(self.chars.peek(), Some('-') | Some('+')) {
                     s.push(self.chars.next().unwrap());
                 }
             } else {
@@ -175,12 +186,24 @@ impl<'a> Lexer<'a> {
         let line = self.line;
         if is_float {
             s.parse::<f64>()
-                .map(|v| Token { tok: Tok::Float(v), line })
-                .map_err(|_| ParseError { message: format!("bad float literal '{s}'"), line })
+                .map(|v| Token {
+                    tok: Tok::Float(v),
+                    line,
+                })
+                .map_err(|_| ParseError {
+                    message: format!("bad float literal '{s}'"),
+                    line,
+                })
         } else {
             s.parse::<i64>()
-                .map(|v| Token { tok: Tok::Int(v), line })
-                .map_err(|_| ParseError { message: format!("bad integer literal '{s}'"), line })
+                .map(|v| Token {
+                    tok: Tok::Int(v),
+                    line,
+                })
+                .map_err(|_| ParseError {
+                    message: format!("bad integer literal '{s}'"),
+                    line,
+                })
         }
     }
 }
@@ -207,23 +230,80 @@ struct TypedOperand {
 
 #[derive(Debug, Clone)]
 enum AstInst {
-    Binary { op: BinOp, ty: Type, lhs: Operand, rhs: Operand },
-    ICmp { pred: ICmpPred, ty: Type, lhs: Operand, rhs: Operand },
-    Select { cond: TypedOperand, if_true: TypedOperand, if_false: TypedOperand },
-    Call { ret: Type, callee: String, args: Vec<TypedOperand> },
-    Invoke { ret: Type, callee: String, args: Vec<TypedOperand>, normal: String, unwind: String },
+    Binary {
+        op: BinOp,
+        ty: Type,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    ICmp {
+        pred: ICmpPred,
+        ty: Type,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    Select {
+        cond: TypedOperand,
+        if_true: TypedOperand,
+        if_false: TypedOperand,
+    },
+    Call {
+        ret: Type,
+        callee: String,
+        args: Vec<TypedOperand>,
+    },
+    Invoke {
+        ret: Type,
+        callee: String,
+        args: Vec<TypedOperand>,
+        normal: String,
+        unwind: String,
+    },
     LandingPad,
-    Resume { value: TypedOperand },
-    Phi { ty: Type, incomings: Vec<(Operand, String)> },
-    Alloca { ty: Type },
-    Load { ty: Type, ptr: TypedOperand },
-    Store { value: TypedOperand, ptr: TypedOperand },
-    Gep { base: TypedOperand, index: TypedOperand, stride: u32 },
-    Cast { kind: CastKind, value: TypedOperand, to: Type },
-    Br { dest: String },
-    CondBr { cond: TypedOperand, if_true: String, if_false: String },
-    Switch { value: TypedOperand, default: String, cases: Vec<(i64, String)> },
-    Ret { value: Option<TypedOperand> },
+    Resume {
+        value: TypedOperand,
+    },
+    Phi {
+        ty: Type,
+        incomings: Vec<(Operand, String)>,
+    },
+    Alloca {
+        ty: Type,
+    },
+    Load {
+        ty: Type,
+        ptr: TypedOperand,
+    },
+    Store {
+        value: TypedOperand,
+        ptr: TypedOperand,
+    },
+    Gep {
+        base: TypedOperand,
+        index: TypedOperand,
+        stride: u32,
+    },
+    Cast {
+        kind: CastKind,
+        value: TypedOperand,
+        to: Type,
+    },
+    Br {
+        dest: String,
+    },
+    CondBr {
+        cond: TypedOperand,
+        if_true: String,
+        if_false: String,
+    },
+    Switch {
+        value: TypedOperand,
+        default: String,
+        cases: Vec<(i64, String)>,
+    },
+    Ret {
+        value: Option<TypedOperand>,
+    },
     Unreachable,
 }
 
@@ -273,7 +353,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(ParseError { message: message.into(), line: self.line() })
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
     }
 
     fn expect_punct(&mut self, c: char) -> Result<()> {
@@ -281,7 +364,10 @@ impl Parser {
         if t.tok == Tok::Punct(c) {
             Ok(())
         } else {
-            Err(ParseError { message: format!("expected '{c}', found {:?}", t.tok), line: t.line })
+            Err(ParseError {
+                message: format!("expected '{c}', found {:?}", t.tok),
+                line: t.line,
+            })
         }
     }
 
@@ -290,7 +376,10 @@ impl Parser {
         if t.tok == Tok::Word(w.to_string()) {
             Ok(())
         } else {
-            Err(ParseError { message: format!("expected '{w}', found {:?}", t.tok), line: t.line })
+            Err(ParseError {
+                message: format!("expected '{w}', found {:?}", t.tok),
+                line: t.line,
+            })
         }
     }
 
@@ -307,7 +396,10 @@ impl Parser {
         let t = self.next()?;
         match t.tok {
             Tok::Word(w) => Ok(w),
-            other => Err(ParseError { message: format!("expected identifier, found {other:?}"), line: t.line }),
+            other => Err(ParseError {
+                message: format!("expected identifier, found {other:?}"),
+                line: t.line,
+            }),
         }
     }
 
@@ -315,7 +407,10 @@ impl Parser {
         let t = self.next()?;
         match t.tok {
             Tok::Global(name) => Ok(name),
-            other => Err(ParseError { message: format!("expected @name, found {other:?}"), line: t.line }),
+            other => Err(ParseError {
+                message: format!("expected @name, found {other:?}"),
+                line: t.line,
+            }),
         }
     }
 
@@ -323,13 +418,19 @@ impl Parser {
         let t = self.next()?;
         match t.tok {
             Tok::Local(name) => Ok(name),
-            other => Err(ParseError { message: format!("expected %name, found {other:?}"), line: t.line }),
+            other => Err(ParseError {
+                message: format!("expected %name, found {other:?}"),
+                line: t.line,
+            }),
         }
     }
 
     fn ty(&mut self) -> Result<Type> {
         let w = self.word()?;
-        parse_type(&w).ok_or_else(|| ParseError { message: format!("unknown type '{w}'"), line: self.line() })
+        parse_type(&w).ok_or_else(|| ParseError {
+            message: format!("unknown type '{w}'"),
+            line: self.line(),
+        })
     }
 
     fn label(&mut self) -> Result<String> {
@@ -348,9 +449,15 @@ impl Parser {
                 "false" => Ok(Operand::Bool(false)),
                 "undef" => Ok(Operand::Undef),
                 "null" => Ok(Operand::Null),
-                other => Err(ParseError { message: format!("expected operand, found '{other}'"), line: t.line }),
+                other => Err(ParseError {
+                    message: format!("expected operand, found '{other}'"),
+                    line: t.line,
+                }),
             },
-            other => Err(ParseError { message: format!("expected operand, found {other:?}"), line: t.line }),
+            other => Err(ParseError {
+                message: format!("expected operand, found {other:?}"),
+                line: t.line,
+            }),
         }
     }
 
@@ -383,7 +490,11 @@ impl Parser {
                             self.expect_punct(',')?;
                         }
                     }
-                    module.declare(FuncDecl { name, params, ret_ty: ret });
+                    module.declare(FuncDecl {
+                        name,
+                        params,
+                        ret_ty: ret,
+                    });
                 }
                 Tok::Word(w) if w == "define" => {
                     let ast = self.function()?;
@@ -440,7 +551,12 @@ impl Parser {
             }
             blocks.push(AstBlock { label, stmts });
         }
-        Ok(AstFunction { name, ret, params, blocks })
+        Ok(AstFunction {
+            name,
+            ret,
+            params,
+            blocks,
+        })
     }
 
     /// Returns true when the next two tokens form a block label (`word ':'`).
@@ -496,8 +612,10 @@ impl Parser {
         match word.as_str() {
             "icmp" => {
                 let predw = self.word()?;
-                let pred = parse_icmp(&predw)
-                    .ok_or_else(|| ParseError { message: format!("unknown icmp predicate '{predw}'"), line: self.line() })?;
+                let pred = parse_icmp(&predw).ok_or_else(|| ParseError {
+                    message: format!("unknown icmp predicate '{predw}'"),
+                    line: self.line(),
+                })?;
                 let ty = self.ty()?;
                 let lhs = self.operand()?;
                 self.expect_punct(',')?;
@@ -510,7 +628,11 @@ impl Parser {
                 let if_true = self.typed_operand()?;
                 self.expect_punct(',')?;
                 let if_false = self.typed_operand()?;
-                Ok(AstInst::Select { cond, if_true, if_false })
+                Ok(AstInst::Select {
+                    cond,
+                    if_true,
+                    if_false,
+                })
             }
             "call" => {
                 let ret = self.ty()?;
@@ -526,10 +648,18 @@ impl Parser {
                 let normal = self.label()?;
                 self.expect_word("unwind")?;
                 let unwind = self.label()?;
-                Ok(AstInst::Invoke { ret, callee, args, normal, unwind })
+                Ok(AstInst::Invoke {
+                    ret,
+                    callee,
+                    args,
+                    normal,
+                    unwind,
+                })
             }
             "landingpad" => Ok(AstInst::LandingPad),
-            "resume" => Ok(AstInst::Resume { value: self.typed_operand()? }),
+            "resume" => Ok(AstInst::Resume {
+                value: self.typed_operand()?,
+            }),
             "phi" => {
                 let ty = self.ty()?;
                 let mut incomings = Vec::new();
@@ -569,7 +699,11 @@ impl Parser {
                     Tok::Int(v) if v >= 0 => v as u32,
                     other => return self.err(format!("expected stride integer, found {other:?}")),
                 };
-                Ok(AstInst::Gep { base, index, stride })
+                Ok(AstInst::Gep {
+                    base,
+                    index,
+                    stride,
+                })
             }
             "br" => {
                 if let Some(Tok::Word(w)) = self.peek() {
@@ -583,7 +717,11 @@ impl Parser {
                 let if_true = self.label()?;
                 self.expect_punct(',')?;
                 let if_false = self.label()?;
-                Ok(AstInst::CondBr { cond, if_true, if_false })
+                Ok(AstInst::CondBr {
+                    cond,
+                    if_true,
+                    if_false,
+                })
             }
             "switch" => {
                 let value = self.typed_operand()?;
@@ -595,7 +733,9 @@ impl Parser {
                     loop {
                         let c = match self.next()?.tok {
                             Tok::Int(v) => v,
-                            other => return self.err(format!("expected case value, found {other:?}")),
+                            other => {
+                                return self.err(format!("expected case value, found {other:?}"))
+                            }
                         };
                         self.expect_punct(':')?;
                         let dest = self.label()?;
@@ -606,7 +746,11 @@ impl Parser {
                         self.expect_punct(',')?;
                     }
                 }
-                Ok(AstInst::Switch { value, default, cases })
+                Ok(AstInst::Switch {
+                    value,
+                    default,
+                    cases,
+                })
             }
             "ret" => {
                 if let Some(Tok::Word(w)) = self.peek() {
@@ -615,7 +759,9 @@ impl Parser {
                         return Ok(AstInst::Ret { value: None });
                     }
                 }
-                Ok(AstInst::Ret { value: Some(self.typed_operand()?) })
+                Ok(AstInst::Ret {
+                    value: Some(self.typed_operand()?),
+                })
             }
             "unreachable" => Ok(AstInst::Unreachable),
             other => self.err(format!("unknown instruction '{other}'")),
@@ -634,11 +780,17 @@ fn parse_type(word: &str) -> Option<Type> {
 }
 
 fn parse_binop(word: &str) -> Option<BinOp> {
-    BinOp::all().iter().copied().find(|op| op.mnemonic() == word)
+    BinOp::all()
+        .iter()
+        .copied()
+        .find(|op| op.mnemonic() == word)
 }
 
 fn parse_icmp(word: &str) -> Option<ICmpPred> {
-    ICmpPred::all().iter().copied().find(|p| p.mnemonic() == word)
+    ICmpPred::all()
+        .iter()
+        .copied()
+        .find(|p| p.mnemonic() == word)
 }
 
 fn parse_cast(word: &str) -> Option<CastKind> {
@@ -671,7 +823,10 @@ impl Env {
             Operand::Local(name) => match self.values.get(name) {
                 Some(v) => Ok(*v),
                 None if !strict => Ok(Value::undef(ty)),
-                None => Err(ParseError { message: format!("use of undefined value %{name}"), line }),
+                None => Err(ParseError {
+                    message: format!("use of undefined value %{name}"),
+                    line,
+                }),
             },
             Operand::Int(v) => {
                 let bits = if ty.is_int() { ty.bits() } else { 64 };
@@ -700,7 +855,10 @@ fn lower_function(ast: &AstFunction) -> Result<Function> {
     );
     function.param_names = ast.params.iter().map(|(_, n)| n.clone()).collect();
 
-    let mut env = Env { values: HashMap::new(), blocks: HashMap::new() };
+    let mut env = Env {
+        values: HashMap::new(),
+        blocks: HashMap::new(),
+    };
     for (i, (_, name)) in ast.params.iter().enumerate() {
         env.values.insert(name.clone(), Value::Arg(i as u32));
     }
@@ -750,15 +908,31 @@ fn build_kind(inst: &AstInst, env: &Env, strict: bool, line: usize) -> Result<(I
     let rt = |t: &TypedOperand| env.resolve(&t.op, t.ty, strict, line);
     Ok(match inst {
         AstInst::Binary { op, ty, lhs, rhs } => (
-            InstKind::Binary { op: *op, lhs: r(lhs, *ty)?, rhs: r(rhs, *ty)? },
+            InstKind::Binary {
+                op: *op,
+                lhs: r(lhs, *ty)?,
+                rhs: r(rhs, *ty)?,
+            },
             *ty,
         ),
         AstInst::ICmp { pred, ty, lhs, rhs } => (
-            InstKind::ICmp { pred: *pred, lhs: r(lhs, *ty)?, rhs: r(rhs, *ty)? },
+            InstKind::ICmp {
+                pred: *pred,
+                lhs: r(lhs, *ty)?,
+                rhs: r(rhs, *ty)?,
+            },
             Type::I1,
         ),
-        AstInst::Select { cond, if_true, if_false } => (
-            InstKind::Select { cond: rt(cond)?, if_true: rt(if_true)?, if_false: rt(if_false)? },
+        AstInst::Select {
+            cond,
+            if_true,
+            if_false,
+        } => (
+            InstKind::Select {
+                cond: rt(cond)?,
+                if_true: rt(if_true)?,
+                if_false: rt(if_false)?,
+            },
             if_true.ty,
         ),
         AstInst::Call { ret, callee, args } => (
@@ -768,7 +942,13 @@ fn build_kind(inst: &AstInst, env: &Env, strict: bool, line: usize) -> Result<(I
             },
             *ret,
         ),
-        AstInst::Invoke { ret, callee, args, normal, unwind } => (
+        AstInst::Invoke {
+            ret,
+            callee,
+            args,
+            normal,
+            unwind,
+        } => (
             InstKind::Invoke {
                 callee: callee.clone(),
                 args: args.iter().map(rt).collect::<Result<_>>()?,
@@ -791,19 +971,42 @@ fn build_kind(inst: &AstInst, env: &Env, strict: bool, line: usize) -> Result<(I
         AstInst::Alloca { ty } => (InstKind::Alloca { ty: *ty }, Type::Ptr),
         AstInst::Load { ty, ptr } => (InstKind::Load { ptr: rt(ptr)? }, *ty),
         AstInst::Store { value, ptr } => (
-            InstKind::Store { value: rt(value)?, ptr: rt(ptr)? },
+            InstKind::Store {
+                value: rt(value)?,
+                ptr: rt(ptr)?,
+            },
             Type::Void,
         ),
-        AstInst::Gep { base, index, stride } => (
-            InstKind::Gep { base: rt(base)?, index: rt(index)?, stride: *stride },
+        AstInst::Gep {
+            base,
+            index,
+            stride,
+        } => (
+            InstKind::Gep {
+                base: rt(base)?,
+                index: rt(index)?,
+                stride: *stride,
+            },
             Type::Ptr,
         ),
         AstInst::Cast { kind, value, to } => (
-            InstKind::Cast { kind: *kind, value: rt(value)? },
+            InstKind::Cast {
+                kind: *kind,
+                value: rt(value)?,
+            },
             *to,
         ),
-        AstInst::Br { dest } => (InstKind::Br { dest: env.block(dest, line)? }, Type::Void),
-        AstInst::CondBr { cond, if_true, if_false } => (
+        AstInst::Br { dest } => (
+            InstKind::Br {
+                dest: env.block(dest, line)?,
+            },
+            Type::Void,
+        ),
+        AstInst::CondBr {
+            cond,
+            if_true,
+            if_false,
+        } => (
             InstKind::CondBr {
                 cond: rt(cond)?,
                 if_true: env.block(if_true, line)?,
@@ -811,7 +1014,11 @@ fn build_kind(inst: &AstInst, env: &Env, strict: bool, line: usize) -> Result<(I
             },
             Type::Void,
         ),
-        AstInst::Switch { value, default, cases } => (
+        AstInst::Switch {
+            value,
+            default,
+            cases,
+        } => (
             InstKind::Switch {
                 value: rt(value)?,
                 default: env.block(default, line)?,
@@ -823,7 +1030,9 @@ fn build_kind(inst: &AstInst, env: &Env, strict: bool, line: usize) -> Result<(I
             Type::Void,
         ),
         AstInst::Ret { value } => (
-            InstKind::Ret { value: value.as_ref().map(rt).transpose()? },
+            InstKind::Ret {
+                value: value.as_ref().map(rt).transpose()?,
+            },
             Type::Void,
         ),
         AstInst::Unreachable => (InstKind::Unreachable, Type::Void),

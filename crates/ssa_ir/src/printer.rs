@@ -48,7 +48,11 @@ pub fn print_function(function: &Function) -> String {
         .map(|(i, ty)| format!("{} %{}", ty, namer.arg_name(i)))
         .collect::<Vec<_>>()
         .join(", ");
-    let _ = writeln!(out, "define {} @{}({}) {{", function.ret_ty, function.name, params);
+    let _ = writeln!(
+        out,
+        "define {} @{}({}) {{",
+        function.ret_ty, function.name, params
+    );
     for (idx, block) in function.block_ids().enumerate() {
         if idx > 0 {
             out.push('\n');
@@ -77,7 +81,13 @@ pub fn print_inst(function: &Function, namer: &Namer, inst: InstId) -> String {
     };
     let body = match &data.kind {
         InstKind::Binary { op, lhs, rhs } => {
-            format!("{} {} {}, {}", op, function.value_type(*lhs), val(*lhs), val(*rhs))
+            format!(
+                "{} {} {}, {}",
+                op,
+                function.value_type(*lhs),
+                val(*lhs),
+                val(*rhs)
+            )
         }
         InstKind::ICmp { pred, lhs, rhs } => format!(
             "icmp {} {} {}, {}",
@@ -86,7 +96,11 @@ pub fn print_inst(function: &Function, namer: &Namer, inst: InstId) -> String {
             val(*lhs),
             val(*rhs)
         ),
-        InstKind::Select { cond, if_true, if_false } => format!(
+        InstKind::Select {
+            cond,
+            if_true,
+            if_false,
+        } => format!(
             "select {}, {}, {}",
             tval(*cond),
             tval(*if_true),
@@ -98,7 +112,12 @@ pub fn print_inst(function: &Function, namer: &Namer, inst: InstId) -> String {
             callee,
             args.iter().map(|a| tval(*a)).collect::<Vec<_>>().join(", ")
         ),
-        InstKind::Invoke { callee, args, normal, unwind } => format!(
+        InstKind::Invoke {
+            callee,
+            args,
+            normal,
+            unwind,
+        } => format!(
             "invoke {} @{}({}) to {} unwind {}",
             data.ty,
             callee,
@@ -120,15 +139,37 @@ pub fn print_inst(function: &Function, namer: &Namer, inst: InstId) -> String {
         InstKind::Alloca { ty } => format!("alloca {ty}"),
         InstKind::Load { ptr } => format!("load {}, {}", data.ty, tval(*ptr)),
         InstKind::Store { value, ptr } => format!("store {}, {}", tval(*value), tval(*ptr)),
-        InstKind::Gep { base, index, stride } => {
-            format!("getelementptr {}, {}, stride {}", tval(*base), tval(*index), stride)
+        InstKind::Gep {
+            base,
+            index,
+            stride,
+        } => {
+            format!(
+                "getelementptr {}, {}, stride {}",
+                tval(*base),
+                tval(*index),
+                stride
+            )
         }
         InstKind::Cast { kind, value } => format!("{} {} to {}", kind, tval(*value), data.ty),
         InstKind::Br { dest } => format!("br {}", label(*dest)),
-        InstKind::CondBr { cond, if_true, if_false } => {
-            format!("br {}, {}, {}", tval(*cond), label(*if_true), label(*if_false))
+        InstKind::CondBr {
+            cond,
+            if_true,
+            if_false,
+        } => {
+            format!(
+                "br {}, {}, {}",
+                tval(*cond),
+                label(*if_true),
+                label(*if_false)
+            )
         }
-        InstKind::Switch { value, default, cases } => format!(
+        InstKind::Switch {
+            value,
+            default,
+            cases,
+        } => format!(
             "switch {}, {} [ {} ]",
             tval(*value),
             label(*default),
@@ -237,7 +278,11 @@ impl Namer {
             Value::Inst(id) => format!("%{}", self.inst_name(id)),
             Value::Arg(i) => format!("%{}", self.arg_name(i as usize)),
             Value::Const(Constant::Int { bits: 1, value }) => {
-                if value != 0 { "true".into() } else { "false".into() }
+                if value != 0 {
+                    "true".into()
+                } else {
+                    "false".into()
+                }
             }
             Value::Const(c) => c.to_string(),
         }

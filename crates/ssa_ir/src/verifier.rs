@@ -110,7 +110,10 @@ impl<'a> Verifier<'a> {
         for block in self.function.block_ids() {
             let data = self.function.block(block);
             if data.term.is_none() {
-                self.error(format!("block %{} has no terminator", self.namer.block_name(block)));
+                self.error(format!(
+                    "block %{} has no terminator",
+                    self.namer.block_name(block)
+                ));
             }
             for inst in data.all_insts() {
                 if !self.function.contains_inst(inst) {
@@ -223,7 +226,10 @@ impl<'a> Verifier<'a> {
                     problems.push(format!("binary operand types differ ({lt} vs {rt})"));
                 }
                 if data.ty != lt {
-                    problems.push(format!("binary result type {} differs from operand type {lt}", data.ty));
+                    problems.push(format!(
+                        "binary result type {} differs from operand type {lt}",
+                        data.ty
+                    ));
                 }
                 let float_op = op.is_float();
                 if float_op && !lt.is_float() {
@@ -248,7 +254,11 @@ impl<'a> Verifier<'a> {
                     problems.push("icmp must produce i1".into());
                 }
             }
-            InstKind::Select { cond, if_true, if_false } => {
+            InstKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 if self.value_exists(*cond) && ty_of(*cond) != Type::I1 {
                     problems.push("select condition must be i1".into());
                 }
@@ -299,26 +309,24 @@ impl<'a> Verifier<'a> {
             {
                 problems.push("switch value must be an integer".into());
             }
-            InstKind::Ret { value } => {
-                match value {
-                    Some(v) => {
-                        if self.function.ret_ty == Type::Void {
-                            problems.push("void function returns a value".into());
-                        } else if self.value_exists(*v) && ty_of(*v) != self.function.ret_ty {
-                            problems.push(format!(
-                                "return type mismatch: returns {} but function returns {}",
-                                ty_of(*v),
-                                self.function.ret_ty
-                            ));
-                        }
-                    }
-                    None => {
-                        if self.function.ret_ty != Type::Void {
-                            problems.push("non-void function returns void".into());
-                        }
+            InstKind::Ret { value } => match value {
+                Some(v) => {
+                    if self.function.ret_ty == Type::Void {
+                        problems.push("void function returns a value".into());
+                    } else if self.value_exists(*v) && ty_of(*v) != self.function.ret_ty {
+                        problems.push(format!(
+                            "return type mismatch: returns {} but function returns {}",
+                            ty_of(*v),
+                            self.function.ret_ty
+                        ));
                     }
                 }
-            }
+                None => {
+                    if self.function.ret_ty != Type::Void {
+                        problems.push("non-void function returns void".into());
+                    }
+                }
+            },
             InstKind::Phi { incomings } => {
                 for (v, _) in incomings {
                     if self.value_exists(*v) && !v.is_undef() && ty_of(*v) != data.ty {
@@ -555,7 +563,9 @@ mod tests {
             incomings.pop();
         }
         let errs = verify_function(&f);
-        assert!(errs.iter().any(|e| e.message.contains("missing an incoming value")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("missing an incoming value")));
     }
 
     #[test]
@@ -566,7 +576,9 @@ mod tests {
         let v = b.binary(BinOp::Add, Value::Arg(0), Value::i64(1));
         b.ret(Some(v));
         let errs = verify_function(&b.finish());
-        assert!(errs.iter().any(|e| e.message.contains("operand types differ")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("operand types differ")));
     }
 
     #[test]
@@ -608,9 +620,17 @@ mod tests {
         let mut f = Function::new("f", vec![Type::I32], Type::I32);
         let entry = f.add_block("entry");
         f.append_inst(entry, InstKind::Phi { incomings: vec![] }, Type::I32);
-        f.append_inst(entry, InstKind::Ret { value: Some(Value::Arg(0)) }, Type::Void);
+        f.append_inst(
+            entry,
+            InstKind::Ret {
+                value: Some(Value::Arg(0)),
+            },
+            Type::Void,
+        );
         let errs = verify_function(&f);
-        assert!(errs.iter().any(|e| e.message.contains("entry block must not contain phi")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("entry block must not contain phi")));
     }
 
     #[test]
@@ -622,7 +642,9 @@ mod tests {
         b.landing_pad();
         b.ret(None);
         let errs = verify_function(&b.finish());
-        assert!(errs.iter().any(|e| e.message.contains("not the unwind destination")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("not the unwind destination")));
     }
 
     #[test]

@@ -66,7 +66,11 @@ fn fold_inst(function: &Function, kind: &InstKind, ty: Type) -> Option<Value> {
     match kind {
         InstKind::Binary { op, lhs, rhs } => fold_binary(function, *op, *lhs, *rhs, ty),
         InstKind::ICmp { pred, lhs, rhs } => fold_icmp(function, *pred, *lhs, *rhs),
-        InstKind::Select { cond, if_true, if_false } => {
+        InstKind::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
             if if_true == if_false {
                 return Some(*if_true);
             }
@@ -93,9 +97,16 @@ fn fold_binary(function: &Function, op: BinOp, lhs: Value, rhs: Value, ty: Type)
     // Algebraic identities with one constant operand.
     if let Some((rv, _)) = r {
         match (op, rv) {
-            (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::LShr | BinOp::AShr, 0) => {
-                return Some(lhs)
-            }
+            (
+                BinOp::Add
+                | BinOp::Sub
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Shl
+                | BinOp::LShr
+                | BinOp::AShr,
+                0,
+            ) => return Some(lhs),
             (BinOp::Mul | BinOp::SDiv | BinOp::UDiv, 1) => return Some(lhs),
             (BinOp::Mul | BinOp::And, 0) => {
                 return Some(Value::Const(Constant::Int { bits, value: 0 }))
@@ -152,7 +163,10 @@ fn fold_binary(function: &Function, op: BinOp, lhs: Value, rhs: Value, ty: Type)
         BinOp::AShr => lv.wrapping_shr(rv as u32 & 63),
         _ => return None,
     };
-    Some(Value::Const(Constant::Int { bits, value: mask(bits, value) }))
+    Some(Value::Const(Constant::Int {
+        bits,
+        value: mask(bits, value),
+    }))
 }
 
 fn fold_icmp(function: &Function, pred: ICmpPred, lhs: Value, rhs: Value) -> Option<Value> {
@@ -174,7 +188,12 @@ fn fold_icmp(function: &Function, pred: ICmpPred, lhs: Value, rhs: Value) -> Opt
     Some(Value::bool(result))
 }
 
-fn fold_cast(function: &Function, kind: ssa_ir::CastKind, value: Value, to_ty: Type) -> Option<Value> {
+fn fold_cast(
+    function: &Function,
+    kind: ssa_ir::CastKind,
+    value: Value,
+    to_ty: Type,
+) -> Option<Value> {
     use ssa_ir::CastKind::*;
     let (v, bits) = const_int(function, value)?;
     if !to_ty.is_int() {
@@ -193,7 +212,10 @@ fn fold_cast(function: &Function, kind: ssa_ir::CastKind, value: Value, to_ty: T
         SExt | Bitcast => v,
         _ => return None,
     };
-    Some(Value::Const(Constant::Int { bits: to_bits, value: mask(to_bits, folded) }))
+    Some(Value::Const(Constant::Int {
+        bits: to_bits,
+        value: mask(to_bits, folded),
+    }))
 }
 
 #[cfg(test)]
@@ -219,7 +241,10 @@ mod tests {
         let ret = f.block(f.entry()).term.unwrap();
         assert_eq!(
             f.inst(ret).kind.operands()[0],
-            Value::Const(Constant::Int { bits: 32, value: 20 })
+            Value::Const(Constant::Int {
+                bits: 32,
+                value: 20
+            })
         );
     }
 

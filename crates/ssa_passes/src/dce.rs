@@ -73,8 +73,8 @@ pub fn remove_unreachable_blocks(function: &mut Function) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssa_ir::verifier::assert_valid;
     use ssa_ir::parse_function;
+    use ssa_ir::verifier::assert_valid;
 
     #[test]
     fn removes_unused_pure_instructions() {

@@ -115,7 +115,13 @@ pub fn promote_slots(function: &mut Function, slots: &[InstId]) -> usize {
         def_blocks.insert(function.entry());
         let ty = slot_type(function, slot);
         for block in iterated_dominance_frontier(&domtree, &def_blocks) {
-            let phi = function.append_inst(block, InstKind::Phi { incomings: Vec::new() }, ty);
+            let phi = function.append_inst(
+                block,
+                InstKind::Phi {
+                    incomings: Vec::new(),
+                },
+                ty,
+            );
             phis_for_slot[idx].insert(block, phi);
             inserted += 1;
         }
@@ -152,12 +158,17 @@ pub fn promote_slots(function: &mut Function, slots: &[InstId]) -> usize {
         let body: Vec<InstId> = function.block(block).insts.clone();
         for inst in body {
             match function.inst(inst).kind.clone() {
-                InstKind::Load { ptr: Value::Inst(slot) } if slot_set.contains(&slot) => {
+                InstKind::Load {
+                    ptr: Value::Inst(slot),
+                } if slot_set.contains(&slot) => {
                     let idx = slot_index[&slot];
                     function.replace_all_uses(Value::Inst(inst), current[idx]);
                     function.remove_inst(inst);
                 }
-                InstKind::Store { value, ptr: Value::Inst(slot) } if slot_set.contains(&slot) => {
+                InstKind::Store {
+                    value,
+                    ptr: Value::Inst(slot),
+                } if slot_set.contains(&slot) => {
                     let idx = slot_index[&slot];
                     current[idx] = value;
                     function.remove_inst(inst);
@@ -276,7 +287,7 @@ entry:
     }
 
     #[test]
-    fn demote_then_promote_roundtrips_to_ssa(){
+    fn demote_then_promote_roundtrips_to_ssa() {
         let mut f = parse_function(F2).unwrap();
         let original_size = f.num_insts();
         reg2mem::demote_function(&mut f);

@@ -83,8 +83,8 @@ pub fn cleanup_module(module: &mut Module) -> PipelineReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssa_ir::verifier::assert_valid;
     use ssa_ir::parse_module;
+    use ssa_ir::verifier::assert_valid;
 
     #[test]
     fn cleanup_shrinks_messy_function() {

@@ -196,8 +196,8 @@ pub fn simplify_phis(function: &mut Function) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssa_ir::verifier::assert_valid;
     use ssa_ir::parse_function;
+    use ssa_ir::verifier::assert_valid;
 
     #[test]
     fn removes_single_value_phi() {

@@ -72,7 +72,10 @@ pub fn demote_phis(function: &mut Function) -> usize {
             function.insert_inst(
                 pred,
                 at,
-                InstKind::Store { value, ptr: slot_val },
+                InstKind::Store {
+                    value,
+                    ptr: slot_val,
+                },
                 Type::Void,
             );
         }
@@ -142,7 +145,10 @@ pub fn demote_cross_block_registers(function: &mut Function) -> usize {
         function.insert_inst(
             store_block,
             store_at,
-            InstKind::Store { value: Value::Inst(inst), ptr: slot_val },
+            InstKind::Store {
+                value: Value::Inst(inst),
+                ptr: slot_val,
+            },
             Type::Void,
         );
 
@@ -175,8 +181,12 @@ pub fn demote_cross_block_registers(function: &mut Function) -> usize {
                     .iter()
                     .position(|i| *i == user)
                     .unwrap_or(0);
-                let load = function.insert_inst(user_block, pos, InstKind::Load { ptr: slot_val }, ty);
-                function.inst_mut(user).kind.replace_value(Value::Inst(inst), Value::Inst(load));
+                let load =
+                    function.insert_inst(user_block, pos, InstKind::Load { ptr: slot_val }, ty);
+                function
+                    .inst_mut(user)
+                    .kind
+                    .replace_value(Value::Inst(inst), Value::Inst(load));
             }
         }
     }

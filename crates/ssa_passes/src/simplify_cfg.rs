@@ -23,7 +23,10 @@ pub struct SimplifyStats {
 
 impl SimplifyStats {
     fn total(&self) -> usize {
-        self.branches_folded + self.blocks_merged + self.forwarders_removed + self.unreachable_removed
+        self.branches_folded
+            + self.blocks_merged
+            + self.forwarders_removed
+            + self.unreachable_removed
     }
 }
 
@@ -55,13 +58,22 @@ pub fn fold_constant_branches(function: &mut Function) -> usize {
         let Some(term) = function.block(block).term else {
             continue;
         };
-        let InstKind::CondBr { cond, if_true, if_false } = function.inst(term).kind.clone() else {
+        let InstKind::CondBr {
+            cond,
+            if_true,
+            if_false,
+        } = function.inst(term).kind.clone()
+        else {
             continue;
         };
         let target = if if_true == if_false {
             Some((if_true, None))
         } else if let Value::Const(Constant::Int { value, .. }) = cond {
-            let (taken, skipped) = if value != 0 { (if_true, if_false) } else { (if_false, if_true) };
+            let (taken, skipped) = if value != 0 {
+                (if_true, if_false)
+            } else {
+                (if_false, if_true)
+            };
             Some((taken, Some(skipped)))
         } else {
             None
@@ -121,10 +133,7 @@ pub fn remove_forwarding_blocks(function: &mut Function) -> usize {
             let InstKind::Phi { incomings } = &function.inst(phi).kind else {
                 continue;
             };
-            let via_fwd = incomings
-                .iter()
-                .find(|(_, b)| *b == block)
-                .map(|(v, _)| *v);
+            let via_fwd = incomings.iter().find(|(_, b)| *b == block).map(|(v, _)| *v);
             for &p in &preds {
                 if let (Some(direct), Some(via)) = (
                     incomings.iter().find(|(_, b)| *b == p).map(|(v, _)| *v),
@@ -145,14 +154,8 @@ pub fn remove_forwarding_blocks(function: &mut Function) -> usize {
             let InstKind::Phi { incomings } = function.inst(phi).kind.clone() else {
                 continue;
             };
-            let via_fwd = incomings
-                .iter()
-                .find(|(_, b)| *b == block)
-                .map(|(v, _)| *v);
-            let mut rewired: Vec<_> = incomings
-                .into_iter()
-                .filter(|(_, b)| *b != block)
-                .collect();
+            let via_fwd = incomings.iter().find(|(_, b)| *b == block).map(|(v, _)| *v);
+            let mut rewired: Vec<_> = incomings.into_iter().filter(|(_, b)| *b != block).collect();
             if let Some(value) = via_fwd {
                 for &p in &preds {
                     if !rewired.iter().any(|(_, b)| *b == p) {
@@ -183,7 +186,9 @@ pub fn merge_single_pred_blocks(function: &mut Function) -> usize {
             if block == function.entry() {
                 continue;
             }
-            let Some(ps) = preds.get(&block) else { continue };
+            let Some(ps) = preds.get(&block) else {
+                continue;
+            };
             if ps.len() != 1 {
                 continue;
             }
@@ -241,8 +246,8 @@ pub fn merge_single_pred_blocks(function: &mut Function) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssa_ir::verifier::assert_valid;
     use ssa_ir::parse_function;
+    use ssa_ir::verifier::assert_valid;
 
     #[test]
     fn folds_constant_condition_and_removes_dead_branch() {

@@ -1,0 +1,81 @@
+//! `gen-corpus` — write a deterministic multi-module corpus to a directory.
+//!
+//! The generated corpus is the input of the cross-module pipeline:
+//!
+//! ```text
+//! cargo run -p workloads --bin gen-corpus -- --modules 8 --out-dir corpus/
+//! cargo run --release --bin salssa -- xmerge corpus/
+//! ```
+//!
+//! One `.ll` file is written per module (`<name>_m<i>.ll`); clone families
+//! are scattered across modules and a few functions are duplicated verbatim
+//! into two modules (the ODR/inline case), so the corpus genuinely exercises
+//! cross-module discovery, merging and deduplication.
+
+use ssa_ir::print_module;
+use workloads::{CorpusSpec, Divergence};
+
+fn main() {
+    let mut spec = CorpusSpec::default();
+    let mut out_dir: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--seed" => spec.seed = value(arg).parse().expect("bad --seed"),
+            "--modules" => spec.num_modules = value(arg).parse().expect("bad --modules"),
+            "--functions" => {
+                spec.functions_per_module = value(arg).parse().expect("bad --functions")
+            }
+            "--clone-fraction" => {
+                spec.cross_clone_fraction = value(arg).parse().expect("bad --clone-fraction")
+            }
+            "--family-span" => spec.family_span = value(arg).parse().expect("bad --family-span"),
+            "--odr-duplicates" => {
+                spec.odr_duplicates = value(arg).parse().expect("bad --odr-duplicates")
+            }
+            "--divergence" => {
+                spec.divergence = match value(arg).as_str() {
+                    "low" => Divergence::low(),
+                    "medium" => Divergence::medium(),
+                    "high" => Divergence::high(),
+                    other => panic!("unknown divergence '{other}' (low|medium|high)"),
+                };
+            }
+            "--name" => spec.name = value(arg).clone(),
+            "--min-size" => spec.size_range.0 = value(arg).parse().expect("bad --min-size"),
+            "--max-size" => spec.size_range.1 = value(arg).parse().expect("bad --max-size"),
+            "--out-dir" => out_dir = Some(value(arg).clone()),
+            other => panic!("unknown option '{other}'"),
+        }
+    }
+
+    let out_dir = out_dir.expect("--out-dir <dir> is required");
+    let modules = spec.generate();
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| panic!("cannot create {out_dir}: {e}"));
+    for module in &modules {
+        let errors = ssa_ir::verifier::verify_module(module);
+        assert!(
+            errors.is_empty(),
+            "generated module {} is invalid: {errors:?}",
+            module.name
+        );
+        let path = format!("{}/{}.ll", out_dir.trim_end_matches('/'), module.name);
+        std::fs::write(&path, print_module(module))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+    eprintln!(
+        "wrote {} modules ({} functions) to {}",
+        modules.len(),
+        modules
+            .iter()
+            .map(ssa_ir::Module::num_functions)
+            .sum::<usize>(),
+        out_dir
+    );
+}

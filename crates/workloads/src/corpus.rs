@@ -1,0 +1,245 @@
+//! Multi-module corpus generation for the cross-module merging scenario.
+//!
+//! A corpus models a ThinLTO-style program split into translation units:
+//! clone families whose members are *scattered across modules* (the
+//! cross-module merging opportunity — think a C++ template instantiated in
+//! several TUs), verbatim ODR duplicates (the same inline function emitted
+//! into multiple TUs), and per-module unrelated functions as noise. Every
+//! function name is unique corpus-wide except the intentional ODR
+//! duplicates, which are bit-identical by construction.
+
+use crate::clone_family::{make_clone, Divergence};
+use crate::genfn::{generate_function, FunctionSpec};
+use crate::suite::sanitize;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ssa_ir::Module;
+
+/// Description of one synthetic multi-module corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Corpus name; module `i` is named `<name>_m<i>`.
+    pub name: String,
+    /// Number of modules (translation units).
+    pub num_modules: usize,
+    /// Functions per module.
+    pub functions_per_module: usize,
+    /// Approximate size range of a function, in IR instructions.
+    pub size_range: (usize, usize),
+    /// Fraction of all functions that belong to a cross-module clone family.
+    pub cross_clone_fraction: f64,
+    /// Modules spanned by each clone family (clamped to `num_modules`).
+    pub family_span: usize,
+    /// How much family members diverge from their common ancestor.
+    pub divergence: Divergence,
+    /// Number of functions duplicated verbatim (same name, same body) into
+    /// two modules each — the ODR/inline-function case.
+    pub odr_duplicates: usize,
+    /// Seed making the corpus reproducible.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            name: "corpus".to_string(),
+            num_modules: 8,
+            functions_per_module: 6,
+            size_range: (16, 48),
+            cross_clone_fraction: 0.5,
+            family_span: 3,
+            divergence: Divergence::low(),
+            odr_duplicates: 2,
+            seed: 7,
+        }
+    }
+}
+
+impl CorpusSpec {
+    /// Generates the corpus: `num_modules` verifier-clean modules.
+    pub fn generate(&self) -> Vec<Module> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let num_modules = self.num_modules.max(1);
+        let mut modules: Vec<Module> = (0..num_modules)
+            .map(|i| Module::new(format!("{}_m{i}", sanitize(&self.name))))
+            .collect();
+        let callees: Vec<String> = (0..6)
+            .map(|i| format!("lib_{}_{i}", sanitize(&self.name)))
+            .collect();
+
+        let total = num_modules * self.functions_per_module;
+        let clone_budget = ((total as f64) * self.cross_clone_fraction) as usize;
+        let span = self.family_span.clamp(1, num_modules);
+
+        // Cross-module clone families: each family's members land in `span`
+        // consecutive modules (wrapping), one member per module.
+        let mut created = 0usize;
+        let mut family = 0usize;
+        let mut counts = vec![0usize; num_modules];
+        while created + 1 < clone_budget {
+            let members = span.min(clone_budget - created).max(2);
+            let size = rng.gen_range(self.size_range.0..=self.size_range.1);
+            let start = rng.gen_range(0..num_modules);
+            let base_spec = FunctionSpec {
+                name: format!("{}_fam{}_m0", sanitize(&self.name), family),
+                size,
+                num_params: rng.gen_range(1..4),
+                callees: callees.clone(),
+                ..FunctionSpec::default()
+            };
+            let base = generate_function(&base_spec, &mut rng);
+            for member in 1..members {
+                let clone = make_clone(
+                    &base,
+                    &format!("{}_fam{}_m{}", sanitize(&self.name), family, member),
+                    self.divergence,
+                    &mut rng,
+                    &callees,
+                );
+                let target = (start + member) % num_modules;
+                modules[target].add_function(clone);
+                counts[target] += 1;
+            }
+            modules[start].add_function(base);
+            counts[start] += 1;
+            created += members;
+            family += 1;
+        }
+
+        // Verbatim ODR duplicates: the same function emitted into two modules.
+        if num_modules >= 2 {
+            for d in 0..self.odr_duplicates {
+                let size = rng.gen_range(self.size_range.0..=self.size_range.1);
+                let spec = FunctionSpec {
+                    name: format!("{}_odr{d}", sanitize(&self.name)),
+                    size,
+                    num_params: rng.gen_range(1..4),
+                    callees: callees.clone(),
+                    ..FunctionSpec::default()
+                };
+                let f = generate_function(&spec, &mut rng);
+                let first = rng.gen_range(0..num_modules);
+                let second = (first + 1 + rng.gen_range(0..num_modules - 1)) % num_modules;
+                modules[first].add_function(f.clone());
+                modules[second].add_function(f);
+                counts[first] += 1;
+                counts[second] += 1;
+            }
+        }
+
+        // Unrelated per-module noise fills every module to its quota.
+        for (mi, module) in modules.iter_mut().enumerate() {
+            let mut n = 0usize;
+            while counts[mi] < self.functions_per_module {
+                let size = rng.gen_range(self.size_range.0..=self.size_range.1);
+                let spec = FunctionSpec {
+                    name: format!("{}_m{mi}_fn{n}", sanitize(&self.name)),
+                    size,
+                    num_params: rng.gen_range(1..4),
+                    callees: callees.clone(),
+                    branch_density: rng.gen_range(0.1..0.5),
+                    loop_density: rng.gen_range(0.0..0.3),
+                };
+                module.add_function(generate_function(&spec, &mut rng));
+                counts[mi] += 1;
+                n += 1;
+            }
+        }
+        modules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn corpus_is_deterministic_and_valid() {
+        let spec = CorpusSpec::default();
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.len(), 8);
+        for (ma, mb) in a.iter().zip(&b) {
+            assert_eq!(ssa_ir::print_module(ma), ssa_ir::print_module(mb));
+            assert!(ssa_ir::verifier::verify_module(ma).is_empty());
+            assert_eq!(ma.num_functions(), spec.functions_per_module);
+        }
+    }
+
+    #[test]
+    fn families_span_multiple_modules() {
+        let spec = CorpusSpec::default();
+        let modules = spec.generate();
+        // Members of family 0 must live in more than one module.
+        let mut home: HashMap<String, Vec<String>> = HashMap::new();
+        for m in &modules {
+            for f in m.functions() {
+                if let Some((fam, _)) = f.name.split_once("_m").filter(|(p, _)| p.contains("fam")) {
+                    home.entry(fam.to_string())
+                        .or_default()
+                        .push(m.name.clone());
+                }
+            }
+        }
+        assert!(!home.is_empty());
+        assert!(
+            home.values().any(|mods| {
+                let mut unique = mods.clone();
+                unique.sort();
+                unique.dedup();
+                unique.len() > 1
+            }),
+            "some clone family must span multiple modules: {home:?}"
+        );
+    }
+
+    #[test]
+    fn odr_duplicates_are_verbatim_copies() {
+        let spec = CorpusSpec {
+            odr_duplicates: 2,
+            ..CorpusSpec::default()
+        };
+        let modules = spec.generate();
+        for d in 0..2 {
+            let name = format!("corpus_odr{d}");
+            let copies: Vec<_> = modules.iter().filter_map(|m| m.function(&name)).collect();
+            assert_eq!(
+                copies.len(),
+                2,
+                "@{name} must be defined in exactly two modules"
+            );
+            assert!(ssa_ir::structurally_equal(copies[0], copies[1]));
+        }
+    }
+
+    #[test]
+    fn names_are_unique_outside_odr_duplicates() {
+        let spec = CorpusSpec::default();
+        let modules = spec.generate();
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for m in &modules {
+            for f in m.functions() {
+                *seen.entry(f.name.clone()).or_insert(0) += 1;
+            }
+        }
+        for (name, count) in seen {
+            let limit = if name.contains("_odr") { 2 } else { 1 };
+            assert!(count <= limit, "@{name} defined {count} times");
+        }
+    }
+
+    #[test]
+    fn degenerate_corpora_still_generate() {
+        let spec = CorpusSpec {
+            num_modules: 1,
+            functions_per_module: 2,
+            cross_clone_fraction: 1.0,
+            odr_duplicates: 3,
+            ..CorpusSpec::default()
+        };
+        let modules = spec.generate();
+        assert_eq!(modules.len(), 1);
+        assert_eq!(modules[0].num_functions(), 2);
+    }
+}

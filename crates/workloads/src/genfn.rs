@@ -7,7 +7,7 @@
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use ssa_ir::{BinOp, FunctionBuilder, Function, ICmpPred, Type, Value};
+use ssa_ir::{BinOp, Function, FunctionBuilder, ICmpPred, Type, Value};
 
 /// Parameters of one generated function.
 #[derive(Debug, Clone)]

@@ -59,7 +59,9 @@ impl BenchmarkSpec {
     pub fn generate(&self) -> Module {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut module = Module::new(self.name.clone());
-        let callees: Vec<String> = (0..6).map(|i| format!("lib_{}_{i}", sanitize(&self.name))).collect();
+        let callees: Vec<String> = (0..6)
+            .map(|i| format!("lib_{}_{i}", sanitize(&self.name)))
+            .collect();
 
         let clone_functions = ((self.num_functions as f64) * self.clone_fraction) as usize;
         let mut created = 0usize;
@@ -113,7 +115,9 @@ impl BenchmarkSpec {
     }
 }
 
-fn sanitize(name: &str) -> String {
+/// Maps a benchmark/corpus name (which may contain `.`/`-`, e.g.
+/// `400.perlbench`) to the identifier prefix used for generated symbols.
+pub(crate) fn sanitize(name: &str) -> String {
     name.replace(['.', '-'], "_")
 }
 
@@ -161,7 +165,15 @@ pub fn spec2017() -> Vec<BenchmarkSpec> {
         BenchmarkSpec::new("619.lbm_s", 10, (20, 90), 0.25, 2, Divergence::high(), 108),
         BenchmarkSpec::new("620.omnetpp_s", 50, (20, 110), 0.40, 3, lo, 109),
         BenchmarkSpec::new("623.xalancbmk_s", 80, (20, 120), 0.45, 4, lo, 110),
-        BenchmarkSpec::new("625.x264_s", 36, (30, 130), 0.25, 2, Divergence::high(), 111),
+        BenchmarkSpec::new(
+            "625.x264_s",
+            36,
+            (30, 130),
+            0.25,
+            2,
+            Divergence::high(),
+            111,
+        ),
         BenchmarkSpec::new("631.deepsjeng_s", 20, (20, 100), 0.20, 2, md, 112),
         BenchmarkSpec::new("638.imagick_s", 60, (20, 130), 0.30, 3, md, 113),
         BenchmarkSpec::new("641.leela_s", 24, (20, 110), 0.40, 3, lo, 114),

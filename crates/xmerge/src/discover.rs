@@ -1,0 +1,248 @@
+//! Sharded cross-module candidate discovery.
+//!
+//! Comparing every pair of functions in a corpus is quadratic in the whole
+//! program; instead, entries are bucketed by MinHash band (locality-sensitive
+//! hashing): two functions land in a shared shard exactly when one band of
+//! their signatures hashes identically, which happens with high probability
+//! for sequence-similar functions and rarely otherwise. Only pairs that share
+//! a shard are scored — in parallel, shard contents being independent — and
+//! each function keeps its best few candidates, mirroring the intra-module
+//! exploration threshold.
+
+use crate::index::CorpusIndex;
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Tuning knobs of candidate discovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiscoveryConfig {
+    /// Rows per LSH band. With 16-component signatures, 2 rows = 8 bands,
+    /// which keeps bucket collisions likely down to ~50% sequence similarity.
+    pub rows: usize,
+    /// Shards larger than this are skipped: a huge bucket means a degenerate
+    /// band (e.g. every tiny function hashing equal) and would reintroduce
+    /// the quadratic blow-up discovery exists to avoid.
+    pub max_bucket: usize,
+    /// How many ranked candidates each function keeps (the cross-module
+    /// analogue of the paper's exploration threshold `t`).
+    pub max_candidates_per_fn: usize,
+    /// Functions smaller than this many IR instructions are not considered.
+    pub min_function_size: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            rows: 2,
+            max_bucket: 64,
+            max_candidates_per_fn: 3,
+            min_function_size: 3,
+        }
+    }
+}
+
+/// One cross-module candidate pair, referencing entries of the [`CorpusIndex`]
+/// it was discovered in. `a` is always the larger (or name-earlier) entry —
+/// the side that will host the merged function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidatePair {
+    /// Index of the host-side entry in `CorpusIndex::entries`.
+    pub a: usize,
+    /// Index of the donor-side entry in `CorpusIndex::entries`.
+    pub b: usize,
+    /// Opcode-fingerprint Manhattan distance (ranking key; smaller is better).
+    pub distance: u64,
+    /// Estimated Jaccard similarity of the opcode-shingle sets.
+    pub similarity: f64,
+}
+
+/// Discovers cross-module candidate pairs in `index`, most similar first.
+///
+/// Functions from the same module never pair up here — intra-module merging
+/// is the existing driver's job; this stage exists to find the pairs it can
+/// never see.
+pub fn discover(index: &CorpusIndex, config: &DiscoveryConfig) -> Vec<CandidatePair> {
+    // Shard: band hash -> entry indices.
+    let mut shards: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
+    for (i, entry) in index.entries.iter().enumerate() {
+        if entry.num_insts < config.min_function_size {
+            continue;
+        }
+        for (band, hash) in entry
+            .minhash
+            .band_hashes(config.rows)
+            .into_iter()
+            .enumerate()
+        {
+            shards.entry((band, hash)).or_default().push(i);
+        }
+    }
+
+    // Collect the distinct cross-module pairs that co-occur in some shard.
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    for members in shards.values() {
+        if members.len() < 2 || members.len() > config.max_bucket {
+            continue;
+        }
+        for (k, &i) in members.iter().enumerate() {
+            for &j in &members[k + 1..] {
+                if index.entries[i].module != index.entries[j].module {
+                    seen.insert(orient(index, i, j));
+                }
+            }
+        }
+    }
+
+    // Score shard co-occupants in parallel, then rank deterministically.
+    let pairs: Vec<(usize, usize)> = seen.into_iter().collect();
+    let mut scored: Vec<CandidatePair> = pairs
+        .par_iter()
+        .map(|&(a, b)| {
+            let (ea, eb) = (&index.entries[a], &index.entries[b]);
+            CandidatePair {
+                a,
+                b,
+                distance: ea.distance(eb),
+                similarity: ea.minhash.similarity(&eb.minhash),
+            }
+        })
+        .collect();
+    scored.sort_by(|x, y| {
+        x.distance
+            .cmp(&y.distance)
+            .then(y.similarity.total_cmp(&x.similarity))
+            .then_with(|| pair_key(index, x).cmp(&pair_key(index, y)))
+    });
+
+    // Per-function candidate cap, applied in rank order.
+    let mut kept = Vec::new();
+    let mut load: HashMap<usize, usize> = HashMap::new();
+    for pair in scored {
+        let (la, lb) = (
+            *load.get(&pair.a).unwrap_or(&0),
+            *load.get(&pair.b).unwrap_or(&0),
+        );
+        if la < config.max_candidates_per_fn && lb < config.max_candidates_per_fn {
+            *load.entry(pair.a).or_insert(0) += 1;
+            *load.entry(pair.b).or_insert(0) += 1;
+            kept.push(pair);
+        }
+    }
+    kept
+}
+
+/// Puts the larger function first (ties broken by module/function name), so
+/// the host side is chosen the same way the intra-module driver walks its
+/// size-ordered list.
+fn orient(index: &CorpusIndex, i: usize, j: usize) -> (usize, usize) {
+    fn key(e: &crate::index::FunctionSummary) -> (std::cmp::Reverse<usize>, &str, &str) {
+        (
+            std::cmp::Reverse(e.num_insts),
+            e.module.as_str(),
+            e.name.as_str(),
+        )
+    }
+    let (ei, ej) = (&index.entries[i], &index.entries[j]);
+    if key(ei) <= key(ej) {
+        (i, j)
+    } else {
+        (j, i)
+    }
+}
+
+fn pair_key<'a>(index: &'a CorpusIndex, p: &CandidatePair) -> (&'a str, &'a str, &'a str, &'a str) {
+    let (a, b) = (&index.entries[p.a], &index.entries[p.b]);
+    (&a.module, &a.name, &b.module, &b.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_align::MinHash;
+    use ssa_ir::{parse_module, Module};
+
+    fn clone_pair_corpus() -> Vec<Module> {
+        let template = |name: &str, k: i32| {
+            format!(
+                r#"
+define i32 @{name}(i32 %n) {{
+entry:
+  %a = call i32 @setup(i32 %n)
+  %b = add i32 %a, {k}
+  %c = mul i32 %b, %n
+  %d = xor i32 %c, {k}
+  %e = call i32 @finish(i32 %d)
+  ret i32 %e
+}}
+"#
+            )
+        };
+        let noise = r#"
+define double @noise(double %x) {
+entry:
+  %a = fmul double %x, 2.0
+  %b = fadd double %a, 1.0
+  %c = fdiv double %b, 3.0
+  ret double %c
+}
+"#;
+        let mut a = parse_module(&template("left", 3)).unwrap();
+        a.name = "mod_a".to_string();
+        let mut b = parse_module(&format!("{}{}", template("right", 7), noise)).unwrap();
+        b.name = "mod_b".to_string();
+        vec![a, b]
+    }
+
+    #[test]
+    fn discovery_finds_the_cross_module_clone_pair() {
+        let modules = clone_pair_corpus();
+        let index = CorpusIndex::build(&modules, MinHash::DEFAULT_HASHES);
+        let pairs = discover(&index, &DiscoveryConfig::default());
+        assert!(!pairs.is_empty());
+        let best = &pairs[0];
+        let (a, b) = (&index.entries[best.a], &index.entries[best.b]);
+        let mut names = [a.name.as_str(), b.name.as_str()];
+        names.sort_unstable();
+        assert_eq!(names, ["left", "right"]);
+        assert_ne!(a.module, b.module);
+        assert_eq!(best.distance, 0);
+    }
+
+    #[test]
+    fn same_module_functions_never_pair() {
+        let mut modules = clone_pair_corpus();
+        // Move every function into one module: no cross-module pairs remain.
+        let extra: Vec<_> = modules.remove(1).functions().to_vec();
+        for mut f in extra {
+            f.name = format!("{}_b", f.name);
+            modules[0].add_function(f);
+        }
+        let index = CorpusIndex::build(&modules, MinHash::DEFAULT_HASHES);
+        assert!(discover(&index, &DiscoveryConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn candidate_cap_and_min_size_are_respected() {
+        let modules = clone_pair_corpus();
+        let index = CorpusIndex::build(&modules, MinHash::DEFAULT_HASHES);
+        let strict = DiscoveryConfig {
+            min_function_size: 100,
+            ..DiscoveryConfig::default()
+        };
+        assert!(discover(&index, &strict).is_empty());
+        let capped = DiscoveryConfig {
+            max_candidates_per_fn: 0,
+            ..DiscoveryConfig::default()
+        };
+        assert!(discover(&index, &capped).is_empty());
+    }
+
+    #[test]
+    fn discovery_is_deterministic() {
+        let modules = clone_pair_corpus();
+        let index = CorpusIndex::build(&modules, MinHash::DEFAULT_HASHES);
+        let a = discover(&index, &DiscoveryConfig::default());
+        let b = discover(&index, &DiscoveryConfig::default());
+        assert_eq!(a, b);
+    }
+}

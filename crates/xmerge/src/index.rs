@@ -1,0 +1,389 @@
+//! The cross-module summary index.
+//!
+//! A [`FunctionSummary`] is everything candidate discovery needs to know about
+//! a function without holding its body: the opcode-frequency fingerprint the
+//! intra-module ranking already uses, a MinHash signature over opcode
+//! shingles for locality-sensitive bucketing, and size metadata. Summaries are
+//! built per module ([`ModuleIndex`]) — cheap, parallel, no cross-module state
+//! — and merged into a [`CorpusIndex`] that spans the whole program, the
+//! ThinLTO-style split between per-TU summarization and whole-program
+//! decisions.
+//!
+//! The index serializes to a line-based text format
+//! ([`CorpusIndex::serialize`] / [`CorpusIndex::deserialize`]) so it can be
+//! written next to a corpus and reloaded without reparsing any IR.
+
+use fm_align::{Fingerprint, MinHash};
+use rayon::prelude::*;
+use ssa_ir::{Function, Module};
+
+/// Everything discovery needs to know about one function, body not included.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSummary {
+    /// Name of the module that defines the function.
+    pub module: String,
+    /// Symbol name.
+    pub name: String,
+    /// Size in IR instructions.
+    pub num_insts: usize,
+    /// Length of the linearized sequence (labels + instructions).
+    pub seq_len: usize,
+    /// Opcode-frequency fingerprint (the intra-module ranking vector).
+    pub opcode_counts: Vec<u32>,
+    /// MinHash signature over opcode shingles.
+    pub minhash: MinHash,
+}
+
+impl FunctionSummary {
+    /// Summarizes one function of `module_name`.
+    pub fn of(module_name: &str, function: &Function, num_hashes: usize) -> FunctionSummary {
+        let fp = Fingerprint::of(function);
+        FunctionSummary {
+            module: module_name.to_string(),
+            name: fp.name,
+            num_insts: fp.num_insts,
+            seq_len: fp.seq_len,
+            opcode_counts: fp.opcode_counts,
+            minhash: MinHash::of(function, num_hashes),
+        }
+    }
+
+    /// Manhattan distance between the opcode fingerprints; the candidate
+    /// ranking metric (smaller = more similar).
+    pub fn distance(&self, other: &FunctionSummary) -> u64 {
+        self.opcode_counts
+            .iter()
+            .zip(&other.opcode_counts)
+            .map(|(a, b)| u64::from(a.abs_diff(*b)))
+            .sum()
+    }
+}
+
+/// The summary index of one module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleIndex {
+    /// Module name.
+    pub module: String,
+    /// One summary per defined function, in module order.
+    pub entries: Vec<FunctionSummary>,
+}
+
+impl ModuleIndex {
+    /// Summarizes every function of `module`.
+    pub fn build(module: &Module, num_hashes: usize) -> ModuleIndex {
+        ModuleIndex {
+            module: module.name.clone(),
+            entries: module
+                .functions()
+                .iter()
+                .map(|f| FunctionSummary::of(&module.name, f, num_hashes))
+                .collect(),
+        }
+    }
+}
+
+/// The mergeable whole-corpus index: per-module indices concatenated.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorpusIndex {
+    /// Signature width every entry was built with.
+    pub num_hashes: usize,
+    /// All function summaries, grouped by module in insertion order.
+    pub entries: Vec<FunctionSummary>,
+    /// Module names in insertion order.
+    pub modules: Vec<String>,
+}
+
+impl CorpusIndex {
+    /// An empty index expecting `num_hashes`-component signatures.
+    pub fn new(num_hashes: usize) -> CorpusIndex {
+        CorpusIndex {
+            num_hashes,
+            entries: Vec::new(),
+            modules: Vec::new(),
+        }
+    }
+
+    /// Builds the index of a whole corpus, summarizing modules in parallel.
+    pub fn build(modules: &[Module], num_hashes: usize) -> CorpusIndex {
+        let per_module: Vec<ModuleIndex> = modules
+            .par_iter()
+            .map(|m| ModuleIndex::build(m, num_hashes))
+            .collect();
+        let mut index = CorpusIndex::new(num_hashes);
+        for mi in per_module {
+            index.add(mi);
+        }
+        index
+    }
+
+    /// Merges one module's index into the corpus index.
+    pub fn add(&mut self, module: ModuleIndex) {
+        self.modules.push(module.module);
+        self.entries.extend(module.entries);
+    }
+
+    /// Number of indexed modules.
+    pub fn num_modules(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Number of indexed functions.
+    pub fn num_functions(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Serializes the index to the versioned line format. Entries are grouped
+    /// by module in insertion order (the invariant [`CorpusIndex::add`]
+    /// maintains), so serialization is a single linear pass.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("xmerge-index v1 hashes={}\n", self.num_hashes));
+        let mut cursor = 0usize;
+        for module in &self.modules {
+            out.push_str(&format!("module {module}\n"));
+            while let Some(e) = self.entries.get(cursor).filter(|e| &e.module == module) {
+                let counts: Vec<String> = e.opcode_counts.iter().map(u32::to_string).collect();
+                let sig: Vec<String> = e.minhash.sig.iter().map(|h| format!("{h:x}")).collect();
+                out.push_str(&format!(
+                    "fn {} insts={} seq={} counts={} minhash={}\n",
+                    e.name,
+                    e.num_insts,
+                    e.seq_len,
+                    counts.join(","),
+                    sig.join(",")
+                ));
+                cursor += 1;
+            }
+        }
+        debug_assert_eq!(cursor, self.entries.len(), "entries not grouped by module");
+        out
+    }
+
+    /// Parses an index serialized by [`CorpusIndex::serialize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn deserialize(text: &str) -> Result<CorpusIndex, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty index file")?;
+        let num_hashes = header
+            .strip_prefix("xmerge-index v1 hashes=")
+            .and_then(|h| h.parse::<usize>().ok())
+            .ok_or_else(|| format!("bad header: {header:?}"))?;
+        let mut index = CorpusIndex::new(num_hashes);
+        let mut current: Option<String> = None;
+        for (lineno, line) in lines {
+            let bad = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("module ") {
+                index.modules.push(name.trim().to_string());
+                current = Some(name.trim().to_string());
+            } else if let Some(rest) = line.strip_prefix("fn ") {
+                let module = current.clone().ok_or_else(|| bad("fn before any module"))?;
+                let mut fields = rest.split_whitespace();
+                let name = fields
+                    .next()
+                    .ok_or_else(|| bad("missing name"))?
+                    .to_string();
+                let mut num_insts = None;
+                let mut seq_len = None;
+                let mut counts = None;
+                let mut sig = None;
+                for field in fields {
+                    let (key, value) = field
+                        .split_once('=')
+                        .ok_or_else(|| bad("field without '='"))?;
+                    match key {
+                        "insts" => num_insts = value.parse::<usize>().ok(),
+                        "seq" => seq_len = value.parse::<usize>().ok(),
+                        "counts" => {
+                            counts = value
+                                .split(',')
+                                .map(|c| c.parse::<u32>().ok())
+                                .collect::<Option<Vec<u32>>>();
+                        }
+                        "minhash" => {
+                            sig = value
+                                .split(',')
+                                .map(|h| u64::from_str_radix(h, 16).ok())
+                                .collect::<Option<Vec<u64>>>();
+                        }
+                        other => return Err(bad(&format!("unknown field '{other}'"))),
+                    }
+                }
+                let opcode_counts = counts.ok_or_else(|| bad("missing/bad counts"))?;
+                if opcode_counts.len() != ssa_ir::InstKind::NUM_OPCODE_CLASSES {
+                    return Err(bad(&format!(
+                        "counts has {} components, expected {}",
+                        opcode_counts.len(),
+                        ssa_ir::InstKind::NUM_OPCODE_CLASSES
+                    )));
+                }
+                let sig = sig.ok_or_else(|| bad("missing/bad minhash"))?;
+                if sig.len() != num_hashes {
+                    return Err(bad(&format!(
+                        "minhash has {} components, header promised {num_hashes}",
+                        sig.len()
+                    )));
+                }
+                index.entries.push(FunctionSummary {
+                    module,
+                    name,
+                    num_insts: num_insts.ok_or_else(|| bad("missing/bad insts"))?,
+                    seq_len: seq_len.ok_or_else(|| bad("missing/bad seq"))?,
+                    opcode_counts,
+                    minhash: MinHash { sig },
+                });
+            } else {
+                return Err(bad("unrecognized line"));
+            }
+        }
+        Ok(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_ir::parse_module;
+
+    fn corpus() -> Vec<Module> {
+        let mut a = parse_module(
+            r#"
+define i32 @alpha(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = mul i32 %a, 2
+  %c = call i32 @helper(i32 %b)
+  ret i32 %c
+}
+"#,
+        )
+        .unwrap();
+        a.name = "mod_a".to_string();
+        let mut b = parse_module(
+            r#"
+define i32 @beta(i32 %x) {
+entry:
+  %a = add i32 %x, 5
+  %b = mul i32 %a, 3
+  %c = call i32 @helper(i32 %b)
+  ret i32 %c
+}
+
+define double @noise(double %x) {
+entry:
+  %a = fmul double %x, 2.0
+  ret double %a
+}
+"#,
+        )
+        .unwrap();
+        b.name = "mod_b".to_string();
+        vec![a, b]
+    }
+
+    #[test]
+    fn corpus_index_spans_all_modules() {
+        let modules = corpus();
+        let index = CorpusIndex::build(&modules, MinHash::DEFAULT_HASHES);
+        assert_eq!(index.num_modules(), 2);
+        assert_eq!(index.num_functions(), 3);
+        assert_eq!(index.entries[0].module, "mod_a");
+        let alpha = &index.entries[0];
+        let beta = index.entries.iter().find(|e| e.name == "beta").unwrap();
+        let noise = index.entries.iter().find(|e| e.name == "noise").unwrap();
+        assert!(alpha.distance(beta) < alpha.distance(noise));
+    }
+
+    #[test]
+    fn incremental_add_matches_batch_build() {
+        let modules = corpus();
+        let batch = CorpusIndex::build(&modules, 16);
+        let mut incremental = CorpusIndex::new(16);
+        for m in &modules {
+            incremental.add(ModuleIndex::build(m, 16));
+        }
+        assert_eq!(batch, incremental);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let index = CorpusIndex::build(&corpus(), MinHash::DEFAULT_HASHES);
+        let text = index.serialize();
+        let reloaded = CorpusIndex::deserialize(&text).unwrap();
+        assert_eq!(index, reloaded);
+        // And the round-trip is a fixpoint.
+        assert_eq!(reloaded.serialize(), text);
+    }
+
+    #[test]
+    fn serialization_round_trips_with_duplicate_module_names() {
+        let modules = corpus();
+        let mut index = CorpusIndex::new(16);
+        // Two different ModuleIndex values sharing one name (allowed by the
+        // public add() API).
+        let mut a = ModuleIndex::build(&modules[0], 16);
+        a.module = "util".to_string();
+        for e in &mut a.entries {
+            e.module = "util".to_string();
+        }
+        let mut b = ModuleIndex::build(&modules[1], 16);
+        b.module = "util".to_string();
+        for e in &mut b.entries {
+            e.module = "util".to_string();
+        }
+        index.add(a);
+        index.add(b);
+        let reloaded = CorpusIndex::deserialize(&index.serialize()).unwrap();
+        assert_eq!(reloaded.num_functions(), index.num_functions());
+        assert_eq!(reloaded.entries, index.entries);
+    }
+
+    #[test]
+    fn deserialize_rejects_malformed_input() {
+        assert!(CorpusIndex::deserialize("").is_err());
+        assert!(CorpusIndex::deserialize("bogus header\n").is_err());
+        let orphan = "xmerge-index v1 hashes=16\nfn f insts=1 seq=1 counts=1 minhash=a\n";
+        assert!(CorpusIndex::deserialize(orphan)
+            .unwrap_err()
+            .contains("fn before any module"));
+        let bad_field =
+            "xmerge-index v1 hashes=16\nmodule m\nfn f insts=x seq=1 counts=1 minhash=a\n";
+        assert!(CorpusIndex::deserialize(bad_field).is_err());
+    }
+
+    #[test]
+    fn deserialize_rejects_truncated_vectors() {
+        // A valid serialized index — then corrupt one vector at a time.
+        let good = CorpusIndex::build(&corpus(), 16).serialize();
+        assert!(CorpusIndex::deserialize(&good).is_ok());
+        let short_minhash = good
+            .lines()
+            .map(|l| match l.find(" minhash=") {
+                Some(pos) => format!("{} minhash=a,b", &l[..pos]),
+                None => l.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = CorpusIndex::deserialize(&short_minhash).unwrap_err();
+        assert!(err.contains("header promised"), "{err}");
+        let short_counts = good
+            .lines()
+            .map(|l| match l.find(" counts=") {
+                Some(pos) => {
+                    let tail = &l[pos..];
+                    let minhash = tail.find(" minhash=").map(|p| &tail[p..]).unwrap_or("");
+                    format!("{} counts=1,2{minhash}", &l[..pos])
+                }
+                None => l.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = CorpusIndex::deserialize(&short_counts).unwrap_err();
+        assert!(err.contains("counts has 2 components"), "{err}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Machine-readable reports.
+//!
+//! Hand-rolled JSON emission (the build environment vendors no serde): the
+//! `salssa report --json` and `salssa xmerge --json` outputs feed the
+//! BENCH_*.json trajectory tracking, so the schema here is append-only —
+//! add fields, never rename them.
+
+use crate::pipeline::CorpusMergeReport;
+use salssa::ModuleMergeReport;
+use std::fmt::Write;
+use std::time::Duration;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1000.0)
+}
+
+fn pct(before: usize, after: usize) -> String {
+    format!(
+        "{:.2}",
+        100.0 * before.saturating_sub(after) as f64 / before.max(1) as f64
+    )
+}
+
+/// Serializes one intra-module [`ModuleMergeReport`] plus the surrounding
+/// size measurements (the `salssa report` / `salssa merge --json` schema).
+pub fn merge_report_json(
+    input: &str,
+    report: &ModuleMergeReport,
+    functions: (usize, usize),
+    bytes: (usize, usize),
+) -> String {
+    let committed: Vec<String> = report
+        .committed
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{"f1":"{}","f2":"{}","merged":"{}","profit_bytes":{},"coalesced_phi_pairs":{}}}"#,
+                json_escape(&r.f1),
+                json_escape(&r.f2),
+                json_escape(&r.merged_name),
+                r.profit_bytes,
+                r.coalesced_pairs
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}]}}"#,
+        json_escape(input),
+        json_escape(&report.technique),
+        report.threshold,
+        report.attempts,
+        report.num_merges(),
+        report.semantic_rejections,
+        functions.0,
+        functions.1,
+        bytes.0,
+        bytes.1,
+        pct(bytes.0, bytes.1),
+        report.total_profit_bytes(),
+        ms(report.align_time),
+        ms(report.codegen_time),
+        report.peak_matrix_bytes,
+        report.total_cells,
+        committed.join(",")
+    )
+}
+
+/// Serializes a whole-corpus [`CorpusMergeReport`] (the `salssa xmerge
+/// --json` schema).
+pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
+    let committed: Vec<String> = report
+        .committed
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{"host_module":"{}","donor_module":"{}","f1":"{}","f2":"{}","merged":"{}","profit_bytes":{},"odr_dedup":{}}}"#,
+                json_escape(&r.host_module),
+                json_escape(&r.donor_module),
+                json_escape(&r.f1),
+                json_escape(&r.f2),
+                json_escape(&r.merged_name),
+                r.profit_bytes,
+                r.odr_dedup
+            )
+        })
+        .collect();
+    let per_module: Vec<String> = report
+        .per_module
+        .iter()
+        .map(|m| {
+            format!(
+                r#"{{"name":"{}","functions_before":{},"functions_after":{},"bytes_before":{},"bytes_after":{},"reduction_percent":{}}}"#,
+                json_escape(&m.name),
+                m.functions.0,
+                m.functions.1,
+                m.bytes.0,
+                m.bytes.1,
+                pct(m.bytes.0, m.bytes.1)
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{}}},"committed":[{}],"per_module":[{}]}}"#,
+        report.modules,
+        report.functions,
+        report.candidates,
+        report.attempts,
+        report.num_commits(),
+        report.num_merges(),
+        report.num_commits() - report.num_merges(),
+        report.hazard_skips,
+        report.semantic_rejections,
+        report.size_before,
+        report.size_after,
+        pct(report.size_before, report.size_after),
+        report.total_profit_bytes(),
+        ms(report.index_time),
+        ms(report.discover_time),
+        ms(report.score_time),
+        ms(report.commit_time),
+        committed.join(","),
+        per_module.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_and_control_characters() {
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape("a\\b"), r"a\\b");
+        assert_eq!(json_escape("a\nb\t"), r"a\nb\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain.name-ok"), "plain.name-ok");
+    }
+
+    #[test]
+    fn corpus_json_is_well_formed_enough_to_eyeball() {
+        let report = CorpusMergeReport {
+            modules: 2,
+            functions: 5,
+            ..Default::default()
+        };
+        let json = corpus_report_json(&report);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""kind":"xmerge""#));
+        assert!(json.contains(r#""modules":2"#));
+        assert!(json.contains(r#""committed":[]"#));
+    }
+}

@@ -1,0 +1,705 @@
+//! The cross-module merging pipeline: index → sharded discovery → speculative
+//! parallel scoring → sequential profit-ordered commits with donor-side thunk
+//! emission.
+//!
+//! The commit protocol for a pair `f1@host`, `f2@donor`:
+//!
+//! 1. `f2` is imported into the host module with [`ssa_ir::import_function`]
+//!    (ODR-identical host copies dedup instead of copying);
+//! 2. the imported pair is merged by the existing pairwise machinery
+//!    ([`salssa::merge_pair`]) and committed when the code-size model judges
+//!    it profitable: host keeps the merged function plus a thunk under `f1`'s
+//!    name;
+//! 3. the donor module's `f2` is replaced by a thunk tail-calling the merged
+//!    function — which the donor now only *declares* — so the donor keeps
+//!    exporting a working symbol and the final link resolves the call into
+//!    the host's definition.
+//!
+//! Pairs whose commit would break whole-program linking (ODR hazards: the
+//! symbols involved, or the donor function's module-internal callees, are
+//! defined differently elsewhere in the corpus) are skipped conservatively.
+//! With [`XMergeConfig::check_semantics`] every commit is additionally
+//! trial-run with the reference interpreter against the linked host+donor
+//! pair (the only modules a commit mutates), and rejected on any observable
+//! divergence.
+
+use crate::discover::{discover, CandidatePair, DiscoveryConfig};
+use crate::index::CorpusIndex;
+use fm_align::MinHash;
+use rayon::prelude::*;
+use salssa::{build_thunk, merge_pair, MergeOptions, SEMANTIC_SAMPLES, SEMANTIC_SEED};
+use ssa_ir::{
+    callees_of, import_function, link_modules, sanitize_symbol, structurally_equal, FuncDecl,
+    Function, Module,
+};
+use ssa_passes::codesize::function_size_bytes;
+use ssa_passes::module_size_bytes;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration of the cross-module pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct XMergeConfig {
+    /// Pairwise merge (code generation) options, including the code-size
+    /// target of the profitability model.
+    pub options: MergeOptions,
+    /// Candidate discovery tuning.
+    pub discovery: DiscoveryConfig,
+    /// MinHash signature width of the index.
+    pub num_hashes: usize,
+    /// Candidate pairs per speculative parallel scoring batch.
+    pub batch_size: usize,
+    /// Run the whole-program differential oracle on every commit.
+    pub check_semantics: bool,
+}
+
+impl XMergeConfig {
+    /// The default pipeline configuration.
+    pub fn new() -> XMergeConfig {
+        XMergeConfig {
+            options: MergeOptions::default(),
+            discovery: DiscoveryConfig::default(),
+            num_hashes: MinHash::DEFAULT_HASHES,
+            batch_size: 128,
+            check_semantics: false,
+        }
+    }
+
+    /// Enables the semantic oracle.
+    pub fn with_check_semantics(mut self, on: bool) -> XMergeConfig {
+        self.check_semantics = on;
+        self
+    }
+}
+
+/// One committed cross-module operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossMergeRecord {
+    /// Module that hosts the merged function (or the kept ODR copy).
+    pub host_module: String,
+    /// Module whose function was replaced by a thunk (or dropped).
+    pub donor_module: String,
+    /// Host-side input function.
+    pub f1: String,
+    /// Donor-side input function.
+    pub f2: String,
+    /// Name of the merged function (empty for a pure ODR dedup).
+    pub merged_name: String,
+    /// Modelled byte savings across both modules.
+    pub profit_bytes: i64,
+    /// IR-instruction sizes (f1, f2, merged; merged = 0 for a dedup).
+    pub sizes: (usize, usize, usize),
+    /// `true` when the pair was ODR-identical and the donor copy was simply
+    /// dropped instead of merged.
+    pub odr_dedup: bool,
+}
+
+/// Before/after statistics of one module of the corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Module name.
+    pub name: String,
+    /// Function definitions before / after.
+    pub functions: (usize, usize),
+    /// Modelled code size in bytes before / after.
+    pub bytes: (usize, usize),
+}
+
+/// Aggregate report of one cross-module merging run.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusMergeReport {
+    /// Number of modules in the corpus.
+    pub modules: usize,
+    /// Number of functions across the corpus before merging.
+    pub functions: usize,
+    /// Cross-module candidate pairs produced by sharded discovery.
+    pub candidates: usize,
+    /// Pairs actually scored (aligned + tentatively merged).
+    pub attempts: usize,
+    /// Committed operations, in commit order.
+    pub committed: Vec<CrossMergeRecord>,
+    /// Pairs skipped because committing them would break whole-program
+    /// linking (ODR hazards).
+    pub hazard_skips: usize,
+    /// Commits rejected by the semantic oracle.
+    pub semantic_rejections: usize,
+    /// Whole-corpus modelled size before merging, in bytes.
+    pub size_before: usize,
+    /// Whole-corpus modelled size after merging, in bytes.
+    pub size_after: usize,
+    /// Per-module before/after statistics.
+    pub per_module: Vec<ModuleStats>,
+    /// Time spent building the summary index.
+    pub index_time: Duration,
+    /// Time spent in sharded candidate discovery.
+    pub discover_time: Duration,
+    /// Time spent speculatively scoring candidate pairs.
+    pub score_time: Duration,
+    /// Time spent committing (imports, merges, thunk emission, oracle runs).
+    pub commit_time: Duration,
+}
+
+impl CorpusMergeReport {
+    /// Number of committed operations (merges + dedups).
+    pub fn num_commits(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Committed genuine merges (excluding pure ODR dedups).
+    pub fn num_merges(&self) -> usize {
+        self.committed.iter().filter(|r| !r.odr_dedup).count()
+    }
+
+    /// Total modelled byte savings over all commits.
+    pub fn total_profit_bytes(&self) -> i64 {
+        self.committed.iter().map(|r| r.profit_bytes).sum()
+    }
+}
+
+impl fmt::Display for CorpusMergeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "CorpusMergeReport {{ modules: {}, functions: {}, candidates: {}, attempts: {}, committed: {} ({} merges, {} dedups) }}",
+            self.modules,
+            self.functions,
+            self.candidates,
+            self.attempts,
+            self.num_commits(),
+            self.num_merges(),
+            self.num_commits() - self.num_merges(),
+        )?;
+        for r in &self.committed {
+            if r.odr_dedup {
+                writeln!(
+                    f,
+                    "  dedup @{} ({} insts): kept {}'s copy, dropped {}'s, profit {} bytes",
+                    r.f1, r.sizes.0, r.host_module, r.donor_module, r.profit_bytes
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "  merged {}:@{} ({} insts) + {}:@{} ({} insts) -> @{} ({} insts), profit {} bytes",
+                    r.host_module,
+                    r.f1,
+                    r.sizes.0,
+                    r.donor_module,
+                    r.f2,
+                    r.sizes.1,
+                    r.merged_name,
+                    r.sizes.2,
+                    r.profit_bytes
+                )?;
+            }
+        }
+        if self.hazard_skips > 0 {
+            writeln!(f, "  {} pairs skipped on ODR hazards", self.hazard_skips)?;
+        }
+        if self.semantic_rejections > 0 {
+            writeln!(
+                f,
+                "  semantic oracle rejected {} commits",
+                self.semantic_rejections
+            )?;
+        }
+        write!(
+            f,
+            "  corpus: {} -> {} bytes ({:.1}% reduction); index {:?}, discover {:?}, score {:?}, commit {:?}",
+            self.size_before,
+            self.size_after,
+            100.0 * self.size_before.saturating_sub(self.size_after) as f64
+                / self.size_before.max(1) as f64,
+            self.index_time,
+            self.discover_time,
+            self.score_time,
+            self.commit_time
+        )
+    }
+}
+
+/// One speculatively scored cross-module pair (bodies dropped, like the
+/// intra-module parallel driver's score cache).
+struct ScoredCross {
+    host: usize,
+    donor: usize,
+    f1: String,
+    f2: String,
+    profit: i64,
+    sizes: (usize, usize, usize),
+    odr_dedup: bool,
+}
+
+/// Runs the full cross-module pipeline over `modules`, mutating them in
+/// place, and returns the report.
+///
+/// Module names identify translation units throughout the pipeline (candidate
+/// discovery, merged-symbol names, reports), so modules with empty or
+/// duplicate names — e.g. several results of [`ssa_ir::parse_module`], which
+/// all come back named `parsed` — are renamed with a numeric suffix first.
+pub fn xmerge_corpus(modules: &mut [Module], config: &XMergeConfig) -> CorpusMergeReport {
+    let num_hashes = if config.num_hashes == 0 {
+        MinHash::DEFAULT_HASHES
+    } else {
+        config.num_hashes
+    };
+    uniquify_module_names(modules);
+    let target = config.options.target;
+    let before: Vec<(String, usize, usize)> = modules
+        .iter()
+        .map(|m| {
+            (
+                m.name.clone(),
+                m.num_functions(),
+                module_size_bytes(m, target),
+            )
+        })
+        .collect();
+    let mut report = CorpusMergeReport {
+        modules: modules.len(),
+        functions: before.iter().map(|(_, f, _)| f).sum(),
+        size_before: before.iter().map(|(_, _, b)| b).sum(),
+        ..CorpusMergeReport::default()
+    };
+
+    let t = Instant::now();
+    let index = CorpusIndex::build(modules, num_hashes);
+    report.index_time = t.elapsed();
+
+    let t = Instant::now();
+    let candidates = discover(&index, &config.discovery);
+    report.discover_time = t.elapsed();
+    report.candidates = candidates.len();
+
+    // Entry index -> owning module index (entries are grouped by module in
+    // build order, so prefix sums translate positions).
+    let mut owner = Vec::with_capacity(index.entries.len());
+    for (mi, m) in modules.iter().enumerate() {
+        owner.extend(std::iter::repeat_n(mi, m.num_functions()));
+    }
+
+    // Where each symbol is defined, for the ODR hazard rules.
+    let mut def_sites: HashMap<String, Vec<usize>> = HashMap::new();
+    for (mi, m) in modules.iter().enumerate() {
+        for f in m.functions() {
+            def_sites.entry(f.name.clone()).or_default().push(mi);
+        }
+    }
+
+    // Speculative scoring: batched parallel map over candidate pairs, exactly
+    // like the intra-module parallel driver, but across module boundaries
+    // (merge_pair only needs the two function bodies, not a shared module).
+    let t = Instant::now();
+    let resolved: Vec<(usize, usize, String, String)> = candidates
+        .iter()
+        .map(|CandidatePair { a, b, .. }| {
+            let (ea, eb) = (&index.entries[*a], &index.entries[*b]);
+            (owner[*a], owner[*b], ea.name.clone(), eb.name.clone())
+        })
+        .collect();
+    let mut scored: Vec<ScoredCross> = Vec::new();
+    for batch in resolved.chunks(config.batch_size.max(1)) {
+        let shared: &[Module] = modules;
+        let results: Vec<Option<ScoredCross>> = batch
+            .par_iter()
+            .map(|(hi, di, f1n, f2n)| {
+                let f1 = shared[*hi].function(f1n)?;
+                let f2 = shared[*di].function(f2n)?;
+                score_cross(*hi, *di, f1, f2, &config.options)
+            })
+            .collect();
+        scored.extend(results.into_iter().flatten());
+    }
+    report.attempts = scored.len();
+    report.score_time = t.elapsed();
+
+    // Sequential profit-ordered commit replay.
+    let t = Instant::now();
+    scored.sort_by(|x, y| {
+        y.profit.cmp(&x.profit).then_with(|| {
+            (&before[x.host].0, &x.f1, &before[x.donor].0, &x.f2).cmp(&(
+                &before[y.host].0,
+                &y.f1,
+                &before[y.donor].0,
+                &y.f2,
+            ))
+        })
+    });
+    let mut consumed: HashSet<(usize, String)> = HashSet::new();
+    for s in scored {
+        // An ODR dedup leaves the host's copy untouched, so a consumed host
+        // endpoint (e.g. it already became a behavior-preserving thunk, or an
+        // earlier dedup already kept it) does not block further dedups
+        // against it — only the donor side is spent.
+        let host_blocked = !s.odr_dedup && consumed.contains(&(s.host, s.f1.clone()));
+        if s.profit <= 0 || host_blocked || consumed.contains(&(s.donor, s.f2.clone())) {
+            continue;
+        }
+        if has_odr_hazard(modules, &def_sites, &s) {
+            report.hazard_skips += 1;
+            continue;
+        }
+        let merged_name = format!(
+            "merged.xm.{}.{}.{}.{}",
+            sanitize_symbol(&modules[s.host].name),
+            s.f1,
+            sanitize_symbol(&modules[s.donor].name),
+            s.f2
+        );
+        // Savings the speculative score could not see (host-side ODR dedup
+        // during the import), reported on top of the scored profit.
+        let extra_profit: i64;
+        if config.check_semantics {
+            // Trial-commit on clones and interrogate the linked host+donor
+            // pair. Commits only mutate these two modules, and other modules
+            // observe them solely through the checked symbols, so the
+            // pair-local link is as discriminating as a whole-program link —
+            // and unrelated duplicate-symbol conflicts elsewhere in the
+            // corpus cannot blind the oracle.
+            let mut trial_host = modules[s.host].clone();
+            let mut trial_donor = modules[s.donor].clone();
+            let outcome = if s.odr_dedup {
+                apply_dedup(&trial_host, &mut trial_donor, &s.f2)
+            } else {
+                apply_commit(
+                    &mut trial_host,
+                    &mut trial_donor,
+                    &s,
+                    &merged_name,
+                    &config.options,
+                )
+            };
+            let Some(profit) = outcome else {
+                continue;
+            };
+            extra_profit = profit;
+            let before_prog = link_modules([&modules[s.host], &modules[s.donor]], "pair.before");
+            let after_prog = link_modules([&trial_host, &trial_donor], "pair.after");
+            let (Ok(before_prog), Ok(after_prog)) = (before_prog, after_prog) else {
+                // The pair itself carries a pre-existing duplicate-symbol
+                // conflict: the oracle cannot attest anything, so skip the
+                // commit conservatively as a link hazard.
+                report.hazard_skips += 1;
+                continue;
+            };
+            let verdict = [&s.f1, &s.f2].into_iter().try_for_each(|name| {
+                ssa_interp::differential_check(
+                    &before_prog,
+                    &after_prog,
+                    name,
+                    SEMANTIC_SAMPLES,
+                    SEMANTIC_SEED,
+                )
+            });
+            if verdict.is_err() {
+                report.semantic_rejections += 1;
+                continue;
+            }
+            modules[s.host] = trial_host;
+            modules[s.donor] = trial_donor;
+        } else {
+            let (host, donor) = two_mut(modules, s.host, s.donor);
+            let outcome = if s.odr_dedup {
+                apply_dedup(host, donor, &s.f2)
+            } else {
+                apply_commit(host, donor, &s, &merged_name, &config.options)
+            };
+            let Some(profit) = outcome else {
+                continue;
+            };
+            extra_profit = profit;
+        }
+        if !s.odr_dedup {
+            consumed.insert((s.host, s.f1.clone()));
+        }
+        consumed.insert((s.donor, s.f2.clone()));
+        report.committed.push(CrossMergeRecord {
+            host_module: before[s.host].0.clone(),
+            donor_module: before[s.donor].0.clone(),
+            f1: s.f1,
+            f2: s.f2,
+            merged_name: if s.odr_dedup {
+                String::new()
+            } else {
+                merged_name
+            },
+            profit_bytes: s.profit + extra_profit,
+            sizes: s.sizes,
+            odr_dedup: s.odr_dedup,
+        });
+    }
+    report.commit_time = t.elapsed();
+
+    report.per_module = modules
+        .iter()
+        .zip(&before)
+        .map(|(m, (name, fns, bytes))| ModuleStats {
+            name: name.clone(),
+            functions: (*fns, m.num_functions()),
+            bytes: (*bytes, module_size_bytes(m, target)),
+        })
+        .collect();
+    report.size_after = report.per_module.iter().map(|s| s.bytes.1).sum();
+    report
+}
+
+/// Scores one cross-module pair without mutating anything; bodies are
+/// dropped, mirroring the intra-module speculative score cache.
+fn score_cross(
+    host: usize,
+    donor: usize,
+    f1: &Function,
+    f2: &Function,
+    options: &MergeOptions,
+) -> Option<ScoredCross> {
+    let target = options.target;
+    if f1.name == f2.name && structurally_equal(f1, f2) {
+        // ODR-identical copies: dropping the donor's copy saves its whole
+        // footprint minus nothing — no merge needed.
+        return Some(ScoredCross {
+            host,
+            donor,
+            f1: f1.name.clone(),
+            f2: f2.name.clone(),
+            profit: function_size_bytes(f2, target) as i64,
+            sizes: (f1.num_insts(), f2.num_insts(), 0),
+            odr_dedup: true,
+        });
+    }
+    let pair = merge_pair(f1, f2, options, "merged.xm.trial")?;
+    let thunk1 = build_thunk(f1, &pair.merged, &pair.param_f1, false);
+    let thunk2 = build_thunk(f2, &pair.merged, &pair.param_f2, true);
+    let profit = function_size_bytes(f1, target) as i64 + function_size_bytes(f2, target) as i64
+        - function_size_bytes(&pair.merged, target) as i64
+        - function_size_bytes(&thunk1, target) as i64
+        - function_size_bytes(&thunk2, target) as i64;
+    Some(ScoredCross {
+        host,
+        donor,
+        f1: f1.name.clone(),
+        f2: f2.name.clone(),
+        profit,
+        sizes: (f1.num_insts(), f2.num_insts(), pair.merged.num_insts()),
+        odr_dedup: false,
+    })
+}
+
+/// Conservative ODR hazard rules: committing must not leave the corpus with
+/// two differing definitions of any involved symbol.
+///
+/// - `f1` must be defined exactly once (in the host): its definition becomes
+///   a thunk, so any other copy would diverge from it.
+/// - `f2` must be defined only in the donor, or additionally in the host with
+///   an identical body (the import-dedup case, where both copies end up as
+///   identical thunks).
+/// - Every module-internal callee of `f2` that the host also defines must be
+///   defined identically, otherwise the merged body's calls would resolve to
+///   the wrong function once it moves into the host.
+fn has_odr_hazard(
+    modules: &[Module],
+    def_sites: &HashMap<String, Vec<usize>>,
+    s: &ScoredCross,
+) -> bool {
+    if s.odr_dedup {
+        // Dropping one of several identical copies is always link-safe; the
+        // scorer already established host/donor bodies are identical.
+        return false;
+    }
+    let empty = Vec::new();
+    let sites_f1 = def_sites.get(&s.f1).unwrap_or(&empty);
+    if sites_f1.as_slice() != [s.host] {
+        return true;
+    }
+    let sites_f2 = def_sites.get(&s.f2).unwrap_or(&empty);
+    let f2_ok = sites_f2.iter().all(|&mi| {
+        mi == s.donor
+            || (mi == s.host
+                && match (
+                    modules[s.host].function(&s.f2),
+                    modules[s.donor].function(&s.f2),
+                ) {
+                    (Some(a), Some(b)) => structurally_equal(a, b),
+                    _ => false,
+                })
+    });
+    if !f2_ok || !sites_f2.contains(&s.donor) {
+        return true;
+    }
+    let Some(donor_fn) = modules[s.donor].function(&s.f2) else {
+        return true;
+    };
+    for callee in callees_of(donor_fn) {
+        if let (Some(in_donor), Some(in_host)) = (
+            modules[s.donor].function(&callee),
+            modules[s.host].function(&callee),
+        ) {
+            if !structurally_equal(in_donor, in_host) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Commits a pure ODR dedup: the donor drops its identical copy and keeps a
+/// declaration, resolving to the host's definition at link time. Returns 0 —
+/// the scored profit already covers the dropped copy.
+fn apply_dedup(host: &Module, donor: &mut Module, name: &str) -> Option<i64> {
+    // Both sides were verified identical by the scorer; keep the host's.
+    host.function(name)?;
+    let dropped = donor.remove_function(name)?;
+    donor.declare(FuncDecl {
+        name: dropped.name.clone(),
+        params: dropped.params.clone(),
+        ret_ty: dropped.ret_ty,
+    });
+    Some(0)
+}
+
+/// Gives every module a unique, non-empty name: discovery treats equal names
+/// as "same module" and would silently find zero cross-module candidates in a
+/// corpus of same-named modules.
+fn uniquify_module_names(modules: &mut [Module]) {
+    let mut seen: HashSet<String> = HashSet::new();
+    for module in modules.iter_mut() {
+        let base = if module.name.is_empty() {
+            "module".to_string()
+        } else {
+            module.name.clone()
+        };
+        let mut candidate = base.clone();
+        let mut n = 2usize;
+        while !seen.insert(candidate.clone()) {
+            candidate = format!("{base}.{n}");
+            n += 1;
+        }
+        module.name = candidate;
+    }
+}
+
+/// Imports `f2` into the host, merges it with `f1`, and rewires both modules:
+/// host keeps merged + thunk(f1) (+ thunk for its own deduped `f2` copy, if
+/// any); donor keeps thunk(f2) + a declaration of the merged function.
+///
+/// Returns the byte savings the speculative score could not see: when the
+/// host held its own ODR-identical copy of `f2`, that copy is replaced by a
+/// thunk too, saving its footprint on top of the scored profit. Zero in the
+/// common no-dedup case.
+fn apply_commit(
+    host: &mut Module,
+    donor: &mut Module,
+    s: &ScoredCross,
+    merged_name: &str,
+    options: &MergeOptions,
+) -> Option<i64> {
+    let outcome = import_function(host, donor, &s.f2).ok()?;
+    let original_f1 = host.function(&s.f1)?.clone();
+    let original_f2 = host.function(&outcome.name)?.clone();
+    let Some(pair) = merge_pair(&original_f1, &original_f2, options, merged_name) else {
+        if !outcome.deduped {
+            host.remove_function(&outcome.name);
+        }
+        return None;
+    };
+
+    let thunk1 = build_thunk(&original_f1, &pair.merged, &pair.param_f1, false);
+    let host_thunk2 = outcome
+        .deduped
+        .then(|| build_thunk(&original_f2, &pair.merged, &pair.param_f2, true));
+    let extra_profit = host_thunk2
+        .as_ref()
+        .map(|thunk| {
+            function_size_bytes(&original_f2, options.target) as i64
+                - function_size_bytes(thunk, options.target) as i64
+        })
+        .unwrap_or(0);
+    let donor_original = donor.remove_function(&s.f2)?;
+    let donor_thunk = build_thunk(&donor_original, &pair.merged, &pair.param_f2, true);
+    let merged_decl = FuncDecl {
+        name: pair.merged.name.clone(),
+        params: pair.merged.params.clone(),
+        ret_ty: pair.merged.ret_ty,
+    };
+
+    host.remove_function(&s.f1);
+    host.remove_function(&outcome.name);
+    host.add_function(pair.merged);
+    host.add_function(thunk1);
+    if let Some(thunk2) = host_thunk2 {
+        host.add_function(thunk2);
+    }
+    donor.add_function(donor_thunk);
+    donor.declare(merged_decl);
+    Some(extra_profit)
+}
+
+/// Disjoint mutable borrows of two different slice elements.
+fn two_mut(modules: &mut [Module], i: usize, j: usize) -> (&mut Module, &mut Module) {
+    assert_ne!(i, j, "host and donor must be different modules");
+    if i < j {
+        let (lo, hi) = modules.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = modules.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_ir::parse_module;
+    use ssa_ir::verifier::verify_module;
+
+    /// When the host already holds an ODR-identical copy of the donor's
+    /// function, the import dedups, the host copy is replaced by a thunk too,
+    /// and apply_commit reports the additional savings the speculative score
+    /// could not see.
+    #[test]
+    fn apply_commit_reports_extra_profit_on_host_side_dedup() {
+        let body = |name: &str, k: i32| {
+            format!(
+                "define i32 @{name}(i32 %x) {{\nentry:\n  %a = add i32 %x, {k}\n  %b = mul i32 %a, 3\n  %c = call i32 @h(i32 %b)\n  %d = xor i32 %c, %x\n  %e = call i32 @h(i32 %d)\n  %g2 = sub i32 %e, %a\n  %h2 = mul i32 %g2, %b\n  %i = call i32 @h(i32 %h2)\n  %j = add i32 %i, %d\n  ret i32 %j\n}}"
+            )
+        };
+        let mut host = parse_module(&format!("{}\n{}", body("f1", 1), body("g", 9))).unwrap();
+        host.name = "host".to_string();
+        let mut donor = parse_module(&body("g", 9)).unwrap();
+        donor.name = "donor".to_string();
+
+        let s = ScoredCross {
+            host: 0,
+            donor: 1,
+            f1: "f1".to_string(),
+            f2: "g".to_string(),
+            profit: 1,
+            sizes: (10, 10, 0),
+            odr_dedup: false,
+        };
+        let extra = apply_commit(
+            &mut host,
+            &mut donor,
+            &s,
+            "merged.t",
+            &MergeOptions::default(),
+        )
+        .expect("commit must succeed");
+        assert!(
+            extra > 0,
+            "host's deduped @g copy must add savings: {extra}"
+        );
+        // Host: merged + thunks for both f1 and its own g copy.
+        assert!(host.function("merged.t").is_some());
+        assert!(host.function("f1").is_some());
+        assert!(host.function("g").is_some());
+        assert!(
+            host.function("g").unwrap().num_insts() <= 2,
+            "g must be a thunk now"
+        );
+        // Donor: thunk + declaration of the merged function.
+        assert!(donor.function("g").is_some());
+        assert!(donor.declarations().iter().any(|d| d.name == "merged.t"));
+        assert!(verify_module(&host).is_empty());
+        assert!(verify_module(&donor).is_empty());
+    }
+}

@@ -14,7 +14,11 @@ fn main() {
         .expect("benchmark spec");
     let original = spec.generate();
     let mut merged = spec.generate();
-    let report = merge_module(&mut merged, &SalSsaMerger::default(), &DriverConfig::with_threshold(5));
+    let report = merge_module(
+        &mut merged,
+        &SalSsaMerger::default(),
+        &DriverConfig::with_threshold(5),
+    );
     println!(
         "{}: committed {} merges over {} functions",
         spec.name,
@@ -26,7 +30,14 @@ fn main() {
     let mut checked = 0;
     for function in original.functions() {
         for args in inputs {
-            match check_equivalent(&original, &function.name, args, &merged, &function.name, args) {
+            match check_equivalent(
+                &original,
+                &function.name,
+                args,
+                &merged,
+                &function.name,
+                args,
+            ) {
                 Ok(()) => checked += 1,
                 Err(err) => {
                     eprintln!("MISMATCH for @{}({args:?}): {err}", function.name);

@@ -4,8 +4,8 @@
 //! Run with: `cargo run --release --example embedded_thumb`
 
 use salssa::{merge_module, DriverConfig, MergeOptions, SalSsaMerger};
-use ssa_passes::codesize::{module_size_bytes, reduction_percent, Target};
 use ssa_passes::cleanup_module;
+use ssa_passes::codesize::{module_size_bytes, reduction_percent, Target};
 
 fn main() {
     let spec = workloads::mibench()

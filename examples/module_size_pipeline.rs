@@ -12,7 +12,11 @@ use workloads::BenchmarkSpec;
 
 fn merged_size(spec: &BenchmarkSpec, merger: &dyn FunctionMerger, threshold: usize) -> usize {
     let mut module = spec.generate();
-    merge_module(&mut module, merger, &DriverConfig::with_threshold(threshold));
+    merge_module(
+        &mut module,
+        merger,
+        &DriverConfig::with_threshold(threshold),
+    );
     cleanup_module(&mut module);
     module_size_bytes(&module, Target::X86Like)
 }
@@ -32,7 +36,10 @@ fn main() {
         cleanup_module(&mut m);
         module_size_bytes(&m, Target::X86Like)
     };
-    println!("benchmark: {} (baseline {} modelled bytes)", spec.name, baseline);
+    println!(
+        "benchmark: {} (baseline {} modelled bytes)",
+        spec.name, baseline
+    );
 
     let fmsa = merged_size(&spec, &FmsaMerger::default(), threshold);
     println!(

@@ -48,8 +48,16 @@ L4:
 "#,
     )?;
 
-    println!("--- input f1 ({} instructions) ---\n{}", f1.num_insts(), print_function(&f1));
-    println!("--- input f2 ({} instructions) ---\n{}", f2.num_insts(), print_function(&f2));
+    println!(
+        "--- input f1 ({} instructions) ---\n{}",
+        f1.num_insts(),
+        print_function(&f1)
+    );
+    println!(
+        "--- input f2 ({} instructions) ---\n{}",
+        f2.num_insts(),
+        print_function(&f2)
+    );
 
     let merge = merge_pair(&f1, &f2, &MergeOptions::default(), "merged")
         .expect("the two functions are mergeable");

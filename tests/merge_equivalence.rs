@@ -98,13 +98,27 @@ fn whole_module_salssa_merging_preserves_every_function() {
     };
     let original = spec.generate();
     let mut merged = spec.generate();
-    let report = merge_module(&mut merged, &SalSsaMerger::default(), &DriverConfig::with_threshold(5));
-    assert!(report.num_merges() >= 1, "expected at least one committed merge");
+    let report = merge_module(
+        &mut merged,
+        &SalSsaMerger::default(),
+        &DriverConfig::with_threshold(5),
+    );
+    assert!(
+        report.num_merges() >= 1,
+        "expected at least one committed merge"
+    );
     assert!(ssa_ir::verifier::verify_module(&merged).is_empty());
     for function in original.functions() {
         for args in [[-7i64, 2, 5], [0, 0, 0], [13, 21, 34], [91, -4, 7]] {
-            check_equivalent(&original, &function.name, &args, &merged, &function.name, &args)
-                .unwrap_or_else(|e| panic!("@{}({args:?}) diverged: {e}", function.name));
+            check_equivalent(
+                &original,
+                &function.name,
+                &args,
+                &merged,
+                &function.name,
+                &args,
+            )
+            .unwrap_or_else(|e| panic!("@{}({args:?}) diverged: {e}", function.name));
         }
     }
 }
@@ -122,12 +136,23 @@ fn whole_module_fmsa_merging_preserves_every_function() {
     };
     let original = spec.generate();
     let mut merged = spec.generate();
-    merge_module(&mut merged, &fmsa::FmsaMerger::default(), &DriverConfig::with_threshold(5));
+    merge_module(
+        &mut merged,
+        &fmsa::FmsaMerger::default(),
+        &DriverConfig::with_threshold(5),
+    );
     assert!(ssa_ir::verifier::verify_module(&merged).is_empty());
     for function in original.functions() {
         for args in [[1i64, 2, 3], [-10, 5, 0], [64, 64, 64]] {
-            check_equivalent(&original, &function.name, &args, &merged, &function.name, &args)
-                .unwrap_or_else(|e| panic!("@{}({args:?}) diverged: {e}", function.name));
+            check_equivalent(
+                &original,
+                &function.name,
+                &args,
+                &merged,
+                &function.name,
+                &args,
+            )
+            .unwrap_or_else(|e| panic!("@{}({args:?}) diverged: {e}", function.name));
         }
     }
 }
@@ -145,9 +170,17 @@ fn merging_identical_clone_pairs_is_profitable_and_committed() {
     };
     let mut module = spec.generate();
     let before = ssa_passes::module_size_bytes(&module, ssa_passes::Target::X86Like);
-    let report = merge_module(&mut module, &SalSsaMerger::default(), &DriverConfig::with_threshold(3));
+    let report = merge_module(
+        &mut module,
+        &SalSsaMerger::default(),
+        &DriverConfig::with_threshold(3),
+    );
     ssa_passes::cleanup_module(&mut module);
     let after = ssa_passes::module_size_bytes(&module, ssa_passes::Target::X86Like);
-    assert!(report.num_merges() >= 2, "only {} merges", report.num_merges());
+    assert!(
+        report.num_merges() >= 2,
+        "only {} merges",
+        report.num_merges()
+    );
     assert!(after < before, "module did not shrink: {before} -> {after}");
 }

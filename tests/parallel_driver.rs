@@ -51,7 +51,10 @@ fn parallel_and_sequential_commit_identical_merge_records() {
             seq_report.peak_matrix_bytes, par_report.peak_matrix_bytes,
             "seed {seed}"
         );
-        assert_eq!(seq_report.total_cells, par_report.total_cells, "seed {seed}");
+        assert_eq!(
+            seq_report.total_cells, par_report.total_cells,
+            "seed {seed}"
+        );
         assert_eq!(
             print_module(&seq),
             print_module(&par),

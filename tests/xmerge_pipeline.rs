@@ -1,0 +1,123 @@
+//! End-to-end tests of the cross-module merging subsystem over generated
+//! multi-module corpora — including the acceptance scenario: on an 8-module
+//! corpus the pipeline commits cross-module merges, every output module
+//! passes the verifier, and the semantic oracle reports zero mismatches.
+
+use ssa_ir::verifier::verify_module;
+use ssa_ir::{link_modules, print_module};
+use workloads::CorpusSpec;
+use xmerge::{xmerge_corpus, CorpusIndex, XMergeConfig};
+
+fn eight_module_corpus() -> Vec<ssa_ir::Module> {
+    CorpusSpec::default().generate()
+}
+
+#[test]
+fn acceptance_eight_module_corpus_merges_cleanly_under_the_oracle() {
+    let mut corpus = eight_module_corpus();
+    assert_eq!(corpus.len(), 8);
+    let config = XMergeConfig::new().with_check_semantics(true);
+    let report = xmerge_corpus(&mut corpus, &config);
+
+    assert!(
+        report.num_merges() >= 1,
+        "no cross-module merge committed: {report}"
+    );
+    assert_eq!(
+        report.semantic_rejections, 0,
+        "oracle rejected sound merges: {report}"
+    );
+    for module in &corpus {
+        assert!(
+            verify_module(module).is_empty(),
+            "module {} failed verification after xmerge",
+            module.name
+        );
+    }
+    // Every commit crossed a module boundary and paid for itself.
+    for record in &report.committed {
+        assert_ne!(record.host_module, record.donor_module);
+        assert!(record.profit_bytes > 0);
+    }
+    assert!(report.size_after < report.size_before);
+    // The linked whole program is still well-formed.
+    let linked = link_modules(&corpus, "prog").expect("corpus must stay linkable");
+    assert!(verify_module(&linked).is_empty());
+}
+
+#[test]
+fn oracle_and_unchecked_runs_commit_identically_on_generated_corpora() {
+    let mut plain = eight_module_corpus();
+    let baseline = xmerge_corpus(&mut plain, &XMergeConfig::new());
+    let mut checked = eight_module_corpus();
+    let report = xmerge_corpus(
+        &mut checked,
+        &XMergeConfig::new().with_check_semantics(true),
+    );
+    assert_eq!(baseline.committed, report.committed);
+    for (a, b) in plain.iter().zip(&checked) {
+        assert_eq!(print_module(a), print_module(b));
+    }
+}
+
+#[test]
+fn xmerge_is_deterministic() {
+    let run = || {
+        let mut corpus = eight_module_corpus();
+        let report = xmerge_corpus(&mut corpus, &XMergeConfig::new());
+        (
+            report.committed,
+            corpus.iter().map(print_module).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn corpus_index_survives_serialization_on_generated_corpora() {
+    let corpus = eight_module_corpus();
+    let index = CorpusIndex::build(&corpus, fm_align::MinHash::DEFAULT_HASHES);
+    assert_eq!(index.num_modules(), 8);
+    assert_eq!(
+        index.num_functions(),
+        corpus.iter().map(|m| m.num_functions()).sum::<usize>()
+    );
+    let reloaded = CorpusIndex::deserialize(&index.serialize()).unwrap();
+    assert_eq!(index, reloaded);
+}
+
+#[test]
+fn donor_thunks_keep_every_original_symbol_exported() {
+    let mut corpus = eight_module_corpus();
+    let names_before: Vec<(String, String)> = corpus
+        .iter()
+        .flat_map(|m| {
+            m.functions()
+                .iter()
+                .map(|f| (m.name.clone(), f.name.clone()))
+        })
+        .collect();
+    let report = xmerge_corpus(&mut corpus, &XMergeConfig::new());
+    assert!(report.num_merges() >= 1);
+    let dropped: Vec<&(String, String)> = names_before
+        .iter()
+        .filter(|(module, name)| {
+            corpus
+                .iter()
+                .find(|m| &m.name == module)
+                .is_none_or(|m| m.function(name).is_none())
+        })
+        .collect();
+    // Only ODR-deduped donor copies may lose their definition — and those
+    // modules must still declare the symbol.
+    for (module, name) in &dropped {
+        let record = report
+            .committed
+            .iter()
+            .find(|r| r.odr_dedup && &r.donor_module == module && &r.f2 == name)
+            .unwrap_or_else(|| panic!("{module}:@{name} vanished without an ODR dedup record"));
+        assert!(record.odr_dedup);
+        let m = corpus.iter().find(|m| &m.name == module).unwrap();
+        assert!(m.declarations().iter().any(|d| &d.name == name));
+    }
+}

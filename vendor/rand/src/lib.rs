@@ -135,7 +135,10 @@ impl<T: UniformInt> SampleRange for core::ops::RangeInclusive<T> {
 impl SampleRange for core::ops::Range<f64> {
     type Output = f64;
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
-        assert!(self.start < self.end, "gen_range called with an empty range");
+        assert!(
+            self.start < self.end,
+            "gen_range called with an empty range"
+        );
         self.start + f64::sample(rng) * (self.end - self.start)
     }
 }
@@ -143,7 +146,10 @@ impl SampleRange for core::ops::Range<f64> {
 impl SampleRange for core::ops::Range<f32> {
     type Output = f32;
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
-        assert!(self.start < self.end, "gen_range called with an empty range");
+        assert!(
+            self.start < self.end,
+            "gen_range called with an empty range"
+        );
         self.start + f32::sample(rng) * (self.end - self.start)
     }
 }
@@ -161,7 +167,10 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         f64::sample(self) < p
     }
 

@@ -156,7 +156,10 @@ mod tests {
             })
             .collect();
         if super::current_num_threads() > 1 {
-            assert!(seen.lock().unwrap().len() > 1, "expected multi-thread execution");
+            assert!(
+                seen.lock().unwrap().len() > 1,
+                "expected multi-thread execution"
+            );
         }
     }
 }
