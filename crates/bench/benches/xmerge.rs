@@ -1,11 +1,12 @@
 //! Criterion benchmarks of the cross-module pipeline over generated
-//! multi-module corpora: index construction, sharded candidate discovery, and
-//! the end-to-end xmerge run (with and without the semantic oracle).
+//! multi-module corpora: index construction, sharded candidate discovery,
+//! structural-key caching on the hazard-check hot path, and the end-to-end
+//! xmerge run (plain, with the semantic oracle, and to a fixpoint).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fm_align::MinHash;
 use workloads::CorpusSpec;
-use xmerge::{discover, xmerge_corpus, CorpusIndex, DiscoveryConfig, XMergeConfig};
+use xmerge::{discover, xmerge_corpus, CorpusIndex, DiscoveryConfig, FixpointConfig, XMergeConfig};
 
 fn corpus(num_modules: usize) -> Vec<ssa_ir::Module> {
     CorpusSpec {
@@ -37,6 +38,53 @@ fn candidate_discovery(c: &mut Criterion) {
     group.finish();
 }
 
+/// The hazard-check hot path: `structurally_equal` over unchanged functions.
+/// `cached` amortizes one normalized print per function across the run;
+/// `uncached` simulates the pre-cache behavior by invalidating the key before
+/// every comparison, forcing the re-print the cache exists to avoid.
+fn structural_key_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structural_key");
+    let modules = corpus(8);
+    let functions: Vec<ssa_ir::Function> = modules
+        .iter()
+        .flat_map(|m| m.functions().iter().cloned())
+        .collect();
+    group.bench_function("hazard_scan_cached", |b| {
+        b.iter(|| {
+            let mut equal = 0usize;
+            for f in &functions {
+                for g in &functions {
+                    if ssa_ir::structurally_equal(f, g) {
+                        equal += 1;
+                    }
+                }
+            }
+            equal
+        })
+    });
+    let mut invalidating = functions.clone();
+    group.bench_function("hazard_scan_uncached", |b| {
+        b.iter(|| {
+            let mut equal = 0usize;
+            for f in invalidating.iter_mut() {
+                // Touch the function through a mutating accessor so the next
+                // comparison re-prints it, like every pre-cache comparison did.
+                let first = f.inst_ids().next();
+                if let Some(inst) = first {
+                    let _ = f.inst_mut(inst);
+                }
+                for g in &functions {
+                    if ssa_ir::structurally_equal(f, g) {
+                        equal += 1;
+                    }
+                }
+            }
+            equal
+        })
+    });
+    group.finish();
+}
+
 fn end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("xmerge_pipeline");
     group.sample_size(10);
@@ -55,8 +103,22 @@ fn end_to_end(c: &mut Criterion) {
             xmerge_corpus(&mut modules, &config).num_commits()
         })
     });
+    group.bench_function("eight_modules_fixpoint", |b| {
+        b.iter(|| {
+            let mut modules = corpus(8);
+            let config = XMergeConfig::new().with_fixpoint(FixpointConfig::default());
+            let report = xmerge_corpus(&mut modules, &config);
+            (report.rounds, report.num_commits())
+        })
+    });
     group.finish();
 }
 
-criterion_group!(benches, index_build, candidate_discovery, end_to_end);
+criterion_group!(
+    benches,
+    index_build,
+    candidate_discovery,
+    structural_key_cache,
+    end_to_end
+);
 criterion_main!(benches);

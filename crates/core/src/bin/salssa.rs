@@ -51,6 +51,13 @@ options:
       --batch-size <N>   candidate pairs per parallel scoring batch (default 128)
       --check-semantics  differentially test every commit with the reference
                          interpreter and reject mismatches
+      --fixpoint         xmerge: iterate to a fixpoint — merged hosts re-enter
+                         the candidate pool, interleaved with per-module intra
+                         merging — until a round commits nothing
+      --max-rounds <N>   xmerge: fixpoint round cap (default 4)
+      --index <file>     xmerge: reuse a serialized index — modules whose
+                         content hash is unchanged skip re-summarization; the
+                         refreshed index is written back afterwards
       --no-phi-coalescing  disable phi-node coalescing (SalSSA-NoPC ablation)
       --target <x86|thumb> code-size model for profitability (default x86)
       --json             emit machine-readable JSON instead of the report
@@ -78,6 +85,9 @@ struct Cli {
     json: bool,
     out: Option<String>,
     out_dir: Option<String>,
+    fixpoint: bool,
+    max_rounds: usize,
+    index: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -90,6 +100,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut json = false;
     let mut out: Option<String> = None;
     let mut out_dir: Option<String> = None;
+    let mut fixpoint = false;
+    let mut max_rounds = 4usize;
+    let mut index: Option<String> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -119,6 +132,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--sequential" => config.mode = DriverMode::Sequential,
             "--parallel" => config.mode = DriverMode::Parallel,
             "--check-semantics" => config.check_semantics = true,
+            "--fixpoint" => fixpoint = true,
+            "--max-rounds" => {
+                max_rounds = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad {arg}: {e}"))?;
+            }
+            "--index" => index = Some(value_for(arg)?),
             "--no-phi-coalescing" => options.phi_coalescing = false,
             "--target" => {
                 options.target = match value_for(arg)?.as_str() {
@@ -162,6 +182,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         json,
         out,
         out_dir,
+        fixpoint,
+        max_rounds,
+        index,
     })
 }
 
@@ -369,7 +392,43 @@ fn run_xmerge(cli: &Cli) -> ExitCode {
     if cli.threshold_set {
         config.discovery.max_candidates_per_fn = cli.config.threshold;
     }
-    let report = xmerge::xmerge_corpus(&mut modules, &config);
+    if cli.fixpoint {
+        config.fixpoint = Some(xmerge::FixpointConfig {
+            max_rounds: cli.max_rounds,
+            intra: Some(cli.config),
+        });
+    }
+    // Persistent index reuse: load a previously serialized index and skip
+    // re-summarizing modules whose content hash is unchanged; the refreshed
+    // index is written back for the next run.
+    let prior_index = cli.index.as_ref().and_then(|path| {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match CorpusIndex::deserialize(&text) {
+                Ok(index) => Some(index),
+                Err(e) => {
+                    eprintln!("warning: ignoring unreadable index {path}: {e}");
+                    None
+                }
+            },
+            // First run: the file does not exist yet.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => {
+                eprintln!("warning: cannot read index {path} ({e}); rebuilding from scratch");
+                None
+            }
+        }
+    });
+    let report;
+    if let Some(index_path) = &cli.index {
+        let (r, refreshed) = xmerge::xmerge_corpus_with_index(&mut modules, &config, prior_index);
+        report = r;
+        if let Err(e) = std::fs::write(index_path, refreshed.serialize()) {
+            eprintln!("error: cannot write index {index_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        report = xmerge::xmerge_corpus(&mut modules, &config);
+    }
 
     for module in &modules {
         let errors = verify_module(module);

@@ -22,11 +22,11 @@
 
 use crate::merge::{self, PairMerge};
 use crate::options::MergeOptions;
+use crate::plan::{run_plan, CandidateSource, CommitOutcome, PlanStats, ScoreMode};
 use fm_align::Ranking;
-use rayon::prelude::*;
 use ssa_ir::{Function, InstKind, Module, Type, Value};
 use ssa_passes::codesize::{function_size_bytes, Target};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
 use std::time::Duration;
 
@@ -217,6 +217,9 @@ pub struct ModuleMergeReport {
     /// [`DriverConfig::check_semantics`] is on; nonzero means the merger
     /// produced observably wrong code and the driver refused to commit it).
     pub semantic_rejections: usize,
+    /// Planner-engine statistics: candidates examined, speculative vs. inline
+    /// scores, phase timings.
+    pub planner: PlanStats,
 }
 
 impl ModuleMergeReport {
@@ -293,10 +296,6 @@ struct ScoredCandidate {
     pair: Option<PairMerge>,
 }
 
-/// `None` means the merger refused the pair (incompatible signatures or
-/// failed verification) — cached so the replay does not retry it.
-type ScoreCache = HashMap<(String, String), Option<ScoredCandidate>>;
-
 fn score_pair(
     module: &Module,
     merger: &dyn FunctionMerger,
@@ -318,59 +317,180 @@ fn score_pair(
     })
 }
 
-/// Speculatively scores the ranked candidate pairs of every mergeable
-/// function on all cores, in batches of `config.batch_size`.
-///
-/// The speculation looks somewhat past the exploration threshold
-/// (`threshold + slack` candidates per function, ranked with an empty
-/// exclusion set) because committed merges remove functions from the ranking
-/// and pull deeper candidates into the top `t`; pairs the speculation still
-/// misses are scored inline during the replay.
-fn speculative_scores(
-    module: &Module,
-    merger: &dyn FunctionMerger,
-    ranking: &Ranking,
-    order: &[String],
-    config: &DriverConfig,
-) -> ScoreCache {
-    let slack = config.threshold.max(1);
-    let mut pairs: Vec<(String, String)> = Vec::new();
-    for name in order {
-        let Some(f1) = module.function(name) else {
-            continue;
-        };
-        if f1.num_insts() < config.min_function_size {
-            continue;
-        }
-        for candidate in ranking.candidates(name, config.threshold + slack, &[]) {
-            let viable = module
-                .function(&candidate)
-                .is_some_and(|f2| f2.num_insts() >= config.min_function_size);
-            if viable {
-                pairs.push((name.clone(), candidate));
+/// The intra-module [`CandidateSource`]: fingerprint ranking provides the
+/// candidates (each function's top-`t` most similar peers form one rival
+/// group, visited largest function first), [`score_pair`] the scores, and
+/// [`commit_merge`] — optionally guarded by the differential oracle — the
+/// commits.
+struct IntraSource<'a> {
+    module: &'a mut Module,
+    merger: &'a dyn FunctionMerger,
+    config: &'a DriverConfig,
+    ranking: Ranking,
+    order: Vec<String>,
+    cursor: usize,
+    unavailable: HashSet<String>,
+    report: &'a mut ModuleMergeReport,
+}
+
+impl CandidateSource for IntraSource<'_> {
+    type Key = (String, String);
+    type Score = ScoredCandidate;
+    type Record = MergeRecord;
+
+    /// The speculation looks somewhat past the exploration threshold
+    /// (`threshold + slack` candidates per function, ranked with an empty
+    /// exclusion set) because committed merges remove functions from the
+    /// ranking and pull deeper candidates into the top `t`; pairs the
+    /// speculation still misses are scored inline during the replay.
+    fn speculative_keys(&self) -> Vec<(String, String)> {
+        let config = self.config;
+        let slack = config.threshold.max(1);
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for name in &self.order {
+            let Some(f1) = self.module.function(name) else {
+                continue;
+            };
+            if f1.num_insts() < config.min_function_size {
+                continue;
+            }
+            for candidate in self.ranking.candidates(name, config.threshold + slack, &[]) {
+                let viable = self
+                    .module
+                    .function(&candidate)
+                    .is_some_and(|f2| f2.num_insts() >= config.min_function_size);
+                if viable {
+                    pairs.push((name.clone(), candidate));
+                }
             }
         }
+        pairs
     }
 
-    let mut cache = ScoreCache::with_capacity(pairs.len());
-    for batch in pairs.chunks(config.batch_size.max(1)) {
-        let scored: Vec<((String, String), Option<ScoredCandidate>)> = batch
-            .par_iter()
-            .map(|(name, candidate)| {
-                let score = score_pair(module, merger, name, candidate, false);
-                ((name.clone(), candidate.clone()), score)
-            })
-            .collect();
-        cache.extend(scored);
+    fn score(&self, key: &(String, String), keep_artifacts: bool) -> Option<ScoredCandidate> {
+        score_pair(self.module, self.merger, &key.0, &key.1, keep_artifacts)
     }
-    cache
+
+    fn profit(score: &ScoredCandidate) -> i64 {
+        score.profit
+    }
+
+    fn next_group(&mut self) -> Option<Vec<(String, String)>> {
+        while self.cursor < self.order.len() {
+            let name = self.order[self.cursor].clone();
+            self.cursor += 1;
+            if self.unavailable.contains(&name) {
+                continue;
+            }
+            let Some(size) = self.module.function(&name).map(Function::num_insts) else {
+                continue;
+            };
+            if size < self.config.min_function_size {
+                continue;
+            }
+            let exclude: Vec<String> = self.unavailable.iter().cloned().collect();
+            let group: Vec<(String, String)> = self
+                .ranking
+                .candidates(&name, self.config.threshold, &exclude)
+                .into_iter()
+                .filter(|candidate| {
+                    !self.unavailable.contains(candidate)
+                        && candidate != &name
+                        && self
+                            .module
+                            .function(candidate)
+                            .is_some_and(|f2| f2.num_insts() >= self.config.min_function_size)
+                })
+                .map(|candidate| (name.clone(), candidate))
+                .collect();
+            return Some(group);
+        }
+        None
+    }
+
+    fn observe(&mut self, _key: &(String, String), scored: &ScoredCandidate) {
+        self.report.attempts += 1;
+        self.report.align_time += scored.align_time;
+        self.report.codegen_time += scored.codegen_time;
+        self.report.peak_matrix_bytes = self.report.peak_matrix_bytes.max(scored.matrix_bytes);
+        self.report.total_cells += scored.cells;
+    }
+
+    fn commit(
+        &mut self,
+        (name, candidate): (String, String),
+        scored: ScoredCandidate,
+    ) -> CommitOutcome<MergeRecord> {
+        let profit = scored.profit;
+        // Speculatively scored winners dropped their merged body to keep
+        // memory bounded; regenerate it (merge_pair is deterministic).
+        let pair = scored.pair.unwrap_or_else(|| {
+            let (f1, f2) = (
+                self.module
+                    .function(&name)
+                    .expect("winner's f1 must be live"),
+                self.module
+                    .function(&candidate)
+                    .expect("winner's f2 must be live"),
+            );
+            let merged_name = format!("merged.{}.{}", f1.name, f2.name);
+            self.merger
+                .merge_pair(f1, f2, &merged_name)
+                .expect("a scored profitable pair must merge deterministically")
+        });
+        let record = if self.config.check_semantics {
+            // Trial-commit on a copy and interrogate it with the interpreter;
+            // only adopt the copy when both original entry points still
+            // behave identically.
+            let mut trial = self.module.clone();
+            let record = commit_merge(
+                &mut trial,
+                &name,
+                &candidate,
+                pair,
+                profit,
+                self.merger.target(),
+            );
+            let verdict = [name.as_str(), candidate.as_str()]
+                .iter()
+                .try_for_each(|f| {
+                    ssa_interp::differential_check(
+                        self.module,
+                        &trial,
+                        f,
+                        SEMANTIC_SAMPLES,
+                        SEMANTIC_SEED,
+                    )
+                });
+            if verdict.is_err() {
+                self.report.semantic_rejections += 1;
+                return CommitOutcome::OracleRejected;
+            }
+            *self.module = trial;
+            record
+        } else {
+            commit_merge(
+                self.module,
+                &name,
+                &candidate,
+                pair,
+                profit,
+                self.merger.target(),
+            )
+        };
+        self.unavailable.insert(name);
+        self.unavailable.insert(candidate);
+        self.unavailable.insert(record.merged_name.clone());
+        CommitOutcome::Committed(record)
+    }
 }
 
 /// Runs whole-module function merging with the given technique.
 ///
-/// With [`DriverMode::Parallel`] the candidate pairs are scored concurrently
-/// up front; the commit schedule itself is always sequential and both modes
-/// commit identical [`MergeRecord`]s.
+/// Both [`DriverMode`]s are thin adapters over the unified planner engine
+/// ([`crate::plan`]): with [`DriverMode::Parallel`] the candidate pairs are
+/// scored concurrently up front; the commit schedule itself is always
+/// sequential and both modes commit identical [`MergeRecord`]s.
 pub fn merge_module(
     module: &mut Module,
     merger: &dyn FunctionMerger,
@@ -385,113 +505,40 @@ pub fn merge_module(
 
     let ranking = Ranking::build(module);
     let order = ranking.names_by_size_desc();
-    let mut cache = match config.mode {
-        DriverMode::Sequential => ScoreCache::new(),
-        DriverMode::Parallel => speculative_scores(module, merger, &ranking, &order, config),
+    let mode = match config.mode {
+        DriverMode::Sequential => ScoreMode::Inline,
+        DriverMode::Parallel => ScoreMode::Speculative {
+            batch_size: config.batch_size,
+        },
     };
-    let mut unavailable: HashSet<String> = HashSet::new();
-
-    for name in order {
-        if unavailable.contains(&name) {
-            continue;
-        }
-        let Some(size) = module.function(&name).map(Function::num_insts) else {
-            continue;
-        };
-        if size < config.min_function_size {
-            continue;
-        }
-        let exclude: Vec<String> = unavailable.iter().cloned().collect();
-        let candidates = ranking.candidates(&name, config.threshold, &exclude);
-        let mut best: Option<(i64, String, Option<PairMerge>)> = None;
-        for candidate in candidates {
-            if unavailable.contains(&candidate) || candidate == name {
-                continue;
-            }
-            if module
-                .function(&candidate)
-                .is_none_or(|f2| f2.num_insts() < config.min_function_size)
-            {
-                continue;
-            }
-            let key = (name.clone(), candidate.clone());
-            let Some(scored) = cache
-                .remove(&key)
-                .unwrap_or_else(|| score_pair(module, merger, &name, &candidate, true))
-            else {
-                continue; // The merger refused this pair.
-            };
-            report.attempts += 1;
-            report.align_time += scored.align_time;
-            report.codegen_time += scored.codegen_time;
-            report.peak_matrix_bytes = report.peak_matrix_bytes.max(scored.matrix_bytes);
-            report.total_cells += scored.cells;
-
-            let improves = best
-                .as_ref()
-                .map(|(p, _, _)| scored.profit > *p)
-                .unwrap_or(true);
-            if improves && scored.profit > 0 {
-                best = Some((scored.profit, candidate.clone(), scored.pair));
-            }
-        }
-
-        if let Some((profit, candidate, pair)) = best {
-            // Speculatively scored winners dropped their merged body to keep
-            // memory bounded; regenerate it (merge_pair is deterministic).
-            let pair = pair.unwrap_or_else(|| {
-                let (f1, f2) = (
-                    module.function(&name).expect("winner's f1 must be live"),
-                    module
-                        .function(&candidate)
-                        .expect("winner's f2 must be live"),
-                );
-                let merged_name = format!("merged.{}.{}", f1.name, f2.name);
-                merger
-                    .merge_pair(f1, f2, &merged_name)
-                    .expect("a scored profitable pair must merge deterministically")
-            });
-            let record = if config.check_semantics {
-                // Trial-commit on a copy and interrogate it with the
-                // interpreter; only adopt the copy when both original entry
-                // points still behave identically.
-                let mut trial = module.clone();
-                let record =
-                    commit_merge(&mut trial, &name, &candidate, pair, profit, merger.target());
-                let verdict = [name.as_str(), candidate.as_str()]
-                    .iter()
-                    .try_for_each(|f| {
-                        ssa_interp::differential_check(
-                            module,
-                            &trial,
-                            f,
-                            SEMANTIC_SAMPLES,
-                            SEMANTIC_SEED,
-                        )
-                    });
-                if verdict.is_err() {
-                    report.semantic_rejections += 1;
-                    continue;
-                }
-                *module = trial;
-                record
-            } else {
-                commit_merge(module, &name, &candidate, pair, profit, merger.target())
-            };
-            unavailable.insert(name.clone());
-            unavailable.insert(candidate);
-            unavailable.insert(record.merged_name.clone());
-            report.committed.push(record);
-        }
-    }
+    let mut source = IntraSource {
+        module,
+        merger,
+        config,
+        ranking,
+        order,
+        cursor: 0,
+        unavailable: HashSet::new(),
+        report: &mut report,
+    };
+    let (committed, stats) = run_plan(&mut source, mode);
+    report.committed = committed;
+    report.planner = stats;
 
     merger.postprocess_module(module);
     report
 }
 
 /// Modelled byte profit of replacing `f1` and `f2` by the merged function plus
-/// two thunks.
-fn estimate_profit(module: &Module, f1: &str, f2: &str, pair: &PairMerge, target: Target) -> i64 {
+/// two thunks. Public so alternative drivers (and the equivalence test
+/// suite's reference implementation) share the exact cost model.
+pub fn estimate_profit(
+    module: &Module,
+    f1: &str,
+    f2: &str,
+    pair: &PairMerge,
+    target: Target,
+) -> i64 {
     let size_f1 = function_size_bytes(module.function(f1).unwrap(), target) as i64;
     let size_f2 = function_size_bytes(module.function(f2).unwrap(), target) as i64;
     let merged = function_size_bytes(&pair.merged, target) as i64;
@@ -562,6 +609,7 @@ pub fn build_thunk(
         original.params.clone(),
         original.ret_ty,
     );
+    thunk.linkage = original.linkage;
     thunk.param_names = original.param_names.clone();
     let entry = thunk.add_block("entry");
     // Build the merged call's argument list: fid, then each merged parameter

@@ -44,13 +44,15 @@ pub mod codegen;
 pub mod driver;
 pub mod merge;
 pub mod options;
+pub mod plan;
 pub mod ssa_repair;
 
 pub use codegen::{CodegenMaps, Side, FID};
 pub use driver::{
-    build_thunk, merge_module, DriverConfig, DriverMode, FunctionMerger, MergeRecord,
-    ModuleMergeReport, SalSsaMerger, SEMANTIC_SAMPLES, SEMANTIC_SEED,
+    build_thunk, estimate_profit, merge_module, DriverConfig, DriverMode, FunctionMerger,
+    MergeRecord, ModuleMergeReport, SalSsaMerger, SEMANTIC_SAMPLES, SEMANTIC_SEED,
 };
 pub use merge::{merge_pair, merged_param_maps, PairMerge};
 pub use options::MergeOptions;
+pub use plan::{run_plan, CandidateSource, CommitOutcome, PlanStats, ScoreCache, ScoreMode};
 pub use ssa_repair::{repair, RepairStats};

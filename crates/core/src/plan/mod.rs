@@ -1,0 +1,393 @@
+//! The unified merge planner: one rank/score/commit engine shared by the
+//! intra-module driver ([`crate::driver`]) and the cross-module pipeline (the
+//! `xmerge` crate).
+//!
+//! Both drivers implement the paper's core loop — rank candidate pairs by
+//! fingerprint similarity, score alignments, commit profitable merges in
+//! profit order — and both parallelize the same way: candidate scoring is
+//! read-only on the IR, so pairs are scored speculatively in batches on all
+//! cores (profit and instrumentation only; the winner's merged body is
+//! regenerated at commit time), while commits stay sequential so the results
+//! are bit-identical to a fully sequential run.
+//!
+//! This module owns that engine. A driver provides a [`CandidateSource`]:
+//!
+//! * **candidate discovery** — [`CandidateSource::speculative_keys`] and
+//!   [`CandidateSource::next_group`]. The intra-module source walks the
+//!   fingerprint ranking's size-ordered function list, yielding each
+//!   function's top-`t` candidates as one rival group; the cross-module
+//!   source yields its LSH-shard discoveries one pair at a time in global
+//!   profit order (sorted in [`CandidateSource::plan`] once the speculative
+//!   scores are in).
+//! * **scoring** — [`CandidateSource::score`], a pure read of the underlying
+//!   modules. The engine invokes it from rayon workers during the
+//!   speculative phase and inline (single-threaded) for pairs the
+//!   speculation missed.
+//! * **hazard and commit hooks** — [`CandidateSource::hazard`] (e.g. the
+//!   cross-module ODR/link rules) and [`CandidateSource::commit`] (module
+//!   mutation, optionally guarded by the differential semantic oracle).
+//!
+//! The engine returns the committed records plus [`PlanStats`]: candidates
+//! examined, speculative vs. inline scores, and phase timings — surfaced by
+//! `salssa ... --json` for trajectory tracking.
+
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+/// Cached speculative scores: `None` records that the merger refused the
+/// pair, so the commit loop does not retry it.
+pub type ScoreCache<K, S> = HashMap<K, Option<S>>;
+
+/// Statistics accumulated by one [`run_plan`] invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Candidate pairs the commit loop examined (scheduled candidates).
+    pub candidates: usize,
+    /// Pairs scored speculatively, in parallel, before the commit loop.
+    pub speculative_scores: usize,
+    /// Pairs the speculation missed, scored inline during the commit loop.
+    pub inline_scores: usize,
+    /// Fixpoint rounds driven over this engine (1 for a single-shot run;
+    /// maintained by the fixpoint driver, not by [`run_plan`] itself).
+    pub rounds: usize,
+    /// Wall-clock time of the speculative scoring phase.
+    pub score_time: Duration,
+    /// Wall-clock time of the commit loop (including inline scoring and
+    /// oracle runs).
+    pub commit_time: Duration,
+}
+
+impl PlanStats {
+    /// Folds another run's statistics into this one (used by fixpoint
+    /// drivers; `rounds` accumulate, times and counters add up).
+    pub fn absorb(&mut self, other: &PlanStats) {
+        self.candidates += other.candidates;
+        self.speculative_scores += other.speculative_scores;
+        self.inline_scores += other.inline_scores;
+        self.rounds += other.rounds.max(1);
+        self.score_time += other.score_time;
+        self.commit_time += other.commit_time;
+    }
+}
+
+/// What became of the winning candidate handed to [`CandidateSource::commit`].
+#[derive(Debug)]
+pub enum CommitOutcome<R> {
+    /// The merge was applied; the record is collected by the engine.
+    Committed(R),
+    /// The differential oracle observed a divergence; nothing was mutated.
+    /// The source is expected to count the rejection itself.
+    OracleRejected,
+    /// The commit could not be applied (e.g. regeneration refused the pair);
+    /// nothing was mutated and no endpoint was consumed.
+    Skipped,
+}
+
+/// A driver-specific provider of candidate pairs, scores and commits. See the
+/// module docs for the contract; `Sync` is required so the engine can score
+/// speculative candidates from rayon workers.
+pub trait CandidateSource: Sync {
+    /// Identity of one candidate pair.
+    type Key: Clone + Eq + Hash + Send + Sync;
+    /// The outcome of scoring one pair: profit plus whatever instrumentation
+    /// the driver's report wants. Bulky artifacts (merged bodies) should only
+    /// be retained when scoring is asked to `keep_artifacts`.
+    type Score: Send;
+    /// One committed merge operation, as reported by the driver.
+    type Record;
+
+    /// Pairs worth scoring before the commit loop starts. Speculation may
+    /// overshoot the exploration threshold: commits consume functions and
+    /// pull deeper candidates into range.
+    fn speculative_keys(&self) -> Vec<Self::Key>;
+
+    /// Scores one pair without mutating anything. `keep_artifacts` is `true`
+    /// for inline scoring (the winner is committed immediately) and `false`
+    /// for speculative scoring (retaining a merged body per profitable pair
+    /// corpus-wide would dominate memory; the commit regenerates the winner,
+    /// which is sound because pair merging is deterministic).
+    fn score(&self, key: &Self::Key, keep_artifacts: bool) -> Option<Self::Score>;
+
+    /// The modelled byte profit of a scored pair.
+    fn profit(score: &Self::Score) -> i64;
+
+    /// Called once, after speculative scoring and before the commit loop, so
+    /// the source can derive its commit schedule from the scores (the
+    /// cross-module source sorts globally by profit here). The default does
+    /// nothing.
+    fn plan(&mut self, _cache: &ScoreCache<Self::Key, Self::Score>) {}
+
+    /// The next group of rival candidates, or `None` when the schedule is
+    /// exhausted. Within a group the engine commits (at most) the single most
+    /// profitable pair; sources enforce their own availability rules here
+    /// (consumed functions never reappear in a group).
+    fn next_group(&mut self) -> Option<Vec<Self::Key>>;
+
+    /// Observes every successfully scored candidate the commit loop examines
+    /// (attempt accounting and instrumentation aggregation).
+    fn observe(&mut self, key: &Self::Key, score: &Self::Score);
+
+    /// Returns `true` when committing this winner would be unsafe (e.g. the
+    /// cross-module ODR hazard rules). The source counts its own skips. The
+    /// default accepts everything.
+    fn hazard(&mut self, _key: &Self::Key, _score: &Self::Score) -> bool {
+        false
+    }
+
+    /// Applies the winning merge, mutating the underlying modules.
+    fn commit(&mut self, key: Self::Key, score: Self::Score) -> CommitOutcome<Self::Record>;
+}
+
+/// How the engine schedules candidate scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreMode {
+    /// Score every pair inline while walking the commit schedule.
+    Inline,
+    /// Speculatively score [`CandidateSource::speculative_keys`] on all cores
+    /// in batches of the given size, then replay the commit schedule against
+    /// the cache (inline-scoring the rare miss). Commits are identical to
+    /// [`ScoreMode::Inline`].
+    Speculative {
+        /// Candidate pairs per parallel scoring batch; each batch is a
+        /// parallel map joined before the next starts, bounding peak memory.
+        batch_size: usize,
+    },
+}
+
+/// Speculatively scores `keys` in parallel batches, preserving input order in
+/// the returned cache semantics (the cache is keyed, so order only matters
+/// for determinism of side effects — scoring is pure).
+fn speculative_scores<S: CandidateSource>(
+    source: &S,
+    keys: Vec<S::Key>,
+    batch_size: usize,
+) -> ScoreCache<S::Key, S::Score> {
+    let mut cache = ScoreCache::with_capacity(keys.len());
+    for batch in keys.chunks(batch_size.max(1)) {
+        let scored: Vec<(S::Key, Option<S::Score>)> = batch
+            .par_iter()
+            .map(|key| (key.clone(), source.score(key, false)))
+            .collect();
+        cache.extend(scored);
+    }
+    cache
+}
+
+/// Runs the engine to completion: speculative scoring (per `mode`), then the
+/// sequential profit-ordered commit loop. Returns the committed records in
+/// commit order plus the engine statistics.
+pub fn run_plan<S: CandidateSource>(
+    source: &mut S,
+    mode: ScoreMode,
+) -> (Vec<S::Record>, PlanStats) {
+    let mut stats = PlanStats {
+        rounds: 1,
+        ..PlanStats::default()
+    };
+
+    let t = Instant::now();
+    let mut cache = match mode {
+        ScoreMode::Inline => ScoreCache::new(),
+        ScoreMode::Speculative { batch_size } => {
+            let keys = source.speculative_keys();
+            stats.speculative_scores = keys.len();
+            speculative_scores(source, keys, batch_size)
+        }
+    };
+    stats.score_time = t.elapsed();
+
+    source.plan(&cache);
+
+    let t = Instant::now();
+    let mut records = Vec::new();
+    while let Some(group) = source.next_group() {
+        let mut best: Option<(i64, S::Key, S::Score)> = None;
+        for key in group {
+            let scored = cache.remove(&key).unwrap_or_else(|| {
+                stats.inline_scores += 1;
+                source.score(&key, true)
+            });
+            stats.candidates += 1;
+            let Some(score) = scored else {
+                continue; // The merger refused this pair.
+            };
+            source.observe(&key, &score);
+            let profit = S::profit(&score);
+            let improves = best
+                .as_ref()
+                .map(|(best_profit, _, _)| profit > *best_profit)
+                .unwrap_or(true);
+            if improves && profit > 0 {
+                best = Some((profit, key, score));
+            }
+        }
+        if let Some((_, key, score)) = best {
+            if source.hazard(&key, &score) {
+                continue;
+            }
+            if let CommitOutcome::Committed(record) = source.commit(key, score) {
+                records.push(record);
+            }
+        }
+    }
+    stats.commit_time = t.elapsed();
+    (records, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// A toy source over abstract "functions" 0..n with fixed pairwise
+    /// profits: groups are (host, [host+1..n]) in order, a commit consumes
+    /// both endpoints.
+    struct ToySource {
+        n: usize,
+        profit: fn(usize, usize) -> i64,
+        cursor: usize,
+        consumed: HashSet<usize>,
+        observed: usize,
+        hazard_on: Option<(usize, usize)>,
+        hazards: usize,
+    }
+
+    impl ToySource {
+        fn new(n: usize, profit: fn(usize, usize) -> i64) -> ToySource {
+            ToySource {
+                n,
+                profit,
+                cursor: 0,
+                consumed: HashSet::new(),
+                observed: 0,
+                hazard_on: None,
+                hazards: 0,
+            }
+        }
+    }
+
+    impl CandidateSource for ToySource {
+        type Key = (usize, usize);
+        type Score = i64;
+        type Record = (usize, usize, i64);
+
+        fn speculative_keys(&self) -> Vec<(usize, usize)> {
+            (0..self.n)
+                .flat_map(|a| (a + 1..self.n).map(move |b| (a, b)))
+                .collect()
+        }
+
+        fn score(&self, key: &(usize, usize), _keep: bool) -> Option<i64> {
+            let p = (self.profit)(key.0, key.1);
+            (p != i64::MIN).then_some(p)
+        }
+
+        fn profit(score: &i64) -> i64 {
+            *score
+        }
+
+        fn next_group(&mut self) -> Option<Vec<(usize, usize)>> {
+            while self.cursor < self.n {
+                let host = self.cursor;
+                self.cursor += 1;
+                if self.consumed.contains(&host) {
+                    continue;
+                }
+                let group: Vec<(usize, usize)> = (host + 1..self.n)
+                    .filter(|b| !self.consumed.contains(b))
+                    .map(|b| (host, b))
+                    .collect();
+                return Some(group);
+            }
+            None
+        }
+
+        fn observe(&mut self, _key: &(usize, usize), _score: &i64) {
+            self.observed += 1;
+        }
+
+        fn hazard(&mut self, key: &(usize, usize), _score: &i64) -> bool {
+            if self.hazard_on == Some(*key) {
+                self.hazards += 1;
+                return true;
+            }
+            false
+        }
+
+        fn commit(
+            &mut self,
+            key: (usize, usize),
+            score: i64,
+        ) -> CommitOutcome<(usize, usize, i64)> {
+            self.consumed.insert(key.0);
+            self.consumed.insert(key.1);
+            CommitOutcome::Committed((key.0, key.1, score))
+        }
+    }
+
+    fn toy_profit(a: usize, b: usize) -> i64 {
+        match (a, b) {
+            (0, 2) => 10,
+            (0, 1) => 5,
+            (1, 3) => 7,
+            _ => -1,
+        }
+    }
+
+    #[test]
+    fn inline_and_speculative_modes_commit_identically() {
+        let run = |mode| {
+            let mut source = ToySource::new(4, toy_profit);
+            run_plan(&mut source, mode)
+        };
+        let (seq, seq_stats) = run(ScoreMode::Inline);
+        let (par, par_stats) = run(ScoreMode::Speculative { batch_size: 2 });
+        assert_eq!(seq, vec![(0, 2, 10), (1, 3, 7)]);
+        assert_eq!(seq, par);
+        assert_eq!(seq_stats.candidates, par_stats.candidates);
+        assert_eq!(seq_stats.speculative_scores, 0);
+        assert_eq!(par_stats.speculative_scores, 6);
+        assert!(seq_stats.inline_scores > 0);
+        assert_eq!(par_stats.inline_scores, 0, "speculation covered every pair");
+    }
+
+    #[test]
+    fn hazard_hook_blocks_the_winner_without_consuming_it() {
+        let mut source = ToySource::new(4, toy_profit);
+        source.hazard_on = Some((0, 2));
+        let (records, _) = run_plan(&mut source, ScoreMode::Inline);
+        // (0,2) is vetoed; 0's group picks nothing else... (0,1) has profit 5
+        // but loses to the vetoed 10 inside the group — the engine commits at
+        // most the single best of each group, so host 0 commits nothing and
+        // (1,3) still goes through.
+        assert_eq!(records, vec![(1, 3, 7)]);
+        assert_eq!(source.hazards, 1);
+    }
+
+    #[test]
+    fn degenerate_batch_sizes_are_clamped() {
+        let mut source = ToySource::new(3, toy_profit);
+        let (records, stats) = run_plan(&mut source, ScoreMode::Speculative { batch_size: 0 });
+        assert_eq!(records, vec![(0, 2, 10)]);
+        assert_eq!(stats.speculative_scores, 3);
+    }
+
+    #[test]
+    fn absorb_accumulates_rounds_and_counters() {
+        let mut total = PlanStats::default();
+        let mut one = PlanStats {
+            rounds: 1,
+            candidates: 3,
+            speculative_scores: 2,
+            ..PlanStats::default()
+        };
+        total.absorb(&one);
+        one.candidates = 5;
+        total.absorb(&one);
+        assert_eq!(total.rounds, 2);
+        assert_eq!(total.candidates, 8);
+        assert_eq!(total.speculative_scores, 4);
+    }
+}

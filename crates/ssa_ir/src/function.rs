@@ -5,6 +5,9 @@ use crate::instruction::{InstData, InstKind};
 use crate::types::Type;
 use crate::value::Value;
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// A basic block: a label, leading phi-nodes, ordinary instructions and an
 /// optional terminator.
@@ -46,6 +49,62 @@ impl BlockData {
     }
 }
 
+/// Linkage of a function symbol: whether it participates in cross-module
+/// symbol resolution.
+///
+/// `Internal` models LLVM's `internal`/`static` linkage: the symbol is local
+/// to its translation unit, so two modules may define different functions of
+/// the same internal name without an ODR conflict. The cross-module merge
+/// hazard rules and [`crate::linker::link_modules`] exploit this.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Linkage {
+    /// Visible to other modules; same-named external definitions must be
+    /// identical (the ODR rule).
+    #[default]
+    External,
+    /// Local to the defining module; never clashes across modules.
+    Internal,
+}
+
+impl fmt::Display for Linkage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Linkage::External => write!(f, "external"),
+            Linkage::Internal => write!(f, "internal"),
+        }
+    }
+}
+
+/// The cached structural key of a function: the normalized print it had when
+/// the key was computed, plus the symbol name it was computed under (a direct
+/// `function.name = ...` field write cannot invalidate the cache, so lookups
+/// validate the name instead — self-calls make the normalized print
+/// name-sensitive).
+#[derive(Clone, Debug)]
+struct StructuralKey {
+    name: String,
+    text: Arc<str>,
+}
+
+/// Placeholder substituted for the function's own name (and self-calls) in
+/// the normalized print that backs [`Function::structural_key`].
+pub(crate) const STRUCTURAL_PLACEHOLDER: &str = "__odr_key__";
+
+/// Global structural-key cache counters (process-wide, monotonically
+/// increasing). Reports snapshot them before and after a run and publish the
+/// delta as the cache hit rate.
+static KEY_HITS: AtomicU64 = AtomicU64::new(0);
+static KEY_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide structural-key cache counters: `(hits,
+/// misses)`, where a miss is a full normalized re-print of a function body.
+pub fn structural_key_counters() -> (u64, u64) {
+    (
+        KEY_HITS.load(Ordering::Relaxed),
+        KEY_MISSES.load(Ordering::Relaxed),
+    )
+}
+
 /// A function in SSA (or, transiently, non-SSA) form.
 #[derive(Clone, Debug)]
 pub struct Function {
@@ -57,10 +116,14 @@ pub struct Function {
     pub param_names: Vec<String>,
     /// Return type.
     pub ret_ty: Type,
+    /// Symbol linkage (external by default).
+    pub linkage: Linkage,
     blocks: Arena<BlockId, BlockData>,
     insts: Arena<InstId, InstData>,
     block_order: Vec<BlockId>,
     entry: Option<BlockId>,
+    /// Cached normalized print key; cleared by every mutating method.
+    structural_cache: OnceLock<StructuralKey>,
 }
 
 impl Function {
@@ -72,11 +135,69 @@ impl Function {
             params,
             param_names: (0..params_len).map(|i| format!("arg{i}")).collect(),
             ret_ty,
+            linkage: Linkage::External,
             blocks: Arena::new(),
             insts: Arena::new(),
             block_order: Vec::new(),
             entry: None,
+            structural_cache: OnceLock::new(),
         }
+    }
+
+    /// Clears the cached structural key. Every `&mut self` method that can
+    /// change the printed form of the function calls this.
+    fn invalidate_structural_key(&mut self) {
+        self.structural_cache.take();
+    }
+
+    /// Renames the function, invalidating the cached structural key (the key
+    /// normalizes self-recursive calls by the current name, so a rename can
+    /// change it). Prefer this over assigning the `name` field directly: a
+    /// field write leaves a stale cache behind that every subsequent
+    /// [`Function::structural_key`] lookup must detect and recompute around.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+        self.invalidate_structural_key();
+    }
+
+    /// Sets the linkage, invalidating the cached structural key (linkage is
+    /// part of the printed form).
+    pub fn set_linkage(&mut self, linkage: Linkage) {
+        self.linkage = linkage;
+        self.invalidate_structural_key();
+    }
+
+    /// The name-independent structural key of the function: its printed form
+    /// with the symbol name (and self-recursive calls) replaced by a fixed
+    /// placeholder. Two functions are ODR-interchangeable exactly when their
+    /// signatures and structural keys agree ([`crate::structurally_equal`]).
+    ///
+    /// The key is cached on first computation and invalidated by every
+    /// mutating method, so repeated equality checks over an unchanged
+    /// function — hazard scans, `link_modules`, ODR dedup — stop re-printing
+    /// it. Clones share the cached key. A direct write to the public `name`
+    /// field is detected at lookup (the key remembers the name it was
+    /// computed under) and falls back to an uncached recompute.
+    pub fn structural_key(&self) -> Arc<str> {
+        if let Some(key) = self.structural_cache.get() {
+            if key.name == self.name {
+                KEY_HITS.fetch_add(1, Ordering::Relaxed);
+                return key.text.clone();
+            }
+            // Stale: the name was reassigned through the public field after
+            // the key was computed. Recompute without caching (the slot is
+            // already taken); `set_name` avoids this path.
+            KEY_MISSES.fetch_add(1, Ordering::Relaxed);
+            return crate::printer::print_function_normalized(self, STRUCTURAL_PLACEHOLDER).into();
+        }
+        KEY_MISSES.fetch_add(1, Ordering::Relaxed);
+        let text: Arc<str> =
+            crate::printer::print_function_normalized(self, STRUCTURAL_PLACEHOLDER).into();
+        let _ = self.structural_cache.set(StructuralKey {
+            name: self.name.clone(),
+            text: text.clone(),
+        });
+        text
     }
 
     /// The entry block.
@@ -96,12 +217,14 @@ impl Function {
     /// Overrides the entry block.
     pub fn set_entry(&mut self, block: BlockId) {
         assert!(self.blocks.contains(block), "unknown block {block}");
+        self.invalidate_structural_key();
         self.entry = Some(block);
     }
 
     /// Creates a new, empty basic block appended to the layout order. The
     /// first block created becomes the entry block.
     pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        self.invalidate_structural_key();
         let id = self.blocks.alloc(BlockData {
             name: name.into(),
             ..BlockData::default()
@@ -116,6 +239,7 @@ impl Function {
     /// Removes a block and all of its instructions. The caller is responsible
     /// for ensuring no other block still branches to it.
     pub fn remove_block(&mut self, block: BlockId) {
+        self.invalidate_structural_key();
         if let Some(data) = self.blocks.remove(block) {
             for inst in data.all_insts() {
                 self.insts.remove(inst);
@@ -138,8 +262,10 @@ impl Function {
             .unwrap_or_else(|| panic!("dangling block {id}"))
     }
 
-    /// Returns a mutable reference to a block.
+    /// Returns a mutable reference to a block (conservatively invalidates the
+    /// cached structural key).
     pub fn block_mut(&mut self, id: BlockId) -> &mut BlockData {
+        self.invalidate_structural_key();
         self.blocks
             .get_mut(id)
             .unwrap_or_else(|| panic!("dangling block {id}"))
@@ -171,8 +297,10 @@ impl Function {
             .unwrap_or_else(|| panic!("dangling inst {id}"))
     }
 
-    /// Returns a mutable reference to an instruction.
+    /// Returns a mutable reference to an instruction (conservatively
+    /// invalidates the cached structural key).
     pub fn inst_mut(&mut self, id: InstId) -> &mut InstData {
+        self.invalidate_structural_key();
         self.insts
             .get_mut(id)
             .unwrap_or_else(|| panic!("dangling inst {id}"))
@@ -194,6 +322,7 @@ impl Function {
     /// block's terminator (panicking if one is already present), and everything
     /// else is appended to the ordinary instruction list.
     pub fn append_inst(&mut self, block: BlockId, kind: InstKind, ty: Type) -> InstId {
+        self.invalidate_structural_key();
         let is_phi = kind.is_phi();
         let is_term = kind.is_terminator();
         let id = self.insts.alloc(InstData {
@@ -226,6 +355,7 @@ impl Function {
         ty: Type,
     ) -> InstId {
         assert!(!kind.is_phi() && !kind.is_terminator());
+        self.invalidate_structural_key();
         let id = self.insts.alloc(InstData {
             kind,
             ty,
@@ -238,6 +368,7 @@ impl Function {
 
     /// Removes an instruction from its block and from the arena.
     pub fn remove_inst(&mut self, id: InstId) {
+        self.invalidate_structural_key();
         let block = self.inst(id).block;
         if self.blocks.contains(block) {
             let data = self.block_mut(block);
@@ -409,6 +540,7 @@ impl Function {
     /// Moves `block` to the end of the layout order (used by code generators
     /// that want related blocks printed together).
     pub fn move_block_to_end(&mut self, block: BlockId) {
+        self.invalidate_structural_key();
         self.block_order.retain(|b| *b != block);
         self.block_order.push(block);
     }

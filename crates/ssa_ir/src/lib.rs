@@ -46,12 +46,12 @@ pub mod verifier;
 
 pub use builder::FunctionBuilder;
 pub use dominators::DomTree;
-pub use function::{BlockData, Function};
+pub use function::{structural_key_counters, BlockData, Function, Linkage};
 pub use ids::{Arena, BlockId, EntityId, InstId};
 pub use instruction::{BinOp, CastKind, ICmpPred, InstData, InstKind};
 pub use linker::{
-    callees_of, import_function, link_modules, rename_symbol, sanitize_symbol, structurally_equal,
-    ImportOutcome, LinkError,
+    callees_of, import_function, link_modules, link_modules_with_renames, localized_symbol,
+    rename_symbol, sanitize_symbol, structurally_equal, ImportOutcome, LinkError, LinkRenames,
 };
 pub use module::{FuncDecl, Module};
 pub use parser::{parse_function, parse_module, ParseError};

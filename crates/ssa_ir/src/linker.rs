@@ -9,12 +9,12 @@
 //! when a symbol is renamed, and producing a linked whole-program view of a
 //! corpus for differential semantic checking.
 
-use crate::function::Function;
+use crate::function::{Function, Linkage};
 use crate::instruction::InstKind;
 use crate::module::{FuncDecl, Module};
-use crate::printer::print_function;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors produced by linking operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,34 +43,21 @@ impl fmt::Display for LinkError {
 impl std::error::Error for LinkError {}
 
 /// Returns `true` when two functions have identical bodies modulo their own
-/// symbol name (the ODR criterion used for deduplication): same signature and
-/// the same printed body after normalizing the function name. Self-recursive
-/// calls are compared through the normalized name, so two mutually-independent
-/// recursive clones compare equal.
+/// symbol name (the ODR criterion used for deduplication): same signature,
+/// same linkage, and the same printed body after normalizing the function
+/// name. Self-recursive calls are compared through the normalized name, so
+/// two mutually-independent recursive clones compare equal.
+///
+/// The comparison goes through [`Function::structural_key`], which caches the
+/// normalized print per function (invalidated on mutation), so repeated
+/// checks over unchanged functions — hazard scans, [`link_modules`], ODR
+/// dedup — do not re-print them.
 pub fn structurally_equal(a: &Function, b: &Function) -> bool {
-    if a.params != b.params || a.ret_ty != b.ret_ty {
+    if a.params != b.params || a.ret_ty != b.ret_ty || a.linkage != b.linkage {
         return false;
     }
-    normalized_print(a) == normalized_print(b)
-}
-
-/// Prints a function with its own name (and self-calls) replaced by a fixed
-/// placeholder, producing a name-independent structural key.
-fn normalized_print(f: &Function) -> String {
-    let mut clone = f.clone();
-    let original = clone.name.clone();
-    clone.name = "__odr_key__".to_string();
-    for inst in clone.inst_ids().collect::<Vec<_>>() {
-        match &mut clone.inst_mut(inst).kind {
-            InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. }
-                if *callee == original =>
-            {
-                *callee = "__odr_key__".to_string();
-            }
-            _ => {}
-        }
-    }
-    print_function(&clone)
+    let (ka, kb) = (a.structural_key(), b.structural_key());
+    Arc::ptr_eq(&ka, &kb) || ka == kb
 }
 
 /// The set of function symbols a function references through calls or invokes.
@@ -104,7 +91,7 @@ pub fn rename_symbol(module: &mut Module, from: &str, to: &str) -> Result<usize,
     }
     let mut found = false;
     if let Some(f) = module.function_mut(from) {
-        f.name = to.to_string();
+        f.set_name(to);
         found = true;
     }
     while let Some(mut decl) = module.remove_declaration(from) {
@@ -200,7 +187,7 @@ pub fn import_function(
                 _ => {}
             }
         }
-        copy.name = import_name.clone();
+        copy.set_name(import_name.clone());
     }
     // Carry over signatures for callees the host has never heard of.
     for callee in callees_of(&copy) {
@@ -221,31 +208,125 @@ pub fn import_function(
     })
 }
 
+/// The deterministic whole-program name an internal function of `module_name`
+/// is localized to by [`link_modules`] (before collision disambiguation).
+pub fn localized_symbol(name: &str, module_name: &str) -> String {
+    format!("{}.__local.{}", name, sanitize_symbol(module_name))
+}
+
 /// Links a corpus of modules into one whole-program module named `name`:
 /// the union of all definitions (ODR-identical duplicates collapse to one
 /// copy) plus the declarations that remain unresolved after linking.
+///
+/// Internal-linkage functions are module-local symbols: each is *localized* —
+/// renamed to [`localized_symbol`] (with a numeric suffix on the rare further
+/// collision) with its defining module's call sites rewritten — instead of
+/// participating in ODR resolution, exactly as a real linker keeps `static`
+/// functions apart.
 ///
 /// This is the "what the linker would see" view the cross-module semantic
 /// oracle runs the interpreter against.
 ///
 /// # Errors
 ///
-/// [`LinkError::DuplicateSymbol`] when two modules define the same symbol
-/// with different bodies.
+/// [`LinkError::DuplicateSymbol`] when two modules define the same external
+/// symbol with different bodies.
 pub fn link_modules<'a>(
     modules: impl IntoIterator<Item = &'a Module>,
     name: &str,
 ) -> Result<Module, LinkError> {
+    link_modules_with_renames(modules, name).map(|(linked, _)| linked)
+}
+
+/// The localization map of [`link_modules_with_renames`]: for every internal
+/// function, `(module name, original name) -> linked name`.
+pub type LinkRenames = HashMap<(String, String), String>;
+
+/// [`link_modules`], additionally returning the localization map: for every
+/// internal function, `(module name, original name) -> linked name`. Callers
+/// that need to look a specific module's internal function up in the linked
+/// program (e.g. the differential oracle) resolve it through this map.
+pub fn link_modules_with_renames<'a>(
+    modules: impl IntoIterator<Item = &'a Module>,
+    name: &str,
+) -> Result<(Module, LinkRenames), LinkError> {
     let modules: Vec<&Module> = modules.into_iter().collect();
     let mut linked = Module::new(name);
+    let mut localized: LinkRenames = HashMap::new();
+    let mut taken: HashSet<String> = modules
+        .iter()
+        .flat_map(|m| m.functions())
+        .filter(|f| f.linkage == Linkage::External)
+        .map(|f| f.name.clone())
+        .collect();
+
     for module in &modules {
+        // Localization plan for this module's internal functions.
+        let mut renames: HashMap<String, String> = HashMap::new();
         for f in module.functions() {
-            match linked.function(&f.name) {
-                None => {
-                    linked.add_function(f.clone());
+            if f.linkage != Linkage::Internal {
+                continue;
+            }
+            let base = localized_symbol(&f.name, &module.name);
+            let mut candidate = base.clone();
+            let mut n = 2usize;
+            while !taken.insert(candidate.clone()) {
+                candidate = format!("{base}.{n}");
+                n += 1;
+            }
+            localized.insert((module.name.clone(), f.name.clone()), candidate.clone());
+            renames.insert(f.name.clone(), candidate);
+        }
+        for f in module.functions() {
+            // Only clone when a localization actually touches this function
+            // (its own name, or a callee); the common all-external path — in
+            // particular the per-commit oracle links of the xmerge pipeline —
+            // compares in place and clones only on insertion.
+            let needs_rewrite = !renames.is_empty()
+                && (renames.contains_key(&f.name)
+                    || f.inst_ids().any(|inst| {
+                        matches!(
+                            &f.inst(inst).kind,
+                            InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. }
+                                if renames.contains_key(callee)
+                        )
+                    }));
+            if !needs_rewrite {
+                match linked.function(&f.name) {
+                    None => {
+                        linked.add_function(f.clone());
+                    }
+                    Some(existing) if structurally_equal(existing, f) => {}
+                    Some(_) => return Err(LinkError::DuplicateSymbol(f.name.clone())),
                 }
-                Some(existing) if structurally_equal(existing, f) => {}
-                Some(_) => return Err(LinkError::DuplicateSymbol(f.name.clone())),
+                continue;
+            }
+            let mut copy = f.clone();
+            for inst in copy.inst_ids().collect::<Vec<_>>() {
+                let callee = match &copy.inst(inst).kind {
+                    InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. } => {
+                        renames.get(callee).cloned()
+                    }
+                    _ => None,
+                };
+                if let Some(new_callee) = callee {
+                    match &mut copy.inst_mut(inst).kind {
+                        InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. } => {
+                            *callee = new_callee;
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            if let Some(new_name) = renames.get(&copy.name) {
+                copy.set_name(new_name.clone());
+            }
+            match linked.function(&copy.name) {
+                None => {
+                    linked.add_function(copy);
+                }
+                Some(existing) if structurally_equal(existing, &copy) => {}
+                Some(_) => return Err(LinkError::DuplicateSymbol(copy.name.clone())),
             }
         }
     }
@@ -257,7 +338,7 @@ pub fn link_modules<'a>(
             }
         }
     }
-    Ok(linked)
+    Ok((linked, localized))
 }
 
 /// Maps an arbitrary string (e.g. a module name derived from a file path) to
@@ -437,6 +518,114 @@ entry:
         let linked = link_modules(&[host, dup], "prog").unwrap();
         assert_eq!(linked.num_functions(), 2);
         assert!(verify_module(&linked).is_empty());
+    }
+
+    #[test]
+    fn internal_functions_are_localized_by_link_modules() {
+        let internal = |module: &str, k: i32| {
+            let mut m = parse_module(&format!(
+                "define internal i32 @helper(i32 %x) {{\nentry:\n  %r = add i32 %x, {k}\n  ret i32 %r\n}}\n\ndefine i32 @{module}_entry(i32 %x) {{\nentry:\n  %r = call i32 @helper(i32 %x)\n  ret i32 %r\n}}"
+            ))
+            .unwrap();
+            m.name = module.to_string();
+            m
+        };
+        // Two modules with *different* internal @helper bodies: a real linker
+        // keeps them apart, and so must link_modules.
+        let (a, b) = (internal("a", 1), internal("b", 2));
+        let (linked, renames) = link_modules_with_renames([&a, &b], "prog").unwrap();
+        assert!(verify_module(&linked).is_empty());
+        assert_eq!(linked.num_functions(), 4);
+        let a_helper = renames
+            .get(&("a".to_string(), "helper".to_string()))
+            .unwrap();
+        let b_helper = renames
+            .get(&("b".to_string(), "helper".to_string()))
+            .unwrap();
+        assert_ne!(a_helper, b_helper);
+        assert_eq!(a_helper, &localized_symbol("helper", "a"));
+        // Call sites follow their module's copy.
+        assert!(callees_of(linked.function("a_entry").unwrap()).contains(a_helper));
+        assert!(callees_of(linked.function("b_entry").unwrap()).contains(b_helper));
+        // No un-localized @helper survives.
+        assert!(linked.function("helper").is_none());
+    }
+
+    #[test]
+    fn linkage_mismatch_breaks_structural_equality() {
+        let text = "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}";
+        let a = crate::parse_function(text).unwrap();
+        let mut b = a.clone();
+        assert!(structurally_equal(&a, &b));
+        b.set_linkage(crate::function::Linkage::Internal);
+        assert!(
+            !structurally_equal(&a, &b),
+            "internal and external copies are different symbols"
+        );
+    }
+
+    #[test]
+    fn structural_keys_are_cached_and_invalidated_on_mutation() {
+        let mut f = crate::parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        let k1 = f.structural_key();
+        let k2 = f.structural_key();
+        // Pointer equality proves the second lookup was served from the cache
+        // (counters are process-global and tests run concurrently, so they
+        // only support a monotonicity check here).
+        assert!(Arc::ptr_eq(&k1, &k2), "second lookup must hit the cache");
+        let (hits, misses) = crate::function::structural_key_counters();
+        assert!(hits >= 1 && misses >= 1);
+        // Mutation invalidates; the key changes accordingly.
+        let add = f.inst_by_name("r").unwrap();
+        f.inst_mut(add).kind = crate::InstKind::Binary {
+            op: crate::BinOp::Mul,
+            lhs: crate::Value::Arg(0),
+            rhs: crate::Value::i32(3),
+        };
+        let k3 = f.structural_key();
+        assert_ne!(k1, k3);
+        // set_name invalidates too (self-call sensitivity), and a rename
+        // through the public field is detected at lookup.
+        let mut g = f.clone();
+        g.name = "direct_poke".to_string();
+        assert_eq!(
+            g.structural_key(),
+            f.structural_key(),
+            "no self-calls: rename leaves the key unchanged"
+        );
+    }
+
+    #[test]
+    fn structural_key_tracks_self_recursion_across_renames() {
+        let mut f = crate::parse_function(
+            "define i32 @rec(i32 %x) {\nentry:\n  %r = call i32 @rec(i32 %x)\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        // Two mutually-independent recursive clones compare equal.
+        let g = crate::parse_function(
+            "define i32 @mirror(i32 %x) {\nentry:\n  %r = call i32 @mirror(i32 %x)\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        assert!(structurally_equal(&f, &g));
+        let k1 = f.structural_key();
+        // A direct field poke makes the old self-call a call to a *different*
+        // function; the stale cache must be detected at lookup.
+        f.name = "other".to_string();
+        let k2 = f.structural_key();
+        assert_ne!(k1, k2, "@rec(...) is no longer a self-call after rename");
+        assert!(!structurally_equal(&f, &g));
+        // rename_symbol (set_name + call-site rewrite) keeps self-recursion
+        // intact, so the keys agree again.
+        let mut m = Module::new("m");
+        m.add_function(g.clone());
+        rename_symbol(&mut m, "mirror", "renamed.mirror").unwrap();
+        assert!(structurally_equal(
+            m.function("renamed.mirror").unwrap(),
+            &g
+        ));
     }
 
     #[test]

@@ -126,6 +126,33 @@ impl Module {
             .map(|f| (f.name.clone(), f.num_insts()))
             .collect()
     }
+
+    /// A stable hash of the module's contents (definitions in order — name,
+    /// linkage, structural key — plus declarations), used by the incremental
+    /// cross-module index to skip re-summarizing unchanged modules. Function
+    /// bodies are folded in through [`Function::structural_key`], so an
+    /// unchanged module is hashed without re-printing any IR.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h ^= 0xff; // separator so field boundaries matter
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for f in &self.functions {
+            eat(f.name.as_bytes());
+            eat(format!("{}", f.linkage).as_bytes());
+            eat(f.structural_key().as_bytes());
+        }
+        for d in &self.declarations {
+            eat(d.name.as_bytes());
+            eat(format!("{:?}->{:?}", d.params, d.ret_ty).as_bytes());
+        }
+        h
+    }
 }
 
 #[cfg(test)]

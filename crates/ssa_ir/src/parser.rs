@@ -5,7 +5,7 @@
 //! then lowered to [`Function`]s with full forward-reference resolution (phi
 //! nodes and branches may refer to values and labels defined later).
 
-use crate::function::Function;
+use crate::function::{Function, Linkage};
 use crate::ids::{BlockId, InstId};
 use crate::instruction::{BinOp, CastKind, ICmpPred, InstKind};
 use crate::module::{FuncDecl, Module};
@@ -324,6 +324,7 @@ struct AstBlock {
 struct AstFunction {
     name: String,
     ret: Type,
+    linkage: Linkage,
     params: Vec<(Type, String)>,
     blocks: Vec<AstBlock>,
 }
@@ -511,6 +512,17 @@ impl Parser {
 
     fn function(&mut self) -> Result<AstFunction> {
         self.expect_word("define")?;
+        let linkage = match self.peek() {
+            Some(Tok::Word(w)) if w == "internal" => {
+                self.tokens.pop();
+                Linkage::Internal
+            }
+            Some(Tok::Word(w)) if w == "external" => {
+                self.tokens.pop();
+                Linkage::External
+            }
+            _ => Linkage::External,
+        };
         let ret = self.ty()?;
         let name = self.global()?;
         self.expect_punct('(')?;
@@ -554,6 +566,7 @@ impl Parser {
         Ok(AstFunction {
             name,
             ret,
+            linkage,
             params,
             blocks,
         })
@@ -853,6 +866,7 @@ fn lower_function(ast: &AstFunction) -> Result<Function> {
         ast.params.iter().map(|(t, _)| *t).collect(),
         ast.ret,
     );
+    function.linkage = ast.linkage;
     function.param_names = ast.params.iter().map(|(_, n)| n.clone()).collect();
 
     let mut env = Env {
@@ -1043,6 +1057,22 @@ fn build_kind(inst: &AstInst, env: &Env, strict: bool, line: usize) -> Result<(I
 mod tests {
     use super::*;
     use crate::printer::{print_function, print_module};
+
+    #[test]
+    fn linkage_parses_and_round_trips() {
+        let text =
+            "define internal i32 @local(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}\n";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.linkage, Linkage::Internal);
+        let printed = print_function(&f);
+        assert!(printed.starts_with("define internal i32 @local"));
+        assert_eq!(print_function(&parse_function(&printed).unwrap()), printed);
+        // An explicit `external` keyword parses and prints as the default.
+        let g =
+            parse_function("define external i32 @ext(i32 %x) {\nentry:\n  ret i32 %x\n}").unwrap();
+        assert_eq!(g.linkage, Linkage::External);
+        assert!(print_function(&g).starts_with("define i32 @ext"));
+    }
 
     const EXAMPLE_F1: &str = r#"
 define i32 @f1(i32 %n) {

@@ -39,6 +39,18 @@ pub fn print_module(module: &Module) -> String {
 
 /// Pretty-prints a single function.
 pub fn print_function(function: &Function) -> String {
+    print_function_as(function, &function.name)
+}
+
+/// Pretty-prints a function with its own symbol name — and every
+/// self-recursive call — replaced by `placeholder`, producing the
+/// name-independent structural key used by [`crate::structurally_equal`]
+/// without cloning the function.
+pub(crate) fn print_function_normalized(function: &Function, placeholder: &str) -> String {
+    print_function_as(function, placeholder)
+}
+
+fn print_function_as(function: &Function, symbol: &str) -> String {
     let namer = Namer::new(function);
     let mut out = String::new();
     let params = function
@@ -48,11 +60,18 @@ pub fn print_function(function: &Function) -> String {
         .map(|(i, ty)| format!("{} %{}", ty, namer.arg_name(i)))
         .collect::<Vec<_>>()
         .join(", ");
+    let linkage = match function.linkage {
+        crate::function::Linkage::External => "",
+        crate::function::Linkage::Internal => "internal ",
+    };
     let _ = writeln!(
         out,
-        "define {} @{}({}) {{",
-        function.ret_ty, function.name, params
+        "define {}{} @{}({}) {{",
+        linkage, function.ret_ty, symbol, params
     );
+    // When printing under a placeholder name, self-calls follow the rename so
+    // mutually-independent recursive clones produce identical keys.
+    let callee_alias = (symbol != function.name).then_some((function.name.as_str(), symbol));
     for (idx, block) in function.block_ids().enumerate() {
         if idx > 0 {
             out.push('\n');
@@ -60,7 +79,18 @@ pub fn print_function(function: &Function) -> String {
         let _ = writeln!(out, "{}:", namer.block_name(block));
         let data = function.block(block);
         for inst in data.all_insts() {
-            let _ = writeln!(out, "  {}", print_inst(function, &namer, inst));
+            let mut line = print_inst(function, &namer, inst);
+            if let Some((from, to)) = callee_alias {
+                match &function.inst(inst).kind {
+                    InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. }
+                        if callee == from =>
+                    {
+                        line = line.replacen(&format!("@{from}("), &format!("@{to}("), 1);
+                    }
+                    _ => {}
+                }
+            }
+            let _ = writeln!(out, "  {line}");
         }
     }
     out.push_str("}\n");

@@ -64,6 +64,11 @@ impl FunctionSummary {
 pub struct ModuleIndex {
     /// Module name.
     pub module: String,
+    /// Content hash of the module the summaries were computed from
+    /// ([`Module::content_hash`]); the incremental rebuild skips modules
+    /// whose hash is unchanged. Zero for indices deserialized from the
+    /// legacy v1 format (which never matches, forcing a re-summarize).
+    pub content_hash: u64,
     /// One summary per defined function, in module order.
     pub entries: Vec<FunctionSummary>,
 }
@@ -73,6 +78,7 @@ impl ModuleIndex {
     pub fn build(module: &Module, num_hashes: usize) -> ModuleIndex {
         ModuleIndex {
             module: module.name.clone(),
+            content_hash: module.content_hash(),
             entries: module
                 .functions()
                 .iter()
@@ -80,6 +86,16 @@ impl ModuleIndex {
                 .collect(),
         }
     }
+}
+
+/// How much of an incremental index rebuild was served from a prior index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexReuse {
+    /// Modules whose summaries were copied from the prior index unchanged.
+    pub reused: usize,
+    /// Modules that were (re-)summarized because their content hash changed
+    /// or the prior index did not know them.
+    pub refreshed: usize,
 }
 
 /// The mergeable whole-corpus index: per-module indices concatenated.
@@ -91,6 +107,8 @@ pub struct CorpusIndex {
     pub entries: Vec<FunctionSummary>,
     /// Module names in insertion order.
     pub modules: Vec<String>,
+    /// Per-module content hashes, parallel to `modules`.
+    pub module_hashes: Vec<u64>,
 }
 
 impl CorpusIndex {
@@ -100,25 +118,75 @@ impl CorpusIndex {
             num_hashes,
             entries: Vec::new(),
             modules: Vec::new(),
+            module_hashes: Vec::new(),
         }
     }
 
     /// Builds the index of a whole corpus, summarizing modules in parallel.
     pub fn build(modules: &[Module], num_hashes: usize) -> CorpusIndex {
-        let per_module: Vec<ModuleIndex> = modules
+        CorpusIndex::build_incremental(modules, num_hashes, None).0
+    }
+
+    /// Builds the index of a corpus, reusing `prior` summaries for every
+    /// module whose content hash is unchanged (matched by module name). Only
+    /// changed or unknown modules are re-summarized — in parallel. With
+    /// `prior = None` this is a full build.
+    pub fn build_incremental(
+        modules: &[Module],
+        num_hashes: usize,
+        prior: Option<&CorpusIndex>,
+    ) -> (CorpusIndex, IndexReuse) {
+        // Prior per-module summaries by name (last one wins on duplicate
+        // names; callers uniquify module names before indexing).
+        let mut prior_modules: std::collections::HashMap<&str, ModuleIndex> =
+            std::collections::HashMap::new();
+        if let Some(prior) = prior.filter(|p| p.num_hashes == num_hashes) {
+            let mut cursor = 0usize;
+            for (name, hash) in prior.modules.iter().zip(&prior.module_hashes) {
+                let mut entries = Vec::new();
+                while let Some(e) = prior.entries.get(cursor).filter(|e| &e.module == name) {
+                    entries.push(e.clone());
+                    cursor += 1;
+                }
+                prior_modules.insert(
+                    name,
+                    ModuleIndex {
+                        module: name.clone(),
+                        content_hash: *hash,
+                        entries,
+                    },
+                );
+            }
+        }
+        let mut reuse = IndexReuse::default();
+        let per_module: Vec<(bool, ModuleIndex)> = modules
             .par_iter()
-            .map(|m| ModuleIndex::build(m, num_hashes))
+            .map(|m| {
+                let hash = m.content_hash();
+                if let Some(prev) = prior_modules.get(m.name.as_str()) {
+                    if prev.content_hash == hash && hash != 0 {
+                        return (true, prev.clone());
+                    }
+                }
+                (false, ModuleIndex::build(m, num_hashes))
+            })
             .collect();
         let mut index = CorpusIndex::new(num_hashes);
-        for mi in per_module {
+        for (reused, mi) in per_module {
+            if reused {
+                reuse.reused += 1;
+            } else {
+                reuse.refreshed += 1;
+            }
             index.add(mi);
         }
-        index
+        (index, reuse)
     }
 
     /// Merges one module's index into the corpus index.
     pub fn add(&mut self, module: ModuleIndex) {
         self.modules.push(module.module);
+        self.module_hashes.push(module.content_hash);
         self.entries.extend(module.entries);
     }
 
@@ -132,15 +200,17 @@ impl CorpusIndex {
         self.entries.len()
     }
 
-    /// Serializes the index to the versioned line format. Entries are grouped
-    /// by module in insertion order (the invariant [`CorpusIndex::add`]
-    /// maintains), so serialization is a single linear pass.
+    /// Serializes the index to the versioned line format (v2: module lines
+    /// carry the content hash enabling incremental reloads; the v1 format
+    /// without hashes deserializes fine). Entries are grouped by module in
+    /// insertion order (the invariant [`CorpusIndex::add`] maintains), so
+    /// serialization is a single linear pass.
     pub fn serialize(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("xmerge-index v1 hashes={}\n", self.num_hashes));
+        out.push_str(&format!("xmerge-index v2 hashes={}\n", self.num_hashes));
         let mut cursor = 0usize;
-        for module in &self.modules {
-            out.push_str(&format!("module {module}\n"));
+        for (module, hash) in self.modules.iter().zip(&self.module_hashes) {
+            out.push_str(&format!("module {module} hash={hash:x}\n"));
             while let Some(e) = self.entries.get(cursor).filter(|e| &e.module == module) {
                 let counts: Vec<String> = e.opcode_counts.iter().map(u32::to_string).collect();
                 let sig: Vec<String> = e.minhash.sig.iter().map(|h| format!("{h:x}")).collect();
@@ -159,7 +229,9 @@ impl CorpusIndex {
         out
     }
 
-    /// Parses an index serialized by [`CorpusIndex::serialize`].
+    /// Parses an index serialized by [`CorpusIndex::serialize`] — the current
+    /// v2 format or the legacy v1 format (no content hashes; every module
+    /// hash reads as 0, so an incremental rebuild re-summarizes everything).
     ///
     /// # Errors
     ///
@@ -168,7 +240,8 @@ impl CorpusIndex {
         let mut lines = text.lines().enumerate();
         let (_, header) = lines.next().ok_or("empty index file")?;
         let num_hashes = header
-            .strip_prefix("xmerge-index v1 hashes=")
+            .strip_prefix("xmerge-index v2 hashes=")
+            .or_else(|| header.strip_prefix("xmerge-index v1 hashes="))
             .and_then(|h| h.parse::<usize>().ok())
             .ok_or_else(|| format!("bad header: {header:?}"))?;
         let mut index = CorpusIndex::new(num_hashes);
@@ -179,7 +252,17 @@ impl CorpusIndex {
                 continue;
             }
             if let Some(name) = line.strip_prefix("module ") {
+                // v2 appends ` hash=<hex>`; a name that happens to end in a
+                // non-hex `hash=` suffix is kept whole.
+                let (name, hash) = match name.rsplit_once(" hash=") {
+                    Some((head, hex)) => match u64::from_str_radix(hex, 16) {
+                        Ok(h) => (head, h),
+                        Err(_) => (name, 0),
+                    },
+                    None => (name, 0),
+                };
                 index.modules.push(name.trim().to_string());
+                index.module_hashes.push(hash);
                 current = Some(name.trim().to_string());
             } else if let Some(rest) = line.strip_prefix("fn ") {
                 let module = current.clone().ok_or_else(|| bad("fn before any module"))?;
@@ -308,6 +391,97 @@ entry:
             incremental.add(ModuleIndex::build(m, 16));
         }
         assert_eq!(batch, incremental);
+    }
+
+    #[test]
+    fn incremental_build_reuses_unchanged_modules() {
+        let mut modules = corpus();
+        let (full, reuse) = CorpusIndex::build_incremental(&modules, 16, None);
+        assert_eq!(
+            reuse,
+            IndexReuse {
+                reused: 0,
+                refreshed: 2
+            }
+        );
+        // Unchanged corpus: everything is reused and the index is identical.
+        let (again, reuse) = CorpusIndex::build_incremental(&modules, 16, Some(&full));
+        assert_eq!(
+            reuse,
+            IndexReuse {
+                reused: 2,
+                refreshed: 0
+            }
+        );
+        assert_eq!(again, full);
+        // Mutate one module: only it re-summarizes, and the result matches a
+        // full rebuild bit for bit.
+        let f = modules[1].function_mut("beta").unwrap();
+        let inst = f.inst_ids().next().unwrap();
+        f.set_inst_name(inst, "touched");
+        let (updated, reuse) = CorpusIndex::build_incremental(&modules, 16, Some(&full));
+        assert_eq!(
+            reuse,
+            IndexReuse {
+                reused: 1,
+                refreshed: 1
+            }
+        );
+        assert_eq!(updated, CorpusIndex::build(&modules, 16));
+        // Reuse also works through the serialized form (the `--index` path).
+        let reloaded = CorpusIndex::deserialize(&updated.serialize()).unwrap();
+        let (from_disk, reuse) = CorpusIndex::build_incremental(&modules, 16, Some(&reloaded));
+        assert_eq!(
+            reuse,
+            IndexReuse {
+                reused: 2,
+                refreshed: 0
+            }
+        );
+        assert_eq!(from_disk, updated);
+        // A different signature width invalidates the whole prior index.
+        let (_, reuse) = CorpusIndex::build_incremental(&modules, 8, Some(&updated));
+        assert_eq!(
+            reuse,
+            IndexReuse {
+                reused: 0,
+                refreshed: 2
+            }
+        );
+    }
+
+    #[test]
+    fn legacy_v1_indices_deserialize_without_hashes() {
+        let index = CorpusIndex::build(&corpus(), 16);
+        // Rewrite the serialized form into the v1 format (no module hashes).
+        let v1: String = index
+            .serialize()
+            .lines()
+            .map(|line| {
+                if let Some(rest) = line.strip_prefix("xmerge-index v2 ") {
+                    format!("xmerge-index v1 {rest}\n")
+                } else if line.starts_with("module ") {
+                    match line.rsplit_once(" hash=") {
+                        Some((head, _)) => format!("{head}\n"),
+                        None => format!("{line}\n"),
+                    }
+                } else {
+                    format!("{line}\n")
+                }
+            })
+            .collect();
+        let reloaded = CorpusIndex::deserialize(&v1).unwrap();
+        assert_eq!(reloaded.entries, index.entries);
+        assert_eq!(reloaded.module_hashes, vec![0, 0]);
+        // Zero hashes never match, so everything re-summarizes.
+        let (_, reuse) = CorpusIndex::build_incremental(&corpus(), 16, Some(&reloaded));
+        assert_eq!(
+            reuse,
+            IndexReuse {
+                reused: 0,
+                refreshed: 2
+            }
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! add fields, never rename them.
 
 use crate::pipeline::CorpusMergeReport;
-use salssa::ModuleMergeReport;
+use salssa::{ModuleMergeReport, PlanStats};
 use std::fmt::Write;
 use std::time::Duration;
 
@@ -40,6 +40,19 @@ fn pct(before: usize, after: usize) -> String {
     )
 }
 
+/// Serializes the planner-engine statistics shared by both report schemas.
+fn planner_json(stats: &PlanStats) -> String {
+    format!(
+        r#"{{"candidates":{},"speculative_scores":{},"inline_scores":{},"rounds":{},"score_ms":{},"commit_ms":{}}}"#,
+        stats.candidates,
+        stats.speculative_scores,
+        stats.inline_scores,
+        stats.rounds,
+        ms(stats.score_time),
+        ms(stats.commit_time)
+    )
+}
+
 /// Serializes one intra-module [`ModuleMergeReport`] plus the surrounding
 /// size measurements (the `salssa report` / `salssa merge --json` schema).
 pub fn merge_report_json(
@@ -63,7 +76,7 @@ pub fn merge_report_json(
         })
         .collect();
     format!(
-        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}]}}"#,
+        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{}}}"#,
         json_escape(input),
         json_escape(&report.technique),
         report.threshold,
@@ -80,7 +93,8 @@ pub fn merge_report_json(
         ms(report.codegen_time),
         report.peak_matrix_bytes,
         report.total_cells,
-        committed.join(",")
+        committed.join(","),
+        planner_json(&report.planner)
     )
 }
 
@@ -118,8 +132,23 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
             )
         })
         .collect();
+    let round_commits: Vec<String> = report.round_commits.iter().map(usize::to_string).collect();
+    let intra: Vec<String> = report
+        .intra_committed
+        .iter()
+        .map(|(module, r)| {
+            format!(
+                r#"{{"module":"{}","f1":"{}","f2":"{}","merged":"{}","profit_bytes":{}}}"#,
+                json_escape(module),
+                json_escape(&r.f1),
+                json_escape(&r.f2),
+                json_escape(&r.merged_name),
+                r.profit_bytes
+            )
+        })
+        .collect();
     format!(
-        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{}}},"committed":[{}],"per_module":[{}]}}"#,
+        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}}}}"#,
         report.modules,
         report.functions,
         report.candidates,
@@ -138,7 +167,17 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
         ms(report.score_time),
         ms(report.commit_time),
         committed.join(","),
-        per_module.join(",")
+        per_module.join(","),
+        planner_json(&report.planner),
+        report.rounds,
+        round_commits.join(","),
+        report.num_intra_merges(),
+        intra.join(","),
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_hit_rate(),
+        report.index_reuse.reused,
+        report.index_reuse.refreshed
     )
 }
 

@@ -48,9 +48,12 @@ pub mod json;
 pub mod pipeline;
 
 pub use discover::{discover, CandidatePair, DiscoveryConfig};
-pub use index::{CorpusIndex, FunctionSummary, ModuleIndex};
+pub use index::{CorpusIndex, FunctionSummary, IndexReuse, ModuleIndex};
 pub use json::{corpus_report_json, json_escape, merge_report_json};
-pub use pipeline::{xmerge_corpus, CorpusMergeReport, CrossMergeRecord, ModuleStats, XMergeConfig};
+pub use pipeline::{
+    xmerge_corpus, xmerge_corpus_with_index, CorpusMergeReport, CrossMergeRecord, FixpointConfig,
+    ModuleStats, XMergeConfig,
+};
 
 #[cfg(test)]
 mod tests {

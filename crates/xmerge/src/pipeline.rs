@@ -1,6 +1,7 @@
 //! The cross-module merging pipeline: index → sharded discovery → speculative
 //! parallel scoring → sequential profit-ordered commits with donor-side thunk
-//! emission.
+//! emission — all driven by the unified planner engine ([`salssa::plan`])
+//! that the intra-module driver shares.
 //!
 //! The commit protocol for a pair `f1@host`, `f2@donor`:
 //!
@@ -18,25 +19,57 @@
 //! Pairs whose commit would break whole-program linking (ODR hazards: the
 //! symbols involved, or the donor function's module-internal callees, are
 //! defined differently elsewhere in the corpus) are skipped conservatively.
-//! With [`XMergeConfig::check_semantics`] every commit is additionally
-//! trial-run with the reference interpreter against the linked host+donor
-//! pair (the only modules a commit mutates), and rejected on any observable
-//! divergence.
+//! [`ssa_ir::Linkage`] metadata relaxes the rules: internal-linkage symbols
+//! are module-local and never conflict across translation units, so only
+//! externally visible duplicate definitions count as hazards. With
+//! [`XMergeConfig::check_semantics`] every commit is additionally trial-run
+//! with the reference interpreter against the linked host+donor pair (the
+//! only modules a commit mutates), and rejected on any observable divergence.
+//!
+//! With [`XMergeConfig::fixpoint`] the pipeline iterates to a fixpoint: after
+//! each cross-module round the changed modules are re-summarized (unchanged
+//! ones reuse their index entries via the content-hash cache), each module is
+//! intra-merged in place, and another round runs — so a merged host function
+//! re-enters the candidate pool and can merge again — until a round commits
+//! nothing or the round cap is reached.
 
 use crate::discover::{discover, CandidatePair, DiscoveryConfig};
-use crate::index::CorpusIndex;
+use crate::index::{CorpusIndex, IndexReuse};
 use fm_align::MinHash;
-use rayon::prelude::*;
-use salssa::{build_thunk, merge_pair, MergeOptions, SEMANTIC_SAMPLES, SEMANTIC_SEED};
+use salssa::plan::{run_plan, CandidateSource, CommitOutcome, PlanStats, ScoreMode};
+use salssa::{
+    build_thunk, merge_module, merge_pair, DriverConfig, MergeOptions, MergeRecord, SalSsaMerger,
+    SEMANTIC_SAMPLES, SEMANTIC_SEED,
+};
 use ssa_ir::{
-    callees_of, import_function, link_modules, sanitize_symbol, structurally_equal, FuncDecl,
-    Function, Module,
+    callees_of, import_function, link_modules_with_renames, sanitize_symbol,
+    structural_key_counters, structurally_equal, FuncDecl, Function, Linkage, Module,
 };
 use ssa_passes::codesize::function_size_bytes;
 use ssa_passes::module_size_bytes;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Fixpoint iteration of the cross-module pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixpointConfig {
+    /// Maximum number of cross-module rounds (clamped to at least 1).
+    pub max_rounds: usize,
+    /// Intra-module driver configuration for the per-module merge pass
+    /// interleaved after every cross-module round; `None` disables the
+    /// interleaved intra pass.
+    pub intra: Option<DriverConfig>,
+}
+
+impl Default for FixpointConfig {
+    fn default() -> Self {
+        FixpointConfig {
+            max_rounds: 4,
+            intra: Some(DriverConfig::default().parallel()),
+        }
+    }
+}
 
 /// Configuration of the cross-module pipeline.
 #[derive(Debug, Clone, Default)]
@@ -52,6 +85,10 @@ pub struct XMergeConfig {
     pub batch_size: usize,
     /// Run the whole-program differential oracle on every commit.
     pub check_semantics: bool,
+    /// Iterate to a fixpoint (merged hosts re-enter the candidate pool,
+    /// interleaved with per-module intra merging). `None` runs one round,
+    /// exactly the pre-fixpoint behavior.
+    pub fixpoint: Option<FixpointConfig>,
 }
 
 impl XMergeConfig {
@@ -63,12 +100,20 @@ impl XMergeConfig {
             num_hashes: MinHash::DEFAULT_HASHES,
             batch_size: 128,
             check_semantics: false,
+            fixpoint: None,
         }
     }
 
     /// Enables the semantic oracle.
     pub fn with_check_semantics(mut self, on: bool) -> XMergeConfig {
         self.check_semantics = on;
+        self
+    }
+
+    /// Enables fixpoint iteration with the given round cap and interleaved
+    /// intra-module pass.
+    pub fn with_fixpoint(mut self, fixpoint: FixpointConfig) -> XMergeConfig {
+        self.fixpoint = Some(fixpoint);
         self
     }
 }
@@ -113,11 +158,12 @@ pub struct CorpusMergeReport {
     pub modules: usize,
     /// Number of functions across the corpus before merging.
     pub functions: usize,
-    /// Cross-module candidate pairs produced by sharded discovery.
+    /// Cross-module candidate pairs produced by sharded discovery (summed
+    /// over fixpoint rounds).
     pub candidates: usize,
     /// Pairs actually scored (aligned + tentatively merged).
     pub attempts: usize,
-    /// Committed operations, in commit order.
+    /// Committed cross-module operations, in commit order.
     pub committed: Vec<CrossMergeRecord>,
     /// Pairs skipped because committing them would break whole-program
     /// linking (ODR hazards).
@@ -138,22 +184,58 @@ pub struct CorpusMergeReport {
     pub score_time: Duration,
     /// Time spent committing (imports, merges, thunk emission, oracle runs).
     pub commit_time: Duration,
+    /// Fixpoint rounds executed (1 without [`XMergeConfig::fixpoint`]).
+    pub rounds: usize,
+    /// Cross-module commits per round, in round order.
+    pub round_commits: Vec<usize>,
+    /// Merges committed by the interleaved intra-module passes, with the
+    /// module each one happened in.
+    pub intra_committed: Vec<(String, MergeRecord)>,
+    /// Planner-engine statistics (cross rounds and interleaved intra passes
+    /// folded together).
+    pub planner: PlanStats,
+    /// Structural-key cache hits observed during this run.
+    pub cache_hits: u64,
+    /// Structural-key cache misses (normalized re-prints) during this run.
+    pub cache_misses: u64,
+    /// Index reuse of the incremental (re-)builds, summed over rounds.
+    pub index_reuse: IndexReuse,
 }
 
 impl CorpusMergeReport {
-    /// Number of committed operations (merges + dedups).
+    /// Number of committed cross-module operations (merges + dedups).
     pub fn num_commits(&self) -> usize {
         self.committed.len()
     }
 
-    /// Committed genuine merges (excluding pure ODR dedups).
+    /// Committed genuine cross-module merges (excluding pure ODR dedups).
     pub fn num_merges(&self) -> usize {
         self.committed.iter().filter(|r| !r.odr_dedup).count()
     }
 
-    /// Total modelled byte savings over all commits.
+    /// Merges committed by the interleaved intra-module passes.
+    pub fn num_intra_merges(&self) -> usize {
+        self.intra_committed.len()
+    }
+
+    /// Total modelled byte savings over all commits (cross and intra).
     pub fn total_profit_bytes(&self) -> i64 {
-        self.committed.iter().map(|r| r.profit_bytes).sum()
+        self.committed.iter().map(|r| r.profit_bytes).sum::<i64>()
+            + self
+                .intra_committed
+                .iter()
+                .map(|(_, r)| r.profit_bytes)
+                .sum::<i64>()
+    }
+
+    /// Structural-key cache hit rate over this run, in [0, 1].
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -193,6 +275,15 @@ impl fmt::Display for CorpusMergeReport {
                 )?;
             }
         }
+        if self.rounds > 1 || !self.intra_committed.is_empty() {
+            writeln!(
+                f,
+                "  fixpoint: {} rounds (commits per round: {:?}), {} interleaved intra merges",
+                self.rounds,
+                self.round_commits,
+                self.num_intra_merges()
+            )?;
+        }
         if self.hazard_skips > 0 {
             writeln!(f, "  {} pairs skipped on ODR hazards", self.hazard_skips)?;
         }
@@ -203,14 +294,26 @@ impl fmt::Display for CorpusMergeReport {
                 self.semantic_rejections
             )?;
         }
+        writeln!(
+            f,
+            "  planner: {} candidates, {} speculative + {} inline scores; structural-key cache {:.1}% hits ({} hits / {} misses)",
+            self.planner.candidates,
+            self.planner.speculative_scores,
+            self.planner.inline_scores,
+            100.0 * self.cache_hit_rate(),
+            self.cache_hits,
+            self.cache_misses
+        )?;
         write!(
             f,
-            "  corpus: {} -> {} bytes ({:.1}% reduction); index {:?}, discover {:?}, score {:?}, commit {:?}",
+            "  corpus: {} -> {} bytes ({:.1}% reduction); index {:?} ({} modules re-summarized, {} reused), discover {:?}, score {:?}, commit {:?}",
             self.size_before,
             self.size_after,
             100.0 * self.size_before.saturating_sub(self.size_after) as f64
                 / self.size_before.max(1) as f64,
             self.index_time,
+            self.index_reuse.refreshed,
+            self.index_reuse.reused,
             self.discover_time,
             self.score_time,
             self.commit_time
@@ -219,7 +322,7 @@ impl fmt::Display for CorpusMergeReport {
 }
 
 /// One speculatively scored cross-module pair (bodies dropped, like the
-/// intra-module parallel driver's score cache).
+/// intra-module speculative score cache).
 struct ScoredCross {
     host: usize,
     donor: usize,
@@ -230,19 +333,253 @@ struct ScoredCross {
     odr_dedup: bool,
 }
 
+/// Identity of one cross-module candidate pair: host module index, donor
+/// module index, and the two function names.
+type CrossKey = (usize, usize, String, String);
+
+/// The cross-module [`CandidateSource`]: LSH-shard discovery provides the
+/// candidates, [`score_cross`] the scores, and the import/merge/thunk commit
+/// protocol — behind the ODR hazard hook and optionally the differential
+/// oracle — the commits. The schedule is globally profit-ordered, derived
+/// from the speculative scores in [`CandidateSource::plan`].
+struct CrossSource<'a> {
+    modules: &'a mut [Module],
+    config: &'a XMergeConfig,
+    /// Module names at round start (commits never rename modules).
+    names: Vec<String>,
+    /// Where every symbol is defined, with its linkage, for the hazard rules.
+    def_sites: HashMap<String, Vec<(usize, Linkage)>>,
+    /// Discovery output, in discovery order (the speculative key set).
+    resolved: Vec<CrossKey>,
+    /// Profit-ordered commit schedule: key, profit, odr_dedup.
+    schedule: VecDeque<(CrossKey, i64, bool)>,
+    consumed: HashSet<(usize, String)>,
+    attempts: usize,
+    hazard_skips: usize,
+    semantic_rejections: usize,
+}
+
+impl CandidateSource for CrossSource<'_> {
+    type Key = CrossKey;
+    type Score = ScoredCross;
+    type Record = CrossMergeRecord;
+
+    fn speculative_keys(&self) -> Vec<CrossKey> {
+        self.resolved.clone()
+    }
+
+    fn score(&self, key: &CrossKey, _keep_artifacts: bool) -> Option<ScoredCross> {
+        let (hi, di, f1n, f2n) = key;
+        let f1 = self.modules[*hi].function(f1n)?;
+        let f2 = self.modules[*di].function(f2n)?;
+        score_cross(*hi, *di, f1, f2, &self.config.options)
+    }
+
+    fn profit(score: &ScoredCross) -> i64 {
+        score.profit
+    }
+
+    /// Derives the commit schedule: every successfully scored pair, most
+    /// profitable first, ties broken by module/function names (total, since
+    /// module names are unique after uniquification).
+    fn plan(&mut self, cache: &salssa::plan::ScoreCache<CrossKey, ScoredCross>) {
+        let mut scored: Vec<(CrossKey, i64, bool)> = cache
+            .iter()
+            .filter_map(|(key, score)| score.as_ref().map(|s| (key.clone(), s.profit, s.odr_dedup)))
+            .collect();
+        self.attempts = scored.len();
+        scored.sort_by(|(xk, xp, _), (yk, yp, _)| {
+            yp.cmp(xp).then_with(|| {
+                (&self.names[xk.0], &xk.2, &self.names[xk.1], &xk.3).cmp(&(
+                    &self.names[yk.0],
+                    &yk.2,
+                    &self.names[yk.1],
+                    &yk.3,
+                ))
+            })
+        });
+        self.schedule = scored.into();
+    }
+
+    fn next_group(&mut self) -> Option<Vec<CrossKey>> {
+        while let Some((key, profit, odr_dedup)) = self.schedule.pop_front() {
+            if profit <= 0 {
+                // The schedule is profit-ordered: nothing profitable remains.
+                return None;
+            }
+            // An ODR dedup leaves the host's copy untouched, so a consumed
+            // host endpoint (e.g. it already became a behavior-preserving
+            // thunk, or an earlier dedup already kept it) does not block
+            // further dedups against it — only the donor side is spent.
+            let host_blocked = !odr_dedup && self.consumed.contains(&(key.0, key.2.clone()));
+            if host_blocked || self.consumed.contains(&(key.1, key.3.clone())) {
+                continue;
+            }
+            return Some(vec![key]);
+        }
+        None
+    }
+
+    fn observe(&mut self, _key: &CrossKey, _score: &ScoredCross) {
+        // Attempt accounting happens in `plan` (every scored pair counts,
+        // including the ones the consumed-set later filters out).
+    }
+
+    fn hazard(&mut self, _key: &CrossKey, score: &ScoredCross) -> bool {
+        if has_odr_hazard(self.modules, &self.def_sites, score) {
+            self.hazard_skips += 1;
+            return true;
+        }
+        false
+    }
+
+    fn commit(&mut self, _key: CrossKey, s: ScoredCross) -> CommitOutcome<CrossMergeRecord> {
+        let merged_name = format!(
+            "merged.xm.{}.{}.{}.{}",
+            sanitize_symbol(&self.modules[s.host].name),
+            s.f1,
+            sanitize_symbol(&self.modules[s.donor].name),
+            s.f2
+        );
+        // Savings the speculative score could not see (host-side ODR dedup
+        // during the import), reported on top of the scored profit.
+        let extra_profit: i64;
+        if self.config.check_semantics {
+            // Trial-commit on clones and interrogate the linked host+donor
+            // pair. Commits only mutate these two modules, and other modules
+            // observe them solely through the checked symbols, so the
+            // pair-local link is as discriminating as a whole-program link —
+            // and unrelated duplicate-symbol conflicts elsewhere in the
+            // corpus cannot blind the oracle.
+            let mut trial_host = self.modules[s.host].clone();
+            let mut trial_donor = self.modules[s.donor].clone();
+            let outcome = if s.odr_dedup {
+                apply_dedup(&trial_host, &mut trial_donor, &s.f2)
+            } else {
+                apply_commit(
+                    &mut trial_host,
+                    &mut trial_donor,
+                    &s,
+                    &merged_name,
+                    &self.config.options,
+                )
+            };
+            let Some(profit) = outcome else {
+                return CommitOutcome::Skipped;
+            };
+            extra_profit = profit;
+            let before_prog = link_modules_with_renames(
+                [&self.modules[s.host], &self.modules[s.donor]],
+                "pair.before",
+            );
+            let after_prog = link_modules_with_renames([&trial_host, &trial_donor], "pair.after");
+            let (Ok((before_prog, before_renames)), Ok((after_prog, _))) =
+                (before_prog, after_prog)
+            else {
+                // The pair itself carries a pre-existing duplicate-symbol
+                // conflict: the oracle cannot attest anything, so skip the
+                // commit conservatively as a link hazard.
+                self.hazard_skips += 1;
+                return CommitOutcome::Skipped;
+            };
+            // Internal entry points were localized by the link; resolve them
+            // through the rename map (host and donor keep their module names
+            // across the before/after links, so the names line up).
+            let entries = [(s.host, &s.f1), (s.donor, &s.f2)].map(|(mi, name)| {
+                before_renames
+                    .get(&(self.names[mi].clone(), name.clone()))
+                    .cloned()
+                    .unwrap_or_else(|| name.clone())
+            });
+            let verdict = entries.iter().try_for_each(|name| {
+                ssa_interp::differential_check(
+                    &before_prog,
+                    &after_prog,
+                    name,
+                    SEMANTIC_SAMPLES,
+                    SEMANTIC_SEED,
+                )
+            });
+            if verdict.is_err() {
+                self.semantic_rejections += 1;
+                return CommitOutcome::OracleRejected;
+            }
+            self.modules[s.host] = trial_host;
+            self.modules[s.donor] = trial_donor;
+        } else {
+            let (host, donor) = two_mut(self.modules, s.host, s.donor);
+            let outcome = if s.odr_dedup {
+                apply_dedup(host, donor, &s.f2)
+            } else {
+                apply_commit(host, donor, &s, &merged_name, &self.config.options)
+            };
+            let Some(profit) = outcome else {
+                return CommitOutcome::Skipped;
+            };
+            extra_profit = profit;
+        }
+        if !s.odr_dedup {
+            self.consumed.insert((s.host, s.f1.clone()));
+        }
+        self.consumed.insert((s.donor, s.f2.clone()));
+        CommitOutcome::Committed(CrossMergeRecord {
+            host_module: self.names[s.host].clone(),
+            donor_module: self.names[s.donor].clone(),
+            f1: s.f1,
+            f2: s.f2,
+            merged_name: if s.odr_dedup {
+                String::new()
+            } else {
+                merged_name
+            },
+            profit_bytes: s.profit + extra_profit,
+            sizes: s.sizes,
+            odr_dedup: s.odr_dedup,
+        })
+    }
+}
+
 /// Runs the full cross-module pipeline over `modules`, mutating them in
-/// place, and returns the report.
+/// place, and returns the report. With [`XMergeConfig::fixpoint`] the
+/// pipeline iterates: merged hosts are re-summarized (through the
+/// content-hash index cache) and re-enter candidate discovery, interleaved
+/// with per-module intra merging, until a round commits nothing or the round
+/// cap is reached.
 ///
 /// Module names identify translation units throughout the pipeline (candidate
 /// discovery, merged-symbol names, reports), so modules with empty or
 /// duplicate names — e.g. several results of [`ssa_ir::parse_module`], which
 /// all come back named `parsed` — are renamed with a numeric suffix first.
 pub fn xmerge_corpus(modules: &mut [Module], config: &XMergeConfig) -> CorpusMergeReport {
+    run_pipeline(modules, config, None, false).0
+}
+
+/// [`xmerge_corpus`], seeded with a previously serialized [`CorpusIndex`]:
+/// modules whose content hash matches the prior index skip re-summarization.
+/// Returns the report plus the refreshed *input-side* index (the summaries of
+/// the corpus as it was loaded, before any merging), which callers persist so
+/// the next run over the same inputs skips re-summarizing unchanged modules.
+pub fn xmerge_corpus_with_index(
+    modules: &mut [Module],
+    config: &XMergeConfig,
+    prior_index: Option<CorpusIndex>,
+) -> (CorpusMergeReport, CorpusIndex) {
+    let (report, index) = run_pipeline(modules, config, prior_index, true);
+    (report, index.expect("final index was requested"))
+}
+
+fn run_pipeline(
+    modules: &mut [Module],
+    config: &XMergeConfig,
+    prior_index: Option<CorpusIndex>,
+    want_input_index: bool,
+) -> (CorpusMergeReport, Option<CorpusIndex>) {
     let num_hashes = if config.num_hashes == 0 {
         MinHash::DEFAULT_HASHES
     } else {
         config.num_hashes
     };
+    let (hits0, misses0) = structural_key_counters();
     uniquify_module_names(modules);
     let target = config.options.target;
     let before: Vec<(String, usize, usize)> = modules
@@ -262,173 +599,133 @@ pub fn xmerge_corpus(modules: &mut [Module], config: &XMergeConfig) -> CorpusMer
         ..CorpusMergeReport::default()
     };
 
-    let t = Instant::now();
-    let index = CorpusIndex::build(modules, num_hashes);
-    report.index_time = t.elapsed();
-
-    let t = Instant::now();
-    let candidates = discover(&index, &config.discovery);
-    report.discover_time = t.elapsed();
-    report.candidates = candidates.len();
-
-    // Entry index -> owning module index (entries are grouped by module in
-    // build order, so prefix sums translate positions).
-    let mut owner = Vec::with_capacity(index.entries.len());
-    for (mi, m) in modules.iter().enumerate() {
-        owner.extend(std::iter::repeat_n(mi, m.num_functions()));
-    }
-
-    // Where each symbol is defined, for the ODR hazard rules.
-    let mut def_sites: HashMap<String, Vec<usize>> = HashMap::new();
-    for (mi, m) in modules.iter().enumerate() {
-        for f in m.functions() {
-            def_sites.entry(f.name.clone()).or_default().push(mi);
-        }
-    }
-
-    // Speculative scoring: batched parallel map over candidate pairs, exactly
-    // like the intra-module parallel driver, but across module boundaries
-    // (merge_pair only needs the two function bodies, not a shared module).
-    let t = Instant::now();
-    let resolved: Vec<(usize, usize, String, String)> = candidates
+    let names: Vec<String> = before.iter().map(|(n, _, _)| n.clone()).collect();
+    let name_index: HashMap<&str, usize> = names
         .iter()
-        .map(|CandidatePair { a, b, .. }| {
-            let (ea, eb) = (&index.entries[*a], &index.entries[*b]);
-            (owner[*a], owner[*b], ea.name.clone(), eb.name.clone())
-        })
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
         .collect();
-    let mut scored: Vec<ScoredCross> = Vec::new();
-    for batch in resolved.chunks(config.batch_size.max(1)) {
-        let shared: &[Module] = modules;
-        let results: Vec<Option<ScoredCross>> = batch
-            .par_iter()
-            .map(|(hi, di, f1n, f2n)| {
-                let f1 = shared[*hi].function(f1n)?;
-                let f2 = shared[*di].function(f2n)?;
-                score_cross(*hi, *di, f1, f2, &config.options)
+    let fixpoint = config.fixpoint;
+    let max_rounds = fixpoint.map(|f| f.max_rounds.max(1)).unwrap_or(1);
+    let mut index = prior_index;
+    // Modules worth an intra pass this round: everything on round 1, then
+    // only modules a cross commit touched or whose last intra pass committed
+    // something (merge_module is deterministic, so an unchanged module that
+    // committed nothing will commit nothing again).
+    let mut intra_dirty = vec![true; modules.len()];
+    // The first round's index describes the corpus as loaded — that is what
+    // `--index` persists (later rounds summarize partially merged modules).
+    let mut input_index: Option<CorpusIndex> = None;
+    for _round in 0..max_rounds {
+        // Re-index: unchanged modules reuse their summaries via the
+        // content-hash cache (full build on the first round without a prior
+        // index).
+        let t = Instant::now();
+        let (round_index, reuse) =
+            CorpusIndex::build_incremental(modules, num_hashes, index.as_ref());
+        report.index_time += t.elapsed();
+        report.index_reuse.reused += reuse.reused;
+        report.index_reuse.refreshed += reuse.refreshed;
+
+        let t = Instant::now();
+        let candidates = discover(&round_index, &config.discovery);
+        report.discover_time += t.elapsed();
+        report.candidates += candidates.len();
+
+        // Entry index -> owning module index (entries are grouped by module
+        // in build order, so prefix sums translate positions).
+        let mut owner = Vec::with_capacity(round_index.entries.len());
+        for (mi, m) in modules.iter().enumerate() {
+            owner.extend(std::iter::repeat_n(mi, m.num_functions()));
+        }
+        let resolved: Vec<CrossKey> = candidates
+            .iter()
+            .map(|CandidatePair { a, b, .. }| {
+                let (ea, eb) = (&round_index.entries[*a], &round_index.entries[*b]);
+                (owner[*a], owner[*b], ea.name.clone(), eb.name.clone())
             })
             .collect();
-        scored.extend(results.into_iter().flatten());
-    }
-    report.attempts = scored.len();
-    report.score_time = t.elapsed();
 
-    // Sequential profit-ordered commit replay.
-    let t = Instant::now();
-    scored.sort_by(|x, y| {
-        y.profit.cmp(&x.profit).then_with(|| {
-            (&before[x.host].0, &x.f1, &before[x.donor].0, &x.f2).cmp(&(
-                &before[y.host].0,
-                &y.f1,
-                &before[y.donor].0,
-                &y.f2,
-            ))
-        })
-    });
-    let mut consumed: HashSet<(usize, String)> = HashSet::new();
-    for s in scored {
-        // An ODR dedup leaves the host's copy untouched, so a consumed host
-        // endpoint (e.g. it already became a behavior-preserving thunk, or an
-        // earlier dedup already kept it) does not block further dedups
-        // against it — only the donor side is spent.
-        let host_blocked = !s.odr_dedup && consumed.contains(&(s.host, s.f1.clone()));
-        if s.profit <= 0 || host_blocked || consumed.contains(&(s.donor, s.f2.clone())) {
-            continue;
-        }
-        if has_odr_hazard(modules, &def_sites, &s) {
-            report.hazard_skips += 1;
-            continue;
-        }
-        let merged_name = format!(
-            "merged.xm.{}.{}.{}.{}",
-            sanitize_symbol(&modules[s.host].name),
-            s.f1,
-            sanitize_symbol(&modules[s.donor].name),
-            s.f2
-        );
-        // Savings the speculative score could not see (host-side ODR dedup
-        // during the import), reported on top of the scored profit.
-        let extra_profit: i64;
-        if config.check_semantics {
-            // Trial-commit on clones and interrogate the linked host+donor
-            // pair. Commits only mutate these two modules, and other modules
-            // observe them solely through the checked symbols, so the
-            // pair-local link is as discriminating as a whole-program link —
-            // and unrelated duplicate-symbol conflicts elsewhere in the
-            // corpus cannot blind the oracle.
-            let mut trial_host = modules[s.host].clone();
-            let mut trial_donor = modules[s.donor].clone();
-            let outcome = if s.odr_dedup {
-                apply_dedup(&trial_host, &mut trial_donor, &s.f2)
-            } else {
-                apply_commit(
-                    &mut trial_host,
-                    &mut trial_donor,
-                    &s,
-                    &merged_name,
-                    &config.options,
-                )
-            };
-            let Some(profit) = outcome else {
-                continue;
-            };
-            extra_profit = profit;
-            let before_prog = link_modules([&modules[s.host], &modules[s.donor]], "pair.before");
-            let after_prog = link_modules([&trial_host, &trial_donor], "pair.after");
-            let (Ok(before_prog), Ok(after_prog)) = (before_prog, after_prog) else {
-                // The pair itself carries a pre-existing duplicate-symbol
-                // conflict: the oracle cannot attest anything, so skip the
-                // commit conservatively as a link hazard.
-                report.hazard_skips += 1;
-                continue;
-            };
-            let verdict = [&s.f1, &s.f2].into_iter().try_for_each(|name| {
-                ssa_interp::differential_check(
-                    &before_prog,
-                    &after_prog,
-                    name,
-                    SEMANTIC_SAMPLES,
-                    SEMANTIC_SEED,
-                )
-            });
-            if verdict.is_err() {
-                report.semantic_rejections += 1;
-                continue;
+        // Where each symbol is defined, with linkage, for the hazard rules.
+        let mut def_sites: HashMap<String, Vec<(usize, Linkage)>> = HashMap::new();
+        for (mi, m) in modules.iter().enumerate() {
+            for f in m.functions() {
+                def_sites
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push((mi, f.linkage));
             }
-            modules[s.host] = trial_host;
-            modules[s.donor] = trial_donor;
-        } else {
-            let (host, donor) = two_mut(modules, s.host, s.donor);
-            let outcome = if s.odr_dedup {
-                apply_dedup(host, donor, &s.f2)
-            } else {
-                apply_commit(host, donor, &s, &merged_name, &config.options)
-            };
-            let Some(profit) = outcome else {
-                continue;
-            };
-            extra_profit = profit;
         }
-        if !s.odr_dedup {
-            consumed.insert((s.host, s.f1.clone()));
-        }
-        consumed.insert((s.donor, s.f2.clone()));
-        report.committed.push(CrossMergeRecord {
-            host_module: before[s.host].0.clone(),
-            donor_module: before[s.donor].0.clone(),
-            f1: s.f1,
-            f2: s.f2,
-            merged_name: if s.odr_dedup {
-                String::new()
-            } else {
-                merged_name
+
+        let mut source = CrossSource {
+            modules,
+            config,
+            names: names.clone(),
+            def_sites,
+            resolved,
+            schedule: VecDeque::new(),
+            consumed: HashSet::new(),
+            attempts: 0,
+            hazard_skips: 0,
+            semantic_rejections: 0,
+        };
+        let (committed, stats) = run_plan(
+            &mut source,
+            ScoreMode::Speculative {
+                batch_size: config.batch_size.max(1),
             },
-            profit_bytes: s.profit + extra_profit,
-            sizes: s.sizes,
-            odr_dedup: s.odr_dedup,
-        });
+        );
+        report.attempts += source.attempts;
+        report.hazard_skips += source.hazard_skips;
+        report.semantic_rejections += source.semantic_rejections;
+        report.score_time += stats.score_time;
+        report.commit_time += stats.commit_time;
+        report.planner.absorb(&stats);
+        let cross_commits = committed.len();
+        report.round_commits.push(cross_commits);
+        report.committed.extend(committed);
+        report.rounds += 1;
+        if input_index.is_none() {
+            input_index = Some(round_index.clone());
+        }
+        index = Some(round_index);
+
+        // Interleaved per-module intra merging: a merged host function can
+        // merge again within its module, and the next round's discovery sees
+        // the result. Modules untouched since their last commit-free intra
+        // pass are skipped — deterministic merging would find nothing new.
+        for record in &report.committed[report.committed.len() - cross_commits..] {
+            for touched in [&record.host_module, &record.donor_module] {
+                if let Some(&mi) = name_index.get(touched.as_str()) {
+                    intra_dirty[mi] = true;
+                }
+            }
+        }
+        let mut intra_commits = 0usize;
+        if let Some(intra_config) = fixpoint.and_then(|f| f.intra) {
+            let merger = SalSsaMerger::new(config.options);
+            for (mi, module) in modules.iter_mut().enumerate() {
+                if !intra_dirty[mi] {
+                    continue;
+                }
+                let intra_report = merge_module(module, &merger, &intra_config);
+                intra_commits += intra_report.num_merges();
+                intra_dirty[mi] = intra_report.num_merges() > 0;
+                report.planner.absorb(&intra_report.planner);
+                report.semantic_rejections += intra_report.semantic_rejections;
+                report.intra_committed.extend(
+                    intra_report
+                        .committed
+                        .into_iter()
+                        .map(|r| (names[mi].clone(), r)),
+                );
+            }
+        }
+
+        if cross_commits == 0 && intra_commits == 0 {
+            break; // Fixpoint reached.
+        }
     }
-    report.commit_time = t.elapsed();
 
     report.per_module = modules
         .iter()
@@ -440,7 +737,14 @@ pub fn xmerge_corpus(modules: &mut [Module], config: &XMergeConfig) -> CorpusMer
         })
         .collect();
     report.size_after = report.per_module.iter().map(|s| s.bytes.1).sum();
-    report
+    let (hits1, misses1) = structural_key_counters();
+    report.cache_hits = hits1.saturating_sub(hits0);
+    report.cache_misses = misses1.saturating_sub(misses0);
+
+    if !want_input_index {
+        return (report, None);
+    }
+    (report, Some(input_index.unwrap_or_default()))
 }
 
 /// Scores one cross-module pair without mutating anything; bodies are
@@ -453,9 +757,11 @@ fn score_cross(
     options: &MergeOptions,
 ) -> Option<ScoredCross> {
     let target = options.target;
-    if f1.name == f2.name && structurally_equal(f1, f2) {
-        // ODR-identical copies: dropping the donor's copy saves its whole
-        // footprint minus nothing — no merge needed.
+    if f1.name == f2.name && f1.linkage == Linkage::External && structurally_equal(f1, f2) {
+        // ODR-identical external copies: dropping the donor's copy saves its
+        // whole footprint minus nothing — no merge needed. (Internal copies
+        // are distinct symbols; dropping one would leave the donor's
+        // declaration unresolvable, so they go through a genuine merge.)
         return Some(ScoredCross {
             host,
             donor,
@@ -485,57 +791,97 @@ fn score_cross(
 }
 
 /// Conservative ODR hazard rules: committing must not leave the corpus with
-/// two differing definitions of any involved symbol.
+/// two differing externally visible definitions of any involved symbol.
+/// Internal-linkage definitions are module-local and never conflict across
+/// modules, so they are ignored when counting rival definition sites.
 ///
-/// - `f1` must be defined exactly once (in the host): its definition becomes
-///   a thunk, so any other copy would diverge from it.
-/// - `f2` must be defined only in the donor, or additionally in the host with
-///   an identical body (the import-dedup case, where both copies end up as
-///   identical thunks).
-/// - Every module-internal callee of `f2` that the host also defines must be
-///   defined identically, otherwise the merged body's calls would resolve to
-///   the wrong function once it moves into the host.
+/// - `f1`'s definition becomes a thunk; if it is externally visible, no other
+///   module may export a rival definition (which would now diverge from the
+///   thunk). An internal `f1` is free to change regardless.
+/// - `f2`'s donor definition becomes a thunk under the same name; if it is
+///   externally visible, every other external definition site must be the
+///   host holding an identical body (the import-dedup case, where both
+///   copies end up as identical thunks). An internal `f2` only needs to
+///   exist in the donor.
+/// - `f2`'s body effectively moves into the host (merged function) or is
+///   served by the host's copy (dedup), so its callees must keep their
+///   bindings: a callee the host defines differently is a hazard
+///   (intra-host name resolution binds to the host's definition), and a
+///   callee defined *internally* in the donor but not identically in the
+///   host is a hazard too — the call would escape the donor's module-local
+///   symbol, which [`ssa_ir::link_modules`] localizes away.
 fn has_odr_hazard(
     modules: &[Module],
-    def_sites: &HashMap<String, Vec<usize>>,
+    def_sites: &HashMap<String, Vec<(usize, Linkage)>>,
     s: &ScoredCross,
 ) -> bool {
     if s.odr_dedup {
-        // Dropping one of several identical copies is always link-safe; the
-        // scorer already established host/donor bodies are identical.
-        return false;
+        // Dropping one of several identical external copies is link-safe for
+        // the symbol itself (the scorer established host/donor bodies are
+        // identical and external) — but its callees must still bind the same
+        // way from the host's module.
+        return modules[s.donor]
+            .function(&s.f2)
+            .is_none_or(|donor_fn| has_callee_hazard(modules, donor_fn, s));
     }
     let empty = Vec::new();
-    let sites_f1 = def_sites.get(&s.f1).unwrap_or(&empty);
-    if sites_f1.as_slice() != [s.host] {
+    let Some(f1) = modules[s.host].function(&s.f1) else {
         return true;
-    }
-    let sites_f2 = def_sites.get(&s.f2).unwrap_or(&empty);
-    let f2_ok = sites_f2.iter().all(|&mi| {
-        mi == s.donor
-            || (mi == s.host
-                && match (
-                    modules[s.host].function(&s.f2),
-                    modules[s.donor].function(&s.f2),
-                ) {
-                    (Some(a), Some(b)) => structurally_equal(a, b),
-                    _ => false,
-                })
-    });
-    if !f2_ok || !sites_f2.contains(&s.donor) {
-        return true;
+    };
+    if f1.linkage == Linkage::External {
+        let rivals = def_sites
+            .get(&s.f1)
+            .unwrap_or(&empty)
+            .iter()
+            .any(|(mi, linkage)| *mi != s.host && *linkage == Linkage::External);
+        if rivals {
+            return true;
+        }
     }
     let Some(donor_fn) = modules[s.donor].function(&s.f2) else {
         return true;
     };
+    if donor_fn.linkage == Linkage::External {
+        let sites_f2 = def_sites.get(&s.f2).unwrap_or(&empty);
+        let f2_ok = sites_f2
+            .iter()
+            .filter(|(_, linkage)| *linkage == Linkage::External)
+            .all(|(mi, _)| {
+                *mi == s.donor
+                    || (*mi == s.host
+                        && match (
+                            modules[s.host].function(&s.f2),
+                            modules[s.donor].function(&s.f2),
+                        ) {
+                            (Some(a), Some(b)) => structurally_equal(a, b),
+                            _ => false,
+                        })
+            });
+        if !f2_ok {
+            return true;
+        }
+    }
+    has_callee_hazard(modules, donor_fn, s)
+}
+
+/// Returns `true` when moving `donor_fn`'s body into the host module would
+/// re-bind one of its calls: the host defines the callee differently, or the
+/// callee is a donor-internal symbol the host has no identical copy of (the
+/// linked program localizes the donor's definition, so the moved call could
+/// only bind to an unrelated — or missing — external definition).
+fn has_callee_hazard(modules: &[Module], donor_fn: &Function, s: &ScoredCross) -> bool {
     for callee in callees_of(donor_fn) {
-        if let (Some(in_donor), Some(in_host)) = (
+        match (
             modules[s.donor].function(&callee),
             modules[s.host].function(&callee),
         ) {
-            if !structurally_equal(in_donor, in_host) {
+            (Some(in_donor), Some(in_host)) if !structurally_equal(in_donor, in_host) => {
                 return true;
             }
+            (Some(in_donor), None) if in_donor.linkage == Linkage::Internal => {
+                return true;
+            }
+            _ => {}
         }
     }
     false
@@ -701,5 +1047,121 @@ mod tests {
         assert!(donor.declarations().iter().any(|d| d.name == "merged.t"));
         assert!(verify_module(&host).is_empty());
         assert!(verify_module(&donor).is_empty());
+    }
+
+    /// Internal-linkage rivals in third-party modules do not block a merge
+    /// that the old external-only rules would have skipped.
+    #[test]
+    fn internal_rival_definitions_are_not_hazards() {
+        let worker = |name: &str, linkage: &str, k: i32| {
+            format!(
+                "define {linkage}i32 @{name}(i32 %x) {{\nentry:\n  %a = add i32 %x, {k}\n  %b = mul i32 %a, 3\n  %c = call i32 @h(i32 %b)\n  %d = xor i32 %c, %x\n  %e = call i32 @h(i32 %d)\n  %g2 = sub i32 %e, %a\n  %h2 = mul i32 %g2, %b\n  %i = call i32 @h(i32 %h2)\n  %j = add i32 %i, %d\n  ret i32 %j\n}}"
+            )
+        };
+        // host exports @dup; a third module defines a *different* internal
+        // @dup — under the old rules a hazard, with linkage metadata not.
+        let mut host = parse_module(&worker("dup", "", 1)).unwrap();
+        host.name = "host".to_string();
+        let mut donor = parse_module(&worker("donor_fn", "", 2)).unwrap();
+        donor.name = "donor".to_string();
+        let mut third = parse_module(&worker("dup", "internal ", 40)).unwrap();
+        third.name = "third".to_string();
+        let modules = [host, donor, third];
+        let mut def_sites: HashMap<String, Vec<(usize, Linkage)>> = HashMap::new();
+        for (mi, m) in modules.iter().enumerate() {
+            for f in m.functions() {
+                def_sites
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push((mi, f.linkage));
+            }
+        }
+        let s = ScoredCross {
+            host: 0,
+            donor: 1,
+            f1: "dup".to_string(),
+            f2: "donor_fn".to_string(),
+            profit: 1,
+            sizes: (10, 10, 8),
+            odr_dedup: false,
+        };
+        assert!(
+            !has_odr_hazard(&modules, &def_sites, &s),
+            "internal @dup in a third module must not block the merge"
+        );
+        // Flip the third module's copy to external linkage: now it's a rival.
+        let mut modules = modules;
+        modules[2]
+            .function_mut("dup")
+            .unwrap()
+            .set_linkage(Linkage::External);
+        let mut def_sites: HashMap<String, Vec<(usize, Linkage)>> = HashMap::new();
+        for (mi, m) in modules.iter().enumerate() {
+            for f in m.functions() {
+                def_sites
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push((mi, f.linkage));
+            }
+        }
+        assert!(
+            has_odr_hazard(&modules, &def_sites, &s),
+            "an external rival definition of @dup must still be a hazard"
+        );
+    }
+
+    /// Moving a donor function whose body calls a donor-*internal* symbol
+    /// into the host would strand the call: link_modules localizes the
+    /// donor's definition, so the moved call could only bind to an unrelated
+    /// or missing external one. Both the merge and the dedup path must treat
+    /// that as a hazard unless the host holds an identical copy.
+    #[test]
+    fn donor_internal_callees_block_merges_and_dedups() {
+        let donor_text = "define internal i32 @helper(i32 %x) {\nentry:\n  %r = sub i32 %x, 5\n  ret i32 %r\n}\ndefine i32 @g(i32 %n) {\nentry:\n  %a = call i32 @helper(i32 %n)\n  %b = add i32 %a, %n\n  ret i32 %b\n}";
+        let host_text = "define i32 @f(i32 %n) {\nentry:\n  %a = call i32 @ext(i32 %n)\n  %b = add i32 %a, %n\n  ret i32 %b\n}";
+        let mut host = parse_module(host_text).unwrap();
+        host.name = "host".to_string();
+        let mut donor = parse_module(donor_text).unwrap();
+        donor.name = "donor".to_string();
+        let modules = [host, donor];
+        let mut def_sites: HashMap<String, Vec<(usize, Linkage)>> = HashMap::new();
+        for (mi, m) in modules.iter().enumerate() {
+            for f in m.functions() {
+                def_sites
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push((mi, f.linkage));
+            }
+        }
+        let merge = ScoredCross {
+            host: 0,
+            donor: 1,
+            f1: "f".to_string(),
+            f2: "g".to_string(),
+            profit: 1,
+            sizes: (3, 3, 3),
+            odr_dedup: false,
+        };
+        assert!(
+            has_odr_hazard(&modules, &def_sites, &merge),
+            "the host has no @helper: the moved body's call would escape the donor-internal symbol"
+        );
+        let dedup = ScoredCross {
+            odr_dedup: true,
+            ..merge
+        };
+        assert!(
+            has_odr_hazard(&modules, &def_sites, &dedup),
+            "serving donor callers from the host re-binds the internal callee too"
+        );
+        // An identical internal copy in the host makes both safe.
+        let mut modules = modules;
+        let helper = modules[1].function("helper").unwrap().clone();
+        modules[0].add_function(helper);
+        let merge = ScoredCross {
+            odr_dedup: false,
+            ..dedup
+        };
+        assert!(!has_odr_hazard(&modules, &def_sites, &merge));
     }
 }

@@ -1,0 +1,279 @@
+//! Equivalence suite for the unified merge planner: the sequential driver,
+//! the parallel (speculative) driver, and a hand-rolled paper-faithful
+//! reference implementation must commit bit-identical [`MergeRecord`]s on
+//! generated workloads — and the structural-key cache must never disagree
+//! with a fresh re-print after arbitrary builder/linker mutations.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use salssa::{
+    build_thunk, estimate_profit, merge_module, merge_pair, DriverConfig, MergeOptions,
+    MergeRecord, SalSsaMerger,
+};
+use ssa_ir::{
+    import_function, parse_function, print_function, print_module, rename_symbol, Module, Value,
+};
+use ssa_passes::codesize::Target;
+use std::collections::HashSet;
+use workloads::{generate_function, BenchmarkSpec, Divergence, FunctionSpec};
+
+fn workload(seed: u64) -> Module {
+    BenchmarkSpec {
+        name: format!("planner.eq.{seed}"),
+        num_functions: 12,
+        size_range: (15, 60),
+        clone_fraction: 0.6,
+        family_size: 3,
+        divergence: Divergence::low(),
+        seed,
+    }
+    .generate()
+}
+
+/// A from-scratch reference of the paper's whole-module loop, sharing only
+/// the leaf machinery (`merge_pair`, `estimate_profit`, `build_thunk`) with
+/// the planner-based driver: walk functions largest first, try the top-`t`
+/// ranked candidates, commit the most profitable positive merge, replace the
+/// pair by merged + thunks.
+fn reference_merge(module: &mut Module, threshold: usize, min_size: usize) -> Vec<MergeRecord> {
+    let options = MergeOptions::default();
+    let ranking = fm_align::Ranking::build(module);
+    let mut unavailable: HashSet<String> = HashSet::new();
+    let mut records = Vec::new();
+    for name in ranking.names_by_size_desc() {
+        if unavailable.contains(&name)
+            || module
+                .function(&name)
+                .is_none_or(|f| f.num_insts() < min_size)
+        {
+            continue;
+        }
+        let exclude: Vec<String> = unavailable.iter().cloned().collect();
+        let mut best: Option<(i64, String, salssa::PairMerge)> = None;
+        for candidate in ranking.candidates(&name, threshold, &exclude) {
+            if unavailable.contains(&candidate)
+                || candidate == name
+                || module
+                    .function(&candidate)
+                    .is_none_or(|f| f.num_insts() < min_size)
+            {
+                continue;
+            }
+            let (f1, f2) = (
+                module.function(&name).unwrap(),
+                module.function(&candidate).unwrap(),
+            );
+            let merged_name = format!("merged.{}.{}", f1.name, f2.name);
+            let Some(pair) = merge_pair(f1, f2, &options, &merged_name) else {
+                continue;
+            };
+            let profit = estimate_profit(module, &name, &candidate, &pair, Target::X86Like);
+            let improves = best.as_ref().map(|(p, _, _)| profit > *p).unwrap_or(true);
+            if improves && profit > 0 {
+                best = Some((profit, candidate.clone(), pair));
+            }
+        }
+        if let Some((profit, candidate, pair)) = best {
+            let f1 = module.remove_function(&name).unwrap();
+            let f2 = module.remove_function(&candidate).unwrap();
+            let record = MergeRecord {
+                f1: name.clone(),
+                f2: candidate.clone(),
+                merged_name: pair.merged.name.clone(),
+                profit_bytes: profit,
+                sizes: (f1.num_insts(), f2.num_insts(), pair.merged.num_insts()),
+                coalesced_pairs: pair.repair.coalesced_pairs,
+            };
+            let thunk1 = build_thunk(&f1, &pair.merged, &pair.param_f1, false);
+            let thunk2 = build_thunk(&f2, &pair.merged, &pair.param_f2, true);
+            module.add_function(pair.merged);
+            module.add_function(thunk1);
+            module.add_function(thunk2);
+            unavailable.insert(name);
+            unavailable.insert(candidate);
+            unavailable.insert(record.merged_name.clone());
+            records.push(record);
+        }
+    }
+    records
+}
+
+#[test]
+fn sequential_parallel_and_reference_drivers_agree_bit_for_bit() {
+    let merger = SalSsaMerger::default();
+    for seed in [11u64, 42, 97, 1234] {
+        for threshold in [1usize, 3] {
+            let mut reference_module = workload(seed);
+            let reference = reference_merge(&mut reference_module, threshold, 3);
+
+            let mut seq_module = workload(seed);
+            let seq = merge_module(
+                &mut seq_module,
+                &merger,
+                &DriverConfig::with_threshold(threshold),
+            );
+            let mut par_module = workload(seed);
+            let par = merge_module(
+                &mut par_module,
+                &merger,
+                &DriverConfig::with_threshold(threshold).parallel(),
+            );
+            let mut tiny_batch_module = workload(seed);
+            let tiny = merge_module(
+                &mut tiny_batch_module,
+                &merger,
+                &DriverConfig::with_threshold(threshold)
+                    .parallel()
+                    .with_batch_size(1),
+            );
+
+            assert_eq!(seq.committed, reference, "seed {seed} t {threshold}");
+            assert_eq!(seq.committed, par.committed, "seed {seed} t {threshold}");
+            assert_eq!(seq.committed, tiny.committed, "seed {seed} t {threshold}");
+            assert_eq!(seq.attempts, par.attempts);
+            assert_eq!(seq.total_cells, par.total_cells);
+            assert_eq!(print_module(&seq_module), print_module(&reference_module));
+            assert_eq!(print_module(&seq_module), print_module(&par_module));
+            assert_eq!(print_module(&seq_module), print_module(&tiny_batch_module));
+            assert!(ssa_ir::verifier::verify_module(&seq_module).is_empty());
+
+            // Planner stats: sequential scores everything inline, parallel
+            // speculates; both examine the same candidate schedule.
+            assert_eq!(seq.planner.speculative_scores, 0);
+            assert_eq!(seq.planner.candidates, par.planner.candidates);
+            if seq.attempts > 0 {
+                assert!(seq.planner.inline_scores > 0);
+                assert!(par.planner.speculative_scores > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_guarded_planner_run_matches_unchecked_run() {
+    let merger = SalSsaMerger::default();
+    let mut unchecked = workload(7);
+    let baseline = merge_module(&mut unchecked, &merger, &DriverConfig::with_threshold(2));
+    let mut checked = workload(7);
+    let report = merge_module(
+        &mut checked,
+        &merger,
+        &DriverConfig::with_threshold(2)
+            .parallel()
+            .with_check_semantics(true),
+    );
+    assert_eq!(report.semantic_rejections, 0);
+    assert_eq!(report.committed, baseline.committed);
+    assert_eq!(print_module(&checked), print_module(&unchecked));
+}
+
+/// One mutation step through a builder or linker path, chosen by the seeded
+/// RNG. Every step leaves the function printable (uses are rewritten before
+/// instructions are removed).
+fn mutate(module: &mut Module, name: &str, rng: &mut SmallRng) {
+    match rng.gen_range(0u32..5) {
+        // Append a fresh block with an instruction and a terminator.
+        0 => {
+            let f = module.function_mut(name).unwrap();
+            let block = f.add_block(format!("tail{}", f.num_blocks()));
+            let v = f.append_inst(
+                block,
+                ssa_ir::InstKind::Binary {
+                    op: ssa_ir::BinOp::Add,
+                    lhs: Value::i32(rng.gen_range(-50..50)),
+                    rhs: Value::i32(1),
+                },
+                ssa_ir::Type::I32,
+            );
+            f.append_inst(
+                block,
+                ssa_ir::InstKind::Ret {
+                    value: Some(Value::Inst(v)),
+                },
+                ssa_ir::Type::Void,
+            );
+        }
+        // Rename an instruction result.
+        1 => {
+            let f = module.function_mut(name).unwrap();
+            let first = f.inst_ids().next();
+            if let Some(inst) = first {
+                let tag = rng.gen_range(0..1000);
+                f.set_inst_name(inst, format!("renamed{tag}"));
+            }
+        }
+        // Rewrite all uses of the first instruction to a constant, then
+        // remove it (a safe remove: no dangling operands).
+        2 => {
+            let f = module.function_mut(name).unwrap();
+            let removable = f.inst_ids().find(|id| {
+                let data = f.inst(*id);
+                // i32-typed only, so the constant replacement stays
+                // type-consistent and the print→parse round trip is exact.
+                data.ty == ssa_ir::Type::I32 && !data.kind.is_phi()
+            });
+            if let Some(id) = removable {
+                f.replace_all_uses(Value::Inst(id), Value::i32(3));
+                f.remove_inst(id);
+            }
+        }
+        // Rename the symbol through the linker (call sites follow).
+        3 => {
+            let tag = rng.gen_range(0..1000);
+            let new_name = format!("{name}.r{tag}");
+            rename_symbol(module, name, &new_name).unwrap();
+            rename_symbol(module, &new_name, name).unwrap();
+        }
+        // Import the function into a scratch host (exercises the rename +
+        // self-call path), then mutate the original's linkage round trip.
+        _ => {
+            let mut host = Module::new("scratch");
+            host.add_function(
+                parse_function(&format!(
+                    "define i32 @{name}(i32 %x) {{\nentry:\n  ret i32 %x\n}}"
+                ))
+                .unwrap(),
+            );
+            let _ = import_function(&mut host, module, name);
+            let f = module.function_mut(name).unwrap();
+            let linkage = f.linkage;
+            f.set_linkage(ssa_ir::Linkage::Internal);
+            f.set_linkage(linkage);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After arbitrary builder/linker mutation sequences, the (possibly
+    /// cached) structural key agrees exactly with a freshly computed one: a
+    /// print → parse round trip produces a cache-cold twin whose key must be
+    /// identical, and `structurally_equal` must accept the pair.
+    #[test]
+    fn structural_key_cache_never_disagrees_with_a_fresh_print(
+        seed in 0u64..300,
+        size in 10usize..40,
+        steps in 1usize..6,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37));
+        let name = format!("gen{seed}");
+        let f = generate_function(
+            &FunctionSpec { name: name.clone(), size, ..FunctionSpec::default() },
+            &mut rng,
+        );
+        let mut module = Module::new("m");
+        module.add_function(f);
+        for _ in 0..steps {
+            mutate(&mut module, &name, &mut rng);
+            let f = module.function(&name).unwrap();
+            // Prime the cache, then compare against a cache-cold twin.
+            let cached = f.structural_key();
+            let twin = parse_function(&print_function(f)).unwrap();
+            let fresh = twin.structural_key();
+            prop_assert_eq!(cached.as_ref(), fresh.as_ref());
+            prop_assert!(ssa_ir::structurally_equal(f, &twin));
+        }
+    }
+}

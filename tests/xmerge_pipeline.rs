@@ -6,7 +6,7 @@
 use ssa_ir::verifier::verify_module;
 use ssa_ir::{link_modules, print_module};
 use workloads::CorpusSpec;
-use xmerge::{xmerge_corpus, CorpusIndex, XMergeConfig};
+use xmerge::{xmerge_corpus, xmerge_corpus_with_index, CorpusIndex, FixpointConfig, XMergeConfig};
 
 fn eight_module_corpus() -> Vec<ssa_ir::Module> {
     CorpusSpec::default().generate()
@@ -43,6 +43,84 @@ fn acceptance_eight_module_corpus_merges_cleanly_under_the_oracle() {
     // The linked whole program is still well-formed.
     let linked = link_modules(&corpus, "prog").expect("corpus must stay linkable");
     assert!(verify_module(&linked).is_empty());
+}
+
+/// The fixpoint acceptance scenario: on the 8-module corpus, a merged host
+/// re-enters the candidate pool and merges again in a later round, with the
+/// differential oracle attesting every commit (0 mismatches).
+#[test]
+fn fixpoint_commits_second_round_merges_under_the_oracle() {
+    let mut corpus = eight_module_corpus();
+    let config = XMergeConfig::new()
+        .with_check_semantics(true)
+        .with_fixpoint(FixpointConfig::default());
+    let report = xmerge_corpus(&mut corpus, &config);
+
+    assert!(report.rounds >= 2, "expected multiple rounds: {report}");
+    assert!(
+        report.round_commits.len() >= 2 && report.round_commits[1] > 0,
+        "no second-round commit: {report}"
+    );
+    assert_eq!(report.semantic_rejections, 0, "oracle mismatches: {report}");
+    // Later rounds really do merge the products of earlier rounds.
+    assert!(
+        report
+            .committed
+            .iter()
+            .any(|r| r.f1.starts_with("merged.xm.") || r.f2.starts_with("merged.xm.")),
+        "no merged host re-entered the pool: {report}"
+    );
+    for module in &corpus {
+        assert!(
+            verify_module(module).is_empty(),
+            "module {} failed verification after fixpoint xmerge",
+            module.name
+        );
+    }
+    let linked = link_modules(&corpus, "prog").expect("corpus must stay linkable");
+    assert!(verify_module(&linked).is_empty());
+    // The structural-key cache carried real traffic and planner stats add up.
+    assert!(report.cache_hits > 0, "{report}");
+    assert!(report.planner.candidates > 0);
+    assert!(report.planner.rounds >= report.rounds);
+}
+
+/// The first fixpoint round is exactly the single-shot pipeline: its commits
+/// are a prefix of the fixpoint run's commit list.
+#[test]
+fn fixpoint_round_one_matches_the_single_shot_pipeline() {
+    let mut single = eight_module_corpus();
+    let baseline = xmerge_corpus(&mut single, &XMergeConfig::new());
+    let mut fix = eight_module_corpus();
+    let report = xmerge_corpus(
+        &mut fix,
+        &XMergeConfig::new().with_fixpoint(FixpointConfig::default()),
+    );
+    let first_round = report.round_commits[0];
+    assert_eq!(baseline.committed.len(), first_round);
+    assert_eq!(baseline.committed[..], report.committed[..first_round]);
+}
+
+/// `xmerge_corpus_with_index` seeded with the index of an identical corpus
+/// skips every re-summarization and commits identically.
+#[test]
+fn prior_index_reuse_changes_nothing_but_skips_summarization() {
+    let mut baseline_corpus = eight_module_corpus();
+    let (baseline, index) =
+        xmerge_corpus_with_index(&mut baseline_corpus, &XMergeConfig::new(), None);
+    assert_eq!(baseline.index_reuse.reused, 0);
+    assert_eq!(baseline.index_reuse.refreshed, 8);
+
+    // Round-trip the index through its serialized form, like `--index` does.
+    let reloaded = CorpusIndex::deserialize(&index.serialize()).unwrap();
+    let mut corpus = eight_module_corpus();
+    let (report, _) = xmerge_corpus_with_index(&mut corpus, &XMergeConfig::new(), Some(reloaded));
+    assert_eq!(report.index_reuse.reused, 8, "{report}");
+    assert_eq!(report.index_reuse.refreshed, 0);
+    assert_eq!(report.committed, baseline.committed);
+    for (a, b) in baseline_corpus.iter().zip(&corpus) {
+        assert_eq!(print_module(a), print_module(b));
+    }
 }
 
 #[test]
