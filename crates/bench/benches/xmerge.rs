@@ -1,12 +1,17 @@
 //! Criterion benchmarks of the cross-module pipeline over generated
 //! multi-module corpora: index construction, sharded candidate discovery,
-//! structural-key caching on the hazard-check hot path, and the end-to-end
-//! xmerge run (plain, with the semantic oracle, and to a fixpoint).
+//! structural-key caching on the hazard-check hot path, call-graph
+//! construction/resolution, and the end-to-end xmerge run (plain, with the
+//! semantic oracle, to a fixpoint, and region-parallel with the call-graph
+//! host policy).
 
+use callgraph::{CallGraph, CorpusCallIndex};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fm_align::MinHash;
 use workloads::CorpusSpec;
-use xmerge::{discover, xmerge_corpus, CorpusIndex, DiscoveryConfig, FixpointConfig, XMergeConfig};
+use xmerge::{
+    discover, xmerge_corpus, CorpusIndex, DiscoveryConfig, FixpointConfig, HostPolicy, XMergeConfig,
+};
 
 fn corpus(num_modules: usize) -> Vec<ssa_ir::Module> {
     CorpusSpec {
@@ -85,6 +90,31 @@ fn structural_key_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// Call-graph construction (full scan vs incremental reuse) and resolution
+/// with locality summaries on a call-heavy corpus.
+fn callgraph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("callgraph");
+    let modules = CorpusSpec {
+        num_modules: 8,
+        ..CorpusSpec::call_heavy()
+    }
+    .generate();
+    group.bench_function("scan_eight_modules", |b| {
+        b.iter(|| CorpusCallIndex::build(&modules).num_call_sites())
+    });
+    let index = CorpusCallIndex::build(&modules);
+    group.bench_function("incremental_reuse_all", |b| {
+        b.iter(|| CorpusCallIndex::build_incremental(&modules, Some(&index)).1)
+    });
+    group.bench_function("resolve_and_locality", |b| {
+        b.iter(|| {
+            let graph = CallGraph::resolve(&index);
+            (graph.num_edges(), graph.locality().len())
+        })
+    });
+    group.finish();
+}
+
 fn end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("xmerge_pipeline");
     group.sample_size(10);
@@ -111,6 +141,16 @@ fn end_to_end(c: &mut Criterion) {
             (report.rounds, report.num_commits())
         })
     });
+    group.bench_function("call_heavy_callgraph_policy_regions", |b| {
+        b.iter(|| {
+            let mut modules = CorpusSpec::call_heavy().generate();
+            let config = XMergeConfig::new()
+                .with_host_policy(HostPolicy::CallGraph)
+                .with_region_parallel(true);
+            let report = xmerge_corpus(&mut modules, &config);
+            (report.num_commits(), report.forced_cross_edges)
+        })
+    });
     group.finish();
 }
 
@@ -119,6 +159,7 @@ criterion_group!(
     index_build,
     candidate_discovery,
     structural_key_cache,
+    callgraph_build,
     end_to_end
 );
 criterion_main!(benches);

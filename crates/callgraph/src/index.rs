@@ -1,0 +1,333 @@
+//! The serializable call-site index: per-module summaries of who calls what.
+//!
+//! Scanning instructions is the expensive part of call-graph construction, so
+//! it is split off into a per-module summary keyed by
+//! [`ssa_ir::Module::content_hash`] — the same incremental-rebuild discipline
+//! as the `xmerge` summary index. A fixpoint round re-summarizes only the
+//! modules a commit touched; symbol resolution (which depends on *other*
+//! modules) is redone cheaply from the summaries by
+//! [`crate::CallGraph::resolve`].
+
+use rayon::prelude::*;
+use ssa_ir::{Linkage, Module};
+
+/// The static call sites of one defined function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionCalls {
+    /// Symbol name of the caller.
+    pub name: String,
+    /// Linkage of the caller (resolution needs to know which definitions are
+    /// externally visible).
+    pub linkage: Linkage,
+    /// `(callee symbol, static call-site count)`, sorted by callee name.
+    pub callees: Vec<(String, u32)>,
+}
+
+/// The call-site summary of one module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleCalls {
+    /// Module name.
+    pub module: String,
+    /// Content hash of the module the summary was computed from
+    /// ([`Module::content_hash`]); zero disables reuse.
+    pub content_hash: u64,
+    /// One entry per defined function, in module order.
+    pub functions: Vec<FunctionCalls>,
+}
+
+impl ModuleCalls {
+    /// Summarizes every function of `module`.
+    pub fn build(module: &Module) -> ModuleCalls {
+        ModuleCalls {
+            module: module.name.clone(),
+            content_hash: module.content_hash(),
+            functions: module
+                .functions()
+                .iter()
+                .map(|f| {
+                    let mut callees: Vec<(String, u32)> = f.callee_counts().into_iter().collect();
+                    callees.sort_unstable();
+                    FunctionCalls {
+                        name: f.name.clone(),
+                        linkage: f.linkage,
+                        callees,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// How much of an incremental rebuild was served from a prior index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallIndexReuse {
+    /// Modules whose summaries were copied from the prior index unchanged.
+    pub reused: usize,
+    /// Modules that were (re-)scanned.
+    pub refreshed: usize,
+}
+
+impl CallIndexReuse {
+    /// Folds another rebuild's reuse statistics into this one.
+    pub fn absorb(&mut self, other: CallIndexReuse) {
+        self.reused += other.reused;
+        self.refreshed += other.refreshed;
+    }
+}
+
+/// The whole-corpus call-site index: per-module summaries in corpus order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorpusCallIndex {
+    /// One summary per module.
+    pub modules: Vec<ModuleCalls>,
+}
+
+impl CorpusCallIndex {
+    /// Builds the index of a whole corpus, scanning modules in parallel.
+    pub fn build(modules: &[Module]) -> CorpusCallIndex {
+        CorpusCallIndex::build_incremental(modules, None).0
+    }
+
+    /// Builds the index, reusing `prior` summaries for every module whose
+    /// content hash is unchanged (matched by module name). Only changed or
+    /// unknown modules are re-scanned — in parallel.
+    pub fn build_incremental(
+        modules: &[Module],
+        prior: Option<&CorpusCallIndex>,
+    ) -> (CorpusCallIndex, CallIndexReuse) {
+        let prior_by_name: std::collections::HashMap<&str, &ModuleCalls> = prior
+            .map(|p| p.modules.iter().map(|m| (m.module.as_str(), m)).collect())
+            .unwrap_or_default();
+        let per_module: Vec<(bool, ModuleCalls)> = modules
+            .par_iter()
+            .map(|m| {
+                let hash = m.content_hash();
+                if let Some(prev) = prior_by_name.get(m.name.as_str()) {
+                    if prev.content_hash == hash && hash != 0 {
+                        return (true, (*prev).clone());
+                    }
+                }
+                (false, ModuleCalls::build(m))
+            })
+            .collect();
+        let mut reuse = CallIndexReuse::default();
+        let mut index = CorpusCallIndex::default();
+        for (reused, mc) in per_module {
+            if reused {
+                reuse.reused += 1;
+            } else {
+                reuse.refreshed += 1;
+            }
+            index.modules.push(mc);
+        }
+        (index, reuse)
+    }
+
+    /// Number of summarized functions across the corpus.
+    pub fn num_functions(&self) -> usize {
+        self.modules.iter().map(|m| m.functions.len()).sum()
+    }
+
+    /// Total static call sites across the corpus.
+    pub fn num_call_sites(&self) -> u64 {
+        self.modules
+            .iter()
+            .flat_map(|m| &m.functions)
+            .flat_map(|f| &f.callees)
+            .map(|(_, count)| u64::from(*count))
+            .sum()
+    }
+
+    /// Serializes the index to a versioned line format, written alongside the
+    /// `xmerge` summary index so later runs reload the call graph without
+    /// re-scanning any IR.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str("callgraph v1\n");
+        for m in &self.modules {
+            out.push_str(&format!("module {} hash={:x}\n", m.module, m.content_hash));
+            for f in &m.functions {
+                match f.linkage {
+                    Linkage::External => out.push_str(&format!("fn {}\n", f.name)),
+                    Linkage::Internal => out.push_str(&format!("fn {} internal\n", f.name)),
+                }
+                for (callee, count) in &f.callees {
+                    out.push_str(&format!("call {callee} x{count}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses an index serialized by [`CorpusCallIndex::serialize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn deserialize(text: &str) -> Result<CorpusCallIndex, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty call-graph file")?;
+        if header.trim() != "callgraph v1" {
+            return Err(format!("bad header: {header:?}"));
+        }
+        let mut index = CorpusCallIndex::default();
+        for (lineno, line) in lines {
+            let bad = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("module ") {
+                // The serializer always appends ` hash=<hex>` last, so the
+                // rightmost occurrence is the real one even for pathological
+                // module names; junk after it is corruption, not a name.
+                let (name, hash) = match rest.rsplit_once(" hash=") {
+                    Some((head, hex)) => match u64::from_str_radix(hex, 16) {
+                        Ok(h) => (head, h),
+                        Err(_) => return Err(bad("bad module hash")),
+                    },
+                    None => (rest, 0),
+                };
+                index.modules.push(ModuleCalls {
+                    module: name.trim().to_string(),
+                    content_hash: hash,
+                    functions: Vec::new(),
+                });
+            } else if let Some(rest) = line.strip_prefix("fn ") {
+                let module = index
+                    .modules
+                    .last_mut()
+                    .ok_or_else(|| bad("fn before any module"))?;
+                let (name, linkage) = match rest.strip_suffix(" internal") {
+                    Some(head) => (head, Linkage::Internal),
+                    None => (rest, Linkage::External),
+                };
+                module.functions.push(FunctionCalls {
+                    name: name.trim().to_string(),
+                    linkage,
+                    callees: Vec::new(),
+                });
+            } else if let Some(rest) = line.strip_prefix("call ") {
+                let function = index
+                    .modules
+                    .last_mut()
+                    .and_then(|m| m.functions.last_mut())
+                    .ok_or_else(|| bad("call before any fn"))?;
+                let (callee, count) = rest
+                    .rsplit_once(" x")
+                    .ok_or_else(|| bad("call without ' x<count>'"))?;
+                let count: u32 = count.parse().map_err(|_| bad("bad call count"))?;
+                function.callees.push((callee.trim().to_string(), count));
+            } else {
+                return Err(bad("unrecognized line"));
+            }
+        }
+        Ok(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_ir::parse_module;
+
+    fn corpus() -> Vec<Module> {
+        let mut a = parse_module(
+            "define i32 @main_a(i32 %x) {\nentry:\n  %r = call i32 @shared(i32 %x)\n  %s = call i32 @shared(i32 %r)\n  ret i32 %s\n}\n\ndefine internal i32 @shared(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        a.name = "a".to_string();
+        let mut b = parse_module(
+            "define i32 @main_b(i32 %x) {\nentry:\n  %r = call i32 @ext(i32 %x)\n  ret i32 %r\n}",
+        )
+        .unwrap();
+        b.name = "b".to_string();
+        vec![a, b]
+    }
+
+    #[test]
+    fn summaries_count_static_sites_and_carry_linkage() {
+        let index = CorpusCallIndex::build(&corpus());
+        assert_eq!(index.modules.len(), 2);
+        assert_eq!(index.num_functions(), 3);
+        assert_eq!(index.num_call_sites(), 3);
+        let main_a = &index.modules[0].functions[0];
+        assert_eq!(main_a.callees, vec![("shared".to_string(), 2)]);
+        assert_eq!(index.modules[0].functions[1].linkage, Linkage::Internal);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let index = CorpusCallIndex::build(&corpus());
+        let text = index.serialize();
+        let reloaded = CorpusCallIndex::deserialize(&text).unwrap();
+        assert_eq!(index, reloaded);
+        assert_eq!(reloaded.serialize(), text);
+    }
+
+    #[test]
+    fn deserialize_rejects_malformed_input() {
+        assert!(CorpusCallIndex::deserialize("").is_err());
+        assert!(CorpusCallIndex::deserialize("bogus\n").is_err());
+        let orphan_fn = "callgraph v1\nfn f\n";
+        assert!(CorpusCallIndex::deserialize(orphan_fn)
+            .unwrap_err()
+            .contains("fn before any module"));
+        let orphan_call = "callgraph v1\nmodule m hash=0\ncall f x1\n";
+        assert!(CorpusCallIndex::deserialize(orphan_call)
+            .unwrap_err()
+            .contains("call before any fn"));
+        let bad_count = "callgraph v1\nmodule m hash=0\nfn f\ncall g xNaN\n";
+        assert!(CorpusCallIndex::deserialize(bad_count).is_err());
+        // A corrupted module hash is an error, not a silently mangled name
+        // (which would defeat reuse without the CLI's unreadable-file
+        // warning ever firing).
+        let bad_hash = "callgraph v1\nmodule m hash=12g4\nfn f\n";
+        assert!(CorpusCallIndex::deserialize(bad_hash)
+            .unwrap_err()
+            .contains("bad module hash"));
+        // A hash-less module line still parses (hash 0 = never reused).
+        let no_hash = "callgraph v1\nmodule plain\nfn f\n";
+        let parsed = CorpusCallIndex::deserialize(no_hash).unwrap();
+        assert_eq!(parsed.modules[0].module, "plain");
+        assert_eq!(parsed.modules[0].content_hash, 0);
+    }
+
+    #[test]
+    fn incremental_rebuild_reuses_unchanged_modules() {
+        let mut modules = corpus();
+        let (full, reuse) = CorpusCallIndex::build_incremental(&modules, None);
+        assert_eq!(
+            reuse,
+            CallIndexReuse {
+                reused: 0,
+                refreshed: 2
+            }
+        );
+        let (again, reuse) = CorpusCallIndex::build_incremental(&modules, Some(&full));
+        assert_eq!(
+            reuse,
+            CallIndexReuse {
+                reused: 2,
+                refreshed: 0
+            }
+        );
+        assert_eq!(again, full);
+        // Function reordering is reuse-safe: the content hash is
+        // order-independent, and static call counts do not depend on order.
+        modules[0].functions_mut().reverse();
+        let (reordered, reuse) = CorpusCallIndex::build_incremental(&modules, Some(&full));
+        assert_eq!(reuse.reused, 2, "reordering must not invalidate the cache");
+        assert_eq!(reordered, full, "reused summaries keep their prior order");
+        // A genuine content change re-scans exactly the touched module.
+        let f = modules[1].function_mut("main_b").unwrap();
+        f.set_name("main_b2");
+        let (_, reuse) = CorpusCallIndex::build_incremental(&modules, Some(&full));
+        assert_eq!(
+            reuse,
+            CallIndexReuse {
+                reused: 1,
+                refreshed: 1
+            }
+        );
+    }
+}

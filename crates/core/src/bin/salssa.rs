@@ -9,16 +9,23 @@
 //!   `.ll` files (MinHash + opcode fingerprints; `--out` serializes it).
 //! - `xmerge <dir>` — cross-module merging over a corpus: sharded candidate
 //!   discovery over the index, speculative parallel scoring, profit-ordered
-//!   commits with donor-side thunks (`--out-dir` writes merged modules).
+//!   commits with donor-side thunks (`--out-dir` writes merged modules;
+//!   `--host-policy callgraph` places merged bodies by call-graph locality,
+//!   `--regions` plans independent call-graph regions in parallel).
+//! - `callgraph <dir>` — build and summarize the whole-program call graph
+//!   (direct-call edges, SCCs, locality, regions; `--out` serializes it).
 //! - `report <dir|files...>` — per-module merge statistics, `--json` for the
 //!   machine-readable schema.
 //!
 //! ```text
 //! cargo run --release --bin salssa -- examples/clone_heavy.ll
 //! cargo run --release --bin salssa -- xmerge corpus/ --check-semantics
+//! cargo run --release --bin salssa -- xmerge corpus/ --host-policy callgraph
+//! cargo run --release --bin salssa -- callgraph corpus/
 //! cargo run --release --bin salssa -- report --json corpus/
 //! ```
 
+use callgraph::{CallGraph, CorpusCallIndex};
 use salssa::{merge_module, DriverConfig, DriverMode, MergeOptions, SalSsaMerger};
 use ssa_ir::verifier::verify_module;
 use ssa_ir::{parse_module, print_module, Module};
@@ -27,7 +34,7 @@ use ssa_passes::module_size_bytes;
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
-use xmerge::{corpus_report_json, merge_report_json, CorpusIndex, XMergeConfig};
+use xmerge::{corpus_report_json, merge_report_json, CorpusIndex, HostPolicy, XMergeConfig};
 
 const USAGE: &str = "\
 usage: salssa [command] [options] <inputs>
@@ -40,6 +47,7 @@ commands:
                          when the first argument is a file)
   index <dir>            build the cross-module summary index of a corpus
   xmerge <dir>           cross-module merging over all .ll files in <dir>
+  callgraph <dir>        build and summarize the whole-program call graph
   report <dir|files...>  run per-module merging and report statistics
 
 options:
@@ -57,7 +65,14 @@ options:
       --max-rounds <N>   xmerge: fixpoint round cap (default 4)
       --index <file>     xmerge: reuse a serialized index — modules whose
                          content hash is unchanged skip re-summarization; the
-                         refreshed index is written back afterwards
+                         refreshed index is written back afterwards, and the
+                         call graph is persisted alongside it (<file>.calls)
+      --host-policy <p>  xmerge: how merged bodies are placed — 'size' (the
+                         larger function hosts, default) or 'callgraph' (the
+                         less-coupled member donates, minimizing call edges
+                         forced cross-module)
+      --regions          xmerge: plan and commit independent call-graph
+                         regions on worker threads
       --no-phi-coalescing  disable phi-node coalescing (SalSSA-NoPC ablation)
       --target <x86|thumb> code-size model for profitability (default x86)
       --json             emit machine-readable JSON instead of the report
@@ -72,6 +87,7 @@ enum Command {
     Merge,
     Index,
     XMerge,
+    CallGraph,
     Report,
 }
 
@@ -88,6 +104,8 @@ struct Cli {
     fixpoint: bool,
     max_rounds: usize,
     index: Option<String>,
+    host_policy: HostPolicy,
+    regions: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -103,6 +121,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut fixpoint = false;
     let mut max_rounds = 4usize;
     let mut index: Option<String> = None;
+    let mut host_policy = HostPolicy::default();
+    let mut regions = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -139,6 +159,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .map_err(|e| format!("bad {arg}: {e}"))?;
             }
             "--index" => index = Some(value_for(arg)?),
+            "--host-policy" => host_policy = value_for(arg)?.parse()?,
+            "--regions" => regions = true,
             "--no-phi-coalescing" => options.phi_coalescing = false,
             "--target" => {
                 options.target = match value_for(arg)?.as_str() {
@@ -152,11 +174,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--out-dir" => out_dir = Some(value_for(arg)?),
             "--print-module" => print_module = true,
             "-h" | "--help" => return Err(String::new()),
-            "merge" | "index" | "xmerge" | "report" if command.is_none() && inputs.is_empty() => {
+            "merge" | "index" | "xmerge" | "callgraph" | "report"
+                if command.is_none() && inputs.is_empty() =>
+            {
                 command = Some(match arg.as_str() {
                     "merge" => Command::Merge,
                     "index" => Command::Index,
                     "xmerge" => Command::XMerge,
+                    "callgraph" => Command::CallGraph,
                     _ => Command::Report,
                 });
             }
@@ -185,6 +210,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         fixpoint,
         max_rounds,
         index,
+        host_policy,
+        regions,
     })
 }
 
@@ -263,6 +290,7 @@ fn main() -> ExitCode {
         Command::Merge => run_merge(&cli),
         Command::Index => run_index(&cli),
         Command::XMerge => run_xmerge(&cli),
+        Command::CallGraph => run_callgraph(&cli),
         Command::Report => run_report(&cli),
     }
 }
@@ -385,7 +413,10 @@ fn run_xmerge(cli: &Cli) -> ExitCode {
     if modules.is_empty() {
         return emit(|out| writeln!(out, "{input}: 0 modules (0 functions); nothing to merge"));
     }
-    let mut config = XMergeConfig::new().with_check_semantics(cli.config.check_semantics);
+    let mut config = XMergeConfig::new()
+        .with_check_semantics(cli.config.check_semantics)
+        .with_host_policy(cli.host_policy)
+        .with_region_parallel(cli.regions);
     config.options = cli.options;
     config.batch_size = cli.config.batch_size;
     config.discovery.min_function_size = cli.config.min_function_size;
@@ -398,32 +429,52 @@ fn run_xmerge(cli: &Cli) -> ExitCode {
             intra: Some(cli.config),
         });
     }
-    // Persistent index reuse: load a previously serialized index and skip
-    // re-summarizing modules whose content hash is unchanged; the refreshed
-    // index is written back for the next run.
+    // Persistent index reuse: load a previously serialized index (plus the
+    // call graph stored alongside it) and skip re-summarizing/re-scanning
+    // modules whose content hash is unchanged; the refreshed files are
+    // written back for the next run.
+    let load = |path: &str, what: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        // First run: the file does not exist yet.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => {
+            eprintln!("warning: cannot read {what} {path} ({e}); rebuilding from scratch");
+            None
+        }
+    };
     let prior_index = cli.index.as_ref().and_then(|path| {
-        match std::fs::read_to_string(path) {
-            Ok(text) => match CorpusIndex::deserialize(&text) {
-                Ok(index) => Some(index),
-                Err(e) => {
-                    eprintln!("warning: ignoring unreadable index {path}: {e}");
-                    None
-                }
-            },
-            // First run: the file does not exist yet.
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        let text = load(path, "index")?;
+        match CorpusIndex::deserialize(&text) {
+            Ok(index) => Some(index),
             Err(e) => {
-                eprintln!("warning: cannot read index {path} ({e}); rebuilding from scratch");
+                eprintln!("warning: ignoring unreadable index {path}: {e}");
+                None
+            }
+        }
+    });
+    let calls_path = cli.index.as_ref().map(|path| format!("{path}.calls"));
+    let prior_calls = calls_path.as_ref().and_then(|path| {
+        let text = load(path, "call graph")?;
+        match CorpusCallIndex::deserialize(&text) {
+            Ok(calls) => Some(calls),
+            Err(e) => {
+                eprintln!("warning: ignoring unreadable call graph {path}: {e}");
                 None
             }
         }
     });
     let report;
     if let Some(index_path) = &cli.index {
-        let (r, refreshed) = xmerge::xmerge_corpus_with_index(&mut modules, &config, prior_index);
+        let (r, refreshed, refreshed_calls) =
+            xmerge::xmerge_corpus_with_index(&mut modules, &config, prior_index, prior_calls);
         report = r;
         if let Err(e) = std::fs::write(index_path, refreshed.serialize()) {
             eprintln!("error: cannot write index {index_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let calls_path = calls_path.expect("calls path derives from the index path");
+        if let Err(e) = std::fs::write(&calls_path, refreshed_calls.serialize()) {
+            eprintln!("error: cannot write call graph {calls_path}: {e}");
             return ExitCode::FAILURE;
         }
     } else {
@@ -471,6 +522,88 @@ fn run_xmerge(cli: &Cli) -> ExitCode {
         if cli.print_module {
             for module in &modules {
                 writeln!(out, "\n{}", print_module(module))?;
+            }
+        }
+        Ok(())
+    })
+}
+
+fn run_callgraph(cli: &Cli) -> ExitCode {
+    let input = &cli.inputs[0];
+    let modules = match load_corpus(input) {
+        Ok(modules) => modules,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if modules.is_empty() {
+        return emit(|out| writeln!(out, "{input}: 0 modules (0 functions); nothing to analyze"));
+    }
+    let index = CorpusCallIndex::build(&modules);
+    let graph = CallGraph::resolve(&index);
+    if let Some(out_path) = &cli.out {
+        let serialized = index.serialize();
+        if out_path == "-" {
+            return emit(|out| out.write_all(serialized.as_bytes()));
+        }
+        if let Err(e) = std::fs::write(out_path, serialized) {
+            eprintln!("error: cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let condensation = graph.condensation();
+    let recursive_components = condensation
+        .components
+        .iter()
+        .filter(|c| c.len() > 1)
+        .count();
+    let locality = graph.locality();
+    let cross_sites: u64 = locality.iter().map(|l| u64::from(l.cross_callees)).sum();
+    let mut links = graph.cross_module_links();
+    links.extend(graph.shared_definition_links());
+    let regions = callgraph::module_regions(modules.len(), links);
+    emit(|out| {
+        if cli.json {
+            // Append-only schema, like the merge/xmerge reports.
+            writeln!(
+                out,
+                r#"{{"kind":"callgraph","input":"{}","modules":{},"functions":{},"call_edges":{},"resolved_sites":{},"cross_module_sites":{},"external_sites":{},"scc_components":{},"recursive_components":{},"condensation_edges":{},"regions":{}}}"#,
+                xmerge::json_escape(input),
+                graph.modules.len(),
+                graph.num_nodes(),
+                graph.num_edges(),
+                graph.num_resolved_sites(),
+                cross_sites,
+                graph.num_external_sites(),
+                condensation.components.len(),
+                recursive_components,
+                condensation.edges.len(),
+                regions.len()
+            )?;
+        } else {
+            writeln!(
+                out,
+                "{input}: {} modules, {} functions, {} call edges ({} static sites resolved, {} cross-module, {} external)",
+                graph.modules.len(),
+                graph.num_nodes(),
+                graph.num_edges(),
+                graph.num_resolved_sites(),
+                cross_sites,
+                graph.num_external_sites()
+            )?;
+            writeln!(
+                out,
+                "sccs: {} components ({} with recursion), {} condensation edges; regions: {}",
+                condensation.components.len(),
+                recursive_components,
+                condensation.edges.len(),
+                regions.len()
+            )?;
+        }
+        if let Some(out_path) = &cli.out {
+            if out_path != "-" && !cli.json {
+                writeln!(out, "call graph written to {out_path}")?;
             }
         }
         Ok(())

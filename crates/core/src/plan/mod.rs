@@ -52,6 +52,12 @@ pub struct PlanStats {
     /// Fixpoint rounds driven over this engine (1 for a single-shot run;
     /// maintained by the fixpoint driver, not by [`run_plan`] itself).
     pub rounds: usize,
+    /// Whole-program links performed for the differential oracle (maintained
+    /// by sources whose oracle interrogates a *linked* view, like the
+    /// cross-module pipeline; 0 when the oracle is off or needs no link). The
+    /// per-round link cache exists to keep this number well below one link
+    /// per oracle run.
+    pub oracle_links: usize,
     /// Wall-clock time of the speculative scoring phase.
     pub score_time: Duration,
     /// Wall-clock time of the commit loop (including inline scoring and
@@ -67,6 +73,7 @@ impl PlanStats {
         self.speculative_scores += other.speculative_scores;
         self.inline_scores += other.inline_scores;
         self.rounds += other.rounds.max(1);
+        self.oracle_links += other.oracle_links;
         self.score_time += other.score_time;
         self.commit_time += other.commit_time;
     }
@@ -102,6 +109,17 @@ pub trait CandidateSource: Sync {
     /// overshoot the exploration threshold: commits consume functions and
     /// pull deeper candidates into range.
     fn speculative_keys(&self) -> Vec<Self::Key>;
+
+    /// The placement-policy hook: the engine maps every candidate key through
+    /// `place` before it is scored — both in the speculative phase and in the
+    /// commit loop — so a source can apply a placement decision (e.g. the
+    /// cross-module host-selection policy re-orienting which side of a pair
+    /// hosts the merged body) in exactly one spot without its discovery stage
+    /// knowing about policies. Must be idempotent: keys coming back out of
+    /// the schedule are placed again. The default is the identity.
+    fn place(&self, key: Self::Key) -> Self::Key {
+        key
+    }
 
     /// Scores one pair without mutating anything. `keep_artifacts` is `true`
     /// for inline scoring (the winner is committed immediately) and `false`
@@ -191,7 +209,11 @@ pub fn run_plan<S: CandidateSource>(
     let mut cache = match mode {
         ScoreMode::Inline => ScoreCache::new(),
         ScoreMode::Speculative { batch_size } => {
-            let keys = source.speculative_keys();
+            let keys: Vec<S::Key> = source
+                .speculative_keys()
+                .into_iter()
+                .map(|key| source.place(key))
+                .collect();
             stats.speculative_scores = keys.len();
             speculative_scores(source, keys, batch_size)
         }
@@ -205,6 +227,7 @@ pub fn run_plan<S: CandidateSource>(
     while let Some(group) = source.next_group() {
         let mut best: Option<(i64, S::Key, S::Score)> = None;
         for key in group {
+            let key = source.place(key);
             let scored = cache.remove(&key).unwrap_or_else(|| {
                 stats.inline_scores += 1;
                 source.score(&key, true)
@@ -252,6 +275,8 @@ mod tests {
         observed: usize,
         hazard_on: Option<(usize, usize)>,
         hazards: usize,
+        /// Placement policy under test: `from -> to` key rewrite.
+        place_swap: Option<((usize, usize), (usize, usize))>,
     }
 
     impl ToySource {
@@ -264,6 +289,7 @@ mod tests {
                 observed: 0,
                 hazard_on: None,
                 hazards: 0,
+                place_swap: None,
             }
         }
     }
@@ -277,6 +303,13 @@ mod tests {
             (0..self.n)
                 .flat_map(|a| (a + 1..self.n).map(move |b| (a, b)))
                 .collect()
+        }
+
+        fn place(&self, key: (usize, usize)) -> (usize, usize) {
+            match self.place_swap {
+                Some((from, to)) if key == from => to,
+                _ => key,
+            }
         }
 
         fn score(&self, key: &(usize, usize), _keep: bool) -> Option<i64> {
@@ -364,6 +397,28 @@ mod tests {
         // (1,3) still goes through.
         assert_eq!(records, vec![(1, 3, 7)]);
         assert_eq!(source.hazards, 1);
+    }
+
+    #[test]
+    fn place_hook_rewrites_keys_in_both_scoring_phases() {
+        // The policy re-places the 10-profit pair (0,2) as (2,0), which the
+        // profit table rejects — so the engine must commit (0,1) instead, and
+        // the speculative cache must be keyed by *placed* keys (no inline
+        // re-score on the commit replay).
+        let run = |mode| {
+            let mut source = ToySource::new(4, toy_profit);
+            source.place_swap = Some(((0, 2), (2, 0)));
+            let (records, stats) = run_plan(&mut source, mode);
+            (records, stats)
+        };
+        let (seq, _) = run(ScoreMode::Inline);
+        let (par, par_stats) = run(ScoreMode::Speculative { batch_size: 2 });
+        assert_eq!(seq, vec![(0, 1, 5)]);
+        assert_eq!(seq, par);
+        assert_eq!(
+            par_stats.inline_scores, 0,
+            "placed keys must hit the speculative cache"
+        );
     }
 
     #[test]

@@ -544,6 +544,57 @@ impl Function {
         self.block_order.retain(|b| *b != block);
         self.block_order.push(block);
     }
+
+    /// The callee symbol of a call or invoke instruction, or `None` for any
+    /// other instruction kind.
+    pub fn call_target(&self, inst: InstId) -> Option<&str> {
+        match &self.inst(inst).kind {
+            InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. } => Some(callee),
+            _ => None,
+        }
+    }
+
+    /// Iterates over every call/invoke site of the function as
+    /// `(instruction, callee symbol)`, in arena order (not program order —
+    /// static site *counts* are order-independent, which is all the
+    /// call-graph layer needs).
+    pub fn call_sites(&self) -> impl Iterator<Item = (InstId, &str)> + '_ {
+        self.inst_ids()
+            .filter_map(|inst| self.call_target(inst).map(|callee| (inst, callee)))
+    }
+
+    /// Static call-site counts per callee symbol: how many call/invoke
+    /// instructions of this function target each symbol.
+    pub fn callee_counts(&self) -> HashMap<String, u32> {
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for (_, callee) in self.call_sites() {
+            *counts.entry(callee.to_string()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Rewrites call/invoke targets: `rename` is consulted per site and a
+    /// `Some(new)` replaces the callee symbol. Returns the number of sites
+    /// rewritten. The structural key is only invalidated when something
+    /// actually changed.
+    pub fn rewrite_call_targets(
+        &mut self,
+        mut rename: impl FnMut(&str) -> Option<String>,
+    ) -> usize {
+        let planned: Vec<(InstId, String)> = self
+            .call_sites()
+            .filter_map(|(inst, callee)| rename(callee).map(|to| (inst, to)))
+            .collect();
+        for (inst, to) in &planned {
+            match &mut self.inst_mut(*inst).kind {
+                InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. } => {
+                    *callee = to.clone();
+                }
+                _ => unreachable!("call_sites only yields calls and invokes"),
+            }
+        }
+        planned.len()
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,6 @@
 //! corpus for differential semantic checking.
 
 use crate::function::{Function, Linkage};
-use crate::instruction::InstKind;
 use crate::module::{FuncDecl, Module};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -62,16 +61,9 @@ pub fn structurally_equal(a: &Function, b: &Function) -> bool {
 
 /// The set of function symbols a function references through calls or invokes.
 pub fn callees_of(f: &Function) -> HashSet<String> {
-    let mut out = HashSet::new();
-    for inst in f.inst_ids() {
-        match &f.inst(inst).kind {
-            InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. } => {
-                out.insert(callee.clone());
-            }
-            _ => {}
-        }
-    }
-    out
+    f.call_sites()
+        .map(|(_, callee)| callee.to_string())
+        .collect()
 }
 
 /// Renames the symbol `from` to `to` across the whole module: the definition
@@ -104,17 +96,7 @@ pub fn rename_symbol(module: &mut Module, from: &str, to: &str) -> Result<usize,
     }
     let mut sites = 0usize;
     for f in module.functions_mut() {
-        for inst in f.inst_ids().collect::<Vec<_>>() {
-            match &mut f.inst_mut(inst).kind {
-                InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. }
-                    if callee == from =>
-                {
-                    *callee = to.to_string();
-                    sites += 1;
-                }
-                _ => {}
-            }
-        }
+        sites += f.rewrite_call_targets(|callee| (callee == from).then(|| to.to_string()));
     }
     Ok(sites)
 }
@@ -177,26 +159,22 @@ pub fn import_function(
         // Keep self-recursion pointing at the imported copy, not at the
         // host's unrelated function of the original name.
         let original = copy.name.clone();
-        for inst in copy.inst_ids().collect::<Vec<_>>() {
-            match &mut copy.inst_mut(inst).kind {
-                InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. }
-                    if *callee == original =>
-                {
-                    *callee = import_name.clone();
-                }
-                _ => {}
-            }
-        }
+        copy.rewrite_call_targets(|callee| (callee == original).then(|| import_name.clone()));
         copy.set_name(import_name.clone());
     }
-    // Carry over signatures for callees the host has never heard of.
+    // Carry over signatures for callees the host has never heard of,
+    // preserving the linkage the donor knows them under (a donor-internal
+    // callee stays marked internal — the declaration refers to a module-local
+    // symbol, not to some unrelated external definition).
     for callee in callees_of(&copy) {
         if host.signature(&callee).is_none() {
             if let Some((params, ret_ty)) = donor.signature(&callee) {
+                let linkage = donor.symbol_linkage(&callee).unwrap_or_default();
                 host.declare(FuncDecl {
                     name: callee,
                     params,
                     ret_ty,
+                    linkage,
                 });
             }
         }
@@ -284,13 +262,8 @@ pub fn link_modules_with_renames<'a>(
             // compares in place and clones only on insertion.
             let needs_rewrite = !renames.is_empty()
                 && (renames.contains_key(&f.name)
-                    || f.inst_ids().any(|inst| {
-                        matches!(
-                            &f.inst(inst).kind,
-                            InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. }
-                                if renames.contains_key(callee)
-                        )
-                    }));
+                    || f.call_sites()
+                        .any(|(_, callee)| renames.contains_key(callee)));
             if !needs_rewrite {
                 match linked.function(&f.name) {
                     None => {
@@ -302,22 +275,7 @@ pub fn link_modules_with_renames<'a>(
                 continue;
             }
             let mut copy = f.clone();
-            for inst in copy.inst_ids().collect::<Vec<_>>() {
-                let callee = match &copy.inst(inst).kind {
-                    InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. } => {
-                        renames.get(callee).cloned()
-                    }
-                    _ => None,
-                };
-                if let Some(new_callee) = callee {
-                    match &mut copy.inst_mut(inst).kind {
-                        InstKind::Call { callee, .. } | InstKind::Invoke { callee, .. } => {
-                            *callee = new_callee;
-                        }
-                        _ => unreachable!(),
-                    }
-                }
-            }
+            copy.rewrite_call_targets(|callee| renames.get(callee).cloned());
             if let Some(new_name) = renames.get(&copy.name) {
                 copy.set_name(new_name.clone());
             }
@@ -422,11 +380,11 @@ entry:
     #[test]
     fn rename_moves_declarations_without_leaving_the_old_name() {
         let (mut host, _) = two_modules();
-        host.declare(FuncDecl {
-            name: "ext".into(),
-            params: vec![crate::Type::I32],
-            ret_ty: crate::Type::I32,
-        });
+        host.declare(FuncDecl::new(
+            "ext",
+            vec![crate::Type::I32],
+            crate::Type::I32,
+        ));
         let sites = rename_symbol(&mut host, "ext", "ext.v2").unwrap();
         assert_eq!(sites, 0);
         assert!(
@@ -476,11 +434,11 @@ entry:
     #[test]
     fn import_carries_callee_signatures() {
         let (mut host, mut donor) = two_modules();
-        donor.declare(FuncDecl {
-            name: "ext".into(),
-            params: vec![crate::Type::I32],
-            ret_ty: crate::Type::I32,
-        });
+        donor.declare(FuncDecl::new(
+            "ext",
+            vec![crate::Type::I32],
+            crate::Type::I32,
+        ));
         import_function(&mut host, &donor, "donor_only").unwrap();
         assert_eq!(
             host.signature("ext"),

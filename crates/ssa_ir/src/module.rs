@@ -1,10 +1,10 @@
 //! Modules: collections of function definitions and external declarations.
 
-use crate::function::Function;
+use crate::function::{Function, Linkage};
 use crate::types::Type;
 use std::collections::HashMap;
 
-/// Signature of an external (declared but not defined) function.
+/// Signature of a declared (but not defined) function.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FuncDecl {
     /// Symbol name.
@@ -13,6 +13,24 @@ pub struct FuncDecl {
     pub params: Vec<Type>,
     /// Return type.
     pub ret_ty: Type,
+    /// Linkage of the symbol the declaration refers to. `External` (the
+    /// default) is the ordinary case — the definition lives in another
+    /// translation unit. `Internal` marks a module-local symbol expected to
+    /// be defined within this module; the linker never resolves it across
+    /// translation units.
+    pub linkage: Linkage,
+}
+
+impl FuncDecl {
+    /// Creates an external declaration (the common case).
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret_ty: Type) -> FuncDecl {
+        FuncDecl {
+            name: name.into(),
+            params,
+            ret_ty,
+            linkage: Linkage::External,
+        }
+    }
 }
 
 /// A translation unit: function definitions plus external declarations.
@@ -107,6 +125,17 @@ impl Module {
             .map(|d| (d.params.clone(), d.ret_ty))
     }
 
+    /// The linkage of a defined or declared symbol, if known.
+    pub fn symbol_linkage(&self, name: &str) -> Option<Linkage> {
+        if let Some(f) = self.function(name) {
+            return Some(f.linkage);
+        }
+        self.declarations
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.linkage)
+    }
+
     /// Number of function definitions.
     pub fn num_functions(&self) -> usize {
         self.functions.len()
@@ -127,29 +156,46 @@ impl Module {
             .collect()
     }
 
-    /// A stable hash of the module's contents (definitions in order — name,
-    /// linkage, structural key — plus declarations), used by the incremental
-    /// cross-module index to skip re-summarizing unchanged modules. Function
+    /// A stable, **order-independent** hash of the module's contents: one
+    /// FNV-1a sub-hash per definition (name, linkage, structural key) and per
+    /// declaration, folded together commutatively. Reordering functions or
+    /// declarations therefore leaves the hash unchanged, so the incremental
+    /// cross-module index cache survives function reordering; any content
+    /// change (body, name, linkage, signature) still changes it. Function
     /// bodies are folded in through [`Function::structural_key`], so an
     /// unchanged module is hashed without re-printing any IR.
     pub fn content_hash(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
-        let mut eat = |bytes: &[u8]| {
-            for b in bytes {
-                h ^= u64::from(*b);
+        fn fnv(parts: &[&[u8]]) -> u64 {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+            for bytes in parts {
+                for b in *bytes {
+                    h ^= u64::from(*b);
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                h ^= 0xff; // separator so field boundaries matter
                 h = h.wrapping_mul(0x100_0000_01b3);
             }
-            h ^= 0xff; // separator so field boundaries matter
-            h = h.wrapping_mul(0x100_0000_01b3);
-        };
+            h
+        }
+        // Commutative fold: wrapping addition of well-mixed sub-hashes is
+        // order-insensitive but still sensitive to every element's content
+        // (and to multiplicity, unlike plain xor).
+        let mut h = 0u64;
         for f in &self.functions {
-            eat(f.name.as_bytes());
-            eat(format!("{}", f.linkage).as_bytes());
-            eat(f.structural_key().as_bytes());
+            h = h.wrapping_add(fnv(&[
+                b"def",
+                f.name.as_bytes(),
+                format!("{}", f.linkage).as_bytes(),
+                f.structural_key().as_bytes(),
+            ]));
         }
         for d in &self.declarations {
-            eat(d.name.as_bytes());
-            eat(format!("{:?}->{:?}", d.params, d.ret_ty).as_bytes());
+            h = h.wrapping_add(fnv(&[
+                b"decl",
+                d.name.as_bytes(),
+                format!("{}", d.linkage).as_bytes(),
+                format!("{:?}->{:?}", d.params, d.ret_ty).as_bytes(),
+            ]));
         }
         h
     }
@@ -198,14 +244,50 @@ mod tests {
     fn signatures_cover_definitions_and_declarations() {
         let mut m = Module::new("m");
         m.add_function(tiny("a"));
-        m.declare(FuncDecl {
-            name: "ext".into(),
-            params: vec![Type::Ptr],
-            ret_ty: Type::Void,
-        });
+        m.declare(FuncDecl::new("ext", vec![Type::Ptr], Type::Void));
         assert_eq!(m.signature("a"), Some((vec![Type::I32], Type::I32)));
         assert_eq!(m.signature("ext"), Some((vec![Type::Ptr], Type::Void)));
         assert_eq!(m.signature("missing"), None);
+    }
+
+    #[test]
+    fn content_hash_is_order_independent() {
+        let build = |order: &[&str]| {
+            let mut m = Module::new("m");
+            for name in order {
+                m.add_function(tiny(name));
+            }
+            m.declare(FuncDecl::new("ext1", vec![Type::I32], Type::I32));
+            m.declare(FuncDecl::new("ext2", vec![Type::Ptr], Type::Void));
+            m
+        };
+        let forward = build(&["a", "b", "c"]);
+        let mut reversed = build(&["c", "b", "a"]);
+        reversed.declarations.reverse();
+        assert_eq!(
+            forward.content_hash(),
+            reversed.content_hash(),
+            "function/declaration reordering must not change the hash"
+        );
+        // Content changes still do: a renamed function, a changed linkage,
+        // and a changed declaration all produce different hashes.
+        let mut renamed = build(&["a", "b", "d"]);
+        assert_ne!(forward.content_hash(), renamed.content_hash());
+        renamed.function_mut("d").unwrap().set_name("c");
+        assert_eq!(forward.content_hash(), renamed.content_hash());
+        let mut internal = build(&["a", "b", "c"]);
+        internal
+            .function_mut("b")
+            .unwrap()
+            .set_linkage(Linkage::Internal);
+        assert_ne!(forward.content_hash(), internal.content_hash());
+        let mut redeclared = build(&["a", "b", "c"]);
+        redeclared.declare(FuncDecl::new("ext1", vec![Type::I64], Type::I32));
+        assert_ne!(forward.content_hash(), redeclared.content_hash());
+        // Duplicated content changes the hash too (multiplicity-sensitive).
+        let mut doubled = build(&["a", "b", "c"]);
+        doubled.declare(FuncDecl::new("ext3", vec![], Type::Void));
+        assert_ne!(forward.content_hash(), doubled.content_hash());
     }
 
     #[test]

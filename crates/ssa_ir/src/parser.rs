@@ -474,6 +474,7 @@ impl Parser {
             match tok {
                 Tok::Word(w) if w == "declare" => {
                     self.tokens.pop();
+                    let linkage = self.linkage();
                     let ret = self.ty()?;
                     let name = self.global()?;
                     self.expect_punct('(')?;
@@ -495,6 +496,7 @@ impl Parser {
                         name,
                         params,
                         ret_ty: ret,
+                        linkage,
                     });
                 }
                 Tok::Word(w) if w == "define" => {
@@ -510,9 +512,10 @@ impl Parser {
         Ok(module)
     }
 
-    fn function(&mut self) -> Result<AstFunction> {
-        self.expect_word("define")?;
-        let linkage = match self.peek() {
+    /// Consumes an optional `internal`/`external` linkage keyword (shared by
+    /// `define` and `declare`); absent means external.
+    fn linkage(&mut self) -> Linkage {
+        match self.peek() {
             Some(Tok::Word(w)) if w == "internal" => {
                 self.tokens.pop();
                 Linkage::Internal
@@ -522,7 +525,12 @@ impl Parser {
                 Linkage::External
             }
             _ => Linkage::External,
-        };
+        }
+    }
+
+    fn function(&mut self) -> Result<AstFunction> {
+        self.expect_word("define")?;
+        let linkage = self.linkage();
         let ret = self.ty()?;
         let name = self.global()?;
         self.expect_punct('(')?;
@@ -1111,6 +1119,23 @@ L4:
         assert_eq!(print_function(&reparsed), printed);
         assert_eq!(reparsed.num_insts(), f.num_insts());
         assert_eq!(reparsed.num_blocks(), f.num_blocks());
+    }
+
+    #[test]
+    fn declaration_linkage_parses_and_round_trips() {
+        let text = "declare internal i32 @local_helper(i32)\ndeclare i32 @ext(i32)\n";
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.declarations()[0].linkage, Linkage::Internal);
+        assert_eq!(m.declarations()[1].linkage, Linkage::External);
+        let printed = print_module(&m);
+        assert!(printed.contains("declare internal i32 @local_helper(i32)"));
+        let again = parse_module(&printed).unwrap();
+        assert_eq!(again.declarations(), m.declarations());
+        assert_eq!(print_module(&again), printed);
+        // An explicit `external` keyword parses and prints as the default.
+        let e = parse_module("declare external i32 @e(i32)").unwrap();
+        assert_eq!(e.declarations()[0].linkage, Linkage::External);
+        assert!(print_module(&e).contains("declare i32 @e(i32)"));
     }
 
     #[test]

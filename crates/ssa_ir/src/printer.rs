@@ -23,7 +23,15 @@ pub fn print_module(module: &Module) -> String {
             .map(Type::to_string)
             .collect::<Vec<_>>()
             .join(", ");
-        let _ = writeln!(out, "declare {} @{}({})", decl.ret_ty, decl.name, params);
+        let linkage = match decl.linkage {
+            crate::function::Linkage::External => "",
+            crate::function::Linkage::Internal => "internal ",
+        };
+        let _ = writeln!(
+            out,
+            "declare {}{} @{}({})",
+            linkage, decl.ret_ty, decl.name, params
+        );
     }
     if !module.declarations().is_empty() {
         out.push('\n');
@@ -372,11 +380,11 @@ mod tests {
     #[test]
     fn prints_module_with_declarations() {
         let mut m = Module::new("test");
-        m.declare(crate::module::FuncDecl {
-            name: "ext".into(),
-            params: vec![Type::I32],
-            ret_ty: Type::Void,
-        });
+        m.declare(crate::module::FuncDecl::new(
+            "ext",
+            vec![Type::I32],
+            Type::Void,
+        ));
         m.add_function(diamond());
         let text = print_module(&m);
         assert!(text.contains("; module test"));

@@ -39,6 +39,12 @@ fn main() {
             "--odr-duplicates" => {
                 spec.odr_duplicates = value(arg).parse().expect("bad --odr-duplicates")
             }
+            "--call-heavy" => {
+                spec.intra_call_sites = workloads::CorpusSpec::call_heavy().intra_call_sites
+            }
+            "--intra-call-sites" => {
+                spec.intra_call_sites = value(arg).parse().expect("bad --intra-call-sites")
+            }
             "--divergence" => {
                 spec.divergence = match value(arg).as_str() {
                     "low" => Divergence::low(),

@@ -13,7 +13,7 @@ use crate::genfn::{generate_function, FunctionSpec};
 use crate::suite::sanitize;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use ssa_ir::Module;
+use ssa_ir::{FunctionBuilder, Module, Type, Value};
 
 /// Description of one synthetic multi-module corpus.
 #[derive(Debug, Clone)]
@@ -35,6 +35,12 @@ pub struct CorpusSpec {
     /// Number of functions duplicated verbatim (same name, same body) into
     /// two modules each — the ODR/inline-function case.
     pub odr_duplicates: usize,
+    /// Call-heavy corpora: when nonzero, every module additionally gets one
+    /// *driver* function making this many static calls to randomly chosen
+    /// same-module functions. Clone-family members then carry asymmetric
+    /// intra-module caller counts across modules — the locality signal the
+    /// call-graph host-selection policy exploits (0 = off, the default).
+    pub intra_call_sites: usize,
     /// Seed making the corpus reproducible.
     pub seed: u64,
 }
@@ -50,7 +56,20 @@ impl Default for CorpusSpec {
             family_span: 3,
             divergence: Divergence::low(),
             odr_duplicates: 2,
+            intra_call_sites: 0,
             seed: 7,
+        }
+    }
+}
+
+impl CorpusSpec {
+    /// A call-heavy variant of the default corpus: per-module driver
+    /// functions give clone-family members asymmetric intra-module coupling,
+    /// so host placement genuinely matters.
+    pub fn call_heavy() -> CorpusSpec {
+        CorpusSpec {
+            intra_call_sites: 12,
+            ..CorpusSpec::default()
         }
     }
 }
@@ -145,6 +164,36 @@ impl CorpusSpec {
                 n += 1;
             }
         }
+
+        // Call-heavy corpora: one driver per module calls same-module
+        // functions with random multiplicity. The driver chains each call's
+        // result into the next so every site is live.
+        if self.intra_call_sites > 0 {
+            for (mi, module) in modules.iter_mut().enumerate() {
+                let targets: Vec<(String, usize)> = module
+                    .functions()
+                    .iter()
+                    .map(|f| (f.name.clone(), f.params.len()))
+                    .collect();
+                if targets.is_empty() {
+                    continue;
+                }
+                let mut b = FunctionBuilder::new(
+                    format!("{}_m{mi}_driver", sanitize(&self.name)),
+                    vec![Type::I32],
+                    Type::I32,
+                );
+                let entry = b.create_block("entry");
+                b.switch_to(entry);
+                let mut acc = Value::Arg(0);
+                for _ in 0..self.intra_call_sites {
+                    let (callee, num_params) = &targets[rng.gen_range(0..targets.len())];
+                    acc = b.call(callee.clone(), vec![acc; *num_params], Type::I32);
+                }
+                b.ret(Some(acc));
+                module.add_function(b.finish());
+            }
+        }
         modules
     }
 }
@@ -226,6 +275,57 @@ mod tests {
         for (name, count) in seen {
             let limit = if name.contains("_odr") { 2 } else { 1 };
             assert!(count <= limit, "@{name} defined {count} times");
+        }
+    }
+
+    #[test]
+    fn call_heavy_corpora_add_verifier_clean_drivers_with_asymmetric_coupling() {
+        let spec = CorpusSpec::call_heavy();
+        let modules = spec.generate();
+        let mut total_driver_calls = 0usize;
+        for (mi, m) in modules.iter().enumerate() {
+            assert!(ssa_ir::verifier::verify_module(m).is_empty());
+            let driver = m
+                .function(&format!("corpus_m{mi}_driver"))
+                .expect("every module gets a driver");
+            let calls: u32 = driver.callee_counts().values().sum();
+            assert_eq!(calls as usize, spec.intra_call_sites);
+            // Drivers only call same-module functions.
+            for callee in driver.callee_counts().keys() {
+                assert!(m.function(callee).is_some(), "@{callee} not in module");
+            }
+            total_driver_calls += calls as usize;
+        }
+        assert_eq!(total_driver_calls, modules.len() * spec.intra_call_sites);
+        // At least one clone family must end up with *different* intra-module
+        // caller counts across its members — the host policy's signal.
+        let mut fam_callers: HashMap<String, Vec<u32>> = HashMap::new();
+        for m in &modules {
+            let driver_counts = m
+                .functions()
+                .iter()
+                .find(|f| f.name.ends_with("_driver"))
+                .map(ssa_ir::Function::callee_counts)
+                .unwrap_or_default();
+            for f in m.functions() {
+                if f.name.contains("_fam") {
+                    fam_callers
+                        .entry(f.name.split("_m").next().unwrap_or("").to_string())
+                        .or_default()
+                        .push(driver_counts.get(&f.name).copied().unwrap_or(0));
+                }
+            }
+        }
+        assert!(
+            fam_callers
+                .values()
+                .any(|counts| counts.iter().min() != counts.iter().max()),
+            "some family must have asymmetric caller counts: {fam_callers:?}"
+        );
+        // Determinism.
+        let again = spec.generate();
+        for (a, b) in modules.iter().zip(&again) {
+            assert_eq!(ssa_ir::print_module(a), ssa_ir::print_module(b));
         }
     }
 

@@ -43,13 +43,14 @@ fn pct(before: usize, after: usize) -> String {
 /// Serializes the planner-engine statistics shared by both report schemas.
 fn planner_json(stats: &PlanStats) -> String {
     format!(
-        r#"{{"candidates":{},"speculative_scores":{},"inline_scores":{},"rounds":{},"score_ms":{},"commit_ms":{}}}"#,
+        r#"{{"candidates":{},"speculative_scores":{},"inline_scores":{},"rounds":{},"score_ms":{},"commit_ms":{},"oracle_links":{}}}"#,
         stats.candidates,
         stats.speculative_scores,
         stats.inline_scores,
         stats.rounds,
         ms(stats.score_time),
-        ms(stats.commit_time)
+        ms(stats.commit_time),
+        stats.oracle_links
     )
 }
 
@@ -106,14 +107,16 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
         .iter()
         .map(|r| {
             format!(
-                r#"{{"host_module":"{}","donor_module":"{}","f1":"{}","f2":"{}","merged":"{}","profit_bytes":{},"odr_dedup":{}}}"#,
+                r#"{{"host_module":"{}","donor_module":"{}","f1":"{}","f2":"{}","merged":"{}","profit_bytes":{},"odr_dedup":{},"forced_edges":{},"saved_edges":{}}}"#,
                 json_escape(&r.host_module),
                 json_escape(&r.donor_module),
                 json_escape(&r.f1),
                 json_escape(&r.f2),
                 json_escape(&r.merged_name),
                 r.profit_bytes,
-                r.odr_dedup
+                r.odr_dedup,
+                r.forced_edges,
+                r.saved_edges
             )
         })
         .collect();
@@ -147,8 +150,9 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
             )
         })
         .collect();
+    let region_counts: Vec<String> = report.region_counts.iter().map(usize::to_string).collect();
     format!(
-        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}}}}"#,
+        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}}}}"#,
         report.modules,
         report.functions,
         report.candidates,
@@ -166,6 +170,7 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
         ms(report.discover_time),
         ms(report.score_time),
         ms(report.commit_time),
+        ms(report.callgraph_time),
         committed.join(","),
         per_module.join(","),
         planner_json(&report.planner),
@@ -177,7 +182,13 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
         report.cache_misses,
         report.cache_hit_rate(),
         report.index_reuse.reused,
-        report.index_reuse.refreshed
+        report.index_reuse.refreshed,
+        report.host_policy,
+        report.forced_cross_edges,
+        report.saved_cross_edges,
+        region_counts.join(","),
+        report.call_index_reuse.reused,
+        report.call_index_reuse.refreshed
     )
 }
 

@@ -52,7 +52,7 @@ pub use index::{CorpusIndex, FunctionSummary, IndexReuse, ModuleIndex};
 pub use json::{corpus_report_json, json_escape, merge_report_json};
 pub use pipeline::{
     xmerge_corpus, xmerge_corpus_with_index, CorpusMergeReport, CrossMergeRecord, FixpointConfig,
-    ModuleStats, XMergeConfig,
+    HostPolicy, ModuleStats, XMergeConfig,
 };
 
 #[cfg(test)]

@@ -32,10 +32,30 @@
 //! intra-merged in place, and another round runs — so a merged host function
 //! re-enters the candidate pool and can merge again — until a round commits
 //! nothing or the round cap is reached.
+//!
+//! Every round also (incrementally) rebuilds the whole-program **call graph**
+//! (the `callgraph` crate) and uses it two ways:
+//!
+//! * **host selection** ([`XMergeConfig::host_policy`]): under
+//!   [`HostPolicy::CallGraph`] each candidate pair is re-oriented through the
+//!   planner's placement hook so the member with *lower* static intra-module
+//!   coupling (callers + callees that would be forced into cross-module hops
+//!   by moving its body) donates, minimizing the call edges the commit forces
+//!   cross-module; ties fall back to the size rule. Every commit records the
+//!   forced and saved edge counts.
+//! * **region-parallel planning** ([`XMergeConfig::region_parallel`]): the
+//!   corpus is partitioned into connected regions — modules linked by
+//!   cross-module calls, shared externally visible definitions, or candidate
+//!   pairs — and each region runs the speculative score/commit loop
+//!   independently on worker threads. Regions share no symbols, so a
+//!   single-region corpus commits bit-identically to the sequential
+//!   whole-corpus plan.
 
 use crate::discover::{discover, CandidatePair, DiscoveryConfig};
 use crate::index::{CorpusIndex, IndexReuse};
+use callgraph::{module_regions, CallGraph, CallIndexReuse, CorpusCallIndex};
 use fm_align::MinHash;
+use rayon::prelude::*;
 use salssa::plan::{run_plan, CandidateSource, CommitOutcome, PlanStats, ScoreMode};
 use salssa::{
     build_thunk, merge_module, merge_pair, DriverConfig, MergeOptions, MergeRecord, SalSsaMerger,
@@ -43,13 +63,48 @@ use salssa::{
 };
 use ssa_ir::{
     callees_of, import_function, link_modules_with_renames, sanitize_symbol,
-    structural_key_counters, structurally_equal, FuncDecl, Function, Linkage, Module,
+    structural_key_counters, structurally_equal, FuncDecl, Function, LinkRenames, Linkage, Module,
 };
 use ssa_passes::codesize::function_size_bytes;
 use ssa_passes::module_size_bytes;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// How the cross-module pipeline decides which module hosts a merged body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum HostPolicy {
+    /// The larger function's module hosts (ties broken by module/function
+    /// name) — the original rule, encoded in discovery's pair orientation.
+    #[default]
+    Size,
+    /// Call-graph locality decides: the pair member with lower static
+    /// intra-module coupling donates its body, so the commit forces the
+    /// fewest call edges cross-module; ties fall back to [`HostPolicy::Size`].
+    CallGraph,
+}
+
+impl fmt::Display for HostPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostPolicy::Size => write!(f, "size"),
+            HostPolicy::CallGraph => write!(f, "callgraph"),
+        }
+    }
+}
+
+impl std::str::FromStr for HostPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<HostPolicy, String> {
+        match s {
+            "size" => Ok(HostPolicy::Size),
+            "callgraph" => Ok(HostPolicy::CallGraph),
+            other => Err(format!("unknown host policy '{other}' (size|callgraph)")),
+        }
+    }
+}
 
 /// Fixpoint iteration of the cross-module pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +144,13 @@ pub struct XMergeConfig {
     /// interleaved with per-module intra merging). `None` runs one round,
     /// exactly the pre-fixpoint behavior.
     pub fixpoint: Option<FixpointConfig>,
+    /// How merged bodies are placed (defaults to the original size rule).
+    pub host_policy: HostPolicy,
+    /// Plan and commit independent call-graph regions on worker threads.
+    /// Off by default: the global plan commits in one whole-corpus profit
+    /// order, and region-parallel runs concatenate per-region profit orders
+    /// instead (identical commits whenever the corpus is a single region).
+    pub region_parallel: bool,
 }
 
 impl XMergeConfig {
@@ -101,6 +163,8 @@ impl XMergeConfig {
             batch_size: 128,
             check_semantics: false,
             fixpoint: None,
+            host_policy: HostPolicy::default(),
+            region_parallel: false,
         }
     }
 
@@ -114,6 +178,18 @@ impl XMergeConfig {
     /// intra-module pass.
     pub fn with_fixpoint(mut self, fixpoint: FixpointConfig) -> XMergeConfig {
         self.fixpoint = Some(fixpoint);
+        self
+    }
+
+    /// Selects the host-placement policy.
+    pub fn with_host_policy(mut self, policy: HostPolicy) -> XMergeConfig {
+        self.host_policy = policy;
+        self
+    }
+
+    /// Enables region-parallel planning and committing.
+    pub fn with_region_parallel(mut self, on: bool) -> XMergeConfig {
+        self.region_parallel = on;
         self
     }
 }
@@ -138,6 +214,15 @@ pub struct CrossMergeRecord {
     /// `true` when the pair was ODR-identical and the donor copy was simply
     /// dropped instead of merged.
     pub odr_dedup: bool,
+    /// Static call edges this commit's placement forces cross-module: the
+    /// donor function's intra-module coupling (its same-module callers now
+    /// hop out through the thunk; for genuine merges, its body's same-module
+    /// callees are hopped back to from the host — an ODR dedup deletes the
+    /// body, so only caller sites count).
+    pub forced_edges: u32,
+    /// Static call edges the host-selection policy saved versus the flipped
+    /// placement (0 under [`HostPolicy::Size`] and on coupling ties).
+    pub saved_edges: u32,
 }
 
 /// Before/after statistics of one module of the corpus.
@@ -178,6 +263,8 @@ pub struct CorpusMergeReport {
     pub per_module: Vec<ModuleStats>,
     /// Time spent building the summary index.
     pub index_time: Duration,
+    /// Time spent (re-)building and resolving the whole-program call graph.
+    pub callgraph_time: Duration,
     /// Time spent in sharded candidate discovery.
     pub discover_time: Duration,
     /// Time spent speculatively scoring candidate pairs.
@@ -200,6 +287,18 @@ pub struct CorpusMergeReport {
     pub cache_misses: u64,
     /// Index reuse of the incremental (re-)builds, summed over rounds.
     pub index_reuse: IndexReuse,
+    /// Host-placement policy the run used.
+    pub host_policy: HostPolicy,
+    /// Static call edges forced cross-module, summed over all commits.
+    pub forced_cross_edges: u64,
+    /// Static call edges the host-selection policy saved versus flipped
+    /// placements, summed over all commits.
+    pub saved_cross_edges: u64,
+    /// Independent call-graph regions per round, in round order (always
+    /// recorded; only exploited with [`XMergeConfig::region_parallel`]).
+    pub region_counts: Vec<usize>,
+    /// Call-site index reuse of the incremental per-round rebuilds.
+    pub call_index_reuse: CallIndexReuse,
 }
 
 impl CorpusMergeReport {
@@ -296,17 +395,23 @@ impl fmt::Display for CorpusMergeReport {
         }
         writeln!(
             f,
-            "  planner: {} candidates, {} speculative + {} inline scores; structural-key cache {:.1}% hits ({} hits / {} misses)",
+            "  placement: {} policy, {} call edges forced cross-module ({} saved); regions per round: {:?}",
+            self.host_policy, self.forced_cross_edges, self.saved_cross_edges, self.region_counts
+        )?;
+        writeln!(
+            f,
+            "  planner: {} candidates, {} speculative + {} inline scores, {} oracle links; structural-key cache {:.1}% hits ({} hits / {} misses)",
             self.planner.candidates,
             self.planner.speculative_scores,
             self.planner.inline_scores,
+            self.planner.oracle_links,
             100.0 * self.cache_hit_rate(),
             self.cache_hits,
             self.cache_misses
         )?;
         write!(
             f,
-            "  corpus: {} -> {} bytes ({:.1}% reduction); index {:?} ({} modules re-summarized, {} reused), discover {:?}, score {:?}, commit {:?}",
+            "  corpus: {} -> {} bytes ({:.1}% reduction); index {:?} ({} modules re-summarized, {} reused), callgraph {:?} ({} re-scanned, {} reused), discover {:?}, score {:?}, commit {:?}",
             self.size_before,
             self.size_after,
             100.0 * self.size_before.saturating_sub(self.size_after) as f64
@@ -314,6 +419,9 @@ impl fmt::Display for CorpusMergeReport {
             self.index_time,
             self.index_reuse.refreshed,
             self.index_reuse.reused,
+            self.callgraph_time,
+            self.call_index_reuse.refreshed,
+            self.call_index_reuse.reused,
             self.discover_time,
             self.score_time,
             self.commit_time
@@ -337,6 +445,22 @@ struct ScoredCross {
 /// module index, and the two function names.
 type CrossKey = (usize, usize, String, String);
 
+/// Per-function static intra-module coupling, split by side: a *merged*
+/// donor forces both its same-module callers (they now hop out through the
+/// thunk) and its body's same-module callees (hopped back to from the host)
+/// cross-module, while an *ODR-deduped* donor forces only its callers — the
+/// deleted body's callee edges vanish with it.
+#[derive(Debug, Clone, Copy, Default)]
+struct Coupling {
+    /// Same-module call sites targeting the function (self-calls excluded).
+    callers: u32,
+    /// The function's own call sites targeting same-module definitions.
+    callees: u32,
+}
+
+/// Per-function coupling, module name → function name.
+type CouplingMap = HashMap<String, HashMap<String, Coupling>>;
+
 /// The cross-module [`CandidateSource`]: LSH-shard discovery provides the
 /// candidates, [`score_cross`] the scores, and the import/merge/thunk commit
 /// protocol — behind the ODR hazard hook and optionally the differential
@@ -349,14 +473,123 @@ struct CrossSource<'a> {
     names: Vec<String>,
     /// Where every symbol is defined, with its linkage, for the hazard rules.
     def_sites: HashMap<String, Vec<(usize, Linkage)>>,
-    /// Discovery output, in discovery order (the speculative key set).
+    /// Discovery output, in discovery order (the speculative key set),
+    /// size-rule oriented; the placement hook applies the host policy.
     resolved: Vec<CrossKey>,
+    /// Per-function intra-module coupling (static caller + callee sites that
+    /// moving the body would force cross-module), keyed module name →
+    /// function name — from the round's call-graph locality summaries.
+    /// Nested so the placement hot path looks up by `&str` without
+    /// allocating.
+    coupling: Arc<CouplingMap>,
     /// Profit-ordered commit schedule: key, profit, odr_dedup.
     schedule: VecDeque<(CrossKey, i64, bool)>,
     consumed: HashSet<(usize, String)>,
     attempts: usize,
     hazard_skips: usize,
     semantic_rejections: usize,
+    /// Per-round cache of oracle *before* programs per (host, donor) module
+    /// pair (`None` records that the pair cannot link), so consecutive oracle
+    /// runs over untouched module pairs link once instead of once per
+    /// commit. Invalidated whenever a commit mutates either side.
+    oracle_before: HashMap<(usize, usize), Option<(Module, LinkRenames)>>,
+    /// Whole-program links performed for the oracle (before + after sides).
+    oracle_links: usize,
+}
+
+impl<'a> CrossSource<'a> {
+    fn new(
+        modules: &'a mut [Module],
+        config: &'a XMergeConfig,
+        names: Vec<String>,
+        resolved: Vec<CrossKey>,
+        coupling: Arc<CouplingMap>,
+    ) -> CrossSource<'a> {
+        // Where each symbol is defined, with linkage, for the hazard rules.
+        let mut def_sites: HashMap<String, Vec<(usize, Linkage)>> = HashMap::new();
+        for (mi, m) in modules.iter().enumerate() {
+            for f in m.functions() {
+                def_sites
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push((mi, f.linkage));
+            }
+        }
+        CrossSource {
+            modules,
+            config,
+            names,
+            def_sites,
+            resolved,
+            coupling,
+            schedule: VecDeque::new(),
+            consumed: HashSet::new(),
+            attempts: 0,
+            hazard_skips: 0,
+            semantic_rejections: 0,
+            oracle_before: HashMap::new(),
+            oracle_links: 0,
+        }
+    }
+
+    /// The static call edges forced cross-module by making `name`@`module`
+    /// the donor side: callers + callees for a genuine merge (the body
+    /// moves), callers only for an ODR dedup (the body is deleted).
+    fn donor_cost(&self, module: usize, name: &str, dedup: bool) -> u32 {
+        let c = self
+            .coupling
+            .get(&self.names[module])
+            .and_then(|functions| functions.get(name))
+            .copied()
+            .unwrap_or_default();
+        if dedup {
+            c.callers
+        } else {
+            c.callers + c.callees
+        }
+    }
+
+    /// Whether a pair would commit as an ODR dedup (mirrors the scorer's
+    /// criterion), so placement costs it by the dedup rule.
+    fn is_potential_dedup(&self, hi: usize, di: usize, name: &str) -> bool {
+        match (
+            self.modules[hi].function(name),
+            self.modules[di].function(name),
+        ) {
+            (Some(a), Some(b)) => a.linkage == Linkage::External && structurally_equal(a, b),
+            _ => false,
+        }
+    }
+
+    /// Forced/saved cross-module call edges of a placed pair: forced is the
+    /// donor side's cost; saved is how much worse the flipped placement
+    /// would have been (0 under the size policy, which never flips).
+    fn edge_stats(&self, s: &ScoredCross) -> (u32, u32) {
+        let forced = self.donor_cost(s.donor, &s.f2, s.odr_dedup);
+        let saved = match self.config.host_policy {
+            HostPolicy::CallGraph => self
+                .donor_cost(s.host, &s.f1, s.odr_dedup)
+                .saturating_sub(forced),
+            HostPolicy::Size => 0,
+        };
+        (forced, saved)
+    }
+
+    /// Ensures the linked before-program of a (host, donor) pair is cached,
+    /// linking on first use. A cached `None` records that the pair carries a
+    /// pre-existing duplicate-symbol conflict and cannot be attested.
+    fn ensure_oracle_before(&mut self, host: usize, donor: usize) {
+        let key = (host, donor);
+        if !self.oracle_before.contains_key(&key) {
+            self.oracle_links += 1;
+            let linked = link_modules_with_renames(
+                [&self.modules[host], &self.modules[donor]],
+                "pair.before",
+            )
+            .ok();
+            self.oracle_before.insert(key, linked);
+        }
+    }
 }
 
 impl CandidateSource for CrossSource<'_> {
@@ -366,6 +599,25 @@ impl CandidateSource for CrossSource<'_> {
 
     fn speculative_keys(&self) -> Vec<CrossKey> {
         self.resolved.clone()
+    }
+
+    /// The host policy: under [`HostPolicy::CallGraph`], flip the pair when
+    /// the size-rule host side would be a *cheaper* donor than the donor
+    /// side — the less-coupled member donates, minimizing forced
+    /// cross-module edges. Ties keep the size orientation, and the hook is
+    /// idempotent (a flipped key never flips back: its new donor side costs
+    /// ≤ its new host side).
+    fn place(&self, key: CrossKey) -> CrossKey {
+        if self.config.host_policy != HostPolicy::CallGraph {
+            return key;
+        }
+        let (hi, di, f1, f2) = key;
+        let dedup = f1 == f2 && self.is_potential_dedup(hi, di, &f1);
+        if self.donor_cost(hi, &f1, dedup) < self.donor_cost(di, &f2, dedup) {
+            (di, hi, f2, f1)
+        } else {
+            (hi, di, f1, f2)
+        }
     }
 
     fn score(&self, key: &CrossKey, _keep_artifacts: bool) -> Option<ScoredCross> {
@@ -441,6 +693,7 @@ impl CandidateSource for CrossSource<'_> {
             sanitize_symbol(&self.modules[s.donor].name),
             s.f2
         );
+        let (forced_edges, saved_edges) = self.edge_stats(&s);
         // Savings the speculative score could not see (host-side ODR dedup
         // during the import), reported on top of the scored profit.
         let extra_profit: i64;
@@ -468,13 +721,18 @@ impl CandidateSource for CrossSource<'_> {
                 return CommitOutcome::Skipped;
             };
             extra_profit = profit;
-            let before_prog = link_modules_with_renames(
-                [&self.modules[s.host], &self.modules[s.donor]],
-                "pair.before",
-            );
-            let after_prog = link_modules_with_renames([&trial_host, &trial_donor], "pair.after");
-            let (Ok((before_prog, before_renames)), Ok((after_prog, _))) =
-                (before_prog, after_prog)
+            // The before side comes from the per-round cache: candidate pairs
+            // cluster on module pairs, so one link per (host, donor) between
+            // mutations serves a whole batch of oracle runs.
+            self.ensure_oracle_before(s.host, s.donor);
+            self.oracle_links += 1;
+            let Ok((after_prog, _)) =
+                link_modules_with_renames([&trial_host, &trial_donor], "pair.after")
+            else {
+                self.hazard_skips += 1;
+                return CommitOutcome::Skipped;
+            };
+            let Some((before_prog, before_renames)) = &self.oracle_before[&(s.host, s.donor)]
             else {
                 // The pair itself carries a pre-existing duplicate-symbol
                 // conflict: the oracle cannot attest anything, so skip the
@@ -493,7 +751,7 @@ impl CandidateSource for CrossSource<'_> {
             });
             let verdict = entries.iter().try_for_each(|name| {
                 ssa_interp::differential_check(
-                    &before_prog,
+                    before_prog,
                     &after_prog,
                     name,
                     SEMANTIC_SAMPLES,
@@ -518,6 +776,15 @@ impl CandidateSource for CrossSource<'_> {
             };
             extra_profit = profit;
         }
+        // The commit mutated the donor (and, for genuine merges, the host):
+        // cached before-programs involving a mutated module are stale.
+        let host_mutated = !s.odr_dedup;
+        self.oracle_before.retain(|(h, d), _| {
+            let stale = [h, d]
+                .into_iter()
+                .any(|m| *m == s.donor || (host_mutated && *m == s.host));
+            !stale
+        });
         if !s.odr_dedup {
             self.consumed.insert((s.host, s.f1.clone()));
         }
@@ -535,6 +802,8 @@ impl CandidateSource for CrossSource<'_> {
             profit_bytes: s.profit + extra_profit,
             sizes: s.sizes,
             odr_dedup: s.odr_dedup,
+            forced_edges,
+            saved_edges,
         })
     }
 }
@@ -551,29 +820,40 @@ impl CandidateSource for CrossSource<'_> {
 /// duplicate names — e.g. several results of [`ssa_ir::parse_module`], which
 /// all come back named `parsed` — are renamed with a numeric suffix first.
 pub fn xmerge_corpus(modules: &mut [Module], config: &XMergeConfig) -> CorpusMergeReport {
-    run_pipeline(modules, config, None, false).0
+    run_pipeline(modules, config, None, None, false).0
 }
 
-/// [`xmerge_corpus`], seeded with a previously serialized [`CorpusIndex`]:
-/// modules whose content hash matches the prior index skip re-summarization.
-/// Returns the report plus the refreshed *input-side* index (the summaries of
-/// the corpus as it was loaded, before any merging), which callers persist so
-/// the next run over the same inputs skips re-summarizing unchanged modules.
+/// [`xmerge_corpus`], seeded with a previously serialized [`CorpusIndex`]
+/// (and optionally its companion [`CorpusCallIndex`]): modules whose content
+/// hash matches the prior indices skip re-summarization and re-scanning.
+/// Returns the report plus the refreshed *input-side* indices (the summaries
+/// of the corpus as it was loaded, before any merging), which callers persist
+/// so the next run over the same inputs skips both.
 pub fn xmerge_corpus_with_index(
     modules: &mut [Module],
     config: &XMergeConfig,
     prior_index: Option<CorpusIndex>,
-) -> (CorpusMergeReport, CorpusIndex) {
-    let (report, index) = run_pipeline(modules, config, prior_index, true);
-    (report, index.expect("final index was requested"))
+    prior_calls: Option<CorpusCallIndex>,
+) -> (CorpusMergeReport, CorpusIndex, CorpusCallIndex) {
+    let (report, index, calls) = run_pipeline(modules, config, prior_index, prior_calls, true);
+    (
+        report,
+        index.expect("final index was requested"),
+        calls.expect("final call index was requested"),
+    )
 }
 
 fn run_pipeline(
     modules: &mut [Module],
     config: &XMergeConfig,
     prior_index: Option<CorpusIndex>,
+    prior_calls: Option<CorpusCallIndex>,
     want_input_index: bool,
-) -> (CorpusMergeReport, Option<CorpusIndex>) {
+) -> (
+    CorpusMergeReport,
+    Option<CorpusIndex>,
+    Option<CorpusCallIndex>,
+) {
     let num_hashes = if config.num_hashes == 0 {
         MinHash::DEFAULT_HASHES
     } else {
@@ -596,6 +876,7 @@ fn run_pipeline(
         modules: modules.len(),
         functions: before.iter().map(|(_, f, _)| f).sum(),
         size_before: before.iter().map(|(_, _, b)| b).sum(),
+        host_policy: config.host_policy,
         ..CorpusMergeReport::default()
     };
 
@@ -608,14 +889,16 @@ fn run_pipeline(
     let fixpoint = config.fixpoint;
     let max_rounds = fixpoint.map(|f| f.max_rounds.max(1)).unwrap_or(1);
     let mut index = prior_index;
+    let mut call_index = prior_calls;
     // Modules worth an intra pass this round: everything on round 1, then
     // only modules a cross commit touched or whose last intra pass committed
     // something (merge_module is deterministic, so an unchanged module that
     // committed nothing will commit nothing again).
     let mut intra_dirty = vec![true; modules.len()];
-    // The first round's index describes the corpus as loaded — that is what
+    // The first round's indices describe the corpus as loaded — that is what
     // `--index` persists (later rounds summarize partially merged modules).
     let mut input_index: Option<CorpusIndex> = None;
+    let mut input_calls: Option<CorpusCallIndex> = None;
     for _round in 0..max_rounds {
         // Re-index: unchanged modules reuse their summaries via the
         // content-hash cache (full build on the first round without a prior
@@ -646,49 +929,63 @@ fn run_pipeline(
             })
             .collect();
 
-        // Where each symbol is defined, with linkage, for the hazard rules.
-        let mut def_sites: HashMap<String, Vec<(usize, Linkage)>> = HashMap::new();
-        for (mi, m) in modules.iter().enumerate() {
-            for f in m.functions() {
-                def_sites
-                    .entry(f.name.clone())
-                    .or_default()
-                    .push((mi, f.linkage));
-            }
+        // Re-build the whole-program call graph (unchanged modules reuse
+        // their call-site summaries) and derive the per-function coupling the
+        // host policy places by, plus the round's independent regions.
+        let t = Instant::now();
+        let (round_calls, call_reuse) =
+            CorpusCallIndex::build_incremental(modules, call_index.as_ref());
+        let graph = CallGraph::resolve(&round_calls);
+        let locality = graph.locality();
+        let mut coupling = CouplingMap::new();
+        for (i, n) in graph.nodes.iter().enumerate() {
+            coupling
+                .entry(graph.modules[n.module].clone())
+                .or_default()
+                .insert(
+                    n.name.clone(),
+                    Coupling {
+                        callers: locality[i].intra_callers,
+                        callees: locality[i].intra_callees,
+                    },
+                );
         }
+        let coupling = Arc::new(coupling);
+        let mut links: Vec<(usize, usize)> = graph.cross_module_links();
+        links.extend(graph.shared_definition_links());
+        links.extend(resolved.iter().map(|(h, d, _, _)| (*h.min(d), *h.max(d))));
+        let regions = module_regions(modules.len(), links);
+        report.callgraph_time += t.elapsed();
+        report.call_index_reuse.absorb(call_reuse);
+        report.region_counts.push(regions.len());
 
-        let mut source = CrossSource {
-            modules,
-            config,
-            names: names.clone(),
-            def_sites,
-            resolved,
-            schedule: VecDeque::new(),
-            consumed: HashSet::new(),
-            attempts: 0,
-            hazard_skips: 0,
-            semantic_rejections: 0,
+        let outcome = if config.region_parallel && regions.len() > 1 {
+            run_round_in_regions(modules, config, &names, resolved, &coupling, &regions)
+        } else {
+            run_cross_round(modules, config, names.clone(), resolved, coupling)
         };
-        let (committed, stats) = run_plan(
-            &mut source,
-            ScoreMode::Speculative {
-                batch_size: config.batch_size.max(1),
-            },
-        );
-        report.attempts += source.attempts;
-        report.hazard_skips += source.hazard_skips;
-        report.semantic_rejections += source.semantic_rejections;
-        report.score_time += stats.score_time;
-        report.commit_time += stats.commit_time;
-        report.planner.absorb(&stats);
-        let cross_commits = committed.len();
+        report.attempts += outcome.attempts;
+        report.hazard_skips += outcome.hazard_skips;
+        report.semantic_rejections += outcome.semantic_rejections;
+        report.score_time += outcome.stats.score_time;
+        report.commit_time += outcome.stats.commit_time;
+        report.planner.absorb(&outcome.stats);
+        for r in &outcome.committed {
+            report.forced_cross_edges += u64::from(r.forced_edges);
+            report.saved_cross_edges += u64::from(r.saved_edges);
+        }
+        let cross_commits = outcome.committed.len();
         report.round_commits.push(cross_commits);
-        report.committed.extend(committed);
+        report.committed.extend(outcome.committed);
         report.rounds += 1;
         if input_index.is_none() {
             input_index = Some(round_index.clone());
         }
+        if input_calls.is_none() {
+            input_calls = Some(round_calls.clone());
+        }
         index = Some(round_index);
+        call_index = Some(round_calls);
 
         // Interleaved per-module intra merging: a merged host function can
         // merge again within its module, and the next round's discovery sees
@@ -742,9 +1039,153 @@ fn run_pipeline(
     report.cache_misses = misses1.saturating_sub(misses0);
 
     if !want_input_index {
-        return (report, None);
+        return (report, None, None);
     }
-    (report, Some(input_index.unwrap_or_default()))
+    (
+        report,
+        Some(input_index.unwrap_or_default()),
+        Some(input_calls.unwrap_or_default()),
+    )
+}
+
+/// Statistics of one cross-module planning round over one region (or the
+/// whole corpus).
+struct RoundOutcome {
+    committed: Vec<CrossMergeRecord>,
+    attempts: usize,
+    hazard_skips: usize,
+    semantic_rejections: usize,
+    stats: PlanStats,
+}
+
+/// Runs one speculative score/commit pass over `modules` (the whole corpus,
+/// or one region of it with indices and names already remapped).
+fn run_cross_round(
+    modules: &mut [Module],
+    config: &XMergeConfig,
+    names: Vec<String>,
+    resolved: Vec<CrossKey>,
+    coupling: Arc<CouplingMap>,
+) -> RoundOutcome {
+    let mut source = CrossSource::new(modules, config, names, resolved, coupling);
+    let (committed, mut stats) = run_plan(
+        &mut source,
+        ScoreMode::Speculative {
+            batch_size: config.batch_size.max(1),
+        },
+    );
+    stats.oracle_links = source.oracle_links;
+    RoundOutcome {
+        committed,
+        attempts: source.attempts,
+        hazard_skips: source.hazard_skips,
+        semantic_rejections: source.semantic_rejections,
+        stats,
+    }
+}
+
+/// Runs one round with each call-graph region planned and committed on its
+/// own worker thread. Regions share no symbols — no call edges, no external
+/// definitions, no candidate pairs cross a region boundary — so every
+/// region's plan is exactly what a sequential run restricted to it would
+/// produce, and regions cannot observe each other's commits. Results are
+/// stitched back in region order, keeping the pipeline deterministic.
+fn run_round_in_regions(
+    modules: &mut [Module],
+    config: &XMergeConfig,
+    names: &[String],
+    resolved: Vec<CrossKey>,
+    coupling: &Arc<CouplingMap>,
+    regions: &[Vec<usize>],
+) -> RoundOutcome {
+    let mut region_of = vec![0usize; modules.len()];
+    for (ri, members) in regions.iter().enumerate() {
+        for &m in members {
+            region_of[m] = ri;
+        }
+    }
+    // Bucket candidate keys per region; both endpoints of a pair are in one
+    // region by construction (the pair itself is a region link).
+    let mut keys_per_region: Vec<Vec<CrossKey>> = vec![Vec::new(); regions.len()];
+    for key in resolved {
+        debug_assert_eq!(region_of[key.0], region_of[key.1]);
+        keys_per_region[region_of[key.0]].push(key);
+    }
+
+    /// One region's slice of the corpus, module indices remapped to-region.
+    struct RegionTask {
+        members: Vec<usize>,
+        modules: Vec<Module>,
+        names: Vec<String>,
+        resolved: Vec<CrossKey>,
+    }
+    let mut tasks: Vec<Mutex<Option<RegionTask>>> = Vec::with_capacity(regions.len());
+    for (ri, members) in regions.iter().enumerate() {
+        let local_of: HashMap<usize, usize> = members
+            .iter()
+            .enumerate()
+            .map(|(local, &global)| (global, local))
+            .collect();
+        tasks.push(Mutex::new(Some(RegionTask {
+            modules: members
+                .iter()
+                .map(|&g| std::mem::take(&mut modules[g]))
+                .collect(),
+            names: members.iter().map(|&g| names[g].clone()).collect(),
+            resolved: keys_per_region[ri]
+                .drain(..)
+                .map(|(h, d, f1, f2)| (local_of[&h], local_of[&d], f1, f2))
+                .collect(),
+            members: members.to_vec(),
+        })));
+    }
+    let results: Vec<(Vec<usize>, Vec<Module>, RoundOutcome)> = tasks
+        .par_iter()
+        .map(|slot| {
+            let task = slot
+                .lock()
+                .expect("region mutex poisoned")
+                .take()
+                .expect("each region is taken exactly once");
+            let RegionTask {
+                members,
+                mut modules,
+                names,
+                resolved,
+            } = task;
+            let outcome = run_cross_round(&mut modules, config, names, resolved, coupling.clone());
+            (members, modules, outcome)
+        })
+        .collect();
+
+    let mut total = RoundOutcome {
+        committed: Vec::new(),
+        attempts: 0,
+        hazard_skips: 0,
+        semantic_rejections: 0,
+        stats: PlanStats::default(),
+    };
+    let mut max_score_time = std::time::Duration::ZERO;
+    let mut max_commit_time = std::time::Duration::ZERO;
+    for (members, region_modules, outcome) in results {
+        for (&global, module) in members.iter().zip(region_modules) {
+            modules[global] = module;
+        }
+        total.committed.extend(outcome.committed);
+        total.attempts += outcome.attempts;
+        total.hazard_skips += outcome.hazard_skips;
+        total.semantic_rejections += outcome.semantic_rejections;
+        max_score_time = max_score_time.max(outcome.stats.score_time);
+        max_commit_time = max_commit_time.max(outcome.stats.commit_time);
+        total.stats.absorb(&outcome.stats);
+    }
+    // `absorb` counts one planner round per region and *sums* phase times
+    // that actually ran concurrently; report one pipeline round and the
+    // slowest region's times (the wall-clock the phases really took).
+    total.stats.rounds = 1;
+    total.stats.score_time = max_score_time;
+    total.stats.commit_time = max_commit_time;
+    total
 }
 
 /// Scores one cross-module pair without mutating anything; bodies are
@@ -894,11 +1335,11 @@ fn apply_dedup(host: &Module, donor: &mut Module, name: &str) -> Option<i64> {
     // Both sides were verified identical by the scorer; keep the host's.
     host.function(name)?;
     let dropped = donor.remove_function(name)?;
-    donor.declare(FuncDecl {
-        name: dropped.name.clone(),
-        params: dropped.params.clone(),
-        ret_ty: dropped.ret_ty,
-    });
+    donor.declare(FuncDecl::new(
+        dropped.name.clone(),
+        dropped.params.clone(),
+        dropped.ret_ty,
+    ));
     Some(0)
 }
 
@@ -961,11 +1402,11 @@ fn apply_commit(
         .unwrap_or(0);
     let donor_original = donor.remove_function(&s.f2)?;
     let donor_thunk = build_thunk(&donor_original, &pair.merged, &pair.param_f2, true);
-    let merged_decl = FuncDecl {
-        name: pair.merged.name.clone(),
-        params: pair.merged.params.clone(),
-        ret_ty: pair.merged.ret_ty,
-    };
+    let merged_decl = FuncDecl::new(
+        pair.merged.name.clone(),
+        pair.merged.params.clone(),
+        pair.merged.ret_ty,
+    );
 
     host.remove_function(&s.f1);
     host.remove_function(&outcome.name);

@@ -6,7 +6,9 @@
 use ssa_ir::verifier::verify_module;
 use ssa_ir::{link_modules, print_module};
 use workloads::CorpusSpec;
-use xmerge::{xmerge_corpus, xmerge_corpus_with_index, CorpusIndex, FixpointConfig, XMergeConfig};
+use xmerge::{
+    xmerge_corpus, xmerge_corpus_with_index, CorpusIndex, FixpointConfig, HostPolicy, XMergeConfig,
+};
 
 fn eight_module_corpus() -> Vec<ssa_ir::Module> {
     CorpusSpec::default().generate()
@@ -106,21 +108,215 @@ fn fixpoint_round_one_matches_the_single_shot_pipeline() {
 #[test]
 fn prior_index_reuse_changes_nothing_but_skips_summarization() {
     let mut baseline_corpus = eight_module_corpus();
-    let (baseline, index) =
-        xmerge_corpus_with_index(&mut baseline_corpus, &XMergeConfig::new(), None);
+    let (baseline, index, calls) =
+        xmerge_corpus_with_index(&mut baseline_corpus, &XMergeConfig::new(), None, None);
     assert_eq!(baseline.index_reuse.reused, 0);
     assert_eq!(baseline.index_reuse.refreshed, 8);
+    assert_eq!(baseline.call_index_reuse.reused, 0);
+    assert_eq!(baseline.call_index_reuse.refreshed, 8);
 
-    // Round-trip the index through its serialized form, like `--index` does.
+    // Round-trip both indices through their serialized form, like `--index`
+    // does (the call graph is persisted alongside the summary index).
     let reloaded = CorpusIndex::deserialize(&index.serialize()).unwrap();
+    let reloaded_calls = callgraph::CorpusCallIndex::deserialize(&calls.serialize()).unwrap();
     let mut corpus = eight_module_corpus();
-    let (report, _) = xmerge_corpus_with_index(&mut corpus, &XMergeConfig::new(), Some(reloaded));
+    let (report, _, _) = xmerge_corpus_with_index(
+        &mut corpus,
+        &XMergeConfig::new(),
+        Some(reloaded),
+        Some(reloaded_calls),
+    );
     assert_eq!(report.index_reuse.reused, 8, "{report}");
     assert_eq!(report.index_reuse.refreshed, 0);
+    assert_eq!(report.call_index_reuse.reused, 8, "{report}");
+    assert_eq!(report.call_index_reuse.refreshed, 0);
     assert_eq!(report.committed, baseline.committed);
     for (a, b) in baseline_corpus.iter().zip(&corpus) {
         assert_eq!(print_module(a), print_module(b));
     }
+}
+
+/// The host-selection acceptance scenario: on a generated call-heavy corpus,
+/// the call-graph policy forces strictly fewer cross-module call edges than
+/// the size policy, with zero semantic-oracle mismatches.
+#[test]
+fn callgraph_host_policy_forces_strictly_fewer_cross_edges() {
+    let mut size_corpus = CorpusSpec::call_heavy().generate();
+    let size_report = xmerge_corpus(&mut size_corpus, &XMergeConfig::new());
+    assert_eq!(size_report.host_policy, HostPolicy::Size);
+    assert_eq!(
+        size_report.saved_cross_edges, 0,
+        "the size policy never flips, so it never saves"
+    );
+
+    let mut cg_corpus = CorpusSpec::call_heavy().generate();
+    let config = XMergeConfig::new()
+        .with_host_policy(HostPolicy::CallGraph)
+        .with_check_semantics(true);
+    let cg_report = xmerge_corpus(&mut cg_corpus, &config);
+    assert_eq!(cg_report.host_policy, HostPolicy::CallGraph);
+    assert!(cg_report.num_commits() >= 1, "{cg_report}");
+    assert_eq!(
+        cg_report.semantic_rejections, 0,
+        "oracle mismatches under the callgraph policy: {cg_report}"
+    );
+    assert!(
+        cg_report.forced_cross_edges < size_report.forced_cross_edges,
+        "callgraph policy must force strictly fewer cross-module call edges: \
+         {} (callgraph) vs {} (size)",
+        cg_report.forced_cross_edges,
+        size_report.forced_cross_edges
+    );
+    assert!(
+        cg_report.saved_cross_edges > 0,
+        "at least one placement must have been flipped profitably"
+    );
+    for module in &cg_corpus {
+        assert!(
+            verify_module(module).is_empty(),
+            "module {} failed verification under the callgraph policy",
+            module.name
+        );
+    }
+    let linked = link_modules(&cg_corpus, "prog").expect("corpus must stay linkable");
+    assert!(verify_module(&linked).is_empty());
+}
+
+/// The region equivalence test: with one committing region (plus an
+/// unrelated singleton region), the region-parallel pipeline emits
+/// bit-identical records and modules to the sequential whole-corpus plan.
+#[test]
+fn region_parallel_single_committing_region_is_bit_identical() {
+    let worker = |name: &str, helper: &str, k: i64| {
+        format!(
+            "define i32 @{name}(i32 %x) {{\nentry:\n  %a = add i32 %x, {k}\n  %b = mul i32 %a, 3\n  %c = call i32 @{helper}(i32 %b)\n  %d = xor i32 %c, %x\n  %e = call i32 @{helper}(i32 %d)\n  %g = sub i32 %e, %a\n  %h2 = mul i32 %g, %b\n  %i = call i32 @{helper}(i32 %h2)\n  %j = add i32 %i, %d\n  ret i32 %j\n}}"
+        )
+    };
+    let corpus = || {
+        let mut a = ssa_ir::parse_module(&worker("left", "h1", 1)).unwrap();
+        a.name = "mod_a".to_string();
+        let mut b = ssa_ir::parse_module(&worker("right", "h1", 2)).unwrap();
+        b.name = "mod_b".to_string();
+        // A symbol-disjoint third module: its own region, nothing to merge.
+        let mut c = ssa_ir::parse_module(
+            "define double @noise(double %x) {\nentry:\n  %a = fmul double %x, 2.0\n  %b = fadd double %a, 1.0\n  ret double %b\n}",
+        )
+        .unwrap();
+        c.name = "mod_c".to_string();
+        vec![a, b, c]
+    };
+    let mut plain = corpus();
+    let baseline = xmerge_corpus(&mut plain, &XMergeConfig::new());
+    assert!(baseline.num_merges() >= 1, "{baseline}");
+    let mut regioned = corpus();
+    let report = xmerge_corpus(
+        &mut regioned,
+        &XMergeConfig::new().with_region_parallel(true),
+    );
+    assert_eq!(report.region_counts, vec![2], "{report}");
+    assert_eq!(
+        report.committed, baseline.committed,
+        "bit-identical records"
+    );
+    for (a, b) in plain.iter().zip(&regioned) {
+        assert_eq!(print_module(a), print_module(b));
+    }
+}
+
+/// Two symbol-disjoint committing regions: the region-parallel run commits
+/// the same operations (order may interleave differently across regions) and
+/// produces identical final modules.
+#[test]
+fn region_parallel_disjoint_regions_commit_the_same_set() {
+    let worker = |name: &str, helper: &str, k: i64| {
+        format!(
+            "define i32 @{name}(i32 %x) {{\nentry:\n  %a = add i32 %x, {k}\n  %b = mul i32 %a, 3\n  %c = call i32 @{helper}(i32 %b)\n  %d = xor i32 %c, %x\n  %e = call i32 @{helper}(i32 %d)\n  %g = sub i32 %e, %a\n  %h2 = mul i32 %g, %b\n  %i = call i32 @{helper}(i32 %h2)\n  %j = add i32 %i, %d\n  ret i32 %j\n}}"
+        )
+    };
+    // Group B is float-heavy so discovery never pairs it with group A —
+    // otherwise a cross-group candidate pair would link the regions.
+    let fworker = |name: &str, k: f64| {
+        format!(
+            "define double @{name}(double %x) {{\nentry:\n  %a = fadd double %x, {k}.5\n  %b = fmul double %a, 3.0\n  %c = call double @hb(double %b)\n  %d = fdiv double %c, 2.0\n  %e = call double @hb(double %d)\n  %g = fmul double %e, %a\n  %h2 = fadd double %g, %b\n  %i = call double @hb(double %h2)\n  %j = fdiv double %i, %d\n  ret double %j\n}}"
+        )
+    };
+    let corpus = || {
+        let texts = [
+            ("a1", worker("left_a", "ha", 1)),
+            ("a2", worker("right_a", "ha", 2)),
+            ("b1", fworker("left_b", 5.0)),
+            ("b2", fworker("right_b", 9.0)),
+        ];
+        texts
+            .iter()
+            .map(|(module, text)| {
+                let mut m = ssa_ir::parse_module(text).unwrap();
+                m.name = (*module).to_string();
+                m
+            })
+            .collect::<Vec<_>>()
+    };
+    let mut plain = corpus();
+    let baseline = xmerge_corpus(&mut plain, &XMergeConfig::new());
+    assert_eq!(baseline.num_merges(), 2, "{baseline}");
+    let mut regioned = corpus();
+    let report = xmerge_corpus(
+        &mut regioned,
+        &XMergeConfig::new()
+            .with_region_parallel(true)
+            .with_check_semantics(true),
+    );
+    assert_eq!(report.region_counts, vec![2], "{report}");
+    assert_eq!(report.semantic_rejections, 0);
+    let sorted = |mut records: Vec<xmerge::CrossMergeRecord>| {
+        records.sort_by(|a, b| {
+            (&a.host_module, &a.f1, &a.donor_module, &a.f2).cmp(&(
+                &b.host_module,
+                &b.f1,
+                &b.donor_module,
+                &b.f2,
+            ))
+        });
+        records
+    };
+    assert_eq!(
+        sorted(baseline.committed.clone()),
+        sorted(report.committed.clone())
+    );
+    for (a, b) in plain.iter().zip(&regioned) {
+        assert_eq!(print_module(a), print_module(b));
+    }
+}
+
+/// Region-parallel + callgraph policy + fixpoint + oracle compose on the
+/// call-heavy corpus without rejections or verifier breakage.
+#[test]
+fn regions_policy_and_fixpoint_compose_cleanly() {
+    let mut corpus = CorpusSpec::call_heavy().generate();
+    let config = XMergeConfig::new()
+        .with_host_policy(HostPolicy::CallGraph)
+        .with_region_parallel(true)
+        .with_check_semantics(true)
+        .with_fixpoint(FixpointConfig::default());
+    let report = xmerge_corpus(&mut corpus, &config);
+    assert!(report.num_commits() >= 1, "{report}");
+    assert_eq!(report.semantic_rejections, 0, "{report}");
+    assert_eq!(report.region_counts.len(), report.rounds);
+    assert!(
+        report.planner.oracle_links > 0,
+        "the oracle must have linked pairs: {report}"
+    );
+    // The per-round before-link cache keeps links at (or below) two per
+    // oracle-checked commit attempt.
+    assert!(
+        report.planner.oracle_links <= 2 * (report.attempts + report.num_commits()),
+        "{report}"
+    );
+    for module in &corpus {
+        assert!(verify_module(module).is_empty(), "module {}", module.name);
+    }
+    let linked = link_modules(&corpus, "prog").expect("corpus must stay linkable");
+    assert!(verify_module(&linked).is_empty());
 }
 
 #[test]
