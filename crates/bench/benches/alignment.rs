@@ -1,48 +1,81 @@
-//! Criterion micro-benchmarks of the sequence-alignment stage, with and
+//! Criterion micro-benchmarks of the tiered alignment engine, with and
 //! without register demotion — the asymmetry behind Figures 22 and 23.
+//!
+//! Three tiers per workload and size:
+//!
+//! * `full-matrix` — the quadratic reference ([`fm_align::align_full_matrix`]),
+//!   the historical implementation and memory baseline;
+//! * `hirschberg` — the production traceback ([`fm_align::align`]): identical
+//!   output in linear space;
+//! * `score-only` — the rolling two-row scorer ([`fm_align::align_score`]).
+//!
+//! The demoted (FMSA-shaped) tiers double the sequence lengths, which
+//! quadruples the full-matrix footprint but only doubles the linear tiers' —
+//! the ≥10× peak-memory reduction asserted by CI lives in the
+//! `stats.matrix_bytes` / `stats.full_matrix_bytes` ratio these benches also
+//! print.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fm_align::{align, linearize};
+use fm_align::{align, align_full_matrix, align_score, linearize};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use ssa_ir::Function;
 use ssa_passes::reg2mem;
 use workloads::{generate_function, make_clone, Divergence, FunctionSpec};
+
+fn pair(size: usize, demoted: bool) -> (Function, Function) {
+    let mut rng = SmallRng::seed_from_u64(size as u64);
+    let spec = FunctionSpec {
+        name: "base".into(),
+        size,
+        ..FunctionSpec::default()
+    };
+    let mut f1 = generate_function(&spec, &mut rng);
+    let mut f2 = make_clone(&f1, "clone", Divergence::medium(), &mut rng, &[]);
+    if demoted {
+        reg2mem::demote_function(&mut f1);
+        reg2mem::demote_function(&mut f2);
+    }
+    (f1, f2)
+}
 
 fn alignment_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("alignment");
     for &size in &[40usize, 120, 240] {
-        let mut rng = SmallRng::seed_from_u64(size as u64);
-        let spec = FunctionSpec {
-            name: "base".into(),
-            size,
-            ..FunctionSpec::default()
-        };
-        let f1 = generate_function(&spec, &mut rng);
-        let f2 = make_clone(&f1, "clone", Divergence::medium(), &mut rng, &[]);
+        for (label, demoted) in [("ssa", false), ("demoted", true)] {
+            let (f1, f2) = pair(size, demoted);
+            let s1 = linearize(&f1);
+            let s2 = linearize(&f2);
 
-        group.bench_with_input(
-            BenchmarkId::new("ssa (SalSSA input)", size),
-            &size,
-            |b, _| {
-                let s1 = linearize(&f1);
-                let s2 = linearize(&f2);
-                b.iter(|| align(&f1, &s1, &f2, &s2).stats.matches)
-            },
-        );
+            // One-off memory report so bench logs document the reduction the
+            // CI JSON smoke asserts end to end.
+            let stats = align(&f1, &s1, &f2, &s2).stats;
+            println!(
+                "alignment/{label}/{size}: {}+{} entries, live {} B vs full-matrix {} B ({:.1}x), {} trimmed",
+                s1.len(),
+                s2.len(),
+                stats.matrix_bytes,
+                stats.full_matrix_bytes,
+                stats.full_matrix_bytes as f64 / stats.matrix_bytes.max(1) as f64,
+                stats.trimmed
+            );
 
-        let mut d1 = f1.clone();
-        let mut d2 = f2.clone();
-        reg2mem::demote_function(&mut d1);
-        reg2mem::demote_function(&mut d2);
-        group.bench_with_input(
-            BenchmarkId::new("demoted (FMSA input)", size),
-            &size,
-            |b, _| {
-                let s1 = linearize(&d1);
-                let s2 = linearize(&d2);
-                b.iter(|| align(&d1, &s1, &d2, &s2).stats.matches)
-            },
-        );
+            group.bench_with_input(
+                BenchmarkId::new(format!("full-matrix/{label}"), size),
+                &size,
+                |b, _| b.iter(|| align_full_matrix(&f1, &s1, &f2, &s2).stats.matches),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("hirschberg/{label}"), size),
+                &size,
+                |b, _| b.iter(|| align(&f1, &s1, &f2, &s2).stats.matches),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("score-only/{label}"), size),
+                &size,
+                |b, _| b.iter(|| align_score(&f1, &s1, &f2, &s2).matches),
+            );
+        }
     }
     group.finish();
 }

@@ -393,9 +393,13 @@ fn fig22(scale: f64) {
         "\n== Figure 22: peak alignment-matrix footprint during merging (SPEC CPU2006, t = 1) =="
     );
     println!(
-        "{:<18} {:>14} {:>14} {:>8}",
-        "benchmark", "FMSA (KiB)", "SalSSA (KiB)", "ratio"
+        "{:<18} {:>14} {:>14} {:>8} {:>12}",
+        "benchmark", "FMSA (KiB)", "SalSSA (KiB)", "ratio", "live (KiB)"
     );
+    // The paper's figure measures the full score matrix the baseline
+    // allocated per pair; the linear-space engine models that footprint
+    // (`peak_full_matrix_bytes`) while only holding `peak_matrix_bytes`
+    // live — the last column shows what actually stays resident now.
     let mut ratios = Vec::new();
     for spec in suite(workloads::spec2006(), scale) {
         let mut fmsa_module = spec.generate();
@@ -410,13 +414,17 @@ fn fig22(scale: f64) {
             &SalSsaMerger::default(),
             &DriverConfig::with_threshold(1),
         );
-        let f = fmsa_report.peak_matrix_bytes as f64 / 1024.0;
-        let s = salssa_report.peak_matrix_bytes as f64 / 1024.0;
+        let f = fmsa_report.peak_full_matrix_bytes as f64 / 1024.0;
+        let s = salssa_report.peak_full_matrix_bytes as f64 / 1024.0;
+        let live = salssa_report.peak_matrix_bytes as f64 / 1024.0;
         let ratio = if s > 0.0 { f / s } else { 0.0 };
         if ratio.is_finite() && ratio > 0.0 {
             ratios.push(ratio);
         }
-        println!("{:<18} {:>14.1} {:>14.1} {:>8.2}", spec.name, f, s, ratio);
+        println!(
+            "{:<18} {:>14.1} {:>14.1} {:>8.2} {:>12.2}",
+            spec.name, f, s, ratio, live
+        );
     }
     let gmean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len().max(1) as f64).exp();
     println!(

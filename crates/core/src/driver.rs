@@ -208,11 +208,29 @@ pub struct ModuleMergeReport {
     /// Total time spent in code generation (including SSA repair and local
     /// clean-up of candidate merges).
     pub codegen_time: Duration,
-    /// Peak dynamic-programming matrix footprint over all attempted
-    /// alignments, in bytes (the Figure 22 metric).
+    /// Peak *live* dynamic-programming footprint over all attempted
+    /// alignments, in bytes: rolling rows plus the divide-and-conquer seed
+    /// rows. This is what the linear-space engine actually holds in memory.
     pub peak_matrix_bytes: u64,
-    /// Total dynamic-programming cells computed (time proxy for Figure 23).
+    /// Peak footprint the historical full score matrix would have had over
+    /// the same alignments (the Figure 22 baseline the engine is measured
+    /// against).
+    pub peak_full_matrix_bytes: u64,
+    /// Total dynamic-programming cells computed (time proxy for Figure 23),
+    /// including trim comparisons; saturating.
     pub total_cells: u64,
+    /// Match pairs resolved by common prefix/suffix trimming instead of DP,
+    /// summed over all attempted alignments.
+    pub align_trimmed_entries: u64,
+    /// Score-only alignment runs ([`fm_align::align_score`]) observed during
+    /// the run (process-wide counter delta). 0 on the merge pipelines
+    /// themselves — exact profit needs the merged body, so production
+    /// scoring always runs the traceback tier; this counts stats-only
+    /// consumers (benchmarks, profiling tools) sharing the process.
+    pub align_score_only_runs: u64,
+    /// Full (traceback) alignment runs observed during the run (process-wide
+    /// counter delta).
+    pub align_full_runs: u64,
     /// Profitable merges rejected by the semantic oracle (always 0 unless
     /// [`DriverConfig::check_semantics`] is on; nonzero means the merger
     /// produced observably wrong code and the driver refused to commit it).
@@ -260,11 +278,13 @@ impl fmt::Display for ModuleMergeReport {
         }
         write!(
             f,
-            "  align: {:?}, codegen: {:?}, peak DP matrix: {} bytes, DP cells: {}, total profit: {} bytes",
+            "  align: {:?}, codegen: {:?}, peak live DP: {} bytes (full matrix would be {}), DP cells: {}, {} entries trimmed, total profit: {} bytes",
             self.align_time,
             self.codegen_time,
             self.peak_matrix_bytes,
+            self.peak_full_matrix_bytes,
             self.total_cells,
+            self.align_trimmed_entries,
             self.total_profit_bytes()
         )?;
         if self.semantic_rejections > 0 {
@@ -287,7 +307,9 @@ struct ScoredCandidate {
     align_time: Duration,
     codegen_time: Duration,
     matrix_bytes: u64,
+    full_matrix_bytes: u64,
     cells: u64,
+    trimmed: usize,
     /// The merged function. Inline scoring keeps it when profitable (it is
     /// committed straight away); speculative scoring drops it — retaining a
     /// body per profitable pair module-wide would dominate memory, so the
@@ -312,7 +334,9 @@ fn score_pair(
         align_time: pair.align_time,
         codegen_time: pair.codegen_time,
         matrix_bytes: pair.alignment.matrix_bytes,
+        full_matrix_bytes: pair.alignment.full_matrix_bytes,
         cells: pair.alignment.cells,
+        trimmed: pair.alignment.trimmed,
         pair: (keep_pair && profit > 0).then_some(pair),
     })
 }
@@ -413,7 +437,12 @@ impl CandidateSource for IntraSource<'_> {
         self.report.align_time += scored.align_time;
         self.report.codegen_time += scored.codegen_time;
         self.report.peak_matrix_bytes = self.report.peak_matrix_bytes.max(scored.matrix_bytes);
-        self.report.total_cells += scored.cells;
+        self.report.peak_full_matrix_bytes = self
+            .report
+            .peak_full_matrix_bytes
+            .max(scored.full_matrix_bytes);
+        self.report.total_cells = self.report.total_cells.saturating_add(scored.cells);
+        self.report.align_trimmed_entries += scored.trimmed as u64;
     }
 
     fn commit(
@@ -501,6 +530,7 @@ pub fn merge_module(
         threshold: config.threshold,
         ..ModuleMergeReport::default()
     };
+    let align_counters = fm_align::alignment_counters();
     merger.preprocess_module(module);
 
     let ranking = Ranking::build(module);
@@ -526,6 +556,9 @@ pub fn merge_module(
     report.planner = stats;
 
     merger.postprocess_module(module);
+    let after = fm_align::alignment_counters();
+    report.align_score_only_runs = after.score_only_runs - align_counters.score_only_runs;
+    report.align_full_runs = after.full_runs - align_counters.full_runs;
     report
 }
 
@@ -759,8 +792,38 @@ entry:
         let merger = SalSsaMerger::default();
         let report = merge_module(&mut module, &merger, &DriverConfig::with_threshold(2));
         assert!(report.total_cells > 0);
-        assert!(report.peak_matrix_bytes > 0);
+        assert!(report.peak_full_matrix_bytes > 0);
+        // alpha and beta differ only in constants, which mergeability ignores:
+        // the whole pair is resolved by trimming, so the linear-space engine
+        // never holds a DP row — peak live bytes undercut the full matrix.
+        assert!(report.align_trimmed_entries > 0);
+        assert!(report.peak_matrix_bytes < report.peak_full_matrix_bytes);
+        assert!(report.align_full_runs > 0);
         assert_eq!(report.technique, "salssa");
+    }
+
+    #[test]
+    fn speculative_scoring_never_allocates_a_full_matrix() {
+        // The acceptance criterion of the linear-space engine: the planner's
+        // speculative batch scorer (and the commit replay) must only use the
+        // rolling/divide-and-conquer tiers. `align_full_matrix` is the one
+        // place that allocates the quadratic matrix, and nothing in this
+        // crate calls it.
+        let before = fm_align::alignment_counters().full_matrix_runs;
+        let mut module = clone_heavy_module();
+        let merger = SalSsaMerger::default();
+        let report = merge_module(
+            &mut module,
+            &merger,
+            &DriverConfig::with_threshold(2).parallel(),
+        );
+        assert!(report.num_merges() > 0);
+        let after = fm_align::alignment_counters().full_matrix_runs;
+        assert_eq!(
+            after - before,
+            0,
+            "the speculative scoring path allocated a full score matrix"
+        );
     }
 
     #[test]

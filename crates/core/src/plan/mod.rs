@@ -58,6 +58,16 @@ pub struct PlanStats {
     /// per-round link cache exists to keep this number well below one link
     /// per oracle run.
     pub oracle_links: usize,
+    /// Oracle before-programs served from the cross-round carry cache —
+    /// (host, donor) module pairs whose content hashes no commit touched
+    /// since the pair was last linked — instead of re-linking (maintained by
+    /// the cross-module source; 0 elsewhere).
+    pub oracle_carried: usize,
+    /// Hazard verdicts reused from the plan-time pre-scan because the
+    /// candidate pair's call-graph condensation components were unaffected
+    /// by prior commits in the round (maintained by the cross-module source;
+    /// 0 elsewhere).
+    pub hazard_reuse: usize,
     /// Wall-clock time of the speculative scoring phase.
     pub score_time: Duration,
     /// Wall-clock time of the commit loop (including inline scoring and
@@ -74,6 +84,8 @@ impl PlanStats {
         self.inline_scores += other.inline_scores;
         self.rounds += other.rounds.max(1);
         self.oracle_links += other.oracle_links;
+        self.oracle_carried += other.oracle_carried;
+        self.hazard_reuse += other.hazard_reuse;
         self.score_time += other.score_time;
         self.commit_time += other.commit_time;
     }

@@ -1,14 +1,68 @@
-//! Needleman–Wunsch global sequence alignment over linearized functions.
+//! The tiered sequence-alignment engine over linearized functions.
 //!
 //! This is the "Alignment" stage shared by FMSA and SalSSA (Figure 1 of the
-//! paper). The algorithm is quadratic in time and space over the sequence
-//! lengths, which is exactly why register demotion (which roughly doubles the
-//! sequences) quadruples both the running time and the peak memory of the
-//! baseline — the effect measured in Figures 22 and 23. The
-//! [`AlignmentStats`] returned here feed those experiments.
+//! paper). The textbook Needleman–Wunsch formulation is quadratic in time and
+//! *space* over the sequence lengths, which is exactly why register demotion
+//! (which roughly doubles the sequences) quadruples both the running time and
+//! the peak memory of the baseline — the effect measured in Figures 22
+//! and 23. Because the planner speculatively scores every ranked candidate
+//! pair, that quadratic matrix used to be allocated once per candidate; this
+//! module replaces it with three tiers that never materialize the full
+//! matrix:
+//!
+//! * [`align_score`] — score only: a two-row rolling DP over the *shorter*
+//!   sequence. O(min(n, m)) live memory, no traceback. This is the tier for
+//!   callers that only need the number of mergeable matches (benchmarking,
+//!   profitability profiling, future banded pre-filters).
+//! * [`align`] — full traceback in linear space: a Hirschberg-style
+//!   divide-and-conquer over the rows of the DP. Unlike classic Hirschberg
+//!   (which returns *an* optimal alignment), the recursion here is seeded
+//!   with true global DP rows, so every traceback decision is evaluated
+//!   against the same scores the full matrix would have held — the returned
+//!   [`Alignment::pairs`] are **byte-identical** to the historical
+//!   full-matrix traceback (enforced by the differential proptests against
+//!   [`align_full_matrix`]). Peak live memory is O(m · log n) — the rolling
+//!   rows plus one seed row per live recursion level — instead of O(n · m).
+//!   Time is ~2·n·m cells when the alignment path tracks the diagonal (the
+//!   fingerprint-ranked clone pairs the planner actually scores) and
+//!   O(n · m · log n) in the adversarial worst case where the path hugs the
+//!   right edge (the exact-seed recursion cannot shrink the bottom strip's
+//!   column range the way classic Hirschberg does); in practice the cheap
+//!   class-compare inner loop and cache-resident rows make this tier
+//!   *faster* than the full matrix at every benchmarked size.
+//! * [`align_full_matrix`] — the original quadratic implementation, kept as
+//!   the reference oracle for the differential tests and as the baseline of
+//!   the `alignment` criterion group. Production paths never call it.
+//!
+//! Two shared optimizations feed all tiers:
+//!
+//! * **mergeability classes** — [`mergeable`] is an equivalence relation
+//!   (every arm compares a feature tuple for equality), so each sequence
+//!   entry is interned to a small integer class once per pair and the DP
+//!   inner loop becomes a single `u32` comparison instead of a structural
+//!   check that allocated operand-type vectors per cell. Entries that are
+//!   mergeable with nothing (phi-nodes, landing pads — which [`linearize`]
+//!   never emits, but the API accepts arbitrary slices) receive unique
+//!   sentinel classes.
+//! * **common prefix/suffix trimming** — runs of end-to-end mergeable
+//!   entries are matched without running the DP at all. Suffix trimming is
+//!   canonical-path-exact (the greedy traceback provably starts with the
+//!   diagonal move whenever the last entries are mergeable), so [`align`]
+//!   applies it. Prefix trimming preserves the optimal *score* but not the
+//!   canonical tie-breaking (the traceback may prefer a later partner for
+//!   the first entry), so only the score-only tier applies it.
+//!
+//! Each thread reuses one [`AlignScratch`] arena across calls — under the
+//! planner's rayon scoring batches, speculative scoring therefore performs
+//! no per-pair DP allocations in steady state.
+//!
+//! [`linearize`]: crate::linearize::linearize
 
 use crate::linearize::{mergeable, SeqEntry};
-use ssa_ir::Function;
+use ssa_ir::{BinOp, CastKind, Function, ICmpPred, InstKind, Type};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One element of an alignment result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,10 +84,23 @@ pub struct AlignmentStats {
     pub len_right: usize,
     /// Number of matched pairs.
     pub matches: usize,
-    /// Number of dynamic-programming cells computed (time proxy).
+    /// Mergeability comparisons performed (time proxy): dynamic-programming
+    /// cells computed plus prefix/suffix trim comparisons. Saturating — a
+    /// corpus-wide accumulation cannot overflow into nonsense.
     pub cells: u64,
-    /// Bytes of dynamic-programming state allocated (peak-memory proxy).
+    /// Peak *live* dynamic-programming bytes of this run: the rolling rows,
+    /// plus — for the divide-and-conquer traceback — the seed rows held on
+    /// the recursion stack. Zero when trimming resolved the whole pair.
+    /// (Class tables are O(n + m) bookkeeping, not DP state, and are not
+    /// counted.)
     pub matrix_bytes: u64,
+    /// Bytes the historical full score matrix would have occupied for this
+    /// pair: `(n + 1) · (m + 1) · 4`. The Figure 22 baseline figure.
+    pub full_matrix_bytes: u64,
+    /// Match pairs resolved by prefix/suffix trimming, without any DP.
+    pub trimmed: usize,
+    /// `true` when the run was score-only (no traceback).
+    pub score_only: bool,
 }
 
 impl AlignmentStats {
@@ -57,10 +124,548 @@ pub struct Alignment {
     pub stats: AlignmentStats,
 }
 
-/// Aligns two linearized functions with Needleman–Wunsch, maximizing the
-/// number of [`mergeable`] pairs. Gaps carry no penalty and non-mergeable
-/// entries are never paired, matching the scoring used by FMSA.
+// ---------------------------------------------------------------------------
+// Global run counters (process-wide, like `ssa_ir::structural_key_counters`):
+// reports snapshot them around a run and publish the deltas.
+// ---------------------------------------------------------------------------
+
+static SCORE_ONLY_RUNS: AtomicU64 = AtomicU64::new(0);
+static FULL_RUNS: AtomicU64 = AtomicU64::new(0);
+static FULL_MATRIX_RUNS: AtomicU64 = AtomicU64::new(0);
+static TRIMMED_ENTRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic process-wide counters of the alignment tiers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlignmentCounters {
+    /// [`align_score`] runs (score-only rolling DP).
+    pub score_only_runs: u64,
+    /// [`align`] runs (linear-space traceback).
+    pub full_runs: u64,
+    /// [`align_full_matrix`] runs — the quadratic reference. Zero in
+    /// production: only differential tests and benchmarks call it.
+    pub full_matrix_runs: u64,
+    /// Match pairs resolved by trimming instead of DP, summed over all runs.
+    pub trimmed_entries: u64,
+}
+
+/// Snapshots the process-wide alignment counters.
+pub fn alignment_counters() -> AlignmentCounters {
+    AlignmentCounters {
+        score_only_runs: SCORE_ONLY_RUNS.load(Ordering::Relaxed),
+        full_runs: FULL_RUNS.load(Ordering::Relaxed),
+        full_matrix_runs: FULL_MATRIX_RUNS.load(Ordering::Relaxed),
+        trimmed_entries: TRIMMED_ENTRIES.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mergeability classes.
+// ---------------------------------------------------------------------------
+
+/// The feature tuple [`mergeable`] compares: two entries are mergeable iff
+/// their classes are equal. Kept in exact lockstep with
+/// [`crate::linearize::mergeable_insts`] — every arm of that match compares
+/// precisely the fields captured here.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum MergeClass {
+    Label,
+    Binary(Type, BinOp),
+    ICmp(Type, ICmpPred),
+    Select(Type, Vec<Type>),
+    Call(Type, String, usize, Vec<Type>),
+    Invoke(Type, String, usize, Vec<Type>),
+    Alloca(Type, Type),
+    Load(Type),
+    Store(Type, Vec<Type>),
+    Gep(Type, u32, Vec<Type>),
+    Cast(Type, CastKind, Vec<Type>),
+    Br(Type),
+    CondBr(Type),
+    Switch(Type, Vec<i64>),
+    Ret(Type, bool),
+    Unreachable(Type),
+    Resume(Type),
+}
+
+fn operand_types(f: &Function, id: ssa_ir::InstId) -> Vec<Type> {
+    f.inst(id)
+        .kind
+        .operands()
+        .iter()
+        .map(|v| f.value_type(*v))
+        .collect()
+}
+
+/// The mergeability class of one entry, or `None` for entries mergeable with
+/// nothing (phi-nodes and landing pads fall through `mergeable_insts` to the
+/// catch-all `false` arm — even against themselves).
+fn entry_class(f: &Function, e: SeqEntry) -> Option<MergeClass> {
+    let id = match e {
+        SeqEntry::Label(_) => return Some(MergeClass::Label),
+        SeqEntry::Inst(id) => id,
+    };
+    let data = f.inst(id);
+    let ty = data.ty;
+    use InstKind::*;
+    Some(match &data.kind {
+        Binary { op, .. } => MergeClass::Binary(ty, *op),
+        ICmp { pred, .. } => MergeClass::ICmp(ty, *pred),
+        Select { .. } => MergeClass::Select(ty, operand_types(f, id)),
+        Call { callee, args } => {
+            MergeClass::Call(ty, callee.clone(), args.len(), operand_types(f, id))
+        }
+        Invoke { callee, args, .. } => {
+            MergeClass::Invoke(ty, callee.clone(), args.len(), operand_types(f, id))
+        }
+        Alloca { ty: slot } => MergeClass::Alloca(ty, *slot),
+        Load { .. } => MergeClass::Load(ty),
+        Store { .. } => MergeClass::Store(ty, operand_types(f, id)),
+        Gep { stride, .. } => MergeClass::Gep(ty, *stride, operand_types(f, id)),
+        Cast { kind, .. } => MergeClass::Cast(ty, *kind, operand_types(f, id)),
+        Br { .. } => MergeClass::Br(ty),
+        CondBr { .. } => MergeClass::CondBr(ty),
+        Switch { cases, .. } => MergeClass::Switch(ty, cases.iter().map(|(v, _)| *v).collect()),
+        Ret { value } => MergeClass::Ret(ty, value.is_some()),
+        Unreachable => MergeClass::Unreachable(ty),
+        Resume { .. } => MergeClass::Resume(ty),
+        Phi { .. } | LandingPad => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local scratch arena.
+// ---------------------------------------------------------------------------
+
+/// Reusable buffers for one alignment run. One arena lives per thread
+/// ([`with_scratch`]), so the planner's rayon scoring batches stop allocating
+/// per candidate pair once every worker's arena has warmed up.
+#[derive(Default)]
+pub struct AlignScratch {
+    /// Interned class ids of the two sequences.
+    c1: Vec<u32>,
+    c2: Vec<u32>,
+    /// Class interner, cleared per pair (classes from different functions
+    /// must compare, so one table serves both sequences).
+    intern: HashMap<MergeClass, u32>,
+    /// Pool of DP row buffers for the rolling passes and the seed rows held
+    /// by the divide-and-conquer traceback.
+    rows: Vec<Vec<u32>>,
+    /// Reverse-order pair buffer of the traceback.
+    rev: Vec<AlignedPair>,
+}
+
+impl AlignScratch {
+    /// A fresh, empty arena (buffers grow on first use).
+    pub fn new() -> AlignScratch {
+        AlignScratch::default()
+    }
+
+    /// Interns the mergeability classes of both sequences into `c1`/`c2`.
+    /// Never-mergeable entries get unique sentinel ids counted down from
+    /// `u32::MAX` so they equal nothing — not even each other.
+    fn classify(&mut self, f1: &Function, seq1: &[SeqEntry], f2: &Function, seq2: &[SeqEntry]) {
+        self.intern.clear();
+        self.c1.clear();
+        self.c2.clear();
+        let mut sentinel = u32::MAX;
+        let mut intern_one =
+            |intern: &mut HashMap<MergeClass, u32>, f: &Function, e: SeqEntry| match entry_class(
+                f, e,
+            ) {
+                Some(class) => {
+                    let next = intern.len() as u32;
+                    *intern.entry(class).or_insert(next)
+                }
+                None => {
+                    let id = sentinel;
+                    sentinel -= 1;
+                    id
+                }
+            };
+        for &e in seq1 {
+            let id = intern_one(&mut self.intern, f1, e);
+            self.c1.push(id);
+        }
+        for &e in seq2 {
+            let id = intern_one(&mut self.intern, f2, e);
+            self.c2.push(id);
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<AlignScratch> = RefCell::new(AlignScratch::new());
+}
+
+/// Runs `body` with this thread's [`AlignScratch`] arena.
+pub fn with_scratch<R>(body: impl FnOnce(&mut AlignScratch) -> R) -> R {
+    SCRATCH.with(|scratch| body(&mut scratch.borrow_mut()))
+}
+
+/// Tracks live DP bytes (rows in flight) and their high-water mark.
+#[derive(Default)]
+struct MemTracker {
+    live: u64,
+    peak: u64,
+    cells: u64,
+}
+
+impl MemTracker {
+    fn acquire(&mut self, len: usize) {
+        self.live += 4 * len as u64;
+        self.peak = self.peak.max(self.live);
+    }
+
+    fn release(&mut self, len: usize) {
+        self.live -= 4 * len as u64;
+    }
+
+    fn count_cells(&mut self, n: u64) {
+        self.cells = self.cells.saturating_add(n);
+    }
+}
+
+fn full_matrix_bytes(n: usize, m: usize) -> u64 {
+    4 * ((n as u64) + 1) * ((m as u64) + 1)
+}
+
+// ---------------------------------------------------------------------------
+// Tier 1: score only.
+// ---------------------------------------------------------------------------
+
+/// Computes the optimal number of mergeable matches between the two
+/// linearized functions — exactly [`align`]`(..).stats.matches` — without a
+/// traceback and without the full matrix: common prefixes and suffixes are
+/// trimmed (both preserve the optimal score because gaps are free), and the
+/// remaining core runs a two-row rolling DP over its *shorter* side, so live
+/// memory is O(min(n, m)).
+pub fn align_score(
+    f1: &Function,
+    seq1: &[SeqEntry],
+    f2: &Function,
+    seq2: &[SeqEntry],
+) -> AlignmentStats {
+    with_scratch(|scratch| align_score_in(scratch, f1, seq1, f2, seq2))
+}
+
+/// [`align_score`] against a caller-managed arena.
+pub fn align_score_in(
+    scratch: &mut AlignScratch,
+    f1: &Function,
+    seq1: &[SeqEntry],
+    f2: &Function,
+    seq2: &[SeqEntry],
+) -> AlignmentStats {
+    let (n, m) = (seq1.len(), seq2.len());
+    scratch.classify(f1, seq1, f2, seq2);
+    let mut mem = MemTracker::default();
+
+    // Trim the common prefix, then the common suffix of what remains. Both
+    // are score-exact: when the outermost entries are mergeable, some optimal
+    // alignment matches them (free gaps admit an exchange argument).
+    let mut lo = 0usize;
+    while lo < n && lo < m && scratch.c1[lo] == scratch.c2[lo] {
+        lo += 1;
+    }
+    let mut suf = 0usize;
+    while lo + suf < n && lo + suf < m && scratch.c1[n - 1 - suf] == scratch.c2[m - 1 - suf] {
+        suf += 1;
+    }
+    mem.count_cells((lo + suf + 1).min(n.min(m) + 1) as u64);
+
+    let AlignScratch { c1, c2, rows, .. } = scratch;
+    let core1 = &c1[lo..n - suf];
+    let core2 = &c2[lo..m - suf];
+    // The score DP is symmetric in its inputs; roll over the shorter side.
+    let (short, long) = if core1.len() <= core2.len() {
+        (core1, core2)
+    } else {
+        (core2, core1)
+    };
+    let mut pool = RowPool { rows };
+    let mut dp_matches = 0u32;
+    let mut rows_bytes = 0u64;
+    if !short.is_empty() {
+        let width = short.len() + 1;
+        let mut prev = pool.take(width, &mut mem);
+        prev.resize(width, 0);
+        let mut cur = pool.take(width, &mut mem);
+        cur.resize(width, 0);
+        rows_bytes = 4 * 2 * width as u64;
+        for &lc in long {
+            cur[0] = 0;
+            for j in 1..width {
+                let up = prev[j];
+                let left = cur[j - 1];
+                let mut best = up.max(left);
+                if lc == short[j - 1] {
+                    best = best.max(prev[j - 1] + 1);
+                }
+                cur[j] = best;
+            }
+            std::mem::swap(&mut prev, &mut cur);
+            mem.count_cells(short.len() as u64);
+        }
+        dp_matches = prev[width - 1];
+        pool.give(prev, width, &mut mem);
+        pool.give(cur, width, &mut mem);
+    }
+
+    SCORE_ONLY_RUNS.fetch_add(1, Ordering::Relaxed);
+    TRIMMED_ENTRIES.fetch_add((lo + suf) as u64, Ordering::Relaxed);
+    AlignmentStats {
+        len_left: n,
+        len_right: m,
+        matches: lo + suf + dp_matches as usize,
+        cells: mem.cells,
+        matrix_bytes: rows_bytes,
+        full_matrix_bytes: full_matrix_bytes(n, m),
+        trimmed: lo + suf,
+        score_only: true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tier 2: linear-space exact traceback.
+// ---------------------------------------------------------------------------
+
+/// Aligns two linearized functions, maximizing the number of [`mergeable`]
+/// pairs (gaps carry no penalty and non-mergeable entries are never paired,
+/// matching the scoring used by FMSA). The result — including tie-breaking —
+/// is byte-identical to the historical full-matrix traceback
+/// ([`align_full_matrix`]), but peak memory is O(m · log n) instead of
+/// O(n · m): the divide-and-conquer recursion re-derives DP rows on demand
+/// and holds at most one seed row per live level.
 pub fn align(f1: &Function, seq1: &[SeqEntry], f2: &Function, seq2: &[SeqEntry]) -> Alignment {
+    with_scratch(|scratch| align_in(scratch, f1, seq1, f2, seq2))
+}
+
+/// [`align`] against a caller-managed arena.
+pub fn align_in(
+    scratch: &mut AlignScratch,
+    f1: &Function,
+    seq1: &[SeqEntry],
+    f2: &Function,
+    seq2: &[SeqEntry],
+) -> Alignment {
+    let (n, m) = (seq1.len(), seq2.len());
+    scratch.classify(f1, seq1, f2, seq2);
+    let mut mem = MemTracker::default();
+
+    // Suffix trimming only: the greedy traceback provably takes the diagonal
+    // at (n, m) whenever the last entries are mergeable (S(n, m) always
+    // equals S(n-1, m-1) + 1 then), so trailing matches are canonical. A
+    // common *prefix* match is merely score-preserving — the canonical
+    // traceback may pair the first entry with a later partner — so the full
+    // tier leaves prefixes to the DP.
+    let mut suf = 0usize;
+    while suf < n && suf < m && scratch.c1[n - 1 - suf] == scratch.c2[m - 1 - suf] {
+        suf += 1;
+    }
+    mem.count_cells((suf + 1).min(n.min(m) + 1) as u64);
+    let core_n = n - suf;
+    let core_m = m - suf;
+
+    scratch.rev.clear();
+    let mut matches = suf;
+    {
+        // Split-borrow the arena: class tables and the pair buffer are
+        // disjoint from the row pool the tracer draws on.
+        let AlignScratch {
+            c1, c2, rows, rev, ..
+        } = scratch;
+        let mut tracer = Tracer {
+            x: &c1[..core_n],
+            y: &c2[..core_m],
+            s1: &seq1[..core_n],
+            s2: &seq2[..core_m],
+            out: rev,
+            pool: RowPool { rows },
+            mem: &mut mem,
+        };
+        if core_n > 0 {
+            let mut seed = tracer.pool.take(core_m + 1, tracer.mem);
+            seed.resize(core_m + 1, 0);
+            let ca = tracer.trace(0, core_n, core_m, &seed);
+            let seed_len = seed.len();
+            tracer.pool.give(seed, seed_len, tracer.mem);
+            // The walk reached row 0 at column `ca`; the canonical traceback
+            // finishes with left moves only.
+            for j in (1..=ca).rev() {
+                tracer.out.push(AlignedPair::OnlyRight(tracer.s2[j - 1]));
+            }
+        } else {
+            for j in (1..=core_m).rev() {
+                tracer.out.push(AlignedPair::OnlyRight(tracer.s2[j - 1]));
+            }
+        }
+    }
+
+    let mut pairs = Vec::with_capacity(scratch.rev.len() + suf);
+    while let Some(pair) = scratch.rev.pop() {
+        if matches!(pair, AlignedPair::Match(..)) {
+            matches += 1;
+        }
+        pairs.push(pair);
+    }
+    for k in 0..suf {
+        pairs.push(AlignedPair::Match(seq1[core_n + k], seq2[core_m + k]));
+    }
+
+    FULL_RUNS.fetch_add(1, Ordering::Relaxed);
+    TRIMMED_ENTRIES.fetch_add(suf as u64, Ordering::Relaxed);
+    Alignment {
+        pairs,
+        stats: AlignmentStats {
+            len_left: n,
+            len_right: m,
+            matches,
+            cells: mem.cells,
+            matrix_bytes: mem.peak,
+            full_matrix_bytes: full_matrix_bytes(n, m),
+            trimmed: suf,
+            score_only: false,
+        },
+    }
+}
+
+/// Row-buffer pool wrapper used inside the split borrow of the arena.
+struct RowPool<'a> {
+    rows: &'a mut Vec<Vec<u32>>,
+}
+
+impl RowPool<'_> {
+    fn take(&mut self, len: usize, mem: &mut MemTracker) -> Vec<u32> {
+        mem.acquire(len);
+        let mut row = self.rows.pop().unwrap_or_default();
+        row.clear();
+        row.reserve(len);
+        row
+    }
+
+    fn give(&mut self, row: Vec<u32>, len: usize, mem: &mut MemTracker) {
+        mem.release(len);
+        self.rows.push(row);
+    }
+}
+
+/// The divide-and-conquer traceback. Row `i` of the (virtual) DP pairs with
+/// `x[i-1]`/`s1[i-1]`, column `j` with `y[j-1]`/`s2[j-1]`; `S(i, j)` denotes
+/// the global score matrix the full-matrix implementation would fill.
+struct Tracer<'a> {
+    x: &'a [u32],
+    y: &'a [u32],
+    s1: &'a [SeqEntry],
+    s2: &'a [SeqEntry],
+    /// Pairs in reverse (end-to-start) order, exactly as the historical
+    /// traceback pushed them.
+    out: &'a mut Vec<AlignedPair>,
+    pool: RowPool<'a>,
+    mem: &'a mut MemTracker,
+}
+
+impl Tracer<'_> {
+    /// Computes global DP row `to` over columns `0..=cols` into `out`, given
+    /// the true global row `from` in `seed` (column 0 is gap-only, so the
+    /// restriction to a column prefix is self-contained).
+    fn advance_rows(
+        &mut self,
+        from: usize,
+        to: usize,
+        cols: usize,
+        seed: &[u32],
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        out.extend_from_slice(&seed[..=cols]);
+        if from == to {
+            return;
+        }
+        let mut tmp = self.pool.take(cols + 1, self.mem);
+        for r in from + 1..=to {
+            let xc = self.x[r - 1];
+            tmp.clear();
+            tmp.push(out[0]); // S(r, 0) = S(r-1, 0): column 0 is vertical-only.
+            for j in 1..=cols {
+                let up = out[j];
+                let left = tmp[j - 1];
+                let mut best = up.max(left);
+                if xc == self.y[j - 1] {
+                    best = best.max(out[j - 1] + 1);
+                }
+                tmp.push(best);
+            }
+            std::mem::swap(out, &mut tmp);
+            self.mem.count_cells(cols as u64);
+        }
+        self.pool.give(tmp, cols + 1, self.mem);
+    }
+
+    /// Walks the canonical traceback backwards from cell `(b, cb)` until it
+    /// first reaches row `a`, emitting the moves taken (in reverse order)
+    /// and returning the arrival column. `seed` holds the true global DP row
+    /// `a` over at least `0..=cb`. Row halving recurses into the bottom
+    /// strip (whose seed row is computed on demand and held only while that
+    /// recursion is live) and continues iteratively into the top strip,
+    /// reusing `seed`.
+    fn trace(&mut self, a: usize, b: usize, cb: usize, seed: &[u32]) -> usize {
+        let mut b = b;
+        let mut cb = cb;
+        loop {
+            if b == a {
+                return cb;
+            }
+            if b == a + 1 {
+                // Base strip: rows a and b are both known exactly; replay the
+                // historical greedy cell-for-cell.
+                let mut row = self.pool.take(cb + 1, self.mem);
+                self.advance_rows(a, b, cb, seed, &mut row);
+                let mut j = cb;
+                loop {
+                    let cur = row[j];
+                    if j > 0 && self.x[b - 1] == self.y[j - 1] && cur == seed[j - 1] + 1 {
+                        self.out
+                            .push(AlignedPair::Match(self.s1[b - 1], self.s2[j - 1]));
+                        self.pool.give(row, cb + 1, self.mem);
+                        return j - 1;
+                    } else if cur == seed[j] {
+                        self.out.push(AlignedPair::OnlyLeft(self.s1[b - 1]));
+                        self.pool.give(row, cb + 1, self.mem);
+                        return j;
+                    } else {
+                        self.out.push(AlignedPair::OnlyRight(self.s2[j - 1]));
+                        j -= 1;
+                    }
+                }
+            }
+            let mid = a + (b - a) / 2;
+            let mut midrow = self.pool.take(cb + 1, self.mem);
+            self.advance_rows(a, mid, cb, seed, &mut midrow);
+            let cmid = self.trace(mid, b, cb, &midrow);
+            self.pool.give(midrow, cb + 1, self.mem);
+            // Continue into the top strip with the same seed (row a).
+            b = mid;
+            cb = cmid;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tier 3: the quadratic reference.
+// ---------------------------------------------------------------------------
+
+/// The historical full-matrix Needleman–Wunsch implementation: allocates the
+/// complete `(n + 1) × (m + 1)` score matrix and traces back greedily from
+/// the bottom-right corner. Kept as the reference oracle the linear-space
+/// [`align`] is differentially tested against, and as the baseline of the
+/// `alignment` benchmarks. Production paths never call this — the
+/// [`alignment_counters`] `full_matrix_runs` counter proves it.
+pub fn align_full_matrix(
+    f1: &Function,
+    seq1: &[SeqEntry],
+    f2: &Function,
+    seq2: &[SeqEntry],
+) -> Alignment {
     let n = seq1.len();
     let m = seq2.len();
     // Score matrix, (n+1) x (m+1). u32 scores; usize would double memory for
@@ -107,6 +712,8 @@ pub fn align(f1: &Function, seq1: &[SeqEntry], f2: &Function, seq2: &[SeqEntry])
     }
     pairs_rev.reverse();
 
+    FULL_MATRIX_RUNS.fetch_add(1, Ordering::Relaxed);
+    let matrix = (score.len() * std::mem::size_of::<u32>()) as u64;
     Alignment {
         pairs: pairs_rev,
         stats: AlignmentStats {
@@ -114,7 +721,10 @@ pub fn align(f1: &Function, seq1: &[SeqEntry], f2: &Function, seq2: &[SeqEntry])
             len_right: m,
             matches,
             cells,
-            matrix_bytes: (score.len() * std::mem::size_of::<u32>()) as u64,
+            matrix_bytes: matrix,
+            full_matrix_bytes: matrix,
+            trimmed: 0,
+            score_only: false,
         },
     }
 }
@@ -191,6 +801,10 @@ L4:
         assert_eq!(a.stats.matches, seq.len());
         assert!(a.pairs.iter().all(|p| matches!(p, AlignedPair::Match(..))));
         assert_eq!(a.stats.match_ratio(), 1.0);
+        // An identical pair is resolved entirely by suffix trimming: no DP
+        // rows ever go live.
+        assert_eq!(a.stats.trimmed, seq.len());
+        assert_eq!(a.stats.matrix_bytes, 0);
     }
 
     #[test]
@@ -217,6 +831,38 @@ L4:
             .count();
         assert_eq!(left, s1.len());
         assert_eq!(right, s2.len());
+    }
+
+    #[test]
+    fn linear_space_traceback_equals_the_full_matrix_reference() {
+        let f1 = parse_function(F1).unwrap();
+        let f2 = parse_function(F2).unwrap();
+        let s1 = linearize(&f1);
+        let s2 = linearize(&f2);
+        let fast = align(&f1, &s1, &f2, &s2);
+        let reference = align_full_matrix(&f1, &s1, &f2, &s2);
+        assert_eq!(fast.pairs, reference.pairs);
+        assert_eq!(fast.stats.matches, reference.stats.matches);
+        // And in both orientations plus the self-pair.
+        let fast = align(&f2, &s2, &f1, &s1);
+        let reference = align_full_matrix(&f2, &s2, &f1, &s1);
+        assert_eq!(fast.pairs, reference.pairs);
+        let fast = align(&f1, &s1, &f1, &s1);
+        let reference = align_full_matrix(&f1, &s1, &f1, &s1);
+        assert_eq!(fast.pairs, reference.pairs);
+    }
+
+    #[test]
+    fn score_only_tier_agrees_with_the_traceback() {
+        let f1 = parse_function(F1).unwrap();
+        let f2 = parse_function(F2).unwrap();
+        let s1 = linearize(&f1);
+        let s2 = linearize(&f2);
+        let score = align_score(&f1, &s1, &f2, &s2);
+        let full = align(&f1, &s1, &f2, &s2);
+        assert_eq!(score.matches, full.stats.matches);
+        assert!(score.score_only);
+        assert!(!full.stats.score_only);
     }
 
     #[test]
@@ -254,20 +900,98 @@ L4:
         let dp = align(&a, &sa, &b, &sb);
         let brute = brute_force_best_score(&a, &sa, &b, &sb);
         assert_eq!(dp.stats.matches, brute);
+        assert_eq!(align_score(&a, &sa, &b, &sb).matches, brute);
     }
 
     #[test]
-    fn stats_report_quadratic_work() {
+    fn stats_report_linear_live_memory_against_the_quadratic_baseline() {
         let f1 = parse_function(F1).unwrap();
         let f2 = parse_function(F2).unwrap();
         let s1 = linearize(&f1);
         let s2 = linearize(&f2);
         let a = align(&f1, &s1, &f2, &s2);
-        assert_eq!(a.stats.cells, (s1.len() * s2.len()) as u64);
-        assert_eq!(
+        let quadratic = ((s1.len() + 1) * (s2.len() + 1) * 4) as u64;
+        assert_eq!(a.stats.full_matrix_bytes, quadratic);
+        assert!(a.stats.matrix_bytes > 0, "this pair needs a DP core");
+        assert!(
+            a.stats.matrix_bytes < quadratic,
+            "live peak {} must undercut the full matrix {}",
             a.stats.matrix_bytes,
-            ((s1.len() + 1) * (s2.len() + 1) * 4) as u64
+            quadratic
         );
+        assert!(a.stats.cells > 0);
+        // The reference still reports the quadratic figures.
+        let reference = align_full_matrix(&f1, &s1, &f2, &s2);
+        assert_eq!(reference.stats.matrix_bytes, quadratic);
+        assert_eq!(reference.stats.cells, (s1.len() * s2.len()) as u64);
+    }
+
+    #[test]
+    fn score_only_peak_is_bounded_by_the_shorter_sequence() {
+        // Satellite: score-only live bytes are O(min(n, m)) — growing the
+        // longer side must not grow the DP rows.
+        let grow = |blocks: usize| {
+            let mut body = String::from("define i32 @g(i32 %x) {\nentry:\n  br label %b0\n");
+            for i in 0..blocks {
+                body.push_str(&format!(
+                    "b{i}:\n  %v{i} = add i32 %x, {i}\n  br label %b{}\n",
+                    i + 1
+                ));
+            }
+            body.push_str(&format!("b{blocks}:\n  ret i32 %x\n}}"));
+            parse_function(&body).unwrap()
+        };
+        let short_fn = parse_function(
+            "define i32 @s(i32 %x) {\nentry:\n  %a = mul i32 %x, 2\n  %b = icmp eq i32 %a, 0\n  ret i32 %a\n}",
+        )
+        .unwrap();
+        let short_seq = linearize(&short_fn);
+        let medium = grow(40);
+        let long = grow(160);
+        let medium_seq = linearize(&medium);
+        let long_seq = linearize(&long);
+        let stats_medium = align_score(&medium, &medium_seq, &short_fn, &short_seq);
+        let stats_long = align_score(&long, &long_seq, &short_fn, &short_seq);
+        // Identical peaks: both runs roll over the short side only.
+        assert_eq!(stats_medium.matrix_bytes, stats_long.matrix_bytes);
+        let bound = (2 * (short_seq.len() + 1) * 4) as u64;
+        assert!(stats_long.matrix_bytes <= bound);
+        assert!(stats_long.full_matrix_bytes > 10 * stats_long.matrix_bytes.max(1));
+    }
+
+    #[test]
+    fn mergeability_classes_agree_with_the_structural_predicate() {
+        let f1 = parse_function(F1).unwrap();
+        let f2 = parse_function(F2).unwrap();
+        let s1 = linearize(&f1);
+        let s2 = linearize(&f2);
+        with_scratch(|scratch| {
+            scratch.classify(&f1, &s1, &f2, &s2);
+            for (i, &e1) in s1.iter().enumerate() {
+                for (j, &e2) in s2.iter().enumerate() {
+                    assert_eq!(
+                        scratch.c1[i] == scratch.c2[j],
+                        mergeable(&f1, e1, &f2, e2),
+                        "class table diverges at ({i}, {j})"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn tier_counters_are_monotonic_and_attributed() {
+        let f = parse_function(F1).unwrap();
+        let seq = linearize(&f);
+        let before = alignment_counters();
+        align_score(&f, &seq, &f, &seq);
+        align(&f, &seq, &f, &seq);
+        align_full_matrix(&f, &seq, &f, &seq);
+        let after = alignment_counters();
+        assert!(after.score_only_runs > before.score_only_runs);
+        assert!(after.full_runs > before.full_runs);
+        assert!(after.full_matrix_runs > before.full_matrix_runs);
+        assert!(after.trimmed_entries >= before.trimmed_entries + 2 * seq.len() as u64);
     }
 
     #[test]
@@ -277,5 +1001,16 @@ L4:
         assert!(a.pairs.is_empty());
         assert_eq!(a.stats.matches, 0);
         assert_eq!(a.stats.match_ratio(), 0.0);
+        assert_eq!(a.stats.matrix_bytes, 0);
+        let seq = linearize(&f);
+        let one_sided = align(&f, &seq, &f, &[]);
+        assert_eq!(one_sided.pairs.len(), seq.len());
+        assert!(one_sided
+            .pairs
+            .iter()
+            .all(|p| matches!(p, AlignedPair::OnlyLeft(_))));
+        assert_eq!(one_sided.pairs, align_full_matrix(&f, &seq, &f, &[]).pairs);
+        let other_side = align(&f, &[], &f, &seq);
+        assert_eq!(other_side.pairs, align_full_matrix(&f, &[], &f, &seq).pairs);
     }
 }

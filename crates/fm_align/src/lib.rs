@@ -7,8 +7,13 @@
 //!   instructions that alignment operates on (phi-nodes and landing pads are
 //!   excluded, as in the paper),
 //! * [`align`] — Needleman–Wunsch global alignment maximizing the number of
-//!   mergeable pairs, with the instrumentation (cells, matrix bytes) used by
-//!   the compile-time and memory experiments,
+//!   mergeable pairs, computed by a linear-space divide-and-conquer traceback
+//!   whose output is byte-identical to the classic full-matrix formulation
+//!   (kept as [`align_full_matrix`], the differential-test oracle and
+//!   benchmark baseline), with the instrumentation (cells, live DP bytes,
+//!   trim savings) used by the compile-time and memory experiments,
+//! * [`align_score`] — the score-only tier: a two-row rolling DP over the
+//!   shorter sequence for callers that need only the match count,
 //! * [`Fingerprint`] / [`Ranking`] — the opcode-frequency ranking that selects
 //!   which pairs of functions to attempt to merge under a given exploration
 //!   threshold `t`.
@@ -34,6 +39,9 @@ pub mod align;
 pub mod fingerprint;
 pub mod linearize;
 
-pub use align::{align, AlignedPair, Alignment, AlignmentStats};
+pub use align::{
+    align, align_full_matrix, align_in, align_score, align_score_in, alignment_counters,
+    with_scratch, AlignScratch, AlignedPair, Alignment, AlignmentCounters, AlignmentStats,
+};
 pub use fingerprint::{Fingerprint, MinHash, Ranking, SHINGLE_LEN};
 pub use linearize::{linearize, mergeable, mergeable_insts, SeqEntry};

@@ -21,6 +21,7 @@ fn main() {
         seed: 7,
     };
 
+    let mut demote = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -38,11 +39,20 @@ fn main() {
             "--name" => spec.name = value(arg).clone(),
             "--min-size" => spec.size_range.0 = value(arg).parse().expect("bad --min-size"),
             "--max-size" => spec.size_range.1 = value(arg).parse().expect("bad --max-size"),
+            // Register-demote every function (reg2mem), producing the
+            // FMSA-shaped long-sequence inputs of the Figure 22/23
+            // experiments without needing the FMSA driver.
+            "--demote" => demote = true,
             other => panic!("unknown option '{other}'"),
         }
     }
 
-    let module = spec.generate();
+    let mut module = spec.generate();
+    if demote {
+        for function in module.functions_mut() {
+            ssa_passes::reg2mem::demote_function(function);
+        }
+    }
     let errors = ssa_ir::verifier::verify_module(&module);
     assert!(errors.is_empty(), "generated module is invalid: {errors:?}");
     print!("{}", print_module(&module));

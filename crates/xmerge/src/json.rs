@@ -43,19 +43,45 @@ fn pct(before: usize, after: usize) -> String {
 /// Serializes the planner-engine statistics shared by both report schemas.
 fn planner_json(stats: &PlanStats) -> String {
     format!(
-        r#"{{"candidates":{},"speculative_scores":{},"inline_scores":{},"rounds":{},"score_ms":{},"commit_ms":{},"oracle_links":{}}}"#,
+        r#"{{"candidates":{},"speculative_scores":{},"inline_scores":{},"rounds":{},"score_ms":{},"commit_ms":{},"oracle_links":{},"oracle_carried":{},"hazard_reuse":{}}}"#,
         stats.candidates,
         stats.speculative_scores,
         stats.inline_scores,
         stats.rounds,
         ms(stats.score_time),
         ms(stats.commit_time),
-        stats.oracle_links
+        stats.oracle_links,
+        stats.oracle_carried,
+        stats.hazard_reuse
+    )
+}
+
+/// Serializes the `alignment` stats block shared by both report schemas:
+/// live vs. modelled-full-matrix peaks, cells, trim savings and tier counts
+/// of the linear-space alignment engine.
+#[allow(clippy::too_many_arguments)]
+fn alignment_json(
+    peak_live: u64,
+    peak_full: u64,
+    cells: u64,
+    trimmed: u64,
+    score_only: u64,
+    full: u64,
+) -> String {
+    format!(
+        r#"{{"peak_live_bytes":{peak_live},"peak_full_matrix_bytes":{peak_full},"cells":{cells},"trimmed_entries":{trimmed},"score_only_runs":{score_only},"full_runs":{full}}}"#
     )
 }
 
 /// Serializes one intra-module [`ModuleMergeReport`] plus the surrounding
 /// size measurements (the `salssa report` / `salssa merge --json` schema).
+///
+/// Schema note: the legacy top-level `peak_matrix_bytes` key keeps its
+/// historical meaning — the footprint of the *full* score matrix (what the
+/// engine used to allocate, and what trajectory tracking has recorded so
+/// far) — so existing consumers keep comparing like with like. The actual
+/// live footprint of the linear-space engine lives in the `alignment` block
+/// as `peak_live_bytes`, next to `peak_full_matrix_bytes`.
 pub fn merge_report_json(
     input: &str,
     report: &ModuleMergeReport,
@@ -77,7 +103,7 @@ pub fn merge_report_json(
         })
         .collect();
     format!(
-        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{}}}"#,
+        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{},"alignment":{}}}"#,
         json_escape(input),
         json_escape(&report.technique),
         report.threshold,
@@ -92,10 +118,18 @@ pub fn merge_report_json(
         report.total_profit_bytes(),
         ms(report.align_time),
         ms(report.codegen_time),
-        report.peak_matrix_bytes,
+        report.peak_full_matrix_bytes,
         report.total_cells,
         committed.join(","),
-        planner_json(&report.planner)
+        planner_json(&report.planner),
+        alignment_json(
+            report.peak_matrix_bytes,
+            report.peak_full_matrix_bytes,
+            report.total_cells,
+            report.align_trimmed_entries,
+            report.align_score_only_runs,
+            report.align_full_runs,
+        )
     )
 }
 
@@ -152,7 +186,7 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
         .collect();
     let region_counts: Vec<String> = report.region_counts.iter().map(usize::to_string).collect();
     format!(
-        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}}}}"#,
+        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}},"alignment":{}}}"#,
         report.modules,
         report.functions,
         report.candidates,
@@ -188,7 +222,15 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
         report.saved_cross_edges,
         region_counts.join(","),
         report.call_index_reuse.reused,
-        report.call_index_reuse.refreshed
+        report.call_index_reuse.refreshed,
+        alignment_json(
+            report.align_peak_live_bytes,
+            report.align_peak_full_matrix_bytes,
+            report.align_cells,
+            report.align_trimmed_entries,
+            report.align_score_only_runs,
+            report.align_full_runs,
+        )
     )
 }
 

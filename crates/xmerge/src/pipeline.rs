@@ -299,6 +299,21 @@ pub struct CorpusMergeReport {
     pub region_counts: Vec<usize>,
     /// Call-site index reuse of the incremental per-round rebuilds.
     pub call_index_reuse: CallIndexReuse,
+    /// Peak *live* alignment DP bytes over every scored pair (cross and
+    /// interleaved intra): rolling rows plus divide-and-conquer seed rows.
+    pub align_peak_live_bytes: u64,
+    /// Peak footprint the historical full score matrix would have had over
+    /// the same pairs (the quadratic baseline the engine undercuts).
+    pub align_peak_full_matrix_bytes: u64,
+    /// Alignment cells computed (DP plus trim comparisons), saturating.
+    pub align_cells: u64,
+    /// Match pairs resolved by prefix/suffix trimming instead of DP.
+    pub align_trimmed_entries: u64,
+    /// Score-only alignment runs during this pipeline run (counter delta).
+    pub align_score_only_runs: u64,
+    /// Full (traceback) alignment runs during this pipeline run (counter
+    /// delta).
+    pub align_full_runs: u64,
 }
 
 impl CorpusMergeReport {
@@ -400,11 +415,23 @@ impl fmt::Display for CorpusMergeReport {
         )?;
         writeln!(
             f,
-            "  planner: {} candidates, {} speculative + {} inline scores, {} oracle links; structural-key cache {:.1}% hits ({} hits / {} misses)",
+            "  alignment: peak live DP {} bytes (full matrix would be {}), {} cells, {} entries trimmed, {} full + {} score-only runs",
+            self.align_peak_live_bytes,
+            self.align_peak_full_matrix_bytes,
+            self.align_cells,
+            self.align_trimmed_entries,
+            self.align_full_runs,
+            self.align_score_only_runs
+        )?;
+        writeln!(
+            f,
+            "  planner: {} candidates, {} speculative + {} inline scores, {} oracle links ({} carried over rounds), {} hazard verdicts reused; structural-key cache {:.1}% hits ({} hits / {} misses)",
             self.planner.candidates,
             self.planner.speculative_scores,
             self.planner.inline_scores,
             self.planner.oracle_links,
+            self.planner.oracle_carried,
+            self.planner.hazard_reuse,
             100.0 * self.cache_hit_rate(),
             self.cache_hits,
             self.cache_misses
@@ -439,6 +466,10 @@ struct ScoredCross {
     profit: i64,
     sizes: (usize, usize, usize),
     odr_dedup: bool,
+    /// Alignment instrumentation of the trial merge (zeroed for an ODR
+    /// dedup, which never aligns): live DP peak, hypothetical full-matrix
+    /// bytes, cells, trimmed entries.
+    align: (u64, u64, u64, usize),
 }
 
 /// Identity of one cross-module candidate pair: host module index, donor
@@ -460,6 +491,28 @@ struct Coupling {
 
 /// Per-function coupling, module name → function name.
 type CouplingMap = HashMap<String, HashMap<String, Coupling>>;
+
+/// A linked oracle *before* program with its rename map; `None` records that
+/// the (host, donor) pair carries a pre-existing duplicate-symbol conflict
+/// and cannot link. `Arc` so the cross-round carry cache and the per-round
+/// cache share one copy.
+type OracleEntry = Option<Arc<(Module, LinkRenames)>>;
+
+/// The cross-round oracle carry cache: before-programs keyed by the *names
+/// and* content hashes of the (host, donor) modules. Names matter because
+/// the cached [`LinkRenames`] keys internal entry points by module name —
+/// two same-content modules under different names (the ODR-duplicate case)
+/// must not share an entry. A commit changes the mutated module's hash, so
+/// stale entries become unreachable by construction; [`run_pipeline`] prunes
+/// entries whose (name, hash) left the corpus after every round. Shared
+/// behind a mutex so region-parallel rounds (which touch disjoint module
+/// pairs) use one cache.
+type OracleCarry = Mutex<HashMap<(String, u64, String, u64), OracleEntry>>;
+
+/// Function → call-graph condensation component, keyed module name →
+/// function name (names survive the region remapping, unlike module
+/// indices).
+type ComponentMap = HashMap<String, HashMap<String, usize>>;
 
 /// The cross-module [`CandidateSource`]: LSH-shard discovery provides the
 /// candidates, [`score_cross`] the scores, and the import/merge/thunk commit
@@ -489,21 +542,49 @@ struct CrossSource<'a> {
     hazard_skips: usize,
     semantic_rejections: usize,
     /// Per-round cache of oracle *before* programs per (host, donor) module
-    /// pair (`None` records that the pair cannot link), so consecutive oracle
-    /// runs over untouched module pairs link once instead of once per
-    /// commit. Invalidated whenever a commit mutates either side.
-    oracle_before: HashMap<(usize, usize), Option<(Module, LinkRenames)>>,
+    /// pair, so consecutive oracle runs over untouched module pairs link
+    /// once instead of once per commit. Invalidated whenever a commit
+    /// mutates either side. Misses consult the cross-round carry cache
+    /// before linking.
+    oracle_before: HashMap<(usize, usize), OracleEntry>,
+    /// The cross-round carry cache (see [`OracleCarry`]).
+    carried: &'a OracleCarry,
     /// Whole-program links performed for the oracle (before + after sides).
     oracle_links: usize,
+    /// Before-programs served from the carry cache instead of re-linking.
+    oracle_carried: usize,
+    /// Function → condensation component of the round's call graph, and the
+    /// reverse (callee component → caller components) edges used to
+    /// propagate taint to everything that could depend on a mutated module.
+    components: Arc<ComponentMap>,
+    comp_callers: Arc<Vec<Vec<usize>>>,
+    /// Hazard verdicts pre-scanned (in parallel) at plan time; valid for a
+    /// pair as long as neither endpoint's condensation component is tainted.
+    hazard_cache: HashMap<CrossKey, bool>,
+    /// Condensation components affected by this round's commits, closed
+    /// under "is called by" (ancestors in the condensation DAG).
+    tainted: HashSet<usize>,
+    /// Hazard verdicts reused from the pre-scan.
+    hazard_reuse: usize,
+    /// Alignment instrumentation folded over every scored pair:
+    /// (peak live bytes, peak full-matrix bytes, cells, trimmed entries).
+    align_peak_live: u64,
+    align_peak_full: u64,
+    align_cells: u64,
+    align_trimmed: u64,
 }
 
 impl<'a> CrossSource<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         modules: &'a mut [Module],
         config: &'a XMergeConfig,
         names: Vec<String>,
         resolved: Vec<CrossKey>,
         coupling: Arc<CouplingMap>,
+        carried: &'a OracleCarry,
+        components: Arc<ComponentMap>,
+        comp_callers: Arc<Vec<Vec<usize>>>,
     ) -> CrossSource<'a> {
         // Where each symbol is defined, with linkage, for the hazard rules.
         let mut def_sites: HashMap<String, Vec<(usize, Linkage)>> = HashMap::new();
@@ -528,7 +609,18 @@ impl<'a> CrossSource<'a> {
             hazard_skips: 0,
             semantic_rejections: 0,
             oracle_before: HashMap::new(),
+            carried,
             oracle_links: 0,
+            oracle_carried: 0,
+            components,
+            comp_callers,
+            hazard_cache: HashMap::new(),
+            tainted: HashSet::new(),
+            hazard_reuse: 0,
+            align_peak_live: 0,
+            align_peak_full: 0,
+            align_cells: 0,
+            align_trimmed: 0,
         }
     }
 
@@ -576,19 +668,82 @@ impl<'a> CrossSource<'a> {
     }
 
     /// Ensures the linked before-program of a (host, donor) pair is cached,
-    /// linking on first use. A cached `None` records that the pair carries a
-    /// pre-existing duplicate-symbol conflict and cannot be attested.
+    /// consulting the cross-round carry cache — keyed by the two modules'
+    /// content hashes, so only commit-untouched pairs can hit — before
+    /// linking. A cached `None` records that the pair carries a pre-existing
+    /// duplicate-symbol conflict and cannot be attested.
     fn ensure_oracle_before(&mut self, host: usize, donor: usize) {
         let key = (host, donor);
-        if !self.oracle_before.contains_key(&key) {
-            self.oracle_links += 1;
-            let linked = link_modules_with_renames(
-                [&self.modules[host], &self.modules[donor]],
-                "pair.before",
-            )
-            .ok();
-            self.oracle_before.insert(key, linked);
+        if self.oracle_before.contains_key(&key) {
+            return;
         }
+        let carry_key = (
+            self.names[host].clone(),
+            self.modules[host].content_hash(),
+            self.names[donor].clone(),
+            self.modules[donor].content_hash(),
+        );
+        let carried = self
+            .carried
+            .lock()
+            .expect("oracle carry cache poisoned")
+            .get(&carry_key)
+            .cloned();
+        if let Some(entry) = carried {
+            self.oracle_carried += 1;
+            self.oracle_before.insert(key, entry);
+            return;
+        }
+        self.oracle_links += 1;
+        let linked =
+            link_modules_with_renames([&self.modules[host], &self.modules[donor]], "pair.before")
+                .ok()
+                .map(Arc::new);
+        self.carried
+            .lock()
+            .expect("oracle carry cache poisoned")
+            .insert(carry_key, linked.clone());
+        self.oracle_before.insert(key, linked);
+    }
+
+    /// Marks every condensation component holding a function of `module` —
+    /// and, transitively, every component calling into those — as affected
+    /// by a commit. Pre-scanned hazard verdicts of pairs whose endpoints
+    /// land in a tainted component are discarded.
+    fn taint_module(&mut self, module: usize) {
+        let Some(functions) = self.components.get(&self.names[module]) else {
+            return;
+        };
+        let mut queue: Vec<usize> = functions
+            .values()
+            .copied()
+            .filter(|c| self.tainted.insert(*c))
+            .collect();
+        while let Some(component) = queue.pop() {
+            for &caller in &self.comp_callers[component] {
+                if self.tainted.insert(caller) {
+                    queue.push(caller);
+                }
+            }
+        }
+    }
+
+    /// The pre-scanned hazard verdict of a pair, if it is still valid: both
+    /// endpoints must map to condensation components no commit has tainted
+    /// (the verdict is a pure function of the host and donor module
+    /// contents, and a commit taints every component of the modules it
+    /// mutates).
+    fn reusable_hazard(&self, key: &CrossKey, s: &ScoredCross) -> Option<bool> {
+        let verdict = *self.hazard_cache.get(key)?;
+        let component = |module: usize, name: &str| {
+            self.components
+                .get(&self.names[module])
+                .and_then(|functions| functions.get(name))
+                .copied()
+        };
+        let c1 = component(s.host, &s.f1)?;
+        let c2 = component(s.donor, &s.f2)?;
+        (!self.tainted.contains(&c1) && !self.tainted.contains(&c2)).then_some(verdict)
     }
 }
 
@@ -633,12 +788,22 @@ impl CandidateSource for CrossSource<'_> {
 
     /// Derives the commit schedule: every successfully scored pair, most
     /// profitable first, ties broken by module/function names (total, since
-    /// module names are unique after uniquification).
+    /// module names are unique after uniquification). Also folds the
+    /// alignment instrumentation of every scored pair and pre-scans the
+    /// hazard verdicts of the would-be winners on all cores, so the
+    /// sequential commit loop only re-scans pairs whose call-graph
+    /// components a commit actually touched.
     fn plan(&mut self, cache: &salssa::plan::ScoreCache<CrossKey, ScoredCross>) {
-        let mut scored: Vec<(CrossKey, i64, bool)> = cache
-            .iter()
-            .filter_map(|(key, score)| score.as_ref().map(|s| (key.clone(), s.profit, s.odr_dedup)))
-            .collect();
+        let mut scored: Vec<(CrossKey, i64, bool)> = Vec::with_capacity(cache.len());
+        for (key, score) in cache.iter() {
+            let Some(s) = score.as_ref() else { continue };
+            scored.push((key.clone(), s.profit, s.odr_dedup));
+            let (live, full, cells, trimmed) = s.align;
+            self.align_peak_live = self.align_peak_live.max(live);
+            self.align_peak_full = self.align_peak_full.max(full);
+            self.align_cells = self.align_cells.saturating_add(cells);
+            self.align_trimmed += trimmed as u64;
+        }
         self.attempts = scored.len();
         scored.sort_by(|(xk, xp, _), (yk, yp, _)| {
             yp.cmp(xp).then_with(|| {
@@ -650,6 +815,21 @@ impl CandidateSource for CrossSource<'_> {
                 ))
             })
         });
+        // Hazard pre-scan: only profitable pairs can win a group, and the
+        // verdict is a pure read, so it parallelizes freely here — before
+        // any commit has mutated a module.
+        let profitable: Vec<(&CrossKey, &ScoredCross)> = cache
+            .iter()
+            .filter_map(|(key, score)| score.as_ref().filter(|s| s.profit > 0).map(|s| (key, s)))
+            .collect();
+        let modules = &*self.modules;
+        let def_sites = &self.def_sites;
+        self.hazard_cache = profitable
+            .par_iter()
+            .map(|(key, s)| ((*key).clone(), has_odr_hazard(modules, def_sites, s)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
         self.schedule = scored.into();
     }
 
@@ -677,12 +857,18 @@ impl CandidateSource for CrossSource<'_> {
         // including the ones the consumed-set later filters out).
     }
 
-    fn hazard(&mut self, _key: &CrossKey, score: &ScoredCross) -> bool {
-        if has_odr_hazard(self.modules, &self.def_sites, score) {
+    fn hazard(&mut self, key: &CrossKey, score: &ScoredCross) -> bool {
+        let verdict = match self.reusable_hazard(key, score) {
+            Some(verdict) => {
+                self.hazard_reuse += 1;
+                verdict
+            }
+            None => has_odr_hazard(self.modules, &self.def_sites, score),
+        };
+        if verdict {
             self.hazard_skips += 1;
-            return true;
         }
-        false
+        verdict
     }
 
     fn commit(&mut self, _key: CrossKey, s: ScoredCross) -> CommitOutcome<CrossMergeRecord> {
@@ -732,14 +918,14 @@ impl CandidateSource for CrossSource<'_> {
                 self.hazard_skips += 1;
                 return CommitOutcome::Skipped;
             };
-            let Some((before_prog, before_renames)) = &self.oracle_before[&(s.host, s.donor)]
-            else {
+            let Some(entry) = self.oracle_before[&(s.host, s.donor)].clone() else {
                 // The pair itself carries a pre-existing duplicate-symbol
                 // conflict: the oracle cannot attest anything, so skip the
                 // commit conservatively as a link hazard.
                 self.hazard_skips += 1;
                 return CommitOutcome::Skipped;
             };
+            let (before_prog, before_renames) = &*entry;
             // Internal entry points were localized by the link; resolve them
             // through the rename map (host and donor keep their module names
             // across the before/after links, so the names line up).
@@ -777,7 +963,10 @@ impl CandidateSource for CrossSource<'_> {
             extra_profit = profit;
         }
         // The commit mutated the donor (and, for genuine merges, the host):
-        // cached before-programs involving a mutated module are stale.
+        // cached before-programs involving a mutated module are stale, and
+        // pre-scanned hazard verdicts whose components touch a mutated
+        // module must be re-scanned. (The carry cache self-invalidates: the
+        // mutated module's content hash changed.)
         let host_mutated = !s.odr_dedup;
         self.oracle_before.retain(|(h, d), _| {
             let stale = [h, d]
@@ -785,6 +974,10 @@ impl CandidateSource for CrossSource<'_> {
                 .any(|m| *m == s.donor || (host_mutated && *m == s.host));
             !stale
         });
+        self.taint_module(s.donor);
+        if host_mutated {
+            self.taint_module(s.host);
+        }
         if !s.odr_dedup {
             self.consumed.insert((s.host, s.f1.clone()));
         }
@@ -860,6 +1053,11 @@ fn run_pipeline(
         config.num_hashes
     };
     let (hits0, misses0) = structural_key_counters();
+    let align0 = fm_align::alignment_counters();
+    // Oracle before-programs carried across fixpoint rounds for module pairs
+    // no commit touched (content-hash keyed; pruned to live hashes per
+    // round).
+    let oracle_carry: OracleCarry = Mutex::new(HashMap::new());
     uniquify_module_names(modules);
     let target = config.options.target;
     let before: Vec<(String, usize, usize)> = modules
@@ -951,6 +1149,23 @@ fn run_pipeline(
                 );
         }
         let coupling = Arc::new(coupling);
+        // The SCC condensation of the same graph gates hazard re-scans: a
+        // pre-scanned verdict stays valid while the pair's components are
+        // untouched by commits.
+        let condensation = graph.condensation();
+        let mut components = ComponentMap::new();
+        for (i, n) in graph.nodes.iter().enumerate() {
+            components
+                .entry(graph.modules[n.module].clone())
+                .or_default()
+                .insert(n.name.clone(), condensation.component_of[i]);
+        }
+        let components = Arc::new(components);
+        let mut comp_callers: Vec<Vec<usize>> = vec![Vec::new(); condensation.components.len()];
+        for &(caller, callee) in &condensation.edges {
+            comp_callers[callee].push(caller);
+        }
+        let comp_callers = Arc::new(comp_callers);
         let mut links: Vec<(usize, usize)> = graph.cross_module_links();
         links.extend(graph.shared_definition_links());
         links.extend(resolved.iter().map(|(h, d, _, _)| (*h.min(d), *h.max(d))));
@@ -960,9 +1175,28 @@ fn run_pipeline(
         report.region_counts.push(regions.len());
 
         let outcome = if config.region_parallel && regions.len() > 1 {
-            run_round_in_regions(modules, config, &names, resolved, &coupling, &regions)
+            run_round_in_regions(
+                modules,
+                config,
+                &names,
+                resolved,
+                &coupling,
+                &regions,
+                &oracle_carry,
+                &components,
+                &comp_callers,
+            )
         } else {
-            run_cross_round(modules, config, names.clone(), resolved, coupling)
+            run_cross_round(
+                modules,
+                config,
+                names.clone(),
+                resolved,
+                coupling,
+                &oracle_carry,
+                components,
+                comp_callers,
+            )
         };
         report.attempts += outcome.attempts;
         report.hazard_skips += outcome.hazard_skips;
@@ -970,6 +1204,11 @@ fn run_pipeline(
         report.score_time += outcome.stats.score_time;
         report.commit_time += outcome.stats.commit_time;
         report.planner.absorb(&outcome.stats);
+        report.align_peak_live_bytes = report.align_peak_live_bytes.max(outcome.align.0);
+        report.align_peak_full_matrix_bytes =
+            report.align_peak_full_matrix_bytes.max(outcome.align.1);
+        report.align_cells = report.align_cells.saturating_add(outcome.align.2);
+        report.align_trimmed_entries += outcome.align.3;
         for r in &outcome.committed {
             report.forced_cross_edges += u64::from(r.forced_edges);
             report.saved_cross_edges += u64::from(r.saved_edges);
@@ -1010,6 +1249,14 @@ fn run_pipeline(
                 intra_dirty[mi] = intra_report.num_merges() > 0;
                 report.planner.absorb(&intra_report.planner);
                 report.semantic_rejections += intra_report.semantic_rejections;
+                report.align_peak_live_bytes = report
+                    .align_peak_live_bytes
+                    .max(intra_report.peak_matrix_bytes);
+                report.align_peak_full_matrix_bytes = report
+                    .align_peak_full_matrix_bytes
+                    .max(intra_report.peak_full_matrix_bytes);
+                report.align_cells = report.align_cells.saturating_add(intra_report.total_cells);
+                report.align_trimmed_entries += intra_report.align_trimmed_entries;
                 report.intra_committed.extend(
                     intra_report
                         .committed
@@ -1017,6 +1264,22 @@ fn run_pipeline(
                         .map(|r| (names[mi].clone(), r)),
                 );
             }
+        }
+
+        // Keep the oracle carry cache bounded: only entries whose module
+        // (name, hash) identities are still live in the corpus can ever hit
+        // again.
+        {
+            let live: HashSet<(&str, u64)> = modules
+                .iter()
+                .map(|m| (m.name.as_str(), m.content_hash()))
+                .collect();
+            oracle_carry
+                .lock()
+                .expect("oracle carry cache poisoned")
+                .retain(|(hn, hh, dn, dh), _| {
+                    live.contains(&(hn.as_str(), *hh)) && live.contains(&(dn.as_str(), *dh))
+                });
         }
 
         if cross_commits == 0 && intra_commits == 0 {
@@ -1037,6 +1300,9 @@ fn run_pipeline(
     let (hits1, misses1) = structural_key_counters();
     report.cache_hits = hits1.saturating_sub(hits0);
     report.cache_misses = misses1.saturating_sub(misses0);
+    let align1 = fm_align::alignment_counters();
+    report.align_score_only_runs = align1.score_only_runs - align0.score_only_runs;
+    report.align_full_runs = align1.full_runs - align0.full_runs;
 
     if !want_input_index {
         return (report, None, None);
@@ -1056,18 +1322,34 @@ struct RoundOutcome {
     hazard_skips: usize,
     semantic_rejections: usize,
     stats: PlanStats,
+    /// Alignment instrumentation folded over the round's scored pairs:
+    /// (peak live bytes, peak full-matrix bytes, cells, trimmed entries).
+    align: (u64, u64, u64, u64),
 }
 
 /// Runs one speculative score/commit pass over `modules` (the whole corpus,
 /// or one region of it with indices and names already remapped).
+#[allow(clippy::too_many_arguments)]
 fn run_cross_round(
     modules: &mut [Module],
     config: &XMergeConfig,
     names: Vec<String>,
     resolved: Vec<CrossKey>,
     coupling: Arc<CouplingMap>,
+    carried: &OracleCarry,
+    components: Arc<ComponentMap>,
+    comp_callers: Arc<Vec<Vec<usize>>>,
 ) -> RoundOutcome {
-    let mut source = CrossSource::new(modules, config, names, resolved, coupling);
+    let mut source = CrossSource::new(
+        modules,
+        config,
+        names,
+        resolved,
+        coupling,
+        carried,
+        components,
+        comp_callers,
+    );
     let (committed, mut stats) = run_plan(
         &mut source,
         ScoreMode::Speculative {
@@ -1075,12 +1357,20 @@ fn run_cross_round(
         },
     );
     stats.oracle_links = source.oracle_links;
+    stats.oracle_carried = source.oracle_carried;
+    stats.hazard_reuse = source.hazard_reuse;
     RoundOutcome {
         committed,
         attempts: source.attempts,
         hazard_skips: source.hazard_skips,
         semantic_rejections: source.semantic_rejections,
         stats,
+        align: (
+            source.align_peak_live,
+            source.align_peak_full,
+            source.align_cells,
+            source.align_trimmed,
+        ),
     }
 }
 
@@ -1090,6 +1380,7 @@ fn run_cross_round(
 /// region's plan is exactly what a sequential run restricted to it would
 /// produce, and regions cannot observe each other's commits. Results are
 /// stitched back in region order, keeping the pipeline deterministic.
+#[allow(clippy::too_many_arguments)]
 fn run_round_in_regions(
     modules: &mut [Module],
     config: &XMergeConfig,
@@ -1097,6 +1388,9 @@ fn run_round_in_regions(
     resolved: Vec<CrossKey>,
     coupling: &Arc<CouplingMap>,
     regions: &[Vec<usize>],
+    carried: &OracleCarry,
+    components: &Arc<ComponentMap>,
+    comp_callers: &Arc<Vec<Vec<usize>>>,
 ) -> RoundOutcome {
     let mut region_of = vec![0usize; modules.len()];
     for (ri, members) in regions.iter().enumerate() {
@@ -1153,7 +1447,16 @@ fn run_round_in_regions(
                 names,
                 resolved,
             } = task;
-            let outcome = run_cross_round(&mut modules, config, names, resolved, coupling.clone());
+            let outcome = run_cross_round(
+                &mut modules,
+                config,
+                names,
+                resolved,
+                coupling.clone(),
+                carried,
+                components.clone(),
+                comp_callers.clone(),
+            );
             (members, modules, outcome)
         })
         .collect();
@@ -1164,6 +1467,7 @@ fn run_round_in_regions(
         hazard_skips: 0,
         semantic_rejections: 0,
         stats: PlanStats::default(),
+        align: (0, 0, 0, 0),
     };
     let mut max_score_time = std::time::Duration::ZERO;
     let mut max_commit_time = std::time::Duration::ZERO;
@@ -1178,6 +1482,10 @@ fn run_round_in_regions(
         max_score_time = max_score_time.max(outcome.stats.score_time);
         max_commit_time = max_commit_time.max(outcome.stats.commit_time);
         total.stats.absorb(&outcome.stats);
+        total.align.0 = total.align.0.max(outcome.align.0);
+        total.align.1 = total.align.1.max(outcome.align.1);
+        total.align.2 = total.align.2.saturating_add(outcome.align.2);
+        total.align.3 += outcome.align.3;
     }
     // `absorb` counts one planner round per region and *sums* phase times
     // that actually ran concurrently; report one pipeline round and the
@@ -1211,6 +1519,7 @@ fn score_cross(
             profit: function_size_bytes(f2, target) as i64,
             sizes: (f1.num_insts(), f2.num_insts(), 0),
             odr_dedup: true,
+            align: (0, 0, 0, 0),
         });
     }
     let pair = merge_pair(f1, f2, options, "merged.xm.trial")?;
@@ -1228,6 +1537,12 @@ fn score_cross(
         profit,
         sizes: (f1.num_insts(), f2.num_insts(), pair.merged.num_insts()),
         odr_dedup: false,
+        align: (
+            pair.alignment.matrix_bytes,
+            pair.alignment.full_matrix_bytes,
+            pair.alignment.cells,
+            pair.alignment.trimmed,
+        ),
     })
 }
 
@@ -1462,6 +1777,7 @@ mod tests {
             profit: 1,
             sizes: (10, 10, 0),
             odr_dedup: false,
+            align: (0, 0, 0, 0),
         };
         let extra = apply_commit(
             &mut host,
@@ -1525,6 +1841,7 @@ mod tests {
             profit: 1,
             sizes: (10, 10, 8),
             odr_dedup: false,
+            align: (0, 0, 0, 0),
         };
         assert!(
             !has_odr_hazard(&modules, &def_sites, &s),
@@ -1582,6 +1899,7 @@ mod tests {
             profit: 1,
             sizes: (3, 3, 3),
             odr_dedup: false,
+            align: (0, 0, 0, 0),
         };
         assert!(
             has_odr_hazard(&modules, &def_sites, &merge),
