@@ -1,0 +1,63 @@
+//! # `analysis` — whole-program static analysis and linting
+//!
+//! SalSSA rewrites programs: it splices function bodies together, swaps
+//! bodies for forwarding thunks and sprinkles `declare`s across modules. The
+//! existing [`ssa_ir::verifier`] checks each function in isolation, but the
+//! invariants a *merge* can break are mostly not function-local: a thunk's
+//! signature must agree with the merged function it forwards to, a donated
+//! `declare` must agree with the definition it resolves to in another
+//! module, and two externally visible definitions of one symbol must stay
+//! ODR-interchangeable. This crate is the analysis layer that checks all of
+//! it:
+//!
+//! * [`diag`] — [`Diagnostic`]s with stable, append-only codes
+//!   (`E0xx` errors / `W1xx` warnings / `L2xx` lints; see [`CODE_TABLE`]),
+//!   function *and* module provenance, and machine-readable JSON output;
+//! * [`passes`] — the checks, grouped by the scope they read:
+//!   per-function (verifier wrap, unreachable blocks, dead parameters,
+//!   merged-function discriminator), per-module (dangling `merged.*`
+//!   callees, call-site signatures, thunk shape) and whole-program
+//!   (declaration/definition agreement, ODR consistency and
+//!   internal-symbol leaks under the `callgraph` crate's linker-resolution
+//!   rules);
+//! * [`engine`] — the [`AnalysisEngine`]: per-function passes run in
+//!   parallel and every verdict is cached, keyed by
+//!   [`ssa_ir::Function::structural_key`] (functions) and
+//!   [`ssa_ir::Module::content_hash`] (modules), so re-linting an almost
+//!   unchanged corpus is nearly free; and the [`ParanoidMonitor`] the
+//!   planners use in `--paranoid` mode to re-analyze after every committed
+//!   merge and report only the *delta* against the input's baseline.
+//!
+//! The CLI surface is `salssa lint <dir|file.ll>`; the planner surface is
+//! `DriverConfig::with_paranoid` / `XMergeConfig::with_paranoid`.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use analysis::AnalysisEngine;
+//! use ssa_ir::parse_module;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut m = parse_module(
+//!     "define i32 @id(i32 %x, i32 %unused) {\nentry:\n  ret i32 %x\n}",
+//! )?;
+//! m.name = "m".to_string();
+//! let report = AnalysisEngine::new().analyze_module(&m);
+//! assert_eq!(report.counts(), (0, 0, 1)); // L201: %unused is dead
+//! assert_eq!(report.diagnostics[0].code, analysis::codes::DEAD_PARAM);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod diag;
+pub mod engine;
+pub mod passes;
+
+pub use diag::{codes, severity_of, DenySet, Diagnostic, Severity, CODE_TABLE};
+pub use engine::{
+    count_by_code, count_severities, AnalysisEngine, AnalysisReport, AnalysisStats, ParanoidMonitor,
+};
+pub use passes::{forwarding_callee, is_merged_name, MERGED_PREFIX};
+
+/// The verifier's codes, re-exported so consumers see one namespace.
+pub use ssa_ir::verifier::codes as verifier_codes;

@@ -1,0 +1,723 @@
+//! The lint and invariant passes, grouped by scope.
+//!
+//! * **Function scope** — checks that read one [`Function`] in isolation:
+//!   the re-homed [`ssa_ir::verifier`] (`E001`–`E007`), unreachable blocks
+//!   (`W101`), dead parameters (`L201`) and the merged-function
+//!   discriminator invariant (`E021`). Their verdicts depend only on the
+//!   function's structural key (plus whether it lives in the reserved
+//!   `merged.` namespace), which is what lets the engine cache them.
+//! * **Module scope** — checks that additionally read the module's symbol
+//!   table: dangling `merged.*` callees (`E010`), call-site signature
+//!   agreement (`E011`) and the forwarding-thunk shape invariant (`E020`).
+//!   Cacheable by [`Module::content_hash`].
+//! * **Program scope** — checks over a whole corpus under the linker
+//!   resolution rules of the `callgraph` crate (own module first, then the
+//!   first externally visible definition in corpus order, internal symbols
+//!   never resolved across modules): declaration/definition signature
+//!   agreement (`E030`), ODR consistency (`E031`/`L202`) and internal-symbol
+//!   leaks (`E032`).
+//!
+//! Function-scope diagnostics are produced *provenance-free* (empty module
+//! and function fields) so cached verdicts can be shared between
+//! structurally identical functions; the engine re-homes them on retrieval.
+//! For the same reason their messages never mention the function's own
+//! name — only content the structural key already normalizes over (block
+//! labels, parameter indices, callee symbols).
+
+use crate::diag::{codes, Diagnostic};
+use callgraph::{CallGraph, CorpusCallIndex};
+use ssa_ir::{verifier, Constant, Function, InstKind, Linkage, Module, Type, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The reserved symbol namespace of compiler-generated merged functions.
+/// Both the intra-module driver (`merged.{f}.{g}`) and the cross-module
+/// pipeline (`merged.xm.{...}`) name their outputs under this prefix.
+pub const MERGED_PREFIX: &str = "merged.";
+
+/// Returns `true` when `name` lies in the reserved merged-function
+/// namespace. This is the only name-derived fact the function-scope passes
+/// consult, and it is part of the engine's cache key.
+pub fn is_merged_name(name: &str) -> bool {
+    name.starts_with(MERGED_PREFIX)
+}
+
+/// If `f` has the forwarding-thunk shape — a single block whose only body
+/// instruction is a call and whose terminator returns that call's result
+/// (or nothing, for void) — returns the callee symbol.
+///
+/// The dead-parameter and discriminator passes exempt this shape: a thunk
+/// legitimately drops parameters its merged target no longer needs, and a
+/// re-merged function reduced to a thunk forwards its old discriminator as
+/// an ordinary argument.
+pub fn forwarding_callee(f: &Function) -> Option<&str> {
+    if f.num_blocks() != 1 {
+        return None;
+    }
+    let entry = f.try_entry()?;
+    let block = f.block(entry);
+    if !block.phis.is_empty() || block.insts.len() != 1 {
+        return None;
+    }
+    let call = block.insts[0];
+    let InstKind::Call { callee, .. } = &f.inst(call).kind else {
+        return None;
+    };
+    match &f.inst(block.term?).kind {
+        InstKind::Ret { value: Some(v) } if *v == Value::Inst(call) => Some(callee),
+        InstKind::Ret { value: None } if f.ret_ty == Type::Void => Some(callee),
+        _ => None,
+    }
+}
+
+/// Runs every function-scope pass on `f`, returning provenance-free
+/// diagnostics (the engine re-homes them when attributing cached verdicts).
+pub fn check_function(f: &Function) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for e in verifier::verify_function(f) {
+        out.push(Diagnostic::new(e.code, "", "", e.message));
+    }
+    unreachable_blocks(f, &mut out);
+    dead_params(f, &mut out);
+    discriminator(f, &mut out);
+    out
+}
+
+/// `W101`: blocks not reachable from the entry block.
+fn unreachable_blocks(f: &Function, out: &mut Vec<Diagnostic>) {
+    if f.try_entry().is_none() {
+        return; // no entry: the verifier already reported E001
+    }
+    let reachable = f.reachable_blocks();
+    for b in f.block_ids() {
+        if !reachable.contains(&b) {
+            out.push(Diagnostic::new(
+                codes::UNREACHABLE_BLOCK,
+                "",
+                "",
+                format!(
+                    "block %{} is unreachable from the entry block",
+                    f.block(b).name
+                ),
+            ));
+        }
+    }
+}
+
+/// `L201`: parameters no instruction ever reads. Forwarding thunks are
+/// exempt (dropping dead parameters of the target is their whole point), and
+/// so are merged functions entirely: their parameter list is the union of
+/// both inputs' lists, so a dead parameter there mirrors dead code the
+/// *inputs* carried — re-reporting it under the merged name would make every
+/// paranoid run on lint-dirty input noisy without naming a new defect. (The
+/// discriminator parameter is `E021`'s business either way.)
+fn dead_params(f: &Function, out: &mut Vec<Diagnostic>) {
+    if f.params.is_empty() || forwarding_callee(f).is_some() || is_merged_name(&f.name) {
+        return;
+    }
+    let mut used = vec![false; f.params.len()];
+    for id in f.inst_ids() {
+        f.inst(id).kind.for_each_operand(|v| {
+            if let Value::Arg(i) = v {
+                if let Some(slot) = used.get_mut(i as usize) {
+                    *slot = true;
+                }
+            }
+        });
+    }
+    let skip_fid = usize::from(is_merged_name(&f.name));
+    for (i, used) in used.iter().enumerate().skip(skip_fid) {
+        if !used {
+            out.push(Diagnostic::new(
+                codes::DEAD_PARAM,
+                "",
+                "",
+                format!("parameter %{} (index {i}) is never used", f.param_names[i]),
+            ));
+        }
+    }
+}
+
+/// `E021`: the discriminator invariant of merged functions. Parameter 0 must
+/// exist, be `i1`, and every use must be a `br`/`select` condition — the
+/// shape that guarantees each discriminator branch constant-folds at a
+/// thunk's constant call site. Forwarding thunks are exempt: a function that
+/// was itself merged away keeps its `merged.*` name but forwards its old
+/// discriminator as a plain argument.
+fn discriminator(f: &Function, out: &mut Vec<Diagnostic>) {
+    if !is_merged_name(&f.name) || forwarding_callee(f).is_some() {
+        return;
+    }
+    let fid = Value::Arg(0);
+    match f.params.first() {
+        None => {
+            out.push(Diagnostic::new(
+                codes::DISCRIMINATOR,
+                "",
+                "",
+                "merged function has no discriminator parameter".to_string(),
+            ));
+            return;
+        }
+        Some(ty) if *ty != Type::I1 => {
+            out.push(Diagnostic::new(
+                codes::DISCRIMINATOR,
+                "",
+                "",
+                format!("discriminator parameter has type {ty}, expected i1"),
+            ));
+            return;
+        }
+        Some(_) => {}
+    }
+    for id in f.inst_ids() {
+        let kind = &f.inst(id).kind;
+        let escapes = match kind {
+            InstKind::CondBr { cond, .. } => *cond != fid && kind.operands().contains(&fid),
+            InstKind::Select {
+                if_true, if_false, ..
+            } => *if_true == fid || *if_false == fid,
+            other => other.operands().contains(&fid),
+        };
+        if escapes {
+            out.push(Diagnostic::new(
+                codes::DISCRIMINATOR,
+                "",
+                "",
+                format!(
+                    "discriminator escapes into a non-dispatch operand of '{}'",
+                    kind.opcode()
+                ),
+            ));
+        }
+    }
+}
+
+/// Runs every module-scope pass on `m`, returning diagnostics whose module
+/// field is *empty* (the engine re-homes cached verdicts by module name —
+/// [`Module::content_hash`] does not cover the name, so two identically
+/// populated modules share a cache entry).
+pub fn check_module(m: &Module) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in m.functions() {
+        call_sites(m, f, &mut out);
+        thunk_shape(m, f, &mut out);
+    }
+    out
+}
+
+/// `E010`/`E011`: per call site, a `merged.*` callee must be defined or
+/// declared in its own module (merged functions are compiler-generated, so a
+/// dangling reference is always a pipeline bug), and any callee the module
+/// knows a signature for must be called compatibly (argument count,
+/// non-undef argument types, result type).
+fn call_sites(m: &Module, f: &Function, out: &mut Vec<Diagnostic>) {
+    for (inst, callee) in f.call_sites() {
+        let Some((params, ret_ty)) = m.signature(callee) else {
+            if is_merged_name(callee) {
+                out.push(Diagnostic::new(
+                    codes::DANGLING_MERGED_CALLEE,
+                    "",
+                    &f.name,
+                    format!("call to @{callee}, which this module neither defines nor declares"),
+                ));
+            }
+            continue; // unresolved ordinary externals are the linker's business
+        };
+        let args = match &f.inst(inst).kind {
+            InstKind::Call { args, .. } | InstKind::Invoke { args, .. } => args,
+            _ => unreachable!("call_sites yields only calls and invokes"),
+        };
+        if args.len() != params.len() {
+            out.push(Diagnostic::new(
+                codes::CALL_SIGNATURE,
+                "",
+                &f.name,
+                format!(
+                    "call to @{callee} passes {} arguments, but its signature takes {}",
+                    args.len(),
+                    params.len()
+                ),
+            ));
+            continue;
+        }
+        for (i, (arg, want)) in args.iter().zip(&params).enumerate() {
+            if !arg.is_undef() && f.value_type(*arg) != *want {
+                out.push(Diagnostic::new(
+                    codes::CALL_SIGNATURE,
+                    "",
+                    &f.name,
+                    format!(
+                        "argument {i} of call to @{callee} has type {}, expected {want}",
+                        f.value_type(*arg)
+                    ),
+                ));
+            }
+        }
+        let produced = f.inst(inst).ty;
+        if produced != ret_ty {
+            out.push(Diagnostic::new(
+                codes::CALL_SIGNATURE,
+                "",
+                &f.name,
+                format!(
+                    "call to @{callee} produces {produced}, but its signature returns {ret_ty}"
+                ),
+            ));
+        }
+    }
+}
+
+/// `E020`: forwarding thunks into the `merged.` namespace must match the
+/// merged callee's arity and return type and pass a *constant*, non-undef
+/// `i1` discriminator — the constant the merged function's dispatch
+/// constant-folds on.
+fn thunk_shape(m: &Module, f: &Function, out: &mut Vec<Diagnostic>) {
+    let Some(callee) = forwarding_callee(f) else {
+        return;
+    };
+    if !is_merged_name(callee) {
+        return;
+    }
+    let callee = callee.to_string();
+    let Some((params, ret_ty)) = m.signature(&callee) else {
+        return; // E010 already covers the dangling reference
+    };
+    let entry = f.block(f.entry());
+    let InstKind::Call { args, .. } = &f.inst(entry.insts[0]).kind else {
+        unreachable!("forwarding_callee guarantees a call");
+    };
+    let mut report = |message: String| {
+        out.push(Diagnostic::new(codes::THUNK_SHAPE, "", &f.name, message));
+    };
+    if args.len() != params.len() {
+        report(format!(
+            "thunk passes {} arguments to @{callee}, which takes {}",
+            args.len(),
+            params.len()
+        ));
+        return;
+    }
+    match args.first() {
+        Some(Value::Const(c)) if !c.is_undef() && c.ty() == Type::I1 => {}
+        Some(other) => report(format!(
+            "thunk discriminator must be a constant i1, found {}",
+            match other {
+                Value::Const(c) if c.is_undef() => "undef".to_string(),
+                Value::Const(Constant::Int { bits, .. }) => format!("a constant i{bits}"),
+                Value::Const(_) => "a non-integer constant".to_string(),
+                Value::Arg(i) => format!("parameter %{i}"),
+                Value::Inst(_) => "an instruction result".to_string(),
+            }
+        )),
+        None => {} // zero-arg merged callee: already arity-mismatched above
+    }
+    for (i, (arg, want)) in args.iter().zip(&params).enumerate().skip(1) {
+        if !arg.is_undef() && f.value_type(*arg) != *want {
+            report(format!(
+                "thunk argument {i} has type {}, expected {want}",
+                f.value_type(*arg)
+            ));
+        }
+    }
+    if f.ret_ty != ret_ty {
+        report(format!(
+            "thunk returns {}, but @{callee} returns {ret_ty}",
+            f.ret_ty
+        ));
+    }
+}
+
+/// Runs every program-scope pass over the corpus, applying the same symbol
+/// resolution the `callgraph` crate uses: a reference binds to its own
+/// module first, then to the first externally visible definition in corpus
+/// order; internal definitions never capture cross-module references.
+pub fn check_program(modules: &[Module]) -> Vec<Diagnostic> {
+    let index = CorpusCallIndex::build(modules);
+    let graph = CallGraph::resolve(&index);
+    let mut out = Vec::new();
+
+    // First externally visible definition per symbol, in corpus order —
+    // derived from the resolved graph so this stays the *one* resolution
+    // rule in the codebase.
+    let mut first_external: HashMap<&str, usize> = HashMap::new();
+    for node in &graph.nodes {
+        if node.linkage == Linkage::External {
+            first_external
+                .entry(node.name.as_str())
+                .or_insert(node.module);
+        }
+    }
+
+    // E030: every declaration against the definition it would resolve to.
+    for (mi, m) in modules.iter().enumerate() {
+        for d in m.declarations() {
+            let def = match m.function(&d.name) {
+                Some(f) => Some((mi, f)),
+                None => first_external
+                    .get(d.name.as_str())
+                    .map(|&dm| (dm, modules[dm].function(&d.name).expect("indexed def"))),
+            };
+            let Some((dm, f)) = def else {
+                continue; // unresolved external declaration: a library symbol
+            };
+            if f.params != d.params || f.ret_ty != d.ret_ty {
+                out.push(Diagnostic::new(
+                    codes::DECL_SIGNATURE,
+                    &m.name,
+                    "",
+                    format!(
+                        "declaration of @{} disagrees with the definition it resolves to \
+                         in {}: declared ({:?}) -> {}, defined ({:?}) -> {}",
+                        d.name, modules[dm].name, d.params, d.ret_ty, f.params, f.ret_ty
+                    ),
+                ));
+            }
+        }
+    }
+
+    // E031 / L202: externally visible definitions of the same symbol must be
+    // ODR-interchangeable; identical copies are a (benign) dedup opportunity.
+    let mut external_defs: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for node in &graph.nodes {
+        if node.linkage == Linkage::External {
+            external_defs
+                .entry(node.name.as_str())
+                .or_default()
+                .push(node.module);
+        }
+    }
+    for (name, mods) in external_defs {
+        if mods.len() < 2 {
+            continue;
+        }
+        let keeper = modules[mods[0]].function(name).expect("indexed def");
+        let clashes: Vec<&str> = mods[1..]
+            .iter()
+            .filter(|&&mi| {
+                let f = modules[mi].function(name).expect("indexed def");
+                f.params != keeper.params
+                    || f.ret_ty != keeper.ret_ty
+                    || f.structural_key() != keeper.structural_key()
+            })
+            .map(|&mi| modules[mi].name.as_str())
+            .collect();
+        if clashes.is_empty() {
+            let others: Vec<&str> = mods[1..]
+                .iter()
+                .map(|&mi| modules[mi].name.as_str())
+                .collect();
+            out.push(Diagnostic::new(
+                codes::DUPLICATE_DEFINITION,
+                &modules[mods[0]].name,
+                name,
+                format!(
+                    "externally visible definition duplicated verbatim in {} (a dedup \
+                     opportunity for `salssa xmerge`)",
+                    others.join(", ")
+                ),
+            ));
+        } else {
+            out.push(Diagnostic::new(
+                codes::ODR_CLASH,
+                &modules[mods[0]].name,
+                name,
+                format!(
+                    "externally visible definitions in {} disagree with the copy \
+                     in {} (ODR violation)",
+                    clashes.join(", "),
+                    modules[mods[0]].name,
+                ),
+            ));
+        }
+    }
+
+    // E032: cross-module references that resolve to nothing externally
+    // visible but *would* hit an internal definition elsewhere — a symbol
+    // that leaked out of its translation unit.
+    let mut internal_defs: HashMap<&str, Vec<usize>> = HashMap::new();
+    for node in &graph.nodes {
+        if node.linkage == Linkage::Internal {
+            internal_defs
+                .entry(node.name.as_str())
+                .or_default()
+                .push(node.module);
+        }
+    }
+    for (mi, summary) in index.modules.iter().enumerate() {
+        let mut reported: HashSet<&str> = HashSet::new();
+        for f in &summary.functions {
+            for (callee, _) in &f.callees {
+                if graph.node_id(mi, callee).is_some()
+                    || first_external.contains_key(callee.as_str())
+                    || !reported.insert(callee.as_str())
+                {
+                    continue; // resolvable, or already reported for this module
+                }
+                if let Some(holders) = internal_defs.get(callee.as_str()) {
+                    let holders: Vec<&str> = holders
+                        .iter()
+                        .filter(|&&hm| hm != mi)
+                        .map(|&hm| modules[hm].name.as_str())
+                        .collect();
+                    if !holders.is_empty() {
+                        out.push(Diagnostic::new(
+                            codes::INTERNAL_LEAK,
+                            &modules[mi].name,
+                            &f.name,
+                            format!(
+                                "reference to @{callee} resolves only to internal \
+                                 definitions (in {}), which never participate in \
+                                 cross-module resolution",
+                                holders.join(", ")
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_ir::parse_module;
+
+    fn module(name: &str, text: &str) -> Module {
+        let mut m = parse_module(text).expect("test IR parses");
+        m.name = name.to_string();
+        m
+    }
+
+    fn codes_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_function_has_no_findings() {
+        let m = module(
+            "m",
+            "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}",
+        );
+        assert!(check_function(&m.functions()[0]).is_empty());
+        assert!(check_module(&m).is_empty());
+    }
+
+    #[test]
+    fn unreachable_block_is_w101() {
+        let m = module(
+            "m",
+            "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\ndead:\n  ret i32 0\n}",
+        );
+        let diags = check_function(&m.functions()[0]);
+        assert_eq!(codes_of(&diags), vec![codes::UNREACHABLE_BLOCK]);
+        assert!(diags[0].message.contains("%dead"));
+    }
+
+    #[test]
+    fn dead_param_is_l201_with_exemptions() {
+        let m = module(
+            "m",
+            "define i32 @f(i32 %x, i32 %unused) {\nentry:\n  ret i32 %x\n}",
+        );
+        let diags = check_function(&m.functions()[0]);
+        assert_eq!(codes_of(&diags), vec![codes::DEAD_PARAM]);
+        assert!(diags[0].message.contains("index 1"));
+
+        // A forwarding thunk drops parameters by design: exempt.
+        let thunk = module(
+            "m",
+            "define i32 @f(i32 %x, i32 %unused) {\nentry:\n  %r = call i32 @target(i32 %x)\n  ret i32 %r\n}",
+        );
+        assert!(check_function(&thunk.functions()[0]).is_empty());
+
+        // Merged functions are exempt wholesale: their parameter list unions
+        // both inputs', so dead entries mirror the inputs' dead code rather
+        // than naming a new defect.
+        let merged = module(
+            "m",
+            "define i32 @merged.a.b(i1 %fid, i32 %x, i32 %unused) {\nentry:\n  br i1 %fid, label %l, label %r\nl:\n  ret i32 %x\nr:\n  ret i32 0\n}",
+        );
+        assert!(check_function(&merged.functions()[0]).is_empty());
+    }
+
+    #[test]
+    fn discriminator_must_dispatch_only() {
+        // Clean: every use is a br/select condition.
+        let good = module(
+            "m",
+            "define i32 @merged.a.b(i1 %fid, i32 %x) {\nentry:\n  %s = select i1 %fid, i32 %x, i32 0\n  br i1 %fid, label %l, label %r\nl:\n  ret i32 %s\nr:\n  ret i32 0\n}",
+        );
+        assert!(check_function(&good.functions()[0]).is_empty());
+
+        // Escaping into arithmetic is E021.
+        let escape = module(
+            "m",
+            "define i32 @merged.a.b(i1 %fid, i32 %x) {\nentry:\n  %z = zext i1 %fid to i32\n  %r = add i32 %z, %x\n  ret i32 %r\n}",
+        );
+        let diags = check_function(&escape.functions()[0]);
+        assert_eq!(codes_of(&diags), vec![codes::DISCRIMINATOR]);
+
+        // Wrong discriminator type is E021.
+        let wrong_ty = module(
+            "m",
+            "define i32 @merged.a.b(i32 %fid, i32 %x) {\nentry:\n  ret i32 %x\n}",
+        );
+        let diags = check_function(&wrong_ty.functions()[0]);
+        assert!(codes_of(&diags).contains(&codes::DISCRIMINATOR));
+
+        // A merged function later reduced to a forwarding thunk passes its
+        // old discriminator as a plain argument: exempt.
+        let rethunked = module(
+            "m",
+            "define i32 @merged.a.b(i1 %fid, i32 %x) {\nentry:\n  %r = call i32 @merged.c.d(i1 false, i1 %fid, i32 %x)\n  ret i32 %r\n}",
+        );
+        assert!(check_function(&rethunked.functions()[0]).is_empty());
+    }
+
+    #[test]
+    fn dangling_merged_callee_is_e010() {
+        let m = module(
+            "m",
+            "define i32 @f(i32 %x) {\nentry:\n  %r = call i32 @merged.gone(i1 true, i32 %x)\n  ret i32 %r\n}",
+        );
+        let diags = check_module(&m);
+        assert_eq!(codes_of(&diags), vec![codes::DANGLING_MERGED_CALLEE]);
+        assert_eq!(diags[0].function, "f");
+        // A declaration satisfies the reference (post-xmerge donor modules).
+        let declared = module(
+            "m",
+            "declare i32 @merged.gone(i1, i32)\ndefine i32 @f(i32 %x) {\nentry:\n  %r = call i32 @merged.gone(i1 true, i32 %x)\n  ret i32 %r\n}",
+        );
+        assert!(check_module(&declared).is_empty());
+        // Ordinary unresolved externals are fine: the linker's business.
+        let plain = module(
+            "m",
+            "define i32 @f(i32 %x) {\nentry:\n  %r = call i32 @lib_helper(i32 %x)\n  ret i32 %r\n}",
+        );
+        assert!(check_module(&plain).is_empty());
+    }
+
+    #[test]
+    fn call_signature_mismatches_are_e011() {
+        let arity = module(
+            "m",
+            "declare i32 @g(i32, i32)\ndefine i32 @f(i32 %x) {\nentry:\n  %r = call i32 @g(i32 %x)\n  ret i32 %r\n}",
+        );
+        let diags = check_module(&arity);
+        assert_eq!(codes_of(&diags), vec![codes::CALL_SIGNATURE]);
+        assert!(diags[0].message.contains("1 arguments"));
+
+        let arg_ty = module(
+            "m",
+            "declare i32 @g(i64)\ndefine i32 @f(i32 %x) {\nentry:\n  %r = call i32 @g(i32 %x)\n  ret i32 %r\n}",
+        );
+        assert_eq!(
+            codes_of(&check_module(&arg_ty)),
+            vec![codes::CALL_SIGNATURE]
+        );
+
+        let ret_ty = module(
+            "m",
+            "declare i64 @g(i32)\ndefine i32 @f(i32 %x) {\nentry:\n  %r = call i32 @g(i32 %x)\n  ret i32 %r\n}",
+        );
+        assert_eq!(
+            codes_of(&check_module(&ret_ty)),
+            vec![codes::CALL_SIGNATURE]
+        );
+
+        // Undef arguments are exempt (thunks pad unused parameters with undef).
+        let undef = module(
+            "m",
+            "declare i32 @g(i64)\ndefine i32 @f(i32 %x) {\nentry:\n  %r = call i32 @g(i64 undef)\n  ret i32 %r\n}",
+        );
+        assert!(check_module(&undef).is_empty());
+    }
+
+    #[test]
+    fn thunk_shape_violations_are_e020() {
+        // Clean thunk: constant i1 discriminator, matching types.
+        let good = module(
+            "m",
+            "declare i32 @merged.a.b(i1, i32)\ndefine i32 @a(i32 %x) {\nentry:\n  %r = call i32 @merged.a.b(i1 false, i32 %x)\n  ret i32 %r\n}",
+        );
+        assert!(check_module(&good).is_empty());
+
+        // Non-constant discriminator.
+        let nonconst = module(
+            "m",
+            "declare i32 @merged.a.b(i1, i32)\ndefine i32 @a(i1 %c, i32 %x) {\nentry:\n  %r = call i32 @merged.a.b(i1 %c, i32 %x)\n  ret i32 %r\n}",
+        );
+        let diags = check_module(&nonconst);
+        assert_eq!(codes_of(&diags), vec![codes::THUNK_SHAPE]);
+        assert!(diags[0].message.contains("constant i1"));
+
+        // Undef discriminator is as bad: the dispatch cannot constant-fold.
+        let undef = module(
+            "m",
+            "declare i32 @merged.a.b(i1, i32)\ndefine i32 @a(i32 %x) {\nentry:\n  %r = call i32 @merged.a.b(i1 undef, i32 %x)\n  ret i32 %r\n}",
+        );
+        assert_eq!(codes_of(&check_module(&undef)), vec![codes::THUNK_SHAPE]);
+
+        // Return-type disagreement.
+        let ret = module(
+            "m",
+            "declare i64 @merged.a.b(i1, i32)\ndefine i64 @a(i32 %x) {\nentry:\n  %r = call i64 @merged.a.b(i1 true, i32 %x)\n  ret i64 %r\n}",
+        );
+        assert!(check_module(&ret).is_empty());
+    }
+
+    #[test]
+    fn decl_def_disagreement_is_e030() {
+        let def = module("m1", "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}");
+        let bad_decl = module(
+            "m2",
+            "declare i64 @f(i32)\ndefine i32 @g(i32 %x) {\nentry:\n  %r = call i64 @f(i32 %x)\n  ret i32 0\n}",
+        );
+        let diags = check_program(&[def, bad_decl]);
+        let e030: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == codes::DECL_SIGNATURE)
+            .collect();
+        assert_eq!(e030.len(), 1);
+        assert_eq!(e030[0].module, "m2");
+        assert!(e030[0].message.contains("@f"));
+    }
+
+    #[test]
+    fn odr_duplicates_split_into_e031_and_l202() {
+        let body = "define i32 @dup(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}";
+        let other = "define i32 @dup(i32 %x) {\nentry:\n  %r = mul i32 %x, 2\n  ret i32 %r\n}";
+        // Identical copies: L202, a dedup opportunity.
+        let diags = check_program(&[module("m1", body), module("m2", body)]);
+        assert_eq!(codes_of(&diags), vec![codes::DUPLICATE_DEFINITION]);
+        assert_eq!(diags[0].function, "dup");
+        // Diverging copies: E031, an ODR violation.
+        let diags = check_program(&[module("m1", body), module("m2", other)]);
+        assert_eq!(codes_of(&diags), vec![codes::ODR_CLASH]);
+        assert!(diags[0].message.contains("m2"));
+        // Internal copies never clash: linkage scopes them to their module.
+        let internal =
+            "define internal i32 @dup(i32 %x) {\nentry:\n  %r = mul i32 %x, 2\n  ret i32 %r\n}";
+        assert!(check_program(&[module("m1", body), module("m2", internal)]).is_empty());
+    }
+
+    #[test]
+    fn internal_only_resolution_is_e032() {
+        let caller = module(
+            "m1",
+            "define i32 @f(i32 %x) {\nentry:\n  %r = call i32 @hidden(i32 %x)\n  ret i32 %r\n}",
+        );
+        let holder = module(
+            "m2",
+            "define internal i32 @hidden(i32 %x) {\nentry:\n  ret i32 %x\n}",
+        );
+        let diags = check_program(&[caller.clone(), holder]);
+        assert_eq!(codes_of(&diags), vec![codes::INTERNAL_LEAK]);
+        assert_eq!(diags[0].module, "m1");
+        assert!(diags[0].message.contains("m2"));
+        // With no definition anywhere it is an ordinary library external.
+        assert!(check_program(&[caller]).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Criterion benchmarks of the static-analysis engine: cold whole-program
+//! analysis versus cached re-analysis of an unchanged corpus, plus the
+//! paranoid monitor's per-commit check cost.
+//!
+//! After the criterion groups run, `main` asserts that a warm engine
+//! re-analyses an unchanged corpus at least 10x faster than a cold one —
+//! the property CI relies on to keep `--paranoid` cheap.
+
+use analysis::{AnalysisEngine, ParanoidMonitor};
+use criterion::{criterion_group, Criterion};
+use ssa_ir::Module;
+use std::time::{Duration, Instant};
+use workloads::CorpusSpec;
+
+fn bench_corpus(seed: u64) -> Vec<Module> {
+    // Larger-than-default functions: the cold path scales with instruction
+    // count while the cached path scales with function count, so this is the
+    // regime the cache exists for.
+    CorpusSpec {
+        name: format!("bench.lint.{seed}"),
+        size_range: (120, 260),
+        seed,
+        ..CorpusSpec::default()
+    }
+    .generate()
+}
+
+fn lint_benches(c: &mut Criterion) {
+    let corpus = bench_corpus(21);
+    let mut group = c.benchmark_group("lint");
+
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            AnalysisEngine::new()
+                .analyze_program(&corpus)
+                .diagnostics
+                .len()
+        })
+    });
+
+    group.bench_function("cached", |b| {
+        let engine = AnalysisEngine::new();
+        engine.analyze_program(&corpus);
+        b.iter(|| engine.analyze_program(&corpus).diagnostics.len())
+    });
+
+    group.bench_function("paranoid_check", |b| {
+        let mut monitor = ParanoidMonitor::for_corpus(&corpus);
+        b.iter(|| monitor.check_module(&corpus[0]))
+    });
+
+    group.finish();
+}
+
+/// Best-of-N wall-clock of one whole-program analysis.
+fn best_of(n: usize, mut run: impl FnMut()) -> Duration {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+fn assert_cached_speedup() {
+    let corpus = bench_corpus(22);
+    let cold = best_of(5, || {
+        AnalysisEngine::new().analyze_program(&corpus);
+    });
+    let engine = AnalysisEngine::new();
+    engine.analyze_program(&corpus);
+    let cached = best_of(5, || {
+        engine.analyze_program(&corpus);
+    });
+    assert!(
+        cold >= cached * 10,
+        "cached re-analysis should be >=10x faster than cold: cold {cold:?} vs cached {cached:?}"
+    );
+    println!(
+        "lint cache speedup ok: cold {cold:?} vs cached {cached:?} ({:.1}x)",
+        cold.as_secs_f64() / cached.as_secs_f64().max(1e-9)
+    );
+}
+
+criterion_group!(benches, lint_benches);
+
+fn main() {
+    benches();
+    assert_cached_speedup();
+}

@@ -16,10 +16,14 @@
 //!   (direct-call edges, SCCs, locality, regions; `--out` serializes it).
 //! - `report <dir|files...>` — per-module merge statistics, `--json` for the
 //!   machine-readable schema.
+//! - `lint <dir|files...>` — static analysis without merging: verifier wrap,
+//!   merge-shape invariants, and whole-program consistency checks, with
+//!   stable diagnostic codes (`--deny` escalates, `--json` for machines).
 //!
 //! ```text
 //! cargo run --release --bin salssa -- examples/clone_heavy.ll
-//! cargo run --release --bin salssa -- xmerge corpus/ --check-semantics
+//! cargo run --release --bin salssa -- lint corpus/ --deny warnings --json
+//! cargo run --release --bin salssa -- xmerge corpus/ --check-semantics --paranoid
 //! cargo run --release --bin salssa -- xmerge corpus/ --host-policy callgraph
 //! cargo run --release --bin salssa -- callgraph corpus/
 //! cargo run --release --bin salssa -- report --json corpus/
@@ -49,6 +53,9 @@ commands:
   xmerge <dir>           cross-module merging over all .ll files in <dir>
   callgraph <dir>        build and summarize the whole-program call graph
   report <dir|files...>  run per-module merging and report statistics
+  lint <dir|files...>    statically analyze modules without merging: verifier
+                         wrap, merge-shape invariants, and whole-program
+                         declaration/ODR consistency, with stable codes
 
 options:
   -t, --threshold <N>    exploration threshold: ranked candidates tried per
@@ -73,6 +80,12 @@ options:
                          forced cross-module)
       --regions          xmerge: plan and commit independent call-graph
                          regions on worker threads
+      --paranoid         merge/xmerge: re-run the static analyzer after every
+                         committed merge and report diagnostics the run
+                         introduced (observational; commits are unchanged)
+      --deny <c>         lint: fail on the given code, or on every warning
+                         with --deny warnings (errors always fail); repeatable
+      --only <code>      lint: report only the given code; repeatable
       --no-phi-coalescing  disable phi-node coalescing (SalSSA-NoPC ablation)
       --target <x86|thumb> code-size model for profitability (default x86)
       --json             emit machine-readable JSON instead of the report
@@ -89,6 +102,7 @@ enum Command {
     XMerge,
     CallGraph,
     Report,
+    Lint,
 }
 
 struct Cli {
@@ -106,6 +120,8 @@ struct Cli {
     index: Option<String>,
     host_policy: HostPolicy,
     regions: bool,
+    deny: Vec<String>,
+    only: Vec<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -123,6 +139,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut index: Option<String> = None;
     let mut host_policy = HostPolicy::default();
     let mut regions = false;
+    let mut deny: Vec<String> = Vec::new();
+    let mut only: Vec<String> = Vec::new();
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -161,6 +179,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--index" => index = Some(value_for(arg)?),
             "--host-policy" => host_policy = value_for(arg)?.parse()?,
             "--regions" => regions = true,
+            "--paranoid" => config.paranoid = true,
+            "--deny" => deny.push(value_for(arg)?),
+            "--only" => only.push(value_for(arg)?),
             "--no-phi-coalescing" => options.phi_coalescing = false,
             "--target" => {
                 options.target = match value_for(arg)?.as_str() {
@@ -174,7 +195,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--out-dir" => out_dir = Some(value_for(arg)?),
             "--print-module" => print_module = true,
             "-h" | "--help" => return Err(String::new()),
-            "merge" | "index" | "xmerge" | "callgraph" | "report"
+            "merge" | "index" | "xmerge" | "callgraph" | "report" | "lint"
                 if command.is_none() && inputs.is_empty() =>
             {
                 command = Some(match arg.as_str() {
@@ -182,6 +203,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     "index" => Command::Index,
                     "xmerge" => Command::XMerge,
                     "callgraph" => Command::CallGraph,
+                    "lint" => Command::Lint,
                     _ => Command::Report,
                 });
             }
@@ -194,7 +216,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if inputs.is_empty() {
         return Err("no input given".to_string());
     }
-    if command != Command::Report && inputs.len() > 1 {
+    if !matches!(command, Command::Report | Command::Lint) && inputs.len() > 1 {
         return Err("more than one input given".to_string());
     }
     Ok(Cli {
@@ -212,6 +234,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         index,
         host_policy,
         regions,
+        deny,
+        only,
     })
 }
 
@@ -292,6 +316,7 @@ fn main() -> ExitCode {
         Command::XMerge => run_xmerge(&cli),
         Command::CallGraph => run_callgraph(&cli),
         Command::Report => run_report(&cli),
+        Command::Lint => run_lint(&cli),
     }
 }
 
@@ -416,7 +441,8 @@ fn run_xmerge(cli: &Cli) -> ExitCode {
     let mut config = XMergeConfig::new()
         .with_check_semantics(cli.config.check_semantics)
         .with_host_policy(cli.host_policy)
-        .with_region_parallel(cli.regions);
+        .with_region_parallel(cli.regions)
+        .with_paranoid(cli.config.paranoid);
     config.options = cli.options;
     config.batch_size = cli.config.batch_size;
     config.discovery.min_function_size = cli.config.min_function_size;
@@ -426,7 +452,10 @@ fn run_xmerge(cli: &Cli) -> ExitCode {
     if cli.fixpoint {
         config.fixpoint = Some(xmerge::FixpointConfig {
             max_rounds: cli.max_rounds,
-            intra: Some(cli.config),
+            // The pipeline's own shared monitor covers interleaved intra
+            // commits; a per-module monitor inside merge_module would check
+            // the same mutations twice.
+            intra: Some(cli.config.with_paranoid(false)),
         });
     }
     // Persistent index reuse: load a previously serialized index (plus the
@@ -608,6 +637,140 @@ fn run_callgraph(cli: &Cli) -> ExitCode {
         }
         Ok(())
     })
+}
+
+/// Enumerates the `.ll` files named by one lint input (a file or a
+/// directory, sorted for determinism).
+fn lint_files(input: &str) -> Result<Vec<std::path::PathBuf>, String> {
+    let p = Path::new(input);
+    if p.is_file() {
+        return Ok(vec![p.to_path_buf()]);
+    }
+    if !p.is_dir() {
+        return Err(format!("{input}: no such file or directory"));
+    }
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(p)
+        .map_err(|e| format!("{input}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|f| f.extension().is_some_and(|ext| ext == "ll"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn run_lint(cli: &Cli) -> ExitCode {
+    // Validate the code filters up front: a typo'd code silently matching
+    // nothing would read as a clean run.
+    let mut deny_set = analysis::DenySet::default();
+    for d in &cli.deny {
+        if d == "warnings" {
+            deny_set.warnings = true;
+        } else if analysis::severity_of(d).is_some() {
+            deny_set.codes.insert(d.clone());
+        } else {
+            eprintln!("error: --deny {d}: unknown code (see the code table in README)");
+            return ExitCode::from(2);
+        }
+    }
+    for code in &cli.only {
+        if analysis::severity_of(code).is_none() {
+            eprintln!("error: --only {code}: unknown code");
+            return ExitCode::from(2);
+        }
+    }
+
+    // Parse WITHOUT the loader's verify step — the analyzer wraps the
+    // verifier itself, so broken modules become diagnostics, not load errors.
+    let mut diagnostics: Vec<analysis::Diagnostic> = Vec::new();
+    let mut modules: Vec<Module> = Vec::new();
+    for input in &cli.inputs {
+        let files = match lint_files(input) {
+            Ok(files) => files,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for file in files {
+            let stem = file
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| file.to_string_lossy().into_owned());
+            let parsed = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read file: {e}"))
+                .and_then(|text| parse_module(&text).map_err(|e| format!("parse error: {e}")));
+            match parsed {
+                Ok(mut module) => {
+                    module.name = stem;
+                    modules.push(module);
+                }
+                Err(msg) => {
+                    diagnostics.push(analysis::Diagnostic::new(
+                        analysis::codes::PARSE,
+                        stem,
+                        "",
+                        msg,
+                    ));
+                }
+            }
+        }
+    }
+
+    let engine = analysis::AnalysisEngine::new();
+    let report = engine.analyze_program(&modules);
+    diagnostics.extend(report.diagnostics);
+    diagnostics.sort_by(|a, b| {
+        (&a.module, &a.function, a.code, &a.message).cmp(&(
+            &b.module,
+            &b.function,
+            b.code,
+            &b.message,
+        ))
+    });
+    if !cli.only.is_empty() {
+        diagnostics.retain(|d| cli.only.iter().any(|code| code == d.code));
+    }
+    let denied = diagnostics.iter().filter(|d| deny_set.rejects(d)).count();
+    let (errors, warnings, lints) = analysis::count_severities(&diagnostics);
+
+    let printed = emit(|out| {
+        if cli.json {
+            let by_code: Vec<String> = analysis::count_by_code(&diagnostics)
+                .iter()
+                .map(|(code, n)| format!(r#""{code}":{n}"#))
+                .collect();
+            let objs: Vec<String> = diagnostics.iter().map(analysis::Diagnostic::json).collect();
+            writeln!(
+                out,
+                r#"{{"kind":"lint","modules":{},"functions":{},"errors":{},"warnings":{},"lints":{},"denied":{},"by_code":{{{}}},"diagnostics":[{}],"cache_hits":{},"cache_misses":{},"analysis_ms":{:.3}}}"#,
+                report.stats.modules,
+                report.stats.functions,
+                errors,
+                warnings,
+                lints,
+                denied,
+                by_code.join(","),
+                objs.join(","),
+                report.stats.cache_hits,
+                report.stats.cache_misses,
+                report.stats.elapsed.as_secs_f64() * 1000.0
+            )?;
+        } else {
+            for d in &diagnostics {
+                writeln!(out, "{d}")?;
+            }
+            writeln!(
+                out,
+                "{} modules, {} functions: {} errors, {} warnings, {} lints ({} denied)",
+                report.stats.modules, report.stats.functions, errors, warnings, lints, denied
+            )?;
+        }
+        Ok(())
+    });
+    if denied > 0 {
+        return ExitCode::FAILURE;
+    }
+    printed
 }
 
 fn run_report(cli: &Cli) -> ExitCode {

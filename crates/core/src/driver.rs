@@ -114,6 +114,12 @@ pub struct DriverConfig {
     /// module diverges from the original. Rejections are counted in
     /// [`ModuleMergeReport::semantic_rejections`].
     pub check_semantics: bool,
+    /// Paranoid verification: capture the module's diagnostic baseline with
+    /// the `analysis` engine before planning, re-analyze after every
+    /// committed merge, and report diagnostics a commit introduced as
+    /// [`ModuleMergeReport::paranoid_delta`]. Purely observational — it
+    /// never changes which merges are committed.
+    pub paranoid: bool,
 }
 
 /// Random input vectors sampled per function by the semantic oracle (on top
@@ -131,6 +137,7 @@ impl Default for DriverConfig {
             mode: DriverMode::Sequential,
             batch_size: 128,
             check_semantics: false,
+            paranoid: false,
         }
     }
 }
@@ -171,6 +178,11 @@ impl DriverConfig {
             check_semantics,
             ..self
         }
+    }
+
+    /// Enables or disables paranoid post-commit re-analysis.
+    pub fn with_paranoid(self, paranoid: bool) -> DriverConfig {
+        DriverConfig { paranoid, ..self }
     }
 }
 
@@ -238,6 +250,18 @@ pub struct ModuleMergeReport {
     /// Planner-engine statistics: candidates examined, speculative vs. inline
     /// scores, phase timings.
     pub planner: PlanStats,
+    /// Whether paranoid post-commit re-analysis was enabled for this run.
+    pub paranoid: bool,
+    /// Post-commit re-analysis checks performed (0 unless
+    /// [`DriverConfig::paranoid`] is set).
+    pub paranoid_checks: usize,
+    /// Diagnostics introduced relative to the module's pre-merge baseline.
+    /// A correct merger keeps this empty; anything here is a regression a
+    /// specific commit introduced.
+    pub paranoid_delta: Vec<analysis::Diagnostic>,
+    /// Aggregate analysis-engine statistics (cache hits/misses, timing) over
+    /// the baseline capture and every post-commit check.
+    pub paranoid_stats: analysis::AnalysisStats,
 }
 
 impl ModuleMergeReport {
@@ -292,6 +316,15 @@ impl fmt::Display for ModuleMergeReport {
                 f,
                 "\n  semantic oracle rejected {} merges",
                 self.semantic_rejections
+            )?;
+        }
+        if self.paranoid {
+            write!(
+                f,
+                "\n  paranoid: {} checks, {} delta diagnostics, cache hit rate {:.0}%",
+                self.paranoid_checks,
+                self.paranoid_delta.len(),
+                self.paranoid_stats.hit_rate() * 100.0
             )?;
         }
         Ok(())
@@ -355,6 +388,7 @@ struct IntraSource<'a> {
     cursor: usize,
     unavailable: HashSet<String>,
     report: &'a mut ModuleMergeReport,
+    paranoid: Option<analysis::ParanoidMonitor>,
 }
 
 impl CandidateSource for IntraSource<'_> {
@@ -510,6 +544,9 @@ impl CandidateSource for IntraSource<'_> {
         self.unavailable.insert(name);
         self.unavailable.insert(candidate);
         self.unavailable.insert(record.merged_name.clone());
+        if let Some(monitor) = &mut self.paranoid {
+            monitor.check_module(self.module);
+        }
         CommitOutcome::Committed(record)
     }
 }
@@ -532,6 +569,11 @@ pub fn merge_module(
     };
     let align_counters = fm_align::alignment_counters();
     merger.preprocess_module(module);
+    // The baseline is captured *after* preprocessing so paranoid deltas are
+    // attributable to merge commits, not to the technique's own lowering.
+    let paranoid = config
+        .paranoid
+        .then(|| analysis::ParanoidMonitor::for_module(module));
 
     let ranking = Ranking::build(module);
     let order = ranking.names_by_size_desc();
@@ -550,12 +592,22 @@ pub fn merge_module(
         cursor: 0,
         unavailable: HashSet::new(),
         report: &mut report,
+        paranoid,
     };
     let (committed, stats) = run_plan(&mut source, mode);
+    let paranoid = source.paranoid.take();
     report.committed = committed;
     report.planner = stats;
 
     merger.postprocess_module(module);
+    if let Some(mut monitor) = paranoid {
+        // One final check after postprocessing (thunk clean-up runs there).
+        monitor.check_module(module);
+        report.paranoid = true;
+        report.paranoid_checks = monitor.checks();
+        report.paranoid_stats = monitor.stats();
+        report.paranoid_delta = monitor.into_delta();
+    }
     let after = fm_align::alignment_counters();
     report.align_score_only_runs = after.score_only_runs - align_counters.score_only_runs;
     report.align_full_runs = after.full_runs - align_counters.full_runs;
@@ -937,7 +989,7 @@ entry:
                 // Wreck the merged body: ignore f2 entirely by reusing f1 with
                 // a compatible (fid-extended) signature.
                 let mut wrong = f1.clone();
-                wrong.name = merged_name.to_string();
+                wrong.set_name(merged_name);
                 wrong.params.insert(0, Type::I1);
                 wrong.param_names.insert(0, "fid".to_string());
                 for inst in wrong.inst_ids().collect::<Vec<_>>() {

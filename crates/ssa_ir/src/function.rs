@@ -146,7 +146,26 @@ impl Function {
 
     /// Clears the cached structural key. Every `&mut self` method that can
     /// change the printed form of the function calls this.
+    ///
+    /// Debug builds additionally catch the stale-rename footgun *at mutation
+    /// time*: if the cached key was computed under a different symbol name,
+    /// the function was renamed through a direct `name` field write (which
+    /// cannot invalidate the cache) and has been carrying a stale key since.
+    /// Release builds keep tolerating this — [`Function::structural_key`]
+    /// detects the mismatch at lookup and recomputes — but the assert points
+    /// straight at the offending write instead of at a much later lookup.
     fn invalidate_structural_key(&mut self) {
+        #[cfg(debug_assertions)]
+        if let Some(key) = self.structural_cache.get() {
+            assert!(
+                key.name == self.name,
+                "stale structural key: function is named @{} but its cached key was \
+                 computed for @{}; rename functions with Function::set_name, not by \
+                 assigning the public `name` field",
+                self.name,
+                key.name
+            );
+        }
         self.structural_cache.take();
     }
 
@@ -156,8 +175,11 @@ impl Function {
     /// field write leaves a stale cache behind that every subsequent
     /// [`Function::structural_key`] lookup must detect and recompute around.
     pub fn set_name(&mut self, name: impl Into<String>) {
-        self.name = name.into();
+        // Invalidate under the *old* name: the debug-build stale-name assert
+        // inside `invalidate_structural_key` compares the cached key against
+        // the current name, so the order matters.
         self.invalidate_structural_key();
+        self.name = name.into();
     }
 
     /// Sets the linkage, invalidating the cached structural key (linkage is
@@ -717,5 +739,31 @@ mod tests {
         f.remove_block(exit);
         assert_eq!(f.num_blocks(), 1);
         assert_eq!(f.num_insts(), count_before - 1);
+    }
+
+    /// The PR 3 footgun, caught at mutation time in debug builds: renaming a
+    /// function by assigning the public `name` field leaves the cached
+    /// structural key stale; the next mutating method asserts instead of the
+    /// staleness surfacing at a much later `structural_key` lookup.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stale structural key")]
+    fn direct_name_write_followed_by_mutation_panics_in_debug() {
+        let mut f = sample();
+        let _ = f.structural_key(); // populate the cache
+        f.name = "poked".to_string(); // the footgun: bypasses set_name
+        f.set_entry(f.entry()); // any mutating method trips the assert
+    }
+
+    /// `set_name` stays safe: it invalidates under the old name, so the
+    /// stale-name assert never fires and later mutations are clean.
+    #[test]
+    fn set_name_after_cached_key_is_clean() {
+        let mut f = sample();
+        let _ = f.structural_key();
+        f.set_name("renamed");
+        f.set_entry(f.entry()); // must not panic
+        assert_eq!(f.name, "renamed");
+        let _ = f.structural_key();
     }
 }

@@ -16,28 +16,68 @@ use crate::value::Value;
 use std::collections::HashSet;
 use std::fmt;
 
+/// Stable diagnostic codes assigned to verifier failures. The `analysis`
+/// crate re-exports these as part of its documented code table, so the
+/// mapping from check to code is append-only: add codes, never renumber.
+pub mod codes {
+    /// Function has no entry block.
+    pub const NO_ENTRY: &str = "E001";
+    /// Malformed CFG structure: entry predecessors/phis, missing
+    /// terminators, stale instruction or block references, misplaced phis
+    /// or terminators.
+    pub const CFG: &str = "E002";
+    /// Instruction type-rule violation.
+    pub const TYPES: &str = "E003";
+    /// Instruction operand references a dangling value.
+    pub const DANGLING_VALUE: &str = "E004";
+    /// Phi incoming edges disagree with the block's predecessors.
+    pub const PHI: &str = "E005";
+    /// Landing-pad placement rules violated.
+    pub const LANDING_PAD: &str = "E006";
+    /// SSA dominance violation.
+    pub const DOMINANCE: &str = "E007";
+}
+
 /// A single verification failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
     /// The function in which the problem was found.
     pub function: String,
+    /// The module the function came from; empty when the function was
+    /// verified standalone ([`verify_function`] has no module context —
+    /// [`verify_module`] fills this in).
+    pub module: String,
+    /// Stable diagnostic code (see [`codes`]).
+    pub code: &'static str,
     /// Description of the problem, including the offending entity.
     pub message: String,
 }
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verifier: in @{}: {}", self.function, self.message)
+        if self.module.is_empty() {
+            write!(f, "verifier: in @{}: {}", self.function, self.message)
+        } else {
+            write!(
+                f,
+                "verifier: in {}: @{}: {}",
+                self.module, self.function, self.message
+            )
+        }
     }
 }
 
 impl std::error::Error for VerifyError {}
 
-/// Verifies an entire module. Returns all problems found.
+/// Verifies an entire module. Returns all problems found, each carrying the
+/// module name as provenance.
 pub fn verify_module(module: &Module) -> Vec<VerifyError> {
     let mut errors = Vec::new();
     for f in module.functions() {
-        errors.extend(verify_function(f));
+        errors.extend(verify_function(f).into_iter().map(|mut e| {
+            e.module = module.name.clone();
+            e
+        }));
     }
     errors
 }
@@ -79,16 +119,18 @@ struct Verifier<'a> {
 }
 
 impl<'a> Verifier<'a> {
-    fn error(&mut self, message: String) {
+    fn error(&mut self, code: &'static str, message: String) {
         self.errors.push(VerifyError {
             function: self.function.name.clone(),
+            module: String::new(),
+            code,
             message,
         });
     }
 
     fn run(&mut self) {
         if self.function.try_entry().is_none() {
-            self.error("function has no entry block".into());
+            self.error(codes::NO_ENTRY, "function has no entry block".into());
             return;
         }
         self.check_blocks();
@@ -102,41 +144,50 @@ impl<'a> Verifier<'a> {
         let entry = self.function.entry();
         let preds = self.function.predecessors();
         if !preds.get(&entry).map(Vec::is_empty).unwrap_or(true) {
-            self.error("entry block must not have predecessors".into());
+            self.error(codes::CFG, "entry block must not have predecessors".into());
         }
         if !self.function.block(entry).phis.is_empty() {
-            self.error("entry block must not contain phi-nodes".into());
+            self.error(codes::CFG, "entry block must not contain phi-nodes".into());
         }
         for block in self.function.block_ids() {
             let data = self.function.block(block);
             if data.term.is_none() {
-                self.error(format!(
-                    "block %{} has no terminator",
-                    self.namer.block_name(block)
-                ));
+                self.error(
+                    codes::CFG,
+                    format!("block %{} has no terminator", self.namer.block_name(block)),
+                );
             }
             for inst in data.all_insts() {
                 if !self.function.contains_inst(inst) {
-                    self.error(format!(
-                        "block %{} references a removed instruction",
-                        self.namer.block_name(block)
-                    ));
+                    self.error(
+                        codes::CFG,
+                        format!(
+                            "block %{} references a removed instruction",
+                            self.namer.block_name(block)
+                        ),
+                    );
                     continue;
                 }
                 if self.function.inst(inst).block != block {
-                    self.error(format!(
-                        "instruction %{} parent pointer disagrees with its containing block",
-                        self.namer.inst_name(inst)
-                    ));
+                    self.error(
+                        codes::CFG,
+                        format!(
+                            "instruction %{} parent pointer disagrees with its containing block",
+                            self.namer.inst_name(inst)
+                        ),
+                    );
                 }
             }
             for &phi in &data.phis {
                 if self.function.contains_inst(phi) && !self.function.inst(phi).kind.is_phi() {
-                    self.error(format!(
-                        "non-phi instruction %{} stored in phi list of %{}",
-                        self.namer.inst_name(phi),
-                        self.namer.block_name(block)
-                    ));
+                    self.error(
+                        codes::CFG,
+                        format!(
+                            "non-phi instruction %{} stored in phi list of %{}",
+                            self.namer.inst_name(phi),
+                            self.namer.block_name(block)
+                        ),
+                    );
                 }
             }
             for &inst in &data.insts {
@@ -145,20 +196,26 @@ impl<'a> Verifier<'a> {
                 }
                 let kind = &self.function.inst(inst).kind;
                 if kind.is_phi() || kind.is_terminator() {
-                    self.error(format!(
-                        "phi or terminator stored in the body of %{}",
-                        self.namer.block_name(block)
-                    ));
+                    self.error(
+                        codes::CFG,
+                        format!(
+                            "phi or terminator stored in the body of %{}",
+                            self.namer.block_name(block)
+                        ),
+                    );
                 }
             }
             if let Some(term) = data.term {
                 if self.function.contains_inst(term)
                     && !self.function.inst(term).kind.is_terminator()
                 {
-                    self.error(format!(
-                        "terminator slot of %{} holds a non-terminator",
-                        self.namer.block_name(block)
-                    ));
+                    self.error(
+                        codes::CFG,
+                        format!(
+                            "terminator slot of %{} holds a non-terminator",
+                            self.namer.block_name(block)
+                        ),
+                    );
                 }
             }
         }
@@ -166,10 +223,13 @@ impl<'a> Verifier<'a> {
         for block in self.function.block_ids() {
             for succ in self.function.successors(block) {
                 if !self.function.contains_block(succ) {
-                    self.error(format!(
-                        "%{} branches to a removed block",
-                        self.namer.block_name(block)
-                    ));
+                    self.error(
+                        codes::CFG,
+                        format!(
+                            "%{} branches to a removed block",
+                            self.namer.block_name(block)
+                        ),
+                    );
                 }
             }
         }
@@ -204,10 +264,13 @@ impl<'a> Verifier<'a> {
             }
         });
         for v in bad {
-            self.error(format!(
-                "instruction %{} uses a dangling value {v:?}",
-                self.namer.inst_name(inst)
-            ));
+            self.error(
+                codes::DANGLING_VALUE,
+                format!(
+                    "instruction %{} uses a dangling value {v:?}",
+                    self.namer.inst_name(inst)
+                ),
+            );
         }
     }
 
@@ -348,7 +411,10 @@ impl<'a> Verifier<'a> {
         // keep the arm to document the intent.
         if let InstKind::Binary { op: BinOp::Xor, .. } = &data.kind {}
         for p in problems {
-            self.error(format!("%{}: {}", self.namer.inst_name(inst), p));
+            self.error(
+                codes::TYPES,
+                format!("%{}: {}", self.namer.inst_name(inst), p),
+            );
         }
     }
 
@@ -369,14 +435,17 @@ impl<'a> Verifier<'a> {
                 let mut seen: HashSet<BlockId> = HashSet::new();
                 for (_, pred) in incomings {
                     if !seen.insert(*pred) {
-                        self.error(format!(
-                            "phi %{} lists predecessor %{} twice",
-                            self.namer.inst_name(phi),
-                            self.namer.block_name(*pred)
-                        ));
+                        self.error(
+                            codes::PHI,
+                            format!(
+                                "phi %{} lists predecessor %{} twice",
+                                self.namer.inst_name(phi),
+                                self.namer.block_name(*pred)
+                            ),
+                        );
                     }
                     if !expected.contains(pred) {
-                        self.error(format!(
+                        self.error(codes::PHI, format!(
                             "phi %{} has an incoming edge from %{} which is not a predecessor of %{}",
                             self.namer.inst_name(phi),
                             self.namer.block_name(*pred),
@@ -386,11 +455,14 @@ impl<'a> Verifier<'a> {
                 }
                 for pred in &expected {
                     if !seen.contains(pred) {
-                        self.error(format!(
-                            "phi %{} is missing an incoming value for predecessor %{}",
-                            self.namer.inst_name(phi),
-                            self.namer.block_name(*pred)
-                        ));
+                        self.error(
+                            codes::PHI,
+                            format!(
+                                "phi %{} is missing an incoming value for predecessor %{}",
+                                self.namer.inst_name(phi),
+                                self.namer.block_name(*pred)
+                            ),
+                        );
                     }
                 }
             }
@@ -416,17 +488,23 @@ impl<'a> Verifier<'a> {
                 }
                 if matches!(self.function.inst(inst).kind, InstKind::LandingPad) {
                     if pos != 0 {
-                        self.error(format!(
-                            "landingpad %{} is not the first non-phi instruction of %{}",
-                            self.namer.inst_name(inst),
-                            self.namer.block_name(block)
-                        ));
+                        self.error(
+                            codes::LANDING_PAD,
+                            format!(
+                                "landingpad %{} is not the first non-phi instruction of %{}",
+                                self.namer.inst_name(inst),
+                                self.namer.block_name(block)
+                            ),
+                        );
                     }
                     if !unwind_dests.contains(&block) {
-                        self.error(format!(
-                            "landingpad block %{} is not the unwind destination of any invoke",
-                            self.namer.block_name(block)
-                        ));
+                        self.error(
+                            codes::LANDING_PAD,
+                            format!(
+                                "landingpad block %{} is not the unwind destination of any invoke",
+                                self.namer.block_name(block)
+                            ),
+                        );
                     }
                 }
             }
@@ -443,10 +521,13 @@ impl<'a> Verifier<'a> {
                 .map(|i| matches!(self.function.inst(*i).kind, InstKind::LandingPad))
                 .unwrap_or(false);
             if !first_ok {
-                self.error(format!(
-                    "unwind destination %{} does not start with a landingpad",
-                    self.namer.block_name(block)
-                ));
+                self.error(
+                    codes::LANDING_PAD,
+                    format!(
+                        "unwind destination %{} does not start with a landingpad",
+                        self.namer.block_name(block)
+                    ),
+                );
             }
         }
     }
@@ -477,7 +558,7 @@ impl<'a> Verifier<'a> {
                             {
                                 let db = self.function.inst(*def).block;
                                 if !domtree.dominates(db, *pred) {
-                                    self.error(format!(
+                                    self.error(codes::DOMINANCE, format!(
                                         "phi %{} incoming value %{} does not dominate predecessor %{}",
                                         self.namer.inst_name(inst),
                                         self.namer.inst_name(*def),
@@ -499,12 +580,15 @@ impl<'a> Verifier<'a> {
                             continue;
                         }
                         if !domtree.def_dominates_use(self.function, def, inst, block) {
-                            self.error(format!(
+                            self.error(
+                                codes::DOMINANCE,
+                                format!(
                                 "use of %{} in %{} (block %{}) is not dominated by its definition",
                                 self.namer.inst_name(def),
                                 self.namer.inst_name(inst),
                                 self.namer.block_name(block)
-                            ));
+                            ),
+                            );
                         }
                     }
                 }

@@ -61,7 +61,7 @@ pub fn make_clone(
     callee_pool: &[String],
 ) -> Function {
     let mut clone = ancestor.clone();
-    clone.name = name.to_string();
+    clone.set_name(name); // not a field write: the clone shares the ancestor's cached key
     let insts: Vec<_> = clone.inst_ids().collect();
     for inst in insts {
         let kind = clone.inst(inst).kind.clone();

@@ -214,7 +214,7 @@ entry:
         // Move every function into one module: no cross-module pairs remain.
         let extra: Vec<_> = modules.remove(1).functions().to_vec();
         for mut f in extra {
-            f.name = format!("{}_b", f.name);
+            f.set_name(format!("{}_b", f.name));
             modules[0].add_function(f);
         }
         let index = CorpusIndex::build(&modules, MinHash::DEFAULT_HASHES);

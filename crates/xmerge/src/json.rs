@@ -73,6 +73,38 @@ fn alignment_json(
     )
 }
 
+/// Serializes the `diagnostics` block shared by both report schemas:
+/// paranoid-mode verdicts (delta diagnostics by severity and code) plus the
+/// analysis engine's cache statistics.
+fn diagnostics_json(
+    paranoid: bool,
+    checks: usize,
+    delta: &[analysis::Diagnostic],
+    stats: &analysis::AnalysisStats,
+) -> String {
+    let (errors, warnings, lints) = analysis::count_severities(delta);
+    let by_code: Vec<String> = analysis::count_by_code(delta)
+        .iter()
+        .map(|(code, n)| format!(r#""{code}":{n}"#))
+        .collect();
+    let delta_objs: Vec<String> = delta.iter().map(analysis::Diagnostic::json).collect();
+    format!(
+        r#"{{"paranoid":{},"checks":{},"delta_count":{},"errors":{},"warnings":{},"lints":{},"by_code":{{{}}},"delta":[{}],"cache_hits":{},"cache_misses":{},"cache_hit_rate":{:.4},"analysis_ms":{}}}"#,
+        paranoid,
+        checks,
+        delta.len(),
+        errors,
+        warnings,
+        lints,
+        by_code.join(","),
+        delta_objs.join(","),
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate(),
+        ms(stats.elapsed)
+    )
+}
+
 /// Serializes one intra-module [`ModuleMergeReport`] plus the surrounding
 /// size measurements (the `salssa report` / `salssa merge --json` schema).
 ///
@@ -103,7 +135,7 @@ pub fn merge_report_json(
         })
         .collect();
     format!(
-        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{},"alignment":{}}}"#,
+        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{},"alignment":{},"diagnostics":{}}}"#,
         json_escape(input),
         json_escape(&report.technique),
         report.threshold,
@@ -129,6 +161,12 @@ pub fn merge_report_json(
             report.align_trimmed_entries,
             report.align_score_only_runs,
             report.align_full_runs,
+        ),
+        diagnostics_json(
+            report.paranoid,
+            report.paranoid_checks,
+            &report.paranoid_delta,
+            &report.paranoid_stats,
         )
     )
 }
@@ -186,7 +224,7 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
         .collect();
     let region_counts: Vec<String> = report.region_counts.iter().map(usize::to_string).collect();
     format!(
-        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}},"alignment":{}}}"#,
+        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}},"alignment":{},"diagnostics":{}}}"#,
         report.modules,
         report.functions,
         report.candidates,
@@ -230,6 +268,12 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
             report.align_trimmed_entries,
             report.align_score_only_runs,
             report.align_full_runs,
+        ),
+        diagnostics_json(
+            report.paranoid,
+            report.paranoid_checks,
+            &report.paranoid_delta,
+            &report.paranoid_stats,
         )
     )
 }
@@ -259,5 +303,26 @@ mod tests {
         assert!(json.contains(r#""kind":"xmerge""#));
         assert!(json.contains(r#""modules":2"#));
         assert!(json.contains(r#""committed":[]"#));
+        assert!(json.contains(r#""diagnostics":{"paranoid":false,"checks":0,"delta_count":0"#));
+    }
+
+    #[test]
+    fn diagnostics_block_carries_delta_and_counts() {
+        let delta = vec![analysis::Diagnostic::new(
+            analysis::codes::THUNK_SHAPE,
+            "m1",
+            "f",
+            "bad thunk",
+        )];
+        let stats = analysis::AnalysisStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        let json = diagnostics_json(true, 7, &delta, &stats);
+        assert!(json.contains(r#""paranoid":true,"checks":7,"delta_count":1,"errors":1"#));
+        assert!(json.contains(r#""by_code":{"E020":1}"#));
+        assert!(json.contains(r#""code":"E020""#));
+        assert!(json.contains(r#""cache_hit_rate":0.7500"#));
     }
 }

@@ -151,6 +151,13 @@ pub struct XMergeConfig {
     /// order, and region-parallel runs concatenate per-region profit orders
     /// instead (identical commits whenever the corpus is a single region).
     pub region_parallel: bool,
+    /// Paranoid verification: capture the corpus's diagnostic baseline with
+    /// the `analysis` engine after module-name uniquification, re-analyze
+    /// every mutated module after each committed cross-module operation (and
+    /// the whole program once at the end), and report diagnostics the run
+    /// introduced as [`CorpusMergeReport::paranoid_delta`]. Purely
+    /// observational — commit decisions are bit-identical with it on or off.
+    pub paranoid: bool,
 }
 
 impl XMergeConfig {
@@ -165,6 +172,7 @@ impl XMergeConfig {
             fixpoint: None,
             host_policy: HostPolicy::default(),
             region_parallel: false,
+            paranoid: false,
         }
     }
 
@@ -190,6 +198,12 @@ impl XMergeConfig {
     /// Enables region-parallel planning and committing.
     pub fn with_region_parallel(mut self, on: bool) -> XMergeConfig {
         self.region_parallel = on;
+        self
+    }
+
+    /// Enables paranoid post-commit re-analysis.
+    pub fn with_paranoid(mut self, on: bool) -> XMergeConfig {
+        self.paranoid = on;
         self
     }
 }
@@ -314,6 +328,19 @@ pub struct CorpusMergeReport {
     /// Full (traceback) alignment runs during this pipeline run (counter
     /// delta).
     pub align_full_runs: u64,
+    /// Whether paranoid post-commit re-analysis was enabled for this run.
+    pub paranoid: bool,
+    /// Post-commit re-analysis checks performed (0 unless
+    /// [`XMergeConfig::paranoid`] is set). Interleaved intra-module passes
+    /// and the final whole-program check are included.
+    pub paranoid_checks: usize,
+    /// Diagnostics introduced relative to the input corpus's baseline. A
+    /// correct pipeline keeps this empty; anything here is a regression some
+    /// commit introduced.
+    pub paranoid_delta: Vec<analysis::Diagnostic>,
+    /// Aggregate analysis-engine statistics (cache hits/misses, timing) over
+    /// the baseline capture and every paranoid check.
+    pub paranoid_stats: analysis::AnalysisStats,
 }
 
 impl CorpusMergeReport {
@@ -406,6 +433,15 @@ impl fmt::Display for CorpusMergeReport {
                 f,
                 "  semantic oracle rejected {} commits",
                 self.semantic_rejections
+            )?;
+        }
+        if self.paranoid {
+            writeln!(
+                f,
+                "  paranoid: {} checks, {} delta diagnostics, analysis cache hit rate {:.0}%",
+                self.paranoid_checks,
+                self.paranoid_delta.len(),
+                self.paranoid_stats.hit_rate() * 100.0
             )?;
         }
         writeln!(
@@ -572,6 +608,9 @@ struct CrossSource<'a> {
     align_peak_full: u64,
     align_cells: u64,
     align_trimmed: u64,
+    /// Paranoid monitor shared across the run (and across region workers,
+    /// hence the mutex); `None` unless [`XMergeConfig::paranoid`] is set.
+    paranoid: Option<&'a Mutex<analysis::ParanoidMonitor>>,
 }
 
 impl<'a> CrossSource<'a> {
@@ -585,6 +624,7 @@ impl<'a> CrossSource<'a> {
         carried: &'a OracleCarry,
         components: Arc<ComponentMap>,
         comp_callers: Arc<Vec<Vec<usize>>>,
+        paranoid: Option<&'a Mutex<analysis::ParanoidMonitor>>,
     ) -> CrossSource<'a> {
         // Where each symbol is defined, with linkage, for the hazard rules.
         let mut def_sites: HashMap<String, Vec<(usize, Linkage)>> = HashMap::new();
@@ -621,6 +661,7 @@ impl<'a> CrossSource<'a> {
             align_peak_full: 0,
             align_cells: 0,
             align_trimmed: 0,
+            paranoid,
         }
     }
 
@@ -982,6 +1023,13 @@ impl CandidateSource for CrossSource<'_> {
             self.consumed.insert((s.host, s.f1.clone()));
         }
         self.consumed.insert((s.donor, s.f2.clone()));
+        if let Some(paranoid) = self.paranoid {
+            // Observational only: re-analyze the two mutated modules. The
+            // whole-program passes re-run once at the end of the pipeline.
+            let mut monitor = paranoid.lock().unwrap();
+            monitor.check_module(&self.modules[s.host]);
+            monitor.check_module(&self.modules[s.donor]);
+        }
         CommitOutcome::Committed(CrossMergeRecord {
             host_module: self.names[s.host].clone(),
             donor_module: self.names[s.donor].clone(),
@@ -1059,6 +1107,11 @@ fn run_pipeline(
     // round).
     let oracle_carry: OracleCarry = Mutex::new(HashMap::new());
     uniquify_module_names(modules);
+    // The paranoid baseline is captured after name uniquification so its
+    // fingerprints use the same module names every later check sees.
+    let paranoid_monitor: Option<Mutex<analysis::ParanoidMonitor>> = config
+        .paranoid
+        .then(|| Mutex::new(analysis::ParanoidMonitor::for_corpus(modules)));
     let target = config.options.target;
     let before: Vec<(String, usize, usize)> = modules
         .iter()
@@ -1185,6 +1238,7 @@ fn run_pipeline(
                 &oracle_carry,
                 &components,
                 &comp_callers,
+                paranoid_monitor.as_ref(),
             )
         } else {
             run_cross_round(
@@ -1196,6 +1250,7 @@ fn run_pipeline(
                 &oracle_carry,
                 components,
                 comp_callers,
+                paranoid_monitor.as_ref(),
             )
         };
         report.attempts += outcome.attempts;
@@ -1245,6 +1300,14 @@ fn run_pipeline(
                     continue;
                 }
                 let intra_report = merge_module(module, &merger, &intra_config);
+                if let Some(p) = &paranoid_monitor {
+                    if intra_report.num_merges() > 0 {
+                        // Attribute intra-introduced regressions to this
+                        // round rather than letting the next cross commit's
+                        // check inherit them.
+                        p.lock().unwrap().check_module(module);
+                    }
+                }
                 intra_commits += intra_report.num_merges();
                 intra_dirty[mi] = intra_report.num_merges() > 0;
                 report.planner.absorb(&intra_report.planner);
@@ -1285,6 +1348,18 @@ fn run_pipeline(
         if cross_commits == 0 && intra_commits == 0 {
             break; // Fixpoint reached.
         }
+    }
+
+    if let Some(p) = paranoid_monitor {
+        let mut monitor = p.into_inner().expect("paranoid monitor poisoned");
+        // One final whole-program pass: the per-commit checks are
+        // module-scope, so cross-module regressions (declaration drift, ODR
+        // clashes) surface here.
+        monitor.check_corpus(modules);
+        report.paranoid = true;
+        report.paranoid_checks = monitor.checks();
+        report.paranoid_stats = monitor.stats();
+        report.paranoid_delta = monitor.into_delta();
     }
 
     report.per_module = modules
@@ -1339,6 +1414,7 @@ fn run_cross_round(
     carried: &OracleCarry,
     components: Arc<ComponentMap>,
     comp_callers: Arc<Vec<Vec<usize>>>,
+    paranoid: Option<&Mutex<analysis::ParanoidMonitor>>,
 ) -> RoundOutcome {
     let mut source = CrossSource::new(
         modules,
@@ -1349,6 +1425,7 @@ fn run_cross_round(
         carried,
         components,
         comp_callers,
+        paranoid,
     );
     let (committed, mut stats) = run_plan(
         &mut source,
@@ -1391,6 +1468,7 @@ fn run_round_in_regions(
     carried: &OracleCarry,
     components: &Arc<ComponentMap>,
     comp_callers: &Arc<Vec<Vec<usize>>>,
+    paranoid: Option<&Mutex<analysis::ParanoidMonitor>>,
 ) -> RoundOutcome {
     let mut region_of = vec![0usize; modules.len()];
     for (ri, members) in regions.iter().enumerate() {
@@ -1456,6 +1534,7 @@ fn run_round_in_regions(
                 carried,
                 components.clone(),
                 comp_callers.clone(),
+                paranoid,
             );
             (members, modules, outcome)
         })

@@ -1,0 +1,9 @@
+; Corruption fixture: a call into the reserved merged.* namespace that the
+; module neither defines nor declares. Ordinary externals may dangle; merged
+; functions are compiler-generated, so this is always a pipeline bug.
+; Expected diagnostic: E010.
+define i32 @calls_missing_merged(i32 %x) {
+entry:
+  %r = call i32 @merged.a.b(i1 0, i32 %x)
+  ret i32 %r
+}

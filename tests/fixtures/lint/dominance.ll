@@ -1,0 +1,13 @@
+; Corruption fixture: %x is defined only on the %a path but used in %b,
+; which is also reachable straight from entry — an SSA dominance violation.
+; Expected diagnostic: E007.
+define i32 @broken_dominance(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %x = add i32 1, 2
+  br label %b
+b:
+  %y = add i32 %x, 1
+  ret i32 %y
+}

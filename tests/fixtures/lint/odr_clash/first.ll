@@ -1,0 +1,7 @@
+; Corruption fixture (half): externally visible @dup, body returns x + 1.
+; Together with second.ll this is an ODR violation. Expected: E031.
+define i32 @dup(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}

@@ -1,0 +1,7 @@
+; Corruption fixture (half): externally visible @dup with a different body
+; than first.ll's copy — the linker would pick one arbitrarily. Expected: E031.
+define i32 @dup(i32 %x) {
+entry:
+  %r = mul i32 %x, 7
+  ret i32 %r
+}

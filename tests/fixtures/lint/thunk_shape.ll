@@ -1,0 +1,10 @@
+; Corruption fixture: a forwarding thunk into a merged function whose
+; discriminator argument is a runtime value instead of a constant i1 — the
+; dispatch could never constant-fold. Expected diagnostic: E020.
+declare i32 @merged.a.b(i1, i32)
+
+define i32 @bad_thunk(i1 %c, i32 %x) {
+entry:
+  %r = call i32 @merged.a.b(i1 %c, i32 %x)
+  ret i32 %r
+}

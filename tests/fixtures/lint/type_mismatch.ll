@@ -1,0 +1,6 @@
+; Corruption fixture: an i32 add fed an i1 operand. Expected diagnostic: E003.
+define i32 @type_mismatch(i1 %c) {
+entry:
+  %r = add i32 %c, 1
+  ret i32 %r
+}
