@@ -259,6 +259,8 @@ impl AnalysisEngine {
     /// Analyzes a whole corpus: every module (in parallel) plus the
     /// program-scope passes under linker resolution.
     pub fn analyze_program(&self, modules: &[Module]) -> AnalysisReport {
+        let _span =
+            telemetry::span_with("analysis.program", || format!("{} modules", modules.len()));
         let start = Instant::now();
         let before = self.cache_counters();
         // One content-hash sweep per call, shared by the per-module block
@@ -355,6 +357,7 @@ impl ParanoidMonitor {
     /// Re-analyzes one module after a commit, recording new diagnostics.
     /// Returns how many the commit introduced.
     pub fn check_module(&mut self, m: &Module) -> usize {
+        let _span = telemetry::span_with("paranoid.check_module", || m.name.clone());
         let report = self.engine.analyze_module(m);
         self.absorb(report)
     }
@@ -362,6 +365,9 @@ impl ParanoidMonitor {
     /// Re-analyzes the whole corpus (including the program-scope passes),
     /// recording new diagnostics. Returns how many were introduced.
     pub fn check_corpus(&mut self, modules: &[Module]) -> usize {
+        let _span = telemetry::span_with("paranoid.check_corpus", || {
+            format!("{} modules", modules.len())
+        });
         let report = self.engine.analyze_program(modules);
         self.absorb(report)
     }

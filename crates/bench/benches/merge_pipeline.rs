@@ -1,12 +1,20 @@
 //! Criterion benchmarks of whole-module merging for both techniques and of a
-//! single SalSSA pair merge (ablation of phi-node coalescing).
+//! single SalSSA pair merge (ablation of phi-node coalescing), plus the
+//! telemetry hot paths.
+//!
+//! After the criterion groups run, `main` asserts the telemetry contract CI
+//! relies on: with tracing **off**, the total cost of every span site a full
+//! pipeline run would hit is under 2% of that pipeline's wall time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use fmsa::FmsaMerger;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use salssa::{merge_module, merge_pair, DriverConfig, MergeOptions, SalSsaMerger};
+use ssa_ir::Module;
+use std::time::{Duration, Instant};
 use workloads::{generate_function, make_clone, BenchmarkSpec, Divergence, FunctionSpec};
+use xmerge::{xmerge_corpus, XMergeConfig};
 
 fn pair_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("pair_merge");
@@ -71,5 +79,106 @@ fn module_merge(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pair_merge, module_merge);
-criterion_main!(benches);
+fn telemetry_hot_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    // The contract: a disabled span is one relaxed atomic load. Regressions
+    // here multiply across every instrumentation site in the pipeline.
+    telemetry::set_tracing(false);
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _g = telemetry::span("bench.telemetry.off");
+        })
+    });
+    group.bench_function("span_with_disabled", |b| {
+        b.iter(|| {
+            let _g = telemetry::span_with("bench.telemetry.off", || unreachable!());
+        })
+    });
+    let counter = telemetry::registry().counter("bench.telemetry.counter");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let hist = telemetry::registry().histogram("bench.telemetry.histogram");
+    group.bench_function("histogram_record", |b| b.iter(|| hist.record(42)));
+    group.finish();
+}
+
+fn overhead_corpus() -> Vec<Module> {
+    (0..4u64)
+        .map(|i| {
+            let mut m = BenchmarkSpec {
+                name: "bench.telemetry".into(),
+                num_functions: 10,
+                size_range: (15, 60),
+                clone_fraction: 0.6,
+                family_size: 3,
+                divergence: Divergence::low(),
+                seed: 7 + (i % 2),
+            }
+            .generate();
+            m.name = format!("m{i}");
+            m
+        })
+        .collect()
+}
+
+/// Best-of-N wall clock of `run`.
+fn best_of(n: usize, mut run: impl FnMut()) -> Duration {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+/// Asserts disabled tracing costs under 2% of a full cross-module pipeline
+/// run: (span sites one traced run hits) x (measured cost of one disabled
+/// span) must stay below 2% of the untraced pipeline's wall time.
+fn assert_tracing_off_overhead() {
+    let config = XMergeConfig::new();
+    telemetry::set_tracing(false);
+    let wall = best_of(3, || {
+        let mut modules = overhead_corpus();
+        xmerge_corpus(&mut modules, &config);
+    });
+
+    // Count the span sites a real run passes through.
+    telemetry::set_tracing(true);
+    {
+        let mut modules = overhead_corpus();
+        xmerge_corpus(&mut modules, &config);
+    }
+    telemetry::set_tracing(false);
+    let trace = telemetry::take_trace();
+    let spans = trace.event_count() / 2;
+    assert!(spans > 0, "traced pipeline run recorded no spans");
+
+    // Per-site cost of a disabled span, amortized over a tight loop.
+    const REPS: u32 = 1_000_000;
+    let loop_time = best_of(3, || {
+        for _ in 0..REPS {
+            let _g = telemetry::span("bench.telemetry.off");
+        }
+    });
+    let per_span = loop_time / REPS;
+
+    let overhead = per_span * spans as u32;
+    let budget = wall.mul_f64(0.02);
+    assert!(
+        overhead < budget,
+        "disabled tracing too expensive: {spans} spans x {per_span:?} = {overhead:?}, \
+         over 2% of pipeline wall time {wall:?}"
+    );
+    println!(
+        "telemetry overhead ok: {spans} spans x {per_span:?} = {overhead:?} \
+         vs 2% budget {budget:?} (pipeline {wall:?})"
+    );
+}
+
+criterion_group!(benches, pair_merge, module_merge, telemetry_hot_paths);
+
+fn main() {
+    benches();
+    assert_tracing_off_overhead();
+}

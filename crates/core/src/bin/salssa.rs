@@ -19,6 +19,14 @@
 //! - `lint <dir|files...>` — static analysis without merging: verifier wrap,
 //!   merge-shape invariants, and whole-program consistency checks, with
 //!   stable diagnostic codes (`--deny` escalates, `--json` for machines).
+//! - `explain <dir> <fn-a> <fn-b>` — replay discovery and scoring for one
+//!   candidate pair and print the verdict chain (why it would or would not
+//!   be merged).
+//!
+//! Observability (merge/xmerge/lint): `--trace-out <file>` writes a Chrome
+//! Trace Event Format JSON of the run's internal spans (load it in Perfetto),
+//! `--decisions-out <file>` writes the candidate-pair decision log as JSONL,
+//! and `report --metrics` prints the process-wide metrics registry.
 //!
 //! ```text
 //! cargo run --release --bin salssa -- examples/clone_heavy.ll
@@ -56,6 +64,9 @@ commands:
   lint <dir|files...>    statically analyze modules without merging: verifier
                          wrap, merge-shape invariants, and whole-program
                          declaration/ODR consistency, with stable codes
+  explain <dir> <a> <b>  replay cross-module discovery + scoring for the pair
+                         of functions <a>, <b> (each 'name' or 'module:name')
+                         and print the verdict chain
 
 options:
   -t, --threshold <N>    exploration threshold: ranked candidates tried per
@@ -88,6 +99,11 @@ options:
       --only <code>      lint: report only the given code; repeatable
       --no-phi-coalescing  disable phi-node coalescing (SalSSA-NoPC ablation)
       --target <x86|thumb> code-size model for profitability (default x86)
+      --trace-out <file>   write a Chrome Trace Event Format JSON of the run's
+                         internal spans (open it in Perfetto / chrome://tracing)
+      --decisions-out <file>  write the candidate-pair decision log (discovered,
+                         scored, rejected+reason, committed) as JSONL
+      --metrics          report: print the metrics registry after the report
       --json             emit machine-readable JSON instead of the report
       --out <file>       index: write the serialized index here ('-' = stdout)
       --out-dir <dir>    xmerge: write the merged modules here
@@ -103,6 +119,7 @@ enum Command {
     CallGraph,
     Report,
     Lint,
+    Explain,
 }
 
 struct Cli {
@@ -122,6 +139,9 @@ struct Cli {
     regions: bool,
     deny: Vec<String>,
     only: Vec<String>,
+    trace_out: Option<String>,
+    decisions_out: Option<String>,
+    metrics: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -141,6 +161,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut regions = false;
     let mut deny: Vec<String> = Vec::new();
     let mut only: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
+    let mut decisions_out: Option<String> = None;
+    let mut metrics = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -190,12 +213,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("unknown target '{other}' (x86|thumb)")),
                 };
             }
+            "--trace-out" => trace_out = Some(value_for(arg)?),
+            "--decisions-out" => decisions_out = Some(value_for(arg)?),
+            "--metrics" => metrics = true,
             "--json" => json = true,
             "--out" => out = Some(value_for(arg)?),
             "--out-dir" => out_dir = Some(value_for(arg)?),
             "--print-module" => print_module = true,
             "-h" | "--help" => return Err(String::new()),
-            "merge" | "index" | "xmerge" | "callgraph" | "report" | "lint"
+            "merge" | "index" | "xmerge" | "callgraph" | "report" | "lint" | "explain"
                 if command.is_none() && inputs.is_empty() =>
             {
                 command = Some(match arg.as_str() {
@@ -204,6 +230,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     "xmerge" => Command::XMerge,
                     "callgraph" => Command::CallGraph,
                     "lint" => Command::Lint,
+                    "explain" => Command::Explain,
                     _ => Command::Report,
                 });
             }
@@ -216,7 +243,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if inputs.is_empty() {
         return Err("no input given".to_string());
     }
-    if !matches!(command, Command::Report | Command::Lint) && inputs.len() > 1 {
+    if command == Command::Explain && inputs.len() != 3 {
+        return Err(
+            "explain takes a corpus and two function specs: explain <dir> <a> <b>".to_string(),
+        );
+    }
+    if !matches!(command, Command::Report | Command::Lint | Command::Explain) && inputs.len() > 1 {
         return Err("more than one input given".to_string());
     }
     Ok(Cli {
@@ -236,6 +268,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         regions,
         deny,
         only,
+        trace_out,
+        decisions_out,
+        metrics,
     })
 }
 
@@ -269,6 +304,7 @@ fn load_corpus(path: &str) -> Result<Vec<Module>, String> {
 }
 
 fn load_module(path: &str) -> Result<Module, String> {
+    let _span = telemetry::span_with("parse.module", || path.to_string());
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut module = parse_module(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
     let errors = verify_module(&module);
@@ -310,14 +346,38 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match cli.command {
+    // Arm telemetry before any work happens (including corpus loading, so
+    // parse spans land in the trace).
+    if cli.trace_out.is_some() {
+        telemetry::set_tracing(true);
+    }
+    if cli.decisions_out.is_some() {
+        telemetry::set_decisions(true);
+    }
+    let code = match cli.command {
         Command::Merge => run_merge(&cli),
         Command::Index => run_index(&cli),
         Command::XMerge => run_xmerge(&cli),
         Command::CallGraph => run_callgraph(&cli),
         Command::Report => run_report(&cli),
         Command::Lint => run_lint(&cli),
+        Command::Explain => run_explain(&cli),
+    };
+    if let Some(path) = &cli.trace_out {
+        let trace = telemetry::take_trace();
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            eprintln!("error: cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
+    if let Some(path) = &cli.decisions_out {
+        let decisions = telemetry::take_decisions();
+        if let Err(e) = std::fs::write(path, telemetry::decisions::to_jsonl(&decisions)) {
+            eprintln!("error: cannot write decision log {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    code
 }
 
 fn run_merge(cli: &Cli) -> ExitCode {
@@ -426,18 +486,9 @@ fn fm_align_default_hashes() -> usize {
     fm_align::MinHash::DEFAULT_HASHES
 }
 
-fn run_xmerge(cli: &Cli) -> ExitCode {
-    let input = &cli.inputs[0];
-    let mut modules = match load_corpus(input) {
-        Ok(modules) => modules,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    if modules.is_empty() {
-        return emit(|out| writeln!(out, "{input}: 0 modules (0 functions); nothing to merge"));
-    }
+/// The cross-module pipeline configuration a `Cli` asks for — shared by
+/// `xmerge` and `explain` so an explanation replays the run's exact knobs.
+fn xmerge_config(cli: &Cli) -> XMergeConfig {
     let mut config = XMergeConfig::new()
         .with_check_semantics(cli.config.check_semantics)
         .with_host_policy(cli.host_policy)
@@ -458,6 +509,22 @@ fn run_xmerge(cli: &Cli) -> ExitCode {
             intra: Some(cli.config.with_paranoid(false)),
         });
     }
+    config
+}
+
+fn run_xmerge(cli: &Cli) -> ExitCode {
+    let input = &cli.inputs[0];
+    let mut modules = match load_corpus(input) {
+        Ok(modules) => modules,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if modules.is_empty() {
+        return emit(|out| writeln!(out, "{input}: 0 modules (0 functions); nothing to merge"));
+    }
+    let config = xmerge_config(cli);
     // Persistent index reuse: load a previously serialized index (plus the
     // call graph stored alongside it) and skip re-summarizing/re-scanning
     // modules whose content hash is unchanged; the refreshed files are
@@ -555,6 +622,33 @@ fn run_xmerge(cli: &Cli) -> ExitCode {
         }
         Ok(())
     })
+}
+
+fn run_explain(cli: &Cli) -> ExitCode {
+    let (input, spec_a, spec_b) = (&cli.inputs[0], &cli.inputs[1], &cli.inputs[2]);
+    let mut modules = match load_corpus(input) {
+        Ok(modules) => modules,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if modules.is_empty() {
+        eprintln!("error: {input}: 0 modules (0 functions); nothing to explain");
+        return ExitCode::from(2);
+    }
+    let config = xmerge_config(cli);
+    match xmerge::explain_pair(&mut modules, &config, spec_a, spec_b) {
+        Ok(explanation) => emit(|out| {
+            writeln!(out, "{spec_a} vs {spec_b}:")?;
+            writeln!(out, "{explanation}")?;
+            Ok(())
+        }),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn run_callgraph(cli: &Cli) -> ExitCode {
@@ -830,6 +924,10 @@ fn run_report(cli: &Cli) -> ExitCode {
                 writeln!(out, "{line}")?;
             }
             writeln!(out, "{} modules reported", entries.len())?;
+        }
+        if cli.metrics {
+            writeln!(out, "\nmetrics:")?;
+            write!(out, "{}", telemetry::registry().snapshot().render_table())?;
         }
         Ok(())
     })

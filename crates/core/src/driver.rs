@@ -461,9 +461,23 @@ impl CandidateSource for IntraSource<'_> {
                 })
                 .map(|candidate| (name.clone(), candidate))
                 .collect();
+            if telemetry::decisions_enabled() {
+                for (f1, f2) in &group {
+                    telemetry::record_decision(
+                        telemetry::DecisionEvent::Discovered,
+                        telemetry::Pair::intra(f1.clone(), f2.clone()),
+                        None,
+                        "fingerprint ranking".to_string(),
+                    );
+                }
+            }
             return Some(group);
         }
         None
+    }
+
+    fn describe(&self, key: &(String, String)) -> Option<telemetry::Pair> {
+        Some(telemetry::Pair::intra(key.0.clone(), key.1.clone()))
     }
 
     fn observe(&mut self, _key: &(String, String), scored: &ScoredCandidate) {
@@ -505,6 +519,7 @@ impl CandidateSource for IntraSource<'_> {
             // Trial-commit on a copy and interrogate it with the interpreter;
             // only adopt the copy when both original entry points still
             // behave identically.
+            let _span = telemetry::span_with("intra.oracle", || format!("{name} vs {candidate}"));
             let mut trial = self.module.clone();
             let record = commit_merge(
                 &mut trial,
@@ -575,8 +590,10 @@ pub fn merge_module(
         .paranoid
         .then(|| analysis::ParanoidMonitor::for_module(module));
 
+    let rank_span = telemetry::span_with("intra.rank", || module.name.clone());
     let ranking = Ranking::build(module);
     let order = ranking.names_by_size_desc();
+    drop(rank_span);
     let mode = match config.mode {
         DriverMode::Sequential => ScoreMode::Inline,
         DriverMode::Parallel => ScoreMode::Speculative {

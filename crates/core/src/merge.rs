@@ -18,7 +18,7 @@ use crate::ssa_repair::{self, RepairStats};
 use fm_align::{align, linearize, AlignmentStats};
 use ssa_ir::verifier;
 use ssa_ir::Function;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The result of merging one pair of functions.
 #[derive(Debug)]
@@ -61,13 +61,13 @@ pub fn merge_pair(
     options: &MergeOptions,
     merged_name: &str,
 ) -> Option<PairMerge> {
-    let t_align = Instant::now();
+    let align_span = telemetry::timed_span("merge.align");
     let seq1 = linearize(f1);
     let seq2 = linearize(f2);
     let alignment = align(f1, &seq1, f2, &seq2);
-    let align_time = t_align.elapsed();
+    let align_time = align_span.stop();
 
-    let t_gen = Instant::now();
+    let gen_span = telemetry::timed_span("merge.codegen");
     let (mut merged, maps) = codegen::generate(f1, f2, &alignment, options, merged_name)?;
     // Collapse the per-entry block chains before SSA repair so phi-nodes are
     // only placed at genuine join points of the merged CFG.
@@ -81,7 +81,7 @@ pub fn merge_pair(
         ssa_passes::phi_dedup::absorb_undef_compatible_phis(&mut merged);
         ssa_passes::cleanup_function(&mut merged);
     }
-    let codegen_time = t_gen.elapsed();
+    let codegen_time = gen_span.stop();
 
     if !verifier::verify_function(&merged).is_empty() {
         return None;

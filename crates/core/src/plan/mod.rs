@@ -34,7 +34,9 @@
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::time::{Duration, Instant};
+use std::sync::OnceLock;
+use std::time::Duration;
+use telemetry::{DecisionEvent, RejectReason};
 
 /// Cached speculative scores: `None` records that the merger refused the
 /// pair, so the commit loop does not retry it.
@@ -166,6 +168,14 @@ pub trait CandidateSource: Sync {
         false
     }
 
+    /// Names the two functions a key refers to, for telemetry decision
+    /// provenance. Sources that return `Some` get the full candidate
+    /// lifecycle (scored / rejected / committed) emitted by the engine when
+    /// `--decisions-out` is active; the default opts out.
+    fn describe(&self, _key: &Self::Key) -> Option<telemetry::Pair> {
+        None
+    }
+
     /// Applies the winning merge, mutating the underlying modules.
     fn commit(&mut self, key: Self::Key, score: Self::Score) -> CommitOutcome<Self::Record>;
 }
@@ -196,6 +206,7 @@ fn speculative_scores<S: CandidateSource>(
 ) -> ScoreCache<S::Key, S::Score> {
     let mut cache = ScoreCache::with_capacity(keys.len());
     for batch in keys.chunks(batch_size.max(1)) {
+        let _span = telemetry::span_with("plan.score.batch", || format!("{} pairs", batch.len()));
         let scored: Vec<(S::Key, Option<S::Score>)> = batch
             .par_iter()
             .map(|key| (key.clone(), source.score(key, false)))
@@ -203,6 +214,36 @@ fn speculative_scores<S: CandidateSource>(
         cache.extend(scored);
     }
     cache
+}
+
+/// Emits one decision-log entry for a candidate the engine is examining, if
+/// decision logging is on and the source names its pairs.
+fn emit_decision<S: CandidateSource>(
+    source: &S,
+    key: &S::Key,
+    event: DecisionEvent,
+    profit: Option<i64>,
+    detail: &str,
+) {
+    if !telemetry::decisions_enabled() {
+        return;
+    }
+    if let Some(pair) = source.describe(key) {
+        telemetry::record_decision(event, pair, profit, detail.to_string());
+    }
+}
+
+/// Engine-level metrics: committed-merge count and the distribution of
+/// committed profits (bytes saved per merge).
+fn plan_metrics() -> &'static (telemetry::metrics::Counter, telemetry::metrics::Histogram) {
+    static METRICS: OnceLock<(telemetry::metrics::Counter, telemetry::metrics::Histogram)> =
+        OnceLock::new();
+    METRICS.get_or_init(|| {
+        (
+            telemetry::registry().counter("plan.commits"),
+            telemetry::registry().histogram("plan.commit_profit"),
+        )
+    })
 }
 
 /// Runs the engine to completion: speculative scoring (per `mode`), then the
@@ -217,7 +258,10 @@ pub fn run_plan<S: CandidateSource>(
         ..PlanStats::default()
     };
 
-    let t = Instant::now();
+    // Phase timings come from telemetry spans: the report's `timing_ms`
+    // fields and the exported trace derive from the same `Instant` pair, so
+    // the two views cannot disagree.
+    let score_span = telemetry::timed_span("plan.score");
     let mut cache = match mode {
         ScoreMode::Inline => ScoreCache::new(),
         ScoreMode::Speculative { batch_size } => {
@@ -230,14 +274,18 @@ pub fn run_plan<S: CandidateSource>(
             speculative_scores(source, keys, batch_size)
         }
     };
-    stats.score_time = t.elapsed();
+    stats.score_time = score_span.stop();
 
     source.plan(&cache);
 
-    let t = Instant::now();
+    let commit_span = telemetry::timed_span("plan.commit");
     let mut records = Vec::new();
     while let Some(group) = source.next_group() {
         let mut best: Option<(i64, S::Key, S::Score)> = None;
+        // Profitable group members that lost to the group winner, kept only
+        // while decision logging is on (they are reported as superseded).
+        let mut runners: Vec<(S::Key, i64)> = Vec::new();
+        let log_decisions = telemetry::decisions_enabled();
         for key in group {
             let key = source.place(key);
             let scored = cache.remove(&key).unwrap_or_else(|| {
@@ -246,10 +294,29 @@ pub fn run_plan<S: CandidateSource>(
             });
             stats.candidates += 1;
             let Some(score) = scored else {
+                emit_decision(
+                    source,
+                    &key,
+                    DecisionEvent::Rejected(RejectReason::Refused),
+                    None,
+                    "merger refused the pair",
+                );
                 continue; // The merger refused this pair.
             };
             source.observe(&key, &score);
             let profit = S::profit(&score);
+            emit_decision(source, &key, DecisionEvent::Scored, Some(profit), "");
+            if profit <= 0 {
+                emit_decision(
+                    source,
+                    &key,
+                    DecisionEvent::Rejected(RejectReason::Unprofitable),
+                    Some(profit),
+                    "",
+                );
+            } else if log_decisions {
+                runners.push((key.clone(), profit));
+            }
             let improves = best
                 .as_ref()
                 .map(|(best_profit, _, _)| profit > *best_profit)
@@ -258,16 +325,74 @@ pub fn run_plan<S: CandidateSource>(
                 best = Some((profit, key, score));
             }
         }
-        if let Some((_, key, score)) = best {
+        if let Some((profit, key, score)) = best {
+            for (runner, runner_profit) in &runners {
+                if *runner != key {
+                    emit_decision(
+                        source,
+                        runner,
+                        DecisionEvent::Rejected(RejectReason::Superseded),
+                        Some(*runner_profit),
+                        "lost to the group winner",
+                    );
+                }
+            }
             if source.hazard(&key, &score) {
+                emit_decision(
+                    source,
+                    &key,
+                    DecisionEvent::Rejected(RejectReason::Hazard),
+                    Some(profit),
+                    "",
+                );
                 continue;
             }
-            if let CommitOutcome::Committed(record) = source.commit(key, score) {
-                records.push(record);
+            // The key is consumed by `commit`; name the pair first (only
+            // when the log is on — describing builds strings).
+            let described = if log_decisions {
+                source.describe(&key)
+            } else {
+                None
+            };
+            match source.commit(key, score) {
+                CommitOutcome::Committed(record) => {
+                    let (commits, profits) = plan_metrics();
+                    commits.inc();
+                    profits.record(profit.max(0) as u64);
+                    if let Some(pair) = described {
+                        telemetry::record_decision(
+                            DecisionEvent::Committed,
+                            pair,
+                            Some(profit),
+                            String::new(),
+                        );
+                    }
+                    records.push(record);
+                }
+                CommitOutcome::OracleRejected => {
+                    if let Some(pair) = described {
+                        telemetry::record_decision(
+                            DecisionEvent::Rejected(RejectReason::Oracle),
+                            pair,
+                            Some(profit),
+                            "differential oracle observed a divergence".to_string(),
+                        );
+                    }
+                }
+                CommitOutcome::Skipped => {
+                    if let Some(pair) = described {
+                        telemetry::record_decision(
+                            DecisionEvent::Rejected(RejectReason::Refused),
+                            pair,
+                            Some(profit),
+                            "commit-time regeneration refused the pair".to_string(),
+                        );
+                    }
+                }
             }
         }
     }
-    stats.commit_time = t.elapsed();
+    stats.commit_time = commit_span.stop();
     (records, stats)
 }
 

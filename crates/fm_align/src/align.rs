@@ -62,7 +62,7 @@ use crate::linearize::{mergeable, SeqEntry};
 use ssa_ir::{BinOp, CastKind, Function, ICmpPred, InstKind, Type};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// One element of an alignment result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,14 +125,31 @@ pub struct Alignment {
 }
 
 // ---------------------------------------------------------------------------
-// Global run counters (process-wide, like `ssa_ir::structural_key_counters`):
-// reports snapshot them around a run and publish the deltas.
+// Alignment run counters, registered in the telemetry metrics registry as
+// `fm_align.*` (like `ssa_ir::structural_key_counters`): reports snapshot
+// them around a run and publish the deltas, and
+// `telemetry::registry().reset()` zeroes them between test runs.
 // ---------------------------------------------------------------------------
 
-static SCORE_ONLY_RUNS: AtomicU64 = AtomicU64::new(0);
-static FULL_RUNS: AtomicU64 = AtomicU64::new(0);
-static FULL_MATRIX_RUNS: AtomicU64 = AtomicU64::new(0);
-static TRIMMED_ENTRIES: AtomicU64 = AtomicU64::new(0);
+struct AlignMetrics {
+    score_only_runs: telemetry::metrics::Counter,
+    full_runs: telemetry::metrics::Counter,
+    full_matrix_runs: telemetry::metrics::Counter,
+    trimmed_entries: telemetry::metrics::Counter,
+    /// Distribution of aligned sequence lengths (`n + m` per run).
+    lengths: telemetry::metrics::Histogram,
+}
+
+fn align_metrics() -> &'static AlignMetrics {
+    static METRICS: OnceLock<AlignMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| AlignMetrics {
+        score_only_runs: telemetry::registry().counter("fm_align.score_only_runs"),
+        full_runs: telemetry::registry().counter("fm_align.full_runs"),
+        full_matrix_runs: telemetry::registry().counter("fm_align.full_matrix_runs"),
+        trimmed_entries: telemetry::registry().counter("fm_align.trimmed_entries"),
+        lengths: telemetry::registry().histogram("fm_align.alignment_length"),
+    })
+}
 
 /// Monotonic process-wide counters of the alignment tiers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -148,13 +165,15 @@ pub struct AlignmentCounters {
     pub trimmed_entries: u64,
 }
 
-/// Snapshots the process-wide alignment counters.
+/// Snapshots the process-wide alignment counters (telemetry-registry
+/// backed: `fm_align.*`).
 pub fn alignment_counters() -> AlignmentCounters {
+    let m = align_metrics();
     AlignmentCounters {
-        score_only_runs: SCORE_ONLY_RUNS.load(Ordering::Relaxed),
-        full_runs: FULL_RUNS.load(Ordering::Relaxed),
-        full_matrix_runs: FULL_MATRIX_RUNS.load(Ordering::Relaxed),
-        trimmed_entries: TRIMMED_ENTRIES.load(Ordering::Relaxed),
+        score_only_runs: m.score_only_runs.get(),
+        full_runs: m.full_runs.get(),
+        full_matrix_runs: m.full_matrix_runs.get(),
+        trimmed_entries: m.trimmed_entries.get(),
     }
 }
 
@@ -411,8 +430,10 @@ pub fn align_score_in(
         pool.give(cur, width, &mut mem);
     }
 
-    SCORE_ONLY_RUNS.fetch_add(1, Ordering::Relaxed);
-    TRIMMED_ENTRIES.fetch_add((lo + suf) as u64, Ordering::Relaxed);
+    let metrics = align_metrics();
+    metrics.score_only_runs.inc();
+    metrics.trimmed_entries.add((lo + suf) as u64);
+    metrics.lengths.record((n + m) as u64);
     AlignmentStats {
         len_left: n,
         len_right: m,
@@ -512,8 +533,10 @@ pub fn align_in(
         pairs.push(AlignedPair::Match(seq1[core_n + k], seq2[core_m + k]));
     }
 
-    FULL_RUNS.fetch_add(1, Ordering::Relaxed);
-    TRIMMED_ENTRIES.fetch_add(suf as u64, Ordering::Relaxed);
+    let metrics = align_metrics();
+    metrics.full_runs.inc();
+    metrics.trimmed_entries.add(suf as u64);
+    metrics.lengths.record((n + m) as u64);
     Alignment {
         pairs,
         stats: AlignmentStats {
@@ -712,7 +735,7 @@ pub fn align_full_matrix(
     }
     pairs_rev.reverse();
 
-    FULL_MATRIX_RUNS.fetch_add(1, Ordering::Relaxed);
+    align_metrics().full_matrix_runs.inc();
     let matrix = (score.len() * std::mem::size_of::<u32>()) as u64;
     Alignment {
         pairs: pairs_rev,

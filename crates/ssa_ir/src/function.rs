@@ -6,7 +6,6 @@ use crate::types::Type;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// A basic block: a label, leading phi-nodes, ordinary instructions and an
@@ -90,19 +89,29 @@ struct StructuralKey {
 /// the normalized print that backs [`Function::structural_key`].
 pub(crate) const STRUCTURAL_PLACEHOLDER: &str = "__odr_key__";
 
-/// Global structural-key cache counters (process-wide, monotonically
-/// increasing). Reports snapshot them before and after a run and publish the
-/// delta as the cache hit rate.
-static KEY_HITS: AtomicU64 = AtomicU64::new(0);
-static KEY_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Structural-key cache counters, registered in the telemetry metrics
+/// registry as `ssa_ir.structural_key.hits` / `.misses` so they share the
+/// snapshot/delta/reset lifecycle of every other pipeline metric. Reports
+/// snapshot them before and after a run and publish the delta as the cache
+/// hit rate.
+fn key_counters() -> &'static (telemetry::metrics::Counter, telemetry::metrics::Counter) {
+    static COUNTERS: OnceLock<(telemetry::metrics::Counter, telemetry::metrics::Counter)> =
+        OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (
+            telemetry::registry().counter("ssa_ir.structural_key.hits"),
+            telemetry::registry().counter("ssa_ir.structural_key.misses"),
+        )
+    })
+}
 
 /// Snapshot of the process-wide structural-key cache counters: `(hits,
 /// misses)`, where a miss is a full normalized re-print of a function body.
+/// Backed by the telemetry registry (`ssa_ir.structural_key.*`), so
+/// `telemetry::registry().reset()` zeroes them between test runs.
 pub fn structural_key_counters() -> (u64, u64) {
-    (
-        KEY_HITS.load(Ordering::Relaxed),
-        KEY_MISSES.load(Ordering::Relaxed),
-    )
+    let (hits, misses) = key_counters();
+    (hits.get(), misses.get())
 }
 
 /// A function in SSA (or, transiently, non-SSA) form.
@@ -203,16 +212,16 @@ impl Function {
     pub fn structural_key(&self) -> Arc<str> {
         if let Some(key) = self.structural_cache.get() {
             if key.name == self.name {
-                KEY_HITS.fetch_add(1, Ordering::Relaxed);
+                key_counters().0.inc();
                 return key.text.clone();
             }
             // Stale: the name was reassigned through the public field after
             // the key was computed. Recompute without caching (the slot is
             // already taken); `set_name` avoids this path.
-            KEY_MISSES.fetch_add(1, Ordering::Relaxed);
+            key_counters().1.inc();
             return crate::printer::print_function_normalized(self, STRUCTURAL_PLACEHOLDER).into();
         }
-        KEY_MISSES.fetch_add(1, Ordering::Relaxed);
+        key_counters().1.inc();
         let text: Arc<str> =
             crate::printer::print_function_normalized(self, STRUCTURAL_PLACEHOLDER).into();
         let _ = self.structural_cache.set(StructuralKey {

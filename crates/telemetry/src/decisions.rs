@@ -1,0 +1,276 @@
+//! Candidate-pair decision provenance.
+//!
+//! Every candidate pair the planner examines moves through a lifecycle —
+//! discovered → scored(profit) → rejected(reason) | committed — and each
+//! transition is recorded here as one [`Decision`]. The log is ordered by a
+//! global sequence number, exported as JSONL via `--decisions-out`, and
+//! replayed for a single pair by `salssa explain`.
+//!
+//! Recording is observationally pure: every emission site reads planner
+//! state, never writes it, so the committed records are bit-identical with
+//! the log on or off. When disabled, [`record_decision`] is one relaxed
+//! atomic load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::span::json_escape;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn log() -> &'static Mutex<Vec<Decision>> {
+    static LOG: OnceLock<Mutex<Vec<Decision>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Is decision logging on? One relaxed load.
+#[inline]
+pub fn decisions_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn decision logging on or off.
+pub fn set_decisions(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The two functions a decision is about. Module names are empty for
+/// intra-module pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Pair {
+    pub module_a: String,
+    pub func_a: String,
+    pub module_b: String,
+    pub func_b: String,
+}
+
+impl Pair {
+    pub fn intra(func_a: impl Into<String>, func_b: impl Into<String>) -> Self {
+        Pair {
+            module_a: String::new(),
+            func_a: func_a.into(),
+            module_b: String::new(),
+            func_b: func_b.into(),
+        }
+    }
+
+    pub fn cross(
+        module_a: impl Into<String>,
+        func_a: impl Into<String>,
+        module_b: impl Into<String>,
+        func_b: impl Into<String>,
+    ) -> Self {
+        Pair {
+            module_a: module_a.into(),
+            func_a: func_a.into(),
+            module_b: module_b.into(),
+            func_b: func_b.into(),
+        }
+    }
+}
+
+/// Lifecycle stage a pair just reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionEvent {
+    Discovered,
+    Scored,
+    Rejected(RejectReason),
+    Committed,
+}
+
+/// Why a pair fell out of the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Call-graph or ODR hazard scan vetoed the commit.
+    Hazard,
+    /// The differential semantic oracle observed a divergence.
+    Oracle,
+    /// Estimated profit was ≤ 0 by commit time.
+    Unprofitable,
+    /// An endpoint was consumed by an earlier, more profitable commit.
+    Superseded,
+    /// The merger itself declined to produce a candidate (alignment refused).
+    Refused,
+}
+
+impl RejectReason {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RejectReason::Hazard => "hazard",
+            RejectReason::Oracle => "oracle",
+            RejectReason::Unprofitable => "unprofitable",
+            RejectReason::Superseded => "superseded",
+            RejectReason::Refused => "refused",
+        }
+    }
+}
+
+impl DecisionEvent {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DecisionEvent::Discovered => "discovered",
+            DecisionEvent::Scored => "scored",
+            DecisionEvent::Rejected(_) => "rejected",
+            DecisionEvent::Committed => "committed",
+        }
+    }
+}
+
+/// One decision-log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    pub seq: u64,
+    pub event: DecisionEvent,
+    pub pair: Pair,
+    pub profit: Option<i64>,
+    /// Free-form context: hazard kind, oracle sample count, distance, …
+    pub detail: String,
+}
+
+impl Decision {
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"event\":\"{}\"",
+            self.seq,
+            self.event.as_str()
+        );
+        if let DecisionEvent::Rejected(reason) = self.event {
+            out.push_str(&format!(",\"reason\":\"{}\"", reason.as_str()));
+        }
+        out.push_str(&format!(
+            ",\"module_a\":\"{}\",\"func_a\":\"{}\",\"module_b\":\"{}\",\"func_b\":\"{}\"",
+            json_escape(&self.pair.module_a),
+            json_escape(&self.pair.func_a),
+            json_escape(&self.pair.module_b),
+            json_escape(&self.pair.func_b)
+        ));
+        if let Some(profit) = self.profit {
+            out.push_str(&format!(",\"profit\":{profit}"));
+        }
+        if !self.detail.is_empty() {
+            out.push_str(&format!(",\"detail\":\"{}\"", json_escape(&self.detail)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Append one decision to the log. No-op (one atomic load) when disabled.
+/// Prefer [`record_decision_with`] when building the pair is not free.
+#[inline]
+pub fn record_decision(event: DecisionEvent, pair: Pair, profit: Option<i64>, detail: String) {
+    if !decisions_enabled() {
+        return;
+    }
+    let decision = Decision {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        event,
+        pair,
+        profit,
+        detail,
+    };
+    log().lock().unwrap().push(decision);
+}
+
+/// Like [`record_decision`], but the pair/profit/detail are built lazily so
+/// that disabled logging does not pay for `String` clones.
+#[inline]
+pub fn record_decision_with(
+    event: DecisionEvent,
+    build: impl FnOnce() -> (Pair, Option<i64>, String),
+) {
+    if !decisions_enabled() {
+        return;
+    }
+    let (pair, profit, detail) = build();
+    record_decision(event, pair, profit, detail);
+}
+
+/// Drain the decision log (ordered by sequence number).
+pub fn take_decisions() -> Vec<Decision> {
+    let mut decisions = std::mem::take(&mut *log().lock().unwrap());
+    decisions.sort_by_key(|d| d.seq);
+    decisions
+}
+
+/// Render a decision list as JSON Lines (one object per line).
+pub fn to_jsonl(decisions: &[Decision]) -> String {
+    let mut out = String::new();
+    for d in decisions {
+        out.push_str(&d.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_logging_records_nothing() {
+        let _l = lock();
+        set_decisions(false);
+        let _ = take_decisions();
+        record_decision(
+            DecisionEvent::Discovered,
+            Pair::intra("a", "b"),
+            None,
+            String::new(),
+        );
+        record_decision_with(DecisionEvent::Committed, || panic!("must not run"));
+        assert!(take_decisions().is_empty());
+    }
+
+    #[test]
+    fn lifecycle_round_trips_through_jsonl() {
+        let _l = lock();
+        set_decisions(true);
+        let _ = take_decisions();
+        record_decision(
+            DecisionEvent::Discovered,
+            Pair::cross("m1", "f", "m2", "g"),
+            None,
+            "distance=2".to_string(),
+        );
+        record_decision(
+            DecisionEvent::Scored,
+            Pair::cross("m1", "f", "m2", "g"),
+            Some(42),
+            String::new(),
+        );
+        record_decision(
+            DecisionEvent::Rejected(RejectReason::Hazard),
+            Pair::cross("m1", "f", "m2", "g"),
+            Some(42),
+            "odr".to_string(),
+        );
+        set_decisions(false);
+        let decisions = take_decisions();
+        assert_eq!(decisions.len(), 3);
+        assert!(decisions.windows(2).all(|w| w[0].seq < w[1].seq));
+        let jsonl = to_jsonl(&decisions);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].contains("\"event\":\"discovered\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("\"profit\":42"), "{}", lines[1]);
+        assert!(
+            lines[2].contains("\"reason\":\"hazard\"") && lines[2].contains("\"detail\":\"odr\""),
+            "{}",
+            lines[2]
+        );
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Telemetry for the SalSSA pipeline: spans, metrics, and decision provenance.
+//!
+//! Three independent facilities share one design rule — **observational
+//! purity**: enabling any of them must not change what the pipeline computes,
+//! only what it records about the computation. Equivalence tests in
+//! `tests/telemetry_suite.rs` enforce that merge records are bit-identical
+//! with telemetry on and off.
+//!
+//! * [`span`] — thread-aware begin/end spans with nesting, buffered per
+//!   thread (rayon-safe: the hot path touches only the current thread's own
+//!   buffer) and exported as Chrome Trace Event Format JSON for Perfetto.
+//!   When tracing is disabled a span costs one relaxed atomic load.
+//! * [`metrics`] — a process-wide registry of named counters, gauges, and
+//!   histograms with `snapshot()` / `delta_since()` / `reset()`, replacing
+//!   the scattered statics that `ssa_ir` and `fm_align` used to keep.
+//! * [`decisions`] — the candidate-pair lifecycle (discovered → scored →
+//!   rejected(reason) → committed) as an ordered event log, exported as
+//!   JSONL and replayed by `salssa explain`.
+
+pub mod decisions;
+pub mod metrics;
+pub mod span;
+
+pub use decisions::{
+    decisions_enabled, record_decision, record_decision_with, set_decisions, take_decisions,
+    Decision, DecisionEvent, Pair, RejectReason,
+};
+pub use metrics::{registry, MetricValue, MetricsSnapshot, Registry};
+pub use span::{set_tracing, span, span_with, take_trace, timed_span, tracing_enabled, Trace};

@@ -73,6 +73,14 @@ fn alignment_json(
     )
 }
 
+/// Serializes the `telemetry` block shared by both report schemas: a
+/// point-in-time snapshot of the process-wide metrics registry (counters,
+/// gauges, histogram summaries) taken at serialization time. Append-only:
+/// metric names are added, never renamed.
+fn telemetry_json() -> String {
+    telemetry::registry().snapshot().to_json()
+}
+
 /// Serializes the `diagnostics` block shared by both report schemas:
 /// paranoid-mode verdicts (delta diagnostics by severity and code) plus the
 /// analysis engine's cache statistics.
@@ -135,7 +143,7 @@ pub fn merge_report_json(
         })
         .collect();
     format!(
-        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{},"alignment":{},"diagnostics":{}}}"#,
+        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{},"alignment":{},"diagnostics":{},"telemetry":{}}}"#,
         json_escape(input),
         json_escape(&report.technique),
         report.threshold,
@@ -167,7 +175,8 @@ pub fn merge_report_json(
             report.paranoid_checks,
             &report.paranoid_delta,
             &report.paranoid_stats,
-        )
+        ),
+        telemetry_json()
     )
 }
 
@@ -224,7 +233,7 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
         .collect();
     let region_counts: Vec<String> = report.region_counts.iter().map(usize::to_string).collect();
     format!(
-        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}},"alignment":{},"diagnostics":{}}}"#,
+        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}},"alignment":{},"diagnostics":{},"telemetry":{}}}"#,
         report.modules,
         report.functions,
         report.candidates,
@@ -274,7 +283,8 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
             report.paranoid_checks,
             &report.paranoid_delta,
             &report.paranoid_stats,
-        )
+        ),
+        telemetry_json()
     )
 }
 
@@ -304,6 +314,7 @@ mod tests {
         assert!(json.contains(r#""modules":2"#));
         assert!(json.contains(r#""committed":[]"#));
         assert!(json.contains(r#""diagnostics":{"paranoid":false,"checks":0,"delta_count":0"#));
+        assert!(json.contains(r#""telemetry":{"counters":{"#));
     }
 
     #[test]

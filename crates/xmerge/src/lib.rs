@@ -43,11 +43,13 @@
 //! ```
 
 pub mod discover;
+pub mod explain;
 pub mod index;
 pub mod json;
 pub mod pipeline;
 
 pub use discover::{discover, CandidatePair, DiscoveryConfig};
+pub use explain::{explain_pair, ExplainStep, Explanation};
 pub use index::{CorpusIndex, FunctionSummary, IndexReuse, ModuleIndex};
 pub use json::{corpus_report_json, json_escape, merge_report_json};
 pub use pipeline::{

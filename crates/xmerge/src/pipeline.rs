@@ -70,7 +70,7 @@ use ssa_passes::module_size_bytes;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How the cross-module pipeline decides which module hosts a merged body.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -494,23 +494,23 @@ impl fmt::Display for CorpusMergeReport {
 
 /// One speculatively scored cross-module pair (bodies dropped, like the
 /// intra-module speculative score cache).
-struct ScoredCross {
-    host: usize,
-    donor: usize,
-    f1: String,
-    f2: String,
-    profit: i64,
-    sizes: (usize, usize, usize),
-    odr_dedup: bool,
+pub(crate) struct ScoredCross {
+    pub(crate) host: usize,
+    pub(crate) donor: usize,
+    pub(crate) f1: String,
+    pub(crate) f2: String,
+    pub(crate) profit: i64,
+    pub(crate) sizes: (usize, usize, usize),
+    pub(crate) odr_dedup: bool,
     /// Alignment instrumentation of the trial merge (zeroed for an ODR
     /// dedup, which never aligns): live DP peak, hypothetical full-matrix
     /// bytes, cells, trimmed entries.
-    align: (u64, u64, u64, usize),
+    pub(crate) align: (u64, u64, u64, usize),
 }
 
 /// Identity of one cross-module candidate pair: host module index, donor
 /// module index, and the two function names.
-type CrossKey = (usize, usize, String, String);
+pub(crate) type CrossKey = (usize, usize, String, String);
 
 /// Per-function static intra-module coupling, split by side: a *merged*
 /// donor forces both its same-module callers (they now hop out through the
@@ -786,6 +786,16 @@ impl<'a> CrossSource<'a> {
         let c2 = component(s.donor, &s.f2)?;
         (!self.tainted.contains(&c1) && !self.tainted.contains(&c2)).then_some(verdict)
     }
+
+    /// Names a candidate key for telemetry decision provenance.
+    fn pair_of(&self, key: &CrossKey) -> telemetry::Pair {
+        telemetry::Pair::cross(
+            self.names[key.0].clone(),
+            key.2.clone(),
+            self.names[key.1].clone(),
+            key.3.clone(),
+        )
+    }
 }
 
 impl CandidateSource for CrossSource<'_> {
@@ -865,6 +875,9 @@ impl CandidateSource for CrossSource<'_> {
             .collect();
         let modules = &*self.modules;
         let def_sites = &self.def_sites;
+        let _span = telemetry::span_with("xmerge.hazard_scan", || {
+            format!("{} pairs", profitable.len())
+        });
         self.hazard_cache = profitable
             .par_iter()
             .map(|(key, s)| ((*key).clone(), has_odr_hazard(modules, def_sites, s)))
@@ -878,6 +891,20 @@ impl CandidateSource for CrossSource<'_> {
         while let Some((key, profit, odr_dedup)) = self.schedule.pop_front() {
             if profit <= 0 {
                 // The schedule is profit-ordered: nothing profitable remains.
+                if telemetry::decisions_enabled() {
+                    let rest = std::iter::once((&key, profit))
+                        .chain(self.schedule.iter().map(|(key, profit, _)| (key, *profit)));
+                    for (key, profit) in rest {
+                        telemetry::record_decision(
+                            telemetry::DecisionEvent::Rejected(
+                                telemetry::RejectReason::Unprofitable,
+                            ),
+                            self.pair_of(key),
+                            Some(profit),
+                            String::new(),
+                        );
+                    }
+                }
                 return None;
             }
             // An ODR dedup leaves the host's copy untouched, so a consumed
@@ -886,6 +913,16 @@ impl CandidateSource for CrossSource<'_> {
             // further dedups against it — only the donor side is spent.
             let host_blocked = !odr_dedup && self.consumed.contains(&(key.0, key.2.clone()));
             if host_blocked || self.consumed.contains(&(key.1, key.3.clone())) {
+                telemetry::record_decision_with(
+                    telemetry::DecisionEvent::Rejected(telemetry::RejectReason::Superseded),
+                    || {
+                        (
+                            self.pair_of(&key),
+                            Some(profit),
+                            "an endpoint was consumed by an earlier commit".to_string(),
+                        )
+                    },
+                );
                 continue;
             }
             return Some(vec![key]);
@@ -896,6 +933,10 @@ impl CandidateSource for CrossSource<'_> {
     fn observe(&mut self, _key: &CrossKey, _score: &ScoredCross) {
         // Attempt accounting happens in `plan` (every scored pair counts,
         // including the ones the consumed-set later filters out).
+    }
+
+    fn describe(&self, key: &CrossKey) -> Option<telemetry::Pair> {
+        Some(self.pair_of(key))
     }
 
     fn hazard(&mut self, key: &CrossKey, score: &ScoredCross) -> bool {
@@ -931,6 +972,12 @@ impl CandidateSource for CrossSource<'_> {
             // pair-local link is as discriminating as a whole-program link —
             // and unrelated duplicate-symbol conflicts elsewhere in the
             // corpus cannot blind the oracle.
+            let _span = telemetry::span_with("xmerge.oracle", || {
+                format!(
+                    "{}:{} vs {}:{}",
+                    self.names[s.host], s.f1, self.names[s.donor], s.f2
+                )
+            });
             let mut trial_host = self.modules[s.host].clone();
             let mut trial_donor = self.modules[s.donor].clone();
             let outcome = if s.odr_dedup {
@@ -1151,19 +1198,20 @@ fn run_pipeline(
     let mut input_index: Option<CorpusIndex> = None;
     let mut input_calls: Option<CorpusCallIndex> = None;
     for _round in 0..max_rounds {
+        let _round_span = telemetry::span_with("xmerge.round", || format!("round {_round}"));
         // Re-index: unchanged modules reuse their summaries via the
         // content-hash cache (full build on the first round without a prior
         // index).
-        let t = Instant::now();
+        let index_span = telemetry::timed_span("xmerge.index");
         let (round_index, reuse) =
             CorpusIndex::build_incremental(modules, num_hashes, index.as_ref());
-        report.index_time += t.elapsed();
+        report.index_time += index_span.stop();
         report.index_reuse.reused += reuse.reused;
         report.index_reuse.refreshed += reuse.refreshed;
 
-        let t = Instant::now();
+        let discover_span = telemetry::timed_span("xmerge.discover");
         let candidates = discover(&round_index, &config.discovery);
-        report.discover_time += t.elapsed();
+        report.discover_time += discover_span.stop();
         report.candidates += candidates.len();
 
         // Entry index -> owning module index (entries are grouped by module
@@ -1179,11 +1227,29 @@ fn run_pipeline(
                 (owner[*a], owner[*b], ea.name.clone(), eb.name.clone())
             })
             .collect();
+        if telemetry::decisions_enabled() {
+            for (pair, key) in candidates.iter().zip(&resolved) {
+                telemetry::record_decision(
+                    telemetry::DecisionEvent::Discovered,
+                    telemetry::Pair::cross(
+                        names[key.0].clone(),
+                        key.2.clone(),
+                        names[key.1].clone(),
+                        key.3.clone(),
+                    ),
+                    None,
+                    format!(
+                        "lsh distance={} similarity={:.3}",
+                        pair.distance, pair.similarity
+                    ),
+                );
+            }
+        }
 
         // Re-build the whole-program call graph (unchanged modules reuse
         // their call-site summaries) and derive the per-function coupling the
         // host policy places by, plus the round's independent regions.
-        let t = Instant::now();
+        let callgraph_span = telemetry::timed_span("xmerge.callgraph");
         let (round_calls, call_reuse) =
             CorpusCallIndex::build_incremental(modules, call_index.as_ref());
         let graph = CallGraph::resolve(&round_calls);
@@ -1223,7 +1289,7 @@ fn run_pipeline(
         links.extend(graph.shared_definition_links());
         links.extend(resolved.iter().map(|(h, d, _, _)| (*h.min(d), *h.max(d))));
         let regions = module_regions(modules.len(), links);
-        report.callgraph_time += t.elapsed();
+        report.callgraph_time += callgraph_span.stop();
         report.call_index_reuse.absorb(call_reuse);
         report.region_counts.push(regions.len());
 
@@ -1299,6 +1365,7 @@ fn run_pipeline(
                 if !intra_dirty[mi] {
                     continue;
                 }
+                let _span = telemetry::span_with("xmerge.intra", || module.name.clone());
                 let intra_report = merge_module(module, &merger, &intra_config);
                 if let Some(p) = &paranoid_monitor {
                     if intra_report.num_merges() > 0 {
@@ -1525,6 +1592,9 @@ fn run_round_in_regions(
                 names,
                 resolved,
             } = task;
+            let _span = telemetry::span_with("xmerge.region", || {
+                format!("{} modules, {} candidates", modules.len(), resolved.len())
+            });
             let outcome = run_cross_round(
                 &mut modules,
                 config,
@@ -1577,7 +1647,7 @@ fn run_round_in_regions(
 
 /// Scores one cross-module pair without mutating anything; bodies are
 /// dropped, mirroring the intra-module speculative score cache.
-fn score_cross(
+pub(crate) fn score_cross(
     host: usize,
     donor: usize,
     f1: &Function,
@@ -1645,7 +1715,7 @@ fn score_cross(
 ///   callee defined *internally* in the donor but not identically in the
 ///   host is a hazard too — the call would escape the donor's module-local
 ///   symbol, which [`ssa_ir::link_modules`] localizes away.
-fn has_odr_hazard(
+pub(crate) fn has_odr_hazard(
     modules: &[Module],
     def_sites: &HashMap<String, Vec<(usize, Linkage)>>,
     s: &ScoredCross,
@@ -1704,7 +1774,7 @@ fn has_odr_hazard(
 /// callee is a donor-internal symbol the host has no identical copy of (the
 /// linked program localizes the donor's definition, so the moved call could
 /// only bind to an unrelated — or missing — external definition).
-fn has_callee_hazard(modules: &[Module], donor_fn: &Function, s: &ScoredCross) -> bool {
+pub(crate) fn has_callee_hazard(modules: &[Module], donor_fn: &Function, s: &ScoredCross) -> bool {
     for callee in callees_of(donor_fn) {
         match (
             modules[s.donor].function(&callee),
@@ -1740,7 +1810,7 @@ fn apply_dedup(host: &Module, donor: &mut Module, name: &str) -> Option<i64> {
 /// Gives every module a unique, non-empty name: discovery treats equal names
 /// as "same module" and would silently find zero cross-module candidates in a
 /// corpus of same-named modules.
-fn uniquify_module_names(modules: &mut [Module]) {
+pub(crate) fn uniquify_module_names(modules: &mut [Module]) {
     let mut seen: HashSet<String> = HashSet::new();
     for module in modules.iter_mut() {
         let base = if module.name.is_empty() {
