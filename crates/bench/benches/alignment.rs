@@ -7,7 +7,11 @@
 //!   the historical implementation and memory baseline;
 //! * `hirschberg` — the production traceback ([`fm_align::align`]): identical
 //!   output in linear space;
-//! * `score-only` — the rolling two-row scorer ([`fm_align::align_score`]).
+//! * `score-only` — the rolling two-row scorer ([`fm_align::align_score`]);
+//! * `banded` / `banded-score` — the diagonal-corridor tiers
+//!   ([`fm_align::align_banded`] / [`fm_align::align_score_banded`]) at the
+//!   default slack, which certify the corridor and fall back to the exact
+//!   tier on saturation, so their output is always byte-identical.
 //!
 //! The demoted (FMSA-shaped) tiers double the sequence lengths, which
 //! quadruples the full-matrix footprint but only doubles the linear tiers' —
@@ -16,7 +20,9 @@
 //! print.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fm_align::{align, align_full_matrix, align_score, linearize};
+use fm_align::{
+    align, align_banded, align_full_matrix, align_score, align_score_banded, linearize, Band,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ssa_ir::Function;
@@ -74,6 +80,17 @@ fn alignment_benches(c: &mut Criterion) {
                 BenchmarkId::new(format!("score-only/{label}"), size),
                 &size,
                 |b, _| b.iter(|| align_score(&f1, &s1, &f2, &s2).matches),
+            );
+            let band = Some(Band::new(8));
+            group.bench_with_input(
+                BenchmarkId::new(format!("banded/{label}"), size),
+                &size,
+                |b, _| b.iter(|| align_banded(&f1, &s1, &f2, &s2, band).stats.matches),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("banded-score/{label}"), size),
+                &size,
+                |b, _| b.iter(|| align_score_banded(&f1, &s1, &f2, &s2, band).matches),
             );
         }
     }

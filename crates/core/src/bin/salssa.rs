@@ -98,6 +98,16 @@ options:
                          with --deny warnings (errors always fail); repeatable
       --only <code>      lint: report only the given code; repeatable
       --no-phi-coalescing  disable phi-node coalescing (SalSSA-NoPC ablation)
+      --band <N>         alignment band slack: score candidate pairs in a
+                         certified diagonal corridor of half-width
+                         |m-n| + N, falling back to the exact tier when the
+                         corridor saturates (default 8; results are always
+                         byte-identical to unbanded alignment)
+      --no-band          disable banded alignment (always run the exact tier)
+      --no-prefilter     disable the admissible profit pre-filter that
+                         rejects provably unprofitable candidate pairs
+                         before codegen-based scoring (committed merges are
+                         identical either way; this only costs time)
       --target <x86|thumb> code-size model for profitability (default x86)
       --trace-out <file>   write a Chrome Trace Event Format JSON of the run's
                          internal spans (open it in Perfetto / chrome://tracing)
@@ -206,6 +216,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--deny" => deny.push(value_for(arg)?),
             "--only" => only.push(value_for(arg)?),
             "--no-phi-coalescing" => options.phi_coalescing = false,
+            "--band" => {
+                options.band = Some(
+                    value_for(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad {arg}: {e}"))?,
+                );
+            }
+            "--no-band" => options.band = None,
+            "--no-prefilter" => config.prefilter = false,
             "--target" => {
                 options.target = match value_for(arg)?.as_str() {
                     "x86" => Target::X86Like,
@@ -493,7 +512,8 @@ fn xmerge_config(cli: &Cli) -> XMergeConfig {
         .with_check_semantics(cli.config.check_semantics)
         .with_host_policy(cli.host_policy)
         .with_region_parallel(cli.regions)
-        .with_paranoid(cli.config.paranoid);
+        .with_paranoid(cli.config.paranoid)
+        .with_prefilter(cli.config.prefilter);
     config.options = cli.options;
     config.batch_size = cli.config.batch_size;
     config.discovery.min_function_size = cli.config.min_function_size;

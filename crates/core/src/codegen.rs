@@ -434,7 +434,11 @@ fn assign_operands(
     maps: &mut CodegenMaps,
     options: &MergeOptions,
 ) {
-    let insts: Vec<InstId> = maps.provenance.keys().copied().collect();
+    // Sort into arena (emission) order: HashMap iteration order varies per
+    // instance, and the mutations below (select/lsel insertion) must happen
+    // in a deterministic order for merge output to be reproducible.
+    let mut insts: Vec<InstId> = maps.provenance.keys().copied().collect();
+    insts.sort_unstable();
     for inst in insts {
         if maps.phi_origin.contains_key(&inst) {
             continue; // phi incomings are assigned separately
@@ -567,7 +571,11 @@ fn assign_labels(
     maps: &mut CodegenMaps,
     options: &MergeOptions,
 ) {
-    let insts: Vec<InstId> = maps.provenance.keys().copied().collect();
+    // Sort into arena (emission) order: HashMap iteration order varies per
+    // instance, and the mutations below (select/lsel insertion) must happen
+    // in a deterministic order for merge output to be reproducible.
+    let mut insts: Vec<InstId> = maps.provenance.keys().copied().collect();
+    insts.sort_unstable();
     for inst in insts {
         if !merged.contains_inst(inst) || !merged.inst(inst).kind.is_terminator() {
             continue;
@@ -748,7 +756,9 @@ fn assign_phi_incomings(
     maps: &mut CodegenMaps,
 ) {
     let preds = merged.predecessors();
-    let phis: Vec<InstId> = maps.phi_origin.keys().copied().collect();
+    // Emission order, not HashMap order — see assign_operands.
+    let mut phis: Vec<InstId> = maps.phi_origin.keys().copied().collect();
+    phis.sort_unstable();
     for phi in phis {
         let (side, orig_phi) = maps.phi_origin[&phi];
         let (source, origin_index): (&Function, usize) = match side {

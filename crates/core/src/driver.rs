@@ -23,7 +23,7 @@
 use crate::merge::{self, PairMerge};
 use crate::options::MergeOptions;
 use crate::plan::{run_plan, CandidateSource, CommitOutcome, PlanStats, ScoreMode};
-use fm_align::Ranking;
+use fm_align::{Band, Ranking};
 use ssa_ir::{Function, InstKind, Module, Type, Value};
 use ssa_passes::codesize::{function_size_bytes, Target};
 use std::collections::HashSet;
@@ -120,6 +120,12 @@ pub struct DriverConfig {
     /// [`ModuleMergeReport::paranoid_delta`]. Purely observational — it
     /// never changes which merges are committed.
     pub paranoid: bool,
+    /// Admissible candidate pre-filter ([`fm_align::prefilter_rejects`]):
+    /// skip codegen-based scoring for pairs whose class-histogram profit
+    /// bound cannot clear the merge overhead. The bound is admissible, so
+    /// the committed [`MergeRecord`]s are identical with the filter on or
+    /// off; only the scoring cost changes.
+    pub prefilter: bool,
 }
 
 /// Random input vectors sampled per function by the semantic oracle (on top
@@ -138,6 +144,7 @@ impl Default for DriverConfig {
             batch_size: 128,
             check_semantics: false,
             paranoid: false,
+            prefilter: true,
         }
     }
 }
@@ -183,6 +190,11 @@ impl DriverConfig {
     /// Enables or disables paranoid post-commit re-analysis.
     pub fn with_paranoid(self, paranoid: bool) -> DriverConfig {
         DriverConfig { paranoid, ..self }
+    }
+
+    /// Enables or disables the admissible candidate pre-filter.
+    pub fn with_prefilter(self, prefilter: bool) -> DriverConfig {
+        DriverConfig { prefilter, ..self }
     }
 }
 
@@ -235,14 +247,22 @@ pub struct ModuleMergeReport {
     /// summed over all attempted alignments.
     pub align_trimmed_entries: u64,
     /// Score-only alignment runs ([`fm_align::align_score`]) observed during
-    /// the run (process-wide counter delta). 0 on the merge pipelines
-    /// themselves — exact profit needs the merged body, so production
-    /// scoring always runs the traceback tier; this counts stats-only
-    /// consumers (benchmarks, profiling tools) sharing the process.
+    /// the run (process-wide counter delta). Exact profit needs the merged
+    /// body, so production scoring always runs the traceback tier; the
+    /// score-only tier is exercised by the pre-filter's gray zone (one cheap
+    /// DP sharpening the histogram bound before codegen-based scoring) and
+    /// by stats-only consumers (benchmarks, profiling tools) sharing the
+    /// process.
     pub align_score_only_runs: u64,
     /// Full (traceback) alignment runs observed during the run (process-wide
     /// counter delta).
     pub align_full_runs: u64,
+    /// Banded DP attempts observed during the run (process-wide counter
+    /// delta across both alignment tiers).
+    pub align_band_runs: u64,
+    /// Banded attempts that saturated their corridor and fell back to the
+    /// exact tier (counter delta; a subset of [`Self::align_band_runs`]).
+    pub align_band_saturations: u64,
     /// Profitable merges rejected by the semantic oracle (always 0 unless
     /// [`DriverConfig::check_semantics`] is on; nonzero means the merger
     /// produced observably wrong code and the driver refused to commit it).
@@ -431,6 +451,23 @@ impl CandidateSource for IntraSource<'_> {
 
     fn profit(score: &ScoredCandidate) -> i64 {
         score.profit
+    }
+
+    /// The admissible pre-filter: a pure read (class tables are cached on the
+    /// functions' analysis slots), so rejecting here can never change a
+    /// committed record — it only skips scoring work the cost model would
+    /// discard anyway.
+    fn prefilter_enabled(&self) -> bool {
+        self.config.prefilter
+    }
+
+    fn prefilter(&self, key: &(String, String)) -> bool {
+        let (Some(f1), Some(f2)) = (self.module.function(&key.0), self.module.function(&key.1))
+        else {
+            return false;
+        };
+        let band = Some(Band::new(crate::options::DEFAULT_BAND_SLACK));
+        fm_align::prefilter_rejects(f1, f2, self.merger.target(), band)
     }
 
     fn next_group(&mut self) -> Option<Vec<(String, String)>> {
@@ -628,6 +665,8 @@ pub fn merge_module(
     let after = fm_align::alignment_counters();
     report.align_score_only_runs = after.score_only_runs - align_counters.score_only_runs;
     report.align_full_runs = after.full_runs - align_counters.full_runs;
+    report.align_band_runs = after.band_runs - align_counters.band_runs;
+    report.align_band_saturations = after.band_saturations - align_counters.band_saturations;
     report
 }
 
@@ -787,6 +826,56 @@ L4:
             template("beta", 1, 7)
         );
         parse_module(&text).unwrap()
+    }
+
+    /// A "gray zone" function for the pre-filter: four adds then four muls
+    /// (or the reverse), all chained so nothing is dead. Two opposite-order
+    /// copies share their whole class histogram (the cheap bound barely
+    /// clears the margin) but align on only one of the two runs, so the
+    /// sharpening score DP proves the pair hopeless.
+    fn gray_fun(name: &str, adds_first: bool) -> Function {
+        let (first, second) = if adds_first {
+            ("add", "mul")
+        } else {
+            ("mul", "add")
+        };
+        let mut body = String::new();
+        let mut prev = "%x".to_string();
+        for i in 0..8 {
+            let op = if i < 4 { first } else { second };
+            body.push_str(&format!("  %v{i} = {op} i32 {prev}, {}\n", i + 2));
+            prev = format!("%v{i}");
+        }
+        ssa_ir::parse_function(&format!(
+            "define i32 @{name}(i32 %x) {{\nentry:\n{body}  ret i32 {prev}\n}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn prefilter_rejects_gray_pairs_without_changing_commits() {
+        let mut with = clone_heavy_module();
+        with.add_function(gray_fun("gray1", true));
+        with.add_function(gray_fun("gray2", false));
+        let mut without = with.clone();
+        let merger = SalSsaMerger::default();
+        let config = DriverConfig::with_threshold(2);
+        let on = merge_module(&mut with, &merger, &config);
+        let off = merge_module(&mut without, &merger, &config.with_prefilter(false));
+        // The filter is admissible: the committed records are identical, the
+        // filter only skips scoring work (attempts may therefore differ).
+        assert_eq!(on.committed, off.committed);
+        assert!(on.num_merges() >= 1);
+        assert!(on.planner.prefilter_checked > 0);
+        assert!(on.planner.prefilter_rejected > 0, "{:?}", on.planner);
+        assert_eq!(off.planner.prefilter_rejected, 0);
+        assert!(on.attempts < off.attempts);
+        // The gray pair's sharpening DP runs the score-only tier during
+        // planning. (Band counters stay 0 here: these functions are shorter
+        // than the slack-8 corridor, so the aligner takes the exact tier
+        // directly — banding on sequences this small would be pure overhead.)
+        assert!(on.align_score_only_runs > 0);
+        assert!(verify_module(&with).is_empty());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::codegen::{self, CodegenMaps};
 use crate::options::MergeOptions;
 use crate::ssa_repair::{self, RepairStats};
-use fm_align::{align, linearize, AlignmentStats};
+use fm_align::{align_banded, linearize, AlignmentStats, Band};
 use ssa_ir::verifier;
 use ssa_ir::Function;
 use std::time::Duration;
@@ -52,6 +52,13 @@ impl PairMerge {
     }
 }
 
+/// The banding corridor for a pair under `options`, widened by the
+/// fingerprint/MinHash `distance` hint when discovery produced one (a larger
+/// distance means more shape drift, so the corridor grows with it).
+fn band_for(options: &MergeOptions, distance: Option<u64>) -> Option<Band> {
+    options.band.map(|slack| Band::from_hint(slack, distance))
+}
+
 /// Merges `f1` and `f2` with SalSSA. Returns `None` when the pair cannot be
 /// merged (incompatible signatures) or when the generated function fails
 /// verification (which would make the merge unsafe to commit).
@@ -61,10 +68,23 @@ pub fn merge_pair(
     options: &MergeOptions,
     merged_name: &str,
 ) -> Option<PairMerge> {
+    merge_pair_with_distance(f1, f2, options, merged_name, None)
+}
+
+/// [`merge_pair`] with the discovery-time fingerprint distance of the pair,
+/// used to size the alignment band. The distance affects only the cost of
+/// alignment, never its result.
+pub fn merge_pair_with_distance(
+    f1: &Function,
+    f2: &Function,
+    options: &MergeOptions,
+    merged_name: &str,
+    distance: Option<u64>,
+) -> Option<PairMerge> {
     let align_span = telemetry::timed_span("merge.align");
     let seq1 = linearize(f1);
     let seq2 = linearize(f2);
-    let alignment = align(f1, &seq1, f2, &seq2);
+    let alignment = align_banded(f1, &seq1, f2, &seq2, band_for(options, distance));
     let align_time = align_span.stop();
 
     let gen_span = telemetry::timed_span("merge.codegen");
@@ -112,7 +132,7 @@ pub fn merged_param_maps(
 ) -> Option<(Vec<u32>, Vec<u32>, usize)> {
     let seq1 = linearize(f1);
     let seq2 = linearize(f2);
-    let alignment = align(f1, &seq1, f2, &seq2);
+    let alignment = align_banded(f1, &seq1, f2, &seq2, band_for(options, None));
     let (merged, maps): (Function, CodegenMaps) =
         codegen::generate(f1, f2, &alignment, options, "tmp")?;
     Some((maps.param_f1, maps.param_f2, merged.params.len()))
@@ -230,6 +250,23 @@ L4:
         let with = merge_pair(&f1, &f2, &MergeOptions::default(), "m1").unwrap();
         let without = merge_pair(&f1, &f2, &MergeOptions::without_phi_coalescing(), "m2").unwrap();
         assert!(with.merged_size() <= without.merged_size());
+    }
+
+    #[test]
+    fn banded_and_unbanded_merges_are_identical() {
+        let f1 = parse_function(F1).unwrap();
+        let f2 = parse_function(F2).unwrap();
+        let unbanded = MergeOptions {
+            band: None,
+            ..MergeOptions::default()
+        };
+        let a = merge_pair(&f1, &f2, &MergeOptions::default(), "m").unwrap();
+        let b = merge_pair(&f1, &f2, &unbanded, "m").unwrap();
+        let render = ssa_ir::printer::print_function;
+        assert_eq!(render(&a.merged), render(&b.merged));
+        // A distance hint widens the corridor but cannot change the result.
+        let c = merge_pair_with_distance(&f1, &f2, &MergeOptions::default(), "m", Some(5)).unwrap();
+        assert_eq!(render(&a.merged), render(&c.merged));
     }
 
     #[test]

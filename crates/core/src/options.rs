@@ -2,6 +2,12 @@
 
 use ssa_passes::Target;
 
+/// Default banding slack: the corridor half-width the aligner grants a pair
+/// before any fingerprint-distance hint widens it. Chosen so typical ranked
+/// candidates (small shape drift) certify on the first pass while dissimilar
+/// pairs saturate quickly and fall back to the exact tier.
+pub const DEFAULT_BAND_SLACK: u32 = 8;
+
 /// Options controlling the merge code generator and its optimizations.
 ///
 /// The defaults correspond to the full SalSSA configuration evaluated in the
@@ -23,6 +29,11 @@ pub struct MergeOptions {
     /// (thunks, symbol table overhead). Tuning this trades false positives for
     /// false negatives, the effect discussed around Figure 19.
     pub merge_overhead_bytes: usize,
+    /// Banded-alignment slack. `Some(w)` lets the aligner try a diagonal
+    /// corridor of half-width `w` (widened by any fingerprint-distance hint)
+    /// before the exact tier; `None` disables banding. Results are
+    /// byte-identical either way — saturated bands fall back to the exact DP.
+    pub band: Option<u32>,
 }
 
 impl Default for MergeOptions {
@@ -33,6 +44,7 @@ impl Default for MergeOptions {
             xor_branch: true,
             target: Target::X86Like,
             merge_overhead_bytes: 0,
+            band: Some(DEFAULT_BAND_SLACK),
         }
     }
 }
@@ -70,5 +82,15 @@ mod tests {
     fn ablation_constructors() {
         assert!(!MergeOptions::without_phi_coalescing().phi_coalescing);
         assert_eq!(MergeOptions::for_thumb().target, Target::ThumbLike);
+    }
+
+    #[test]
+    fn banding_defaults_on_and_can_be_disabled() {
+        assert_eq!(MergeOptions::default().band, Some(DEFAULT_BAND_SLACK));
+        let off = MergeOptions {
+            band: None,
+            ..MergeOptions::default()
+        };
+        assert_eq!(off.band, None);
     }
 }

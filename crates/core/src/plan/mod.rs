@@ -70,6 +70,11 @@ pub struct PlanStats {
     /// by prior commits in the round (maintained by the cross-module source;
     /// 0 elsewhere).
     pub hazard_reuse: usize,
+    /// Commit-loop candidates run through [`CandidateSource::prefilter`].
+    pub prefilter_checked: usize,
+    /// Candidates the admissible pre-filter proved unprofitable, skipped
+    /// before any codegen-based scoring.
+    pub prefilter_rejected: usize,
     /// Wall-clock time of the speculative scoring phase.
     pub score_time: Duration,
     /// Wall-clock time of the commit loop (including inline scoring and
@@ -88,6 +93,8 @@ impl PlanStats {
         self.oracle_links += other.oracle_links;
         self.oracle_carried += other.oracle_carried;
         self.hazard_reuse += other.hazard_reuse;
+        self.prefilter_checked += other.prefilter_checked;
+        self.prefilter_rejected += other.prefilter_rejected;
         self.score_time += other.score_time;
         self.commit_time += other.commit_time;
     }
@@ -133,6 +140,26 @@ pub trait CandidateSource: Sync {
     /// the schedule are placed again. The default is the identity.
     fn place(&self, key: Self::Key) -> Self::Key {
         key
+    }
+
+    /// Whether [`CandidateSource::prefilter`] is live for this source. When
+    /// `false` the engine skips the hook entirely and the `prefilter.*`
+    /// counters stay at zero — so a disabled filter reports no phantom
+    /// checks. The default matches the default `prefilter`, which filters
+    /// nothing.
+    fn prefilter_enabled(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` when an admissible upper bound proves this pair cannot
+    /// be profitably merged, so the engine may skip scoring it entirely —
+    /// speculatively and in the commit loop. Only consulted when
+    /// [`CandidateSource::prefilter_enabled`] is `true`. Must be a pure read
+    /// and must never reject a pair the driver could commit (the pre-filter
+    /// changes how much work scoring does, never which merges happen). The
+    /// default filters nothing.
+    fn prefilter(&self, _key: &Self::Key) -> bool {
+        false
     }
 
     /// Scores one pair without mutating anything. `keep_artifacts` is `true`
@@ -246,6 +273,19 @@ fn plan_metrics() -> &'static (telemetry::metrics::Counter, telemetry::metrics::
     })
 }
 
+/// Pre-filter metrics: candidates checked and candidates rejected by the
+/// admissible profit upper bound.
+fn prefilter_metrics() -> &'static (telemetry::metrics::Counter, telemetry::metrics::Counter) {
+    static METRICS: OnceLock<(telemetry::metrics::Counter, telemetry::metrics::Counter)> =
+        OnceLock::new();
+    METRICS.get_or_init(|| {
+        (
+            telemetry::registry().counter("plan.prefilter.checked"),
+            telemetry::registry().counter("plan.prefilter.rejected"),
+        )
+    })
+}
+
 /// Runs the engine to completion: speculative scoring (per `mode`), then the
 /// sequential profit-ordered commit loop. Returns the committed records in
 /// commit order plus the engine statistics.
@@ -265,10 +305,37 @@ pub fn run_plan<S: CandidateSource>(
     let mut cache = match mode {
         ScoreMode::Inline => ScoreCache::new(),
         ScoreMode::Speculative { batch_size } => {
+            // Pre-filtered keys are dropped (and counted) before the parallel
+            // phase. Sources whose commit schedule derives from the score
+            // cache never re-see these keys, so this is where their
+            // rejections are accounted; group-driven sources may check a key
+            // again in the commit loop — every evaluation counts.
+            let filtering = source.prefilter_enabled();
             let keys: Vec<S::Key> = source
                 .speculative_keys()
                 .into_iter()
                 .map(|key| source.place(key))
+                .filter(|key| {
+                    if !filtering {
+                        return true;
+                    }
+                    stats.prefilter_checked += 1;
+                    let (checked, rejected) = prefilter_metrics();
+                    checked.inc();
+                    if source.prefilter(key) {
+                        stats.prefilter_rejected += 1;
+                        rejected.inc();
+                        emit_decision(
+                            source,
+                            key,
+                            DecisionEvent::Rejected(RejectReason::Prefiltered),
+                            None,
+                            "admissible profit bound below the merge overhead",
+                        );
+                        return false;
+                    }
+                    true
+                })
                 .collect();
             stats.speculative_scores = keys.len();
             speculative_scores(source, keys, batch_size)
@@ -288,6 +355,23 @@ pub fn run_plan<S: CandidateSource>(
         let log_decisions = telemetry::decisions_enabled();
         for key in group {
             let key = source.place(key);
+            if source.prefilter_enabled() {
+                stats.prefilter_checked += 1;
+                let (checked, rejected) = prefilter_metrics();
+                checked.inc();
+                if source.prefilter(&key) {
+                    stats.prefilter_rejected += 1;
+                    rejected.inc();
+                    emit_decision(
+                        source,
+                        &key,
+                        DecisionEvent::Rejected(RejectReason::Prefiltered),
+                        None,
+                        "admissible profit bound below the merge overhead",
+                    );
+                    continue;
+                }
+            }
             let scored = cache.remove(&key).unwrap_or_else(|| {
                 stats.inline_scores += 1;
                 source.score(&key, true)
@@ -414,6 +498,8 @@ mod tests {
         hazards: usize,
         /// Placement policy under test: `from -> to` key rewrite.
         place_swap: Option<((usize, usize), (usize, usize))>,
+        /// Pairs the admissible pre-filter (under test) rejects.
+        prefilter_on: HashSet<(usize, usize)>,
     }
 
     impl ToySource {
@@ -427,6 +513,7 @@ mod tests {
                 hazard_on: None,
                 hazards: 0,
                 place_swap: None,
+                prefilter_on: HashSet::new(),
             }
         }
     }
@@ -447,6 +534,14 @@ mod tests {
                 Some((from, to)) if key == from => to,
                 _ => key,
             }
+        }
+
+        fn prefilter_enabled(&self) -> bool {
+            true
+        }
+
+        fn prefilter(&self, key: &(usize, usize)) -> bool {
+            self.prefilter_on.contains(key)
         }
 
         fn score(&self, key: &(usize, usize), _keep: bool) -> Option<i64> {
@@ -556,6 +651,38 @@ mod tests {
             par_stats.inline_scores, 0,
             "placed keys must hit the speculative cache"
         );
+    }
+
+    #[test]
+    fn prefiltered_pairs_are_never_scored_in_either_mode() {
+        let run = |mode| {
+            let mut source = ToySource::new(4, toy_profit);
+            // Reject the unprofitable tail pairs; the winners must survive.
+            source.prefilter_on = [(0, 3), (2, 3)].into_iter().collect();
+            let (records, stats) = run_plan(&mut source, mode);
+            (records, stats, source.observed)
+        };
+        let (seq, seq_stats, seq_observed) = run(ScoreMode::Inline);
+        let (par, par_stats, par_observed) = run(ScoreMode::Speculative { batch_size: 2 });
+        assert_eq!(seq, vec![(0, 2, 10), (1, 3, 7)]);
+        assert_eq!(seq, par);
+        // The filter keeps rejected pairs away from scoring entirely in both
+        // modes. Counts differ by mode by design: sequential evaluates only
+        // commit-group members — and only (0, 3) reaches a group, host 2
+        // being consumed before (2, 3)'s group forms — while the parallel
+        // mode additionally evaluates every speculative key up front (the
+        // accounting point for sources whose schedule derives from the score
+        // cache and never re-sees filtered keys).
+        assert_eq!(seq_stats.prefilter_rejected, 1);
+        assert!(par_stats.prefilter_rejected >= seq_stats.prefilter_rejected);
+        assert!(par_stats.prefilter_checked > seq_stats.prefilter_checked);
+        assert_eq!(seq_observed, par_observed);
+        assert_eq!(
+            par_stats.speculative_scores, 4,
+            "speculation must skip the two pre-filtered pairs"
+        );
+        assert_eq!(par_stats.inline_scores, 0);
+        assert_eq!(seq_stats.candidates, par_stats.candidates);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! * [`align_score`] — score only: a two-row rolling DP over the *shorter*
 //!   sequence. O(min(n, m)) live memory, no traceback. This is the tier for
 //!   callers that only need the number of mergeable matches (benchmarking,
-//!   profitability profiling, future banded pre-filters).
+//!   profitability profiling, and the planner's admissible pre-filter).
 //! * [`align`] — full traceback in linear space: a Hirschberg-style
 //!   divide-and-conquer over the rows of the DP. Unlike classic Hirschberg
 //!   (which returns *an* optimal alignment), the recursion here is seeded
@@ -23,16 +23,28 @@
 //!   full-matrix traceback (enforced by the differential proptests against
 //!   [`align_full_matrix`]). Peak live memory is O(m · log n) — the rolling
 //!   rows plus one seed row per live recursion level — instead of O(n · m).
-//!   Time is ~2·n·m cells when the alignment path tracks the diagonal (the
-//!   fingerprint-ranked clone pairs the planner actually scores) and
-//!   O(n · m · log n) in the adversarial worst case where the path hugs the
-//!   right edge (the exact-seed recursion cannot shrink the bottom strip's
-//!   column range the way classic Hirschberg does); in practice the cheap
-//!   class-compare inner loop and cache-resident rows make this tier
-//!   *faster* than the full matrix at every benchmarked size.
+//!   Time is O(n · m) cells in the worst case: once the first base strip
+//!   fixes the walk's value, every later strip clamps its column range to a
+//!   meet-in-the-middle split column (the leftmost seed column whose score
+//!   can still reach the walk's value), restoring the strict Hirschberg
+//!   work bound that the exact-seed recursion previously gave up on
+//!   right-edge-hugging adversarial paths.
 //! * [`align_full_matrix`] — the original quadratic implementation, kept as
 //!   the reference oracle for the differential tests and as the baseline of
 //!   the `alignment` criterion group. Production paths never call it.
+//!
+//! On top of the tiers sits an optional **diagonal band** ([`Band`],
+//! [`align_banded`], [`align_score_banded`]): the DP is restricted to a
+//! corridor around the main diagonal sized from the pair's fingerprint
+//! distance. Cells outside the corridor keep stale values — always *lower
+//! bounds* of the true scores, because DP rows only grow downwards — so the
+//! banded corner score `S` is itself a lower bound, and it is provably exact
+//! whenever `S ≥ min(n, m) − w` (at most `w` entries of the shorter side
+//! unmatched means some optimal path stays inside the corridor). When that
+//! saturation check fails the banded pass is discarded and the exact tier
+//! runs, so banded results are **byte-identical** to unbanded ones at any
+//! band width (proptest-enforced); the band only decides how much work the
+//! happy path does.
 //!
 //! Two shared optimizations feed all tiers:
 //!
@@ -43,7 +55,12 @@
 //!   check that allocated operand-type vectors per cell. Entries that are
 //!   mergeable with nothing (phi-nodes, landing pads — which [`linearize`]
 //!   never emits, but the API accepts arbitrary slices) receive unique
-//!   sentinel classes.
+//!   sentinel classes. The per-function half of that work is cached: each
+//!   function's interned [`ClassTable`] lives in the `ssa_ir::Function`
+//!   analysis slot (invalidated by every mutating method, like the
+//!   structural key), so classifying a pair merges two precomputed tables —
+//!   O(k) hash operations over the *distinct* classes — instead of
+//!   re-hashing all O(n + m) entries per candidate.
 //! * **common prefix/suffix trimming** — runs of end-to-end mergeable
 //!   entries are matched without running the DP at all. Suffix trimming is
 //!   canonical-path-exact (the greedy traceback provably starts with the
@@ -58,11 +75,12 @@
 //!
 //! [`linearize`]: crate::linearize::linearize
 
-use crate::linearize::{mergeable, SeqEntry};
+use crate::linearize::{linearize, mergeable, SeqEntry};
 use ssa_ir::{BinOp, CastKind, Function, ICmpPred, InstKind, Type};
+use ssa_passes::Target;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// One element of an alignment result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +119,11 @@ pub struct AlignmentStats {
     pub trimmed: usize,
     /// `true` when the run was score-only (no traceback).
     pub score_only: bool,
+    /// `true` when a diagonal band was attempted for this run.
+    pub banded: bool,
+    /// `true` when the band saturated and the run fell back to the exact
+    /// (unbanded) computation. The result is byte-identical either way.
+    pub band_saturated: bool,
 }
 
 impl AlignmentStats {
@@ -136,6 +159,12 @@ struct AlignMetrics {
     full_runs: telemetry::metrics::Counter,
     full_matrix_runs: telemetry::metrics::Counter,
     trimmed_entries: telemetry::metrics::Counter,
+    /// Banded DP attempts, and how many of them saturated (fell back).
+    band_runs: telemetry::metrics::Counter,
+    band_saturations: telemetry::metrics::Counter,
+    /// Cached per-function class-table lookups.
+    class_table_hits: telemetry::metrics::Counter,
+    class_table_misses: telemetry::metrics::Counter,
     /// Distribution of aligned sequence lengths (`n + m` per run).
     lengths: telemetry::metrics::Histogram,
 }
@@ -147,6 +176,10 @@ fn align_metrics() -> &'static AlignMetrics {
         full_runs: telemetry::registry().counter("fm_align.full_runs"),
         full_matrix_runs: telemetry::registry().counter("fm_align.full_matrix_runs"),
         trimmed_entries: telemetry::registry().counter("fm_align.trimmed_entries"),
+        band_runs: telemetry::registry().counter("fm_align.band.runs"),
+        band_saturations: telemetry::registry().counter("fm_align.band.saturations"),
+        class_table_hits: telemetry::registry().counter("fm_align.class_table.hits"),
+        class_table_misses: telemetry::registry().counter("fm_align.class_table.misses"),
         lengths: telemetry::registry().histogram("fm_align.alignment_length"),
     })
 }
@@ -163,6 +196,14 @@ pub struct AlignmentCounters {
     pub full_matrix_runs: u64,
     /// Match pairs resolved by trimming instead of DP, summed over all runs.
     pub trimmed_entries: u64,
+    /// Banded DP attempts across both tiers.
+    pub band_runs: u64,
+    /// Banded attempts that saturated and fell back to the exact tier.
+    pub band_saturations: u64,
+    /// Cached class-table lookups served from a function's analysis slot.
+    pub class_table_hits: u64,
+    /// Class-table builds (empty slot, mutated function, or foreign slice).
+    pub class_table_misses: u64,
 }
 
 /// Snapshots the process-wide alignment counters (telemetry-registry
@@ -174,6 +215,10 @@ pub fn alignment_counters() -> AlignmentCounters {
         full_runs: m.full_runs.get(),
         full_matrix_runs: m.full_matrix_runs.get(),
         trimmed_entries: m.trimmed_entries.get(),
+        band_runs: m.band_runs.get(),
+        band_saturations: m.band_saturations.get(),
+        class_table_hits: m.class_table_hits.get(),
+        class_table_misses: m.class_table_misses.get(),
     }
 }
 
@@ -186,7 +231,7 @@ pub fn alignment_counters() -> AlignmentCounters {
 /// [`crate::linearize::mergeable_insts`] — every arm of that match compares
 /// precisely the fields captured here.
 #[derive(Clone, PartialEq, Eq, Hash)]
-enum MergeClass {
+pub(crate) enum MergeClass {
     Label,
     Binary(Type, BinOp),
     ICmp(Type, ICmpPred),
@@ -252,6 +297,190 @@ fn entry_class(f: &Function, e: SeqEntry) -> Option<MergeClass> {
 }
 
 // ---------------------------------------------------------------------------
+// Cached per-function class tables.
+// ---------------------------------------------------------------------------
+
+/// A function's interned mergeability-class table: one local class id per
+/// linearized entry, plus per-class occurrence counts and encoded byte costs.
+///
+/// Built once per function body and cached in the `ssa_ir::Function` opaque
+/// analysis slot ([`Function::analysis_cache`]), which every mutating method
+/// clears — so a cached table is always consistent with the current body.
+/// Classifying a candidate pair then merges two tables (hashing only the
+/// distinct classes) instead of re-interning every entry, and the planner's
+/// admissible pre-filter reads the histogram without touching the body at
+/// all.
+pub struct ClassTable {
+    /// The linearized sequence the table was computed for. [`class_table`]
+    /// only serves a cached table when the caller's slice matches exactly.
+    pub(crate) seq: Vec<SeqEntry>,
+    /// Local class id per entry; `u32::MAX` marks never-mergeable entries
+    /// (phi-nodes, landing pads) that get fresh sentinels at pair time.
+    pub(crate) ids: Vec<u32>,
+    /// The distinct classes, indexed by local id.
+    pub(crate) classes: Vec<MergeClass>,
+    /// Occurrences of each class in the sequence.
+    pub(crate) counts: Vec<u32>,
+    /// Encoded instruction bytes of each class as `(X86Like, ThumbLike)`.
+    /// Constant within a class: every byte-relevant `InstKind` field (opcode,
+    /// switch-case count, …) is part of the class tuple. Labels cost zero.
+    pub(crate) bytes: Vec<(u32, u32)>,
+    /// Lazily-computed foldable bytes as `(X86Like, ThumbLike)`: how much the
+    /// post-merge cleanup pipeline shrinks this function when run on the
+    /// function *alone*. The pre-filter's profit bound charges this much
+    /// slack to the pair, because whatever cleanup strips from a function's
+    /// own code in the merged body it also strips from a solo clone (merging
+    /// never makes side-exclusive code *more* foldable — operand divergence
+    /// only adds selects). Computed at most once per cached table; the slot
+    /// invalidation that guards [`ClassTable::seq`] guards this too.
+    pub(crate) foldable: OnceLock<(u64, u64)>,
+}
+
+impl ClassTable {
+    /// Number of linearized entries the table covers.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the function linearizes to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Per-class byte cost on `target`.
+    pub(crate) fn class_bytes(&self, id: usize, target: Target) -> u64 {
+        let (x86, thumb) = self.bytes[id];
+        match target {
+            Target::X86Like => x86 as u64,
+            Target::ThumbLike => thumb as u64,
+        }
+    }
+
+    /// Bytes the post-merge cleanup pipeline strips from `f` when run on a
+    /// solo clone, on `target`. `f` must be the function this table was built
+    /// for. Cached in the table (and thus in the function's analysis slot),
+    /// so the clone-and-clean runs at most once per function body no matter
+    /// how many candidate pairs the function appears in.
+    pub(crate) fn foldable_bytes(&self, f: &Function, target: Target) -> u64 {
+        let (x86, thumb) = *self.foldable.get_or_init(|| compute_foldable_bytes(f));
+        match target {
+            Target::X86Like => x86,
+            Target::ThumbLike => thumb,
+        }
+    }
+}
+
+/// Runs the merge pipeline's cleanup (`cleanup_function`, which iterates
+/// simplify-cfg, constant folding, phi dedup and DCE) to a size fixpoint on
+/// a clone of `f` and reports how many encoded bytes it shaved, per target.
+fn compute_foldable_bytes(f: &Function) -> (u64, u64) {
+    let mut cleaned = f.clone();
+    for _ in 0..4 {
+        let before = ssa_passes::function_size_bytes(&cleaned, Target::X86Like);
+        ssa_passes::cleanup_function(&mut cleaned);
+        if ssa_passes::function_size_bytes(&cleaned, Target::X86Like) == before {
+            break;
+        }
+    }
+    let fold = |t: Target| {
+        ssa_passes::function_size_bytes(f, t)
+            .saturating_sub(ssa_passes::function_size_bytes(&cleaned, t)) as u64
+    };
+    (fold(Target::X86Like), fold(Target::ThumbLike))
+}
+
+fn build_class_table(f: &Function, seq: &[SeqEntry]) -> ClassTable {
+    let mut intern: HashMap<MergeClass, u32> = HashMap::new();
+    let mut ids = Vec::with_capacity(seq.len());
+    let mut classes = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut bytes: Vec<(u32, u32)> = Vec::new();
+    for &e in seq {
+        match entry_class(f, e) {
+            Some(class) => {
+                let id = if let Some(&id) = intern.get(&class) {
+                    id
+                } else {
+                    let id = classes.len() as u32;
+                    let (x86, thumb) = match e {
+                        SeqEntry::Label(_) => (0, 0),
+                        SeqEntry::Inst(inst) => {
+                            let kind = &f.inst(inst).kind;
+                            (
+                                Target::X86Like.inst_bytes(kind) as u32,
+                                Target::ThumbLike.inst_bytes(kind) as u32,
+                            )
+                        }
+                    };
+                    classes.push(class.clone());
+                    counts.push(0);
+                    bytes.push((x86, thumb));
+                    intern.insert(class, id);
+                    id
+                };
+                counts[id as usize] += 1;
+                ids.push(id);
+            }
+            None => ids.push(u32::MAX),
+        }
+    }
+    ClassTable {
+        seq: seq.to_vec(),
+        ids,
+        classes,
+        counts,
+        bytes,
+        foldable: OnceLock::new(),
+    }
+}
+
+/// The class table for `seq` (a linearization of `f`), served from the
+/// function's analysis slot when possible. A cached table is only reused
+/// when its recorded sequence matches `seq` exactly, so callers passing
+/// foreign slices (tests align arbitrary sub-slices) fall back to a fresh
+/// build — counted as a miss — without ever producing a wrong table.
+pub fn class_table(f: &Function, seq: &[SeqEntry]) -> Arc<ClassTable> {
+    let metrics = align_metrics();
+    if let Some(cached) = f.analysis_cache() {
+        if let Ok(table) = cached.downcast::<ClassTable>() {
+            if table.seq == seq {
+                metrics.class_table_hits.inc();
+                return table;
+            }
+        }
+    }
+    metrics.class_table_misses.inc();
+    let table = Arc::new(build_class_table(f, seq));
+    let _ = f.set_analysis_cache(table.clone());
+    table
+}
+
+/// Like [`class_table`] but linearizes `f` itself on a miss. On a hit the
+/// cached table is trusted as-is: the analysis slot is cleared by every
+/// mutation, so whatever was stored was computed from the current body.
+pub fn class_table_of(f: &Function) -> Arc<ClassTable> {
+    let metrics = align_metrics();
+    if let Some(cached) = f.analysis_cache() {
+        if let Ok(table) = cached.downcast::<ClassTable>() {
+            metrics.class_table_hits.inc();
+            return table;
+        }
+    }
+    metrics.class_table_misses.inc();
+    let seq = linearize(f);
+    let table = Arc::new(build_class_table(f, &seq));
+    let _ = f.set_analysis_cache(table.clone());
+    table
+}
+
+/// Snapshots the process-wide class-table cache counters as
+/// `(hits, misses)` (telemetry-registry backed: `fm_align.class_table.*`).
+pub fn class_table_counters() -> (u64, u64) {
+    let m = align_metrics();
+    (m.class_table_hits.get(), m.class_table_misses.get())
+}
+
+// ---------------------------------------------------------------------------
 // Thread-local scratch arena.
 // ---------------------------------------------------------------------------
 
@@ -263,9 +492,9 @@ pub struct AlignScratch {
     /// Interned class ids of the two sequences.
     c1: Vec<u32>,
     c2: Vec<u32>,
-    /// Class interner, cleared per pair (classes from different functions
-    /// must compare, so one table serves both sequences).
-    intern: HashMap<MergeClass, u32>,
+    /// Per-pair remap of the second table's local class ids onto the shared
+    /// pair-local id space.
+    remap2: Vec<u32>,
     /// Pool of DP row buffers for the rolling passes and the seed rows held
     /// by the divide-and-conquer traceback.
     rows: Vec<Vec<u32>>,
@@ -279,35 +508,55 @@ impl AlignScratch {
         AlignScratch::default()
     }
 
-    /// Interns the mergeability classes of both sequences into `c1`/`c2`.
-    /// Never-mergeable entries get unique sentinel ids counted down from
-    /// `u32::MAX` so they equal nothing — not even each other.
+    /// Fills `c1`/`c2` with pair-comparable class ids by merging the two
+    /// functions' cached [`ClassTable`]s: only the *distinct* classes are
+    /// hashed (to remap the second table onto the first), every entry is a
+    /// plain array copy. Never-mergeable entries get unique sentinel ids
+    /// counted down from `u32::MAX` so they equal nothing — not even each
+    /// other — exactly as the historical per-pair interner assigned them.
     fn classify(&mut self, f1: &Function, seq1: &[SeqEntry], f2: &Function, seq2: &[SeqEntry]) {
-        self.intern.clear();
+        let t1 = class_table(f1, seq1);
+        let t2 = class_table(f2, seq2);
+        self.merge_tables(&t1, &t2);
+    }
+
+    fn merge_tables(&mut self, t1: &ClassTable, t2: &ClassTable) {
         self.c1.clear();
         self.c2.clear();
         let mut sentinel = u32::MAX;
-        let mut intern_one =
-            |intern: &mut HashMap<MergeClass, u32>, f: &Function, e: SeqEntry| match entry_class(
-                f, e,
-            ) {
-                Some(class) => {
-                    let next = intern.len() as u32;
-                    *intern.entry(class).or_insert(next)
-                }
-                None => {
-                    let id = sentinel;
-                    sentinel -= 1;
-                    id
-                }
-            };
-        for &e in seq1 {
-            let id = intern_one(&mut self.intern, f1, e);
-            self.c1.push(id);
+        // The first table's local ids are already distinct; use them verbatim.
+        for &id in &t1.ids {
+            self.c1.push(if id == u32::MAX {
+                let s = sentinel;
+                sentinel -= 1;
+                s
+            } else {
+                id
+            });
         }
-        for &e in seq2 {
-            let id = intern_one(&mut self.intern, f2, e);
-            self.c2.push(id);
+        // Remap the second table's classes: equal classes collapse onto the
+        // first table's id, new ones extend the id space above it. The map
+        // borrows the classes, so nothing is cloned per pair.
+        let map: HashMap<&MergeClass, u32> = t1.classes.iter().zip(0u32..).collect();
+        self.remap2.clear();
+        let mut next = t1.classes.len() as u32;
+        for class in &t2.classes {
+            match map.get(class) {
+                Some(&id) => self.remap2.push(id),
+                None => {
+                    self.remap2.push(next);
+                    next += 1;
+                }
+            }
+        }
+        for &id in &t2.ids {
+            self.c2.push(if id == u32::MAX {
+                let s = sentinel;
+                sentinel -= 1;
+                s
+            } else {
+                self.remap2[id as usize]
+            });
         }
     }
 }
@@ -349,6 +598,131 @@ fn full_matrix_bytes(n: usize, m: usize) -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// Diagonal banding.
+// ---------------------------------------------------------------------------
+
+/// A diagonal-band request for the banded DP tiers.
+///
+/// The band restricts row `i` of the DP to columns
+/// `j ∈ [i + min(0, m−n) − slack, i + max(0, m−n) + slack]` — the `|n − m|`
+/// corridor every global path must cross, widened by `slack` on each side.
+/// Any width is *safe*: a saturated band (one that cannot prove its corner
+/// score exact) falls back to the unbanded tier, so results are byte-exact
+/// regardless; the width only tunes how often the cheap pass wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Band {
+    /// Extra half-width beyond the `|n − m|` corridor.
+    pub slack: u32,
+}
+
+impl Band {
+    /// A band with the given extra half-width.
+    pub fn new(slack: u32) -> Band {
+        Band { slack }
+    }
+
+    /// Sizes a band from a discovery-time distance hint (opcode-fingerprint
+    /// Manhattan distance or MinHash estimate): each unit of distance is one
+    /// potential insertion/deletion pushing the path off the diagonal, so
+    /// the corridor is widened by the full hint on top of the base slack.
+    pub fn from_hint(slack: u32, distance: Option<u64>) -> Band {
+        let widen = distance.unwrap_or(0).min(u32::MAX as u64) as u32;
+        Band {
+            slack: slack.saturating_add(widen),
+        }
+    }
+}
+
+/// A concrete band corridor for an `n × m` core: row `i` may compute columns
+/// `[i + cmin, i + cmax]` (clamped to `[1, cols]`). `floor` is the exactness
+/// threshold: a banded corner score `S ≥ floor = min(n, m) − slack` proves at
+/// most `slack` entries of the shorter side are unmatched, hence some optimal
+/// path deviates from the corridor diagonal by at most `slack` — it lies
+/// inside the band, and every in-band score on it was computed exactly.
+#[derive(Debug, Clone, Copy)]
+struct Corridor {
+    cmin: i64,
+    cmax: i64,
+    floor: i64,
+}
+
+impl Corridor {
+    /// The corridor for an `n`-row, `m`-column core, or `None` when the band
+    /// would not exclude any cells (nothing to win; run unbanded).
+    fn new(n: usize, m: usize, band: Band) -> Option<Corridor> {
+        let w = band.slack as i64;
+        let diff = m as i64 - n as i64;
+        let cmin = diff.min(0) - w;
+        let cmax = diff.max(0) + w;
+        if cmax - cmin >= m as i64 {
+            return None;
+        }
+        Some(Corridor {
+            cmin,
+            cmax,
+            floor: n.min(m) as i64 - w,
+        })
+    }
+
+    #[inline]
+    fn lo(&self, r: usize) -> usize {
+        (r as i64 + self.cmin).max(1) as usize
+    }
+
+    #[inline]
+    fn hi(&self, r: usize, cols: usize) -> usize {
+        (r as i64 + self.cmax).min(cols as i64).max(0) as usize
+    }
+}
+
+/// Runs the in-place banded rolling score DP over the class slices `x`
+/// (rows) and `y` (columns), returning the corner value `row[m]`.
+///
+/// Cells outside the corridor keep whatever the row buffer last held (the
+/// zero seed, or an older row's value). Those stale values are always lower
+/// bounds of the true scores — DP values are monotone down a column — and a
+/// `max` against a lower bound can only understate, so every computed cell
+/// is `≤` its true value, and cells whose best path stays inside the band
+/// are exact. The corner check against [`Corridor::floor`] then certifies
+/// exactness of the returned score.
+fn banded_score_pass(
+    x: &[u32],
+    y: &[u32],
+    cor: &Corridor,
+    row: &mut Vec<u32>,
+    mem: &mut MemTracker,
+) -> u32 {
+    let cols = y.len();
+    row.clear();
+    row.resize(cols + 1, 0);
+    for r in 1..=x.len() {
+        let lo = cor.lo(r);
+        let hi = cor.hi(r, cols);
+        if lo > hi {
+            continue;
+        }
+        let xc = x[r - 1];
+        // In-place row update: `old` is the cell's previous-row value (up),
+        // `row[j-1]` is already this row (left), and `diag` carries the
+        // previous-row value of the left neighbor. At `j = lo` the left
+        // neighbor is a stale out-of-band cell — a lower bound, which is
+        // exactly what the banded pass is allowed to read.
+        let mut diag = row[lo - 1];
+        for j in lo..=hi {
+            let old = row[j];
+            let mut best = old.max(row[j - 1]);
+            if xc == y[j - 1] {
+                best = best.max(diag + 1);
+            }
+            row[j] = best;
+            diag = old;
+        }
+        mem.count_cells((hi - lo + 1) as u64);
+    }
+    row[cols]
+}
+
+// ---------------------------------------------------------------------------
 // Tier 1: score only.
 // ---------------------------------------------------------------------------
 
@@ -364,7 +738,7 @@ pub fn align_score(
     f2: &Function,
     seq2: &[SeqEntry],
 ) -> AlignmentStats {
-    with_scratch(|scratch| align_score_in(scratch, f1, seq1, f2, seq2))
+    with_scratch(|scratch| align_score_banded_in(scratch, f1, seq1, f2, seq2, None))
 }
 
 /// [`align_score`] against a caller-managed arena.
@@ -374,6 +748,32 @@ pub fn align_score_in(
     seq1: &[SeqEntry],
     f2: &Function,
     seq2: &[SeqEntry],
+) -> AlignmentStats {
+    align_score_banded_in(scratch, f1, seq1, f2, seq2, None)
+}
+
+/// [`align_score`] with an optional diagonal band. The returned stats —
+/// including the match count — are identical at any band width; a band that
+/// cannot certify its corner score falls back to the exact rolling DP and
+/// reports [`AlignmentStats::band_saturated`].
+pub fn align_score_banded(
+    f1: &Function,
+    seq1: &[SeqEntry],
+    f2: &Function,
+    seq2: &[SeqEntry],
+    band: Option<Band>,
+) -> AlignmentStats {
+    with_scratch(|scratch| align_score_banded_in(scratch, f1, seq1, f2, seq2, band))
+}
+
+/// [`align_score_banded`] against a caller-managed arena.
+pub fn align_score_banded_in(
+    scratch: &mut AlignScratch,
+    f1: &Function,
+    seq1: &[SeqEntry],
+    f2: &Function,
+    seq2: &[SeqEntry],
+    band: Option<Band>,
 ) -> AlignmentStats {
     let (n, m) = (seq1.len(), seq2.len());
     scratch.classify(f1, seq1, f2, seq2);
@@ -404,33 +804,56 @@ pub fn align_score_in(
     let mut pool = RowPool { rows };
     let mut dp_matches = 0u32;
     let mut rows_bytes = 0u64;
+    let metrics = align_metrics();
+    let mut banded = false;
+    let mut band_saturated = false;
     if !short.is_empty() {
         let width = short.len() + 1;
-        let mut prev = pool.take(width, &mut mem);
-        prev.resize(width, 0);
-        let mut cur = pool.take(width, &mut mem);
-        cur.resize(width, 0);
-        rows_bytes = 4 * 2 * width as u64;
-        for &lc in long {
-            cur[0] = 0;
-            for j in 1..width {
-                let up = prev[j];
-                let left = cur[j - 1];
-                let mut best = up.max(left);
-                if lc == short[j - 1] {
-                    best = best.max(prev[j - 1] + 1);
-                }
-                cur[j] = best;
+        // Banded attempt first: one row, corridor cells only. The corner
+        // check proves the score exact or the attempt is discarded.
+        let corridor = band.and_then(|b| Corridor::new(long.len(), short.len(), b));
+        let mut band_hit = false;
+        if let Some(cor) = corridor {
+            banded = true;
+            metrics.band_runs.inc();
+            let mut row = pool.take(width, &mut mem);
+            let corner = banded_score_pass(long, short, &cor, &mut row, &mut mem);
+            pool.give(row, width, &mut mem);
+            if corner as i64 >= cor.floor {
+                dp_matches = corner;
+                rows_bytes = 4 * width as u64;
+                band_hit = true;
+            } else {
+                band_saturated = true;
+                metrics.band_saturations.inc();
             }
-            std::mem::swap(&mut prev, &mut cur);
-            mem.count_cells(short.len() as u64);
         }
-        dp_matches = prev[width - 1];
-        pool.give(prev, width, &mut mem);
-        pool.give(cur, width, &mut mem);
+        if !band_hit {
+            let mut prev = pool.take(width, &mut mem);
+            prev.resize(width, 0);
+            let mut cur = pool.take(width, &mut mem);
+            cur.resize(width, 0);
+            rows_bytes = 4 * 2 * width as u64;
+            for &lc in long {
+                cur[0] = 0;
+                for j in 1..width {
+                    let up = prev[j];
+                    let left = cur[j - 1];
+                    let mut best = up.max(left);
+                    if lc == short[j - 1] {
+                        best = best.max(prev[j - 1] + 1);
+                    }
+                    cur[j] = best;
+                }
+                std::mem::swap(&mut prev, &mut cur);
+                mem.count_cells(short.len() as u64);
+            }
+            dp_matches = prev[width - 1];
+            pool.give(prev, width, &mut mem);
+            pool.give(cur, width, &mut mem);
+        }
     }
 
-    let metrics = align_metrics();
     metrics.score_only_runs.inc();
     metrics.trimmed_entries.add((lo + suf) as u64);
     metrics.lengths.record((n + m) as u64);
@@ -443,6 +866,8 @@ pub fn align_score_in(
         full_matrix_bytes: full_matrix_bytes(n, m),
         trimmed: lo + suf,
         score_only: true,
+        banded,
+        band_saturated,
     }
 }
 
@@ -458,7 +883,7 @@ pub fn align_score_in(
 /// O(n · m): the divide-and-conquer recursion re-derives DP rows on demand
 /// and holds at most one seed row per live level.
 pub fn align(f1: &Function, seq1: &[SeqEntry], f2: &Function, seq2: &[SeqEntry]) -> Alignment {
-    with_scratch(|scratch| align_in(scratch, f1, seq1, f2, seq2))
+    with_scratch(|scratch| align_banded_in(scratch, f1, seq1, f2, seq2, None))
 }
 
 /// [`align`] against a caller-managed arena.
@@ -468,6 +893,38 @@ pub fn align_in(
     seq1: &[SeqEntry],
     f2: &Function,
     seq2: &[SeqEntry],
+) -> Alignment {
+    align_banded_in(scratch, f1, seq1, f2, seq2, None)
+}
+
+/// [`align`] with an optional diagonal band.
+///
+/// A banded run first makes a one-row score pass over the corridor. If the
+/// corner score certifies exactness (see [`Band`]), the traceback then (a)
+/// restricts every recomputed DP row to the corridor, and (b) starts with
+/// the walk's value already known, which arms the meet-in-the-middle column
+/// clamp from the first strip. If the band saturates, the pass is discarded
+/// and the exact unbanded traceback runs. Either way the returned pairs are
+/// byte-identical to [`align_full_matrix`] — banding never changes results,
+/// only the work spent reaching them.
+pub fn align_banded(
+    f1: &Function,
+    seq1: &[SeqEntry],
+    f2: &Function,
+    seq2: &[SeqEntry],
+    band: Option<Band>,
+) -> Alignment {
+    with_scratch(|scratch| align_banded_in(scratch, f1, seq1, f2, seq2, band))
+}
+
+/// [`align_banded`] against a caller-managed arena.
+pub fn align_banded_in(
+    scratch: &mut AlignScratch,
+    f1: &Function,
+    seq1: &[SeqEntry],
+    f2: &Function,
+    seq2: &[SeqEntry],
+    band: Option<Band>,
 ) -> Alignment {
     let (n, m) = (seq1.len(), seq2.len());
     scratch.classify(f1, seq1, f2, seq2);
@@ -489,6 +946,8 @@ pub fn align_in(
 
     scratch.rev.clear();
     let mut matches = suf;
+    let mut banded = false;
+    let mut band_saturated = false;
     {
         // Split-borrow the arena: class tables and the pair buffer are
         // disjoint from the row pool the tracer draws on.
@@ -503,11 +962,35 @@ pub fn align_in(
             out: rev,
             pool: RowPool { rows },
             mem: &mut mem,
+            cor: None,
         };
         if core_n > 0 {
+            // Banded pre-pass: a one-row corridor score. When its corner
+            // check certifies exactness, the traceback runs with the
+            // corridor window *and* the walk's value known up front (which
+            // arms the column clamp from the very first strip); when it
+            // saturates, the traceback runs unbanded as if no band had been
+            // requested.
+            let metrics = align_metrics();
+            let mut top_val = None;
+            if let Some(cor) = band.and_then(|b| Corridor::new(core_n, core_m, b)) {
+                banded = true;
+                metrics.band_runs.inc();
+                let mut row = tracer.pool.take(core_m + 1, tracer.mem);
+                let corner =
+                    banded_score_pass(&c1[..core_n], &c2[..core_m], &cor, &mut row, tracer.mem);
+                tracer.pool.give(row, core_m + 1, tracer.mem);
+                if (corner as i64) >= cor.floor {
+                    tracer.cor = Some(cor);
+                    top_val = Some(corner);
+                } else {
+                    band_saturated = true;
+                    metrics.band_saturations.inc();
+                }
+            }
             let mut seed = tracer.pool.take(core_m + 1, tracer.mem);
             seed.resize(core_m + 1, 0);
-            let ca = tracer.trace(0, core_n, core_m, &seed);
+            let ca = tracer.trace(0, core_n, core_m, top_val, &seed);
             let seed_len = seed.len();
             tracer.pool.give(seed, seed_len, tracer.mem);
             // The walk reached row 0 at column `ca`; the canonical traceback
@@ -548,6 +1031,8 @@ pub fn align_in(
             full_matrix_bytes: full_matrix_bytes(n, m),
             trimmed: suf,
             score_only: false,
+            banded,
+            band_saturated,
         },
     }
 }
@@ -585,12 +1070,51 @@ struct Tracer<'a> {
     out: &'a mut Vec<AlignedPair>,
     pool: RowPool<'a>,
     mem: &'a mut MemTracker,
+    /// Certified band corridor, in core coordinates. Only set after the
+    /// banded pre-pass proved its corner score exact; every row advance then
+    /// restricts itself to the corridor window.
+    cor: Option<Corridor>,
 }
 
 impl Tracer<'_> {
+    /// The column window row `r` computes: the intersection of `[1, cols]`,
+    /// the certified band corridor (if any), and the meet-in-the-middle
+    /// clamp `[clo, ∞)` derived from the walk's known value.
+    #[inline]
+    fn window(&self, r: usize, cols: usize, clo: usize) -> (usize, usize) {
+        let mut lo = clo.max(1);
+        let mut hi = cols;
+        if let Some(cor) = &self.cor {
+            lo = lo.max(cor.lo(r));
+            hi = hi.min(cor.hi(r, cols));
+        }
+        (lo, hi)
+    }
+
     /// Computes global DP row `to` over columns `0..=cols` into `out`, given
     /// the true global row `from` in `seed` (column 0 is gap-only, so the
     /// restriction to a column prefix is self-contained).
+    ///
+    /// The update is in place over one row buffer: cells left of the window
+    /// keep the seed row's values and cells right of it are never read by
+    /// the walk. Stale cells are always *lower bounds* of the true scores
+    /// (DP values are monotone down a column), and the windows are chosen so
+    /// that every cell whose value can influence a walk decision — a cell on
+    /// some optimal path — is computed exactly:
+    ///
+    /// * Band corridor: the pre-pass certified that an optimal path stays
+    ///   inside the corridor, and a walk cell's best-prefix-plus-canonical-
+    ///   suffix path is optimal, hence in-corridor end to end.
+    /// * Column clamp `clo`: when the walk's value `v` at `(b, cb)` is
+    ///   known, any cell read in rows `(a, b]` has value `≥ v − (b − a) − 1`
+    ///   along the walk, so its best prefix crosses row `a` at a column
+    ///   where `seed ≥ v − (b − a)`; columns strictly left of the first such
+    ///   column can never matter. Understatement is harmless on the read
+    ///   side: a match decision only reads the diagonal when the classes
+    ///   match, in which case the diagonal cell is on an optimal path (so
+    ///   exact), and an up/left comparison against an understated cell can
+    ///   never spuriously equal the walk's exact value because true DP
+    ///   values are monotone.
     fn advance_rows(
         &mut self,
         from: usize,
@@ -598,51 +1122,76 @@ impl Tracer<'_> {
         cols: usize,
         seed: &[u32],
         out: &mut Vec<u32>,
+        clo: usize,
     ) {
         out.clear();
         out.extend_from_slice(&seed[..=cols]);
-        if from == to {
-            return;
-        }
-        let mut tmp = self.pool.take(cols + 1, self.mem);
         for r in from + 1..=to {
-            let xc = self.x[r - 1];
-            tmp.clear();
-            tmp.push(out[0]); // S(r, 0) = S(r-1, 0): column 0 is vertical-only.
-            for j in 1..=cols {
-                let up = out[j];
-                let left = tmp[j - 1];
-                let mut best = up.max(left);
-                if xc == self.y[j - 1] {
-                    best = best.max(out[j - 1] + 1);
-                }
-                tmp.push(best);
+            let (lo, hi) = self.window(r, cols, clo);
+            if lo > hi {
+                continue;
             }
-            std::mem::swap(out, &mut tmp);
-            self.mem.count_cells(cols as u64);
+            let xc = self.x[r - 1];
+            let mut diag = out[lo - 1];
+            for j in lo..=hi {
+                let old = out[j];
+                let mut best = old.max(out[j - 1]);
+                if xc == self.y[j - 1] {
+                    best = best.max(diag + 1);
+                }
+                out[j] = best;
+                diag = old;
+            }
+            self.mem.count_cells((hi - lo + 1) as u64);
         }
-        self.pool.give(tmp, cols + 1, self.mem);
     }
 
     /// Walks the canonical traceback backwards from cell `(b, cb)` until it
     /// first reaches row `a`, emitting the moves taken (in reverse order)
-    /// and returning the arrival column. `seed` holds the true global DP row
-    /// `a` over at least `0..=cb`. Row halving recurses into the bottom
-    /// strip (whose seed row is computed on demand and held only while that
+    /// and returning the arrival column. `seed` holds the global DP row `a`
+    /// over at least `0..=cb` (exact wherever the walk can look, see
+    /// [`Tracer::advance_rows`]). Row halving recurses into the bottom strip
+    /// (whose seed row is computed on demand and held only while that
     /// recursion is live) and continues iteratively into the top strip,
     /// reusing `seed`.
-    fn trace(&mut self, a: usize, b: usize, cb: usize, seed: &[u32]) -> usize {
+    ///
+    /// `val` is the walk's DP value at `(b, cb)` when known — `None` only on
+    /// the unbanded descent spine before the first base strip fixes it.
+    /// Every strip that knows its value computes the meet-in-the-middle
+    /// split column `clo` — the leftmost seed column that can still reach
+    /// `val` — and clamps all row advances below it, which restores the
+    /// strict O(n · m) total-work bound of classic Hirschberg.
+    fn trace(&mut self, a: usize, b: usize, cb: usize, val: Option<u32>, seed: &[u32]) -> usize {
         let mut b = b;
         let mut cb = cb;
+        let mut val = val;
         loop {
             if b == a {
                 return cb;
             }
+            // The clamp scan is exact even over a partially-stale seed row:
+            // understated cells can only fail the `≥` test, and the first
+            // truly-qualifying column is on an optimal path, hence computed
+            // exactly.
+            let clo = match val {
+                Some(v) => {
+                    let starget = v as i64 - (b - a) as i64;
+                    if starget <= 0 {
+                        0
+                    } else {
+                        seed[..=cb]
+                            .iter()
+                            .position(|&s| s as i64 >= starget)
+                            .unwrap_or(0)
+                    }
+                }
+                None => 0,
+            };
             if b == a + 1 {
-                // Base strip: rows a and b are both known exactly; replay the
-                // historical greedy cell-for-cell.
+                // Base strip: rows a and b are both known exactly wherever
+                // the walk looks; replay the historical greedy cell-for-cell.
                 let mut row = self.pool.take(cb + 1, self.mem);
-                self.advance_rows(a, b, cb, seed, &mut row);
+                self.advance_rows(a, b, cb, seed, &mut row, clo);
                 let mut j = cb;
                 loop {
                     let cur = row[j];
@@ -663,12 +1212,16 @@ impl Tracer<'_> {
             }
             let mid = a + (b - a) / 2;
             let mut midrow = self.pool.take(cb + 1, self.mem);
-            self.advance_rows(a, mid, cb, seed, &mut midrow);
-            let cmid = self.trace(mid, b, cb, &midrow);
+            self.advance_rows(a, mid, cb, seed, &mut midrow, clo);
+            let cmid = self.trace(mid, b, cb, val, &midrow);
+            // The crossing cell (mid, cmid) is on the canonical path, so its
+            // midrow value is exact: it seeds the top strip's clamp.
+            let vmid = midrow[cmid];
             self.pool.give(midrow, cb + 1, self.mem);
             // Continue into the top strip with the same seed (row a).
             b = mid;
             cb = cmid;
+            val = Some(vmid);
         }
     }
 }
@@ -748,6 +1301,8 @@ pub fn align_full_matrix(
             full_matrix_bytes: matrix,
             trimmed: 0,
             score_only: false,
+            banded: false,
+            band_saturated: false,
         },
     }
 }
@@ -1015,6 +1570,178 @@ L4:
         assert!(after.full_runs > before.full_runs);
         assert!(after.full_matrix_runs > before.full_matrix_runs);
         assert!(after.trimmed_entries >= before.trimmed_entries + 2 * seq.len() as u64);
+    }
+
+    #[test]
+    fn banded_alignment_is_byte_identical_at_every_width() {
+        let f1 = parse_function(F1).unwrap();
+        let f2 = parse_function(F2).unwrap();
+        let s1 = linearize(&f1);
+        let s2 = linearize(&f2);
+        let reference = align_full_matrix(&f1, &s1, &f2, &s2);
+        for slack in 0..=8u32 {
+            let banded = align_banded(&f1, &s1, &f2, &s2, Some(Band::new(slack)));
+            assert_eq!(banded.pairs, reference.pairs, "slack {slack}");
+            assert_eq!(banded.stats.matches, reference.stats.matches);
+            let score = align_score_banded(&f1, &s1, &f2, &s2, Some(Band::new(slack)));
+            assert_eq!(score.matches, reference.stats.matches, "slack {slack}");
+            // And the mirrored orientation.
+            let reference_rev = align_full_matrix(&f2, &s2, &f1, &s1);
+            let banded_rev = align_banded(&f2, &s2, &f1, &s1, Some(Band::new(slack)));
+            assert_eq!(banded_rev.pairs, reference_rev.pairs, "slack {slack}");
+        }
+    }
+
+    /// Two same-length functions whose shared run sits 30 diagonals off the
+    /// corridor (the |n − m| shift is zero, so a narrow band excludes the
+    /// run entirely): the band must saturate — the corner score cannot be
+    /// certified — and fall back, still byte-identical to the reference.
+    #[test]
+    fn band_saturation_falls_back_on_diagonal_shifted_sequences() {
+        let mut b1 = String::from("define i32 @l(i32 %x) {\nentry:\n");
+        for i in 0..30 {
+            b1.push_str(&format!("  %m{i} = mul i32 %x, {i}\n"));
+        }
+        for i in 0..10 {
+            b1.push_str(&format!("  %a{i} = add i32 %x, {i}\n"));
+        }
+        b1.push_str("  %c = icmp eq i32 %x, 0\n  ret i32 %x\n}");
+        let f1 = parse_function(&b1).unwrap();
+        let mut b2 = String::from("define i32 @s(i32 %x) {\nentry:\n");
+        for i in 0..10 {
+            b2.push_str(&format!("  %a{i} = add i32 %x, {i}\n"));
+        }
+        for i in 0..30 {
+            b2.push_str(&format!("  %d{i} = sdiv i32 %x, {}\n", i + 1));
+        }
+        b2.push_str("  %c = icmp ne i32 %x, 0\n  ret i32 %x\n}");
+        let f2 = parse_function(&b2).unwrap();
+        let s1 = linearize(&f1);
+        let s2 = linearize(&f2);
+        assert_eq!(s1.len(), s2.len());
+        let before = alignment_counters();
+        let banded = align_banded(&f1, &s1, &f2, &s2, Some(Band::new(1)));
+        let after = alignment_counters();
+        assert!(banded.stats.banded);
+        assert!(banded.stats.band_saturated, "band must saturate");
+        assert_eq!(after.band_runs, before.band_runs + 1);
+        assert_eq!(after.band_saturations, before.band_saturations + 1);
+        let reference = align_full_matrix(&f1, &s1, &f2, &s2);
+        assert_eq!(banded.pairs, reference.pairs);
+        assert_eq!(banded.stats.matches, reference.stats.matches);
+        // Same fallback guarantee on the score-only tier.
+        let score = align_score_banded(&f1, &s1, &f2, &s2, Some(Band::new(1)));
+        assert!(score.band_saturated);
+        assert_eq!(score.matches, reference.stats.matches);
+    }
+
+    /// A *similar* pair (two extra instructions in the middle) certifies a
+    /// narrow band: the corner score reaches the floor, no fallback runs,
+    /// and the banded run computes strictly fewer cells than the exact one.
+    #[test]
+    fn certified_bands_skip_work_without_changing_results() {
+        let adds = 60usize;
+        let mut b1 = String::from("define i32 @a(i32 %x) {\nentry:\n");
+        for i in 0..adds {
+            b1.push_str(&format!("  %a{i} = add i32 %x, {i}\n"));
+        }
+        b1.push_str("  %c = icmp eq i32 %x, 0\n  ret i32 %x\n}");
+        let f1 = parse_function(&b1).unwrap();
+        let mut b2 = String::from("define i32 @b(i32 %x) {\nentry:\n");
+        for i in 0..adds {
+            if i == adds / 2 {
+                b2.push_str("  %e0 = mul i32 %x, 7\n  %e1 = mul i32 %x, 9\n");
+            }
+            b2.push_str(&format!("  %a{i} = add i32 %x, {i}\n"));
+        }
+        b2.push_str("  %c = icmp ne i32 %x, 0\n  ret i32 %x\n}");
+        let f2 = parse_function(&b2).unwrap();
+        let s1 = linearize(&f1);
+        let s2 = linearize(&f2);
+        let exact = align(&f1, &s1, &f2, &s2);
+        let banded = align_banded(&f1, &s1, &f2, &s2, Some(Band::new(4)));
+        assert!(banded.stats.banded);
+        assert!(!banded.stats.band_saturated, "slack 4 must certify");
+        assert_eq!(banded.pairs, exact.pairs);
+        assert!(
+            banded.stats.cells < exact.stats.cells,
+            "certified band must save work: {} vs {}",
+            banded.stats.cells,
+            exact.stats.cells
+        );
+        let score_banded = align_score_banded(&f1, &s1, &f2, &s2, Some(Band::new(4)));
+        let score_exact = align_score(&f1, &s1, &f2, &s2);
+        assert_eq!(score_banded.matches, score_exact.matches);
+        assert!(score_banded.cells < score_exact.cells);
+    }
+
+    /// The meet-in-the-middle column clamp keeps total traceback work at
+    /// O(n · m) even on the adversarial family where the canonical path hugs
+    /// the right edge (which used to cost an extra log n factor).
+    #[test]
+    fn traceback_cells_stay_quadratic_on_right_edge_hugging_paths() {
+        let adds = 12usize;
+        let muls = 400usize;
+        // f1: the shared adds at the *top*, then a long unmatched mul tail.
+        let mut b1 = String::from("define i32 @a(i32 %x) {\nentry:\n");
+        for i in 0..adds {
+            b1.push_str(&format!("  %a{i} = add i32 %x, {i}\n"));
+        }
+        for i in 0..muls {
+            b1.push_str(&format!("  %m{i} = mul i32 %x, {i}\n"));
+        }
+        b1.push_str("  ret i32 %x\n}");
+        let f1 = parse_function(&b1).unwrap();
+        // f2: just the adds, ending differently so suffix trimming cannot
+        // shortcut the DP.
+        let mut b2 = String::from("define i32 @b(i32 %x) {\nentry:\n");
+        for i in 0..adds {
+            b2.push_str(&format!("  %a{i} = add i32 %x, {i}\n"));
+        }
+        b2.push_str("  %c = icmp eq i32 %x, 0\n  ret i32 %x\n}");
+        let f2 = parse_function(&b2).unwrap();
+        let s1 = linearize(&f1);
+        let s2 = linearize(&f2);
+        let a = align(&f1, &s1, &f2, &s2);
+        let reference = align_full_matrix(&f1, &s1, &f2, &s2);
+        assert_eq!(a.pairs, reference.pairs);
+        // An unclamped divide-and-conquer descent costs ~(1 + log₂(n)/2)·n·m
+        // on this shape (≈ 5.3·n·m at n = 414): every block's walk target sits
+        // on the right edge, so block widths never shrink. The split-value
+        // clamp keeps the measured cost at ~3.45·n·m here, and on *similar*
+        // pairs (the tier the planner feeds) at ~2·n·m.
+        let quadratic = (s1.len() as u64) * (s2.len() as u64);
+        assert!(
+            a.stats.cells <= 4 * quadratic,
+            "traceback cells {} exceed 4·n·m = {} — the column clamp regressed",
+            a.stats.cells,
+            4 * quadratic
+        );
+    }
+
+    #[test]
+    fn class_tables_are_cached_and_invalidated_with_the_body() {
+        let f1 = parse_function(F1).unwrap();
+        let f2 = parse_function(F2).unwrap();
+        let s1 = linearize(&f1);
+        let s2 = linearize(&f2);
+        let (h0, m0) = class_table_counters();
+        align(&f1, &s1, &f2, &s2);
+        let (h1, m1) = class_table_counters();
+        assert_eq!(m1, m0 + 2, "first run builds both tables");
+        align(&f1, &s1, &f2, &s2);
+        align_score(&f1, &s1, &f2, &s2);
+        let (h2, m2) = class_table_counters();
+        assert_eq!(m2, m1, "repeat runs build nothing");
+        assert_eq!(h2, h1 + 4, "repeat runs hit the cache");
+        assert!(h1 >= h0);
+        // Mutating the function clears its slot; the next run rebuilds.
+        let mut f1 = f1;
+        f1.set_name("renamed");
+        let s1 = linearize(&f1);
+        align(&f1, &s1, &f2, &s2);
+        let (_, m3) = class_table_counters();
+        assert_eq!(m3, m2 + 1, "mutation invalidates exactly one table");
     }
 
     #[test]

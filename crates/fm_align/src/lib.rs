@@ -38,10 +38,16 @@
 pub mod align;
 pub mod fingerprint;
 pub mod linearize;
+pub mod prefilter;
 
 pub use align::{
-    align, align_full_matrix, align_in, align_score, align_score_in, alignment_counters,
-    with_scratch, AlignScratch, AlignedPair, Alignment, AlignmentCounters, AlignmentStats,
+    align, align_banded, align_banded_in, align_full_matrix, align_in, align_score,
+    align_score_banded, align_score_banded_in, align_score_in, alignment_counters, class_table,
+    class_table_counters, class_table_of, with_scratch, AlignScratch, AlignedPair, Alignment,
+    AlignmentCounters, AlignmentStats, Band, ClassTable,
 };
 pub use fingerprint::{Fingerprint, MinHash, Ranking, SHINGLE_LEN};
 pub use linearize::{linearize, mergeable, mergeable_insts, SeqEntry};
+pub use prefilter::{
+    match_upper_bound, prefilter_rejects, profit_margin_bytes, PREFILTER_GRAY_FACTOR,
+};

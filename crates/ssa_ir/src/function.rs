@@ -4,6 +4,7 @@ use crate::ids::{Arena, BlockId, InstId};
 use crate::instruction::{InstData, InstKind};
 use crate::types::Type;
 use crate::value::Value;
+use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -133,6 +134,29 @@ pub struct Function {
     entry: Option<BlockId>,
     /// Cached normalized print key; cleared by every mutating method.
     structural_cache: OnceLock<StructuralKey>,
+    /// Opaque derived-analysis slot; cleared alongside the structural key.
+    analysis_cache: AnalysisSlot,
+}
+
+/// Opaque, type-erased cache slot for per-function derived analyses.
+///
+/// Downstream crates (the alignment engine caches its interned
+/// mergeability-class table here) store an `Arc<dyn Any>` they downcast on
+/// retrieval. The slot follows the exact lifecycle of the structural key:
+/// populated lazily through `&self`, shared by clones, and cleared by every
+/// mutating method via [`Function::invalidate_structural_key`], so a stored
+/// analysis can never outlive the body it was computed from.
+#[derive(Clone, Default)]
+struct AnalysisSlot(OnceLock<Arc<dyn Any + Send + Sync>>);
+
+impl fmt::Debug for AnalysisSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.get().is_some() {
+            "AnalysisSlot(set)"
+        } else {
+            "AnalysisSlot(empty)"
+        })
+    }
 }
 
 impl Function {
@@ -150,7 +174,28 @@ impl Function {
             block_order: Vec::new(),
             entry: None,
             structural_cache: OnceLock::new(),
+            analysis_cache: AnalysisSlot::default(),
         }
+    }
+
+    /// Reads the opaque derived-analysis slot (see [`AnalysisSlot`]).
+    ///
+    /// Returns a clone of the stored `Arc`, or `None` when nothing has been
+    /// cached since the last mutation. Callers downcast to their own table
+    /// type and must treat a failed downcast like a miss (another analysis
+    /// got the slot first).
+    pub fn analysis_cache(&self) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.analysis_cache.0.get().cloned()
+    }
+
+    /// Stores a derived analysis in the opaque slot through `&self`.
+    ///
+    /// First write wins, mirroring `OnceLock::set`: if another analysis is
+    /// already cached the call is a no-op and returns `false`. The slot is
+    /// cleared by every mutating method, so stored values are only ever read
+    /// against the body they were computed from.
+    pub fn set_analysis_cache(&self, value: Arc<dyn Any + Send + Sync>) -> bool {
+        self.analysis_cache.0.set(value).is_ok()
     }
 
     /// Clears the cached structural key. Every `&mut self` method that can
@@ -176,6 +221,7 @@ impl Function {
             );
         }
         self.structural_cache.take();
+        self.analysis_cache.0.take();
     }
 
     /// Renames the function, invalidating the cached structural key (the key

@@ -92,6 +92,9 @@ pub enum RejectReason {
     Superseded,
     /// The merger itself declined to produce a candidate (alignment refused).
     Refused,
+    /// The admissible pre-filter proved the pair cannot be profitable before
+    /// any codegen-based scoring ran.
+    Prefiltered,
 }
 
 impl RejectReason {
@@ -102,6 +105,7 @@ impl RejectReason {
             RejectReason::Unprofitable => "unprofitable",
             RejectReason::Superseded => "superseded",
             RejectReason::Refused => "refused",
+            RejectReason::Prefiltered => "prefiltered",
         }
     }
 }
@@ -272,5 +276,24 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
+    }
+
+    #[test]
+    fn prefiltered_rejections_carry_their_reason() {
+        let _l = lock();
+        set_decisions(true);
+        let _ = take_decisions();
+        record_decision(
+            DecisionEvent::Rejected(RejectReason::Prefiltered),
+            Pair::intra("f", "g"),
+            None,
+            "shared=12 margin=20".to_string(),
+        );
+        set_decisions(false);
+        let decisions = take_decisions();
+        assert_eq!(decisions.len(), 1);
+        let json = decisions[0].to_json();
+        assert!(json.contains("\"reason\":\"prefiltered\""), "{json}");
+        assert_eq!(RejectReason::Prefiltered.as_str(), "prefiltered");
     }
 }

@@ -18,6 +18,7 @@ use workloads::{CorpusSpec, Divergence};
 fn main() {
     let mut spec = CorpusSpec::default();
     let mut out_dir: Option<String> = None;
+    let mut clean = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -57,12 +58,23 @@ fn main() {
             "--min-size" => spec.size_range.0 = value(arg).parse().expect("bad --min-size"),
             "--max-size" => spec.size_range.1 = value(arg).parse().expect("bad --max-size"),
             "--out-dir" => out_dir = Some(value(arg).clone()),
+            "--clean" => clean = true,
             other => panic!("unknown option '{other}'"),
         }
     }
 
     let out_dir = out_dir.expect("--out-dir <dir> is required");
-    let modules = spec.generate();
+    let mut modules = spec.generate();
+    if clean {
+        // Model already-optimized input IR (the paper merges after -O2):
+        // fold constant branches and strip dead code from every function so
+        // the corpus carries no cleanup slack into the merge pipeline.
+        for module in &mut modules {
+            for function in module.functions_mut() {
+                ssa_passes::cleanup_function(function);
+            }
+        }
+    }
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| panic!("cannot create {out_dir}: {e}"));
     for module in &modules {
         let errors = ssa_ir::verifier::verify_module(module);

@@ -224,10 +224,39 @@ pub fn explain_pair(
         }
     };
 
-    // Stage 2: speculative scoring — the same trial merge the planner batches.
+    // The discovery-time distance sizes alignment bands downstream (cost
+    // only, never the verdict's value).
+    let distance = found.map(|c| c.distance);
+
+    // Stage 2: the admissible pre-filter, exactly as the planner applies it
+    // before any speculative trial merge.
     let f1 = modules[host.module].function(&host.name).unwrap();
     let f2 = modules[donor.module].function(&donor.name).unwrap();
-    let scored = score_cross(host.module, donor.module, f1, f2, &config.options);
+    if config.prefilter {
+        let band = config
+            .options
+            .band
+            .map(|slack| fm_align::Band::from_hint(slack, distance));
+        if fm_align::prefilter_rejects(f1, f2, config.options.target, band) {
+            ex.push(
+                "prefilter",
+                "the class-histogram profit upper bound cannot clear the merge \
+                 overhead (no alignment, however good, makes this pair \
+                 profitable), so the planner skips scoring it"
+                    .to_string(),
+            );
+            ex.verdict = "rejected: admissible pre-filter (provably unprofitable)".to_string();
+            return Ok(ex);
+        }
+        ex.push(
+            "prefilter",
+            "passed: the profit upper bound clears the merge overhead".to_string(),
+        );
+    }
+
+    // Stage 3: speculative scoring — the same trial merge the planner
+    // batches, with the discovery distance sizing the alignment band.
+    let scored = score_cross(host.module, donor.module, f1, f2, &config.options, distance);
     let s = match scored {
         Some(s) => {
             ex.push("scoring", describe_score(modules, &s));
@@ -251,7 +280,7 @@ pub fn explain_pair(
         }
     };
 
-    // Stage 3: the ODR hazard scan, over the same def-site map the pipeline
+    // Stage 4: the ODR hazard scan, over the same def-site map the pipeline
     // builds.
     let mut def_sites: HashMap<String, Vec<(usize, Linkage)>> = HashMap::new();
     for (mi, m) in modules.iter().enumerate() {

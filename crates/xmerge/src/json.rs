@@ -57,8 +57,9 @@ fn planner_json(stats: &PlanStats) -> String {
 }
 
 /// Serializes the `alignment` stats block shared by both report schemas:
-/// live vs. modelled-full-matrix peaks, cells, trim savings and tier counts
-/// of the linear-space alignment engine.
+/// live vs. modelled-full-matrix peaks, cells, trim savings, tier counts and
+/// the banding counters of the linear-space alignment engine. The nested
+/// `band` object is append-only like the rest of the schema.
 #[allow(clippy::too_many_arguments)]
 fn alignment_json(
     peak_live: u64,
@@ -67,9 +68,21 @@ fn alignment_json(
     trimmed: u64,
     score_only: u64,
     full: u64,
+    band_runs: u64,
+    band_saturations: u64,
 ) -> String {
     format!(
-        r#"{{"peak_live_bytes":{peak_live},"peak_full_matrix_bytes":{peak_full},"cells":{cells},"trimmed_entries":{trimmed},"score_only_runs":{score_only},"full_runs":{full}}}"#
+        r#"{{"peak_live_bytes":{peak_live},"peak_full_matrix_bytes":{peak_full},"cells":{cells},"trimmed_entries":{trimmed},"score_only_runs":{score_only},"full_runs":{full},"band":{{"runs":{band_runs},"saturations":{band_saturations}}}}}"#
+    )
+}
+
+/// Serializes the `prefilter` block shared by both report schemas: how many
+/// candidate pairs the admissible profit pre-filter examined and how many it
+/// proved unprofitable before codegen-based scoring.
+fn prefilter_json(stats: &PlanStats) -> String {
+    format!(
+        r#"{{"checked":{},"rejected":{}}}"#,
+        stats.prefilter_checked, stats.prefilter_rejected
     )
 }
 
@@ -143,7 +156,7 @@ pub fn merge_report_json(
         })
         .collect();
     format!(
-        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{},"alignment":{},"diagnostics":{},"telemetry":{}}}"#,
+        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{},"alignment":{},"prefilter":{},"diagnostics":{},"telemetry":{}}}"#,
         json_escape(input),
         json_escape(&report.technique),
         report.threshold,
@@ -169,7 +182,10 @@ pub fn merge_report_json(
             report.align_trimmed_entries,
             report.align_score_only_runs,
             report.align_full_runs,
+            report.align_band_runs,
+            report.align_band_saturations,
         ),
+        prefilter_json(&report.planner),
         diagnostics_json(
             report.paranoid,
             report.paranoid_checks,
@@ -233,7 +249,7 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
         .collect();
     let region_counts: Vec<String> = report.region_counts.iter().map(usize::to_string).collect();
     format!(
-        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}},"alignment":{},"diagnostics":{},"telemetry":{}}}"#,
+        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}},"alignment":{},"prefilter":{},"diagnostics":{},"telemetry":{}}}"#,
         report.modules,
         report.functions,
         report.candidates,
@@ -277,7 +293,10 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
             report.align_trimmed_entries,
             report.align_score_only_runs,
             report.align_full_runs,
+            report.align_band_runs,
+            report.align_band_saturations,
         ),
+        prefilter_json(&report.planner),
         diagnostics_json(
             report.paranoid,
             report.paranoid_checks,
@@ -313,6 +332,8 @@ mod tests {
         assert!(json.contains(r#""kind":"xmerge""#));
         assert!(json.contains(r#""modules":2"#));
         assert!(json.contains(r#""committed":[]"#));
+        assert!(json.contains(r#""band":{"runs":0,"saturations":0}"#));
+        assert!(json.contains(r#""prefilter":{"checked":0,"rejected":0}"#));
         assert!(json.contains(r#""diagnostics":{"paranoid":false,"checks":0,"delta_count":0"#));
         assert!(json.contains(r#""telemetry":{"counters":{"#));
     }

@@ -218,6 +218,45 @@ mod tests {
         assert_eq!(report.candidates, 0, "no cross-module pairs in one module");
     }
 
+    /// The admissible pre-filter must change the cost of a run, never its
+    /// outcome: with a hopeless (tiny, provably unprofitable) pair seeded
+    /// next to a genuinely mergeable clone pair, the prefiltered run rejects
+    /// the tiny pair before scoring yet commits exactly the same records and
+    /// produces byte-identical modules.
+    #[test]
+    fn prefilter_rejects_hopeless_pairs_without_changing_commits() {
+        use ssa_ir::parse_function;
+        let tiny = |name: &str, k: i32| {
+            format!(
+                "define i32 @{name}(i32 %x) {{\nentry:\n  %a = add i32 %x, {k}\n  %b = xor i32 %a, %x\n  ret i32 %b\n}}"
+            )
+        };
+        let build = || {
+            let mut corpus = small_corpus();
+            // Identical opcode sequences (LSH finds them), different
+            // constants (no ODR passthrough), 7 shared bytes vs a 20-byte
+            // margin: provably unprofitable.
+            corpus[0].add_function(parse_function(&tiny("tiny_a", 1)).unwrap());
+            corpus[1].add_function(parse_function(&tiny("tiny_b", 2)).unwrap());
+            corpus
+        };
+        let mut on = build();
+        let on_report = xmerge_corpus(&mut on, &XMergeConfig::new());
+        let mut off = build();
+        let off_report = xmerge_corpus(&mut off, &XMergeConfig::new().with_prefilter(false));
+        assert_eq!(on_report.committed, off_report.committed, "{on_report}");
+        assert!(on_report.num_merges() >= 1, "{on_report}");
+        assert!(on_report.planner.prefilter_checked > 0);
+        assert!(
+            on_report.planner.prefilter_rejected > 0,
+            "the tiny pair must be rejected by the admissible bound: {on_report}"
+        );
+        assert_eq!(off_report.planner.prefilter_rejected, 0);
+        for (a, b) in on.iter().zip(&off) {
+            assert_eq!(ssa_ir::print_module(a), ssa_ir::print_module(b));
+        }
+    }
+
     #[test]
     fn odr_hazards_are_skipped_not_committed() {
         // donor's worker_b calls @helper, which donor and host define with

@@ -58,8 +58,8 @@ use fm_align::MinHash;
 use rayon::prelude::*;
 use salssa::plan::{run_plan, CandidateSource, CommitOutcome, PlanStats, ScoreMode};
 use salssa::{
-    build_thunk, merge_module, merge_pair, DriverConfig, MergeOptions, MergeRecord, SalSsaMerger,
-    SEMANTIC_SAMPLES, SEMANTIC_SEED,
+    build_thunk, merge_module, merge_pair, merge_pair_with_distance, DriverConfig, MergeOptions,
+    MergeRecord, SalSsaMerger, SEMANTIC_SAMPLES, SEMANTIC_SEED,
 };
 use ssa_ir::{
     callees_of, import_function, link_modules_with_renames, sanitize_symbol,
@@ -127,7 +127,7 @@ impl Default for FixpointConfig {
 }
 
 /// Configuration of the cross-module pipeline.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct XMergeConfig {
     /// Pairwise merge (code generation) options, including the code-size
     /// target of the profitability model.
@@ -158,6 +158,17 @@ pub struct XMergeConfig {
     /// introduced as [`CorpusMergeReport::paranoid_delta`]. Purely
     /// observational — commit decisions are bit-identical with it on or off.
     pub paranoid: bool,
+    /// Admissible candidate pre-filter ([`fm_align::prefilter_rejects`]):
+    /// drop candidate pairs whose class-histogram profit bound cannot clear
+    /// the merge overhead before any speculative scoring runs. The bound is
+    /// admissible, so committed records are identical with it on or off.
+    pub prefilter: bool,
+}
+
+impl Default for XMergeConfig {
+    fn default() -> Self {
+        XMergeConfig::new()
+    }
 }
 
 impl XMergeConfig {
@@ -173,6 +184,7 @@ impl XMergeConfig {
             host_policy: HostPolicy::default(),
             region_parallel: false,
             paranoid: false,
+            prefilter: true,
         }
     }
 
@@ -204,6 +216,12 @@ impl XMergeConfig {
     /// Enables paranoid post-commit re-analysis.
     pub fn with_paranoid(mut self, on: bool) -> XMergeConfig {
         self.paranoid = on;
+        self
+    }
+
+    /// Enables or disables the admissible candidate pre-filter.
+    pub fn with_prefilter(mut self, on: bool) -> XMergeConfig {
+        self.prefilter = on;
         self
     }
 }
@@ -328,6 +346,12 @@ pub struct CorpusMergeReport {
     /// Full (traceback) alignment runs during this pipeline run (counter
     /// delta).
     pub align_full_runs: u64,
+    /// Banded DP attempts during this pipeline run (counter delta across
+    /// both alignment tiers).
+    pub align_band_runs: u64,
+    /// Banded attempts that saturated their corridor and fell back to the
+    /// exact tier (counter delta; a subset of [`Self::align_band_runs`]).
+    pub align_band_saturations: u64,
     /// Whether paranoid post-commit re-analysis was enabled for this run.
     pub paranoid: bool,
     /// Post-commit re-analysis checks performed (0 unless
@@ -451,13 +475,17 @@ impl fmt::Display for CorpusMergeReport {
         )?;
         writeln!(
             f,
-            "  alignment: peak live DP {} bytes (full matrix would be {}), {} cells, {} entries trimmed, {} full + {} score-only runs",
+            "  alignment: peak live DP {} bytes (full matrix would be {}), {} cells, {} entries trimmed, {} full + {} score-only runs, {} banded ({} saturated); prefilter: {} checked, {} rejected",
             self.align_peak_live_bytes,
             self.align_peak_full_matrix_bytes,
             self.align_cells,
             self.align_trimmed_entries,
             self.align_full_runs,
-            self.align_score_only_runs
+            self.align_score_only_runs,
+            self.align_band_runs,
+            self.align_band_saturations,
+            self.planner.prefilter_checked,
+            self.planner.prefilter_rejected
         )?;
         writeln!(
             f,
@@ -511,6 +539,13 @@ pub(crate) struct ScoredCross {
 /// Identity of one cross-module candidate pair: host module index, donor
 /// module index, and the two function names.
 pub(crate) type CrossKey = (usize, usize, String, String);
+
+/// Discovery-time fingerprint distance per candidate pair, keyed by module
+/// *names* (stable across the region remapping, unlike module indices) with
+/// both orientations inserted so the host-policy placement flip still finds
+/// its hint. The distance only sizes alignment bands — losing an entry can
+/// never change a result, only its cost.
+type DistanceMap = HashMap<(String, String, String, String), u64>;
 
 /// Per-function static intra-module coupling, split by side: a *merged*
 /// donor forces both its same-module callers (they now hop out through the
@@ -611,6 +646,8 @@ struct CrossSource<'a> {
     /// Paranoid monitor shared across the run (and across region workers,
     /// hence the mutex); `None` unless [`XMergeConfig::paranoid`] is set.
     paranoid: Option<&'a Mutex<analysis::ParanoidMonitor>>,
+    /// Discovery-time fingerprint distances, for band sizing.
+    distances: Arc<DistanceMap>,
 }
 
 impl<'a> CrossSource<'a> {
@@ -625,6 +662,7 @@ impl<'a> CrossSource<'a> {
         components: Arc<ComponentMap>,
         comp_callers: Arc<Vec<Vec<usize>>>,
         paranoid: Option<&'a Mutex<analysis::ParanoidMonitor>>,
+        distances: Arc<DistanceMap>,
     ) -> CrossSource<'a> {
         // Where each symbol is defined, with linkage, for the hazard rules.
         let mut def_sites: HashMap<String, Vec<(usize, Linkage)>> = HashMap::new();
@@ -662,7 +700,21 @@ impl<'a> CrossSource<'a> {
             align_cells: 0,
             align_trimmed: 0,
             paranoid,
+            distances,
         }
+    }
+
+    /// The discovery-time fingerprint distance of a (placed) pair, if the
+    /// round's LSH pass produced one.
+    fn distance_of(&self, key: &CrossKey) -> Option<u64> {
+        self.distances
+            .get(&(
+                self.names[key.0].clone(),
+                key.2.clone(),
+                self.names[key.1].clone(),
+                key.3.clone(),
+            ))
+            .copied()
     }
 
     /// The static call edges forced cross-module by making `name`@`module`
@@ -830,11 +882,41 @@ impl CandidateSource for CrossSource<'_> {
         let (hi, di, f1n, f2n) = key;
         let f1 = self.modules[*hi].function(f1n)?;
         let f2 = self.modules[*di].function(f2n)?;
-        score_cross(*hi, *di, f1, f2, &self.config.options)
+        score_cross(
+            *hi,
+            *di,
+            f1,
+            f2,
+            &self.config.options,
+            self.distance_of(key),
+        )
     }
 
     fn profit(score: &ScoredCross) -> i64 {
         score.profit
+    }
+
+    /// The admissible pre-filter: a pure read (class tables are cached on
+    /// the functions' analysis slots), so a rejection can never change a
+    /// committed record — it only skips the speculative trial merge.
+    fn prefilter_enabled(&self) -> bool {
+        self.config.prefilter
+    }
+
+    fn prefilter(&self, key: &CrossKey) -> bool {
+        let (hi, di, f1n, f2n) = key;
+        let (Some(f1), Some(f2)) = (
+            self.modules[*hi].function(f1n),
+            self.modules[*di].function(f2n),
+        ) else {
+            return false;
+        };
+        let band = self
+            .config
+            .options
+            .band
+            .map(|slack| fm_align::Band::from_hint(slack, self.distance_of(key)));
+        fm_align::prefilter_rejects(f1, f2, self.config.options.target, band)
     }
 
     /// Derives the commit schedule: every successfully scored pair, most
@@ -1227,6 +1309,21 @@ fn run_pipeline(
                 (owner[*a], owner[*b], ea.name.clone(), eb.name.clone())
             })
             .collect();
+        // The discovery-time distance of every pair, for alignment-band
+        // sizing; both orientations so the placement flip still hits.
+        let mut distances = DistanceMap::new();
+        for (pair, key) in candidates.iter().zip(&resolved) {
+            let (hn, f1, dn, f2) = (&names[key.0], &key.2, &names[key.1], &key.3);
+            distances.insert(
+                (hn.clone(), f1.clone(), dn.clone(), f2.clone()),
+                pair.distance,
+            );
+            distances.insert(
+                (dn.clone(), f2.clone(), hn.clone(), f1.clone()),
+                pair.distance,
+            );
+        }
+        let distances = Arc::new(distances);
         if telemetry::decisions_enabled() {
             for (pair, key) in candidates.iter().zip(&resolved) {
                 telemetry::record_decision(
@@ -1305,6 +1402,7 @@ fn run_pipeline(
                 &components,
                 &comp_callers,
                 paranoid_monitor.as_ref(),
+                &distances,
             )
         } else {
             run_cross_round(
@@ -1317,6 +1415,7 @@ fn run_pipeline(
                 components,
                 comp_callers,
                 paranoid_monitor.as_ref(),
+                distances,
             )
         };
         report.attempts += outcome.attempts;
@@ -1445,6 +1544,8 @@ fn run_pipeline(
     let align1 = fm_align::alignment_counters();
     report.align_score_only_runs = align1.score_only_runs - align0.score_only_runs;
     report.align_full_runs = align1.full_runs - align0.full_runs;
+    report.align_band_runs = align1.band_runs - align0.band_runs;
+    report.align_band_saturations = align1.band_saturations - align0.band_saturations;
 
     if !want_input_index {
         return (report, None, None);
@@ -1482,6 +1583,7 @@ fn run_cross_round(
     components: Arc<ComponentMap>,
     comp_callers: Arc<Vec<Vec<usize>>>,
     paranoid: Option<&Mutex<analysis::ParanoidMonitor>>,
+    distances: Arc<DistanceMap>,
 ) -> RoundOutcome {
     let mut source = CrossSource::new(
         modules,
@@ -1493,6 +1595,7 @@ fn run_cross_round(
         components,
         comp_callers,
         paranoid,
+        distances,
     );
     let (committed, mut stats) = run_plan(
         &mut source,
@@ -1536,6 +1639,7 @@ fn run_round_in_regions(
     components: &Arc<ComponentMap>,
     comp_callers: &Arc<Vec<Vec<usize>>>,
     paranoid: Option<&Mutex<analysis::ParanoidMonitor>>,
+    distances: &Arc<DistanceMap>,
 ) -> RoundOutcome {
     let mut region_of = vec![0usize; modules.len()];
     for (ri, members) in regions.iter().enumerate() {
@@ -1605,6 +1709,7 @@ fn run_round_in_regions(
                 components.clone(),
                 comp_callers.clone(),
                 paranoid,
+                distances.clone(),
             );
             (members, modules, outcome)
         })
@@ -1653,6 +1758,7 @@ pub(crate) fn score_cross(
     f1: &Function,
     f2: &Function,
     options: &MergeOptions,
+    distance: Option<u64>,
 ) -> Option<ScoredCross> {
     let target = options.target;
     if f1.name == f2.name && f1.linkage == Linkage::External && structurally_equal(f1, f2) {
@@ -1671,7 +1777,7 @@ pub(crate) fn score_cross(
             align: (0, 0, 0, 0),
         });
     }
-    let pair = merge_pair(f1, f2, options, "merged.xm.trial")?;
+    let pair = merge_pair_with_distance(f1, f2, options, "merged.xm.trial", distance)?;
     let thunk1 = build_thunk(f1, &pair.merged, &pair.param_f1, false);
     let thunk2 = build_thunk(f2, &pair.merged, &pair.param_f2, true);
     let profit = function_size_bytes(f1, target) as i64 + function_size_bytes(f2, target) as i64

@@ -5,11 +5,15 @@
 //! on arbitrary generated function pairs, their register-demoted variants,
 //! and the empty/one-sided/all-unmergeable edges.
 
-use fm_align::{align, align_full_matrix, align_score, linearize, SeqEntry};
+use fm_align::{
+    align, align_banded, align_full_matrix, align_score, align_score_banded, linearize,
+    match_upper_bound, prefilter_rejects, Band, SeqEntry,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ssa_ir::{parse_function, Function};
+use ssa_passes::codesize::Target;
 use ssa_passes::reg2mem;
 use workloads::{generate_function, make_clone, Divergence, FunctionSpec};
 
@@ -136,6 +140,105 @@ proptest! {
                 linear.stats.matrix_bytes,
                 linear.stats.full_matrix_bytes
             );
+        }
+    }
+
+    /// Banded alignment is byte-identical to the exact tier at *every*
+    /// corridor width — tight corridors that saturate and fall back, wide
+    /// corridors that cover the matrix, and distance-widened hints alike.
+    #[test]
+    fn banded_alignment_is_identical_at_every_width(
+        seed in 0u64..200,
+        size in 10usize..50,
+        slack in 0u32..48,
+        distance_raw in 0u64..65,
+    ) {
+        let base = generated(seed, size);
+        let clone = make_clone(
+            &base,
+            "clone",
+            Divergence::medium(),
+            &mut SmallRng::seed_from_u64(seed ^ 0xabcd),
+            &["alt_helper".to_string()],
+        );
+        let s1 = linearize(&base);
+        let s2 = linearize(&clone);
+        let reference = align(&base, &s1, &clone, &s2);
+        // 64 doubles as "no hint" so one range covers both constructors.
+        let distance = (distance_raw < 64).then_some(distance_raw);
+        let band = match distance {
+            Some(d) => Band::from_hint(slack, Some(d)),
+            None => Band::new(slack),
+        };
+        let banded = align_banded(&base, &s1, &clone, &s2, Some(band));
+        prop_assert!(
+            banded.pairs == reference.pairs,
+            "banded traceback diverged at slack {} distance {:?}",
+            slack,
+            distance
+        );
+        prop_assert_eq!(banded.stats.matches, reference.stats.matches);
+        let banded_score = align_score_banded(&base, &s1, &clone, &s2, Some(band));
+        prop_assert_eq!(banded_score.matches, reference.stats.matches);
+    }
+
+    /// The class-histogram intersection is an admissible bound: no alignment
+    /// of any generated pair ever matches more entries than it promises.
+    /// This is the inequality the planner's pre-filter rests on.
+    #[test]
+    fn match_upper_bound_is_admissible(
+        seed in 0u64..200,
+        size1 in 8usize..50,
+        size2 in 8usize..50,
+        related in 0usize..2,
+    ) {
+        let f1 = generated(seed, size1);
+        let f2 = if related == 1 {
+            make_clone(
+                &f1,
+                "clone",
+                Divergence::high(),
+                &mut SmallRng::seed_from_u64(seed ^ 0x5eed),
+                &[],
+            )
+        } else {
+            generated(seed.wrapping_add(20_000), size2)
+        };
+        let s1 = linearize(&f1);
+        let s2 = linearize(&f2);
+        let a = align(&f1, &s1, &f2, &s2);
+        prop_assert!(a.stats.matches as u64 <= match_upper_bound(&f1, &f2));
+    }
+
+    /// A prefilter-rejected pair is never profitable: merging it anyway and
+    /// pricing the result with the real cost model (merged body + two thunks,
+    /// exactly what the driver commits on) always yields profit <= 0, on both
+    /// targets and at every band width.
+    #[test]
+    fn prefilter_rejected_pairs_are_never_profitable(
+        seed in 0u64..120,
+        size1 in 8usize..40,
+        size2 in 8usize..40,
+        slack in 0u32..32,
+    ) {
+        use salssa::{estimate_profit, merge_pair, MergeOptions};
+        let f1 = generated(seed, size1);
+        let f2 = generated(seed.wrapping_add(30_000), size2);
+        for target in [Target::X86Like, Target::ThumbLike] {
+            if !prefilter_rejects(&f1, &f2, target, Some(Band::new(slack))) {
+                continue;
+            }
+            let mut module = ssa_ir::Module::new("m");
+            module.add_function(f1.clone());
+            module.add_function(f2.clone());
+            let options = MergeOptions { target, ..MergeOptions::default() };
+            if let Some(pair) = merge_pair(&f1, &f2, &options, "merged.pf") {
+                let profit = estimate_profit(&module, &f1.name, &f2.name, &pair, target);
+                prop_assert!(
+                    profit <= 0,
+                    "prefilter rejected a pair worth {profit} bytes on {target:?}"
+                );
+            }
         }
     }
 

@@ -64,6 +64,13 @@ fn reference_merge(module: &mut Module, threshold: usize, min_size: usize) -> Ve
                 module.function(&name).unwrap(),
                 module.function(&candidate).unwrap(),
             );
+            // The same admissible pre-filter the planner applies: skipping a
+            // provably unprofitable pair can never change the committed set,
+            // and keeps the reference's attempt schedule comparable.
+            let band = Some(fm_align::Band::new(salssa::options::DEFAULT_BAND_SLACK));
+            if fm_align::prefilter_rejects(f1, f2, Target::X86Like, band) {
+                continue;
+            }
             let merged_name = format!("merged.{}.{}", f1.name, f2.name);
             let Some(pair) = merge_pair(f1, f2, &options, &merged_name) else {
                 continue;
@@ -147,6 +154,59 @@ fn sequential_parallel_and_reference_drivers_agree_bit_for_bit() {
                 assert!(par.planner.speculative_scores > 0);
             }
         }
+    }
+}
+
+/// Banding and the admissible pre-filter are pure accelerators: every
+/// combination of band width (including none) and prefilter setting must
+/// commit bit-identical records and leave byte-identical modules.
+#[test]
+fn banding_and_prefilter_toggles_commit_identically() {
+    let merger = SalSsaMerger::default();
+    for seed in [11u64, 97] {
+        let mut base_module = workload(seed);
+        let base = merge_module(
+            &mut base_module,
+            &merger,
+            &DriverConfig::with_threshold(2).parallel(),
+        );
+
+        // Unbanded alignment (always the exact tier).
+        let unbanded = SalSsaMerger::new(MergeOptions {
+            band: None,
+            ..MergeOptions::default()
+        });
+        let mut m = workload(seed);
+        let r = merge_module(
+            &mut m,
+            &unbanded,
+            &DriverConfig::with_threshold(2).parallel(),
+        );
+        assert_eq!(base.committed, r.committed, "unbanded, seed {seed}");
+        assert_eq!(print_module(&base_module), print_module(&m));
+
+        // A wider explicit corridor, sequential mode for variety.
+        let wide = SalSsaMerger::new(MergeOptions {
+            band: Some(40),
+            ..MergeOptions::default()
+        });
+        let mut m = workload(seed);
+        let r = merge_module(&mut m, &wide, &DriverConfig::with_threshold(2));
+        assert_eq!(base.committed, r.committed, "band 40, seed {seed}");
+        assert_eq!(print_module(&base_module), print_module(&m));
+
+        // Pre-filter disabled: more pairs get scored, same commits.
+        let mut m = workload(seed);
+        let r = merge_module(
+            &mut m,
+            &merger,
+            &DriverConfig::with_threshold(2)
+                .parallel()
+                .with_prefilter(false),
+        );
+        assert_eq!(base.committed, r.committed, "no prefilter, seed {seed}");
+        assert_eq!(print_module(&base_module), print_module(&m));
+        assert!(r.planner.prefilter_rejected == 0 && r.planner.prefilter_checked == 0);
     }
 }
 
