@@ -176,9 +176,59 @@ fn assert_tracing_off_overhead() {
     );
 }
 
+/// Asserts disabled allocation tracking costs under 2% of a full
+/// cross-module pipeline run: (allocator operations one tracked run
+/// performs) x (measured cost of the off-path check — the one relaxed load
+/// the counting wrapper adds per operation) must stay below 2% of the
+/// untracked pipeline's wall time.
+fn assert_alloc_tracking_off_overhead() {
+    let config = XMergeConfig::new();
+    telemetry::set_alloc_tracking(false);
+    let wall = best_of(3, || {
+        let mut modules = overhead_corpus();
+        xmerge_corpus(&mut modules, &config);
+    });
+
+    // Count the allocator operations a real run performs.
+    telemetry::set_alloc_tracking(true);
+    let before = telemetry::alloc_snapshot();
+    {
+        let mut modules = overhead_corpus();
+        xmerge_corpus(&mut modules, &config);
+    }
+    let after = telemetry::alloc_snapshot();
+    telemetry::set_alloc_tracking(false);
+    let ops = (after.allocs - before.allocs) + (after.deallocs - before.deallocs);
+    assert!(ops > 0, "tracked pipeline run recorded no allocations");
+
+    // Per-operation cost of the off path, amortized over a tight loop.
+    // Kept in float nanoseconds: the real cost is sub-nanosecond, which a
+    // Duration division would round to zero and gut the assertion.
+    const REPS: u32 = 1_000_000;
+    let loop_time = best_of(3, || {
+        for _ in 0..REPS {
+            std::hint::black_box(telemetry::alloc_tracking_enabled());
+        }
+    });
+    let per_op_nanos = loop_time.as_secs_f64() * 1e9 / f64::from(REPS);
+
+    let overhead = Duration::from_secs_f64(per_op_nanos * ops as f64 / 1e9);
+    let budget = wall.mul_f64(0.02);
+    assert!(
+        overhead < budget,
+        "disabled alloc tracking too expensive: {ops} ops x {per_op_nanos:.3}ns = {overhead:?}, \
+         over 2% of pipeline wall time {wall:?}"
+    );
+    println!(
+        "alloc tracking overhead ok: {ops} ops x {per_op_nanos:.3}ns = {overhead:?} \
+         vs 2% budget {budget:?} (pipeline {wall:?})"
+    );
+}
+
 criterion_group!(benches, pair_merge, module_merge, telemetry_hot_paths);
 
 fn main() {
     benches();
     assert_tracing_off_overhead();
+    assert_alloc_tracking_off_overhead();
 }

@@ -22,11 +22,21 @@
 //! - `explain <dir> <fn-a> <fn-b>` — replay discovery and scoring for one
 //!   candidate pair and print the verdict chain (why it would or would not
 //!   be merged).
+//! - `perf` — the standardized regression harness: generate a pinned corpus
+//!   tier (S/M/L) in-process, run the cross-module pipeline with allocation
+//!   tracking on, and append a machine-readable entry (wall time, allocator
+//!   peak, `VmHWM`, key counters) to `BENCH_xmerge.json`; `--baseline`
+//!   gates against a checked-in baseline, `--update-baseline` refreshes it.
+//! - `profile <trace.json>` — fold a previously written Chrome trace into a
+//!   flamegraph-style self/total time + bytes rollup per span.
 //!
 //! Observability (merge/xmerge/lint): `--trace-out <file>` writes a Chrome
-//! Trace Event Format JSON of the run's internal spans (load it in Perfetto),
-//! `--decisions-out <file>` writes the candidate-pair decision log as JSONL,
-//! and `report --metrics` prints the process-wide metrics registry.
+//! Trace Event Format JSON of the run's internal spans (load it in Perfetto)
+//! and turns on allocation tracking, so every span's end event carries its
+//! thread's allocation delta; `--profile` additionally prints the rollup
+//! after the run; `--decisions-out <file>` writes the candidate-pair
+//! decision log as JSONL, and `report --metrics` prints the process-wide
+//! metrics registry (with p50/p90/p99 per histogram).
 //!
 //! ```text
 //! cargo run --release --bin salssa -- examples/clone_heavy.ll
@@ -36,6 +46,8 @@
 //! cargo run --release --bin salssa -- callgraph corpus/
 //! cargo run --release --bin salssa -- report --json corpus/
 //! ```
+
+mod perf;
 
 use callgraph::{CallGraph, CorpusCallIndex};
 use salssa::{merge_module, DriverConfig, DriverMode, MergeOptions, SalSsaMerger};
@@ -67,6 +79,12 @@ commands:
   explain <dir> <a> <b>  replay cross-module discovery + scoring for the pair
                          of functions <a>, <b> (each 'name' or 'module:name')
                          and print the verdict chain
+  perf                   run the standardized perf tier (see --tier) with
+                         allocation tracking on and append a machine-readable
+                         entry to BENCH_xmerge.json; with --baseline, gate
+                         against a checked-in baseline (exit 1 on regression)
+  profile <trace.json>   fold a Chrome trace written by --trace-out into a
+                         self/total time + bytes rollup per span
 
 options:
   -t, --threshold <N>    exploration threshold: ranked candidates tried per
@@ -110,10 +128,23 @@ options:
                          identical either way; this only costs time)
       --target <x86|thumb> code-size model for profitability (default x86)
       --trace-out <file>   write a Chrome Trace Event Format JSON of the run's
-                         internal spans (open it in Perfetto / chrome://tracing)
+                         internal spans (open it in Perfetto / chrome://tracing);
+                         also enables allocation tracking so span end events
+                         carry alloc_bytes / peak_delta
+      --profile          print a self/total time + bytes rollup of the run's
+                         spans after the normal output (implies tracing and
+                         allocation tracking)
       --decisions-out <file>  write the candidate-pair decision log (discovered,
                          scored, rejected+reason, committed) as JSONL
       --metrics          report: print the metrics registry after the report
+      --tier <S|M|L>     perf: corpus tier to run (default S)
+      --runs <N>         perf: repetitions; the entry records every wall time
+                         and gates on the fastest (default 1)
+      --bench-out <file> perf: append the entry here (default BENCH_xmerge.json)
+      --baseline <file>  perf: compare against this baseline — soft wall-time
+                         band, hard allocator-peak ceiling, exact commit count
+      --update-baseline  perf: rewrite --baseline from this run instead of
+                         gating
       --json             emit machine-readable JSON instead of the report
       --out <file>       index: write the serialized index here ('-' = stdout)
       --out-dir <dir>    xmerge: write the merged modules here
@@ -130,6 +161,8 @@ enum Command {
     Report,
     Lint,
     Explain,
+    Perf,
+    Profile,
 }
 
 struct Cli {
@@ -152,6 +185,12 @@ struct Cli {
     trace_out: Option<String>,
     decisions_out: Option<String>,
     metrics: bool,
+    profile: bool,
+    tier: workloads::PerfTier,
+    runs: usize,
+    bench_out: Option<String>,
+    baseline: Option<String>,
+    update_baseline: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -174,6 +213,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut trace_out: Option<String> = None;
     let mut decisions_out: Option<String> = None;
     let mut metrics = false;
+    let mut profile = false;
+    let mut tier = workloads::PerfTier::S;
+    let mut runs = 1usize;
+    let mut bench_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut update_baseline = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -235,12 +280,27 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--trace-out" => trace_out = Some(value_for(arg)?),
             "--decisions-out" => decisions_out = Some(value_for(arg)?),
             "--metrics" => metrics = true,
+            "--profile" => profile = true,
+            "--tier" => {
+                let t = value_for(arg)?;
+                tier = workloads::PerfTier::parse(&t)
+                    .ok_or_else(|| format!("unknown tier '{t}' (S|M|L)"))?;
+            }
+            "--runs" => {
+                runs = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad {arg}: {e}"))?;
+            }
+            "--bench-out" => bench_out = Some(value_for(arg)?),
+            "--baseline" => baseline = Some(value_for(arg)?),
+            "--update-baseline" => update_baseline = true,
             "--json" => json = true,
             "--out" => out = Some(value_for(arg)?),
             "--out-dir" => out_dir = Some(value_for(arg)?),
             "--print-module" => print_module = true,
             "-h" | "--help" => return Err(String::new()),
-            "merge" | "index" | "xmerge" | "callgraph" | "report" | "lint" | "explain"
+            "merge" | "index" | "xmerge" | "callgraph" | "report" | "lint" | "explain" | "perf"
+            | "profile"
                 if command.is_none() && inputs.is_empty() =>
             {
                 command = Some(match arg.as_str() {
@@ -250,6 +310,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     "callgraph" => Command::CallGraph,
                     "lint" => Command::Lint,
                     "explain" => Command::Explain,
+                    "perf" => Command::Perf,
+                    "profile" => Command::Profile,
                     _ => Command::Report,
                 });
             }
@@ -259,16 +321,27 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     }
 
     let command = command.unwrap_or(Command::Merge);
-    if inputs.is_empty() {
+    // `perf` generates its corpus in-process — it is the one command that
+    // takes no input.
+    if inputs.is_empty() && command != Command::Perf {
         return Err("no input given".to_string());
+    }
+    if command == Command::Perf && !inputs.is_empty() {
+        return Err("perf takes no inputs (the corpus is generated; see --tier)".to_string());
     }
     if command == Command::Explain && inputs.len() != 3 {
         return Err(
             "explain takes a corpus and two function specs: explain <dir> <a> <b>".to_string(),
         );
     }
+    if command == Command::Profile && inputs.len() != 1 {
+        return Err("profile takes exactly one trace file: profile <trace.json>".to_string());
+    }
     if !matches!(command, Command::Report | Command::Lint | Command::Explain) && inputs.len() > 1 {
         return Err("more than one input given".to_string());
+    }
+    if update_baseline && baseline.is_none() {
+        return Err("--update-baseline requires --baseline <file>".to_string());
     }
     Ok(Cli {
         command,
@@ -290,6 +363,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         trace_out,
         decisions_out,
         metrics,
+        profile,
+        tier,
+        runs,
+        bench_out,
+        baseline,
+        update_baseline,
     })
 }
 
@@ -366,9 +445,14 @@ fn main() -> ExitCode {
         }
     };
     // Arm telemetry before any work happens (including corpus loading, so
-    // parse spans land in the trace).
-    if cli.trace_out.is_some() {
+    // parse spans land in the trace). Tracing implies allocation tracking:
+    // every span's end event then carries its thread's allocation delta.
+    // `profile <trace.json>` itself reads a finished trace, so it records
+    // nothing.
+    let live_profile = cli.profile && cli.command != Command::Profile;
+    if cli.trace_out.is_some() || live_profile {
         telemetry::set_tracing(true);
+        telemetry::set_alloc_tracking(true);
     }
     if cli.decisions_out.is_some() {
         telemetry::set_decisions(true);
@@ -381,12 +465,24 @@ fn main() -> ExitCode {
         Command::Report => run_report(&cli),
         Command::Lint => run_lint(&cli),
         Command::Explain => run_explain(&cli),
+        Command::Perf => perf::run_perf(&cli),
+        Command::Profile => run_profile(&cli),
     };
-    if let Some(path) = &cli.trace_out {
+    // The trace is drained exactly once; the file export and the rollup
+    // print both read the same drain.
+    if cli.trace_out.is_some() || live_profile {
         let trace = telemetry::take_trace();
-        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
-            eprintln!("error: cannot write trace {path}: {e}");
-            return ExitCode::FAILURE;
+        if let Some(path) = &cli.trace_out {
+            if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+                eprintln!("error: cannot write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if live_profile {
+            print!(
+                "\nprofile:\n{}",
+                telemetry::Profile::from_trace(&trace).render()
+            );
         }
     }
     if let Some(path) = &cli.decisions_out {
@@ -885,6 +981,24 @@ fn run_lint(cli: &Cli) -> ExitCode {
         return ExitCode::FAILURE;
     }
     printed
+}
+
+fn run_profile(cli: &Cli) -> ExitCode {
+    let input = &cli.inputs[0];
+    let text = match std::fs::read_to_string(input) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match telemetry::Profile::from_chrome_json(&text) {
+        Ok(profile) => emit(|out| write!(out, "{}", profile.render())),
+        Err(e) => {
+            eprintln!("error: {input}: not a readable Chrome trace: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn run_report(cli: &Cli) -> ExitCode {

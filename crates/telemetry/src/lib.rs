@@ -16,14 +16,41 @@
 //! * [`decisions`] — the candidate-pair lifecycle (discovered → scored →
 //!   rejected(reason) → committed) as an ordered event log, exported as
 //!   JSONL and replayed by `salssa explain`.
+//! * [`alloc`] — the **resource layer**: a counting `#[global_allocator]`
+//!   wrapper (installed below, process-wide) tracking current/peak heap
+//!   bytes and allocation counts, plus `VmHWM`/`VmRSS` readers. When
+//!   tracking is on, every span's end event carries the allocation delta of
+//!   its thread and its contribution to the process peak.
+//! * [`profile`] — folds a drained trace (or a Chrome trace JSON file) into
+//!   a flamegraph-style self/total time + bytes rollup per phase, with call
+//!   counts and p50/p95/p99 latencies.
+//! * [`jsonv`] — a dependency-free JSON value parser (the build vendors no
+//!   serde) used to read traces and perf baselines back in.
 
+pub mod alloc;
 pub mod decisions;
+pub mod jsonv;
 pub mod metrics;
+pub mod profile;
 pub mod span;
 
+/// The process-wide allocator: a counting wrapper over the system allocator.
+/// One relaxed atomic load per operation while tracking is off — the same
+/// "disabled means free" discipline as spans.
+#[global_allocator]
+static GLOBAL_ALLOCATOR: alloc::CountingAllocator = alloc::CountingAllocator;
+
+pub use alloc::{
+    alloc_peak_bytes, alloc_snapshot, alloc_tracking_enabled, current_rss_bytes, peak_rss_bytes,
+    reset_alloc_peak, reset_peak_rss, set_alloc_tracking, thread_alloc_bytes, thread_dealloc_bytes,
+    AllocSnapshot,
+};
 pub use decisions::{
     decisions_enabled, record_decision, record_decision_with, set_decisions, take_decisions,
     Decision, DecisionEvent, Pair, RejectReason,
 };
 pub use metrics::{registry, MetricValue, MetricsSnapshot, Registry};
-pub use span::{set_tracing, span, span_with, take_trace, timed_span, tracing_enabled, Trace};
+pub use profile::{Profile, ProfileNode};
+pub use span::{
+    set_tracing, span, span_with, take_trace, timed_span, tracing_enabled, AllocDelta, Trace,
+};

@@ -51,16 +51,39 @@ impl Gauge {
     }
 }
 
+/// Power-of-two sample buckets: index 0 holds zeros, index `i` holds values
+/// in `[2^(i-1), 2^i)`. 65 buckets cover the whole `u64` range.
+const NUM_BUCKETS: usize = 65;
+
+/// The bucket a sample lands in.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// A representative value for quantile estimates: the midpoint of the
+/// bucket's value range (exact for bucket 0 and 1).
+fn bucket_midpoint(bucket: usize) -> u64 {
+    if bucket == 0 {
+        return 0;
+    }
+    let low = 1u64 << (bucket - 1);
+    let high = low.saturating_mul(2).saturating_sub(1);
+    low + (high - low) / 2
+}
+
 struct HistogramInner {
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
 }
 
-/// Distribution summary: count / sum / min / max of recorded `u64` samples.
-/// (Callers clamp signed quantities — e.g. profit — to zero or record the
-/// magnitude; the summary is for orientation, not exact quantiles.)
+/// Distribution summary: count / sum / min / max plus p50/p90/p99 estimates
+/// from power-of-two buckets (bucket-midpoint accuracy — within 2x of the
+/// true quantile; callers clamp signed quantities, e.g. profit, to zero or
+/// record the magnitude).
 #[derive(Clone)]
 pub struct Histogram(Arc<HistogramInner>);
 
@@ -70,10 +93,33 @@ impl Histogram {
         self.0.sum.fetch_add(v, Ordering::Relaxed);
         self.0.min.fetch_min(v, Ordering::Relaxed);
         self.0.max.fetch_max(v, Ordering::Relaxed);
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn summary(&self) -> HistogramSummary {
         let count = self.0.count.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quantile = |q: f64| -> u64 {
+            let total: u64 = buckets.iter().sum();
+            if total == 0 {
+                return 0;
+            }
+            // Rank of the q-quantile sample, 1-based, at least 1.
+            let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (i, n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= target {
+                    return bucket_midpoint(i);
+                }
+            }
+            bucket_midpoint(NUM_BUCKETS - 1)
+        };
         HistogramSummary {
             count,
             sum: self.0.sum.load(Ordering::Relaxed),
@@ -83,6 +129,9 @@ impl Histogram {
                 self.0.min.load(Ordering::Relaxed)
             },
             max: self.0.max.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
         }
     }
 }
@@ -93,6 +142,12 @@ pub struct HistogramSummary {
     pub sum: u64,
     pub min: u64,
     pub max: u64,
+    /// Estimated median (power-of-two-bucket midpoint).
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
 }
 
 impl HistogramSummary {
@@ -159,6 +214,7 @@ impl Registry {
                 sum: AtomicU64::new(0),
                 min: AtomicU64::new(u64::MAX),
                 max: AtomicU64::new(0),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             })))
         }) {
             Metric::Histogram(h) => h.clone(),
@@ -197,6 +253,9 @@ impl Registry {
                     h.0.sum.store(0, Ordering::Relaxed);
                     h.0.min.store(u64::MAX, Ordering::Relaxed);
                     h.0.max.store(0, Ordering::Relaxed);
+                    for b in &h.0.buckets {
+                        b.store(0, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -238,11 +297,12 @@ impl MetricsSnapshot {
                         MetricValue::Counter(n.saturating_sub(*e))
                     }
                     (MetricValue::Histogram(n), Some(MetricValue::Histogram(e))) => {
+                        // Count and sum subtract; min/max and the quantile
+                        // estimates are levels of the current distribution.
                         MetricValue::Histogram(HistogramSummary {
                             count: n.count.saturating_sub(e.count),
                             sum: n.sum.saturating_sub(e.sum),
-                            min: n.min,
-                            max: n.max,
+                            ..*n
                         })
                     }
                     (v, _) => *v,
@@ -278,12 +338,15 @@ impl MetricsSnapshot {
                         histograms.push(',');
                     }
                     histograms.push_str(&format!(
-                        "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                        "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
                         crate::span::json_escape(name),
                         h.count,
                         h.sum,
                         h.min,
-                        h.max
+                        h.max,
+                        h.p50,
+                        h.p90,
+                        h.p99
                     ));
                 }
             }
@@ -310,12 +373,15 @@ impl MetricsSnapshot {
                 }
                 MetricValue::Gauge(v) => out.push_str(&format!("{name:<width$}  gauge      {v}\n")),
                 MetricValue::Histogram(h) => out.push_str(&format!(
-                    "{name:<width$}  histogram  count={} sum={} min={} max={} mean={:.1}\n",
+                    "{name:<width$}  histogram  count={} sum={} min={} max={} mean={:.1} p50={} p90={} p99={}\n",
                     h.count,
                     h.sum,
                     h.min,
                     h.max,
-                    h.mean()
+                    h.mean(),
+                    h.p50,
+                    h.p90,
+                    h.p99
                 )),
             }
         }
@@ -382,6 +448,33 @@ mod tests {
         assert_eq!(c.get(), 0);
         c.inc();
         assert_eq!(registry().snapshot().counter("test.metrics.reset"), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bucket_accurate() {
+        let _l = lock();
+        let h = registry().histogram("test.metrics.quantiles");
+        registry().reset();
+        // 100 samples 1..=100: true p50 = 50, p90 = 90, p99 = 99.
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99, "{s:?}");
+        // Power-of-two buckets put the estimate within 2x of the truth.
+        assert!((25..=100).contains(&s.p50), "p50 estimate {} off", s.p50);
+        assert!((45..=180).contains(&s.p90), "p90 estimate {} off", s.p90);
+        assert!((50..=198).contains(&s.p99), "p99 estimate {} off", s.p99);
+        // Degenerate distributions stay exact.
+        registry().reset();
+        h.record(0);
+        h.record(0);
+        let s = h.summary();
+        assert_eq!((s.p50, s.p90, s.p99), (0, 0, 0));
+        let json = registry().snapshot().to_json();
+        assert!(json.contains("\"p50\":0,\"p90\":0,\"p99\":0"), "{json}");
+        assert!(registry().snapshot().render_table().contains("p99=0"));
     }
 
     #[test]

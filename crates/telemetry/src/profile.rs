@@ -1,0 +1,446 @@
+//! Fold a span trace into a flamegraph-style profile rollup.
+//!
+//! The input is either an in-process [`Trace`] (for `salssa report --profile`,
+//! which drains the trace it just recorded) or a Chrome trace JSON file a
+//! previous run wrote with `--trace-out` (for `salssa profile <trace.json>`).
+//! Replaying each thread's `B`/`E` events against a shared tree keyed by span
+//! name path yields, per node: call count, total and self time, exact
+//! p50/p95/p99 latencies, and — when allocation tracking was on — the bytes
+//! the node's spans allocated and their contribution to the process peak.
+//!
+//! Identical name paths from different threads aggregate into one node, so
+//! the rollup of a rayon-parallel run reads like the sequential one with
+//! summed counts. `total` of a node can therefore exceed wall time; the
+//! root totals equal per-thread wall sums.
+
+use crate::jsonv::{parse_json, JsonValue};
+use crate::span::{Trace, TraceEvent};
+
+/// One node of the rollup tree: a span name at a particular call path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileNode {
+    pub name: String,
+    /// Completed spans folded into this node (across all threads).
+    pub count: u64,
+    /// Sum of span durations, microseconds.
+    pub total_micros: u64,
+    /// `total` minus the totals of direct children (saturating).
+    pub self_micros: u64,
+    /// Sum of `alloc_bytes` from the spans' end events (0 when tracking off).
+    pub alloc_bytes: u64,
+    /// Sum of `peak_delta` from the spans' end events.
+    pub peak_delta: u64,
+    /// Exact percentiles over the individual span durations, microseconds.
+    pub p50_micros: u64,
+    pub p95_micros: u64,
+    pub p99_micros: u64,
+    /// Direct children, sorted by `total_micros` descending.
+    pub children: Vec<ProfileNode>,
+}
+
+/// A finished rollup: the forest of root spans.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Root nodes (spans recorded with nothing open above them), sorted by
+    /// `total_micros` descending.
+    pub roots: Vec<ProfileNode>,
+}
+
+impl Profile {
+    /// Fold a drained in-process trace.
+    pub fn from_trace(trace: &Trace) -> Profile {
+        let mut builder = Builder::default();
+        for (_, events) in &trace.threads {
+            builder.replay(events.iter().map(RawEvent::from));
+        }
+        builder.finish()
+    }
+
+    /// Fold a Chrome Trace Event Format file (as written by `--trace-out`).
+    pub fn from_chrome_json(text: &str) -> Result<Profile, String> {
+        let doc = parse_json(text).map_err(|e| e.to_string())?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| "missing traceEvents array".to_string())?;
+        // Group by tid in file order (the exporter writes each thread's
+        // events contiguously and in program order).
+        let mut threads: Vec<(u64, Vec<RawEvent>)> = Vec::new();
+        for ev in events {
+            let name = ev
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "event without a name".to_string())?
+                .to_string();
+            let phase = ev
+                .get("ph")
+                .and_then(JsonValue::as_str)
+                .and_then(|p| p.chars().next())
+                .ok_or_else(|| "event without a phase".to_string())?;
+            let ts_micros = ev
+                .get("ts")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| "event without a timestamp".to_string())?;
+            let tid = ev.get("tid").and_then(JsonValue::as_u64).unwrap_or(0);
+            let args = ev.get("args");
+            let field = |key: &str| args.and_then(|a| a.get(key)).and_then(JsonValue::as_u64);
+            let raw = RawEvent {
+                name,
+                phase,
+                ts_micros,
+                alloc_bytes: field("alloc_bytes").unwrap_or(0),
+                peak_delta: field("peak_delta").unwrap_or(0),
+            };
+            match threads.iter_mut().find(|(t, _)| *t == tid) {
+                Some((_, list)) => list.push(raw),
+                None => threads.push((tid, vec![raw])),
+            }
+        }
+        let mut builder = Builder::default();
+        for (_, events) in threads {
+            builder.replay(events.into_iter());
+        }
+        Ok(builder.finish())
+    }
+
+    /// Sum of root span totals — for a single-root trace this is the
+    /// pipeline wall time and matches the report's `timing_ms` within
+    /// rounding.
+    pub fn total_micros(&self) -> u64 {
+        self.roots.iter().map(|r| r.total_micros).sum()
+    }
+
+    /// Find a node by name anywhere in the tree (first match, depth-first in
+    /// sorted order). Convenience for tests and gating.
+    pub fn find(&self, name: &str) -> Option<&ProfileNode> {
+        fn walk<'a>(nodes: &'a [ProfileNode], name: &str) -> Option<&'a ProfileNode> {
+            for n in nodes {
+                if n.name == name {
+                    return Some(n);
+                }
+                if let Some(found) = walk(&n.children, name) {
+                    return Some(found);
+                }
+            }
+            None
+        }
+        walk(&self.roots, name)
+    }
+
+    /// Render as an indented table, hottest subtrees first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>10} {:>10} {:>7} {:>9} {:>9} {:>9} {:>10} {:>10}  span\n",
+            "total(ms)", "self(ms)", "calls", "p50(ms)", "p95(ms)", "p99(ms)", "alloc", "peak+"
+        ));
+        fn row(out: &mut String, node: &ProfileNode, depth: usize) {
+            out.push_str(&format!(
+                "{:>10} {:>10} {:>7} {:>9} {:>9} {:>9} {:>10} {:>10}  {}{}\n",
+                millis(node.total_micros),
+                millis(node.self_micros),
+                node.count,
+                millis(node.p50_micros),
+                millis(node.p95_micros),
+                millis(node.p99_micros),
+                human_bytes(node.alloc_bytes),
+                human_bytes(node.peak_delta),
+                "  ".repeat(depth),
+                node.name
+            ));
+            for child in &node.children {
+                row(out, child, depth + 1);
+            }
+        }
+        for root in &self.roots {
+            row(&mut out, root, 0);
+        }
+        out
+    }
+}
+
+fn millis(micros: u64) -> String {
+    format!("{:.3}", micros as f64 / 1000.0)
+}
+
+fn human_bytes(b: u64) -> String {
+    const KIB: u64 = 1 << 10;
+    const MIB: u64 = 1 << 20;
+    const GIB: u64 = 1 << 30;
+    if b >= GIB {
+        format!("{:.2}GiB", b as f64 / GIB as f64)
+    } else if b >= MIB {
+        format!("{:.2}MiB", b as f64 / MIB as f64)
+    } else if b >= KIB {
+        format!("{:.1}KiB", b as f64 / KIB as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Source-agnostic event: in-process traces carry `&'static str` names,
+/// parsed traces carry owned strings.
+struct RawEvent {
+    name: String,
+    phase: char,
+    ts_micros: u64,
+    alloc_bytes: u64,
+    peak_delta: u64,
+}
+
+impl From<&TraceEvent> for RawEvent {
+    fn from(ev: &TraceEvent) -> RawEvent {
+        let (alloc_bytes, peak_delta) = match ev.alloc {
+            Some(a) => (a.alloc_bytes, a.peak_delta),
+            None => (0, 0),
+        };
+        RawEvent {
+            name: ev.name.to_string(),
+            phase: ev.phase,
+            ts_micros: ev.ts_micros,
+            alloc_bytes,
+            peak_delta,
+        }
+    }
+}
+
+/// Arena node accumulating raw observations before percentile finalization.
+#[derive(Default)]
+struct BuildNode {
+    name: String,
+    durations_micros: Vec<u64>,
+    alloc_bytes: u64,
+    peak_delta: u64,
+    children: Vec<usize>,
+}
+
+#[derive(Default)]
+struct Builder {
+    nodes: Vec<BuildNode>,
+    roots: Vec<usize>,
+}
+
+impl Builder {
+    /// Find-or-create the child named `name` in `siblings`.
+    fn child(&mut self, parent: Option<usize>, name: &str) -> usize {
+        let siblings = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        if let Some(&idx) = siblings.iter().find(|&&i| self.nodes[i].name == name) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(BuildNode {
+            name: name.to_string(),
+            ..BuildNode::default()
+        });
+        match parent {
+            Some(p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+
+    /// Replay one thread's events in program order. Unbalanced events are
+    /// dropped: an `E` with an empty stack (span opened before the trace was
+    /// drained last) and a `B` never closed (span still open) contribute
+    /// nothing.
+    fn replay(&mut self, events: impl Iterator<Item = RawEvent>) {
+        let mut stack: Vec<(usize, u64)> = Vec::new();
+        for ev in events {
+            match ev.phase {
+                'B' => {
+                    let parent = stack.last().map(|&(idx, _)| idx);
+                    let idx = self.child(parent, &ev.name);
+                    stack.push((idx, ev.ts_micros));
+                }
+                'E' => {
+                    // Pop to the matching name if an inner span's E was lost;
+                    // normally this pops exactly the top.
+                    if let Some(at) = stack
+                        .iter()
+                        .rposition(|&(idx, _)| self.nodes[idx].name == ev.name)
+                    {
+                        let (idx, begin) = stack[at];
+                        stack.truncate(at);
+                        let node = &mut self.nodes[idx];
+                        node.durations_micros
+                            .push(ev.ts_micros.saturating_sub(begin));
+                        node.alloc_bytes += ev.alloc_bytes;
+                        node.peak_delta += ev.peak_delta;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn finish(self) -> Profile {
+        fn finalize(nodes: &[BuildNode], idx: usize) -> ProfileNode {
+            let node = &nodes[idx];
+            let mut children: Vec<ProfileNode> =
+                node.children.iter().map(|&c| finalize(nodes, c)).collect();
+            children.sort_by_key(|c| std::cmp::Reverse(c.total_micros));
+            let total_micros: u64 = node.durations_micros.iter().sum();
+            let child_total: u64 = children.iter().map(|c| c.total_micros).sum();
+            let mut sorted = node.durations_micros.clone();
+            sorted.sort_unstable();
+            let pct = |q: f64| -> u64 {
+                if sorted.is_empty() {
+                    return 0;
+                }
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                sorted[rank - 1]
+            };
+            ProfileNode {
+                name: node.name.clone(),
+                count: node.durations_micros.len() as u64,
+                total_micros,
+                self_micros: total_micros.saturating_sub(child_total),
+                alloc_bytes: node.alloc_bytes,
+                peak_delta: node.peak_delta,
+                p50_micros: pct(0.50),
+                p95_micros: pct(0.95),
+                p99_micros: pct(0.99),
+                children,
+            }
+        }
+        let mut roots: Vec<ProfileNode> = self
+            .roots
+            .iter()
+            .map(|&r| finalize(&self.nodes, r))
+            .collect();
+        roots.sort_by_key(|r| std::cmp::Reverse(r.total_micros));
+        Profile { roots }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::AllocDelta;
+
+    fn ev(
+        name: &'static str,
+        phase: char,
+        ts_micros: u64,
+        alloc: Option<(u64, u64)>,
+    ) -> TraceEvent {
+        TraceEvent {
+            name,
+            phase,
+            ts_micros,
+            tid: 0,
+            detail: String::new(),
+            alloc: alloc.map(|(alloc_bytes, peak_delta)| AllocDelta {
+                alloc_bytes,
+                peak_delta,
+            }),
+        }
+    }
+
+    fn nested_trace() -> Trace {
+        // outer [0,100] containing two inner calls [10,30] and [40,50],
+        // plus a second thread running inner alone [0,20].
+        Trace {
+            threads: vec![
+                (
+                    0,
+                    vec![
+                        ev("outer", 'B', 0, None),
+                        ev("inner", 'B', 10, None),
+                        ev("inner", 'E', 30, Some((1024, 512))),
+                        ev("inner", 'B', 40, None),
+                        ev("inner", 'E', 50, Some((2048, 0))),
+                        ev("outer", 'E', 100, Some((4096, 512))),
+                    ],
+                ),
+                (
+                    1,
+                    vec![
+                        ev("inner", 'B', 0, None),
+                        ev("inner", 'E', 20, Some((8, 8))),
+                    ],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn rollup_aggregates_counts_self_time_and_alloc_by_call_path() {
+        let profile = Profile::from_trace(&nested_trace());
+        // Two roots: thread 0's outer, thread 1's bare inner.
+        assert_eq!(profile.roots.len(), 2);
+        let outer = profile.find("outer").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.total_micros, 100);
+        assert_eq!(outer.self_micros, 100 - 30); // minus nested inner totals
+        assert_eq!(outer.alloc_bytes, 4096);
+        assert_eq!(outer.peak_delta, 512);
+        let nested_inner = &outer.children[0];
+        assert_eq!(nested_inner.name, "inner");
+        assert_eq!(nested_inner.count, 2);
+        assert_eq!(nested_inner.total_micros, 30);
+        assert_eq!(nested_inner.alloc_bytes, 1024 + 2048);
+        // The bare inner on thread 1 is a separate root (different path).
+        let bare_inner = profile
+            .roots
+            .iter()
+            .find(|r| r.name == "inner")
+            .expect("thread 1 root");
+        assert_eq!(bare_inner.count, 1);
+        assert_eq!(bare_inner.total_micros, 20);
+        assert_eq!(profile.total_micros(), 100 + 20);
+    }
+
+    #[test]
+    fn chrome_json_round_trip_matches_the_in_process_rollup() {
+        let trace = nested_trace();
+        let direct = Profile::from_trace(&trace);
+        let parsed = Profile::from_chrome_json(&trace.to_chrome_json()).unwrap();
+        assert_eq!(direct, parsed);
+        assert!(Profile::from_chrome_json("{\"nope\":1}").is_err());
+    }
+
+    #[test]
+    fn percentiles_are_exact_over_recorded_durations() {
+        // 100 spans with durations 1..=100 micros.
+        let mut events = Vec::new();
+        let mut t = 0;
+        for d in 1..=100u64 {
+            events.push(ev("leaf", 'B', t, None));
+            events.push(ev("leaf", 'E', t + d, None));
+            t += d + 1;
+        }
+        let profile = Profile::from_trace(&Trace {
+            threads: vec![(0, events)],
+        });
+        let leaf = profile.find("leaf").unwrap();
+        assert_eq!(leaf.count, 100);
+        assert_eq!(leaf.p50_micros, 50);
+        assert_eq!(leaf.p95_micros, 95);
+        assert_eq!(leaf.p99_micros, 99);
+        let rendered = profile.render();
+        assert!(rendered.contains("leaf"), "{rendered}");
+    }
+
+    #[test]
+    fn unbalanced_events_are_dropped_not_misattributed() {
+        let profile = Profile::from_trace(&Trace {
+            threads: vec![(
+                0,
+                vec![
+                    ev("orphan_end", 'E', 5, None),
+                    ev("open_forever", 'B', 10, None),
+                    ev("closed", 'B', 20, None),
+                    ev("closed", 'E', 30, None),
+                ],
+            )],
+        });
+        assert!(profile.find("orphan_end").is_none());
+        let open = profile.find("open_forever").unwrap();
+        assert_eq!(open.count, 0);
+        assert_eq!(profile.find("closed").unwrap().total_micros, 10);
+    }
+}

@@ -46,6 +46,19 @@ pub fn set_tracing(on: bool) {
     TRACING.store(on, Ordering::Relaxed);
 }
 
+/// Heap-allocation delta attributed to one span, attached to its `E` event
+/// when allocation tracking ([`crate::set_alloc_tracking`]) was on at span
+/// begin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocDelta {
+    /// Bytes allocated *by the span's own thread* while the span was open
+    /// (gross: frees are not subtracted).
+    pub alloc_bytes: u64,
+    /// How far the process-wide allocator high-water mark advanced while the
+    /// span was open — the span's contribution to peak footprint.
+    pub peak_delta: u64,
+}
+
 /// One Chrome Trace Event: phase `B` (begin) or `E` (end).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -57,6 +70,9 @@ pub struct TraceEvent {
     pub tid: u64,
     /// Free-form detail attached to the begin event (empty when absent).
     pub detail: String,
+    /// Allocation delta attached to the end event (`None` when allocation
+    /// tracking was off at span begin).
+    pub alloc: Option<AllocDelta>,
 }
 
 struct ThreadBuffer {
@@ -80,7 +96,13 @@ thread_local! {
     };
 }
 
-fn push_event(name: &'static str, phase: char, at: Instant, detail: String) {
+fn push_event(
+    name: &'static str,
+    phase: char,
+    at: Instant,
+    detail: String,
+    alloc: Option<AllocDelta>,
+) {
     let ts_micros = at.saturating_duration_since(epoch()).as_micros() as u64;
     LOCAL.with(|buf| {
         buf.events.lock().unwrap().push(TraceEvent {
@@ -89,11 +111,34 @@ fn push_event(name: &'static str, phase: char, at: Instant, detail: String) {
             ts_micros,
             tid: buf.tid,
             detail,
+            alloc,
         });
     });
 }
 
+/// Thread-alloc-bytes and global-peak marks taken at span begin, diffed at
+/// span end into the [`AllocDelta`] attached to the `E` event.
+#[derive(Clone, Copy)]
+struct AllocMark {
+    thread_alloc_bytes: u64,
+    peak_bytes: u64,
+}
+
+fn alloc_mark() -> Option<AllocMark> {
+    if !crate::alloc::alloc_tracking_enabled() {
+        return None;
+    }
+    Some(AllocMark {
+        thread_alloc_bytes: crate::alloc::thread_alloc_bytes(),
+        peak_bytes: crate::alloc::alloc_peak_bytes(),
+    })
+}
+
 /// RAII span guard: records `B` when created (if recording), `E` on drop.
+///
+/// The `E` event is emitted from `Drop`, so a span that unwinds out of a
+/// panic still closes — the trace stays balanced on every path (asserted by
+/// `panicking_span_still_yields_a_balanced_trace` below).
 ///
 /// `start` is `Some` only for [`timed_span`], which always measures so that
 /// [`SpanGuard::stop`] can hand the elapsed time back to report fields.
@@ -101,6 +146,7 @@ pub struct SpanGuard {
     name: &'static str,
     start: Option<Instant>,
     recording: bool,
+    alloc_mark: Option<AllocMark>,
 }
 
 impl SpanGuard {
@@ -119,7 +165,12 @@ impl SpanGuard {
     fn finish(&mut self) {
         if self.recording {
             self.recording = false;
-            push_event(self.name, 'E', Instant::now(), String::new());
+            let alloc = self.alloc_mark.map(|mark| AllocDelta {
+                alloc_bytes: crate::alloc::thread_alloc_bytes()
+                    .saturating_sub(mark.thread_alloc_bytes),
+                peak_delta: crate::alloc::alloc_peak_bytes().saturating_sub(mark.peak_bytes),
+            });
+            push_event(self.name, 'E', Instant::now(), String::new(), alloc);
         }
     }
 }
@@ -139,13 +190,15 @@ pub fn span(name: &'static str) -> SpanGuard {
             name,
             start: None,
             recording: false,
+            alloc_mark: None,
         };
     }
-    push_event(name, 'B', Instant::now(), String::new());
+    push_event(name, 'B', Instant::now(), String::new(), None);
     SpanGuard {
         name,
         start: None,
         recording: true,
+        alloc_mark: alloc_mark(),
     }
 }
 
@@ -158,13 +211,15 @@ pub fn span_with(name: &'static str, detail: impl FnOnce() -> String) -> SpanGua
             name,
             start: None,
             recording: false,
+            alloc_mark: None,
         };
     }
-    push_event(name, 'B', Instant::now(), detail());
+    push_event(name, 'B', Instant::now(), detail(), None);
     SpanGuard {
         name,
         start: None,
         recording: true,
+        alloc_mark: alloc_mark(),
     }
 }
 
@@ -176,12 +231,13 @@ pub fn timed_span(name: &'static str) -> SpanGuard {
     let now = Instant::now();
     let recording = tracing_enabled();
     if recording {
-        push_event(name, 'B', now, String::new());
+        push_event(name, 'B', now, String::new(), None);
     }
     SpanGuard {
         name,
         start: Some(now),
         recording,
+        alloc_mark: if recording { alloc_mark() } else { None },
     }
 }
 
@@ -223,11 +279,16 @@ impl Trace {
                     ev.ts_micros,
                     ev.tid
                 ));
-                if !ev.detail.is_empty() {
-                    out.push_str(&format!(
+                match (&ev.alloc, ev.detail.is_empty()) {
+                    (Some(a), _) => out.push_str(&format!(
+                        ",\"args\":{{\"alloc_bytes\":{},\"peak_delta\":{}}}",
+                        a.alloc_bytes, a.peak_delta
+                    )),
+                    (None, false) => out.push_str(&format!(
                         ",\"args\":{{\"detail\":\"{}\"}}",
                         json_escape(&ev.detail)
-                    ));
+                    )),
+                    (None, true) => {}
                 }
                 out.push('}');
             }
@@ -334,6 +395,68 @@ mod tests {
         let ts: Vec<u64> = my_events.iter().map(|e| e.ts_micros).collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
         assert_eq!(my_events[1].detail, "detail");
+    }
+
+    #[test]
+    fn panicking_span_still_yields_a_balanced_trace() {
+        let _l = lock();
+        set_tracing(true);
+        let _ = take_trace();
+        let unwound = std::panic::catch_unwind(|| {
+            let _outer = span("test.panic.outer");
+            let _inner = timed_span("test.panic.inner");
+            panic!("span unwinding");
+        });
+        assert!(unwound.is_err());
+        set_tracing(false);
+        let trace = take_trace();
+        let phases: Vec<(char, &str)> = trace
+            .threads
+            .iter()
+            .flat_map(|(_, ev)| ev.iter())
+            .filter(|e| e.name.starts_with("test.panic."))
+            .map(|e| (e.phase, e.name))
+            .collect();
+        // Drop order on unwind closes inner before outer: the trace stays
+        // balanced and properly nested even though the scope panicked.
+        assert_eq!(
+            phases,
+            vec![
+                ('B', "test.panic.outer"),
+                ('B', "test.panic.inner"),
+                ('E', "test.panic.inner"),
+                ('E', "test.panic.outer"),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_attribute_thread_allocations_when_tracking_is_on() {
+        let _l = lock();
+        set_tracing(true);
+        crate::alloc::set_alloc_tracking(true);
+        let _ = take_trace();
+        {
+            let _g = span("test.alloc.span");
+            let block: Vec<u8> = Vec::with_capacity(1 << 20);
+            drop(block);
+        }
+        crate::alloc::set_alloc_tracking(false);
+        set_tracing(false);
+        let trace = take_trace();
+        let end = trace
+            .threads
+            .iter()
+            .flat_map(|(_, ev)| ev.iter())
+            .find(|e| e.name == "test.alloc.span" && e.phase == 'E')
+            .expect("span closed");
+        let alloc = end.alloc.expect("alloc delta attached while tracking");
+        assert!(
+            alloc.alloc_bytes >= 1 << 20,
+            "span under-attributed: {alloc:?}"
+        );
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"alloc_bytes\":"), "{json}");
     }
 
     #[test]

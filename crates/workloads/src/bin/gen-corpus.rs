@@ -13,7 +13,7 @@
 //! cross-module discovery, merging and deduplication.
 
 use ssa_ir::print_module;
-use workloads::{CorpusSpec, Divergence};
+use workloads::{CorpusSpec, Divergence, PerfTier};
 
 fn main() {
     let mut spec = CorpusSpec::default();
@@ -28,6 +28,14 @@ fn main() {
                 .unwrap_or_else(|| panic!("{flag} requires a value"))
         };
         match arg.as_str() {
+            // --tier replaces the whole spec; later flags can still override
+            // individual parameters.
+            "--tier" => {
+                let t = value(arg);
+                spec = PerfTier::parse(t)
+                    .unwrap_or_else(|| panic!("unknown tier '{t}' (S|M|L)"))
+                    .spec();
+            }
             "--seed" => spec.seed = value(arg).parse().expect("bad --seed"),
             "--modules" => spec.num_modules = value(arg).parse().expect("bad --modules"),
             "--functions" => {
@@ -87,6 +95,23 @@ fn main() {
         std::fs::write(&path, print_module(module))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     }
+    // The manifest echoes every generation parameter (seed included), so a
+    // corpus — and any BENCH_xmerge.json entry measured on it — is exactly
+    // reproducible. The corpus loader only reads `.ll` files, so the
+    // manifest rides along inertly.
+    let manifest = format!(
+        "{{\"spec\":{},\"clean\":{},\"modules\":{},\"functions\":{}}}\n",
+        spec.manifest_json(),
+        clean,
+        modules.len(),
+        modules
+            .iter()
+            .map(ssa_ir::Module::num_functions)
+            .sum::<usize>()
+    );
+    let manifest_path = format!("{}/manifest.json", out_dir.trim_end_matches('/'));
+    std::fs::write(&manifest_path, manifest)
+        .unwrap_or_else(|e| panic!("cannot write {manifest_path}: {e}"));
     eprintln!(
         "wrote {} modules ({} functions) to {}",
         modules.len(),

@@ -41,6 +41,11 @@ pub struct CorpusSpec {
     /// intra-module caller counts across modules — the locality signal the
     /// call-graph host-selection policy exploits (0 = off, the default).
     pub intra_call_sites: usize,
+    /// Extra noise functions appended round-robin across modules *after*
+    /// every module has reached its quota — lets a corpus hit an exact
+    /// corpus-wide function total that isn't a multiple of `num_modules`
+    /// (the perf tiers pin such totals).
+    pub extra_functions: usize,
     /// Seed making the corpus reproducible.
     pub seed: u64,
 }
@@ -57,6 +62,7 @@ impl Default for CorpusSpec {
             divergence: Divergence::low(),
             odr_duplicates: 2,
             intra_call_sites: 0,
+            extra_functions: 0,
             seed: 7,
         }
     }
@@ -70,6 +76,98 @@ impl CorpusSpec {
         CorpusSpec {
             intra_call_sites: 12,
             ..CorpusSpec::default()
+        }
+    }
+
+    /// Serialize every generation parameter as one JSON object, so a corpus
+    /// (and any `BENCH_xmerge.json` entry derived from it) is exactly
+    /// reproducible from its manifest alone.
+    pub fn manifest_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"num_modules\":{},\"functions_per_module\":{},",
+                "\"size_range\":[{},{}],\"cross_clone_fraction\":{},\"family_span\":{},",
+                "\"divergence\":{{\"constant_mutation\":{},\"operand_swap\":{},",
+                "\"opcode_mutation\":{},\"callee_mutation\":{}}},",
+                "\"odr_duplicates\":{},\"intra_call_sites\":{},\"extra_functions\":{},",
+                "\"seed\":{}}}"
+            ),
+            sanitize(&self.name),
+            self.num_modules,
+            self.functions_per_module,
+            self.size_range.0,
+            self.size_range.1,
+            self.cross_clone_fraction,
+            self.family_span,
+            self.divergence.constant_mutation,
+            self.divergence.operand_swap,
+            self.divergence.opcode_mutation,
+            self.divergence.callee_mutation,
+            self.odr_duplicates,
+            self.intra_call_sites,
+            self.extra_functions,
+            self.seed
+        )
+    }
+}
+
+/// The standardized corpus sizes `salssa perf` (and CI's perf gate) run:
+/// fixed seeds and shapes, so two runs on the same commit always measure the
+/// same work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfTier {
+    /// Small — fast enough for a per-PR CI gate.
+    S,
+    /// Medium — 48 modules / 779 functions; the headline tracking tier.
+    M,
+    /// Large — stress tier for local investigations.
+    L,
+}
+
+impl PerfTier {
+    pub fn parse(s: &str) -> Option<PerfTier> {
+        match s {
+            "S" | "s" => Some(PerfTier::S),
+            "M" | "m" => Some(PerfTier::M),
+            "L" | "l" => Some(PerfTier::L),
+            _ => None,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            PerfTier::S => "S",
+            PerfTier::M => "M",
+            PerfTier::L => "L",
+        }
+    }
+
+    /// The tier's pinned corpus shape. Totals are exact:
+    /// S = 16×8 = 128, M = 48×16+11 = 779, L = 96×24 = 2304 functions.
+    pub fn spec(&self) -> CorpusSpec {
+        match self {
+            PerfTier::S => CorpusSpec {
+                name: "perf_s".to_string(),
+                num_modules: 16,
+                functions_per_module: 8,
+                seed: 11,
+                ..CorpusSpec::default()
+            },
+            PerfTier::M => CorpusSpec {
+                name: "perf_m".to_string(),
+                num_modules: 48,
+                functions_per_module: 16,
+                extra_functions: 11,
+                seed: 13,
+                ..CorpusSpec::default()
+            },
+            PerfTier::L => CorpusSpec {
+                name: "perf_l".to_string(),
+                num_modules: 96,
+                functions_per_module: 24,
+                seed: 17,
+                ..CorpusSpec::default()
+            },
         }
     }
 }
@@ -163,6 +261,22 @@ impl CorpusSpec {
                 counts[mi] += 1;
                 n += 1;
             }
+        }
+
+        // Ragged fill: extra noise functions beyond the uniform quota,
+        // round-robin so module sizes stay balanced.
+        for j in 0..self.extra_functions {
+            let mi = j % num_modules;
+            let size = rng.gen_range(self.size_range.0..=self.size_range.1);
+            let spec = FunctionSpec {
+                name: format!("{}_x{j}", sanitize(&self.name)),
+                size,
+                num_params: rng.gen_range(1..4),
+                callees: callees.clone(),
+                branch_density: rng.gen_range(0.1..0.5),
+                loop_density: rng.gen_range(0.0..0.3),
+            };
+            modules[mi].add_function(generate_function(&spec, &mut rng));
         }
 
         // Call-heavy corpora: one driver per module calls same-module
@@ -326,6 +440,44 @@ mod tests {
         let again = spec.generate();
         for (a, b) in modules.iter().zip(&again) {
             assert_eq!(ssa_ir::print_module(a), ssa_ir::print_module(b));
+        }
+    }
+
+    #[test]
+    fn perf_tiers_pin_exact_function_totals() {
+        for (tier, modules_expected, functions_expected) in [
+            (PerfTier::S, 16, 128),
+            (PerfTier::M, 48, 779),
+            (PerfTier::L, 96, 2304),
+        ] {
+            let spec = tier.spec();
+            let modules = spec.generate();
+            let total: usize = modules.iter().map(ssa_ir::Module::num_functions).sum();
+            assert_eq!(modules.len(), modules_expected, "tier {}", tier.name());
+            assert_eq!(total, functions_expected, "tier {}", tier.name());
+            // Regenerating from the manifest parameters alone is bit-identical.
+            let again = spec.generate();
+            for (a, b) in modules.iter().zip(&again) {
+                assert_eq!(ssa_ir::print_module(a), ssa_ir::print_module(b));
+            }
+        }
+        assert_eq!(PerfTier::parse("m"), Some(PerfTier::M));
+        assert_eq!(PerfTier::parse("xl"), None);
+    }
+
+    #[test]
+    fn manifest_json_echoes_every_generation_parameter() {
+        let spec = PerfTier::M.spec();
+        let manifest = spec.manifest_json();
+        for needle in [
+            "\"name\":\"perf_m\"",
+            "\"num_modules\":48",
+            "\"functions_per_module\":16",
+            "\"extra_functions\":11",
+            "\"seed\":13",
+            "\"divergence\":{",
+        ] {
+            assert!(manifest.contains(needle), "{needle} missing in {manifest}");
         }
     }
 

@@ -22,6 +22,6 @@ pub mod genfn;
 pub mod suite;
 
 pub use clone_family::{make_clone, Divergence};
-pub use corpus::CorpusSpec;
+pub use corpus::{CorpusSpec, PerfTier};
 pub use genfn::{generate_function, FunctionSpec};
 pub use suite::{mibench, scale, spec2006, spec2017, BenchmarkSpec};

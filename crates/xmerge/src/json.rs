@@ -94,6 +94,26 @@ fn telemetry_json() -> String {
     telemetry::registry().snapshot().to_json()
 }
 
+/// Serializes the `resources` block shared by both report schemas: a
+/// point-in-time snapshot of the counting allocator (live/peak heap bytes,
+/// allocation counts — all zero while tracking is off) and the process RSS
+/// readings from `/proc` (`null` on platforms without procfs). Append-only.
+fn resources_json() -> String {
+    let snap = telemetry::alloc_snapshot();
+    let opt = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
+    format!(
+        r#"{{"alloc_tracking":{},"current_alloc_bytes":{},"peak_alloc_bytes":{},"total_alloc_bytes":{},"allocs":{},"deallocs":{},"vm_hwm_bytes":{},"vm_rss_bytes":{}}}"#,
+        snap.tracking,
+        snap.current_bytes,
+        snap.peak_bytes,
+        snap.total_alloc_bytes,
+        snap.allocs,
+        snap.deallocs,
+        opt(telemetry::peak_rss_bytes()),
+        opt(telemetry::current_rss_bytes())
+    )
+}
+
 /// Serializes the `diagnostics` block shared by both report schemas:
 /// paranoid-mode verdicts (delta diagnostics by severity and code) plus the
 /// analysis engine's cache statistics.
@@ -156,7 +176,7 @@ pub fn merge_report_json(
         })
         .collect();
     format!(
-        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{},"alignment":{},"prefilter":{},"diagnostics":{},"telemetry":{}}}"#,
+        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{},"alignment":{},"prefilter":{},"diagnostics":{},"telemetry":{},"resources":{}}}"#,
         json_escape(input),
         json_escape(&report.technique),
         report.threshold,
@@ -192,7 +212,8 @@ pub fn merge_report_json(
             &report.paranoid_delta,
             &report.paranoid_stats,
         ),
-        telemetry_json()
+        telemetry_json(),
+        resources_json()
     )
 }
 
@@ -249,7 +270,7 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
         .collect();
     let region_counts: Vec<String> = report.region_counts.iter().map(usize::to_string).collect();
     format!(
-        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}},"alignment":{},"prefilter":{},"diagnostics":{},"telemetry":{}}}"#,
+        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}},"alignment":{},"prefilter":{},"diagnostics":{},"telemetry":{},"resources":{}}}"#,
         report.modules,
         report.functions,
         report.candidates,
@@ -303,7 +324,8 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
             &report.paranoid_delta,
             &report.paranoid_stats,
         ),
-        telemetry_json()
+        telemetry_json(),
+        resources_json()
     )
 }
 

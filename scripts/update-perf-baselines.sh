@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Refresh the checked-in perf baselines from runs on this machine.
+#
+# The CI perf gate (`salssa perf --tier S --baseline crates/bench/baselines/S.json`)
+# compares every run against these files: a soft wall-time band (baseline x
+# wall_tolerance), a hard allocator-peak ceiling, and an exact commit count.
+# Re-run this script intentionally after an accepted performance change and
+# commit the updated baselines together with the change that motivated them.
+#
+#   RUNS=5 scripts/update-perf-baselines.sh   # override the default 3 runs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin salssa
+mkdir -p crates/bench/baselines
+for tier in S M; do
+  target/release/salssa perf --tier "$tier" --runs "${RUNS:-3}" \
+    --bench-out /dev/null \
+    --baseline "crates/bench/baselines/$tier.json" --update-baseline
+done

@@ -1,12 +1,16 @@
 //! Telemetry suite: trace well-formedness under arbitrary span nesting (and
 //! rayon parallelism), and **observational purity** — the planner must commit
-//! bit-identical records with tracing and decision logging on or off, and the
-//! committed entries of the decision log must exactly match the report's
-//! merge records.
+//! bit-identical records with tracing, decision logging, and allocation
+//! tracking on or off, and the committed entries of the decision log must
+//! exactly match the report's merge records. The resource layer gets the
+//! same treatment: the counting allocator's live-bytes figure must return to
+//! baseline when a scoped workload drops, and the per-span profile rollup
+//! must agree with the report's own phase timings.
 //!
-//! Telemetry state (the tracing flag, the decision log, per-thread span
-//! buffers) is process-global, so every test here serializes on one lock and
-//! drains the global buffers before and after itself.
+//! Telemetry state (the tracing flag, the allocation-tracking flag, the
+//! decision log, per-thread span buffers) is process-global, so every test
+//! here serializes on one lock and drains the global buffers before and
+//! after itself.
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -31,6 +35,7 @@ fn exclusive_telemetry() -> MutexGuard<'static, ()> {
     let guard = lock();
     telemetry::set_tracing(false);
     telemetry::set_decisions(false);
+    telemetry::set_alloc_tracking(false);
     let _ = telemetry::take_trace();
     let _ = telemetry::take_decisions();
     guard
@@ -201,6 +206,59 @@ proptest! {
         }
     }
 
+    /// Same purity contract for the counting allocator: enabling allocation
+    /// tracking must not change what the pipeline commits — it only counts.
+    #[test]
+    fn xmerge_is_pure_under_alloc_tracking(seed in 0u64..500) {
+        let _guard = exclusive_telemetry();
+        let config = XMergeConfig::new();
+
+        let mut plain = corpus(seed, 4);
+        let baseline = xmerge_corpus(&mut plain, &config);
+
+        telemetry::set_alloc_tracking(true);
+        let mut tracked = corpus(seed, 4);
+        let observed = xmerge_corpus(&mut tracked, &config);
+        telemetry::set_alloc_tracking(false);
+
+        prop_assert_eq!(&baseline.committed, &observed.committed);
+        prop_assert_eq!(baseline.size_after, observed.size_after);
+        for (a, b) in plain.iter().zip(&tracked) {
+            prop_assert_eq!(ssa_ir::print_module(a), ssa_ir::print_module(b));
+        }
+    }
+
+    /// The counting allocator's live-bytes figure returns exactly to its
+    /// baseline once a scoped workload drops: every tracked allocation is
+    /// matched by a tracked deallocation of the same size (realloc included).
+    /// One warm-up run of the same workload first lets process-wide lazy
+    /// state (thread locals, interned tables) reach steady state.
+    #[test]
+    fn alloc_current_bytes_returns_to_baseline(seed in 0u64..1000) {
+        let _guard = exclusive_telemetry();
+        let workload = |seed: u64| {
+            let m = corpus(seed, 1).pop().unwrap();
+            let text = ssa_ir::print_module(&m);
+            // String/Vec churn exercises alloc, realloc (push growth), and
+            // dealloc paths beyond what generation itself does.
+            let mut grown = String::new();
+            for _ in 0..(seed % 7 + 2) {
+                grown.push_str(&text);
+            }
+            grown.len()
+        };
+        telemetry::set_alloc_tracking(true);
+        workload(seed);
+        let before = telemetry::alloc_snapshot();
+        let produced = workload(seed);
+        let after = telemetry::alloc_snapshot();
+        telemetry::set_alloc_tracking(false);
+        prop_assert!(produced > 0);
+        prop_assert_eq!(after.current_bytes, before.current_bytes);
+        prop_assert!(after.total_alloc_bytes > before.total_alloc_bytes);
+        prop_assert!(after.allocs > before.allocs);
+    }
+
     /// Same purity contract for the intra-module driver.
     #[test]
     fn intra_merge_is_observationally_pure(seed in 0u64..500) {
@@ -230,6 +288,60 @@ proptest! {
             .count();
         prop_assert_eq!(committed, observed.committed.len());
     }
+}
+
+/// The profile rollup folded from a traced run agrees with the report's own
+/// phase timings (both sides measure the same guard, so they may differ only
+/// by microsecond truncation in the trace timestamps), and — with allocation
+/// tracking on — every pipeline phase span carries an allocation delta.
+#[test]
+fn profile_rollup_matches_report_phase_timings() {
+    let _guard = exclusive_telemetry();
+    let config = XMergeConfig::new();
+    telemetry::set_tracing(true);
+    telemetry::set_alloc_tracking(true);
+    let mut modules = corpus(3, 4);
+    let report = xmerge_corpus(&mut modules, &config);
+    telemetry::set_tracing(false);
+    telemetry::set_alloc_tracking(false);
+    let trace = telemetry::take_trace();
+
+    let profile = telemetry::Profile::from_trace(&trace);
+    for (name, reported) in [
+        ("xmerge.index", report.index_time),
+        ("xmerge.discover", report.discover_time),
+        ("xmerge.callgraph", report.callgraph_time),
+    ] {
+        let node = profile
+            .find(name)
+            .unwrap_or_else(|| panic!("no {name} node"));
+        let reported_micros = reported.as_micros() as i64;
+        let rolled_micros = node.total_micros as i64;
+        // 1ms cushion: generous against scheduling noise, still far tighter
+        // than any real double-counting or missed-span bug would land.
+        assert!(
+            (rolled_micros - reported_micros).abs() <= 1000,
+            "{name}: rollup {rolled_micros}us vs report {reported_micros}us"
+        );
+    }
+
+    let mut phase_ends = 0usize;
+    for (_, events) in &trace.threads {
+        for ev in events.iter().filter(|e| e.phase == 'E') {
+            let phase_span = ["xmerge.", "plan.", "merge."]
+                .iter()
+                .any(|p| ev.name.starts_with(p));
+            if phase_span {
+                phase_ends += 1;
+                assert!(
+                    ev.alloc.is_some(),
+                    "{} end event lacks an allocation delta",
+                    ev.name
+                );
+            }
+        }
+    }
+    assert!(phase_ends > 0, "trace recorded no pipeline phase spans");
 }
 
 /// The registry's snapshot/delta/reset cycle is usable for test isolation:
