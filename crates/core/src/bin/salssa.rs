@@ -29,6 +29,18 @@
 //!   gates against a checked-in baseline, `--update-baseline` refreshes it.
 //! - `profile <trace.json>` — fold a previously written Chrome trace into a
 //!   flamegraph-style self/total time + bytes rollup per span.
+//! - `fuzz` — adversarial-input smoke mode: generate corpora in-process,
+//!   corrupt them (byte flips, truncations, line edits), and drive the full
+//!   parse → index → xmerge pipeline over the wreckage, proving zero process
+//!   aborts and that recovery on/off is bit-identical on the clean subset.
+//!
+//! Robustness: inputs are loaded through the error-recovering frontend by
+//! default — an unparseable function is skipped with an `E000` warning on
+//! stderr (and counted in the reports' `recovery` block) while the rest of
+//! the module proceeds. `--no-recovery` restores strict all-or-nothing
+//! parsing; `--deny-recovery` keeps recovery on but fails the run when
+//! anything had to be skipped; `--oracle-fuel` bounds each semantic-oracle
+//! execution, turning runaway interpretation into `rejected(oracle_timeout)`.
 //!
 //! Observability (merge/xmerge/lint): `--trace-out <file>` writes a Chrome
 //! Trace Event Format JSON of the run's internal spans (load it in Perfetto)
@@ -85,6 +97,12 @@ commands:
                          against a checked-in baseline (exit 1 on regression)
   profile <trace.json>   fold a Chrome trace written by --trace-out into a
                          self/total time + bytes rollup per span
+  fuzz                   adversarial-input smoke mode: generate corpora
+                         in-process, corrupt them (byte flips, truncations,
+                         line deletes/duplicates), and run the full parse ->
+                         index -> xmerge pipeline over the wreckage; fails if
+                         anything aborts or if recovery on/off diverges on
+                         the clean subset (see --iters, --seed)
 
 options:
   -t, --threshold <N>    exploration threshold: ranked candidates tried per
@@ -95,6 +113,14 @@ options:
       --batch-size <N>   candidate pairs per parallel scoring batch (default 128)
       --check-semantics  differentially test every commit with the reference
                          interpreter and reject mismatches
+      --oracle-fuel <N>  cap each semantic-oracle execution at N interpreter
+                         steps: a run that exhausts the budget becomes a
+                         rejected(oracle_timeout) decision instead of a
+                         verdict (default: the interpreter's own step limit)
+      --no-recovery      strict frontend: any parse error fails the whole
+                         module instead of skipping the broken function
+      --deny-recovery    keep the error-recovering frontend on but exit
+                         non-zero if any function had to be skipped
       --fixpoint         xmerge: iterate to a fixpoint — merged hosts re-enter
                          the candidate pool, interleaved with per-module intra
                          merging — until a round commits nothing
@@ -138,6 +164,9 @@ options:
                          scored, rejected+reason, committed) as JSONL
       --metrics          report: print the metrics registry after the report
       --tier <S|M|L>     perf: corpus tier to run (default S)
+      --iters <N>        fuzz: corpora to generate and corrupt (default 16)
+      --seed <N>         fuzz: base seed for corpus generation and mutation
+                         (default 0; every failure reproduces from its seed)
       --runs <N>         perf: repetitions; the entry records every wall time
                          and gates on the fastest (default 1)
       --bench-out <file> perf: append the entry here (default BENCH_xmerge.json)
@@ -163,6 +192,7 @@ enum Command {
     Explain,
     Perf,
     Profile,
+    Fuzz,
 }
 
 struct Cli {
@@ -191,6 +221,10 @@ struct Cli {
     bench_out: Option<String>,
     baseline: Option<String>,
     update_baseline: bool,
+    recovery: bool,
+    deny_recovery: bool,
+    fuzz_iters: usize,
+    fuzz_seed: u64,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -219,6 +253,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut bench_out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut update_baseline = false;
+    let mut recovery = true;
+    let mut deny_recovery = false;
+    let mut fuzz_iters = 16usize;
+    let mut fuzz_seed = 0u64;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -248,6 +286,25 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--sequential" => config.mode = DriverMode::Sequential,
             "--parallel" => config.mode = DriverMode::Parallel,
             "--check-semantics" => config.check_semantics = true,
+            "--oracle-fuel" => {
+                config.oracle_fuel = Some(
+                    value_for(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad {arg}: {e}"))?,
+                );
+            }
+            "--no-recovery" => recovery = false,
+            "--deny-recovery" => deny_recovery = true,
+            "--iters" => {
+                fuzz_iters = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad {arg}: {e}"))?;
+            }
+            "--seed" => {
+                fuzz_seed = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad {arg}: {e}"))?;
+            }
             "--fixpoint" => fixpoint = true,
             "--max-rounds" => {
                 max_rounds = value_for(arg)?
@@ -300,7 +357,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--print-module" => print_module = true,
             "-h" | "--help" => return Err(String::new()),
             "merge" | "index" | "xmerge" | "callgraph" | "report" | "lint" | "explain" | "perf"
-            | "profile"
+            | "profile" | "fuzz"
                 if command.is_none() && inputs.is_empty() =>
             {
                 command = Some(match arg.as_str() {
@@ -312,6 +369,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     "explain" => Command::Explain,
                     "perf" => Command::Perf,
                     "profile" => Command::Profile,
+                    "fuzz" => Command::Fuzz,
                     _ => Command::Report,
                 });
             }
@@ -321,13 +379,18 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     }
 
     let command = command.unwrap_or(Command::Merge);
-    // `perf` generates its corpus in-process — it is the one command that
-    // takes no input.
-    if inputs.is_empty() && command != Command::Perf {
+    // `perf` and `fuzz` generate their corpora in-process — they are the
+    // commands that take no input.
+    if inputs.is_empty() && !matches!(command, Command::Perf | Command::Fuzz) {
         return Err("no input given".to_string());
     }
     if command == Command::Perf && !inputs.is_empty() {
         return Err("perf takes no inputs (the corpus is generated; see --tier)".to_string());
+    }
+    if command == Command::Fuzz && !inputs.is_empty() {
+        return Err(
+            "fuzz takes no inputs (corpora are generated; see --iters, --seed)".to_string(),
+        );
     }
     if command == Command::Explain && inputs.len() != 3 {
         return Err(
@@ -369,17 +432,61 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         bench_out,
         baseline,
         update_baseline,
+        recovery,
+        deny_recovery,
+        fuzz_iters,
+        fuzz_seed,
     })
+}
+
+/// Frontend-recovery accounting for one load: run-wide totals plus a
+/// per-module breakdown (keyed by module name) for per-module reports.
+#[derive(Default)]
+struct RecoveryStats {
+    functions_skipped: usize,
+    modules_recovered: usize,
+    per_module: std::collections::HashMap<String, usize>,
+}
+
+impl RecoveryStats {
+    fn record(&mut self, module_name: &str, skipped: usize) {
+        if skipped > 0 {
+            self.functions_skipped += skipped;
+            self.modules_recovered += 1;
+            self.per_module.insert(module_name.to_string(), skipped);
+        }
+    }
+
+    fn skipped_in(&self, module_name: &str) -> usize {
+        self.per_module.get(module_name).copied().unwrap_or(0)
+    }
+}
+
+/// Fails the run when `--deny-recovery` is set and the frontend had to skip
+/// anything; call after loading, before doing any work.
+fn deny_recovery_gate(cli: &Cli, stats: &RecoveryStats) -> Option<ExitCode> {
+    if cli.deny_recovery && stats.functions_skipped > 0 {
+        eprintln!(
+            "error: --deny-recovery: {} unparseable functions skipped across {} modules",
+            stats.functions_skipped, stats.modules_recovered
+        );
+        return Some(ExitCode::FAILURE);
+    }
+    None
 }
 
 /// Loads every parseable `.ll` module of a directory (sorted by file name for
 /// determinism; module names are the file stems) or the single file at
 /// `path`. Unparseable files are reported to stderr and skipped — a corpus
 /// with zero parseable modules is an empty result, not an error.
-fn load_corpus(path: &str) -> Result<Vec<Module>, String> {
+fn load_corpus(
+    path: &str,
+    recovery: bool,
+    stats: &mut RecoveryStats,
+) -> Result<Vec<Module>, String> {
     let p = Path::new(path);
     if p.is_file() {
-        let module = load_module(path)?;
+        let module = load_module(path, recovery, stats)?;
         return Ok(vec![module]);
     }
     if !p.is_dir() {
@@ -393,7 +500,7 @@ fn load_corpus(path: &str) -> Result<Vec<Module>, String> {
     files.sort();
     let mut modules = Vec::new();
     for file in files {
-        match load_module(&file.to_string_lossy()) {
+        match load_module(&file.to_string_lossy(), recovery, stats) {
             Ok(module) => modules.push(module),
             Err(e) => eprintln!("warning: skipping {e}"),
         }
@@ -401,18 +508,44 @@ fn load_corpus(path: &str) -> Result<Vec<Module>, String> {
     Ok(modules)
 }
 
-fn load_module(path: &str) -> Result<Module, String> {
+/// Loads one module. With `recovery` on (the default), parsing goes through
+/// the staged error-recovering frontend: each unparseable function becomes
+/// an `E000` warning on stderr (with file/line/function provenance) and a
+/// [`RecoveryStats`] entry while the rest of the module loads normally.
+/// Verification failures still fail the whole module — recovery degrades
+/// what the parser accepts, never what the merger operates on.
+fn load_module(path: &str, recovery: bool, stats: &mut RecoveryStats) -> Result<Module, String> {
     let _span = telemetry::span_with("parse.module", || path.to_string());
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut module = parse_module(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+    let name = Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    let mut module = if recovery {
+        let recovered = ssa_ir::parse_module_recovering(&text);
+        for skip in &recovered.skipped {
+            let what = if skip.name.is_empty() {
+                "skipped unparseable text".to_string()
+            } else {
+                format!("skipped function @{}", skip.name)
+            };
+            eprintln!(
+                "warning: {path}:{}: [{}] {what}: {}",
+                skip.line,
+                analysis::codes::PARSE,
+                skip.message
+            );
+        }
+        stats.record(&name, recovered.skipped.len());
+        recovered.module
+    } else {
+        parse_module(&text).map_err(|e| format!("{path}: parse error: {e}"))?
+    };
     let errors = verify_module(&module);
     if !errors.is_empty() {
         return Err(format!("{path}: invalid module: {:?}", errors[0]));
     }
-    module.name = Path::new(path)
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| path.to_string());
+    module.name = name;
     Ok(module)
 }
 
@@ -467,6 +600,7 @@ fn main() -> ExitCode {
         Command::Explain => run_explain(&cli),
         Command::Perf => perf::run_perf(&cli),
         Command::Profile => run_profile(&cli),
+        Command::Fuzz => run_fuzz(&cli),
     };
     // The trace is drained exactly once; the file export and the rollup
     // print both read the same drain.
@@ -497,18 +631,24 @@ fn main() -> ExitCode {
 
 fn run_merge(cli: &Cli) -> ExitCode {
     let input = &cli.inputs[0];
-    let mut module = match load_module(input) {
+    let mut recovery = RecoveryStats::default();
+    let mut module = match load_module(input, cli.recovery, &mut recovery) {
         Ok(module) => module,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(code) = deny_recovery_gate(cli, &recovery) {
+        return code;
+    }
 
     let size_before = module_size_bytes(&module, cli.options.target);
     let functions_before = module.num_functions();
     let merger = SalSsaMerger::new(cli.options);
-    let report = merge_module(&mut module, &merger, &cli.config);
+    let mut report = merge_module(&mut module, &merger, &cli.config);
+    report.functions_skipped = recovery.functions_skipped;
+    report.modules_recovered = recovery.modules_recovered;
 
     let errors = verify_module(&module);
     if !errors.is_empty() {
@@ -559,7 +699,7 @@ fn run_merge(cli: &Cli) -> ExitCode {
 
 fn run_index(cli: &Cli) -> ExitCode {
     let input = &cli.inputs[0];
-    let modules = match load_corpus(input) {
+    let modules = match load_corpus(input, cli.recovery, &mut RecoveryStats::default()) {
         Ok(modules) => modules,
         Err(e) => {
             eprintln!("error: {e}");
@@ -609,7 +749,8 @@ fn xmerge_config(cli: &Cli) -> XMergeConfig {
         .with_host_policy(cli.host_policy)
         .with_region_parallel(cli.regions)
         .with_paranoid(cli.config.paranoid)
-        .with_prefilter(cli.config.prefilter);
+        .with_prefilter(cli.config.prefilter)
+        .with_oracle_fuel(cli.config.oracle_fuel);
     config.options = cli.options;
     config.batch_size = cli.config.batch_size;
     config.discovery.min_function_size = cli.config.min_function_size;
@@ -630,13 +771,17 @@ fn xmerge_config(cli: &Cli) -> XMergeConfig {
 
 fn run_xmerge(cli: &Cli) -> ExitCode {
     let input = &cli.inputs[0];
-    let mut modules = match load_corpus(input) {
+    let mut recovery = RecoveryStats::default();
+    let mut modules = match load_corpus(input, cli.recovery, &mut recovery) {
         Ok(modules) => modules,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(code) = deny_recovery_gate(cli, &recovery) {
+        return code;
+    }
     if modules.is_empty() {
         return emit(|out| writeln!(out, "{input}: 0 modules (0 functions); nothing to merge"));
     }
@@ -675,7 +820,7 @@ fn run_xmerge(cli: &Cli) -> ExitCode {
             }
         }
     });
-    let report;
+    let mut report;
     if let Some(index_path) = &cli.index {
         let (r, refreshed, refreshed_calls) =
             xmerge::xmerge_corpus_with_index(&mut modules, &config, prior_index, prior_calls);
@@ -692,6 +837,8 @@ fn run_xmerge(cli: &Cli) -> ExitCode {
     } else {
         report = xmerge::xmerge_corpus(&mut modules, &config);
     }
+    report.functions_skipped = recovery.functions_skipped;
+    report.modules_recovered = recovery.modules_recovered;
 
     for module in &modules {
         let errors = verify_module(module);
@@ -742,7 +889,7 @@ fn run_xmerge(cli: &Cli) -> ExitCode {
 
 fn run_explain(cli: &Cli) -> ExitCode {
     let (input, spec_a, spec_b) = (&cli.inputs[0], &cli.inputs[1], &cli.inputs[2]);
-    let mut modules = match load_corpus(input) {
+    let mut modules = match load_corpus(input, cli.recovery, &mut RecoveryStats::default()) {
         Ok(modules) => modules,
         Err(e) => {
             eprintln!("error: {e}");
@@ -769,7 +916,7 @@ fn run_explain(cli: &Cli) -> ExitCode {
 
 fn run_callgraph(cli: &Cli) -> ExitCode {
     let input = &cli.inputs[0];
-    let modules = match load_corpus(input) {
+    let modules = match load_corpus(input, cli.recovery, &mut RecoveryStats::default()) {
         Ok(modules) => modules,
         Err(e) => {
             eprintln!("error: {e}");
@@ -891,6 +1038,9 @@ fn run_lint(cli: &Cli) -> ExitCode {
 
     // Parse WITHOUT the loader's verify step — the analyzer wraps the
     // verifier itself, so broken modules become diagnostics, not load errors.
+    // The error-recovering frontend does the same for parse errors: each
+    // skipped function is one E000 diagnostic with function/line provenance,
+    // and the rest of the module is still analyzed.
     let mut diagnostics: Vec<analysis::Diagnostic> = Vec::new();
     let mut modules: Vec<Module> = Vec::new();
     for input in &cli.inputs {
@@ -906,20 +1056,27 @@ fn run_lint(cli: &Cli) -> ExitCode {
                 .file_stem()
                 .map(|s| s.to_string_lossy().into_owned())
                 .unwrap_or_else(|| file.to_string_lossy().into_owned());
-            let parsed = std::fs::read_to_string(&file)
-                .map_err(|e| format!("cannot read file: {e}"))
-                .and_then(|text| parse_module(&text).map_err(|e| format!("parse error: {e}")));
-            match parsed {
-                Ok(mut module) => {
+            match std::fs::read_to_string(&file) {
+                Ok(text) => {
+                    let recovered = ssa_ir::parse_module_recovering(&text);
+                    for skip in &recovered.skipped {
+                        diagnostics.push(analysis::Diagnostic::new(
+                            analysis::codes::PARSE,
+                            &stem,
+                            &skip.name,
+                            format!("parse error at line {}: {}", skip.line, skip.message),
+                        ));
+                    }
+                    let mut module = recovered.module;
                     module.name = stem;
                     modules.push(module);
                 }
-                Err(msg) => {
+                Err(e) => {
                     diagnostics.push(analysis::Diagnostic::new(
                         analysis::codes::PARSE,
                         stem,
                         "",
-                        msg,
+                        format!("cannot read file: {e}"),
                     ));
                 }
             }
@@ -983,6 +1140,167 @@ fn run_lint(cli: &Cli) -> ExitCode {
     printed
 }
 
+/// One fuzz iteration's corpus: a small generated corpus, printed to text so
+/// it can be corrupted the way on-disk inputs get corrupted.
+fn fuzz_corpus_texts(seed: u64) -> Vec<(String, String)> {
+    let spec = workloads::CorpusSpec {
+        name: format!("fuzz{seed}"),
+        num_modules: 4,
+        functions_per_module: 4,
+        size_range: (8, 24),
+        seed,
+        ..Default::default()
+    };
+    spec.generate()
+        .into_iter()
+        .map(|m| (m.name.clone(), print_module(&m)))
+        .collect()
+}
+
+/// Parses `text` through the recovering frontend and keeps the module only
+/// if it verifies — the same policy [`load_module`] applies to files on
+/// disk. Returns the module (if usable) and the number of skipped functions.
+fn fuzz_load(name: &str, text: &str) -> (Option<Module>, usize) {
+    let recovered = ssa_ir::parse_module_recovering(text);
+    let skipped = recovered.skipped.len();
+    let mut module = recovered.module;
+    module.name = name.to_string();
+    if verify_module(&module).is_empty() {
+        (Some(module), skipped)
+    } else {
+        (None, skipped)
+    }
+}
+
+/// Adversarial-input smoke mode: generate corpora, corrupt them with
+/// [`workloads::mutate_text`], and drive the full parse → index → xmerge
+/// pipeline over the wreckage. Fails when anything unwinds out of the
+/// pipeline, or when recovery on/off diverges on the clean (uncorrupted)
+/// subset — recovery must be observationally pure on inputs that never
+/// needed it.
+fn run_fuzz(cli: &Cli) -> ExitCode {
+    // The pipeline's own panic isolation handles per-candidate failures; the
+    // fuzzer additionally absorbs anything that escapes, counting it as an
+    // abort. Silence the default hook so absorbed panics don't spray
+    // backtraces over the summary — the abort count is the signal.
+    let prior_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut aborts = 0usize;
+    let mut functions_skipped = 0usize;
+    let mut modules_dropped = 0usize;
+    let mut runs_completed = 0usize;
+    let mut divergences = 0usize;
+    for iter in 0..cli.fuzz_iters {
+        let seed = cli.fuzz_seed.wrapping_add(iter as u64);
+        let texts = fuzz_corpus_texts(seed);
+
+        // Clean subset: recovery on a well-formed corpus must be invisible —
+        // same modules, same commits — as the strict parse.
+        let clean = std::panic::catch_unwind(|| {
+            let mut strict: Vec<Module> = Vec::new();
+            let mut recovering: Vec<Module> = Vec::new();
+            for (name, text) in &texts {
+                let mut m = parse_module(text).expect("generated corpus must parse strictly");
+                m.name = name.clone();
+                strict.push(m);
+                let (m, skipped) = fuzz_load(name, text);
+                assert_eq!(skipped, 0, "recovery found phantom errors in clean input");
+                recovering.push(m.expect("clean module must verify"));
+            }
+            let config = XMergeConfig::new();
+            let ra = xmerge::xmerge_corpus(&mut strict, &config);
+            let rb = xmerge::xmerge_corpus(&mut recovering, &config);
+            let print_all =
+                |ms: &[Module]| ms.iter().map(print_module).collect::<Vec<_>>().join("\n");
+            ra.num_commits() == rb.num_commits() && print_all(&strict) == print_all(&recovering)
+        });
+        match clean {
+            Ok(true) => {}
+            Ok(false) => divergences += 1,
+            Err(_) => aborts += 1,
+        }
+
+        // Corrupted corpus: every module text gets one seeded mutation, and
+        // the whole load → xmerge pipeline must degrade, not die.
+        let outcome = std::panic::catch_unwind(|| {
+            let mut modules: Vec<Module> = Vec::new();
+            let mut skipped_total = 0usize;
+            let mut dropped = 0usize;
+            for (i, (name, text)) in texts.iter().enumerate() {
+                let (mutated, _) = workloads::mutate_text(text, seed ^ (i as u64) << 32);
+                let (module, skipped) = fuzz_load(name, &mutated);
+                skipped_total += skipped;
+                match module {
+                    Some(m) => modules.push(m),
+                    None => dropped += 1,
+                }
+            }
+            if !modules.is_empty() {
+                let config = XMergeConfig::new();
+                let report = xmerge::xmerge_corpus(&mut modules, &config);
+                for module in &modules {
+                    assert!(
+                        verify_module(module).is_empty(),
+                        "xmerge broke verification on a recovered module"
+                    );
+                }
+                drop(report);
+            }
+            (skipped_total, dropped)
+        });
+        match outcome {
+            Ok((skipped, dropped)) => {
+                functions_skipped += skipped;
+                modules_dropped += dropped;
+                runs_completed += 1;
+            }
+            Err(_) => aborts += 1,
+        }
+    }
+    std::panic::set_hook(prior_hook);
+    let failed = aborts > 0 || divergences > 0;
+    let printed = emit(|out| {
+        if cli.json {
+            writeln!(
+                out,
+                r#"{{"kind":"fuzz","iterations":{},"runs_completed":{},"functions_skipped":{},"modules_dropped":{},"clean_subset_divergences":{},"aborts":{}}}"#,
+                cli.fuzz_iters,
+                runs_completed,
+                functions_skipped,
+                modules_dropped,
+                divergences,
+                aborts
+            )?;
+        } else {
+            writeln!(
+                out,
+                "fuzz: {} iterations (seed base {}): {} corrupted runs completed, {} functions skipped by recovery, {} modules dropped at verification, {} clean-subset divergences, {} aborts",
+                cli.fuzz_iters,
+                cli.fuzz_seed,
+                runs_completed,
+                functions_skipped,
+                modules_dropped,
+                divergences,
+                aborts
+            )?;
+            writeln!(
+                out,
+                "{}",
+                if failed {
+                    "FAILED: the pipeline must degrade gracefully, never abort or diverge"
+                } else {
+                    "pipeline degraded gracefully on every corrupted input"
+                }
+            )?;
+        }
+        Ok(())
+    });
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    printed
+}
+
 fn run_profile(cli: &Cli) -> ExitCode {
     let input = &cli.inputs[0];
     let text = match std::fs::read_to_string(input) {
@@ -1002,15 +1320,19 @@ fn run_profile(cli: &Cli) -> ExitCode {
 }
 
 fn run_report(cli: &Cli) -> ExitCode {
+    let mut recovery = RecoveryStats::default();
     let mut modules: Vec<Module> = Vec::new();
     for input in &cli.inputs {
-        match load_corpus(input) {
+        match load_corpus(input, cli.recovery, &mut recovery) {
             Ok(found) => modules.extend(found),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::from(2);
             }
         }
+    }
+    if let Some(code) = deny_recovery_gate(cli, &recovery) {
+        return code;
     }
     if modules.is_empty() {
         return emit(|out| writeln!(out, "0 modules (0 functions); nothing to report"));
@@ -1022,7 +1344,9 @@ fn run_report(cli: &Cli) -> ExitCode {
         let name = module.name.clone();
         let functions_before = module.num_functions();
         let size_before = module_size_bytes(module, cli.options.target);
-        let report = merge_module(module, &merger, &cli.config);
+        let mut report = merge_module(module, &merger, &cli.config);
+        report.functions_skipped = recovery.skipped_in(&name);
+        report.modules_recovered = usize::from(report.functions_skipped > 0);
         if !verify_module(module).is_empty() {
             eprintln!("error: module {name} FAILED verification after merging");
             failed = true;

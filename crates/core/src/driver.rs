@@ -126,6 +126,12 @@ pub struct DriverConfig {
     /// the committed [`MergeRecord`]s are identical with the filter on or
     /// off; only the scoring cost changes.
     pub prefilter: bool,
+    /// Per-execution step budget for the semantic oracle. `None` (the
+    /// default) keeps the interpreter's own limit with legacy semantics; an
+    /// explicit budget bounds worst-case oracle latency per candidate, and a
+    /// run that exhausts it degrades the commit to a counted
+    /// `rejected(oracle_timeout)` instead of a verdict.
+    pub oracle_fuel: Option<u64>,
 }
 
 /// Random input vectors sampled per function by the semantic oracle (on top
@@ -145,6 +151,7 @@ impl Default for DriverConfig {
             check_semantics: false,
             paranoid: false,
             prefilter: true,
+            oracle_fuel: None,
         }
     }
 }
@@ -195,6 +202,14 @@ impl DriverConfig {
     /// Enables or disables the admissible candidate pre-filter.
     pub fn with_prefilter(self, prefilter: bool) -> DriverConfig {
         DriverConfig { prefilter, ..self }
+    }
+
+    /// Sets the semantic oracle's per-execution step budget.
+    pub fn with_oracle_fuel(self, oracle_fuel: Option<u64>) -> DriverConfig {
+        DriverConfig {
+            oracle_fuel,
+            ..self
+        }
     }
 }
 
@@ -282,6 +297,14 @@ pub struct ModuleMergeReport {
     /// Aggregate analysis-engine statistics (cache hits/misses, timing) over
     /// the baseline capture and every post-commit check.
     pub paranoid_stats: analysis::AnalysisStats,
+    /// Functions the error-recovering frontend skipped while loading this
+    /// module's input (0 when the input was clean or recovery was off; filled
+    /// by the loader, not by the merge itself).
+    pub functions_skipped: usize,
+    /// Input modules that loaded in degraded form — with at least one
+    /// skipped function (0 or 1 for a single-module merge; filled by the
+    /// loader).
+    pub modules_recovered: usize,
 }
 
 impl ModuleMergeReport {
@@ -336,6 +359,27 @@ impl fmt::Display for ModuleMergeReport {
                 f,
                 "\n  semantic oracle rejected {} merges",
                 self.semantic_rejections
+            )?;
+        }
+        if self.planner.oracle_timeouts > 0 {
+            write!(
+                f,
+                "\n  semantic oracle timed out on {} merges",
+                self.planner.oracle_timeouts
+            )?;
+        }
+        if self.planner.internal_errors > 0 {
+            write!(
+                f,
+                "\n  {} candidates lost to isolated internal errors",
+                self.planner.internal_errors
+            )?;
+        }
+        if self.functions_skipped > 0 {
+            write!(
+                f,
+                "\n  recovery: {} unparseable functions skipped at load",
+                self.functions_skipped
             )?;
         }
         if self.paranoid {
@@ -566,20 +610,28 @@ impl CandidateSource for IntraSource<'_> {
                 profit,
                 self.merger.target(),
             );
+            telemetry::faultinject::trip("oracle.check");
             let verdict = [name.as_str(), candidate.as_str()]
                 .iter()
                 .try_for_each(|f| {
-                    ssa_interp::differential_check(
+                    ssa_interp::differential_check_with_fuel(
                         self.module,
                         &trial,
                         f,
                         SEMANTIC_SAMPLES,
                         SEMANTIC_SEED,
+                        self.config.oracle_fuel,
                     )
                 });
-            if verdict.is_err() {
-                self.report.semantic_rejections += 1;
-                return CommitOutcome::OracleRejected;
+            match verdict {
+                Err(ssa_interp::OracleFailure::Timeout) => {
+                    return CommitOutcome::OracleTimeout;
+                }
+                Err(ssa_interp::OracleFailure::Mismatch(_)) => {
+                    self.report.semantic_rejections += 1;
+                    return CommitOutcome::OracleRejected;
+                }
+                Ok(()) => {}
             }
             *self.module = trial;
             record

@@ -32,8 +32,9 @@
 //! `salssa ... --json` for trajectory tracking.
 
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 use std::time::Duration;
 use telemetry::{DecisionEvent, RejectReason};
@@ -75,6 +76,13 @@ pub struct PlanStats {
     /// Candidates the admissible pre-filter proved unprofitable, skipped
     /// before any codegen-based scoring.
     pub prefilter_rejected: usize,
+    /// Candidates lost to an isolated panic in scoring, hazard scanning, or
+    /// commit — each degraded to a `rejected(internal_error)` decision
+    /// instead of aborting the run.
+    pub internal_errors: usize,
+    /// Commits refused because the differential oracle exhausted its fuel
+    /// budget before reaching a verdict.
+    pub oracle_timeouts: usize,
     /// Wall-clock time of the speculative scoring phase.
     pub score_time: Duration,
     /// Wall-clock time of the commit loop (including inline scoring and
@@ -95,6 +103,8 @@ impl PlanStats {
         self.hazard_reuse += other.hazard_reuse;
         self.prefilter_checked += other.prefilter_checked;
         self.prefilter_rejected += other.prefilter_rejected;
+        self.internal_errors += other.internal_errors;
+        self.oracle_timeouts += other.oracle_timeouts;
         self.score_time += other.score_time;
         self.commit_time += other.commit_time;
     }
@@ -108,6 +118,10 @@ pub enum CommitOutcome<R> {
     /// The differential oracle observed a divergence; nothing was mutated.
     /// The source is expected to count the rejection itself.
     OracleRejected,
+    /// The differential oracle exhausted its fuel budget before reaching a
+    /// verdict; the commit was conservatively refused and nothing was
+    /// mutated. The engine counts the timeout.
+    OracleTimeout,
     /// The commit could not be applied (e.g. regeneration refused the pair);
     /// nothing was mutated and no endpoint was consumed.
     Skipped,
@@ -223,24 +237,58 @@ pub enum ScoreMode {
     },
 }
 
+/// Runs `f` with panics isolated: a panic becomes `None` instead of
+/// unwinding into the engine, so one poisoned candidate costs exactly one
+/// pair. `AssertUnwindSafe` is sound here because every caller abandons the
+/// captured state's logical transaction on `None` (sources mutate through a
+/// trial-then-swap discipline, so a mid-commit panic leaves the module
+/// unchanged).
+fn isolate<T>(f: impl FnOnce() -> T) -> Option<T> {
+    catch_unwind(AssertUnwindSafe(f)).ok()
+}
+
+/// Speculative scoring result: the keyed score cache plus the keys whose
+/// scoring panicked.
+type SpeculativeScores<K, P> = (ScoreCache<K, P>, Vec<K>);
+
+/// One scored batch: per key, `None` means the scoring closure panicked,
+/// `Some(None)` means it ran and refused the pair.
+type ScoredBatch<K, P> = Vec<(K, Option<Option<P>>)>;
+
 /// Speculatively scores `keys` in parallel batches, preserving input order in
 /// the returned cache semantics (the cache is keyed, so order only matters
-/// for determinism of side effects — scoring is pure).
+/// for determinism of side effects — scoring is pure). Keys whose scoring
+/// panicked are returned separately so the commit loop can reject them as
+/// internal errors rather than refusals.
 fn speculative_scores<S: CandidateSource>(
     source: &S,
     keys: Vec<S::Key>,
     batch_size: usize,
-) -> ScoreCache<S::Key, S::Score> {
+) -> SpeculativeScores<S::Key, S::Score> {
     let mut cache = ScoreCache::with_capacity(keys.len());
+    let mut panicked = Vec::new();
     for batch in keys.chunks(batch_size.max(1)) {
         let _span = telemetry::span_with("plan.score.batch", || format!("{} pairs", batch.len()));
-        let scored: Vec<(S::Key, Option<S::Score>)> = batch
+        let scored: ScoredBatch<S::Key, S::Score> = batch
             .par_iter()
-            .map(|key| (key.clone(), source.score(key, false)))
+            .map(|key| {
+                let scored = isolate(|| {
+                    telemetry::faultinject::trip("plan.score");
+                    source.score(key, false)
+                });
+                (key.clone(), scored)
+            })
             .collect();
-        cache.extend(scored);
+        for (key, scored) in scored {
+            match scored {
+                Some(scored) => {
+                    cache.insert(key, scored);
+                }
+                None => panicked.push(key),
+            }
+        }
     }
-    cache
+    (cache, panicked)
 }
 
 /// Emits one decision-log entry for a candidate the engine is examining, if
@@ -286,6 +334,19 @@ fn prefilter_metrics() -> &'static (telemetry::metrics::Counter, telemetry::metr
     })
 }
 
+/// Degradation metrics: candidates lost to isolated panics and commits
+/// refused because the oracle ran out of fuel.
+fn robustness_metrics() -> &'static (telemetry::metrics::Counter, telemetry::metrics::Counter) {
+    static METRICS: OnceLock<(telemetry::metrics::Counter, telemetry::metrics::Counter)> =
+        OnceLock::new();
+    METRICS.get_or_init(|| {
+        (
+            telemetry::registry().counter("plan.internal_errors"),
+            telemetry::registry().counter("plan.oracle.timeouts"),
+        )
+    })
+}
+
 /// Runs the engine to completion: speculative scoring (per `mode`), then the
 /// sequential profit-ordered commit loop. Returns the committed records in
 /// commit order plus the engine statistics.
@@ -302,6 +363,9 @@ pub fn run_plan<S: CandidateSource>(
     // fields and the exported trace derive from the same `Instant` pair, so
     // the two views cannot disagree.
     let score_span = telemetry::timed_span("plan.score");
+    // Keys whose speculative scoring panicked: isolated, reported as
+    // internal errors when the commit loop reaches them.
+    let mut poisoned: HashSet<S::Key> = HashSet::new();
     let mut cache = match mode {
         ScoreMode::Inline => ScoreCache::new(),
         ScoreMode::Speculative { batch_size } => {
@@ -338,7 +402,9 @@ pub fn run_plan<S: CandidateSource>(
                 })
                 .collect();
             stats.speculative_scores = keys.len();
-            speculative_scores(source, keys, batch_size)
+            let (cache, panicked) = speculative_scores(source, keys, batch_size);
+            poisoned.extend(panicked);
+            cache
         }
     };
     stats.score_time = score_span.stop();
@@ -372,11 +438,33 @@ pub fn run_plan<S: CandidateSource>(
                     continue;
                 }
             }
-            let scored = cache.remove(&key).unwrap_or_else(|| {
-                stats.inline_scores += 1;
-                source.score(&key, true)
-            });
+            let scored = if poisoned.remove(&key) {
+                None // Speculative scoring panicked on this key.
+            } else {
+                match cache.remove(&key) {
+                    Some(cached) => Some(cached),
+                    None => {
+                        stats.inline_scores += 1;
+                        isolate(|| {
+                            telemetry::faultinject::trip("plan.score");
+                            source.score(&key, true)
+                        })
+                    }
+                }
+            };
             stats.candidates += 1;
+            let Some(scored) = scored else {
+                stats.internal_errors += 1;
+                robustness_metrics().0.inc();
+                emit_decision(
+                    source,
+                    &key,
+                    DecisionEvent::Rejected(RejectReason::InternalError),
+                    None,
+                    "scoring panicked; the pair was isolated",
+                );
+                continue;
+            };
             let Some(score) = scored else {
                 emit_decision(
                     source,
@@ -421,15 +509,30 @@ pub fn run_plan<S: CandidateSource>(
                     );
                 }
             }
-            if source.hazard(&key, &score) {
-                emit_decision(
-                    source,
-                    &key,
-                    DecisionEvent::Rejected(RejectReason::Hazard),
-                    Some(profit),
-                    "",
-                );
-                continue;
+            match isolate(|| source.hazard(&key, &score)) {
+                Some(false) => {}
+                Some(true) => {
+                    emit_decision(
+                        source,
+                        &key,
+                        DecisionEvent::Rejected(RejectReason::Hazard),
+                        Some(profit),
+                        "",
+                    );
+                    continue;
+                }
+                None => {
+                    stats.internal_errors += 1;
+                    robustness_metrics().0.inc();
+                    emit_decision(
+                        source,
+                        &key,
+                        DecisionEvent::Rejected(RejectReason::InternalError),
+                        Some(profit),
+                        "hazard scan panicked; the pair was isolated",
+                    );
+                    continue;
+                }
             }
             // The key is consumed by `commit`; name the pair first (only
             // when the log is on — describing builds strings).
@@ -438,7 +541,24 @@ pub fn run_plan<S: CandidateSource>(
             } else {
                 None
             };
-            match source.commit(key, score) {
+            let outcome = isolate(|| {
+                telemetry::faultinject::trip("plan.commit");
+                source.commit(key, score)
+            });
+            let Some(outcome) = outcome else {
+                stats.internal_errors += 1;
+                robustness_metrics().0.inc();
+                if let Some(pair) = described {
+                    telemetry::record_decision(
+                        DecisionEvent::Rejected(RejectReason::InternalError),
+                        pair,
+                        Some(profit),
+                        "commit panicked; the pair was isolated".to_string(),
+                    );
+                }
+                continue;
+            };
+            match outcome {
                 CommitOutcome::Committed(record) => {
                     let (commits, profits) = plan_metrics();
                     commits.inc();
@@ -460,6 +580,18 @@ pub fn run_plan<S: CandidateSource>(
                             pair,
                             Some(profit),
                             "differential oracle observed a divergence".to_string(),
+                        );
+                    }
+                }
+                CommitOutcome::OracleTimeout => {
+                    stats.oracle_timeouts += 1;
+                    robustness_metrics().1.inc();
+                    if let Some(pair) = described {
+                        telemetry::record_decision(
+                            DecisionEvent::Rejected(RejectReason::OracleTimeout),
+                            pair,
+                            Some(profit),
+                            "differential oracle exhausted its fuel budget".to_string(),
                         );
                     }
                 }
@@ -500,6 +632,12 @@ mod tests {
         place_swap: Option<((usize, usize), (usize, usize))>,
         /// Pairs the admissible pre-filter (under test) rejects.
         prefilter_on: HashSet<(usize, usize)>,
+        /// Pair whose scoring panics (isolation under test).
+        panic_score_on: Option<(usize, usize)>,
+        /// Pair whose commit panics (isolation under test).
+        panic_commit_on: Option<(usize, usize)>,
+        /// Pair whose commit reports an oracle fuel timeout.
+        timeout_on: Option<(usize, usize)>,
     }
 
     impl ToySource {
@@ -514,6 +652,9 @@ mod tests {
                 hazards: 0,
                 place_swap: None,
                 prefilter_on: HashSet::new(),
+                panic_score_on: None,
+                panic_commit_on: None,
+                timeout_on: None,
             }
         }
     }
@@ -545,6 +686,9 @@ mod tests {
         }
 
         fn score(&self, key: &(usize, usize), _keep: bool) -> Option<i64> {
+            if self.panic_score_on == Some(*key) {
+                panic!("score exploded on {key:?}");
+            }
             let p = (self.profit)(key.0, key.1);
             (p != i64::MIN).then_some(p)
         }
@@ -586,6 +730,12 @@ mod tests {
             key: (usize, usize),
             score: i64,
         ) -> CommitOutcome<(usize, usize, i64)> {
+            if self.panic_commit_on == Some(key) {
+                panic!("commit exploded on {key:?}");
+            }
+            if self.timeout_on == Some(key) {
+                return CommitOutcome::OracleTimeout;
+            }
             self.consumed.insert(key.0);
             self.consumed.insert(key.1);
             CommitOutcome::Committed((key.0, key.1, score))
@@ -691,6 +841,44 @@ mod tests {
         let (records, stats) = run_plan(&mut source, ScoreMode::Speculative { batch_size: 0 });
         assert_eq!(records, vec![(0, 2, 10)]);
         assert_eq!(stats.speculative_scores, 3);
+    }
+
+    #[test]
+    fn panics_are_isolated_to_one_pair() {
+        // (0, 2) — the best pair — panics during scoring. The run must
+        // complete, count one internal error, and still commit the rest.
+        // Panic isolation must behave identically in both scoring modes.
+        let run = |mode| {
+            let mut source = ToySource::new(4, toy_profit);
+            source.panic_score_on = Some((0, 2));
+            run_plan(&mut source, mode)
+        };
+        let (seq, seq_stats) = run(ScoreMode::Inline);
+        let (par, par_stats) = run(ScoreMode::Speculative { batch_size: 2 });
+        // With (0, 2) gone, host 0's group winner is (0, 1); (1, 3) then
+        // loses its endpoint, leaving (2, 3) — unprofitable. One commit.
+        assert_eq!(seq, vec![(0, 1, 5)]);
+        assert_eq!(seq, par);
+        assert_eq!(seq_stats.internal_errors, 1);
+        assert_eq!(par_stats.internal_errors, 1);
+
+        // A commit-time panic instead loses only the winner: (0, 2)'s
+        // endpoints stay live but its group is spent, so (1, 3) still lands.
+        let mut source = ToySource::new(4, toy_profit);
+        source.panic_commit_on = Some((0, 2));
+        let (records, stats) = run_plan(&mut source, ScoreMode::Inline);
+        assert_eq!(records, vec![(1, 3, 7)]);
+        assert_eq!(stats.internal_errors, 1);
+    }
+
+    #[test]
+    fn oracle_timeout_is_counted_not_committed() {
+        let mut source = ToySource::new(4, toy_profit);
+        source.timeout_on = Some((0, 2));
+        let (records, stats) = run_plan(&mut source, ScoreMode::Inline);
+        assert_eq!(records, vec![(1, 3, 7)]);
+        assert_eq!(stats.oracle_timeouts, 1);
+        assert_eq!(stats.internal_errors, 0);
     }
 
     #[test]

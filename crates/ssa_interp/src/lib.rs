@@ -612,6 +612,72 @@ pub fn check_equivalent(
 ) -> Result<(), String> {
     let ra = run_function(module_a, name_a, args_a);
     let rb = run_function(module_b, name_b, args_b);
+    compare_outcomes(name_a, ra, name_b, rb)
+}
+
+/// Why a fuel-limited oracle run failed to validate a merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleFailure {
+    /// The two executions observably diverged.
+    Mismatch(String),
+    /// An execution exhausted the fuel budget before a verdict was reached;
+    /// the caller should refuse the commit conservatively.
+    Timeout,
+}
+
+impl fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleFailure::Mismatch(m) => write!(f, "{m}"),
+            OracleFailure::Timeout => {
+                write!(f, "differential oracle exhausted its fuel budget")
+            }
+        }
+    }
+}
+
+fn run_with_fuel(
+    module: &Module,
+    function_name: &str,
+    args: &[i64],
+    fuel: Option<u64>,
+) -> Result<ExecOutcome, InterpError> {
+    let mut interp = Interpreter::new(module);
+    if let Some(fuel) = fuel {
+        interp.step_limit = fuel;
+    }
+    interp.run(function_name, args)
+}
+
+/// [`check_equivalent`] under an explicit step budget. With `fuel: None` the
+/// default interpreter limit applies and a double step-limit hit still counts
+/// as equivalent (legacy behavior); with an explicit budget, hitting it on
+/// either side is a [`OracleFailure::Timeout`] — no verdict, not a pass.
+pub fn check_equivalent_with_fuel(
+    module_a: &Module,
+    name_a: &str,
+    args_a: &[i64],
+    module_b: &Module,
+    name_b: &str,
+    args_b: &[i64],
+    fuel: Option<u64>,
+) -> Result<(), OracleFailure> {
+    let ra = run_with_fuel(module_a, name_a, args_a, fuel);
+    let rb = run_with_fuel(module_b, name_b, args_b, fuel);
+    if fuel.is_some()
+        && (matches!(ra, Err(InterpError::StepLimit)) || matches!(rb, Err(InterpError::StepLimit)))
+    {
+        return Err(OracleFailure::Timeout);
+    }
+    compare_outcomes(name_a, ra, name_b, rb).map_err(OracleFailure::Mismatch)
+}
+
+fn compare_outcomes(
+    name_a: &str,
+    ra: Result<ExecOutcome, InterpError>,
+    name_b: &str,
+    rb: Result<ExecOutcome, InterpError>,
+) -> Result<(), String> {
     // Two executions that fail in the same way (e.g. both exhaust the step
     // budget because the source program does not terminate under the external
     // model) are considered equivalent.
@@ -658,9 +724,30 @@ pub fn differential_check(
     samples: usize,
     seed: u64,
 ) -> Result<(), String> {
-    let function = before
-        .function(name)
-        .ok_or_else(|| format!("@{name} is not defined in the original module"))?;
+    differential_check_with_fuel(before, after, name, samples, seed, None)
+        .map_err(|failure| failure.to_string())
+}
+
+/// [`differential_check`] under an explicit per-execution step budget: any
+/// sampled run that exhausts `fuel` steps yields [`OracleFailure::Timeout`]
+/// instead of a verdict, bounding worst-case oracle latency per candidate.
+/// `fuel: None` reproduces [`differential_check`] exactly.
+///
+/// # Errors
+///
+/// Returns the first divergence or timeout found; or a mismatch when `name`
+/// is not defined in `before`.
+pub fn differential_check_with_fuel(
+    before: &Module,
+    after: &Module,
+    name: &str,
+    samples: usize,
+    seed: u64,
+    fuel: Option<u64>,
+) -> Result<(), OracleFailure> {
+    let function = before.function(name).ok_or_else(|| {
+        OracleFailure::Mismatch(format!("@{name} is not defined in the original module"))
+    })?;
     let num_args = function.params.len();
     let mut state = seed;
     for b in name.bytes() {
@@ -680,8 +767,14 @@ pub fn differential_check(
         vectors.push((0..num_args).map(|_| (next() % 257) as i64 - 128).collect());
     }
     for args in &vectors {
-        check_equivalent(before, name, args, after, name, args)
-            .map_err(|e| format!("args {args:?}: {e}"))?;
+        check_equivalent_with_fuel(before, name, args, after, name, args, fuel).map_err(
+            |failure| match failure {
+                OracleFailure::Mismatch(e) => {
+                    OracleFailure::Mismatch(format!("args {args:?}: {e}"))
+                }
+                OracleFailure::Timeout => OracleFailure::Timeout,
+            },
+        )?;
     }
     Ok(())
 }
@@ -838,6 +931,26 @@ entry:
         let mut interp = Interpreter::new(&m);
         interp.step_limit = 1000;
         assert_eq!(interp.run("spin", &[]).unwrap_err(), InterpError::StepLimit);
+    }
+
+    #[test]
+    fn fuel_budget_times_out_instead_of_passing() {
+        // Both sides loop forever: under the default limit the double
+        // step-limit hit counts as equivalent, under an explicit fuel budget
+        // it is a timeout, not a verdict.
+        let text =
+            "define i32 @f(i32 %x) {\nentry:\n  br label %again\nagain:\n  br label %again\n}";
+        let m = module(text);
+        assert!(differential_check(&m, &m, "f", 2, 7).is_ok());
+        assert_eq!(
+            differential_check_with_fuel(&m, &m, "f", 2, 7, Some(64)),
+            Err(OracleFailure::Timeout)
+        );
+        // A terminating function passes under a generous budget and the
+        // fuel-less path stays bit-identical to the legacy entry point.
+        let t = module("define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}");
+        assert!(differential_check_with_fuel(&t, &t, "f", 2, 7, Some(1000)).is_ok());
+        assert!(differential_check_with_fuel(&t, &t, "f", 2, 7, None).is_ok());
     }
 
     #[test]

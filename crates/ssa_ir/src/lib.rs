@@ -54,7 +54,10 @@ pub use linker::{
     rename_symbol, sanitize_symbol, structurally_equal, ImportOutcome, LinkError, LinkRenames,
 };
 pub use module::{FuncDecl, Module};
-pub use parser::{parse_function, parse_module, ParseError};
+pub use parser::{
+    parse_function, parse_module, parse_module_recovering, ParseError, RecoveredModule,
+    SkippedFunction,
+};
 pub use printer::{print_function, print_module, Namer};
 pub use types::Type;
 pub use value::{Constant, Value};

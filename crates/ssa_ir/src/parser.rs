@@ -1,9 +1,23 @@
 //! Parser for the textual IR produced by [`crate::printer`].
 //!
 //! The grammar is a compact LLVM-like syntax; see the crate-level docs for an
-//! example. Parsing is two-phase: the text is first turned into a small AST,
-//! then lowered to [`Function`]s with full forward-reference resolution (phi
-//! nodes and branches may refer to values and labels defined later).
+//! example. Parsing is staged:
+//!
+//! 1. **lex** — the text becomes a token stream with per-token line numbers
+//!    ([`Lexer`]); in lenient mode lexical errors are recorded and skipped
+//!    instead of aborting,
+//! 2. **structure** — the token stream is partitioned into top-level units
+//!    (`define` bodies, `declare`s, and stray-token runs) by brace depth
+//!    ([`segment_tokens`]), so one broken unit cannot desynchronize its
+//!    neighbors,
+//! 3. **parse + lower** — each unit independently becomes an AST and then a
+//!    [`Function`] with full forward-reference resolution (phi nodes and
+//!    branches may refer to values and labels defined later).
+//!
+//! [`parse_module`] is the strict entry point: the first error anywhere
+//! aborts. [`parse_module_recovering`] degrades gracefully instead — a unit
+//! that fails any stage is skipped with a [`SkippedFunction`] record carrying
+//! function/line provenance while every healthy unit still loads.
 
 use crate::function::{Function, Linkage};
 use crate::ids::{BlockId, InstId};
@@ -33,12 +47,206 @@ impl std::error::Error for ParseError {}
 
 type Result<T> = std::result::Result<T, ParseError>;
 
-/// Parses a whole module (declarations and definitions).
+/// A top-level unit that failed to parse and was dropped by
+/// [`parse_module_recovering`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedFunction {
+    /// `@name` of the unit when one was seen before the failure (empty for
+    /// anonymous garbage or lexical noise between units).
+    pub name: String,
+    /// 1-based line of the failure (the unit's first line when the
+    /// underlying error carries no position).
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+/// Result of [`parse_module_recovering`]: everything that parsed plus a
+/// record of everything that did not.
+#[derive(Debug, Clone)]
+pub struct RecoveredModule {
+    /// The module assembled from all units that parsed and lowered cleanly.
+    pub module: Module,
+    /// One entry per dropped unit, ordered by line.
+    pub skipped: Vec<SkippedFunction>,
+}
+
+impl RecoveredModule {
+    /// True when at least one unit was dropped.
+    pub fn degraded(&self) -> bool {
+        !self.skipped.is_empty()
+    }
+}
+
+/// Parses a whole module (declarations and definitions), aborting on the
+/// first error at any stage.
 pub fn parse_module(text: &str) -> Result<Module> {
-    let mut tokens = Lexer::new(text).tokenize()?;
-    tokens.reverse(); // use as a stack: pop() yields the next token
-    let mut parser = Parser { tokens };
-    parser.module()
+    let (tokens, mut lex_errors) = Lexer::new(text).tokenize();
+    if !lex_errors.is_empty() {
+        return Err(lex_errors.remove(0));
+    }
+    let mut module = Module::new("parsed");
+    for segment in segment_tokens(tokens) {
+        parse_segment(&mut module, segment)?;
+    }
+    Ok(module)
+}
+
+/// Parses a whole module, skipping broken units instead of aborting.
+///
+/// This entry point is infallible. Lexical errors poison only the unit whose
+/// line range contains them; a unit that fails to lex, parse, or lower is
+/// recorded in [`RecoveredModule::skipped`] with name/line provenance while
+/// every healthy unit still loads. Duplicate definitions keep the first copy.
+pub fn parse_module_recovering(text: &str) -> RecoveredModule {
+    let (tokens, lex_errors) = Lexer::new(text).tokenize();
+    let mut module = Module::new("parsed");
+    let mut skipped = Vec::new();
+    let mut lex_used = vec![false; lex_errors.len()];
+    for segment in segment_tokens(tokens) {
+        let provenance = segment.name.clone().unwrap_or_default();
+        // A lexical error inside this unit's line range makes its token
+        // stream untrustworthy: drop the whole unit, reporting the first
+        // error and consuming the rest.
+        let mut poisoned_by: Option<&ParseError> = None;
+        for (i, e) in lex_errors.iter().enumerate() {
+            if !lex_used[i] && e.line >= segment.start_line && e.line <= segment.end_line {
+                lex_used[i] = true;
+                poisoned_by.get_or_insert(e);
+            }
+        }
+        if let Some(e) = poisoned_by {
+            skipped.push(SkippedFunction {
+                name: provenance,
+                line: e.line,
+                message: e.message.clone(),
+            });
+            continue;
+        }
+        let start_line = segment.start_line;
+        match segment.kind {
+            SegmentKind::Garbage => {
+                let (line, message) = match segment.tokens.first() {
+                    Some(t) => (
+                        t.line,
+                        format!("expected 'define' or 'declare', found {:?}", t.tok),
+                    ),
+                    None => (start_line, "expected 'define' or 'declare'".to_string()),
+                };
+                skipped.push(SkippedFunction {
+                    name: provenance,
+                    line,
+                    message,
+                });
+            }
+            SegmentKind::Declare => {
+                let mut parser = Parser::over(segment.tokens);
+                match parser.declaration() {
+                    Ok(decl) => {
+                        module.declare(decl);
+                        // Stray tokens between this declaration and the next
+                        // unit are dropped on their own, keeping the decl.
+                        if let Err(e) = parser.expect_done() {
+                            skipped.push(skip_at(String::new(), start_line, e));
+                        }
+                    }
+                    Err(e) => skipped.push(skip_at(provenance, start_line, e)),
+                }
+            }
+            SegmentKind::Define => {
+                if telemetry::faultinject::should_fail("parse.function") {
+                    skipped.push(SkippedFunction {
+                        name: provenance,
+                        line: start_line,
+                        message: "fault injected at parse.function".into(),
+                    });
+                    continue;
+                }
+                let mut parser = Parser::over(segment.tokens);
+                let parsed = parser.function().and_then(|ast| {
+                    parser.expect_done()?;
+                    lower_function(&ast)
+                });
+                match parsed {
+                    Ok(function) => {
+                        if module.function(&function.name).is_some() {
+                            skipped.push(SkippedFunction {
+                                name: function.name.clone(),
+                                line: start_line,
+                                message: format!(
+                                    "duplicate function definition @{}",
+                                    function.name
+                                ),
+                            });
+                        } else {
+                            module.add_function(function);
+                        }
+                    }
+                    Err(e) => skipped.push(skip_at(provenance, start_line, e)),
+                }
+            }
+        }
+    }
+    // Lexical noise between units: one record per line, not per character.
+    let mut last_noise_line = None;
+    for (i, e) in lex_errors.iter().enumerate() {
+        if !lex_used[i] && last_noise_line != Some(e.line) {
+            last_noise_line = Some(e.line);
+            skipped.push(SkippedFunction {
+                name: String::new(),
+                line: e.line,
+                message: e.message.clone(),
+            });
+        }
+    }
+    skipped.sort_by_key(|s| s.line);
+    RecoveredModule { module, skipped }
+}
+
+fn skip_at(name: String, start_line: usize, e: ParseError) -> SkippedFunction {
+    SkippedFunction {
+        name,
+        line: if e.line == 0 { start_line } else { e.line },
+        message: e.message,
+    }
+}
+
+/// Strict per-unit parse: any failure aborts the whole module.
+fn parse_segment(module: &mut Module, segment: Segment) -> Result<()> {
+    let start_line = segment.start_line;
+    match segment.kind {
+        SegmentKind::Garbage => {
+            let (line, message) = match segment.tokens.first() {
+                Some(t) => (
+                    t.line,
+                    format!("expected 'define' or 'declare', found {:?}", t.tok),
+                ),
+                None => (start_line, "expected 'define' or 'declare'".to_string()),
+            };
+            Err(ParseError { message, line })
+        }
+        SegmentKind::Declare => {
+            let mut parser = Parser::over(segment.tokens);
+            let decl = parser.declaration()?;
+            parser.expect_done()?;
+            module.declare(decl);
+            Ok(())
+        }
+        SegmentKind::Define => {
+            let mut parser = Parser::over(segment.tokens);
+            let ast = parser.function()?;
+            parser.expect_done()?;
+            let function = lower_function(&ast)?;
+            if module.function(&function.name).is_some() {
+                return Err(ParseError {
+                    message: format!("duplicate function definition @{}", function.name),
+                    line: start_line,
+                });
+            }
+            module.add_function(function);
+            Ok(())
+        }
+    }
 }
 
 /// Parses a single function definition.
@@ -87,8 +295,12 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn tokenize(mut self) -> Result<Vec<Token>> {
+    /// Lenient scan: lexical errors are recorded and skipped, never fatal.
+    /// Strict callers treat a non-empty error list as failure; the
+    /// recovering path maps each error back to the unit containing it.
+    fn tokenize(mut self) -> (Vec<Token>, Vec<ParseError>) {
         let mut out = Vec::new();
+        let mut errors = Vec::new();
         while let Some(&c) = self.chars.peek() {
             match c {
                 '\n' => {
@@ -128,9 +340,10 @@ impl<'a> Lexer<'a> {
                         line: self.line,
                     });
                 }
-                c if c.is_ascii_digit() || c == '-' || c == '+' => {
-                    out.push(self.number()?);
-                }
+                c if c.is_ascii_digit() || c == '-' || c == '+' => match self.number() {
+                    Ok(token) => out.push(token),
+                    Err(e) => errors.push(e),
+                },
                 c if c.is_alphabetic() || c == '_' || c == '.' => {
                     let word = self.ident();
                     out.push(Token {
@@ -139,14 +352,15 @@ impl<'a> Lexer<'a> {
                     });
                 }
                 other => {
-                    return Err(ParseError {
+                    errors.push(ParseError {
                         message: format!("unexpected character '{other}'"),
                         line: self.line,
-                    })
+                    });
+                    self.chars.next();
                 }
             }
         }
-        Ok(out)
+        (out, errors)
     }
 
     fn ident(&mut self) -> String {
@@ -164,8 +378,8 @@ impl<'a> Lexer<'a> {
 
     fn number(&mut self) -> Result<Token> {
         let mut s = String::new();
-        if matches!(self.chars.peek(), Some('-') | Some('+')) {
-            s.push(self.chars.next().unwrap());
+        if let Some(sign) = self.chars.next_if(|c| matches!(c, '-' | '+')) {
+            s.push(sign);
         }
         let mut is_float = false;
         while let Some(&c) = self.chars.peek() {
@@ -176,8 +390,10 @@ impl<'a> Lexer<'a> {
                 is_float = true;
                 s.push(c);
                 self.chars.next();
-                if (c == 'e' || c == 'E') && matches!(self.chars.peek(), Some('-') | Some('+')) {
-                    s.push(self.chars.next().unwrap());
+                if c == 'e' || c == 'E' {
+                    if let Some(sign) = self.chars.next_if(|c| matches!(c, '-' | '+')) {
+                        s.push(sign);
+                    }
                 }
             } else {
                 break;
@@ -206,6 +422,105 @@ impl<'a> Lexer<'a> {
                 })
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Structure stage: top-level unit segmentation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SegmentKind {
+    Define,
+    Declare,
+    Garbage,
+}
+
+/// One top-level unit of the token stream: a `define` body, a `declare`
+/// (plus any stray tokens up to the next unit), or a run of tokens that
+/// belongs to no unit at all.
+#[derive(Debug)]
+struct Segment {
+    kind: SegmentKind,
+    tokens: Vec<Token>,
+    start_line: usize,
+    end_line: usize,
+    /// First `@name` seen in the unit, for skip provenance.
+    name: Option<String>,
+}
+
+impl Segment {
+    fn new(kind: SegmentKind, token: Token) -> Self {
+        let name = match &token.tok {
+            Tok::Global(n) => Some(n.clone()),
+            _ => None,
+        };
+        Segment {
+            kind,
+            start_line: token.line,
+            end_line: token.line,
+            name,
+            tokens: vec![token],
+        }
+    }
+
+    fn push(&mut self, token: Token) {
+        if self.name.is_none() {
+            if let Tok::Global(n) = &token.tok {
+                self.name = Some(n.clone());
+            }
+        }
+        self.end_line = self.end_line.max(token.line);
+        self.tokens.push(token);
+    }
+}
+
+/// Splits the token stream into independent top-level units so one broken
+/// unit cannot desynchronize its neighbors. `define`/`declare` keywords
+/// always open a new unit — even inside an unterminated body, since real
+/// bodies never contain them they are reliable resynchronization points — and
+/// a `define` unit otherwise ends with the `}` closing its body.
+fn segment_tokens(tokens: Vec<Token>) -> Vec<Segment> {
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut current: Option<Segment> = None;
+    let mut depth = 0usize;
+    for token in tokens {
+        if let Tok::Word(w) = &token.tok {
+            if w == "define" || w == "declare" {
+                let kind = if w == "define" {
+                    SegmentKind::Define
+                } else {
+                    SegmentKind::Declare
+                };
+                if let Some(segment) = current.take() {
+                    segments.push(segment);
+                }
+                depth = 0;
+                current = Some(Segment::new(kind, token));
+                continue;
+            }
+        }
+        match token.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        let closes_define = depth == 0
+            && token.tok == Tok::Punct('}')
+            && matches!(&current, Some(s) if s.kind == SegmentKind::Define);
+        match &mut current {
+            Some(segment) => segment.push(token),
+            None => current = Some(Segment::new(SegmentKind::Garbage, token)),
+        }
+        if closes_define {
+            if let Some(segment) = current.take() {
+                segments.push(segment);
+            }
+        }
+    }
+    if let Some(segment) = current.take() {
+        segments.push(segment);
+    }
+    segments
 }
 
 // ---------------------------------------------------------------------------
@@ -338,6 +653,23 @@ struct Parser {
 }
 
 impl Parser {
+    /// Builds a parser over one segment's tokens (in source order).
+    fn over(mut tokens: Vec<Token>) -> Self {
+        tokens.reverse(); // use as a stack: pop() yields the next token
+        Parser { tokens }
+    }
+
+    /// Fails if the segment has trailing tokens after its unit parsed.
+    fn expect_done(&mut self) -> Result<()> {
+        match self.tokens.last() {
+            None => Ok(()),
+            Some(t) => Err(ParseError {
+                message: format!("expected 'define' or 'declare', found {:?}", t.tok),
+                line: t.line,
+            }),
+        }
+    }
+
     fn peek(&self) -> Option<&Tok> {
         self.tokens.last().map(|t| &t.tok)
     }
@@ -468,48 +800,32 @@ impl Parser {
         Ok(TypedOperand { ty, op })
     }
 
-    fn module(&mut self) -> Result<Module> {
-        let mut module = Module::new("parsed");
-        while let Some(tok) = self.peek() {
-            match tok {
-                Tok::Word(w) if w == "declare" => {
+    fn declaration(&mut self) -> Result<FuncDecl> {
+        self.expect_word("declare")?;
+        let linkage = self.linkage();
+        let ret = self.ty()?;
+        let name = self.global()?;
+        self.expect_punct('(')?;
+        let mut params = Vec::new();
+        if !self.eat_punct(')') {
+            loop {
+                params.push(self.ty()?);
+                // Optional parameter name in declarations.
+                if matches!(self.peek(), Some(Tok::Local(_))) {
                     self.tokens.pop();
-                    let linkage = self.linkage();
-                    let ret = self.ty()?;
-                    let name = self.global()?;
-                    self.expect_punct('(')?;
-                    let mut params = Vec::new();
-                    if !self.eat_punct(')') {
-                        loop {
-                            params.push(self.ty()?);
-                            // Optional parameter name in declarations.
-                            if matches!(self.peek(), Some(Tok::Local(_))) {
-                                self.tokens.pop();
-                            }
-                            if self.eat_punct(')') {
-                                break;
-                            }
-                            self.expect_punct(',')?;
-                        }
-                    }
-                    module.declare(FuncDecl {
-                        name,
-                        params,
-                        ret_ty: ret,
-                        linkage,
-                    });
                 }
-                Tok::Word(w) if w == "define" => {
-                    let ast = self.function()?;
-                    module.add_function(lower_function(&ast)?);
+                if self.eat_punct(')') {
+                    break;
                 }
-                other => {
-                    let other = other.clone();
-                    return self.err(format!("expected 'define' or 'declare', found {other:?}"));
-                }
+                self.expect_punct(',')?;
             }
         }
-        Ok(module)
+        Ok(FuncDecl {
+            name,
+            params,
+            ret_ty: ret,
+            linkage,
+        })
     }
 
     /// Consumes an optional `internal`/`external` linkage keyword (shared by
@@ -899,8 +1215,19 @@ fn lower_function(ast: &AstFunction) -> Result<Function> {
     let mut created: Vec<(InstId, &AstStmt)> = Vec::new();
     for block in &ast.blocks {
         let block_id = env.blocks[&block.label];
+        let mut terminated = false;
         for stmt in &block.stmts {
+            // A second terminator (or any code after one) would trip
+            // `append_inst`'s single-terminator invariant; report it as a
+            // parse error so the recovering frontend can skip the function.
+            if terminated {
+                return Err(ParseError {
+                    message: format!("instruction after terminator in block {}", block.label),
+                    line: stmt.line,
+                });
+            }
             let (kind, ty) = build_kind(&stmt.inst, &env, false, stmt.line)?;
+            terminated = kind.is_terminator();
             let id = function.append_inst(block_id, kind, ty);
             if let Some(name) = &stmt.result {
                 if !ty.is_first_class() {
@@ -1206,5 +1533,102 @@ done:
     fn rejects_garbage() {
         assert!(parse_module("definitely not ir").is_err());
         assert!(parse_module("define i32 @f(").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_definition_without_panicking() {
+        let one = "define i32 @dup(i32 %x) {\nentry:\n  ret i32 %x\n}\n";
+        let text = format!("{one}{one}");
+        let err = parse_module(&text).unwrap_err();
+        assert!(err.message.contains("duplicate function definition @dup"));
+        // The recovering path keeps the first copy and records the second.
+        let recovered = parse_module_recovering(&text);
+        assert_eq!(recovered.module.num_functions(), 1);
+        assert_eq!(recovered.skipped.len(), 1);
+        assert_eq!(recovered.skipped[0].name, "dup");
+    }
+
+    const MIXED: &str = "\
+define i32 @good1(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+define i32 @bad(i32 %x) {
+entry:
+  %r = frobnicate i32 %x, 1
+  ret i32 %r
+}
+define i32 @good2(i32 %x) {
+entry:
+  ret i32 %x
+}
+";
+
+    #[test]
+    fn recovers_around_broken_function() {
+        assert!(parse_module(MIXED).is_err());
+        let recovered = parse_module_recovering(MIXED);
+        assert_eq!(recovered.module.num_functions(), 2);
+        assert!(recovered.module.function("good1").is_some());
+        assert!(recovered.module.function("good2").is_some());
+        assert_eq!(recovered.skipped.len(), 1);
+        let skip = &recovered.skipped[0];
+        assert_eq!(skip.name, "bad");
+        assert_eq!(skip.line, 8);
+        assert!(skip.message.contains("unknown instruction 'frobnicate'"));
+    }
+
+    #[test]
+    fn recovers_from_lexical_and_structural_noise() {
+        let text = "\
+$$$
+define i32 @ok(i32 %x) {
+entry:
+  ret i32 %x
+}
+stray words here
+define i32 @poisoned(i32 %x) {
+entry:
+  %r = add i32 %x, 1 ###
+  ret i32 %r
+}
+declare i32 @ext(i32)
+";
+        let recovered = parse_module_recovering(text);
+        assert_eq!(recovered.module.num_functions(), 1);
+        assert!(recovered.module.function("ok").is_some());
+        assert_eq!(recovered.module.declarations().len(), 1);
+        // Three casualties: the leading noise, the stray words, and the
+        // function whose body contains a lexical error.
+        assert_eq!(recovered.skipped.len(), 3);
+        assert!(recovered
+            .skipped
+            .iter()
+            .any(|s| s.name == "poisoned" && s.message.contains("unexpected character")));
+        // An unterminated body swallows nothing past the next `define`.
+        let truncated = "\
+define i32 @cut(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+define i32 @after(i32 %x) {
+entry:
+  ret i32 %x
+}
+";
+        let recovered = parse_module_recovering(truncated);
+        assert_eq!(recovered.module.num_functions(), 1);
+        assert!(recovered.module.function("after").is_some());
+        assert_eq!(recovered.skipped.len(), 1);
+        assert_eq!(recovered.skipped[0].name, "cut");
+    }
+
+    #[test]
+    fn recovery_is_invisible_on_clean_input() {
+        let text = format!("declare i32 @start(i32)\ndeclare i32 @end(i32)\n{EXAMPLE_F1}");
+        let strict = parse_module(&text).unwrap();
+        let recovered = parse_module_recovering(&text);
+        assert!(!recovered.degraded());
+        assert_eq!(print_module(&recovered.module), print_module(&strict));
     }
 }

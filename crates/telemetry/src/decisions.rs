@@ -95,6 +95,12 @@ pub enum RejectReason {
     /// The admissible pre-filter proved the pair cannot be profitable before
     /// any codegen-based scoring ran.
     Prefiltered,
+    /// Scoring, hazard scanning, or commit panicked; the panic was isolated
+    /// and only this pair was lost.
+    InternalError,
+    /// The differential semantic oracle exhausted its fuel budget before
+    /// reaching a verdict; the commit was conservatively refused.
+    OracleTimeout,
 }
 
 impl RejectReason {
@@ -106,6 +112,8 @@ impl RejectReason {
             RejectReason::Superseded => "superseded",
             RejectReason::Refused => "refused",
             RejectReason::Prefiltered => "prefiltered",
+            RejectReason::InternalError => "internal_error",
+            RejectReason::OracleTimeout => "oracle_timeout",
         }
     }
 }

@@ -1,0 +1,141 @@
+//! Env-keyed fault-injection probes for robustness testing.
+//!
+//! A probe is a named site in the pipeline (`"parse.function"`,
+//! `"plan.score"`, `"plan.commit"`, `"oracle.check"`) that normally does
+//! nothing. Arming a site — via the `SALSSA_FAULT` environment variable or
+//! programmatically with [`arm`] — makes the next N passes through it fail:
+//! [`trip`] panics (exercising the planner's panic isolation) and
+//! [`should_fail`] returns `true` (for sites like the recovering parser that
+//! degrade without unwinding).
+//!
+//! `SALSSA_FAULT` is a comma-separated list of `site` (fire once) or
+//! `site:N` (fire N times) entries, read once on first probe access:
+//!
+//! ```text
+//! SALSSA_FAULT=plan.score salssa merge input.ll
+//! SALSSA_FAULT=parse.function:2,oracle.check salssa xmerge corpus/
+//! ```
+//!
+//! Like the rest of this crate, an unarmed probe must not change what the
+//! pipeline computes; the disabled fast path is one relaxed atomic load.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Fast-path gate: false until something is armed, so unarmed probes cost a
+/// single relaxed load.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Remaining fire counts per site. Guarded by a mutex — probes sit on error
+/// paths and test harnesses, never in inner loops.
+fn table() -> MutexGuard<'static, HashMap<String, u64>> {
+    static TABLE: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut armed = HashMap::new();
+        if let Ok(spec) = std::env::var("SALSSA_FAULT") {
+            for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+                let (site, count) = match entry.split_once(':') {
+                    Some((site, n)) => (site, n.parse::<u64>().unwrap_or(1)),
+                    None => (entry, 1),
+                };
+                armed.insert(site.to_string(), count);
+            }
+        }
+        if !armed.is_empty() {
+            ANY_ARMED.store(true, Ordering::Relaxed);
+        }
+        Mutex::new(armed)
+    });
+    table
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Arms `site` to fail on its next `count` passes. Replaces any previous
+/// count for the site.
+pub fn arm(site: &str, count: u64) {
+    table().insert(site.to_string(), count);
+    ANY_ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms every site (including ones armed from the environment).
+pub fn disarm_all() {
+    table().clear();
+    ANY_ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Returns true — consuming one armed firing — when `site` should fail now.
+pub fn should_fail(site: &str) -> bool {
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        // Force the one-time env read even before anything is armed
+        // programmatically, then re-check.
+        static ENV_READ: OnceLock<()> = OnceLock::new();
+        ENV_READ.get_or_init(|| {
+            drop(table());
+        });
+        if !ANY_ARMED.load(Ordering::Relaxed) {
+            return false;
+        }
+    }
+    let mut table = table();
+    match table.get_mut(site) {
+        Some(n) if *n > 0 => {
+            *n -= 1;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Panics with a recognizable message when `site` is armed. Call sites are
+/// expected to sit inside the planner's panic isolation, so a tripped probe
+/// degrades to a `rejected(internal_error)` decision, not an abort.
+pub fn trip(site: &str) {
+    if should_fail(site) {
+        panic!("fault injected at {site}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Probe state is process-global; serialize the tests that touch it.
+    fn lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn unarmed_probe_is_silent() {
+        let _guard = lock();
+        disarm_all();
+        assert!(!should_fail("nowhere"));
+        trip("nowhere"); // must not panic
+    }
+
+    #[test]
+    fn armed_probe_fires_exactly_n_times() {
+        let _guard = lock();
+        disarm_all();
+        arm("test.site", 2);
+        assert!(should_fail("test.site"));
+        assert!(should_fail("test.site"));
+        assert!(!should_fail("test.site"));
+        assert!(!should_fail("other.site"));
+        disarm_all();
+    }
+
+    #[test]
+    fn tripped_probe_panics_with_site_name() {
+        let _guard = lock();
+        disarm_all();
+        arm("test.trip", 1);
+        let err = std::panic::catch_unwind(|| trip("test.trip")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(msg, "fault injected at test.trip");
+        trip("test.trip"); // disarmed after one firing
+        disarm_all();
+    }
+}

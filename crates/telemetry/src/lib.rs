@@ -26,9 +26,13 @@
 //!   counts and p50/p95/p99 latencies.
 //! * [`jsonv`] — a dependency-free JSON value parser (the build vendors no
 //!   serde) used to read traces and perf baselines back in.
+//! * [`faultinject`] — env-keyed fault probes (`SALSSA_FAULT=site[:N],…`)
+//!   at parse/score/commit/oracle sites, for proving that a single-pair
+//!   failure degrades to a recorded rejection instead of an abort.
 
 pub mod alloc;
 pub mod decisions;
+pub mod faultinject;
 pub mod jsonv;
 pub mod metrics;
 pub mod profile;
@@ -49,6 +53,7 @@ pub use decisions::{
     decisions_enabled, record_decision, record_decision_with, set_decisions, take_decisions,
     Decision, DecisionEvent, Pair, RejectReason,
 };
+pub use faultinject::{arm as arm_fault, disarm_all as disarm_faults, should_fail, trip};
 pub use metrics::{registry, MetricValue, MetricsSnapshot, Registry};
 pub use profile::{Profile, ProfileNode};
 pub use span::{

@@ -19,9 +19,11 @@
 pub mod clone_family;
 pub mod corpus;
 pub mod genfn;
+pub mod mutate;
 pub mod suite;
 
 pub use clone_family::{make_clone, Divergence};
 pub use corpus::{CorpusSpec, PerfTier};
 pub use genfn::{generate_function, FunctionSpec};
+pub use mutate::{mutate_text, Mutation};
 pub use suite::{mibench, scale, spec2006, spec2017, BenchmarkSpec};

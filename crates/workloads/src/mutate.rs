@@ -1,0 +1,125 @@
+//! Adversarial-input mutation of textual IR for robustness testing.
+//!
+//! [`mutate_text`] takes a well-formed `.ll` module (typically printed from a
+//! [`crate::CorpusSpec`] corpus) and applies one seeded corruption: a flipped
+//! byte, a truncation, a deleted line, or a duplicated line. The output is the
+//! kind of input a crashed build, a partial download, or a buggy producer
+//! hands the frontend — precisely what the error-recovering parser and the
+//! `salssa fuzz` smoke mode must survive without aborting.
+//!
+//! Mutations are pure functions of `(text, seed)`, so a fuzz failure is
+//! reproducible from its seed alone.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The corruption strategies [`mutate_text`] draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Replace one byte with an arbitrary one.
+    ByteFlip,
+    /// Cut the text off mid-stream.
+    Truncate,
+    /// Remove one whole line.
+    DeleteLine,
+    /// Repeat one whole line in place (duplicate definitions, stray braces).
+    DuplicateLine,
+}
+
+/// Applies one seeded mutation to `text` and reports which strategy fired.
+///
+/// The result is not guaranteed to be valid UTF-8-decodable IR — byte flips
+/// can land inside multi-byte sequences — so callers should treat it as
+/// untrusted bytes run through `String::from_utf8_lossy`, exactly the way a
+/// file read from disk would be. Empty input is returned unchanged.
+pub fn mutate_text(text: &str, seed: u64) -> (String, Mutation) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    if text.is_empty() {
+        return (String::new(), Mutation::Truncate);
+    }
+    let mutation = match rng.gen_range(0..4u32) {
+        0 => Mutation::ByteFlip,
+        1 => Mutation::Truncate,
+        2 => Mutation::DeleteLine,
+        _ => Mutation::DuplicateLine,
+    };
+    let mutated = match mutation {
+        Mutation::ByteFlip => {
+            let mut bytes = text.as_bytes().to_vec();
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] = rng.gen_range(0..256u32) as u8;
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+        Mutation::Truncate => {
+            let keep = rng.gen_range(0..text.len());
+            String::from_utf8_lossy(&text.as_bytes()[..keep]).into_owned()
+        }
+        Mutation::DeleteLine => {
+            let lines: Vec<&str> = text.lines().collect();
+            let drop = rng.gen_range(0..lines.len());
+            lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, l)| *l)
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+        Mutation::DuplicateLine => {
+            let lines: Vec<&str> = text.lines().collect();
+            let dup = rng.gen_range(0..lines.len());
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+            for (i, l) in lines.iter().enumerate() {
+                out.push(l);
+                if i == dup {
+                    out.push(l);
+                }
+            }
+            out.join("\n")
+        }
+    };
+    (mutated, mutation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "define i64 @f(i64 %a) {\nentry:\n  ret i64 %a\n}\n";
+
+    #[test]
+    fn mutations_are_deterministic_in_the_seed() {
+        for seed in 0..32 {
+            let (a, ma) = mutate_text(SAMPLE, seed);
+            let (b, mb) = mutate_text(SAMPLE, seed);
+            assert_eq!(a, b);
+            assert_eq!(ma, mb);
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_strategy() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64 {
+            seen.insert(mutate_text(SAMPLE, seed).1);
+        }
+        assert_eq!(seen.len(), 4, "64 seeds should hit all four strategies");
+    }
+
+    #[test]
+    fn truncation_shrinks_and_duplication_grows() {
+        for seed in 0..64 {
+            let (out, mutation) = mutate_text(SAMPLE, seed);
+            match mutation {
+                Mutation::Truncate => assert!(out.len() < SAMPLE.len()),
+                Mutation::DuplicateLine => assert!(out.len() > SAMPLE.len()),
+                Mutation::ByteFlip | Mutation::DeleteLine => {}
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        assert_eq!(mutate_text("", 7).0, "");
+    }
+}

@@ -43,7 +43,7 @@ fn pct(before: usize, after: usize) -> String {
 /// Serializes the planner-engine statistics shared by both report schemas.
 fn planner_json(stats: &PlanStats) -> String {
     format!(
-        r#"{{"candidates":{},"speculative_scores":{},"inline_scores":{},"rounds":{},"score_ms":{},"commit_ms":{},"oracle_links":{},"oracle_carried":{},"hazard_reuse":{}}}"#,
+        r#"{{"candidates":{},"speculative_scores":{},"inline_scores":{},"rounds":{},"score_ms":{},"commit_ms":{},"oracle_links":{},"oracle_carried":{},"hazard_reuse":{},"internal_errors":{},"oracle_timeouts":{}}}"#,
         stats.candidates,
         stats.speculative_scores,
         stats.inline_scores,
@@ -52,7 +52,18 @@ fn planner_json(stats: &PlanStats) -> String {
         ms(stats.commit_time),
         stats.oracle_links,
         stats.oracle_carried,
-        stats.hazard_reuse
+        stats.hazard_reuse,
+        stats.internal_errors,
+        stats.oracle_timeouts
+    )
+}
+
+/// Serializes the `recovery` block shared by both report schemas: how much
+/// graceful degradation the error-recovering frontend had to apply while
+/// loading the input(s). All-zero on clean inputs.
+fn recovery_json(functions_skipped: usize, modules_recovered: usize) -> String {
+    format!(
+        r#"{{"functions_skipped":{functions_skipped},"modules_recovered":{modules_recovered}}}"#
     )
 }
 
@@ -176,7 +187,7 @@ pub fn merge_report_json(
         })
         .collect();
     format!(
-        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{},"alignment":{},"prefilter":{},"diagnostics":{},"telemetry":{},"resources":{}}}"#,
+        r#"{{"kind":"merge","module":"{}","technique":"{}","threshold":{},"attempts":{},"merges":{},"semantic_rejections":{},"functions_before":{},"functions_after":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"align_ms":{},"codegen_ms":{},"peak_matrix_bytes":{},"dp_cells":{},"committed":[{}],"planner":{},"alignment":{},"prefilter":{},"diagnostics":{},"telemetry":{},"resources":{},"recovery":{}}}"#,
         json_escape(input),
         json_escape(&report.technique),
         report.threshold,
@@ -213,7 +224,8 @@ pub fn merge_report_json(
             &report.paranoid_stats,
         ),
         telemetry_json(),
-        resources_json()
+        resources_json(),
+        recovery_json(report.functions_skipped, report.modules_recovered)
     )
 }
 
@@ -270,7 +282,7 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
         .collect();
     let region_counts: Vec<String> = report.region_counts.iter().map(usize::to_string).collect();
     format!(
-        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}},"alignment":{},"prefilter":{},"diagnostics":{},"telemetry":{},"resources":{}}}"#,
+        r#"{{"kind":"xmerge","modules":{},"functions":{},"candidates":{},"attempts":{},"commits":{},"merges":{},"odr_dedups":{},"hazard_skips":{},"semantic_rejections":{},"size_before_bytes":{},"size_after_bytes":{},"reduction_percent":{},"total_profit_bytes":{},"timing_ms":{{"index":{},"discover":{},"score":{},"commit":{},"callgraph":{}}},"committed":[{}],"per_module":[{}],"planner":{},"fixpoint_rounds":{},"round_commits":[{}],"intra_merges":{},"intra_committed":[{}],"structural_cache":{{"hits":{},"misses":{},"hit_rate":{:.4}}},"index_reuse":{{"reused":{},"refreshed":{}}},"host_policy":"{}","cross_module_call_edges_forced":{},"cross_module_call_edges_saved":{},"region_counts":[{}],"call_index_reuse":{{"reused":{},"refreshed":{}}},"alignment":{},"prefilter":{},"diagnostics":{},"telemetry":{},"resources":{},"recovery":{}}}"#,
         report.modules,
         report.functions,
         report.candidates,
@@ -325,7 +337,8 @@ pub fn corpus_report_json(report: &CorpusMergeReport) -> String {
             &report.paranoid_stats,
         ),
         telemetry_json(),
-        resources_json()
+        resources_json(),
+        recovery_json(report.functions_skipped, report.modules_recovered)
     )
 }
 
@@ -358,6 +371,8 @@ mod tests {
         assert!(json.contains(r#""prefilter":{"checked":0,"rejected":0}"#));
         assert!(json.contains(r#""diagnostics":{"paranoid":false,"checks":0,"delta_count":0"#));
         assert!(json.contains(r#""telemetry":{"counters":{"#));
+        assert!(json.contains(r#""recovery":{"functions_skipped":0,"modules_recovered":0}"#));
+        assert!(json.contains(r#""internal_errors":0,"oracle_timeouts":0"#));
     }
 
     #[test]

@@ -163,6 +163,11 @@ pub struct XMergeConfig {
     /// the merge overhead before any speculative scoring runs. The bound is
     /// admissible, so committed records are identical with it on or off.
     pub prefilter: bool,
+    /// Per-execution step budget for the semantic oracle. `None` keeps the
+    /// interpreter's default limit with legacy semantics; an explicit budget
+    /// turns a budget-exhausting oracle run into a counted
+    /// `rejected(oracle_timeout)` instead of a verdict.
+    pub oracle_fuel: Option<u64>,
 }
 
 impl Default for XMergeConfig {
@@ -185,6 +190,7 @@ impl XMergeConfig {
             region_parallel: false,
             paranoid: false,
             prefilter: true,
+            oracle_fuel: None,
         }
     }
 
@@ -222,6 +228,12 @@ impl XMergeConfig {
     /// Enables or disables the admissible candidate pre-filter.
     pub fn with_prefilter(mut self, on: bool) -> XMergeConfig {
         self.prefilter = on;
+        self
+    }
+
+    /// Sets the semantic oracle's per-execution step budget.
+    pub fn with_oracle_fuel(mut self, fuel: Option<u64>) -> XMergeConfig {
+        self.oracle_fuel = fuel;
         self
     }
 }
@@ -365,6 +377,12 @@ pub struct CorpusMergeReport {
     /// Aggregate analysis-engine statistics (cache hits/misses, timing) over
     /// the baseline capture and every paranoid check.
     pub paranoid_stats: analysis::AnalysisStats,
+    /// Unparseable functions skipped by the error-recovering frontend while
+    /// loading the corpus (filled by the loader, not the merge).
+    pub functions_skipped: usize,
+    /// Modules that needed frontend recovery (at least one skipped function)
+    /// but still loaded and participated in the run.
+    pub modules_recovered: usize,
 }
 
 impl CorpusMergeReport {
@@ -457,6 +475,27 @@ impl fmt::Display for CorpusMergeReport {
                 f,
                 "  semantic oracle rejected {} commits",
                 self.semantic_rejections
+            )?;
+        }
+        if self.planner.oracle_timeouts > 0 {
+            writeln!(
+                f,
+                "  semantic oracle timed out on {} commits",
+                self.planner.oracle_timeouts
+            )?;
+        }
+        if self.planner.internal_errors > 0 {
+            writeln!(
+                f,
+                "  {} candidates lost to isolated internal errors",
+                self.planner.internal_errors
+            )?;
+        }
+        if self.functions_skipped > 0 {
+            writeln!(
+                f,
+                "  recovery: {} unparseable functions skipped across {} modules",
+                self.functions_skipped, self.modules_recovered
             )?;
         }
         if self.paranoid {
@@ -1105,18 +1144,26 @@ impl CandidateSource for CrossSource<'_> {
                     .cloned()
                     .unwrap_or_else(|| name.clone())
             });
+            telemetry::faultinject::trip("oracle.check");
             let verdict = entries.iter().try_for_each(|name| {
-                ssa_interp::differential_check(
+                ssa_interp::differential_check_with_fuel(
                     before_prog,
                     &after_prog,
                     name,
                     SEMANTIC_SAMPLES,
                     SEMANTIC_SEED,
+                    self.config.oracle_fuel,
                 )
             });
-            if verdict.is_err() {
-                self.semantic_rejections += 1;
-                return CommitOutcome::OracleRejected;
+            match verdict {
+                Err(ssa_interp::OracleFailure::Timeout) => {
+                    return CommitOutcome::OracleTimeout;
+                }
+                Err(ssa_interp::OracleFailure::Mismatch(_)) => {
+                    self.semantic_rejections += 1;
+                    return CommitOutcome::OracleRejected;
+                }
+                Ok(()) => {}
             }
             self.modules[s.host] = trial_host;
             self.modules[s.donor] = trial_donor;

@@ -1,0 +1,33 @@
+define i64 @pair_a(i64 %x, i64 %y) {
+entry:
+  %a = add i64 %x, %y
+  %b = mul i64 %a, %x
+  %c = sub i64 %b, 1
+  %d = xor i64 %c, %y
+  %e = and i64 %d, 255
+  %f = or i64 %e, %x
+  %g = shl i64 %f, 2
+  %h = add i64 %g, %b
+  %i = mul i64 %h, %c
+  %j = sub i64 %i, %d
+  %k = xor i64 %j, %e
+  %l = add i64 %k, %f
+  ret i64 %l
+}
+
+define i64 @pair_b(i64 %x, i64 %y) {
+entry:
+  %a = add i64 %x, %y
+  %b = mul i64 %a, %x
+  %c = sub i64 %b, 2
+  %d = xor i64 %c, %y
+  %e = and i64 %d, 255
+  %f = or i64 %e, %x
+  %g = shl i64 %f, 2
+  %h = add i64 %g, %b
+  %i = mul i64 %h, %c
+  %j = sub i64 %i, %d
+  %k = xor i64 %j, %e
+  %l = add i64 %k, %f
+  ret i64 %l
+}

@@ -1,0 +1,12 @@
+$$$
+define i64 @first(i64 %a) {
+entry:
+  ret i64 %a
+}
+this is not ir
+define i64 @second(i64 %b) {
+entry:
+  %x = add i64 %b, 7
+  ret i64 %x
+}
+### trailing noise

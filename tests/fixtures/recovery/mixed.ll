@@ -1,0 +1,17 @@
+define i64 @good1(i64 %a) {
+entry:
+  %x = add i64 %a, 1
+  ret i64 %x
+}
+
+define i64 @bad(i64 %a) {
+entry:
+  %x = frobnicate i64 %a, 1
+  ret i64 %x
+}
+
+define i64 @good2(i64 %a) {
+entry:
+  %x = add i64 %a, 2
+  ret i64 %x
+}

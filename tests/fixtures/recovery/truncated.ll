@@ -1,0 +1,9 @@
+define i64 @keep(i64 %a) {
+entry:
+  %x = mul i64 %a, 3
+  ret i64 %x
+}
+
+define i64 @cut(i64 %a) {
+entry:
+  %x = add i64 %a, 1
